@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one experiment table (E1-E10 of DESIGN.md),
+times the driver with pytest-benchmark, prints the table, and archives it
+under ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from the
+artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir, capsys):
+    """Print and archive an experiment table."""
+
+    def _record(table):
+        with capsys.disabled():
+            print()
+            print(table.format())
+        table.save(results_dir)
+        return table
+
+    return _record

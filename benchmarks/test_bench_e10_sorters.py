@@ -1,0 +1,13 @@
+"""E10 benchmark: sorter baselines and throughput (DESIGN.md E10)."""
+
+from repro.experiments import e10_sorters
+
+
+def test_bench_e10_sorters(benchmark, record_table):
+    table = benchmark(
+        e10_sorters.run, exponents=(4, 6, 8), throughput_batch=256
+    )
+    record_table(table)
+    for row in table.rows:
+        if row.get("zero_one_verified") is not None:
+            assert row["zero_one_verified"]

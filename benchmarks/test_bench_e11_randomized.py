@@ -1,0 +1,12 @@
+"""E11 benchmark: randomization erases the worst case (DESIGN.md E11)."""
+
+from repro.experiments import e11_randomized
+
+
+def test_bench_e11_randomized(benchmark, record_table):
+    table = benchmark(e11_randomized.run, exponents=(5, 6), trials=400)
+    record_table(table)
+    for row in table.rows:
+        # the adversarial input's randomized success matches the mean
+        assert abs(row["adv_input_randomized"] - row["population_mean"]) < 0.15
+        assert row["adv_input_det"] == 0.0

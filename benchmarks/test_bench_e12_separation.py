@@ -1,0 +1,10 @@
+"""E12 benchmark: ascend-descend vs strict ascend (DESIGN.md E12)."""
+
+from repro.experiments import e12_separation
+
+
+def test_bench_e12_separation(benchmark, record_table):
+    table = benchmark(e12_separation.run, exponents=(2, 3, 4, 6, 8), trials=5)
+    record_table(table)
+    for row in table.rows:
+        assert row["su_verified"] and row["strict_verified"]

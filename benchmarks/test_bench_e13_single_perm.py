@@ -1,0 +1,11 @@
+"""E13 benchmark: single-permutation open-problem probe (DESIGN.md E13)."""
+
+from repro.experiments import e13_single_permutation
+
+
+def test_bench_e13_single_perm(benchmark, record_table):
+    table = benchmark(e13_single_permutation.run, n=8, iterations=400)
+    record_table(table)
+    rows = {r["permutation"]: r for r in table.rows}
+    assert rows["shuffle"]["found_sorter"]
+    assert rows["identity"]["residual_witnesses"] > 0

@@ -1,0 +1,18 @@
+"""E1 benchmark: depth lower bound vs upper bounds (DESIGN.md E1)."""
+
+from repro.experiments import e1_depth_bounds
+
+
+def test_bench_e1_depth_bounds(benchmark, record_table):
+    table = benchmark(
+        e1_depth_bounds.run,
+        exponents=(3, 4, 5, 6, 8, 10, 12, 16, 20),
+        measure_up_to=1 << 10,
+    )
+    record_table(table)
+    # shape: lower bound below Batcher everywhere, gap monotone
+    lb = table.column("lower_bound")
+    ub = table.column("batcher_formula")
+    assert all(l < u for l, u in zip(lb, ub))
+    gaps = table.column("gap_batcher_over_lb")
+    assert gaps == sorted(gaps)

@@ -1,0 +1,15 @@
+"""E2 benchmark: Lemma 4.1 retention on concrete blocks (DESIGN.md E2)."""
+
+from repro.experiments import e2_lemma41
+
+
+def test_bench_e2_lemma41(benchmark, record_table):
+    table = benchmark(
+        e2_lemma41.run,
+        exponents=(4, 6, 8, 10, 12),
+        families=("butterfly", "random", "random_sparse"),
+    )
+    record_table(table)
+    for row in table.rows:
+        if row["strategy"] == "argmin":
+            assert row["B"] >= row["floor"] - 1e-9

@@ -1,0 +1,16 @@
+"""E3 benchmark: Theorem 4.1 survivor trace (DESIGN.md E3)."""
+
+from repro.experiments import e3_theorem41
+
+
+def test_bench_e3_theorem41(benchmark, record_table):
+    table = benchmark(
+        e3_theorem41.run,
+        exponents=(5, 7, 10),
+        families=("random_iterated", "bitonic"),
+    )
+    record_table(table)
+    for row in table.rows:
+        assert row["survivor"] >= row["guarantee"] - 1e-9
+    bitonic_last = [r for r in table.rows if r["family"] == "bitonic"][-1]
+    assert bitonic_last["survivor"] == 1

@@ -1,0 +1,19 @@
+"""E4 benchmark: verified fooling pairs vs ground truth (DESIGN.md E4)."""
+
+from repro.experiments import e4_fooling
+
+
+def test_bench_e4_fooling(benchmark, record_table):
+    table = benchmark(
+        e4_fooling.run, exponents=(4, 5, 6), families=("bitonic", "random_iterated")
+    )
+    record_table(table)
+    for row in table.rows:
+        if row.get("consistent") is not None:
+            assert row["consistent"]
+        # bitonic: all strict prefixes defeated, full depth not
+        if row["family"] == "bitonic":
+            import math
+
+            full = row["blocks"] == int(math.log2(row["n"]))
+            assert row["certificate"] == (not full)

@@ -1,0 +1,10 @@
+"""E5 benchmark: the f(n)-stage extension (DESIGN.md E5)."""
+
+from repro.experiments import e5_extension
+
+
+def test_bench_e5_extension(benchmark, record_table):
+    table = benchmark(e5_extension.run, exponents=(6, 8), max_blocks=40)
+    record_table(table)
+    for row in table.rows:
+        assert row["lower_bound_depth"] < row["upper_bound_depth"]

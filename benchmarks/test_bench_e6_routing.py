@@ -1,0 +1,10 @@
+"""E6 benchmark: permutation routing vs the cited 3d-4 bound (DESIGN.md E6)."""
+
+from repro.experiments import e6_routing
+
+
+def test_bench_e6_routing(benchmark, record_table):
+    table = benchmark(e6_routing.run, exponents=(2, 3, 4, 6, 8, 10), trials=8)
+    record_table(table)
+    for row in table.rows:
+        assert row["benes_all_verified"] and row["sort_route_all_verified"]

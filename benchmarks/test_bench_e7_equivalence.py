@@ -1,0 +1,11 @@
+"""E7 benchmark: structural equivalences (DESIGN.md E7)."""
+
+from repro.experiments import e7_equivalence
+
+
+def test_bench_e7_equivalence(benchmark, record_table):
+    table = benchmark(e7_equivalence.run, exponents=(2, 3, 4))
+    record_table(table)
+    for row in table.rows:
+        for col in table.columns[1:]:
+            assert row[col] is True

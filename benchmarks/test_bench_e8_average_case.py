@@ -1,0 +1,12 @@
+"""E8 benchmark: average-case sorted fraction (DESIGN.md E8)."""
+
+from repro.experiments import e8_average_case
+
+
+def test_bench_e8_average_case(benchmark, record_table):
+    table = benchmark(e8_average_case.run, exponents=(5, 6), trials=2000)
+    record_table(table)
+    fb = [r for r in table.rows if r["family"] == "faulty_bitonic"]
+    # early faults leave a usually-sorting network; late faults are caught
+    assert fb[0]["sorted_fraction"] > 0.7
+    assert fb[-1]["fooling_pair"]

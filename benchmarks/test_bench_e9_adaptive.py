@@ -1,0 +1,10 @@
+"""E9 benchmark: adaptive builders vs the adversary (DESIGN.md E9)."""
+
+from repro.experiments import e9_adaptive
+
+
+def test_bench_e9_adaptive(benchmark, record_table):
+    table = benchmark(e9_adaptive.run, exponents=(5, 6, 7), max_blocks=20)
+    record_table(table)
+    for row in table.rows:
+        assert row["full_rerun_consistent"]

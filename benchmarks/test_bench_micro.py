@@ -1,0 +1,62 @@
+"""Micro-benchmarks: the hot paths behind the experiment suite.
+
+Not tied to a paper claim; they document the substrate's performance
+envelope (vectorised batch evaluation and the adversary's per-block cost)
+so regressions in the hot loops are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adversary import run_lemma41
+from repro.core.iterate import run_adversary
+from repro.core.pattern import all_medium_pattern
+from repro.networks.builders import (
+    bitonic_iterated_rdn,
+    random_iterated_rdn,
+    random_reverse_delta,
+)
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_bench_batch_evaluation(benchmark, rng):
+    """Vectorised evaluation: 512 inputs through bitonic n=1024."""
+    net = bitonic_sorting_network(1024)
+    batch = np.stack([rng.permutation(1024) for _ in range(512)])
+    out = benchmark(net.evaluate_batch, batch)
+    assert (np.diff(out, axis=1) >= 0).all()
+
+
+def test_bench_scalar_trace(benchmark, rng):
+    """Traced evaluation (the certificate checker's workhorse)."""
+    net = bitonic_sorting_network(256)
+    x = rng.permutation(256)
+    trace = benchmark(net.trace, x)
+    assert len(trace.comparisons) == net.size
+
+
+def test_bench_lemma41_block(benchmark, rng):
+    """One Lemma 4.1 run on a random 4096-wire block (k = 12)."""
+    n = 4096
+    block = random_reverse_delta(n, rng)
+    pattern = all_medium_pattern(n)
+    result = benchmark(run_lemma41, block, pattern, 12)
+    assert result.b_size >= result.guarantee - 1e-9
+
+
+def test_bench_full_adversary(benchmark, rng):
+    """Theorem 4.1 loop over 4 blocks at n = 1024."""
+    net = random_iterated_rdn(1024, 4, rng)
+    run = benchmark(run_adversary, net, rng=np.random.default_rng(1))
+    assert run.blocks_processed >= 1
+
+
+def test_bench_bitonic_construction(benchmark):
+    """Building the full bitonic iterated RDN at n = 1024."""
+    it = benchmark(bitonic_iterated_rdn, 1024)
+    assert it.k == 10

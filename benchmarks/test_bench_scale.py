@@ -1,0 +1,29 @@
+"""Scale benchmarks: the adversary at four-digit n.
+
+Backs the README's claim that the experiments run comfortably at
+``n = 2^12`` on a laptop: one full pipeline (adversary + verified
+certificate) per benchmark round at n = 4096.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fooling import prove_not_sorting
+from repro.networks.builders import random_iterated_rdn
+
+
+@pytest.fixture(scope="module")
+def big_network():
+    rng = np.random.default_rng(0)
+    return random_iterated_rdn(4096, 2, rng)
+
+
+def test_bench_scale_adversary_and_certificate(benchmark, big_network):
+    """Full prove_not_sorting at n = 4096 (2 blocks), certificate verified."""
+
+    def pipeline():
+        return prove_not_sorting(big_network, rng=np.random.default_rng(1))
+
+    outcome = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert outcome.proved_not_sorting
+    assert len(outcome.run.special_set) >= 2

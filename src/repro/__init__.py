@@ -1,0 +1,113 @@
+"""repro -- an executable reproduction of Plaxton & Suel (SPAA 1992).
+
+*"A Lower Bound for Sorting Networks Based on the Shuffle Permutation"*
+proves that every sorting network based on the shuffle permutation --
+equivalently, every iterated reverse delta network with too few blocks --
+has depth :math:`\\Omega(\\lg^2 n / \\lg\\lg n)`.  The proof is a
+constructive adversary; this library runs it against concrete networks.
+
+Quickstart::
+
+    import numpy as np
+    from repro import bitonic_iterated_rdn, prove_not_sorting
+
+    network = bitonic_iterated_rdn(64).truncated(3)   # 3 of 6 phases
+    outcome = prove_not_sorting(network)
+    assert outcome.proved_not_sorting
+    cert = outcome.certificate                        # verified fooling pair
+    print(cert.input_a, cert.input_b)
+
+Package layout:
+
+* :mod:`repro.networks` -- comparator-network substrate (circuit and
+  register models, shuffle permutation, delta topologies);
+* :mod:`repro.core` -- the paper's machinery (patterns, Lemma 4.1
+  adversary, Theorem 4.1 loop, Corollary 4.1.1 certificates, bounds);
+* :mod:`repro.sorters` -- Batcher's networks and the baseline spectrum;
+* :mod:`repro.machines` -- the shuffle-exchange machine, prefix/FFT
+  ascend algorithms, permutation routing;
+* :mod:`repro.analysis` -- 0-1 verification, collision graphs, topology
+  recognisers, exhaustive ground truth;
+* :mod:`repro.experiments` -- the E1-E13 drivers behind the benchmarks.
+"""
+
+from . import analysis, core, experiments, machines, networks, sorters
+from .core import (
+    AdversaryRun,
+    FoolingOutcome,
+    Lemma41Result,
+    NonSortingCertificate,
+    Pattern,
+    all_medium_pattern,
+    bounds,
+    extract_fooling_pair,
+    prove_not_sorting,
+    run_adversary,
+    run_lemma41,
+    sml_pattern,
+)
+from .errors import ReproError
+from .networks import (
+    ComparatorNetwork,
+    Gate,
+    IteratedReverseDeltaNetwork,
+    Level,
+    Op,
+    Permutation,
+    RegisterProgram,
+    ReverseDeltaNetwork,
+    bitonic_iterated_rdn,
+    butterfly_rdn,
+    random_iterated_rdn,
+    random_reverse_delta,
+    shuffle_permutation,
+    shuffle_split_rdn,
+)
+from .sorters import bitonic_sorting_network, oddeven_merge_sorting_network
+from .analysis import is_sorting_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # substrate
+    "Gate",
+    "Op",
+    "Level",
+    "ComparatorNetwork",
+    "Permutation",
+    "RegisterProgram",
+    "ReverseDeltaNetwork",
+    "IteratedReverseDeltaNetwork",
+    "shuffle_permutation",
+    "butterfly_rdn",
+    "shuffle_split_rdn",
+    "random_reverse_delta",
+    "random_iterated_rdn",
+    "bitonic_iterated_rdn",
+    # the paper's machinery
+    "Pattern",
+    "sml_pattern",
+    "all_medium_pattern",
+    "run_lemma41",
+    "Lemma41Result",
+    "run_adversary",
+    "AdversaryRun",
+    "prove_not_sorting",
+    "FoolingOutcome",
+    "extract_fooling_pair",
+    "NonSortingCertificate",
+    "bounds",
+    # baselines & checks
+    "bitonic_sorting_network",
+    "oddeven_merge_sorting_network",
+    "is_sorting_network",
+    # subpackages
+    "networks",
+    "core",
+    "sorters",
+    "machines",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,105 @@
+"""Small internal helpers shared across :mod:`repro` subpackages."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import NotAPowerOfTwoError, WireError
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "require_power_of_two",
+    "require_wire",
+    "as_int_array",
+    "check_permutation_array",
+    "bit_reverse_int",
+    "rotate_left",
+    "rotate_right",
+    "lg",
+    "lglg",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two (1 counts)."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer base-2 logarithm of a power of two."""
+    require_power_of_two(n)
+    return n.bit_length() - 1
+
+
+def require_power_of_two(n: int, what: str = "size") -> int:
+    """Validate that ``n`` is a power of two and return it."""
+    if not is_power_of_two(n):
+        raise NotAPowerOfTwoError(f"{what} must be a power of two, got {n!r}")
+    return n
+
+
+def require_wire(w: int, n: int) -> int:
+    """Validate that ``w`` is a wire index in ``range(n)`` and return it."""
+    if not isinstance(w, (int, np.integer)) or isinstance(w, bool):
+        raise WireError(f"wire index must be an integer, got {w!r}")
+    if not 0 <= w < n:
+        raise WireError(f"wire index {w} out of range [0, {n})")
+    return int(w)
+
+
+def as_int_array(values: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Convert a sequence to a 1-D ``int64`` NumPy array (copying)."""
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise WireError(f"expected a 1-D sequence, got shape {arr.shape}")
+    return arr.copy()
+
+
+def check_permutation_array(mapping: np.ndarray, n: int) -> None:
+    """Validate that ``mapping`` is a permutation of ``range(n)``."""
+    if mapping.shape != (n,):
+        raise WireError(
+            f"permutation array has shape {mapping.shape}, expected ({n},)"
+        )
+    seen = np.zeros(n, dtype=bool)
+    if mapping.min(initial=0) < 0 or mapping.max(initial=-1) >= n:
+        raise WireError("permutation values out of range")
+    seen[mapping] = True
+    if not seen.all():
+        raise WireError("mapping is not a bijection on range(n)")
+
+
+def bit_reverse_int(x: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``x``."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (x & 1)
+        x >>= 1
+    return out
+
+
+def rotate_left(x: int, bits: int, amount: int = 1) -> int:
+    """Rotate the low ``bits`` bits of ``x`` left by ``amount``."""
+    amount %= bits
+    mask = (1 << bits) - 1
+    x &= mask
+    return ((x << amount) | (x >> (bits - amount))) & mask
+
+
+def rotate_right(x: int, bits: int, amount: int = 1) -> int:
+    """Rotate the low ``bits`` bits of ``x`` right by ``amount``."""
+    return rotate_left(x, bits, bits - (amount % bits))
+
+
+def lg(n: float) -> float:
+    """Base-2 logarithm, the paper's ``lg``."""
+    return math.log2(n)
+
+
+def lglg(n: float) -> float:
+    """``lg lg n``; requires ``n > 2`` for a positive result."""
+    return math.log2(math.log2(n))

@@ -1,0 +1,80 @@
+"""Verification and analysis: 0-1 principle, collisions, topologies, metrics."""
+
+from .verify import (
+    exhaustive_permutation_check,
+    find_unsorted_zero_one_input,
+    is_sorted_vector,
+    is_sorting_network,
+    random_sorting_fraction,
+    sorts_input,
+)
+from .zero_one import (
+    random_zero_one_subset,
+    sorts_zero_one_subset,
+    witness_count,
+    zero_one_inputs,
+    zero_one_witnesses,
+)
+from .collision_graph import (
+    adjacent_pairs_all_compared,
+    collision_graph,
+    uncompared_adjacent_pairs,
+    wire_collision_graph,
+)
+from .ground_truth import GroundTruth, exhaustive_uncompared_search
+from .metrics import (
+    NetworkMetrics,
+    comparators_per_level,
+    network_metrics,
+    wire_usage,
+)
+from .statistics import (
+    SortednessReport,
+    displacement_stats,
+    inversion_count,
+    inversion_counts_batch,
+    run_count,
+    sortedness_report,
+)
+from .properties import (
+    is_butterfly_topology,
+    is_delta_topology,
+    is_reverse_delta_topology,
+    reconstruct_reverse_delta,
+    reversed_levels_network,
+)
+
+__all__ = [
+    "is_sorting_network",
+    "find_unsorted_zero_one_input",
+    "exhaustive_permutation_check",
+    "random_sorting_fraction",
+    "sorts_input",
+    "is_sorted_vector",
+    "zero_one_inputs",
+    "zero_one_witnesses",
+    "witness_count",
+    "sorts_zero_one_subset",
+    "random_zero_one_subset",
+    "collision_graph",
+    "wire_collision_graph",
+    "uncompared_adjacent_pairs",
+    "adjacent_pairs_all_compared",
+    "GroundTruth",
+    "exhaustive_uncompared_search",
+    "NetworkMetrics",
+    "network_metrics",
+    "comparators_per_level",
+    "wire_usage",
+    "is_reverse_delta_topology",
+    "is_delta_topology",
+    "is_butterfly_topology",
+    "reconstruct_reverse_delta",
+    "reversed_levels_network",
+    "inversion_count",
+    "inversion_counts_batch",
+    "displacement_stats",
+    "run_count",
+    "SortednessReport",
+    "sortedness_report",
+]

@@ -1,0 +1,79 @@
+"""Collision graphs and the adjacent-pair observation of Section 2.
+
+"A sorting network has to make a comparison between all pairs of
+adjacent values in every input": if some input leaves a pair
+``{m, m+1}`` uncompared, swapping them produces a second input the
+network routes identically, so it cannot sort both.  This module builds
+the *collision graph* of an input -- vertices are values, edges are
+comparisons actually performed -- and extracts uncompared adjacent pairs,
+the direct (non-pattern) form of the paper's non-sorting witness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..networks.network import ComparatorNetwork
+
+__all__ = [
+    "collision_graph",
+    "uncompared_adjacent_pairs",
+    "adjacent_pairs_all_compared",
+    "wire_collision_graph",
+]
+
+
+def collision_graph(
+    network: ComparatorNetwork, values: Sequence[int] | np.ndarray
+) -> nx.Graph:
+    """Graph on *values* with one edge per comparison made on this input.
+
+    Edges carry the stage index of the (first) comparison.
+    """
+    trace = network.trace(values)
+    g = nx.Graph()
+    g.add_nodes_from(range(network.n))
+    for rec in trace.comparisons:
+        u, v = rec.values
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, stage=rec.stage)
+    return g
+
+
+def wire_collision_graph(
+    network: ComparatorNetwork, values: Sequence[int] | np.ndarray
+) -> nx.Graph:
+    """Graph on *input wires*: edges join wires whose values were compared.
+
+    This is Definition 3.6's collision relation for the given input.
+    """
+    values = np.asarray(values)
+    pos_of_value = {int(values[w]): w for w in range(network.n)}
+    g = nx.Graph()
+    g.add_nodes_from(range(network.n))
+    value_graph = collision_graph(network, values)
+    for u, v, data in value_graph.edges(data=True):
+        g.add_edge(pos_of_value[u], pos_of_value[v], **data)
+    return g
+
+
+def uncompared_adjacent_pairs(
+    network: ComparatorNetwork, values: Sequence[int] | np.ndarray
+) -> list[tuple[int, int]]:
+    """Adjacent value pairs ``(m, m+1)`` never compared on this input.
+
+    A nonempty result certifies (constructively) that the network is not
+    a sorting network -- the Section 2 observation.
+    """
+    g = collision_graph(network, values)
+    return [(m, m + 1) for m in range(network.n - 1) if not g.has_edge(m, m + 1)]
+
+
+def adjacent_pairs_all_compared(
+    network: ComparatorNetwork, values: Sequence[int] | np.ndarray
+) -> bool:
+    """Necessary condition for sorting: every ``{m, m+1}`` compared."""
+    return not uncompared_adjacent_pairs(network, values)

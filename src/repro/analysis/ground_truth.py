@@ -1,0 +1,83 @@
+"""Exhaustive ground truth for the lower-bound machinery (small ``n``).
+
+The adversary of Section 4 *constructs* an input with an uncompared
+adjacent pair.  For small networks we can instead search exhaustively:
+over all ``n!`` inputs, find every input with an uncompared adjacent pair
+(Section 2's observation).  The exhaustive search is the ground truth the
+pattern-based adversary is validated against in the integration tests:
+
+* whenever the adversary emits a certificate, the certified input must
+  appear in (or be consistent with) the exhaustive witness set;
+* whenever the exhaustive search finds *no* witness, the network sorts
+  and the adversary must have died (its survival would contradict
+  soundness).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..networks.network import ComparatorNetwork
+from .collision_graph import uncompared_adjacent_pairs
+
+__all__ = ["GroundTruth", "exhaustive_uncompared_search"]
+
+
+@dataclass
+class GroundTruth:
+    """Result of an exhaustive uncompared-adjacent-pair search."""
+
+    n: int
+    inputs_checked: int
+    witnesses: list[tuple[np.ndarray, tuple[int, int]]]
+    sorts_everything: bool
+
+    @property
+    def has_witness(self) -> bool:
+        """True iff some input leaves an adjacent pair uncompared."""
+        return bool(self.witnesses)
+
+
+def exhaustive_uncompared_search(
+    network: ComparatorNetwork,
+    max_wires: int = 8,
+    stop_at_first: bool = False,
+) -> GroundTruth:
+    """Search all ``n!`` inputs for uncompared adjacent value pairs.
+
+    Also records (via direct evaluation) whether the network sorts every
+    permutation, so the two notions can be cross-checked: a network that
+    sorts everything can have no witness, and -- for *comparator-only*
+    networks (no ``1`` exchange elements and no stage permutations, so
+    outputs are in wire order) -- a network with no witness sorts
+    everything on the tested inputs.
+    """
+    n = network.n
+    if n > max_wires:
+        raise ReproError(
+            f"exhaustive search over {n}! inputs refused (max_wires={max_wires})"
+        )
+    witnesses: list[tuple[np.ndarray, tuple[int, int]]] = []
+    sorts_everything = True
+    checked = 0
+    for perm in itertools.permutations(range(n)):
+        values = np.array(perm, dtype=np.int64)
+        checked += 1
+        out = network.evaluate(values)
+        if (np.diff(out) < 0).any():
+            sorts_everything = False
+        pairs = uncompared_adjacent_pairs(network, values)
+        if pairs:
+            witnesses.append((values, pairs[0]))
+            if stop_at_first:
+                break
+    return GroundTruth(
+        n=n,
+        inputs_checked=checked,
+        witnesses=witnesses,
+        sorts_everything=sorts_everything,
+    )

@@ -1,0 +1,79 @@
+"""Structural metrics of comparator networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..networks.gates import Op
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["NetworkMetrics", "network_metrics", "comparators_per_level", "wire_usage"]
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Summary statistics of one network."""
+
+    n: int
+    depth: int
+    comparator_depth: int
+    size: int
+    exchange_elements: int
+    nop_elements: int
+    max_level_width: int
+    mean_level_width: float
+    has_permutations: bool
+
+    def as_dict(self) -> dict[str, float | int | bool]:
+        """Plain-dict view for table printers."""
+        return {
+            "n": self.n,
+            "depth": self.depth,
+            "comparator_depth": self.comparator_depth,
+            "size": self.size,
+            "exchange_elements": self.exchange_elements,
+            "nop_elements": self.nop_elements,
+            "max_level_width": self.max_level_width,
+            "mean_level_width": self.mean_level_width,
+            "has_permutations": self.has_permutations,
+        }
+
+
+def comparators_per_level(network: ComparatorNetwork) -> list[int]:
+    """Comparator count of each stage, in order."""
+    return [s.comparator_count for s in network.stages]
+
+
+def wire_usage(network: ComparatorNetwork) -> np.ndarray:
+    """How many gates (of any kind) touch each wire."""
+    usage = np.zeros(network.n, dtype=np.int64)
+    for stage in network.stages:
+        for g in stage.level:
+            usage[g.a] += 1
+            usage[g.b] += 1
+    return usage
+
+
+def network_metrics(network: ComparatorNetwork) -> NetworkMetrics:
+    """Compute all summary metrics in one pass."""
+    widths = [s.comparator_count for s in network.stages]
+    exchanges = nops = 0
+    for stage in network.stages:
+        for g in stage.level:
+            if g.op is Op.SWAP:
+                exchanges += 1
+            elif g.op is Op.NOP:
+                nops += 1
+    return NetworkMetrics(
+        n=network.n,
+        depth=network.depth,
+        comparator_depth=network.comparator_depth,
+        size=network.size,
+        exchange_elements=exchanges,
+        nop_elements=nops,
+        max_level_width=max(widths, default=0),
+        mean_level_width=float(np.mean(widths)) if widths else 0.0,
+        has_permutations=not network.is_pure_circuit(),
+    )

@@ -1,0 +1,128 @@
+"""Sortedness statistics: inversions, displacement, runs.
+
+Vectorised measures of "how sorted" network outputs are, used by the
+average-case experiments (E8/E11) and available as a public API for
+custom studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..networks.network import ComparatorNetwork
+
+__all__ = [
+    "inversion_count",
+    "inversion_counts_batch",
+    "displacement_stats",
+    "run_count",
+    "SortednessReport",
+    "sortedness_report",
+]
+
+
+def inversion_count(values) -> int:
+    """Number of inversions (pairs out of order), via merge counting."""
+    arr = list(np.asarray(values).tolist())
+
+    def sort_count(a: list) -> tuple[list, int]:
+        if len(a) <= 1:
+            return a, 0
+        mid = len(a) // 2
+        left, cl = sort_count(a[:mid])
+        right, cr = sort_count(a[mid:])
+        merged: list = []
+        inv = cl + cr
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+                inv += len(left) - i
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inv
+
+    return sort_count(arr)[1]
+
+
+def inversion_counts_batch(batch: np.ndarray) -> np.ndarray:
+    """Inversion count per row of a ``(rows, n)`` array.
+
+    O(rows · n²) vectorised over rows via pairwise comparison masks --
+    fine for the `n <= 2^10` sizes the experiments use.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim != 2:
+        raise ReproError(f"expected a 2-D batch, got ndim={batch.ndim}")
+    n = batch.shape[1]
+    total = np.zeros(batch.shape[0], dtype=np.int64)
+    for i in range(n - 1):
+        total += (batch[:, i][:, None] > batch[:, i + 1 :]).sum(axis=1)
+    return total
+
+
+def displacement_stats(batch: np.ndarray) -> dict[str, float]:
+    """Mean/max |position - rank| over a batch of outputs.
+
+    Rows must be permutations of ``range(n)``.
+    """
+    batch = np.asarray(batch)
+    disp = np.abs(batch - np.arange(batch.shape[1]))
+    return {"mean": float(disp.mean()), "max": float(disp.max())}
+
+
+def run_count(values) -> int:
+    """Number of maximal nondecreasing runs (1 = sorted)."""
+    arr = np.asarray(values)
+    if arr.shape[0] <= 1:
+        return 1
+    return int((np.diff(arr) < 0).sum()) + 1
+
+
+@dataclass(frozen=True)
+class SortednessReport:
+    """Aggregate sortedness of a network's outputs on random inputs."""
+
+    n: int
+    trials: int
+    sorted_fraction: float
+    mean_inversions: float
+    max_inversions: int
+    mean_displacement: float
+    mean_runs: float
+
+    def __str__(self) -> str:
+        return (
+            f"SortednessReport(n={self.n}, sorted={self.sorted_fraction:.3f}, "
+            f"inv={self.mean_inversions:.2f}, disp={self.mean_displacement:.2f}, "
+            f"runs={self.mean_runs:.2f})"
+        )
+
+
+def sortedness_report(
+    network: ComparatorNetwork,
+    trials: int,
+    rng: np.random.Generator,
+) -> SortednessReport:
+    """Evaluate random permutations and summarise output sortedness."""
+    n = network.n
+    batch = np.stack([rng.permutation(n) for _ in range(trials)])
+    out = network.evaluate_batch(batch)
+    inv = inversion_counts_batch(out)
+    runs = (np.diff(out, axis=1) < 0).sum(axis=1) + 1
+    return SortednessReport(
+        n=n,
+        trials=trials,
+        sorted_fraction=float((inv == 0).mean()),
+        mean_inversions=float(inv.mean()),
+        max_inversions=int(inv.max()),
+        mean_displacement=displacement_stats(out)["mean"],
+        mean_runs=float(runs.mean()),
+    )

@@ -1,0 +1,245 @@
+"""Command-line interface: attack, verify, route, render, experiment.
+
+Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
+
+``attack``
+    Run the Plaxton-Suel adversary against a network family and print
+    the per-block trace; with ``--certificate`` also extract, verify and
+    (optionally) save the fooling pair.
+``verify``
+    0-1-principle verification of a named sorter or a serialised network
+    file.
+``route``
+    Compute Beneš / in-class shuffle routing for a permutation.
+``render``
+    Print the ASCII diagram of a named sorter or serialised network.
+``experiment``
+    Run one of the E1-E13 drivers and print its table.
+``bounds``
+    Print the paper's bound landscape for a given n.
+
+The CLI is deliberately thin: every command is one or two calls into the
+library, so it doubles as living documentation of the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .core import bounds as bounds_mod
+from .core.fooling import prove_not_sorting
+from .core.iterate import run_adversary, theorem41_guarantee
+from .experiments import ALL_EXPERIMENTS
+from .experiments.workloads import iterated_family
+from .machines.routing import benes_routing_network, sort_route_program
+from .networks import serialize
+from .networks.draw import render_network, render_stage_summary, to_dot
+from .networks.permutations import Permutation
+from .sorters.registry import get_sorter, sorter_names
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_network(path: str):
+    obj = serialize.loads(Path(path).read_text())
+    if hasattr(obj, "to_network"):
+        return obj.to_network()
+    return obj
+
+
+def _resolve_network(args) -> "object":
+    """Resolve --sorter NAME or --file PATH to an evaluable network."""
+    if getattr(args, "file", None):
+        return _load_network(args.file)
+    spec = get_sorter(args.sorter)
+    return spec.build(args.n)
+
+
+def cmd_attack(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    if getattr(args, "file", None):
+        from .core.attack import attack_circuit
+
+        outcome = attack_circuit(_load_network(args.file), k=args.k, rng=rng)
+    else:
+        network = iterated_family(args.family, args.n, args.blocks, rng)
+        outcome = prove_not_sorting(network, k=args.k, rng=rng)
+    run = outcome.run
+    target = args.file if getattr(args, "file", None) else (
+        f"{args.family} (n={args.n}, blocks={args.blocks})"
+    )
+    print(f"adversary vs {target} (k={run.k})")
+    print(f"{'block':>5} {'entering':>9} {'union':>7} {'survivor':>9} "
+          f"{'guarantee':>12}")
+    for rec in run.records:
+        print(f"{rec.block_index + 1:>5} {rec.entering_size:>9} "
+              f"{rec.union_size:>7} {rec.chosen_size:>9} "
+              f"{theorem41_guarantee(run.n, rec.block_index + 1):>12.3e}")
+    if outcome.proved_not_sorting:
+        cert = outcome.certificate
+        print(f"\nNOT a sorting network; verified fooling pair on wires "
+              f"{cert.wires}, values {cert.values}")
+        if args.certificate:
+            doc = {
+                "input_a": cert.input_a.tolist(),
+                "input_b": cert.input_b.tolist(),
+                "wires": list(cert.wires),
+                "values": list(cert.values),
+            }
+            Path(args.certificate).write_text(json.dumps(doc, indent=2))
+            print(f"certificate written to {args.certificate}")
+    else:
+        print("\ninconclusive: the special set collapsed "
+              f"(|D| = {len(run.special_set)})")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .analysis.verify import find_unsorted_zero_one_input
+
+    net = _resolve_network(args)
+    witness = find_unsorted_zero_one_input(net, max_wires=args.max_wires)
+    if witness is None:
+        print(f"sorting network: yes (all 2^{net.n} binary inputs sorted)")
+        return 0
+    print(f"sorting network: NO; unsorted 0-1 witness: {witness.tolist()}")
+    return 1
+
+
+def cmd_route(args) -> int:
+    perm = Permutation([int(x) for x in args.permutation.split(",")])
+    benes = benes_routing_network(perm)
+    print(f"Benes: {benes.depth} levels, {benes.element_count} switches")
+    if args.in_class:
+        prog = sort_route_program(perm)
+        print(f"in-class shuffle routing: {prog.depth} steps "
+              f"(shuffle-based: {prog.is_shuffle_based()})")
+    out = benes.evaluate(np.arange(perm.n))
+    ok = all(out[perm(i)] == i for i in range(perm.n))
+    print(f"verified: {ok}")
+    return 0 if ok else 1
+
+
+def cmd_render(args) -> int:
+    net = _resolve_network(args)
+    if args.summary:
+        print(render_stage_summary(net))
+    elif args.dot:
+        print(to_dot(net))
+    else:
+        print(render_network(net))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    name = args.name.upper()
+    if name == "ALL":
+        for key, fn in ALL_EXPERIMENTS.items():
+            table = fn()
+            print(table.format())
+            print()
+            if args.save:
+                table.save(args.save)
+        if args.save:
+            print(f"saved all tables to {args.save}")
+        return 0
+    if name not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {name!r}; available: "
+              f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    table = ALL_EXPERIMENTS[name]()
+    print(table.format())
+    if args.save:
+        path = table.save(args.save)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    n = args.n
+    print(f"bound landscape at n = {n}:")
+    print(f"  trivial lower bound (lg n)        : {bounds_mod.lg(n):.2f}")
+    print(f"  paper lower bound lg^2n/(4 lglg n): "
+          f"{bounds_mod.depth_lower_bound(n):.2f}")
+    print(f"  sharpened 1/(2+eps)               : "
+          f"{bounds_mod.depth_lower_bound_sharpened(n):.2f}")
+    print(f"  Batcher upper bound               : "
+          f"{bounds_mod.batcher_depth(n):.2f}")
+    print(f"  AKS (Paterson constant, literature): "
+          f"{bounds_mod.lg(n) * 6100:.0f}")
+    print(f"  max guaranteed-safe blocks d      : "
+          f"{bounds_mod.max_safe_blocks(n)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable Plaxton-Suel (SPAA 1992) lower-bound toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("attack", help="run the adversary against a network")
+    p.add_argument("--family", default="random_iterated",
+                   help="bitonic | random_iterated | butterfly | ...")
+    p.add_argument("-n", type=int, default=64)
+    p.add_argument("--blocks", type=int, default=3)
+    p.add_argument("-k", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--certificate", metavar="PATH",
+                   help="write the verified fooling pair as JSON")
+    p.add_argument("--file", help="attack a serialised network JSON instead "
+                   "(class structure is recognised automatically)")
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("verify", help="0-1 verification of a network")
+    p.add_argument("--sorter", default="bitonic",
+                   help=f"one of: {', '.join(sorter_names())}")
+    p.add_argument("-n", type=int, default=16)
+    p.add_argument("--file", help="serialised network JSON instead")
+    p.add_argument("--max-wires", type=int, default=24)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("route", help="route a permutation")
+    p.add_argument("permutation", help="comma-separated targets, e.g. 3,1,0,2")
+    p.add_argument("--in-class", action="store_true",
+                   help="also build the strict shuffle-based router")
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("render", help="ASCII diagram of a network")
+    p.add_argument("--sorter", default="bitonic")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--file", help="serialised network JSON instead")
+    p.add_argument("--summary", action="store_true")
+    p.add_argument("--dot", action="store_true",
+                   help="emit Graphviz DOT instead of ASCII")
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("experiment", help="run an E1-E13 driver")
+    p.add_argument("name", help="e1 .. e13, or 'all'")
+    p.add_argument("--save", metavar="DIR", help="archive the table")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("bounds", help="print the bound landscape at n")
+    p.add_argument("-n", type=int, default=1 << 16)
+    p.set_defaults(func=cmd_bounds)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

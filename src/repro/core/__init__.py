@@ -1,0 +1,86 @@
+"""The paper's contribution, executable: patterns, adversary, certificates.
+
+* :mod:`repro.core.alphabet`, :mod:`repro.core.pattern` -- the pattern
+  alphabet and refinement calculus of Section 3;
+* :mod:`repro.core.propagate`, :mod:`repro.core.collision` --
+  Definition 3.5-3.7 made operational;
+* :mod:`repro.core.adversary` -- Lemma 4.1 as an algorithm;
+* :mod:`repro.core.iterate` -- Theorem 4.1's block loop;
+* :mod:`repro.core.fooling`, :mod:`repro.core.certificates` --
+  Corollary 4.1.1 and verifiable non-sorting witnesses;
+* :mod:`repro.core.bounds` -- every closed-form bound in the paper.
+"""
+
+from .alphabet import L, M, S, Symbol, X, sort_symbols, symbol_from_string
+from .pattern import Pattern, all_medium_pattern, combine, oplus_parts, sml_pattern
+from .propagate import SymbolicState, propagate, propagate_with_tokens
+from .collision import (
+    CollisionStatus,
+    classify_collision,
+    collide_under_input,
+    is_noncolliding_set,
+    is_noncolliding_under_input,
+    noncolliding_certificate,
+)
+from .adversary import (
+    Lemma41Result,
+    Lemma41Trace,
+    NodeRecord,
+    SHIFT_STRATEGIES,
+    run_lemma41,
+    t_sets,
+)
+from .iterate import (
+    AdversaryRun,
+    BlockRecord,
+    SET_CHOICES,
+    run_adversary,
+    theorem41_guarantee,
+)
+from .fooling import FoolingOutcome, extract_fooling_pair, prove_not_sorting
+from .certificates import NonSortingCertificate
+from .attack import attack_circuit, recognize_iterated_rdn
+from . import bounds, serialize
+
+__all__ = [
+    "Symbol",
+    "S",
+    "X",
+    "M",
+    "L",
+    "symbol_from_string",
+    "sort_symbols",
+    "Pattern",
+    "sml_pattern",
+    "all_medium_pattern",
+    "combine",
+    "oplus_parts",
+    "SymbolicState",
+    "propagate",
+    "propagate_with_tokens",
+    "CollisionStatus",
+    "collide_under_input",
+    "classify_collision",
+    "is_noncolliding_under_input",
+    "noncolliding_certificate",
+    "is_noncolliding_set",
+    "run_lemma41",
+    "Lemma41Result",
+    "Lemma41Trace",
+    "NodeRecord",
+    "SHIFT_STRATEGIES",
+    "t_sets",
+    "run_adversary",
+    "AdversaryRun",
+    "BlockRecord",
+    "SET_CHOICES",
+    "theorem41_guarantee",
+    "extract_fooling_pair",
+    "prove_not_sorting",
+    "FoolingOutcome",
+    "NonSortingCertificate",
+    "attack_circuit",
+    "recognize_iterated_rdn",
+    "bounds",
+    "serialize",
+]

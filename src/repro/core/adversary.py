@@ -1,0 +1,391 @@
+"""The executable Lemma 4.1: special-set maintenance in one reverse delta block.
+
+Lemma 4.1 (paper, Section 4).  Given an ``l``-level reverse delta network
+:math:`\\Delta` and a pattern ``p`` over its wires using only
+:math:`\\mathcal{S}_0, \\mathcal{M}_0, \\mathcal{L}_0`, with
+:math:`[\\mathcal{M}_0]`-set ``A``, and any positive integer ``k``, there
+is an ``A``-refinement ``q`` of ``p`` and ``t(l) = k^3 + l k^2`` disjoint
+wire sets :math:`M_0, \\ldots, M_{t(l)-1}` such that
+
+1. every :math:`M_i` is the :math:`[\\mathcal{M}_i]`-set of ``q``;
+2. every :math:`M_i` is noncolliding in :math:`\\Delta` under ``q``;
+3. :math:`B = \\bigcup_i M_i \\subseteq A`; and
+4. :math:`|B| \\ge |A| - l|A|/k^2`.
+
+The proof is by induction on the recursive structure of
+Definition 3.4, and -- crucially for this library -- it is *algorithmic*:
+this module runs the induction on a concrete
+:class:`~repro.networks.delta.ReverseDeltaNetwork`, producing the refined
+pattern, the sets, the symbolic output state, and a per-level trace.
+
+Algorithmic skeleton (matching the proof text):
+
+* recurse into the two child networks, obtaining their set collections
+  and refined patterns;
+* scan the node's final level :math:`\\Gamma_{l+1}` for **collision
+  sets** :math:`C_{i,j}` -- child-0 tokens of set :math:`M_{0,i}` meeting
+  child-1 tokens of set :math:`M_{1,j}` at a comparator (token positions
+  are deterministic by Lemma 3.2, so this scan is exact);
+* for each shift ``s`` in ``[0, k^2)`` compute :math:`L_s =
+  \\bigcup_j C_{j, j-s}` and pick :math:`i_0` -- the paper's averaging
+  argument guarantees some :math:`|L_{i_0}| \\le |B_0|/k^2`; we default to
+  the argmin, which is never worse (strategies are pluggable for the E2
+  ablation);
+* **demote** the wires of :math:`C_{j, j-i_0}` from :math:`\\mathcal{M}_j`
+  to a fresh :math:`\\mathcal{X}_{j, j_0}` (refinement step 2), and
+  **shift** every child-1 band symbol up by :math:`i_0` (step 2'), which
+  merges :math:`M_{1, j-i_0}` into the new :math:`M_j`;
+* steps 1/1' of the paper (clearing indices above ``t(l)``) are no-ops
+  here because the recursion never mints such indices -- asserted, not
+  assumed.
+
+The global-index bookkeeping uses one shared symbol array per position
+and one per input wire, mutated in place; children touch disjoint
+positions, so the recursion needs no copying.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import PatternError, PropagationError
+from ..networks.delta import ReverseDeltaNetwork
+from ..networks.gates import Op
+from .alphabet import M, Symbol, X
+from .pattern import Pattern
+from .propagate import SymbolicState
+
+__all__ = [
+    "t_sets",
+    "ShiftStrategy",
+    "SHIFT_STRATEGIES",
+    "NodeRecord",
+    "Lemma41Trace",
+    "Lemma41Result",
+    "run_lemma41",
+]
+
+
+def t_sets(l: int, k: int) -> int:
+    """The set count :math:`t(l) = k^3 + l k^2` of Lemma 4.1."""
+    return k**3 + l * k * k
+
+
+#: A shift strategy picks ``i_0`` from the per-shift loss table.  Called
+#: with ``(losses, k, rng)`` where ``losses[s]`` is ``|L_s|`` for shifts
+#: ``s`` in ``[0, k^2)``; must return the chosen shift.
+ShiftStrategy = Callable[[list[int], int, np.random.Generator], int]
+
+
+def _shift_argmin(losses: list[int], k: int, rng: np.random.Generator) -> int:
+    return int(np.argmin(losses))
+
+
+def _shift_random(losses: list[int], k: int, rng: np.random.Generator) -> int:
+    return int(rng.integers(0, len(losses)))
+
+
+def _shift_worst(losses: list[int], k: int, rng: np.random.Generator) -> int:
+    return int(np.argmax(losses))
+
+
+SHIFT_STRATEGIES: dict[str, ShiftStrategy] = {
+    "argmin": _shift_argmin,
+    "random": _shift_random,
+    "worst": _shift_worst,
+}
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Statistics for one tree node's recombination step."""
+
+    height: int
+    collisions: int
+    chosen_shift: int
+    demoted: int
+    elements_after: int
+
+
+@dataclass
+class Lemma41Trace:
+    """Per-node and per-level statistics of one Lemma 4.1 run."""
+
+    nodes: list[NodeRecord] = field(default_factory=list)
+
+    def demoted_by_height(self) -> dict[int, int]:
+        """Total elements lost (demoted) per tree height."""
+        out: dict[int, int] = defaultdict(int)
+        for rec in self.nodes:
+            out[rec.height] += rec.demoted
+        return dict(out)
+
+    @property
+    def total_demoted(self) -> int:
+        """Elements lost to demotion across the whole run."""
+        return sum(rec.demoted for rec in self.nodes)
+
+    @property
+    def total_collisions(self) -> int:
+        """Token-token comparator meetings observed across all nodes."""
+        return sum(rec.collisions for rec in self.nodes)
+
+
+@dataclass
+class Lemma41Result:
+    """Everything Lemma 4.1 promises, computed for a concrete network.
+
+    Attributes
+    ----------
+    pattern:
+        The refined pattern ``q`` (an ``A``-refinement of the input
+        pattern) on the block's input wires.
+    sets:
+        Sparse map ``i -> M_i`` (only nonempty sets are present).
+    t:
+        The nominal set count ``t(l)``; every key of ``sets`` is ``< t``.
+    state:
+        Symbols per *output* position under ``q`` and the token map
+        ``position -> input wire`` for every special-set element.
+    a_size, b_size:
+        ``|A|`` and ``|B|``; Property 4 says
+        ``b_size >= a_size - l * a_size / k**2``.
+    trace:
+        Per-node statistics.
+    """
+
+    pattern: Pattern
+    sets: dict[int, frozenset[int]]
+    t: int
+    k: int
+    levels: int
+    state: SymbolicState
+    a_size: int
+    b_size: int
+    trace: Lemma41Trace
+
+    @property
+    def retained_fraction(self) -> float:
+        """``|B| / |A|`` (1.0 when ``A`` is empty)."""
+        return self.b_size / self.a_size if self.a_size else 1.0
+
+    @property
+    def guarantee(self) -> float:
+        """The proof's floor ``|A| * (1 - l / k^2)`` for ``|B|``."""
+        return self.a_size * (1.0 - self.levels / (self.k * self.k))
+
+    def largest_set(self) -> tuple[int, frozenset[int]]:
+        """The index and members of the largest special set."""
+        if not self.sets:
+            return (0, frozenset())
+        idx = max(self.sets, key=lambda i: (len(self.sets[i]), -i))
+        return idx, self.sets[idx]
+
+    def union(self) -> frozenset[int]:
+        """``B``: all wires surviving in some special set."""
+        out: set[int] = set()
+        for s in self.sets.values():
+            out |= s
+        return frozenset(out)
+
+
+def run_lemma41(
+    rdn: ReverseDeltaNetwork,
+    pattern: Pattern,
+    k: int,
+    *,
+    shift_strategy: str | ShiftStrategy = "argmin",
+    rng: np.random.Generator | None = None,
+    check_guarantee: bool = True,
+) -> Lemma41Result:
+    """Run the Lemma 4.1 adversary on one reverse delta network.
+
+    Parameters
+    ----------
+    rdn:
+        The block; must cover wires ``0 .. n-1`` exactly.
+    pattern:
+        Input pattern using only ``S0``/``M0``/``L0`` (the lemma's
+        precondition; validated).
+    k:
+        The lemma's parameter; the paper uses ``k = lg n``.
+    shift_strategy:
+        How ``i_0`` is chosen per node: ``"argmin"`` (default; never
+        worse than the paper's averaging bound), ``"random"``,
+        ``"worst"``, or a custom callable.
+    rng:
+        Random generator for stochastic strategies.
+    check_guarantee:
+        Assert Property 4 when the strategy is ``"argmin"``.
+
+    Returns
+    -------
+    Lemma41Result
+    """
+    if k < 1:
+        raise PatternError(f"k must be positive, got {k}")
+    n = pattern.n
+    if set(rdn.wires) != set(range(n)):
+        raise PatternError(
+            "the block must cover the pattern's wires 0..n-1 exactly"
+        )
+    pattern.validate_sml()
+    strategy: ShiftStrategy = (
+        SHIFT_STRATEGIES[shift_strategy]
+        if isinstance(shift_strategy, str)
+        else shift_strategy
+    )
+    rng = rng if rng is not None else np.random.default_rng(0)
+    k2 = k * k
+
+    a_set = pattern.m_set(0)
+    # Global mutable state.  Children own disjoint positions, so one array
+    # per role suffices for the whole recursion.
+    assign: list[Symbol] = list(pattern.symbols)  # refined input pattern
+    sym: list[Symbol] = list(pattern.symbols)  # symbol at each position
+    tok: dict[int, int] = {w: w for w in a_set}  # position -> input wire
+    trace = Lemma41Trace()
+    fresh_x = [0]  # next fresh second index for demotion symbols
+
+    def recurse(node: ReverseDeltaNetwork) -> dict[int, set[int]]:
+        if node.is_leaf:
+            w = node.wires[0]
+            return {0: {w}} if assign[w] is M(0) else {}
+        sets0 = recurse(node.child0)
+        sets1 = recurse(node.child1)
+        t_child = t_sets(node.levels - 1, k)
+
+        # --- collision scan over the final level ------------------------
+        # C[(i, j)]: child-0 wires of M_{0,i} meeting child-1 tokens of
+        # M_{1,j} at a comparator, with the position they occupy.
+        collisions: dict[tuple[int, int], list[tuple[int, int]]] = defaultdict(list)
+        n_collisions = 0
+        for g in node.final:
+            if not g.op.is_comparator:
+                continue
+            wa = tok.get(g.a)
+            wb = tok.get(g.b)
+            if wa is None or wb is None:
+                continue
+            sa, sb = sym[g.a], sym[g.b]
+            assert sa.is_medium and sb.is_medium, "tracked token lost its symbol"
+            collisions[(sa.i, sb.i)].append((wa, g.a))
+            n_collisions += 1
+
+        # --- choose the shift i_0 ---------------------------------------
+        losses = [0] * k2
+        for (i, j), entries in collisions.items():
+            s = i - j
+            if 0 <= s < k2:
+                losses[s] += len(entries)
+        i0 = strategy(losses, k, rng)
+        if not 0 <= i0 < k2:
+            raise PatternError(f"shift strategy returned {i0} outside [0, {k2})")
+
+        # --- demote colliding child-0 wires (refinement step 2) -----------
+        j0 = fresh_x[0]
+        fresh_x[0] += 1
+        demoted = 0
+        for (i, j), entries in collisions.items():
+            if i - j != i0:
+                continue
+            for wire, pos in entries:
+                new_sym = X(i, j0)
+                assign[wire] = new_sym
+                sym[pos] = new_sym
+                del tok[pos]
+                demoted += 1
+            if i in sets0:
+                sets0[i] -= {wire for wire, _ in entries}
+                if not sets0[i]:
+                    del sets0[i]
+
+        # --- shift child-1 band symbols up by i_0 (step 2') ---------------
+        if i0:
+            for w in node.child1.wires:
+                if assign[w].is_medium or assign[w].is_x:
+                    assign[w] = assign[w].shifted(i0)
+                s = sym[w]
+                if s.is_medium or s.is_x:
+                    sym[w] = s.shifted(i0)
+
+        # --- merge the set collections -----------------------------------
+        merged: dict[int, set[int]] = sets0
+        for j, s in sets1.items():
+            idx = j + i0
+            if idx in merged:
+                merged[idx] |= s
+            else:
+                merged[idx] = s
+
+        # --- run the final level on the symbolic state -------------------
+        for g in node.final:
+            _apply_gate(g)
+
+        trace.nodes.append(
+            NodeRecord(
+                height=node.levels,
+                collisions=n_collisions,
+                chosen_shift=i0,
+                demoted=demoted,
+                elements_after=sum(len(s) for s in merged.values()),
+            )
+        )
+        return merged
+
+    def _apply_gate(g) -> None:
+        a, b = g.a, g.b
+        if g.op is Op.NOP:
+            return
+
+        def swap() -> None:
+            sym[a], sym[b] = sym[b], sym[a]
+            oa = tok.pop(a, None)
+            ob = tok.pop(b, None)
+            if oa is not None:
+                tok[b] = oa
+            if ob is not None:
+                tok[a] = ob
+
+        if g.op is Op.SWAP:
+            swap()
+            return
+        sa, sb = sym[a], sym[b]
+        if sa is sb:
+            if a in tok or b in tok:
+                raise PropagationError(
+                    "two equal-symbol tokens met at the final level after "
+                    "demotion; this indicates a bug in the recombination"
+                )
+            return
+        if (sa < sb) != (g.op is Op.PLUS):
+            swap()
+
+    sets = recurse(rdn)
+    result_sets = {i: frozenset(s) for i, s in sets.items() if s}
+    b_size = sum(len(s) for s in result_sets.values())
+    levels = rdn.levels
+    t = t_sets(levels, k)
+    assert all(0 <= i < t for i in result_sets), "set index outside t(l)"
+    result = Lemma41Result(
+        pattern=Pattern(assign),
+        sets=result_sets,
+        t=t,
+        k=k,
+        levels=levels,
+        state=SymbolicState(symbols=sym, origin=tok),
+        a_size=len(a_set),
+        b_size=b_size,
+        trace=trace,
+    )
+    if check_guarantee and strategy is _shift_argmin:
+        if b_size < result.guarantee - 1e-9:
+            raise AssertionError(
+                f"Lemma 4.1 guarantee violated: |B|={b_size} < "
+                f"{result.guarantee} = |A|(1 - l/k^2)"
+            )
+    return result

@@ -1,0 +1,99 @@
+"""Attack arbitrary circuits: recognise the class, then run the adversary.
+
+The lower bound speaks about *iterated reverse delta networks*, but a
+user typically holds a plain :class:`~repro.networks.network.
+ComparatorNetwork`.  This module closes the gap:
+
+1. flatten away stage permutations (they fold into wire relabellings
+   plus one trailing output permutation, which cannot affect whether two
+   values are ever compared);
+2. group the levels into consecutive ``lg n``-level blocks, padding the
+   last block with empty levels (empty levels are valid in
+   Definition 3.4);
+3. reconstruct each block's reverse-delta tree with
+   :func:`repro.analysis.properties.reconstruct_reverse_delta`;
+4. run the Theorem 4.1 adversary on the assembled iterated network.
+
+If some block is *not* a reverse delta network the circuit is outside
+the class and :class:`~repro.errors.TopologyError` is raised -- the
+lower bound simply does not apply to it (e.g. the odd-even merge
+sorter), which is honest and exactly what the paper says.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ilog2, is_power_of_two
+from ..errors import TopologyError
+from ..networks.delta import IteratedReverseDeltaNetwork
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+from ..analysis.properties import reconstruct_reverse_delta
+from .fooling import FoolingOutcome, prove_not_sorting
+
+__all__ = ["recognize_iterated_rdn", "attack_circuit"]
+
+
+def recognize_iterated_rdn(
+    network: ComparatorNetwork,
+) -> IteratedReverseDeltaNetwork:
+    """Reconstruct the iterated-reverse-delta structure of a circuit.
+
+    The network's stage permutations are flattened first; the trailing
+    residual output permutation (if any) is dropped, which is sound for
+    collision analysis: it moves values after the last comparison.
+    Levels are then grouped into ``lg n``-sized blocks (the last block is
+    padded with empty levels) and each group is reconstructed as a
+    reverse delta tree.
+
+    Raises :class:`TopologyError` if any block falls outside
+    Definition 3.4.
+    """
+    n = network.n
+    if not is_power_of_two(n):
+        raise TopologyError(f"class requires a power-of-two wire count, got {n}")
+    l = ilog2(n)
+    flat = network.flattened()
+    stages = list(flat.stages)
+    # drop the trailing pure-permutation stage flattening may add
+    if stages and stages[-1].perm is not None and not stages[-1].level.gates:
+        stages = stages[:-1]
+    if any(s.perm is not None for s in stages):  # pragma: no cover - defensive
+        raise TopologyError("flattening left an interior permutation")
+    levels = [s.level for s in stages]
+    if l == 0:
+        return IteratedReverseDeltaNetwork(n, [])
+    while len(levels) % l:
+        levels.append(Level(()))
+    blocks = []
+    for start in range(0, len(levels), l):
+        group = ComparatorNetwork(n, levels[start : start + l])
+        try:
+            rdn = reconstruct_reverse_delta(group)
+        except TopologyError as exc:
+            raise TopologyError(
+                f"levels {start}..{start + l - 1} do not form a reverse "
+                f"delta network: {exc}"
+            ) from exc
+        blocks.append((None, rdn))
+    return IteratedReverseDeltaNetwork(n, blocks)
+
+
+def attack_circuit(
+    network: ComparatorNetwork,
+    *,
+    k: int | None = None,
+    rng: np.random.Generator | None = None,
+    **adversary_kwargs,
+) -> FoolingOutcome:
+    """Recognise a plain circuit's class structure and attack it.
+
+    Combines :func:`recognize_iterated_rdn` with
+    :func:`repro.core.fooling.prove_not_sorting`.  The returned
+    certificate (if any) is verified against the *recognised* network,
+    which computes the same comparisons as the original up to the
+    dropped trailing output permutation.
+    """
+    iterated = recognize_iterated_rdn(network)
+    return prove_not_sorting(iterated, k=k, rng=rng, **adversary_kwargs)

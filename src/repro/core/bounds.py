@@ -1,0 +1,165 @@
+"""Closed-form bounds from the paper (Sections 1, 4, 5).
+
+Every quantitative claim in the paper as an executable formula, used by
+the E1/E3/E5 benchmarks to print the claimed curve next to the measured
+one:
+
+* Corollary 4.1.1's depth lower bound
+  :math:`\\lg^2 n / (4 \\lg\\lg n)` blocks-free form and the
+  :math:`\\Omega(\\lg^2 n / \\lg\\lg n)` shape;
+* the block-count threshold ``d < lg n / (4 lg lg n)`` under which the
+  special set provably survives;
+* Lemma 4.1's set count ``t(l)`` and retention floor;
+* Theorem 4.1's survivor floor :math:`n / \\lg^{4d} n`;
+* the Section 5 extension for a free permutation every ``f(n)`` stages:
+  lower bound :math:`\\Omega(\\lg n \\cdot f(n) / \\lg f(n))` against the
+  AKS-emulation upper bound :math:`O(\\lg n \\cdot f(n))`;
+* Batcher's upper bound :math:`\\lg n(\\lg n + 1)/2`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ReproError
+
+__all__ = [
+    "lg",
+    "lglg",
+    "lemma41_sets",
+    "lemma41_retention_floor",
+    "theorem41_floor",
+    "max_safe_blocks",
+    "depth_lower_bound",
+    "depth_lower_bound_sharpened",
+    "batcher_depth",
+    "extension_lower_bound",
+    "extension_upper_bound",
+    "randomized_upper_bound_shape",
+    "average_case_upper_bound_shape",
+]
+
+
+def _require(n: int, minimum: int = 4) -> None:
+    if n < minimum:
+        raise ReproError(f"bound requires n >= {minimum}, got {n}")
+
+
+def lg(n: float) -> float:
+    """Base-2 logarithm (the paper's ``lg``)."""
+    return math.log2(n)
+
+
+def lglg(n: float) -> float:
+    """``lg lg n``."""
+    return math.log2(math.log2(n))
+
+
+def lemma41_sets(l: int, k: int) -> int:
+    """``t(l) = k^3 + l k^2`` (Lemma 4.1)."""
+    return k**3 + l * k * k
+
+
+def lemma41_retention_floor(a_size: int, l: int, k: int) -> float:
+    """Property 4 of Lemma 4.1: ``|B| >= |A| - l |A| / k^2``."""
+    return a_size * (1.0 - l / (k * k))
+
+
+def theorem41_floor(n: int, d: int) -> float:
+    """Theorem 4.1: ``|D| >= n / lg^{4d} n`` (with ``l = k = lg n``).
+
+    Computed in log space so astronomically large ``n`` (used when
+    checking the asymptotics of :func:`max_safe_blocks`) do not overflow;
+    values beyond the float range saturate to ``inf``.
+    """
+    _require(n, 2)
+    if d == 0:
+        return float(n)
+    log2_floor = lg(n) - 4 * d * math.log2(lg(n))
+    try:
+        return 2.0 ** log2_floor
+    except OverflowError:  # pragma: no cover - enormous n only
+        return math.inf
+
+
+def max_safe_blocks(n: int) -> int:
+    """Largest ``d`` with ``n / lg^{4d} n > 1`` -- Corollary 4.1.1's range.
+
+    For every ``(d, lg n)``-iterated reverse delta network with ``d`` at
+    most this value, the proof guarantees a surviving pair and hence a
+    fooling input.  Equals ``floor`` of ``lg n / (4 lg lg n)`` up to the
+    integrality slack.  Decided in log space: ``n / lg^{4d} n > 1``
+    iff ``lg n > 4 d lg lg n``.
+    """
+    _require(n, 8)
+    d = 0
+    while lg(n) - 4 * (d + 1) * math.log2(lg(n)) > 0:
+        d += 1
+    return d
+
+
+def depth_lower_bound(n: int) -> float:
+    """The headline bound: depth ``> lg^2 n / (4 lg lg n)`` stages.
+
+    A ``(d, lg n)``-iterated reverse delta network has ``d lg n`` stages;
+    sorting requires ``d >= lg n / (4 lg lg n)``, i.e. depth at least
+    ``lg^2 n / (4 lg lg n)`` -- the :math:`\\Omega(\\lg^2 n/\\lg\\lg n)`
+    of the title with the proof's constant ``1/4``.
+    """
+    _require(n)
+    return lg(n) ** 2 / (4.0 * lglg(n))
+
+
+def depth_lower_bound_sharpened(n: int, eps: float = 0.1) -> float:
+    """The sharpened constant the paper notes: ``1/(2 + eps)`` instead of ``1/4``."""
+    _require(n)
+    if eps <= 0:
+        raise ReproError(f"eps must be positive, got {eps}")
+    return lg(n) ** 2 / ((2.0 + eps) * lglg(n))
+
+
+def batcher_depth(n: int) -> float:
+    """Batcher's upper bound ``lg n (lg n + 1) / 2`` comparator levels."""
+    _require(n, 2)
+    d = lg(n)
+    return d * (d + 1) / 2.0
+
+
+def extension_lower_bound(n: int, f: float) -> float:
+    """Section 5 extension: free permutation every ``f`` stages.
+
+    Splitting into :math:`2^{f} f^c` sets per truncated block yields
+    :math:`\\Omega(\\lg n \\cdot f / \\lg f)`; we return the shape
+    ``lg n * f / (4 lg f)`` with the same constant convention as
+    :func:`depth_lower_bound` (for ``f = lg n`` the two coincide).
+    """
+    _require(n)
+    if f < 2:
+        raise ReproError(f"need f >= 2, got {f}")
+    return lg(n) * f / (4.0 * math.log2(f))
+
+
+def extension_upper_bound(n: int, f: float) -> float:
+    """Upper bound ``O(lg n * f)`` by straightforward AKS emulation.
+
+    Returned without the (large) AKS constant: the benchmark prints the
+    shape ``lg n * f``; see
+    :data:`repro.sorters.aks_proxy.PATERSON_DEPTH_CONSTANT` for honest
+    constants.
+    """
+    _require(n)
+    if f < 1:
+        raise ReproError(f"need f >= 1, got {f}")
+    return lg(n) * f
+
+
+def randomized_upper_bound_shape(n: int) -> float:
+    """Section 5: randomized shuffle-based sorters reach ``O(lg n lg lg n)``."""
+    _require(n)
+    return lg(n) * lglg(n)
+
+
+def average_case_upper_bound_shape(n: int) -> float:
+    """Section 5: average-case sorting depth ``O(lg n lg lg lg n)``."""
+    _require(n, 17)
+    return lg(n) * math.log2(lglg(n))

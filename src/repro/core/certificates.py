@@ -1,0 +1,115 @@
+"""Machine-checkable certificates produced by the lower-bound machinery.
+
+A :class:`NonSortingCertificate` packages the Corollary 4.1.1 witness --
+two concrete inputs differing by a swap of the adjacent values ``m`` and
+``m+1`` that the network never compares -- together with a
+:meth:`~NonSortingCertificate.verify` method that re-checks everything by
+direct circuit evaluation, independently of the pattern machinery that
+produced it:
+
+1. both inputs are permutations differing exactly by the ``m``/``m+1``
+   swap;
+2. the traced evaluation of the first input never compares ``m`` with
+   ``m+1``;
+3. the network routes both inputs identically (the outputs differ exactly
+   by the positions of ``m`` and ``m+1``);
+4. consequently at least one of the two outputs is unsorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CertificateError
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["NonSortingCertificate"]
+
+
+@dataclass(frozen=True)
+class NonSortingCertificate:
+    """A verified witness that a network is not a sorting network."""
+
+    input_a: np.ndarray
+    input_b: np.ndarray
+    wires: tuple[int, int]
+    values: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "input_a", np.asarray(self.input_a, dtype=np.int64))
+        object.__setattr__(self, "input_b", np.asarray(self.input_b, dtype=np.int64))
+
+    @property
+    def n(self) -> int:
+        """Number of wires."""
+        return int(self.input_a.shape[0])
+
+    def verify(self, network: ComparatorNetwork, strict: bool = True) -> bool:
+        """Re-check the certificate against the network by evaluation.
+
+        Raises :class:`~repro.errors.CertificateError` on failure when
+        ``strict``; otherwise returns False.
+        """
+        try:
+            self._verify_or_raise(network)
+        except CertificateError:
+            if strict:
+                raise
+            return False
+        return True
+
+    def _verify_or_raise(self, network: ComparatorNetwork) -> None:
+        n = self.n
+        if network.n != n:
+            raise CertificateError(
+                f"certificate is for {n} wires, network has {network.n}"
+            )
+        a, b = self.input_a, self.input_b
+        m, m1 = self.values
+        w0, w1 = self.wires
+        if m1 != m + 1:
+            raise CertificateError(f"values {self.values} are not adjacent")
+        if sorted(a.tolist()) != list(range(n)) or sorted(b.tolist()) != list(
+            range(n)
+        ):
+            raise CertificateError("inputs are not permutations of 0..n-1")
+        if {int(a[w0]), int(a[w1])} != {m, m1}:
+            raise CertificateError("wires do not carry the claimed values")
+        diff = np.nonzero(a != b)[0]
+        if set(diff.tolist()) != {w0, w1} or int(b[w0]) != int(a[w1]) or int(
+            b[w1]
+        ) != int(a[w0]):
+            raise CertificateError("inputs do not differ by the claimed swap")
+
+        trace = network.trace(a)
+        if trace.were_compared(m, m1):
+            raise CertificateError(
+                f"the values {m} and {m + 1} were compared; the special set "
+                "was not noncolliding"
+            )
+        out_a = trace.output
+        out_b = network.evaluate(b)
+        pos_m = int(np.nonzero(out_a == m)[0][0])
+        pos_m1 = int(np.nonzero(out_a == m1)[0][0])
+        expected_b = out_a.copy()
+        expected_b[pos_m], expected_b[pos_m1] = m1, m
+        if not np.array_equal(out_b, expected_b):
+            raise CertificateError(
+                "network did not route both inputs identically; the "
+                "uncompared-pair argument fails"
+            )
+        sorted_a = bool((np.diff(out_a) >= 0).all())
+        sorted_b = bool((np.diff(out_b) >= 0).all())
+        if sorted_a and sorted_b:
+            raise CertificateError(
+                "both outputs sorted -- impossible for a genuine certificate"
+            )
+
+    def unsorted_input(self, network: ComparatorNetwork) -> np.ndarray:
+        """Return one of the two inputs that the network fails to sort."""
+        out_a = network.evaluate(self.input_a)
+        if not bool((np.diff(out_a) >= 0).all()):
+            return self.input_a.copy()
+        return self.input_b.copy()

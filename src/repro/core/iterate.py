@@ -1,0 +1,281 @@
+"""The executable Theorem 4.1: iterating Lemma 4.1 over consecutive blocks.
+
+Theorem 4.1 (paper, Section 4).  For a ``(d, l)``-iterated reverse delta
+network on ``n >= 8`` wires there is a pattern ``p`` using only
+:math:`\\mathcal{S}_0, \\mathcal{M}_0, \\mathcal{L}_0` whose
+:math:`[\\mathcal{M}_0]`-set ``D`` is noncolliding in the whole network
+and has :math:`|D| \\ge n / \\lg^{4d} n` (for ``l = k = lg n``).
+
+The constructive loop implemented here, per block:
+
+1. move the symbolic cut state through the inter-block permutation;
+2. run :func:`~repro.core.adversary.run_lemma41` on the block with the
+   current three-symbol pattern, getting refined sets
+   :math:`M_0, \\ldots, M_{t(l)-1}`;
+3. pick the best surviving set :math:`M_{i_0}` (the paper averages, we
+   take the largest -- selection is pluggable for the E3 ablation);
+4. pull the block-input refinement back to the network's *input* pattern
+   through the token map (Lemma 3.3: medium tokens correspond one-to-one
+   across a noncolliding prefix);
+5. apply the :math:`\\rho_{i_0}` renaming of Lemma 3.4, collapsing the
+   pattern back to three symbols with the survivors as the new
+   :math:`[\\mathcal{M}_0]`-set.
+
+The loop records, per block, the measured survivor size next to the
+proof's guarantee -- the E3 experiment is literally this trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import PatternError
+from ..networks.delta import IteratedReverseDeltaNetwork
+from .adversary import Lemma41Result, run_lemma41, t_sets
+from .alphabet import L, M, S, Symbol
+from .pattern import Pattern, all_medium_pattern
+from .propagate import SymbolicState
+
+__all__ = [
+    "SetChoice",
+    "SET_CHOICES",
+    "BlockRecord",
+    "AdversaryRun",
+    "theorem41_guarantee",
+    "run_adversary",
+]
+
+#: Chooses which special set survives a block: called with the sparse
+#: ``sets`` map and an RNG, returns the chosen index.
+SetChoice = Callable[[dict[int, frozenset[int]], np.random.Generator], int]
+
+
+def _choose_largest(sets: dict[int, frozenset[int]], rng: np.random.Generator) -> int:
+    return max(sets, key=lambda i: (len(sets[i]), -i))
+
+
+def _choose_random(sets: dict[int, frozenset[int]], rng: np.random.Generator) -> int:
+    keys = sorted(sets)
+    return int(keys[rng.integers(0, len(keys))])
+
+
+def _choose_first(sets: dict[int, frozenset[int]], rng: np.random.Generator) -> int:
+    return min(sets)
+
+
+SET_CHOICES: dict[str, SetChoice] = {
+    "largest": _choose_largest,
+    "random": _choose_random,
+    "first": _choose_first,
+}
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Measured adversary state after one block."""
+
+    block_index: int
+    entering_size: int
+    union_size: int
+    nonempty_sets: int
+    chosen_index: int
+    chosen_size: int
+    collisions: int
+    guarantee: float
+
+    @property
+    def retained_fraction(self) -> float:
+        """``union_size / entering_size`` (Lemma 4.1, Property 4)."""
+        return self.union_size / self.entering_size if self.entering_size else 1.0
+
+
+@dataclass
+class AdversaryRun:
+    """Outcome of the Theorem 4.1 loop on a concrete network.
+
+    ``pattern`` is the final three-symbol input pattern; ``special_set``
+    is its :math:`[\\mathcal{M}_0]`-set ``D`` -- wires of the *network
+    input* whose values are provably never compared.  ``survived`` is
+    ``|D| >= 2``, the Corollary 4.1.1 threshold.
+    """
+
+    n: int
+    k: int
+    pattern: Pattern
+    special_set: frozenset[int]
+    records: list[BlockRecord] = field(default_factory=list)
+    blocks_processed: int = 0
+    aborted_early: bool = False
+    #: Symbolic state at the output of the last processed block: renamed
+    #: three-symbol pattern per position, plus ``position -> input wire``
+    #: for the surviving medium tokens.  Lets callers chain adversary runs
+    #: block by block (used by the E9 adaptive duel).
+    final_cut: SymbolicState | None = None
+
+    @property
+    def survived(self) -> bool:
+        """True iff the network is proved non-sorting (``|D| >= 2``)."""
+        return len(self.special_set) >= 2
+
+    def sizes(self) -> list[int]:
+        """Survivor size after each processed block."""
+        return [rec.chosen_size for rec in self.records]
+
+
+def theorem41_guarantee(n: int, d: int) -> float:
+    """The proof's floor :math:`n / \\lg^{4d} n` (``l = k = lg n``)."""
+    if n < 2:
+        raise PatternError(f"need n >= 2, got {n}")
+    return n / (math.log2(n) ** (4 * d)) if d else float(n)
+
+
+def run_adversary(
+    network: IteratedReverseDeltaNetwork,
+    *,
+    k: int | None = None,
+    initial_pattern: Pattern | None = None,
+    set_choice: str | SetChoice = "largest",
+    shift_strategy: str = "argmin",
+    rng: np.random.Generator | None = None,
+    stop_when_dead: bool = True,
+) -> AdversaryRun:
+    """Run the Theorem 4.1 adversary against an iterated RDN.
+
+    Parameters
+    ----------
+    network:
+        The (d, l)-iterated reverse delta network to attack.
+    k:
+        Lemma 4.1's parameter; default ``max(1, round(lg n))`` -- the
+        paper's choice.
+    initial_pattern:
+        Starting pattern (only ``S0``/``M0``/``L0``); default all-medium,
+        as in the theorem's base case.
+    set_choice:
+        Survivor selection per block (``"largest"``, ``"random"``,
+        ``"first"``, or a callable) -- E3 ablation knob.
+    shift_strategy:
+        Forwarded to :func:`run_lemma41` (E2 ablation knob).
+    stop_when_dead:
+        Stop as soon as the survivor set drops below two wires; further
+        blocks cannot revive a dead adversary.
+
+    Returns
+    -------
+    AdversaryRun
+        Final pattern + special set + per-block records.  The result is
+        *checkable*: the special set's noncollision can be verified
+        independently with
+        :func:`repro.core.collision.noncolliding_certificate` or by
+        traced evaluation, and a concrete fooling pair can be extracted
+        with :func:`repro.core.fooling.extract_fooling_pair`.
+    """
+    n = network.n
+    if k is None:
+        k = max(1, round(math.log2(n)))
+    chooser: SetChoice = (
+        SET_CHOICES[set_choice] if isinstance(set_choice, str) else set_choice
+    )
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    pattern = initial_pattern if initial_pattern is not None else all_medium_pattern(n)
+    if pattern.n != n:
+        raise PatternError(f"initial pattern has {pattern.n} wires, network {n}")
+    pattern.validate_sml()
+
+    # Cut state: symbols per position at the current depth and, for medium
+    # tokens, the network-input wire each one originated from.
+    cut = SymbolicState(
+        symbols=list(pattern.symbols),
+        origin={w: w for w in pattern.m_set(0)},
+    )
+    run = AdversaryRun(n=n, k=k, pattern=pattern, special_set=pattern.m_set(0))
+
+    for bi, (perm, rdn) in enumerate(network.blocks):
+        if perm is not None:
+            cut.apply_permutation(perm.mapping)
+        entering = len(cut.origin)
+        block_pattern = cut.to_pattern()
+        result = run_lemma41(
+            rdn,
+            block_pattern,
+            k,
+            shift_strategy=shift_strategy,
+            rng=rng,
+        )
+        if not result.sets:
+            # Every special element was demoted; the adversary is dead.
+            run.records.append(
+                BlockRecord(
+                    block_index=bi,
+                    entering_size=entering,
+                    union_size=0,
+                    nonempty_sets=0,
+                    chosen_index=0,
+                    chosen_size=0,
+                    collisions=result.trace.total_collisions,
+                    guarantee=theorem41_guarantee(n, bi + 1) if n >= 4 else 0.0,
+                )
+            )
+            run.pattern = pattern
+            run.special_set = frozenset()
+            run.blocks_processed = bi + 1
+            run.aborted_early = bi + 1 < len(network.blocks)
+            run.final_cut = cut
+            return run
+
+        chosen = chooser(result.sets, rng)
+        chosen_set = result.sets[chosen]
+
+        # Lemma 3.3 pullback: the refined symbol at each block-input
+        # position belongs to the network-input wire whose token sat
+        # there when the block began.
+        replacements: dict[int, Symbol] = {}
+        for pos, wire in cut.origin.items():
+            replacements[wire] = result.pattern[pos]
+        pattern = pattern.with_symbols(replacements)
+
+        # Lemma 3.4 renaming rho_{chosen}: collapse back to three symbols.
+        pattern = pattern.rho(chosen)
+
+        # Advance the cut to the block's outputs, with the same renaming.
+        pivot = M(chosen)
+        new_symbols: list[Symbol] = []
+        for s in result.state.symbols:
+            if s is pivot:
+                new_symbols.append(M(0))
+            elif s < pivot:
+                new_symbols.append(S(0))
+            else:
+                new_symbols.append(L(0))
+        new_origin: dict[int, int] = {}
+        for pos, block_wire in result.state.origin.items():
+            if result.state.symbols[pos] is pivot:
+                new_origin[pos] = cut.origin[block_wire]
+        cut = SymbolicState(symbols=new_symbols, origin=new_origin)
+
+        run.records.append(
+            BlockRecord(
+                block_index=bi,
+                entering_size=entering,
+                union_size=result.b_size,
+                nonempty_sets=len(result.sets),
+                chosen_index=chosen,
+                chosen_size=len(chosen_set),
+                collisions=result.trace.total_collisions,
+                guarantee=theorem41_guarantee(n, bi + 1) if n >= 4 else 0.0,
+            )
+        )
+        run.pattern = pattern
+        run.special_set = pattern.m_set(0)
+        run.blocks_processed = bi + 1
+        run.final_cut = cut
+        if stop_when_dead and len(run.special_set) < 2:
+            run.aborted_early = bi + 1 < len(network.blocks)
+            return run
+
+    return run

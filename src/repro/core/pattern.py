@@ -1,0 +1,321 @@
+"""Input patterns and pattern refinement (Definitions 3.1-3.3).
+
+An *input pattern* is a total mapping from the wire set ``W`` to the
+pattern alphabet ``P``.  Here ``W`` is always ``range(n)`` (wire
+positions), so a :class:`Pattern` is an immutable sequence of
+:class:`~repro.core.alphabet.Symbol`.
+
+``p`` *can be refined to* ``q`` (written :math:`p \\sqsupset_W q`) iff
+``p(w) < p(w')`` implies ``q(w) < q(w')`` for all wires; refinement only
+ever *adds* ordering constraints.  A pattern stands for the set ``p[V]``
+of inputs it can be refined to; refinement therefore shrinks that set:
+:math:`p \\sqsupset_W q \\Leftrightarrow p[V] \\supseteq q[V]`.
+
+The module implements the refinement predicates, U-refinement, the
+disjoint union :math:`\\oplus`, equivalence (order-preserving renaming),
+refinement to concrete inputs, enumeration/counting of ``p[V]``, and the
+:math:`\\rho_i` renaming of Lemma 3.4.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import PatternError, RefinementError
+from .alphabet import L, M, S, Symbol
+
+__all__ = ["Pattern", "sml_pattern", "all_medium_pattern", "combine", "oplus_parts"]
+
+
+class Pattern:
+    """An input pattern on wires ``0 .. n-1``.
+
+    Parameters
+    ----------
+    symbols:
+        One :class:`Symbol` per wire.
+    """
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: Iterable[Symbol]):
+        symbols = tuple(symbols)
+        for s in symbols:
+            if not isinstance(s, Symbol):
+                raise PatternError(f"expected Symbol, got {type(s).__name__}")
+        if not symbols:
+            raise PatternError("a pattern needs at least one wire")
+        self._symbols = symbols
+
+    # -- protocol ------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of wires."""
+        return len(self._symbols)
+
+    @property
+    def symbols(self) -> tuple[Symbol, ...]:
+        """The symbol per wire."""
+        return self._symbols
+
+    def __getitem__(self, wire: int) -> Symbol:
+        return self._symbols[wire]
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        if self.n <= 16:
+            return f"Pattern([{', '.join(map(repr, self._symbols))}])"
+        return f"Pattern(n={self.n})"
+
+    # -- structure -----------------------------------------------------------
+    def symbol_set(self) -> set[Symbol]:
+        """The distinct symbols occurring in the pattern."""
+        return set(self._symbols)
+
+    def positions_of(self, sym: Symbol) -> frozenset[int]:
+        """The ``[sym]``-set: wires carrying exactly ``sym``."""
+        return frozenset(w for w, s in enumerate(self._symbols) if s is sym)
+
+    def m_set(self, i: int = 0) -> frozenset[int]:
+        """The :math:`[\\mathcal{M}_i]`-set of the pattern."""
+        return self.positions_of(M(i))
+
+    def restrict(self, wires: Iterable[int]) -> dict[int, Symbol]:
+        """The restriction ``p|_U`` of Definition 3.2, as a wire->symbol map.
+
+        Sub-patterns on arbitrary wire subsets are represented as plain
+        mappings; :func:`oplus_parts` reassembles them (Definition 3.3's
+        general :math:`\\oplus`).
+        """
+        out: dict[int, Symbol] = {}
+        for w in wires:
+            if not 0 <= w < self.n:
+                raise PatternError(f"wire {w} out of range [0, {self.n})")
+            out[int(w)] = self._symbols[w]
+        return out
+
+    def groups_in_order(self) -> list[tuple[Symbol, list[int]]]:
+        """Wires grouped by symbol, groups sorted by :math:`<_P`."""
+        buckets: dict[Symbol, list[int]] = {}
+        for w, s in enumerate(self._symbols):
+            buckets.setdefault(s, []).append(w)
+        return [(s, buckets[s]) for s in sorted(buckets, key=lambda s: s.key)]
+
+    def with_symbols(self, replacements: Mapping[int, Symbol]) -> "Pattern":
+        """A copy with the symbols of the given wires replaced."""
+        syms = list(self._symbols)
+        for w, s in replacements.items():
+            syms[w] = s
+        return Pattern(syms)
+
+    # -- refinement (Definition 3.1) ------------------------------------------
+    def refines_to(self, other: "Pattern") -> bool:
+        """True iff ``self`` can be refined to ``other``.
+
+        Checked in :math:`O(n \\lg n)`: group wires by the coarse
+        pattern's symbols in :math:`<_P` order; every wire in a lower
+        group must carry a strictly smaller fine symbol than every wire in
+        any higher group, which reduces to a running prefix-max /
+        group-min comparison.
+        """
+        if other.n != self.n:
+            return False
+        prefix_max: Symbol | None = None
+        for _, wires in self.groups_in_order():
+            group_syms = [other._symbols[w] for w in wires]
+            group_min = min(group_syms, key=lambda s: s.key)
+            if prefix_max is not None and not prefix_max < group_min:
+                return False
+            group_max = max(group_syms, key=lambda s: s.key)
+            if prefix_max is None or prefix_max < group_max:
+                prefix_max = group_max
+        return True
+
+    def u_refines_to(self, other: "Pattern", U: Iterable[int]) -> bool:
+        """U-refinement (Definition 3.2): refinement fixing wires outside U."""
+        u_set = set(U)
+        if other.n != self.n:
+            return False
+        for w in range(self.n):
+            if w not in u_set and self._symbols[w] is not other._symbols[w]:
+                return False
+        return self.refines_to(other)
+
+    def is_equivalent_to(self, other: "Pattern") -> bool:
+        """Mutual refinement -- i.e. related by an order-preserving renaming."""
+        return self.refines_to(other) and other.refines_to(self)
+
+    # -- refinement to concrete inputs -----------------------------------------
+    def admits_input(self, values: Sequence[int] | np.ndarray) -> bool:
+        """True iff the pattern can be refined to this input permutation."""
+        values = np.asarray(values)
+        if values.shape != (self.n,):
+            return False
+        if sorted(map(int, values)) != list(range(self.n)):
+            return False
+        prefix_max = -1
+        for _, wires in self.groups_in_order():
+            vals = [int(values[w]) for w in wires]
+            if min(vals) <= prefix_max:
+                return False
+            prefix_max = max(vals)
+        return True
+
+    def refine_to_input(
+        self, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """One concrete input in ``p[V]``.
+
+        Wires are ranked by symbol; ties within a symbol group are broken
+        by wire index, or uniformly at random when ``rng`` is given.
+        Values ``0 .. n-1`` are assigned in rank order, so equal-symbol
+        wires always receive *consecutive* values -- the property
+        Corollary 4.1.1 uses to place adjacent values on the special set.
+        """
+        values = np.empty(self.n, dtype=np.int64)
+        next_value = 0
+        for _, wires in self.groups_in_order():
+            wires = list(wires)
+            if rng is not None:
+                rng.shuffle(wires)
+            for w in wires:
+                values[w] = next_value
+                next_value += 1
+        return values
+
+    def input_count(self) -> int:
+        """``|p[V]|`` -- the number of inputs the pattern refines to."""
+        total = 1
+        for _, wires in self.groups_in_order():
+            total *= math.factorial(len(wires))
+        return total
+
+    def enumerate_inputs(self) -> Iterator[np.ndarray]:
+        """Yield every input in ``p[V]`` (use only for small patterns)."""
+        groups = self.groups_in_order()
+        value_blocks: list[list[int]] = []
+        start = 0
+        for _, wires in groups:
+            value_blocks.append(list(range(start, start + len(wires))))
+            start += len(wires)
+        wire_lists = [wires for _, wires in groups]
+        for assignment in itertools.product(
+            *(itertools.permutations(block) for block in value_blocks)
+        ):
+            values = np.empty(self.n, dtype=np.int64)
+            for wires, block in zip(wire_lists, assignment):
+                for w, v in zip(wires, block):
+                    values[w] = v
+            yield values
+
+    # -- renamings --------------------------------------------------------------
+    def rho(self, i: int) -> "Pattern":
+        """The :math:`\\rho_i` renaming of Lemma 3.4.
+
+        Symbols below :math:`\\mathcal{M}_i` become :math:`\\mathcal{S}_0`,
+        symbols above become :math:`\\mathcal{L}_0`, and
+        :math:`\\mathcal{M}_i` becomes :math:`\\mathcal{M}_0`.  The
+        :math:`[\\mathcal{M}_i]`-set keeps its noncollision property under
+        this renaming because the relative order of the medium tokens
+        against everything else is unchanged.
+        """
+        pivot = M(i)
+        out = []
+        for s in self._symbols:
+            if s is pivot:
+                out.append(M(0))
+            elif s < pivot:
+                out.append(S(0))
+            else:
+                out.append(L(0))
+        return Pattern(out)
+
+    def validate_sml(self) -> None:
+        """Assert only :math:`S_0, M_0, L_0` occur (Lemma 4.1 precondition)."""
+        allowed = {S(0), M(0), L(0)}
+        extra = self.symbol_set() - allowed
+        if extra:
+            raise RefinementError(
+                f"pattern contains symbols other than S0/M0/L0: {sorted(extra, key=lambda s: s.key)}"
+            )
+
+
+def sml_pattern(
+    n: int,
+    medium: Iterable[int],
+    small: Iterable[int] = (),
+    large: Iterable[int] = (),
+) -> Pattern:
+    """The canonical three-symbol pattern of Theorem 4.1.
+
+    Wires in ``medium`` get :math:`\\mathcal{M}_0`; ``small`` and
+    ``large`` get :math:`\\mathcal{S}_0` / :math:`\\mathcal{L}_0`.  Wires
+    in none of the three default to :math:`\\mathcal{S}_0`; overlaps are
+    an error.
+    """
+    syms: list[Symbol | None] = [None] * n
+    for name, wires, sym in (
+        ("medium", medium, M(0)),
+        ("small", small, S(0)),
+        ("large", large, L(0)),
+    ):
+        for w in wires:
+            if not 0 <= w < n:
+                raise PatternError(f"{name} wire {w} out of range [0, {n})")
+            if syms[w] is not None:
+                raise PatternError(f"wire {w} assigned two symbols")
+            syms[w] = sym
+    return Pattern(s if s is not None else S(0) for s in syms)
+
+
+def all_medium_pattern(n: int) -> Pattern:
+    """The starting pattern of Theorem 4.1: every wire :math:`\\mathcal{M}_0`."""
+    return Pattern([M(0)] * n)
+
+
+def combine(p0: Pattern, p1: Pattern) -> Pattern:
+    """Disjoint union on consecutive wire blocks: ``p0`` then ``p1``.
+
+    (Definition 3.3's :math:`\\oplus` for the common case where the two
+    wire sets are the two halves of ``range(n)``.)
+    """
+    return Pattern(p0.symbols + p1.symbols)
+
+
+def oplus_parts(n: int, *parts: Mapping[int, Symbol]) -> Pattern:
+    """Definition 3.3's general :math:`\\oplus` on arbitrary wire subsets.
+
+    Each part maps wires to symbols; the parts must be pairwise disjoint
+    and together cover ``range(n)`` exactly.
+    """
+    syms: list[Symbol | None] = [None] * n
+    for part in parts:
+        for w, sym in part.items():
+            if not 0 <= w < n:
+                raise PatternError(f"wire {w} out of range [0, {n})")
+            if syms[w] is not None:
+                raise PatternError(f"wire {w} appears in two parts")
+            if not isinstance(sym, Symbol):
+                raise PatternError(f"expected Symbol for wire {w}")
+            syms[w] = sym
+    missing = [w for w, sym in enumerate(syms) if sym is None]
+    if missing:
+        raise PatternError(f"wires not covered by any part: {missing[:8]}")
+    return Pattern(syms)  # type: ignore[arg-type]

@@ -1,0 +1,138 @@
+"""JSON (de)serialisation of the lower-bound artifacts.
+
+Complements :mod:`repro.networks.serialize` (which handles networks) with
+the core objects worth archiving next to experiment results: patterns,
+non-sorting certificates, and adversary run summaries.  A certificate
+re-loaded from disk still verifies against the (separately archived)
+network, so a full reproduction bundle is three small JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from ..errors import PatternError, ReproError
+from .alphabet import Symbol, symbol_from_string
+from .certificates import NonSortingCertificate
+from .iterate import AdversaryRun
+from .pattern import Pattern
+
+__all__ = [
+    "symbol_to_string",
+    "pattern_to_json",
+    "pattern_from_json",
+    "certificate_to_json",
+    "certificate_from_json",
+    "run_to_json",
+    "dumps",
+    "loads",
+]
+
+FORMAT_VERSION = 1
+
+
+def symbol_to_string(sym: Symbol) -> str:
+    """Inverse of :func:`repro.core.alphabet.symbol_from_string`."""
+    if sym.is_x:
+        return f"X{sym.i}.{sym.j}"
+    return f"{sym.kind}{sym.i}"
+
+
+def pattern_to_json(pattern: Pattern) -> dict[str, Any]:
+    """Serialise a pattern as a list of symbol names."""
+    return {
+        "kind": "pattern",
+        "symbols": [symbol_to_string(s) for s in pattern.symbols],
+    }
+
+
+def pattern_from_json(doc: dict[str, Any]) -> Pattern:
+    """Deserialise a pattern."""
+    if doc.get("kind") != "pattern":
+        raise PatternError(f"expected kind 'pattern', got {doc.get('kind')!r}")
+    return Pattern(symbol_from_string(s) for s in doc["symbols"])
+
+
+def certificate_to_json(cert: NonSortingCertificate) -> dict[str, Any]:
+    """Serialise a non-sorting certificate."""
+    return {
+        "kind": "certificate",
+        "input_a": cert.input_a.tolist(),
+        "input_b": cert.input_b.tolist(),
+        "wires": list(cert.wires),
+        "values": list(cert.values),
+    }
+
+
+def certificate_from_json(doc: dict[str, Any]) -> NonSortingCertificate:
+    """Deserialise a non-sorting certificate (verify it separately!)."""
+    if doc.get("kind") != "certificate":
+        raise PatternError(f"expected kind 'certificate', got {doc.get('kind')!r}")
+    return NonSortingCertificate(
+        input_a=np.asarray(doc["input_a"], dtype=np.int64),
+        input_b=np.asarray(doc["input_b"], dtype=np.int64),
+        wires=(int(doc["wires"][0]), int(doc["wires"][1])),
+        values=(int(doc["values"][0]), int(doc["values"][1])),
+    )
+
+
+def run_to_json(run: AdversaryRun) -> dict[str, Any]:
+    """Serialise an adversary run summary (one-way: for archiving)."""
+    return {
+        "kind": "adversary-run",
+        "n": run.n,
+        "k": run.k,
+        "survived": run.survived,
+        "special_set": sorted(run.special_set),
+        "pattern": pattern_to_json(run.pattern),
+        "blocks_processed": run.blocks_processed,
+        "records": [
+            {
+                "block": rec.block_index,
+                "entering": rec.entering_size,
+                "union": rec.union_size,
+                "survivor": rec.chosen_size,
+                "sets": rec.nonempty_sets,
+                "collisions": rec.collisions,
+                "guarantee": rec.guarantee,
+            }
+            for rec in run.records
+        ],
+    }
+
+
+_SERIALIZERS = {
+    Pattern: pattern_to_json,
+    NonSortingCertificate: certificate_to_json,
+    AdversaryRun: run_to_json,
+}
+
+_DESERIALIZERS = {
+    "pattern": pattern_from_json,
+    "certificate": certificate_from_json,
+}
+
+
+def dumps(obj: Any, indent: int | None = None) -> str:
+    """Serialise a supported core object to a version-tagged JSON string."""
+    for cls, fn in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            return json.dumps(
+                {"version": FORMAT_VERSION, "payload": fn(obj)}, indent=indent
+            )
+    raise ReproError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps` (adversary runs are archive-only)."""
+    doc = json.loads(text)
+    if doc.get("version") != FORMAT_VERSION:
+        raise ReproError(f"unsupported format version {doc.get('version')!r}")
+    payload = doc["payload"]
+    kind = payload.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ReproError(f"unknown or archive-only payload kind {kind!r}")
+    return _DESERIALIZERS[kind](payload)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish the common failure categories.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "WireError",
+    "LevelConflictError",
+    "NotAPowerOfTwoError",
+    "PatternError",
+    "RefinementError",
+    "PropagationError",
+    "TopologyError",
+    "CertificateError",
+    "RoutingError",
+    "MachineError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class WireError(ReproError, ValueError):
+    """A wire index is out of range, repeated, or otherwise invalid."""
+
+
+class LevelConflictError(WireError):
+    """Two gates in the same level touch a common wire."""
+
+
+class NotAPowerOfTwoError(ReproError, ValueError):
+    """An operation requiring ``n == 2**k`` received a non-power-of-two."""
+
+
+class PatternError(ReproError, ValueError):
+    """An input pattern is malformed (wrong length, bad symbol, ...)."""
+
+
+class RefinementError(PatternError):
+    """A claimed pattern refinement violates Definition 3.1/3.2."""
+
+
+class PropagationError(ReproError, RuntimeError):
+    """Symbolic propagation of a pattern through a network failed.
+
+    This signals a violated precondition, e.g. two wires of the same
+    noncolliding set meeting at a comparator during token tracking.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A network does not have the required topology (delta, reverse
+    delta, shuffle-based, ...)."""
+
+
+class CertificateError(ReproError, RuntimeError):
+    """A non-sorting certificate failed independent verification."""
+
+
+class RoutingError(ReproError, RuntimeError):
+    """Permutation routing failed (should not happen for valid input)."""
+
+
+class MachineError(ReproError, RuntimeError):
+    """A shuffle-exchange machine program violated the machine model."""

@@ -1,0 +1,55 @@
+"""Experiment drivers E1-E13 (see DESIGN.md's experiment index).
+
+Each ``eN`` module exposes ``run(...) -> Table`` with laptop-scale
+defaults; the benchmark suite wraps these with pytest-benchmark and
+archives the tables.  ``run_all`` executes everything at default scale.
+"""
+
+from .harness import Table
+from . import (
+    adaptive,
+    e1_depth_bounds,
+    e2_lemma41,
+    e3_theorem41,
+    e4_fooling,
+    e5_extension,
+    e6_routing,
+    e7_equivalence,
+    e8_average_case,
+    e9_adaptive,
+    e10_sorters,
+    e11_randomized,
+    e12_separation,
+    e13_single_permutation,
+    workloads,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e1_depth_bounds.run,
+    "E2": e2_lemma41.run,
+    "E3": e3_theorem41.run,
+    "E4": e4_fooling.run,
+    "E5": e5_extension.run,
+    "E6": e6_routing.run,
+    "E7": e7_equivalence.run,
+    "E8": e8_average_case.run,
+    "E9": e9_adaptive.run,
+    "E10": e10_sorters.run,
+    "E11": e11_randomized.run,
+    "E12": e12_separation.run,
+    "E13": e13_single_permutation.run,
+}
+
+
+def run_all(save_dir: str | None = None) -> dict[str, Table]:
+    """Run every experiment at default scale; optionally archive tables."""
+    results: dict[str, Table] = {}
+    for name, fn in ALL_EXPERIMENTS.items():
+        table = fn()
+        results[name] = table
+        if save_dir is not None:
+            table.save(save_dir)
+    return results
+
+
+__all__ = ["Table", "ALL_EXPERIMENTS", "run_all", "adaptive", "workloads"]

@@ -1,0 +1,72 @@
+"""E10 -- sorter baselines: depth, size, correctness, throughput.
+
+Context for the paper's introduction: the implemented sorting-network
+families spanning the depth spectrum from the brick wall (``n``) through
+Batcher/Pratt/balanced (:math:`\\lg^2 n`) to the AKS literature line.
+Every constructed instance is verified by the 0-1 principle (small
+``n``), and batch-evaluation throughput is measured -- the vectorised
+substrate that makes the adversary experiments run at ``n = 2^12`` on a
+laptop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analysis.verify import is_sorting_network
+from ..sorters.registry import SORTER_REGISTRY
+from .harness import Table
+from .workloads import random_permutation_batch
+
+__all__ = ["run"]
+
+
+def run(
+    exponents: tuple[int, ...] = (4, 6, 8),
+    verify_up_to: int = 1 << 4,
+    throughput_batch: int = 256,
+    seed: int = 0,
+) -> Table:
+    """Sweep the sorter registry."""
+    table = Table(
+        experiment="E10",
+        title="Sorter baselines",
+        claim="depth spectrum n .. lg^2 n around Batcher's upper bound",
+        columns=[
+            "sorter",
+            "n",
+            "depth",
+            "size",
+            "zero_one_verified",
+            "batch_eval_ms",
+            "keys_per_sec",
+        ],
+    )
+    rng = np.random.default_rng(seed)
+    for name, spec in SORTER_REGISTRY.items():
+        for e in exponents:
+            n = 1 << e
+            net = spec.build(n)
+            row = {
+                "sorter": name,
+                "n": n,
+                "depth": net.depth,
+                "size": net.size,
+            }
+            if n <= verify_up_to:
+                row["zero_one_verified"] = is_sorting_network(net)
+            batch = random_permutation_batch(n, throughput_batch, rng)
+            start = time.perf_counter()
+            net.evaluate_batch(batch)
+            elapsed = time.perf_counter() - start
+            row["batch_eval_ms"] = elapsed * 1e3
+            row["keys_per_sec"] = throughput_batch * n / elapsed
+            table.add_row(**row)
+    table.notes.append(
+        "zero_one_verified is exhaustive (2^n inputs) and only run for "
+        "small n; larger instances are covered by randomised checks in "
+        "the test suite."
+    )
+    return table

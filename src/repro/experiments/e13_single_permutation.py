@@ -1,0 +1,146 @@
+"""E13 -- probing Section 6's open question: single-permutation networks.
+
+The paper closes by asking "whether any small-depth sorting network
+exists that is based on a single permutation".  This is an *open
+problem*; E13 is therefore framed as an exploratory probe, not a
+reproduction of a claim: for several candidate permutations
+:math:`\\Pi` we search (hill-climbing over the op vectors, scored by the
+number of unsorted 0-1 inputs) for the best depth-``D``
+single-permutation network, and report how close each permutation gets
+to sorting.
+
+What the probe shows at laptop scale:
+
+* the shuffle reaches witness count 0 (a true sorter) at
+  ``D = lg² n`` -- Batcher's construction is single-permutation, so the
+  open question is really about *small* depth;
+* some permutations (e.g. the identity) are structurally hopeless: with
+  :math:`\\Pi = id` only fixed adjacent pairs ever interact, so the
+  residual witness count stays large no matter the labelling;
+* mixing permutations (random, bit-reversal-composed) land in between.
+
+Columns: residual 0-1 witnesses after the search (0 = found a sorting
+network), plus the theoretical note of whether the paper's lower bound
+machinery applies (only for the shuffle itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.zero_one import witness_count
+from ..networks.gates import Op
+from ..networks.permutations import (
+    Permutation,
+    bit_reversal_permutation,
+    identity_permutation,
+    random_permutation,
+    shuffle_permutation,
+)
+from ..networks.registers import RegisterProgram, RegisterStep
+from .harness import Table
+
+__all__ = ["run", "hill_climb_single_perm", "single_perm_program"]
+
+_OPS = (Op.PLUS, Op.MINUS, Op.NOP, Op.SWAP)
+
+
+def single_perm_program(
+    perm: Permutation, op_grid: list[list[Op]]
+) -> RegisterProgram:
+    """A register program using the same permutation at every step."""
+    steps = [RegisterStep(perm=perm, ops=tuple(row)) for row in op_grid]
+    return RegisterProgram(perm.n, steps)
+
+
+def hill_climb_single_perm(
+    perm: Permutation,
+    depth: int,
+    rng: np.random.Generator,
+    iterations: int = 400,
+) -> tuple[int, RegisterProgram]:
+    """Greedy local search for op vectors minimising 0-1 witnesses.
+
+    Starts from all-``+`` labels, then repeatedly mutates one pair label
+    and keeps the change iff the number of unsorted binary inputs does
+    not increase.  Returns ``(residual_witnesses, best_program)``.
+    """
+    n = perm.n
+    pairs = n // 2
+    grid: list[list[Op]] = [[Op.PLUS] * pairs for _ in range(depth)]
+
+    def score(g) -> int:
+        return witness_count(single_perm_program(perm, g).to_network(), max_wires=n)
+
+    best = score(grid)
+    for _ in range(iterations):
+        if best == 0:
+            break
+        t = int(rng.integers(depth))
+        k = int(rng.integers(pairs))
+        old = grid[t][k]
+        new = _OPS[int(rng.integers(len(_OPS)))]
+        if new is old:
+            continue
+        grid[t][k] = new
+        s = score(grid)
+        if s <= best:
+            best = s
+        else:
+            grid[t][k] = old
+    return best, single_perm_program(perm, grid)
+
+
+def run(
+    n: int = 8,
+    depth_factor: float = 1.0,
+    iterations: int = 400,
+    seed: int = 0,
+) -> Table:
+    """Probe several single permutations at depth ``lg² n * depth_factor``."""
+    d = n.bit_length() - 1
+    depth = max(1, round(d * d * depth_factor))
+    rng = np.random.default_rng(seed)
+    candidates: dict[str, Permutation] = {
+        "shuffle": shuffle_permutation(n),
+        "identity": identity_permutation(n),
+        "bit_reversal*shuffle": bit_reversal_permutation(n).then(
+            shuffle_permutation(n)
+        ),
+        "random": random_permutation(n, rng),
+    }
+    table = Table(
+        experiment="E13",
+        title="Open problem probe: single-permutation networks",
+        claim=(
+            "Section 6 asks whether small-depth single-permutation sorting "
+            "networks exist; exploratory search, not a paper claim"
+        ),
+        columns=[
+            "permutation",
+            "n",
+            "depth",
+            "residual_witnesses",
+            "found_sorter",
+            "lower_bound_applies",
+        ],
+    )
+    for name, perm in candidates.items():
+        residual, _prog = hill_climb_single_perm(
+            perm, depth, np.random.default_rng(seed), iterations=iterations
+        )
+        table.add_row(
+            permutation=name,
+            n=n,
+            depth=depth,
+            residual_witnesses=residual,
+            found_sorter=residual == 0,
+            lower_bound_applies=(name == "shuffle"),
+        )
+    table.notes.append(
+        "hill-climbing over {+,-,0,1} labels scored by unsorted 0-1 inputs; "
+        "residual 0 means an actual single-permutation sorting network was "
+        "found at this depth.  The paper's bound constrains only the "
+        "shuffle row."
+    )
+    return table

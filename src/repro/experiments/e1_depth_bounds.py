@@ -1,0 +1,70 @@
+"""E1 -- depth bounds: the paper's lower bound vs Batcher's upper bound.
+
+Claim (Sections 1, 4): every shuffle-based / iterated-reverse-delta
+sorting network has depth :math:`\\Omega(\\lg^2 n / \\lg\\lg n)` (with
+constant 1/4, sharpenable to :math:`1/(2+\\epsilon)`), while Batcher's
+bitonic sorter achieves :math:`\\lg n(\\lg n + 1)/2` -- a
+:math:`\\Theta(\\lg\\lg n)` gap.  AKS sits at :math:`O(\\lg n)` with an
+impractically large constant.
+
+Expected shape: the lower-bound curve stays below Batcher everywhere and
+the ratio (Batcher / lower bound) grows like :math:`2 \\lg\\lg n`; the
+Paterson-constant AKS line is above Batcher for every benchmarkable
+``n``.  Measured depths of the constructed networks must equal the
+formulas exactly.
+"""
+
+from __future__ import annotations
+
+from ..core import bounds
+from ..sorters.aks_proxy import aks_depth_estimate
+from ..sorters.bitonic import bitonic_sorting_network
+from ..sorters.oddeven_merge import oddeven_merge_sorting_network
+from .harness import Table
+
+__all__ = ["run"]
+
+
+def run(
+    exponents: tuple[int, ...] = (3, 4, 5, 6, 8, 10, 12, 16, 20),
+    measure_up_to: int = 1 << 10,
+) -> Table:
+    """Build the E1 table; constructs real networks up to ``measure_up_to``."""
+    table = Table(
+        experiment="E1",
+        title="Depth lower bound vs upper bounds",
+        claim=(
+            "lower bound lg^2 n / (4 lglg n) stages for shuffle-based "
+            "sorting; Batcher upper bound lg n (lg n + 1)/2; Theta(lglg n) gap"
+        ),
+        columns=[
+            "n",
+            "lower_bound",
+            "lower_sharpened",
+            "batcher_formula",
+            "bitonic_measured",
+            "oddeven_measured",
+            "aks_paterson",
+            "gap_batcher_over_lb",
+        ],
+    )
+    for e in exponents:
+        n = 1 << e
+        lb = bounds.depth_lower_bound(n)
+        row = {
+            "n": n,
+            "lower_bound": lb,
+            "lower_sharpened": bounds.depth_lower_bound_sharpened(n),
+            "batcher_formula": bounds.batcher_depth(n),
+            "aks_paterson": aks_depth_estimate(n),
+            "gap_batcher_over_lb": bounds.batcher_depth(n) / lb,
+        }
+        if n <= measure_up_to:
+            row["bitonic_measured"] = bitonic_sorting_network(n).depth
+            row["oddeven_measured"] = oddeven_merge_sorting_network(n).depth
+        table.add_row(**row)
+    table.notes.append(
+        "AKS line uses Paterson's literature constant (~6100 lg n); see "
+        "repro.sorters.aks_proxy.AKS_IMPRACTICAL_NOTE."
+    )
+    return table

@@ -1,0 +1,81 @@
+"""E6 -- permutation routing (the Section 3.2 inter-block-permutation claim).
+
+Claim (cited by the paper [10, 9, 14]): any permutation on ``n = 2^d``
+inputs is routable by a shuffle-exchange network with ``3d - 4`` levels,
+so the arbitrary permutations between reverse delta blocks cost only a
+constant depth factor.
+
+Per DESIGN.md's substitution table we measure two constructive routers
+bracketing the cited construction: the Beneš network (``2d - 1`` levels,
+out-of-class strides) and the strict shuffle-based sort-router
+(``d^2`` steps, in-class).  Expected shape: both routers verify on every
+trial; Beneš depth is :math:`\\Theta(d)` like the cited bound; the
+in-class router's :math:`d^2` depth shows why the cited result (not
+re-derived here) matters for tightness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machines.routing import (
+    benes_depth,
+    benes_routing_network,
+    cited_shuffle_exchange_levels,
+    sort_route_program,
+)
+from ..networks.permutations import random_permutation
+from .harness import Table
+
+__all__ = ["run"]
+
+
+def run(
+    exponents: tuple[int, ...] = (2, 3, 4, 6, 8),
+    trials: int = 10,
+    seed: int = 0,
+) -> Table:
+    """Measure both routers on random permutations per size."""
+    table = Table(
+        experiment="E6",
+        title="Permutation routing: measured routers vs the cited bound",
+        claim="any permutation routable in 3 lg n - 4 shuffle-exchange levels",
+        columns=[
+            "n",
+            "cited_3d_minus_4",
+            "benes_levels",
+            "benes_all_verified",
+            "sort_route_steps",
+            "sort_route_all_verified",
+        ],
+    )
+    rng = np.random.default_rng(seed)
+    for e in exponents:
+        n = 1 << e
+        benes_ok = True
+        sort_ok = True
+        sort_steps = 0
+        for _ in range(trials):
+            perm = random_permutation(n, rng)
+            net = benes_routing_network(perm)
+            out = net.evaluate(np.arange(n))
+            benes_ok &= all(out[perm(i)] == i for i in range(n))
+            prog = sort_route_program(perm)
+            sort_steps = prog.depth
+            out2 = prog.to_network().evaluate(np.arange(n))
+            sort_ok &= all(out2[perm(i)] == i for i in range(n))
+            sort_ok &= prog.is_shuffle_based()
+        table.add_row(
+            n=n,
+            cited_3d_minus_4=cited_shuffle_exchange_levels(n),
+            benes_levels=benes_depth(n),
+            benes_all_verified=benes_ok,
+            sort_route_steps=sort_steps,
+            sort_route_all_verified=sort_ok,
+        )
+    table.notes.append(
+        "the cited 3d-4 construction is a literature value (substitution "
+        "documented in DESIGN.md); both measured routers are constructive "
+        "and verified per trial."
+    )
+    return table

@@ -1,0 +1,78 @@
+"""E7 -- structural equivalences of Section 1 / 3.2.
+
+Claims: (a) a depth-``lg n`` shuffle-based block is a reverse delta
+network and computes exactly the same function as its low-bit-split RDN
+form; (b) the butterfly is both a delta and a reverse delta network
+(Kruskal-Snir's uniqueness); (c) the bitonic sorter is a
+``(lg n, lg n)``-iterated RDN whose strict shuffle-based program sorts.
+
+All three are checked behaviourally (exhaustive 0-1 inputs) and
+structurally (topology recognisers).  Expected shape: every cell "yes".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.properties import (
+    is_butterfly_topology,
+    is_delta_topology,
+    is_reverse_delta_topology,
+)
+from ..analysis.verify import is_sorting_network
+from ..analysis.zero_one import zero_one_inputs
+from ..networks.builders import butterfly_rdn, shuffle_split_rdn
+from ..sorters.bitonic import bitonic_shuffle_program, bitonic_sorting_network
+from ..networks.shuffle import shuffle_program_from_split_rdn
+from .harness import Table
+
+__all__ = ["run"]
+
+
+def run(exponents: tuple[int, ...] = (2, 3, 4), seed: int = 0) -> Table:
+    """Structural + behavioural equivalence checks per size."""
+    table = Table(
+        experiment="E7",
+        title="Butterfly / shuffle-block / bitonic equivalences",
+        claim=(
+            "shuffle block == reverse delta network; butterfly == unique "
+            "delta ∩ reverse delta; bitonic is in-class and sorts"
+        ),
+        columns=[
+            "n",
+            "butterfly_is_rdn",
+            "butterfly_is_delta",
+            "butterfly_unique_both",
+            "shuffle_block_equiv",
+            "bitonic_program_shuffle_based",
+            "bitonic_program_sorts",
+        ],
+    )
+    for e in exponents:
+        n = 1 << e
+        bf = butterfly_rdn(n).to_network()
+        split = shuffle_split_rdn(n)
+        prog = shuffle_program_from_split_rdn(split)
+        batch = zero_one_inputs(n)
+        equiv = bool(
+            np.array_equal(
+                split.to_network().evaluate_batch(batch),
+                prog.to_network().evaluate_batch(batch),
+            )
+        )
+        bprog = bitonic_shuffle_program(n)
+        bnet = bprog.to_network()
+        table.add_row(
+            n=n,
+            butterfly_is_rdn=is_reverse_delta_topology(bf),
+            butterfly_is_delta=is_delta_topology(bf),
+            butterfly_unique_both=is_butterfly_topology(bf),
+            shuffle_block_equiv=equiv,
+            bitonic_program_shuffle_based=bprog.is_shuffle_based(),
+            bitonic_program_sorts=is_sorting_network(bnet),
+        )
+    table.notes.append(
+        "shuffle_block_equiv compares the low-bit-split RDN against its "
+        "register-model shuffle program on all 2^n binary inputs."
+    )
+    return table

@@ -1,0 +1,177 @@
+"""E8 -- average case: networks that sort most inputs but not all.
+
+Claim (Section 5, after Leighton-Plaxton [8]): there are shuffle-based
+networks of depth :math:`O(\\lg n \\lg\\lg n)` that sort all but a tiny
+fraction of inputs, so the :math:`\\Omega(\\lg^2 n/\\lg\\lg n)` bound of
+this paper cannot extend to the average case -- it is a genuinely
+worst-case phenomenon.
+
+Two measured stand-ins (substitutions documented in DESIGN.md):
+
+* **faulty bitonic** -- Batcher's sorter with exactly one comparator
+  deleted from a chosen phase.  Still strictly in-class; sorts 50-90% of
+  random inputs (more the earlier the deleted gate, because later phases
+  usually repair the damage) while provably failing on some input.  The
+  sweep also measures the adversary's *incompleteness*: it reliably
+  catches a final-phase deletion (the surviving pair is exactly the
+  deleted comparison) but misses earlier ones, underlining that it is a
+  lower-bound tool, not a decision procedure.
+* **sorting-biased random blocks** -- random reverse delta blocks whose
+  comparators all point toward lower wire indices, composed with
+  identity inter-block permutations.  Sorted fraction climbs with depth
+  while the adversary still produces verified fooling pairs -- the
+  separation in a single family.
+
+Expected shape: ``sorted_fraction`` well above 0 with
+``is_sorter = no`` everywhere; adversary certificates concentrated on
+late-phase faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.verify import is_sorting_network, random_sorting_fraction
+from ..core.fooling import prove_not_sorting
+from ..networks.builders import bitonic_iterated_rdn, random_reverse_delta
+from ..networks.delta import IteratedReverseDeltaNetwork, ReverseDeltaNetwork
+from ..networks.gates import Gate, Op
+from .harness import Table
+
+__all__ = ["run", "sorting_biased_block", "sorting_biased_network", "faulty_bitonic"]
+
+
+def sorting_biased_block(n: int, rng: np.random.Generator) -> ReverseDeltaNetwork:
+    """A random reverse delta block whose comparators all point "down".
+
+    Random pairings as in :func:`random_reverse_delta`, but each
+    comparator routes its min to the lower-numbered wire, so composing
+    blocks monotonically reduces the inversion count.
+    """
+    base = random_reverse_delta(n, rng, p_minus=0.0)
+
+    def orient(node: ReverseDeltaNetwork) -> ReverseDeltaNetwork:
+        if node.is_leaf:
+            return node
+        final = tuple(
+            Gate(g.a, g.b, Op.PLUS if g.a < g.b else Op.MINUS)
+            for g in node.final
+        )
+        return ReverseDeltaNetwork.node(orient(node.child0), orient(node.child1), final)
+
+    return orient(base)
+
+
+def sorting_biased_network(
+    n: int, blocks: int, rng: np.random.Generator
+) -> IteratedReverseDeltaNetwork:
+    """``blocks`` sorting-biased blocks, identity inter-block permutations.
+
+    Identity inter-block permutations keep every comparator pointing the
+    same global direction; a random permutation between blocks would
+    scramble the orientation and destroy the usually-sorts behaviour.
+    """
+    entries = [(None, sorting_biased_block(n, rng)) for _ in range(blocks)]
+    return IteratedReverseDeltaNetwork(n, entries)
+
+
+def faulty_bitonic(
+    n: int, phase: int, gate_index: int = 0
+) -> IteratedReverseDeltaNetwork:
+    """The bitonic sorter with one comparator removed from ``phase``.
+
+    The gate is deleted from the phase's *root* level (the stride-1
+    comparisons executed last within the phase).  ``phase`` is 1-based.
+    """
+    base = bitonic_iterated_rdn(n)
+    blocks = list(base.blocks)
+    perm, blk = blocks[phase - 1]
+
+    def strip(node: ReverseDeltaNetwork) -> ReverseDeltaNetwork:
+        if node.is_leaf:
+            return node
+        final = node.final
+        if node.levels == blk.levels and final:
+            final = tuple(g for i, g in enumerate(final) if i != gate_index)
+        return ReverseDeltaNetwork.node(strip(node.child0), strip(node.child1), final)
+
+    blocks[phase - 1] = (perm, strip(blk))
+    return IteratedReverseDeltaNetwork(n, blocks)
+
+
+def run(
+    exponents: tuple[int, ...] = (5, 6),
+    trials: int = 2000,
+    biased_exponent: int = 4,
+    biased_max_blocks: int = 12,
+    verify_zero_one_up_to: int = 1 << 4,
+    seed: int = 0,
+) -> Table:
+    """Faulty-bitonic phase sweep plus biased-random depth curve."""
+    table = Table(
+        experiment="E8",
+        title="Average case: sorted fraction vs worst-case verdict",
+        claim=(
+            "shallow / slightly-damaged shuffle-based networks sort most "
+            "inputs while provably failing on some (Section 5)"
+        ),
+        columns=[
+            "family",
+            "n",
+            "variant",
+            "stages",
+            "sorted_fraction",
+            "is_sorter",
+            "fooling_pair",
+            "survivor",
+        ],
+    )
+    check_rng = np.random.default_rng(seed)
+
+    for e in exponents:
+        n = 1 << e
+        for phase in range(1, e + 1):
+            net = faulty_bitonic(n, phase)
+            flat = net.to_network()
+            frac = random_sorting_fraction(flat, trials, check_rng)
+            outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
+            row = {
+                "family": "faulty_bitonic",
+                "n": n,
+                "variant": f"drop@phase{phase}",
+                "stages": flat.depth,
+                "sorted_fraction": frac,
+                "fooling_pair": outcome.proved_not_sorting,
+                "survivor": len(outcome.run.special_set),
+            }
+            if n <= verify_zero_one_up_to:
+                row["is_sorter"] = is_sorting_network(flat)
+            table.add_row(**row)
+
+    n = 1 << biased_exponent
+    rng = np.random.default_rng(seed + 1)
+    network = sorting_biased_network(n, biased_max_blocks, rng)
+    for blocks in range(1, biased_max_blocks + 1):
+        prefix = network.truncated(blocks)
+        flat = prefix.to_network()
+        frac = random_sorting_fraction(flat, trials, np.random.default_rng(seed))
+        outcome = prove_not_sorting(prefix, rng=np.random.default_rng(seed))
+        table.add_row(
+            family="biased_random",
+            n=n,
+            variant=f"{blocks} blocks",
+            stages=flat.depth,
+            sorted_fraction=frac,
+            is_sorter=is_sorting_network(flat)
+            if n <= verify_zero_one_up_to
+            else None,
+            fooling_pair=outcome.proved_not_sorting,
+            survivor=len(outcome.run.special_set),
+        )
+    table.notes.append(
+        "faulty bitonic: earlier faults are usually repaired by later "
+        "phases (higher sorted_fraction) and escape the adversary -- "
+        "soundness without completeness; a final-phase fault is caught "
+        "with |D| = 2, exactly the deleted comparison."
+    )
+    return table

@@ -1,0 +1,97 @@
+"""Shared experiment harness: tables, formatting, result persistence.
+
+Every experiment driver (``e1`` .. ``e10``) returns a :class:`Table`;
+benchmarks print it and archive it next to the benchmark output so
+EXPERIMENTS.md's claimed-vs-measured entries can be regenerated with one
+command.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly cell rendering (floats to 4 significant digits)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A printable experiment result: title, claim, columns, rows, notes."""
+
+    experiment: str
+    title: str
+    claim: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row (keys must be a subset of the columns)."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def format(self) -> str:
+        """Render as an aligned plain-text table."""
+        header = [self.columns]
+        body = [
+            [format_cell(row.get(c, "")) for c in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(line[i]) for line in header + body) if (header + body) else 0
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            f"== {self.experiment}: {self.title} ==",
+            f"claim: {self.claim}",
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for cells in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write both the text rendering and a JSON dump; returns the txt path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        txt = directory / f"{self.experiment.lower()}.txt"
+        txt.write_text(self.format() + "\n")
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "claim": self.claim,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        (directory / f"{self.experiment.lower()}.json").write_text(
+            json.dumps(payload, indent=2, default=str)
+        )
+        return txt
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,49 @@
+"""The shuffle-exchange machine substrate and its classic algorithms.
+
+The strict ascend machine (shuffle only) the paper's lower bound speaks
+about, together with the workloads its introduction cites as the reason
+the class matters: parallel prefix, the FFT, and permutation routing.
+"""
+
+from .shuffle_exchange import PairOperation, ShuffleExchangeMachine
+from .hypercube import (
+    CubeConnectedCyclesMachine,
+    DimensionOperation,
+    HypercubeMachine,
+)
+from .ascend import fft, inverse_fft, parallel_prefix, parallel_reduce
+from .shuffle_unshuffle import (
+    benes_shuffle_unshuffle_program,
+    is_shuffle_unshuffle_based,
+    shuffle_unshuffle_route_depth,
+)
+from .sorting import bitonic_sort_on_ccc, bitonic_sort_on_hypercube
+from .routing import (
+    benes_depth,
+    benes_routing_network,
+    benes_switch_sides,
+    cited_shuffle_exchange_levels,
+    sort_route_program,
+)
+
+__all__ = [
+    "ShuffleExchangeMachine",
+    "HypercubeMachine",
+    "CubeConnectedCyclesMachine",
+    "DimensionOperation",
+    "PairOperation",
+    "parallel_prefix",
+    "parallel_reduce",
+    "fft",
+    "inverse_fft",
+    "benes_routing_network",
+    "benes_switch_sides",
+    "benes_depth",
+    "sort_route_program",
+    "cited_shuffle_exchange_levels",
+    "benes_shuffle_unshuffle_program",
+    "is_shuffle_unshuffle_based",
+    "shuffle_unshuffle_route_depth",
+    "bitonic_sort_on_hypercube",
+    "bitonic_sort_on_ccc",
+]

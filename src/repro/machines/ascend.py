@@ -1,0 +1,146 @@
+"""Classic strict-ascend algorithms on the shuffle-exchange machine.
+
+The paper motivates the shuffle-based class by the fact that hypercubic
+machines "admit elegant and efficient strict ascend algorithms for a wide
+variety of basic operations (e.g., parallel prefix, FFT)".  This module
+implements both on the :class:`~repro.machines.shuffle_exchange.
+ShuffleExchangeMachine` -- each in exactly ``lg n`` machine steps -- as
+the motivating workloads of the E-series examples.
+
+Dimension order
+---------------
+A shuffle-only machine visits the index bits in the fixed order
+``d-1, d-2, ..., 0``.  Parallel prefix wants the opposite (LSB-first)
+order; the standard remedy is to *load the data bit-reversed*, which
+turns the machine's MSB-first pair structure into LSB-first over the
+logical indices.  Loading order is free (it is a fixed permutation of the
+input, exactly the kind of relabelling the paper's serial composition
+allows), and the functions below handle it internally.
+
+The decimation-in-frequency FFT, by contrast, consumes bits MSB-first
+natively, so it runs on the machine with *no* relabelling -- the
+textbook reason the (Pease-style) FFT is the shuffle-exchange algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .._util import bit_reverse_int, ilog2, require_power_of_two
+from ..errors import MachineError
+from .shuffle_exchange import ShuffleExchangeMachine
+
+__all__ = ["parallel_prefix", "parallel_reduce", "fft", "inverse_fft"]
+
+
+def parallel_prefix(
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+) -> list[Any]:
+    """Inclusive prefix combine (scan) in ``lg n`` machine steps.
+
+    Runs the hypercube scan: every register carries ``(prefix, total)``;
+    processing dimension ``b``, the bit-set side adds the bit-clear
+    side's block total to its prefix, and both sides adopt the combined
+    block total.  Dimensions must be LSB-first for prefixes to respect
+    index order, so the input is loaded bit-reversed (see module notes).
+    """
+    values = list(values)
+    n = len(values)
+    require_power_of_two(n, "prefix size")
+    d = ilog2(n)
+    if d == 0:
+        return values
+    loaded = [None] * n
+    for u, v in enumerate(values):
+        loaded[bit_reverse_int(u, d)] = (v, v)
+    machine = ShuffleExchangeMachine(loaded)
+
+    def dim_op(bit: int, lo: Any, hi: Any) -> tuple[Any, Any]:
+        # With bit-reversed loading, machine bit ``bit`` corresponds to
+        # logical bit ``d - 1 - bit``; the machine visits bits d-1..0, so
+        # logical bits are visited 0..d-1 -- LSB first, as required.
+        (lo_prefix, lo_total), (hi_prefix, hi_total) = lo, hi
+        block_total = op(lo_total, hi_total)
+        return (
+            (lo_prefix, block_total),
+            (op(lo_total, hi_prefix), block_total),
+        )
+
+    machine.run_ascend(dim_op)
+    out = [None] * n
+    for p, (prefix, _total) in enumerate(machine.registers):
+        out[bit_reverse_int(p, d)] = prefix
+    return out
+
+
+def parallel_reduce(
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+) -> Any:
+    """All-reduce in ``lg n`` machine steps; every register ends with the total."""
+    values = list(values)
+    n = len(values)
+    require_power_of_two(n, "reduce size")
+    if n == 1:
+        return values[0]
+    machine = ShuffleExchangeMachine(values)
+
+    def dim_op(bit: int, lo: Any, hi: Any) -> tuple[Any, Any]:
+        combined = op(lo, hi)
+        return combined, combined
+
+    machine.run_ascend(dim_op)
+    registers = machine.registers
+    first = registers[0]
+    if any(r != first for r in registers):  # pragma: no cover - sanity
+        raise MachineError("reduction did not converge to a single value")
+    return first
+
+
+def fft(values: Sequence[complex]) -> np.ndarray:
+    """The FFT as a strict ascend algorithm, in ``lg n`` machine steps.
+
+    Runs the decimation-in-frequency Cooley-Tukey recursion: dimension
+    ``b`` (visited MSB-first, the machine's native order) applies the
+    butterfly
+
+    .. math::
+
+        (x_u, x_v) \\leftarrow (x_u + x_v,\\; (x_u - x_v)\\,\\omega^{u
+        \\bmod 2^b \\cdot 2^{d-1-b}})
+
+    to every pair of original indices ``u < v`` differing in bit ``b``.
+    Each register carries ``(original_index, value)`` so the twiddle
+    exponent is available locally.  DIF produces output in bit-reversed
+    order; the final unscramble is a fixed output relabelling, performed
+    here so the result matches ``numpy.fft.fft``.
+    """
+    x = np.asarray(values, dtype=np.complex128)
+    n = x.shape[0]
+    require_power_of_two(n, "FFT size")
+    d = ilog2(n)
+    if d == 0:
+        return x.copy()
+    omega = np.exp(-2j * np.pi / n)
+    machine = ShuffleExchangeMachine([(u, x[u]) for u in range(n)])
+
+    def dim_op(bit: int, lo: Any, hi: Any) -> tuple[Any, Any]:
+        (u, xu), (v, xv) = lo, hi
+        tw = omega ** ((u % (1 << bit)) << (d - 1 - bit))
+        return (u, xu + xv), (v, (xu - xv) * tw)
+
+    machine.run_ascend(dim_op)
+    out = np.empty(n, dtype=np.complex128)
+    for pos, (u, val) in enumerate(machine.registers):
+        assert pos == u, "registers should be home after d steps"
+        out[bit_reverse_int(u, d)] = val
+    return out
+
+
+def inverse_fft(values: Sequence[complex]) -> np.ndarray:
+    """Inverse FFT via conjugation: ``ifft(x) = conj(fft(conj(x))) / n``."""
+    x = np.asarray(values, dtype=np.complex128)
+    return np.conj(fft(np.conj(x))) / x.shape[0]

@@ -1,0 +1,185 @@
+"""Hypercube and cube-connected-cycles machines (the paper's §1 context).
+
+The paper situates shuffle-based networks among the *hypercubic*
+networks: "the hypercube, butterfly, cube-connected cycles, or
+shuffle-exchange", and cites Cypher's result that emulating AKS on the
+cube-connected cycles costs :math:`\\Omega(\\lg^2 n)` [4].  This module
+provides the other two machines of that family so the repository's
+ascend algorithms can be compared across substrates:
+
+* :class:`HypercubeMachine` -- ``n = 2^d`` nodes; a *normal* (ascend or
+  descend) algorithm processes one dimension per step, with every node
+  exchanging with its neighbour across that dimension.  One step of the
+  hypercube is one step of the shuffle-exchange (which serialises the
+  same dataflow through its fixed wiring), so ascend algorithms written
+  for one run unchanged on the other -- checked in the tests by running
+  the *same* dimension operations on both machines.
+* :class:`CubeConnectedCyclesMachine` -- each hypercube node expands
+  into a cycle of ``d`` context registers, one per dimension; a normal
+  algorithm runs with the classic constant-factor slowdown: each
+  dimension step is one cross-edge exchange plus one cycle rotation.
+  The emulation cost accounting (:meth:`steps_taken`) is what Cypher's
+  :math:`\\Omega(\\lg^2 n)` lower bound for AKS emulation speaks about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .._util import ilog2, require_power_of_two
+from ..errors import MachineError
+
+__all__ = ["DimensionOperation", "HypercubeMachine", "CubeConnectedCyclesMachine"]
+
+#: A normal-algorithm step: ``(bit, lo, hi) -> (new_lo, new_hi)`` where
+#: ``lo``/``hi`` are the values at the bit-clear / bit-set endpoints of a
+#: dimension-``bit`` edge.
+DimensionOperation = Callable[[int, Any, Any], tuple[Any, Any]]
+
+
+class HypercubeMachine:
+    """``2^d`` nodes; one dimension exchanged per step."""
+
+    def __init__(self, values: Sequence[Any]):
+        values = list(values)
+        require_power_of_two(len(values), "node count")
+        self._values = values
+        self._d = ilog2(len(values))
+        self._steps = 0
+
+    @property
+    def n(self) -> int:
+        """Node count (``2**d``)."""
+        return len(self._values)
+
+    @property
+    def d(self) -> int:
+        """Dimension count ``lg n``."""
+        return self._d
+
+    @property
+    def steps_taken(self) -> int:
+        """Dimension steps executed so far."""
+        return self._steps
+
+    @property
+    def values(self) -> list[Any]:
+        """A copy of the per-node values, in node order."""
+        return list(self._values)
+
+    def step(self, bit: int, operation: DimensionOperation) -> None:
+        """Apply one dimension-``bit`` exchange to every edge in parallel."""
+        if not 0 <= bit < self._d:
+            raise MachineError(f"dimension {bit} out of range [0, {self._d})")
+        mask = 1 << bit
+        for u in range(self.n):
+            if u & mask:
+                continue
+            v = u | mask
+            self._values[u], self._values[v] = operation(
+                bit, self._values[u], self._values[v]
+            )
+        self._steps += 1
+
+    def run_ascend(self, operation: DimensionOperation) -> list[Any]:
+        """Dimensions ``0 .. d-1`` in order (the classic ascend schedule)."""
+        for bit in range(self._d):
+            self.step(bit, operation)
+        return self.values
+
+    def run_descend(self, operation: DimensionOperation) -> list[Any]:
+        """Dimensions ``d-1 .. 0`` -- the shuffle-exchange's native order."""
+        for bit in range(self._d - 1, -1, -1):
+            self.step(bit, operation)
+        return self.values
+
+
+class CubeConnectedCyclesMachine:
+    """The CCC: hypercube nodes expanded into ``d``-cycles of registers.
+
+    Node ``(u, pos)`` holds a cycle position ``pos`` in ``0..d-1``; the
+    cross edge at position ``pos`` connects ``(u, pos)`` to
+    ``(u XOR 2^pos, pos)``.  A normal algorithm keeps each hypercube
+    node's datum in its cycle and rotates it to the position of the next
+    dimension between cross steps, so emulating one hypercube step costs
+    one cross step plus (amortised) one rotation -- the constant-factor
+    slowdown the paper's introduction alludes to, and the cost model of
+    Cypher's lower bound [4].
+    """
+
+    def __init__(self, values: Sequence[Any]):
+        values = list(values)
+        require_power_of_two(len(values), "node count")
+        self._d = ilog2(len(values))
+        if self._d == 0:
+            raise MachineError("CCC needs at least 2 hypercube nodes")
+        # registers[u][pos]; the datum of hypercube node u starts at pos 0.
+        self._registers: list[list[Any]] = [
+            [values[u]] + [None] * (self._d - 1) for u in range(len(values))
+        ]
+        self._data_pos = 0  # common cycle position of all live data
+        self._steps = 0
+
+    @property
+    def n(self) -> int:
+        """Hypercube node count (total registers = n * d)."""
+        return len(self._registers)
+
+    @property
+    def d(self) -> int:
+        """Cycle length / hypercube dimension count."""
+        return self._d
+
+    @property
+    def steps_taken(self) -> int:
+        """Total machine steps (rotations + cross exchanges)."""
+        return self._steps
+
+    @property
+    def data_position(self) -> int:
+        """Current cycle position of the data."""
+        return self._data_pos
+
+    def values(self) -> list[Any]:
+        """The datum of each hypercube node, in node order."""
+        return [regs[self._data_pos] for regs in self._registers]
+
+    def rotate(self) -> None:
+        """Rotate every cycle by one position (one machine step)."""
+        for regs in self._registers:
+            regs.insert(0, regs.pop())
+        self._data_pos = (self._data_pos + 1) % self._d
+        self._steps += 1
+
+    def cross_step(self, operation: DimensionOperation) -> None:
+        """Exchange across the dimension equal to the data's position."""
+        bit = self._data_pos
+        mask = 1 << bit
+        for u in range(self.n):
+            if u & mask:
+                continue
+            v = u | mask
+            a = self._registers[u][bit]
+            b = self._registers[v][bit]
+            self._registers[u][bit], self._registers[v][bit] = operation(
+                bit, a, b
+            )
+        self._steps += 1
+
+    def run_ascend(self, operation: DimensionOperation) -> list[Any]:
+        """Emulate a hypercube ascend pass: cross, rotate, cross, ...
+
+        Costs ``2d - 1`` machine steps per pass (d cross steps and d-1
+        rotations), returning the data to dimension order at position
+        ``d-1``; a final rotation (added here for convenience) restores
+        position 0, for ``2d`` total -- the constant-factor emulation.
+        """
+        if self._data_pos != 0:
+            raise MachineError("ascend pass must start at cycle position 0")
+        for bit in range(self._d):
+            self.cross_step(operation)
+            if bit != self._d - 1:
+                self.rotate()
+        # restore home position so passes compose
+        self.rotate()
+        return self.values()

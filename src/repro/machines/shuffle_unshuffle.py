@@ -1,0 +1,122 @@
+"""Shuffle-unshuffle programs: the "ascend-descend" side of the separation.
+
+The paper frames its result as separating **strict ascend** machines
+(shuffle only -- the lower bound applies) from **ascend-descend**
+machines (both shuffle :math:`\\pi` and unshuffle :math:`\\pi^{-1}`
+allowed -- nearly-logarithmic sorting exists [8, 12], so no such bound
+can hold).  This module makes the extra power of the two-permutation
+class concrete:
+
+* :func:`is_shuffle_unshuffle_based` -- membership test for register
+  programs whose every step is shuffle or unshuffle;
+* :func:`benes_shuffle_unshuffle_program` -- **any** permutation routed
+  in exactly ``2 lg n`` shuffle/unshuffle steps.  The construction maps
+  the Beneš network's levels onto machine stages:
+
+  - after ``t+1`` *shuffles*, register ``u`` sits at
+    ``rot_left(u, t+1)``, so stage ``t`` pairs indices differing in bit
+    ``d-1-t`` -- strides ``n/2, ..., 2, 1``: exactly the first ``d``
+    Beneš levels;
+  - after ``j+1`` *unshuffles* (from the home position the shuffles
+    return to), register ``u`` sits at ``rot_right(u, j+1)``, so stage
+    ``j`` pairs bit ``(j+1) mod d`` -- strides ``2, 4, ..., n/2``:
+    exactly the remaining ``d-1`` Beneš levels, with one final gate-free
+    unshuffle restoring the order.
+
+  A strict shuffle-only machine cannot run the second half: continuing
+  to shuffle repeats strides ``n/2, ..., 1`` cyclically and never
+  produces the ascending-stride levels.  The best in-class router we
+  implement is the ``lg^2 n``-step sort-router
+  (:func:`repro.machines.routing.sort_route_program`) -- experiment E12
+  prints the two side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .._util import ilog2, require_power_of_two, rotate_left, rotate_right
+from ..errors import RoutingError
+from ..networks.gates import Op
+from ..networks.permutations import (
+    Permutation,
+    shuffle_permutation,
+    unshuffle_permutation,
+)
+from ..networks.registers import RegisterProgram, RegisterStep
+from .routing import benes_routing_network
+
+__all__ = [
+    "is_shuffle_unshuffle_based",
+    "benes_shuffle_unshuffle_program",
+    "shuffle_unshuffle_route_depth",
+]
+
+
+def is_shuffle_unshuffle_based(program: RegisterProgram) -> bool:
+    """True iff every step's permutation is the shuffle or the unshuffle."""
+    n = program.n
+    if n == 1:
+        return True
+    shuffle = shuffle_permutation(n)
+    unshuffle = unshuffle_permutation(n)
+    return all(s.perm in (shuffle, unshuffle) for s in program.steps)
+
+
+def shuffle_unshuffle_route_depth(n: int) -> int:
+    """Steps used by :func:`benes_shuffle_unshuffle_program`: ``2 lg n``."""
+    return 2 * ilog2(require_power_of_two(n, "routing size"))
+
+
+def benes_shuffle_unshuffle_program(
+    perm: Permutation | Sequence[int],
+) -> RegisterProgram:
+    """Route any permutation in ``2 lg n`` shuffle/unshuffle steps.
+
+    Computes Beneš switch settings with the looping algorithm, then
+    transplants each Beneš level's ``1`` elements onto the machine stage
+    whose adjacent pairs realise exactly that level's stride (see module
+    docstring for the stage/level correspondence).  The returned program
+    consists of ``lg n`` shuffle steps followed by ``lg n`` unshuffle
+    steps (the last one gate-free), and moves the value at register ``i``
+    to register ``perm(i)``.
+    """
+    mapping = (
+        list(map(int, perm.mapping)) if isinstance(perm, Permutation) else list(perm)
+    )
+    n = len(mapping)
+    d = ilog2(require_power_of_two(n, "routing size"))
+    if sorted(mapping) != list(range(n)):
+        raise RoutingError("targets must form a permutation of range(n)")
+    if d == 0:
+        return RegisterProgram(1, [])
+
+    benes = benes_routing_network(mapping)
+    level_gates = [stage.level.gates for stage in benes.stages]  # 2d-1 levels
+    shuffle = shuffle_permutation(n)
+    unshuffle = unshuffle_permutation(n)
+
+    steps: list[RegisterStep] = []
+    # first half: d shuffle stages realise Benes levels 0..d-1
+    for t in range(d):
+        ops = [Op.NOP] * (n // 2)
+        for g in level_gates[t]:
+            w = min(g.a, g.b)  # the endpoint with the paired bit clear
+            q = rotate_left(w, d, t + 1)
+            if q & 1:  # pragma: no cover - correspondence invariant
+                raise RoutingError("shuffle-stage pair landed odd-aligned")
+            ops[q // 2] = Op.SWAP
+        steps.append(RegisterStep(perm=shuffle, ops=tuple(ops)))
+    # second half: d-1 unshuffle stages realise Benes levels d..2d-2
+    for j in range(d - 1):
+        ops = [Op.NOP] * (n // 2)
+        for g in level_gates[d + j]:
+            w = min(g.a, g.b)
+            q = rotate_right(w, d, j + 1)
+            if q & 1:  # pragma: no cover - correspondence invariant
+                raise RoutingError("unshuffle-stage pair landed odd-aligned")
+            ops[q // 2] = Op.SWAP
+        steps.append(RegisterStep(perm=unshuffle, ops=tuple(ops)))
+    # one gate-free unshuffle restores the home positions
+    steps.append(RegisterStep(perm=unshuffle, ops=tuple([Op.NOP] * (n // 2))))
+    return RegisterProgram(n, steps)

@@ -1,0 +1,78 @@
+"""Sorting as a normal hypercubic algorithm (bitonic sort on machines).
+
+Batcher's bitonic sort is the canonical *normal* algorithm: phase ``p``
+visits dimensions ``p-1 .. 0`` with a compare-exchange whose direction
+depends on bit ``p`` of the node index.  This module runs it directly on
+the machine models of :mod:`repro.machines.hypercube` -- the same
+dataflow that, serialised through the shuffle wiring, is the
+shuffle-based network of :func:`repro.sorters.bitonic.
+bitonic_shuffle_program`.  Having all three substrates execute the same
+algorithm (and agree, as the tests check) is the operational content of
+the paper's remark that hypercubic machines share their ascend/descend
+algorithm libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .._util import ilog2, require_power_of_two
+from .hypercube import CubeConnectedCyclesMachine, HypercubeMachine
+
+__all__ = ["bitonic_sort_on_hypercube", "bitonic_sort_on_ccc"]
+
+
+def _phase_op(phase: int):
+    """The dimension operation of bitonic phase ``p`` (1-based).
+
+    Values are carried as ``(node_index, key)``; the direction of each
+    compare-exchange depends on bit ``p`` of the *bit-clear* endpoint.
+    """
+
+    def op(bit: int, lo: Any, hi: Any) -> tuple[Any, Any]:
+        (u, ku), (v, kv) = lo, hi
+        ascending = not (u >> phase) & 1
+        if (ku > kv) == ascending:
+            ku, kv = kv, ku
+        return (u, ku), (v, kv)
+
+    return op
+
+
+def bitonic_sort_on_hypercube(values: Sequence[Any]) -> list[Any]:
+    """Sort with ``lg n (lg n + 1)/2`` hypercube steps (bitonic phases)."""
+    values = list(values)
+    d = ilog2(require_power_of_two(len(values), "sort size"))
+    machine = HypercubeMachine([(u, v) for u, v in enumerate(values)])
+    for phase in range(1, d + 1):
+        op = _phase_op(phase)
+        for bit in range(phase - 1, -1, -1):
+            machine.step(bit, op)
+    return [key for _, key in machine.values]
+
+
+def bitonic_sort_on_ccc(values: Sequence[Any]) -> tuple[list[Any], int]:
+    """Bitonic sort on the cube-connected cycles, with its step count.
+
+    Each phase's dimensions are visited by rotating the cycle to the
+    next dimension position between cross steps (descending order, so
+    one backward rotation per dimension -- realised as ``d - 1`` forward
+    rotations on a unidirectional cycle).  Returns ``(sorted_keys,
+    machine_steps)``; the step count exhibits the constant-factor
+    emulation overhead that Cypher's :math:`\\Omega(\\lg^2 n)` CCC bound
+    [4] is stated against.
+    """
+    values = list(values)
+    d = ilog2(require_power_of_two(len(values), "sort size"))
+    ccc = CubeConnectedCyclesMachine([(u, v) for u, v in enumerate(values)])
+    for phase in range(1, d + 1):
+        op = _phase_op(phase)
+        # rotate the data to position phase-1
+        while ccc.data_position != (phase - 1) % d:
+            ccc.rotate()
+        for bit in range(phase - 1, -1, -1):
+            while ccc.data_position != bit:
+                ccc.rotate()
+            ccc.cross_step(op)
+    keys = [key for _, key in ccc.values()]
+    return keys, ccc.steps_taken

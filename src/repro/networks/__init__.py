@@ -1,0 +1,95 @@
+"""Comparator-network substrate: circuit/register models and topologies.
+
+This subpackage implements everything the paper's lower-bound argument
+runs against: the two equivalent comparator-network models of Section 1,
+the shuffle permutation, and the delta / reverse delta / butterfly
+topologies of Section 3.2.
+"""
+
+from .gates import Gate, Op, comparator, exchange, passthrough, reverse_comparator
+from .level import Level
+from .network import ComparatorNetwork, ComparisonRecord, EvaluationTrace, Stage
+from .permutations import (
+    Permutation,
+    bit_reversal_permutation,
+    bit_rotation_permutation,
+    from_cycles,
+    identity_permutation,
+    random_permutation,
+    reversal_permutation,
+    shuffle_permutation,
+    transposition,
+    unshuffle_permutation,
+    xor_permutation,
+)
+from .registers import RegisterProgram, RegisterStep
+from .delta import IteratedReverseDeltaNetwork, ReverseDeltaNetwork
+from .builders import (
+    bitonic_iterated_rdn,
+    bitonic_phase_rdn,
+    butterfly_rdn,
+    constant_op_chooser,
+    empty_rdn,
+    random_iterated_rdn,
+    random_reverse_delta,
+    rdn_from_bit_order,
+    shuffle_split_rdn,
+    truncated_rdn,
+)
+from .shuffle import (
+    iterated_rdn_from_shuffle_program,
+    shuffle_based_network,
+    shuffle_program_from_iterated_rdn,
+    shuffle_program_from_split_rdn,
+    split_rdn_from_shuffle_stages,
+)
+from .draw import render_network, render_stage_summary, to_dot
+from . import serialize
+
+__all__ = [
+    "Gate",
+    "Op",
+    "comparator",
+    "reverse_comparator",
+    "exchange",
+    "passthrough",
+    "Level",
+    "Stage",
+    "ComparatorNetwork",
+    "ComparisonRecord",
+    "EvaluationTrace",
+    "Permutation",
+    "identity_permutation",
+    "shuffle_permutation",
+    "unshuffle_permutation",
+    "bit_reversal_permutation",
+    "bit_rotation_permutation",
+    "xor_permutation",
+    "reversal_permutation",
+    "random_permutation",
+    "transposition",
+    "from_cycles",
+    "RegisterProgram",
+    "RegisterStep",
+    "ReverseDeltaNetwork",
+    "IteratedReverseDeltaNetwork",
+    "rdn_from_bit_order",
+    "butterfly_rdn",
+    "shuffle_split_rdn",
+    "empty_rdn",
+    "truncated_rdn",
+    "random_reverse_delta",
+    "random_iterated_rdn",
+    "bitonic_phase_rdn",
+    "bitonic_iterated_rdn",
+    "constant_op_chooser",
+    "shuffle_based_network",
+    "shuffle_program_from_split_rdn",
+    "split_rdn_from_shuffle_stages",
+    "iterated_rdn_from_shuffle_program",
+    "shuffle_program_from_iterated_rdn",
+    "render_network",
+    "render_stage_summary",
+    "to_dot",
+    "serialize",
+]

@@ -1,0 +1,130 @@
+"""ASCII rendering of comparator networks (Knuth-style diagrams).
+
+Wires run left to right, one text row per wire; each stage occupies a
+column group.  Comparators are drawn as vertical connectors:
+
+* ``o``/``o`` with ``|`` between -- a ``+`` comparator (min to the lower
+  wire index, drawn on top);
+* ``^``/``v`` -- a ``-`` comparator (max to the first endpoint);
+* ``x``/``x`` -- an exchange element;
+* stage permutations are annotated below the diagram.
+
+The renderer is intended for inspection and documentation of *small*
+networks (n <= 32 or so); it is exact for any size but becomes unwieldy.
+"""
+
+from __future__ import annotations
+
+from .gates import Op
+from .network import ComparatorNetwork
+
+__all__ = ["render_network", "render_stage_summary", "to_dot"]
+
+
+_ENDPOINTS = {
+    Op.PLUS: ("o", "o"),
+    Op.MINUS: ("^", "v"),
+    Op.SWAP: ("x", "x"),
+    Op.NOP: (".", "."),
+}
+
+
+def render_network(net: ComparatorNetwork, wire_labels: bool = True) -> str:
+    """Render a network as a multi-line ASCII diagram.
+
+    Each stage becomes a three-character column; gates within a stage are
+    drawn in the same column (they touch disjoint wires, so they never
+    overlap except where their vertical spans cross, which is rendered
+    with ``|`` pass-through).
+    """
+    n = net.n
+    width = 3 * max(net.depth, 1)
+    grid = [["-"] * width for _ in range(n)]
+    notes: list[str] = []
+    for si, stage in enumerate(net.stages):
+        col = 3 * si + 1
+        if stage.perm is not None and not stage.perm.is_identity:
+            notes.append(f"stage {si}: permute by {stage.perm!r}")
+        for g in stage.level:
+            top, bot = (g.a, g.b) if g.a < g.b else (g.b, g.a)
+            ca, cb = _ENDPOINTS[g.op]
+            ctop, cbot = (ca, cb) if g.a < g.b else (cb, ca)
+            grid[top][col] = ctop
+            grid[bot][col] = cbot
+            for w in range(top + 1, bot):
+                grid[w][col] = "+" if grid[w][col] != "-" else "|"
+    lines = []
+    label_w = len(str(n - 1)) if wire_labels else 0
+    for w in range(n):
+        prefix = f"{w:>{label_w}} " if wire_labels else ""
+        lines.append(prefix + "".join(grid[w]))
+    lines.extend(notes)
+    return "\n".join(lines)
+
+
+def render_stage_summary(net: ComparatorNetwork) -> str:
+    """One line per stage: comparator count and permutation flag."""
+    rows = []
+    for si, stage in enumerate(net.stages):
+        perm = "-" if stage.perm is None or stage.perm.is_identity else "perm"
+        rows.append(
+            f"stage {si:>3}: {stage.comparator_count:>5} comparators, "
+            f"{len(stage.level) - stage.comparator_count:>3} other, {perm}"
+        )
+    rows.append(f"total: depth={net.depth} size={net.size}")
+    return "\n".join(rows)
+
+
+def to_dot(net: ComparatorNetwork, name: str = "network") -> str:
+    """Render the network as a Graphviz DOT digraph.
+
+    Wires become horizontal chains of per-stage nodes; comparators are
+    drawn as constrained edges between the two endpoints' nodes at their
+    stage, labelled with the op (min-direction arrows for comparators,
+    double arrows for exchanges).  Stage permutations appear as dashed
+    routing edges.  Intended for ``dot -Tsvg``.
+    """
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        "  node [shape=point, width=0.06];",
+        "  edge [arrowsize=0.5];",
+    ]
+    n = net.n
+    depth = net.depth
+
+    def node(w: int, s: int) -> str:
+        return f"w{w}s{s}"
+
+    for w in range(n):
+        chain = " -> ".join(node(w, s) for s in range(depth + 1))
+        lines.append(f"  {{ rank=same; }}")
+        lines.append(f"  {chain} [weight=10, color=gray];")
+    for si, stage in enumerate(net.stages):
+        if stage.perm is not None and not stage.perm.is_identity:
+            for w in range(n):
+                tgt = stage.perm(w)
+                if tgt != w:
+                    lines.append(
+                        f"  {node(w, si)} -> {node(tgt, si)} "
+                        "[style=dashed, color=steelblue, constraint=false];"
+                    )
+        for g in stage.level:
+            if g.op is Op.PLUS:
+                attrs = "color=black"
+                src, dst = g.b, g.a  # arrow points to the min output
+            elif g.op is Op.MINUS:
+                attrs = "color=black"
+                src, dst = g.a, g.b
+            elif g.op is Op.SWAP:
+                attrs = "color=firebrick, dir=both"
+                src, dst = g.a, g.b
+            else:
+                attrs = "color=gray, style=dotted, dir=none"
+                src, dst = g.a, g.b
+            lines.append(
+                f"  {node(src, si + 1)} -> {node(dst, si + 1)} "
+                f"[{attrs}, constraint=false];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

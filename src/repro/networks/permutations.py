@@ -1,0 +1,297 @@
+"""Permutations of wire positions, including the shuffle permutation.
+
+The paper's register model (Section 1) interleaves comparator levels with
+fixed permutations :math:`\\Pi_i` of the registers.  This module provides a
+small permutation algebra used throughout the library, with the shuffle
+permutation :math:`\\pi` of the paper as the headline instance:
+
+    If :math:`j_{d-1} \\cdots j_0` is the binary representation of
+    :math:`j`, then :math:`\\pi(j)` has binary representation
+    :math:`j_{d-2} \\cdots j_0 j_{d-1}` (rotate-left of the index bits).
+
+Conventions
+-----------
+A :class:`Permutation` ``P`` maps *positions*: the value stored at register
+``j`` before the permutation is stored at register ``P(j)`` afterwards.
+Hence for a value vector ``v``, the permuted vector ``w`` satisfies
+``w[P(j)] == v[j]``, which is what :meth:`Permutation.apply` computes.
+
+Composition ``P.then(Q)`` is "first P, then Q", i.e. the permutation
+``j -> Q(P(j))``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .._util import (
+    as_int_array,
+    bit_reverse_int,
+    check_permutation_array,
+    ilog2,
+    require_power_of_two,
+    rotate_left,
+)
+from ..errors import WireError
+
+__all__ = [
+    "Permutation",
+    "identity_permutation",
+    "shuffle_permutation",
+    "unshuffle_permutation",
+    "bit_reversal_permutation",
+    "bit_rotation_permutation",
+    "xor_permutation",
+    "random_permutation",
+    "reversal_permutation",
+    "transposition",
+    "from_cycles",
+]
+
+
+class Permutation:
+    """An immutable permutation of ``range(n)`` acting on wire positions.
+
+    Parameters
+    ----------
+    mapping:
+        Sequence with ``mapping[j]`` = image of position ``j``.  Must be a
+        bijection on ``range(len(mapping))``.
+    """
+
+    __slots__ = ("_mapping", "_inverse", "__dict__")
+
+    def __init__(self, mapping: Sequence[int] | np.ndarray):
+        arr = as_int_array(mapping)
+        check_permutation_array(arr, arr.shape[0])
+        arr.setflags(write=False)
+        self._mapping = arr
+        self._inverse: np.ndarray | None = None
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of positions the permutation acts on."""
+        return int(self._mapping.shape[0])
+
+    @property
+    def mapping(self) -> np.ndarray:
+        """Read-only array with ``mapping[j]`` = image of ``j``."""
+        return self._mapping
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __call__(self, j: int) -> int:
+        """Image of position ``j``."""
+        return int(self._mapping[j])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(x) for x in self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self.n == other.n and bool(
+            np.array_equal(self._mapping, other._mapping)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._mapping.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.n <= 16:
+            return f"Permutation({list(map(int, self._mapping))})"
+        return f"Permutation(n={self.n})"
+
+    # -- algebra -----------------------------------------------------------
+    def inverse(self) -> "Permutation":
+        """The inverse permutation."""
+        inv = np.empty(self.n, dtype=np.int64)
+        inv[self._mapping] = np.arange(self.n, dtype=np.int64)
+        return Permutation(inv)
+
+    def then(self, other: "Permutation") -> "Permutation":
+        """Composition "self first, then other": ``j -> other(self(j))``."""
+        if other.n != self.n:
+            raise WireError(
+                f"cannot compose permutations of sizes {self.n} and {other.n}"
+            )
+        return Permutation(other._mapping[self._mapping])
+
+    def power(self, k: int) -> "Permutation":
+        """The ``k``-th power (``k`` may be negative or zero)."""
+        if k < 0:
+            return self.inverse().power(-k)
+        result = identity_permutation(self.n)
+        base = self
+        while k:
+            if k & 1:
+                result = result.then(base)
+            base = base.then(base)
+            k >>= 1
+        return result
+
+    # -- action ------------------------------------------------------------
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Permute a value vector (or a batch of row vectors).
+
+        For a 1-D vector ``v`` returns ``w`` with ``w[mapping[j]] = v[j]``.
+        For a 2-D batch of shape ``(batch, n)`` the action is applied to
+        every row.
+        """
+        values = np.asarray(values)
+        out = np.empty_like(values)
+        if values.ndim == 1:
+            if values.shape[0] != self.n:
+                raise WireError(
+                    f"value vector has length {values.shape[0]}, expected {self.n}"
+                )
+            out[self._mapping] = values
+        elif values.ndim == 2:
+            if values.shape[1] != self.n:
+                raise WireError(
+                    f"batch has row length {values.shape[1]}, expected {self.n}"
+                )
+            out[:, self._mapping] = values
+        else:
+            raise WireError(f"expected 1-D or 2-D array, got ndim={values.ndim}")
+        return out
+
+    def apply_positions(self, positions: Iterable[int]) -> list[int]:
+        """Map a collection of positions through the permutation."""
+        return [int(self._mapping[p]) for p in positions]
+
+    # -- properties --------------------------------------------------------
+    @cached_property
+    def is_identity(self) -> bool:
+        """True iff this is the identity permutation."""
+        return bool(np.array_equal(self._mapping, np.arange(self.n)))
+
+    def cycles(self) -> list[tuple[int, ...]]:
+        """Cycle decomposition (cycles of length >= 2, each min-rotated)."""
+        seen = np.zeros(self.n, dtype=bool)
+        out: list[tuple[int, ...]] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            cyc = [start]
+            seen[start] = True
+            j = int(self._mapping[start])
+            while j != start:
+                cyc.append(j)
+                seen[j] = True
+                j = int(self._mapping[j])
+            if len(cyc) > 1:
+                out.append(tuple(cyc))
+        return out
+
+    def order(self) -> int:
+        """Multiplicative order of the permutation."""
+        import math
+
+        result = 1
+        for cyc in self.cycles():
+            result = math.lcm(result, len(cyc))
+        return result
+
+    def fixed_points(self) -> list[int]:
+        """Positions mapped to themselves."""
+        return [int(j) for j in np.nonzero(self._mapping == np.arange(self.n))[0]]
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+def identity_permutation(n: int) -> Permutation:
+    """The identity on ``range(n)``."""
+    return Permutation(np.arange(n, dtype=np.int64))
+
+
+def shuffle_permutation(n: int) -> Permutation:
+    """The paper's shuffle permutation :math:`\\pi` on ``n = 2**d`` wires.
+
+    ``pi(j)`` rotates the ``d`` index bits of ``j`` left by one, so the
+    value at register ``j = j_{d-1} ... j_0`` moves to register
+    ``j_{d-2} ... j_0 j_{d-1}``.  This is the "perfect shuffle": the first
+    half of the deck interleaves with the second half.
+    """
+    d = ilog2(require_power_of_two(n, "shuffle size"))
+    if d == 0:
+        return identity_permutation(1)
+    mapping = np.fromiter(
+        (rotate_left(j, d, 1) for j in range(n)), dtype=np.int64, count=n
+    )
+    return Permutation(mapping)
+
+
+def unshuffle_permutation(n: int) -> Permutation:
+    """The inverse shuffle :math:`\\pi^{-1}` (rotate index bits right)."""
+    return shuffle_permutation(n).inverse()
+
+
+def bit_reversal_permutation(n: int) -> Permutation:
+    """Bit-reversal of the index bits (an involution)."""
+    d = ilog2(require_power_of_two(n, "bit-reversal size"))
+    mapping = np.fromiter(
+        (bit_reverse_int(j, d) for j in range(n)), dtype=np.int64, count=n
+    )
+    return Permutation(mapping)
+
+
+def bit_rotation_permutation(n: int, amount: int) -> Permutation:
+    """Rotate index bits left by ``amount`` (``shuffle**amount``)."""
+    d = ilog2(require_power_of_two(n, "bit-rotation size"))
+    if d == 0:
+        return identity_permutation(1)
+    mapping = np.fromiter(
+        (rotate_left(j, d, amount) for j in range(n)), dtype=np.int64, count=n
+    )
+    return Permutation(mapping)
+
+
+def xor_permutation(n: int, mask: int) -> Permutation:
+    """The involution ``j -> j XOR mask`` (e.g. the exchange ``mask=1``)."""
+    require_power_of_two(n, "xor-permutation size")
+    if not 0 <= mask < n:
+        raise WireError(f"mask {mask} out of range [0, {n})")
+    mapping = np.arange(n, dtype=np.int64) ^ mask
+    return Permutation(mapping)
+
+
+def reversal_permutation(n: int) -> Permutation:
+    """The full reversal ``j -> n - 1 - j``."""
+    return Permutation(np.arange(n - 1, -1, -1, dtype=np.int64))
+
+
+def random_permutation(n: int, rng: np.random.Generator) -> Permutation:
+    """A uniformly random permutation drawn from ``rng``."""
+    return Permutation(rng.permutation(n).astype(np.int64))
+
+
+def transposition(n: int, a: int, b: int) -> Permutation:
+    """The transposition swapping positions ``a`` and ``b``."""
+    mapping = np.arange(n, dtype=np.int64)
+    mapping[a], mapping[b] = mapping[b], mapping[a]
+    return Permutation(mapping)
+
+
+def from_cycles(n: int, cycles: Iterable[Sequence[int]]) -> Permutation:
+    """Build a permutation from disjoint cycles.
+
+    Each cycle ``(c0, c1, ..., ck)`` sends ``c0 -> c1 -> ... -> ck -> c0``.
+    """
+    mapping = np.arange(n, dtype=np.int64)
+    used: set[int] = set()
+    for cyc in cycles:
+        for x in cyc:
+            if x in used:
+                raise WireError(f"position {x} appears in two cycles")
+            used.add(int(x))
+        for a, b in zip(cyc, list(cyc[1:]) + [cyc[0]]):
+            mapping[a] = b
+    return Permutation(mapping)

@@ -1,0 +1,175 @@
+"""JSON (de)serialisation of networks, programs and topologies.
+
+The on-disk format is a plain JSON document so networks can be exchanged
+with other tools, archived next to experiment results, or diffed.  All
+``to_json`` functions return JSON-compatible dicts; ``dumps``/``loads``
+wrap them with version tagging.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ReproError, WireError
+from .delta import IteratedReverseDeltaNetwork, ReverseDeltaNetwork
+from .gates import Gate, Op
+from .level import Level
+from .network import ComparatorNetwork, Stage
+from .permutations import Permutation
+from .registers import RegisterProgram, RegisterStep
+
+__all__ = [
+    "network_to_json",
+    "network_from_json",
+    "rdn_to_json",
+    "rdn_from_json",
+    "iterated_to_json",
+    "iterated_from_json",
+    "program_to_json",
+    "program_from_json",
+    "dumps",
+    "loads",
+]
+
+FORMAT_VERSION = 1
+
+
+def _gate_to_json(g: Gate) -> list[Any]:
+    return [g.a, g.b, g.op.value]
+
+
+def _gate_from_json(item: list[Any]) -> Gate:
+    a, b, op = item
+    return Gate(int(a), int(b), Op.from_str(op))
+
+
+def network_to_json(net: ComparatorNetwork) -> dict[str, Any]:
+    """Serialise a :class:`ComparatorNetwork`."""
+    stages = []
+    for s in net.stages:
+        entry: dict[str, Any] = {"gates": [_gate_to_json(g) for g in s.level]}
+        if s.perm is not None:
+            entry["perm"] = [int(x) for x in s.perm.mapping]
+        stages.append(entry)
+    return {"kind": "network", "n": net.n, "stages": stages}
+
+
+def network_from_json(doc: dict[str, Any]) -> ComparatorNetwork:
+    """Deserialise a :class:`ComparatorNetwork`."""
+    if doc.get("kind") != "network":
+        raise WireError(f"expected kind 'network', got {doc.get('kind')!r}")
+    stages = []
+    for entry in doc["stages"]:
+        level = Level(_gate_from_json(g) for g in entry["gates"])
+        perm = Permutation(entry["perm"]) if "perm" in entry else None
+        stages.append(Stage(level=level, perm=perm))
+    return ComparatorNetwork(int(doc["n"]), stages)
+
+
+def rdn_to_json(rdn: ReverseDeltaNetwork) -> dict[str, Any]:
+    """Serialise a :class:`ReverseDeltaNetwork` tree."""
+    if rdn.is_leaf:
+        return {"kind": "rdn", "wire": rdn.wires[0]}
+    return {
+        "kind": "rdn",
+        "child0": rdn_to_json(rdn.child0),
+        "child1": rdn_to_json(rdn.child1),
+        "final": [_gate_to_json(g) for g in rdn.final],
+    }
+
+
+def rdn_from_json(doc: dict[str, Any]) -> ReverseDeltaNetwork:
+    """Deserialise a :class:`ReverseDeltaNetwork` tree."""
+    if doc.get("kind") != "rdn":
+        raise WireError(f"expected kind 'rdn', got {doc.get('kind')!r}")
+    if "wire" in doc:
+        return ReverseDeltaNetwork.leaf(int(doc["wire"]))
+    return ReverseDeltaNetwork.node(
+        rdn_from_json(doc["child0"]),
+        rdn_from_json(doc["child1"]),
+        tuple(_gate_from_json(g) for g in doc["final"]),
+    )
+
+
+def iterated_to_json(it: IteratedReverseDeltaNetwork) -> dict[str, Any]:
+    """Serialise an :class:`IteratedReverseDeltaNetwork`."""
+    blocks = []
+    for perm, rdn in it.blocks:
+        entry: dict[str, Any] = {"rdn": rdn_to_json(rdn)}
+        if perm is not None:
+            entry["perm"] = [int(x) for x in perm.mapping]
+        blocks.append(entry)
+    return {"kind": "iterated-rdn", "n": it.n, "blocks": blocks}
+
+
+def iterated_from_json(doc: dict[str, Any]) -> IteratedReverseDeltaNetwork:
+    """Deserialise an :class:`IteratedReverseDeltaNetwork`."""
+    if doc.get("kind") != "iterated-rdn":
+        raise WireError(f"expected kind 'iterated-rdn', got {doc.get('kind')!r}")
+    blocks = []
+    for entry in doc["blocks"]:
+        perm = Permutation(entry["perm"]) if "perm" in entry else None
+        blocks.append((perm, rdn_from_json(entry["rdn"])))
+    return IteratedReverseDeltaNetwork(int(doc["n"]), blocks)
+
+
+def program_to_json(prog: RegisterProgram) -> dict[str, Any]:
+    """Serialise a :class:`RegisterProgram`."""
+    steps = [
+        {"perm": [int(x) for x in s.perm.mapping], "ops": s.ops_string()}
+        for s in prog.steps
+    ]
+    return {"kind": "register-program", "n": prog.n, "steps": steps}
+
+
+def program_from_json(doc: dict[str, Any]) -> RegisterProgram:
+    """Deserialise a :class:`RegisterProgram`."""
+    if doc.get("kind") != "register-program":
+        raise WireError(
+            f"expected kind 'register-program', got {doc.get('kind')!r}"
+        )
+    steps = [
+        RegisterStep(
+            perm=Permutation(entry["perm"]),
+            ops=tuple(Op.from_str(c) for c in entry["ops"]),
+        )
+        for entry in doc["steps"]
+    ]
+    return RegisterProgram(int(doc["n"]), steps)
+
+
+_SERIALIZERS = {
+    ComparatorNetwork: network_to_json,
+    ReverseDeltaNetwork: rdn_to_json,
+    IteratedReverseDeltaNetwork: iterated_to_json,
+    RegisterProgram: program_to_json,
+}
+
+_DESERIALIZERS = {
+    "network": network_from_json,
+    "rdn": rdn_from_json,
+    "iterated-rdn": iterated_from_json,
+    "register-program": program_from_json,
+}
+
+
+def dumps(obj: Any, indent: int | None = None) -> str:
+    """Serialise any supported object to a version-tagged JSON string."""
+    for cls, fn in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            return json.dumps({"version": FORMAT_VERSION, "payload": fn(obj)},
+                              indent=indent)
+    raise ReproError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps`."""
+    doc = json.loads(text)
+    if doc.get("version") != FORMAT_VERSION:
+        raise ReproError(f"unsupported format version {doc.get('version')!r}")
+    payload = doc["payload"]
+    kind = payload.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ReproError(f"unknown payload kind {kind!r}")
+    return _DESERIALIZERS[kind](payload)

@@ -1,0 +1,90 @@
+"""Classical sorting networks: upper bounds and baselines.
+
+Batcher's bitonic sorter is the paper's upper bound for the shuffle-based
+class; the others contextualise it (same depth out of class, deeper
+in-class Shellsort constructions, the periodic balanced network, and the
+ε-halver machinery standing in for AKS per DESIGN.md).
+"""
+
+from .balanced import balanced_block_levels, balanced_sorting_network
+from .bitonic import (
+    bitonic_depth,
+    bitonic_merge_network,
+    bitonic_shuffle_program,
+    bitonic_size,
+    bitonic_sorting_network,
+)
+from .halvers import HalverQuality, measure_halver_quality, random_matching_halver
+from .aks_proxy import (
+    AKS_IMPRACTICAL_NOTE,
+    PATERSON_DEPTH_CONSTANT,
+    aks_depth_estimate,
+    halver_tree_network,
+    measure_displacement,
+)
+from .insertion import bubble_network, insertion_network
+from .merge_exchange import merge_exchange_depth, merge_exchange_network
+from .oddeven_merge import (
+    oddeven_merge_depth,
+    oddeven_merge_size,
+    oddeven_merge_sorting_network,
+)
+from .oddeven_transposition import brick_levels, oddeven_transposition_network
+from .randomized import (
+    RandomizedNetwork,
+    RandomizedStage,
+    per_input_success,
+    r_butterfly,
+    randomize_worst_case,
+    success_probability,
+)
+from .registry import SORTER_REGISTRY, SorterSpec, get_sorter, sorter_names
+from .shellsort import (
+    h_brick_levels,
+    pratt_increments,
+    pratt_network,
+    shell_increments,
+    shellsort_network,
+)
+
+__all__ = [
+    "bitonic_sorting_network",
+    "bitonic_merge_network",
+    "bitonic_shuffle_program",
+    "bitonic_depth",
+    "bitonic_size",
+    "oddeven_merge_sorting_network",
+    "merge_exchange_network",
+    "merge_exchange_depth",
+    "oddeven_merge_depth",
+    "oddeven_merge_size",
+    "oddeven_transposition_network",
+    "brick_levels",
+    "insertion_network",
+    "bubble_network",
+    "balanced_sorting_network",
+    "balanced_block_levels",
+    "shellsort_network",
+    "pratt_network",
+    "shell_increments",
+    "pratt_increments",
+    "h_brick_levels",
+    "random_matching_halver",
+    "measure_halver_quality",
+    "HalverQuality",
+    "halver_tree_network",
+    "measure_displacement",
+    "aks_depth_estimate",
+    "PATERSON_DEPTH_CONSTANT",
+    "AKS_IMPRACTICAL_NOTE",
+    "RandomizedNetwork",
+    "RandomizedStage",
+    "r_butterfly",
+    "randomize_worst_case",
+    "per_input_success",
+    "success_probability",
+    "SorterSpec",
+    "SORTER_REGISTRY",
+    "get_sorter",
+    "sorter_names",
+]

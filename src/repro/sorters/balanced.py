@@ -1,0 +1,41 @@
+"""The periodic balanced sorting network (Dowd, Perl, Rudolph, Saks).
+
+:math:`\\lg n` identical blocks of :math:`\\lg n` levels each: level
+``j`` of a block compares every wire with its mirror image inside chunks
+of size :math:`n/2^{j-1}`.  Total depth :math:`\\lg^2 n`, same asymptotics
+as Batcher but with a *periodic* structure -- a useful baseline when
+discussing restricted network classes (the paper's Section 6 asks about
+networks built from a single repeated permutation).
+"""
+
+from __future__ import annotations
+
+from .._util import ilog2, require_power_of_two
+from ..networks.gates import comparator
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["balanced_block_levels", "balanced_sorting_network"]
+
+
+def balanced_block_levels(n: int) -> list[Level]:
+    """One balanced-merge block: ``lg n`` mirror-comparison levels."""
+    d = ilog2(require_power_of_two(n, "balanced network size"))
+    levels = []
+    for j in range(d):
+        chunk = n >> j
+        gates = []
+        for base in range(0, n, chunk):
+            for x in range(chunk // 2):
+                gates.append(comparator(base + x, base + chunk - 1 - x))
+        levels.append(Level(gates))
+    return levels
+
+
+def balanced_sorting_network(n: int) -> ComparatorNetwork:
+    """``lg n`` repetitions of the balanced block (depth ``lg^2 n``)."""
+    d = ilog2(require_power_of_two(n, "balanced network size"))
+    levels: list[Level] = []
+    for _ in range(d):
+        levels.extend(balanced_block_levels(n))
+    return ComparatorNetwork(n, levels)

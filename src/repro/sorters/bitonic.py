@@ -1,0 +1,87 @@
+"""Batcher's bitonic sorting network (the paper's upper bound).
+
+The best known upper bound for shuffle-based sorting networks is
+Batcher's :math:`\\Theta(\\lg^2 n)`-depth bitonic sorter (Section 1).
+This module provides the standard circuit form; the *iterated reverse
+delta* form (certifying class membership) is
+:func:`repro.networks.builders.bitonic_iterated_rdn`, and the strict
+*shuffle-based register program* form is produced by
+:func:`bitonic_shuffle_program`.
+"""
+
+from __future__ import annotations
+
+from .._util import ilog2, require_power_of_two
+from ..networks.gates import Gate, Op
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+from ..networks.builders import bitonic_iterated_rdn
+from ..networks.registers import RegisterProgram
+from ..networks.shuffle import shuffle_program_from_iterated_rdn
+
+__all__ = [
+    "bitonic_sorting_network",
+    "bitonic_merge_network",
+    "bitonic_shuffle_program",
+    "bitonic_depth",
+    "bitonic_size",
+]
+
+
+def bitonic_depth(n: int) -> int:
+    """Comparator depth :math:`\\lg n (\\lg n + 1)/2` of the bitonic sorter."""
+    d = ilog2(require_power_of_two(n, "bitonic size"))
+    return d * (d + 1) // 2
+
+
+def bitonic_size(n: int) -> int:
+    """Comparator count :math:`n \\lg n (\\lg n + 1)/4` of the bitonic sorter."""
+    return n * bitonic_depth(n) // 2
+
+
+def bitonic_merge_network(n: int, phase: int | None = None) -> ComparatorNetwork:
+    """One bitonic merging phase as a circuit network.
+
+    ``phase`` is the 1-based phase index; ``None`` means the final,
+    fully ascending merge (phase ``lg n``).  Phase ``p`` compares strides
+    :math:`2^{p-1}, \\ldots, 1` with direction set by bit ``p`` of the
+    low index.
+    """
+    d = ilog2(require_power_of_two(n, "bitonic size"))
+    p = d if phase is None else phase
+    if not 1 <= p <= d:
+        raise ValueError(f"phase must be in [1, {d}], got {p}")
+    levels = []
+    for s in range(p - 1, -1, -1):
+        stride = 1 << s
+        gates = []
+        for i in range(n):
+            if i & stride:
+                continue
+            op = Op.MINUS if i & (1 << p) else Op.PLUS
+            gates.append(Gate(i, i | stride, op))
+        levels.append(Level(gates))
+    return ComparatorNetwork(n, levels)
+
+
+def bitonic_sorting_network(n: int) -> ComparatorNetwork:
+    """Batcher's full bitonic sorter (ascending) in circuit form.
+
+    Depth :math:`\\lg n(\\lg n+1)/2` comparator levels, size
+    :math:`n \\lg n(\\lg n+1)/4`.
+    """
+    d = ilog2(require_power_of_two(n, "bitonic size"))
+    net = ComparatorNetwork(n, [])
+    for p in range(1, d + 1):
+        net = net.then(bitonic_merge_network(n, p))
+    return net
+
+
+def bitonic_shuffle_program(n: int) -> RegisterProgram:
+    """The bitonic sorter as a strict shuffle-based register program.
+
+    Depth :math:`\\lg^2 n` steps, every step's permutation the shuffle --
+    the canonical witness that Batcher's network lives inside the class
+    the paper's lower bound addresses.
+    """
+    return shuffle_program_from_iterated_rdn(bitonic_iterated_rdn(n))

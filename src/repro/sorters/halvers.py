@@ -1,0 +1,106 @@
+"""ε-halvers: the approximate-splitting primitive behind AKS.
+
+The AKS network [1] is built from *ε-halvers*: bounded-depth comparator
+networks that route all but an ε fraction of the smallest half of the
+values into the bottom half of the wires (and dually for the largest).
+Real AKS halvers come from bounded-degree expander graphs; following the
+substitution rule of DESIGN.md we build the practical equivalent --
+halvers from a few rounds of **random perfect matchings** between the two
+halves, which are expanders with high probability -- plus an empirical
+quality measure so the approximation is quantified rather than assumed.
+
+Definition used here (standard): a network on ``2m`` wires is an
+ε-halver if for every ``k <= m``, after the network at most ``ε·k`` of
+the ``k`` smallest values are in the top half, and at most ``ε·k`` of the
+``k`` largest are in the bottom half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WireError
+from ..networks.gates import Gate, Op
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["random_matching_halver", "HalverQuality", "measure_halver_quality"]
+
+
+def random_matching_halver(
+    n: int, rounds: int, rng: np.random.Generator
+) -> ComparatorNetwork:
+    """A candidate ε-halver from ``rounds`` random cross matchings.
+
+    Each round draws a uniform perfect matching between the bottom half
+    (wires ``0 .. n/2-1``) and the top half, and places a ``+`` comparator
+    on every matched pair (min to the bottom-half wire).  With ``rounds``
+    = O(1/ε · lg(1/ε)) this is an ε-halver with high probability.
+    """
+    if n < 2 or n % 2:
+        raise WireError(f"halver needs an even wire count >= 2, got {n}")
+    m = n // 2
+    levels = []
+    for _ in range(rounds):
+        match = rng.permutation(m)
+        levels.append(
+            Level(Gate(i, m + int(match[i]), Op.PLUS) for i in range(m))
+        )
+    return ComparatorNetwork(n, levels)
+
+
+@dataclass(frozen=True)
+class HalverQuality:
+    """Empirical halver quality over a set of trial inputs.
+
+    ``epsilon`` is the worst observed ratio (strays among the ``k``
+    extreme values) / ``k``, maximised over both tails, all ``k`` and all
+    trials; an exact ε-halver would satisfy ``epsilon <= ε``.
+    """
+
+    n: int
+    trials: int
+    epsilon: float
+    worst_k: int
+
+    def __str__(self) -> str:
+        return (
+            f"HalverQuality(n={self.n}, trials={self.trials}, "
+            f"epsilon={self.epsilon:.4f} at k={self.worst_k})"
+        )
+
+
+def measure_halver_quality(
+    net: ComparatorNetwork, trials: int, rng: np.random.Generator
+) -> HalverQuality:
+    """Measure the empirical ε of a candidate halver on random inputs.
+
+    For each trial permutation, evaluates the network and computes, for
+    every ``k``, how many of the ``k`` smallest values ended in the top
+    half and how many of the ``k`` largest ended in the bottom half.
+    Vectorised over trials.
+    """
+    n = net.n
+    m = n // 2
+    batch = np.stack([rng.permutation(n) for _ in range(trials)])
+    out = net.evaluate_batch(batch)
+    top = out[:, m:]  # values that ended in the top half
+    bottom = out[:, :m]
+    worst = 0.0
+    worst_k = 1
+    ks = np.arange(1, m + 1, dtype=np.float64)
+    # smallest k values are 0..k-1; count how many sit in the top half.
+    small_in_top = np.stack(
+        [(top < k).sum(axis=1) for k in range(1, m + 1)], axis=1
+    )  # (trials, m)
+    large_in_bottom = np.stack(
+        [(bottom >= n - k).sum(axis=1) for k in range(1, m + 1)], axis=1
+    )
+    strays = np.maximum(small_in_top, large_in_bottom).max(axis=0)  # per k
+    ratios = strays / ks
+    idx = int(np.argmax(ratios))
+    worst = float(ratios[idx])
+    worst_k = idx + 1
+    return HalverQuality(n=n, trials=trials, epsilon=worst, worst_k=worst_k)

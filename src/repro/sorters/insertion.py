@@ -1,0 +1,50 @@
+"""Insertion / bubble sorting networks (Knuth 5.3.4, exercise 5).
+
+The naive quadratic network; after parallelisation both insertion and
+bubble collapse to the ``2n - 3`` depth triangle network.
+"""
+
+from __future__ import annotations
+
+from ..errors import WireError
+from ..networks.gates import comparator
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["insertion_network", "bubble_network"]
+
+
+def insertion_network(n: int) -> ComparatorNetwork:
+    """The parallelised insertion-sort network, depth ``2n - 3``.
+
+    Level ``t`` contains gates ``(i, i+1)`` for ``i`` of the same parity
+    as ``t`` within the growing triangle -- identical to the parallel
+    bubble network, as Knuth observes.
+    """
+    if n < 1:
+        raise WireError(f"need at least one wire, got {n}")
+    if n == 1:
+        return ComparatorNetwork(1, [])
+    levels = []
+    for t in range(2 * n - 3):
+        gates = []
+        for i in range(min(t, 2 * n - 4 - t, n - 2) + 1):
+            if (t - i) % 2 == 0:
+                gates.append(comparator(i, i + 1))
+        levels.append(Level(gates))
+    return ComparatorNetwork(n, levels)
+
+
+def bubble_network(n: int) -> ComparatorNetwork:
+    """Sequential bubble sort as a network: one gate per level.
+
+    Depth :math:`n(n-1)/2`; useful as a worst-case depth baseline and for
+    tests that need a sorting network with completely serial structure.
+    """
+    if n < 1:
+        raise WireError(f"need at least one wire, got {n}")
+    levels = []
+    for pass_end in range(n - 1, 0, -1):
+        for i in range(pass_end):
+            levels.append(Level([comparator(i, i + 1)]))
+    return ComparatorNetwork(n, levels)

@@ -1,0 +1,52 @@
+"""Batcher's odd-even merge sorting network.
+
+The second of Batcher's 1968 constructions; depth
+:math:`\\lg n(\\lg n+1)/2` like the bitonic sorter but with fewer
+comparators.  Unlike the bitonic sorter it is *not* obviously
+shuffle-based; it serves as an out-of-class baseline with the same
+asymptotic depth.
+"""
+
+from __future__ import annotations
+
+from .._util import ilog2, require_power_of_two
+from ..networks.gates import comparator
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["oddeven_merge_sorting_network", "oddeven_merge_size", "oddeven_merge_depth"]
+
+
+def oddeven_merge_depth(n: int) -> int:
+    """Comparator depth of the odd-even merge sorter."""
+    d = ilog2(require_power_of_two(n, "odd-even merge size"))
+    return d * (d + 1) // 2
+
+
+def oddeven_merge_sorting_network(n: int) -> ComparatorNetwork:
+    """Batcher's odd-even merge sorter (ascending), iterative form.
+
+    The classic loop structure: for each block size ``p = 1, 2, 4, ...``
+    and each stride ``k = p, p/2, ..., 1``, compare ``(j, j+k)`` for the
+    index pairs lying in the same ``2p``-block after the initial stride.
+    """
+    require_power_of_two(n, "odd-even merge size")
+    levels: list[Level] = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            gates = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        gates.append(comparator(i + j, i + j + k))
+            levels.append(Level(gates))
+            k //= 2
+        p *= 2
+    return ComparatorNetwork(n, levels)
+
+
+def oddeven_merge_size(n: int) -> int:
+    """Number of comparators in the odd-even merge sorter."""
+    return oddeven_merge_sorting_network(n).size

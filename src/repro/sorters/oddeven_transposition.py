@@ -1,0 +1,33 @@
+"""The odd-even transposition ("brick wall") sorting network.
+
+Depth exactly ``n`` (for ``n >= 2``), size :math:`n(n-1)/2`-ish; the
+simplest correct sorting network and the deep end of the baseline
+spectrum.  Works for any ``n``, not only powers of two.
+"""
+
+from __future__ import annotations
+
+from ..errors import WireError
+from ..networks.gates import comparator
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["oddeven_transposition_network", "brick_levels"]
+
+
+def brick_levels(n: int, rounds: int) -> list[Level]:
+    """``rounds`` alternating even/odd adjacent-pair comparator levels."""
+    levels = []
+    for r in range(rounds):
+        start = r % 2
+        levels.append(
+            Level(comparator(i, i + 1) for i in range(start, n - 1, 2))
+        )
+    return levels
+
+
+def oddeven_transposition_network(n: int) -> ComparatorNetwork:
+    """The depth-``n`` odd-even transposition sorter."""
+    if n < 1:
+        raise WireError(f"need at least one wire, got {n}")
+    return ComparatorNetwork(n, brick_levels(n, n))

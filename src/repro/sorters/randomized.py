@@ -1,0 +1,233 @@
+"""Randomized comparator networks (Section 5's "randomizing" element).
+
+To build randomized shuffle-based sorters, Leighton and Plaxton [8] add a
+circuit element that *exchanges its inputs with probability 1/2* and
+passes them through otherwise.  Section 5 uses this to place an
+:math:`O(\\lg n \\lg\\lg n)`-depth randomized sorter inside the
+shuffle-based class -- which is why the paper's lower bound cannot
+extend to randomized complexity.
+
+This module provides the element and the conversion mechanism behind
+that argument:
+
+* :class:`RandomizedNetwork` -- a comparator network whose stages may
+  contain ``R`` pairs; evaluation draws one coin per ``R`` element, and
+  :meth:`RandomizedNetwork.sample_network` freezes the coins into an
+  ordinary :class:`~repro.networks.network.ComparatorNetwork` (so every
+  deterministic analysis tool applies to samples);
+* :func:`r_butterfly` -- a butterfly wired entirely with ``R`` elements:
+  a ``lg n``-stage *randomizer* that scrambles any fixed input;
+* :func:`randomize_worst_case` -- prepend a randomizer to a
+  deterministic usually-sorts network.  The deterministic network fails
+  *always* on its bad inputs; after randomization **every** input
+  succeeds with probability close to the average -- the
+  worst-case-to-randomized conversion Section 5 rests on, measurable
+  with :func:`success_probability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._util import ilog2, require_power_of_two
+from ..errors import LevelConflictError, WireError
+from ..networks.gates import Gate, Op, exchange
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork, Stage
+
+__all__ = [
+    "RandomizedStage",
+    "RandomizedNetwork",
+    "r_butterfly",
+    "randomize_worst_case",
+    "success_probability",
+    "per_input_success",
+]
+
+
+@dataclass(frozen=True)
+class RandomizedStage:
+    """One stage: a deterministic level plus disjoint ``R`` pairs."""
+
+    level: Level
+    r_pairs: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        used = set(self.level.touched_wires)
+        for a, b in self.r_pairs:
+            if a == b:
+                raise WireError(f"R element endpoints must differ: ({a}, {b})")
+            for w in (a, b):
+                if w in used:
+                    raise LevelConflictError(
+                        f"wire {w} used by two elements in one stage"
+                    )
+                used.add(w)
+
+    @property
+    def r_count(self) -> int:
+        """Number of R elements in this stage."""
+        return len(self.r_pairs)
+
+
+class RandomizedNetwork:
+    """A comparator network with probabilistic exchange elements.
+
+    Each ``R`` pair independently exchanges its two values with
+    probability 1/2 at every evaluation.
+    """
+
+    def __init__(self, n: int, stages: Iterable[RandomizedStage]):
+        stages = tuple(stages)
+        for s in stages:
+            s.level.validate(n)
+            for a, b in s.r_pairs:
+                if not (0 <= a < n and 0 <= b < n):
+                    raise WireError(f"R pair ({a}, {b}) out of range [0, {n})")
+        self._n = n
+        self._stages = stages
+
+    @property
+    def n(self) -> int:
+        """Number of wires."""
+        return self._n
+
+    @property
+    def stages(self) -> tuple[RandomizedStage, ...]:
+        """The stages in execution order."""
+        return self._stages
+
+    @property
+    def depth(self) -> int:
+        """Number of stages."""
+        return len(self._stages)
+
+    @cached_property
+    def r_count(self) -> int:
+        """Total number of coin flips per evaluation."""
+        return sum(s.r_count for s in self._stages)
+
+    @cached_property
+    def size(self) -> int:
+        """Deterministic comparator count."""
+        return sum(s.level.comparator_count for s in self._stages)
+
+    def sample_network(self, rng: np.random.Generator) -> ComparatorNetwork:
+        """Freeze every coin, returning an ordinary network."""
+        out = []
+        for s in self._stages:
+            gates = list(s.level.gates)
+            for a, b in s.r_pairs:
+                if rng.random() < 0.5:
+                    gates.append(exchange(a, b))
+            out.append(Level(gates))
+        return ComparatorNetwork(self._n, out)
+
+    def evaluate(
+        self, values: Sequence[int] | np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One evaluation with fresh coins."""
+        return self.sample_network(rng).evaluate(values)
+
+    def evaluate_batch(
+        self, batch: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Evaluate a batch, with *independent* coins per row.
+
+        Vectorised: per stage, the deterministic level is applied to the
+        whole batch, then each ``R`` pair swaps on a per-row coin mask.
+        """
+        x = np.array(batch, dtype=np.int64, copy=True)
+        if x.ndim != 2 or x.shape[1] != self._n:
+            raise WireError(f"batch must have shape (rows, {self._n})")
+        rows = x.shape[0]
+        for s in self._stages:
+            s.level.apply_inplace(x)
+            for a, b in s.r_pairs:
+                mask = rng.random(rows) < 0.5
+                tmp = x[mask, a].copy()
+                x[mask, a] = x[mask, b]
+                x[mask, b] = tmp
+        return x
+
+
+def r_butterfly(n: int) -> RandomizedNetwork:
+    """A butterfly wired entirely with ``R`` elements: the randomizer.
+
+    ``lg n`` stages; stage ``m`` (1-based) holds ``R`` pairs of stride
+    :math:`2^{m-1}`.  Composing it in front of a network makes the
+    effective input distribution (nearly) independent of the actual
+    input -- the standard scrambling step of randomized sorting circuits.
+    """
+    d = ilog2(require_power_of_two(n, "randomizer size"))
+    stages = []
+    for m in range(d):
+        stride = 1 << m
+        pairs = tuple(
+            (i, i + stride) for i in range(n) if not i & stride
+        )
+        stages.append(RandomizedStage(level=Level(), r_pairs=pairs))
+    return RandomizedNetwork(n, stages)
+
+
+def randomize_worst_case(
+    deterministic: ComparatorNetwork,
+) -> RandomizedNetwork:
+    """Prepend an ``R``-butterfly randomizer to a deterministic network.
+
+    If the deterministic network sorts a fraction ``q`` of all inputs but
+    fails *always* on the rest, the randomized composite succeeds on
+    **every** input with probability roughly ``q`` (exactly ``q`` if the
+    randomizer were a uniform shuffler; the butterfly randomizer is a
+    close, depth-``lg n`` approximation).  This is the mechanism behind
+    Section 5's claim that no randomized analogue of the lower bound can
+    hold.
+    """
+    n = deterministic.n
+    head = r_butterfly(n)
+    tail = [
+        RandomizedStage(level=s.level if s.perm is None else _folded(s))
+        for s in deterministic.stages
+    ]
+    return RandomizedNetwork(n, head.stages + tuple(tail))
+
+
+def _folded(stage: Stage) -> Level:
+    raise WireError(
+        "randomize_worst_case requires a pure circuit network; call "
+        ".flattened() first"
+    )
+
+
+def per_input_success(
+    network: RandomizedNetwork,
+    values: Sequence[int] | np.ndarray,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """P(coins sort this input), estimated over ``trials`` evaluations."""
+    batch = np.tile(np.asarray(values, dtype=np.int64), (trials, 1))
+    out = network.evaluate_batch(batch, rng)
+    ok = ~(np.diff(out, axis=1) < 0).any(axis=1)
+    return float(ok.mean())
+
+
+def success_probability(
+    network: RandomizedNetwork,
+    inputs: np.ndarray,
+    trials: int,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """Min / mean per-input success probability over a set of inputs."""
+    probs = [
+        per_input_success(network, row, trials, rng) for row in np.asarray(inputs)
+    ]
+    return {
+        "min": float(min(probs)),
+        "mean": float(np.mean(probs)),
+        "max": float(max(probs)),
+    }

@@ -1,0 +1,119 @@
+"""A registry of all implemented sorting networks, for sweeps and tools.
+
+Benchmarks and examples iterate this registry so that adding a sorter
+here automatically includes it in E10 (the baseline comparison table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..networks.network import ComparatorNetwork
+from .balanced import balanced_sorting_network
+from .bitonic import bitonic_sorting_network
+from .insertion import insertion_network
+from .merge_exchange import merge_exchange_network
+from .oddeven_merge import oddeven_merge_sorting_network
+from .oddeven_transposition import oddeven_transposition_network
+from .shellsort import pratt_network, shellsort_network
+
+__all__ = ["SorterSpec", "SORTER_REGISTRY", "get_sorter", "sorter_names"]
+
+
+@dataclass(frozen=True)
+class SorterSpec:
+    """Metadata + builder for one sorting-network family."""
+
+    name: str
+    build: Callable[[int], ComparatorNetwork]
+    depth_formula: str
+    power_of_two_only: bool
+    shuffle_based: bool
+    notes: str = ""
+
+
+SORTER_REGISTRY: dict[str, SorterSpec] = {
+    spec.name: spec
+    for spec in [
+        SorterSpec(
+            name="bitonic",
+            build=bitonic_sorting_network,
+            depth_formula="lg n (lg n + 1) / 2",
+            power_of_two_only=True,
+            shuffle_based=True,
+            notes="Batcher 1968; the paper's upper bound; strict shuffle-based form available.",
+        ),
+        SorterSpec(
+            name="oddeven_merge",
+            build=oddeven_merge_sorting_network,
+            depth_formula="lg n (lg n + 1) / 2",
+            power_of_two_only=True,
+            shuffle_based=False,
+            notes="Batcher 1968; fewer comparators than bitonic.",
+        ),
+        SorterSpec(
+            name="merge_exchange",
+            build=merge_exchange_network,
+            depth_formula="ceil(lg n)(ceil(lg n)+1)/2",
+            power_of_two_only=False,
+            shuffle_based=False,
+            notes="Batcher via Knuth Algorithm 5.2.2M; arbitrary n.",
+        ),
+        SorterSpec(
+            name="balanced",
+            build=balanced_sorting_network,
+            depth_formula="lg^2 n",
+            power_of_two_only=True,
+            shuffle_based=False,
+            notes="Dowd-Perl-Rudolph-Saks periodic network.",
+        ),
+        SorterSpec(
+            name="pratt",
+            build=pratt_network,
+            depth_formula="~2 * (#2,3-smooth increments) = Theta(lg^2 n)",
+            power_of_two_only=False,
+            shuffle_based=False,
+            notes="Shellsort network with Pratt increments (Cypher's class).",
+        ),
+        SorterSpec(
+            name="shellsort",
+            build=shellsort_network,
+            depth_formula="sum_h ceil(n/h) = Theta(n)",
+            power_of_two_only=False,
+            shuffle_based=False,
+            notes="Conservative Shellsort network (always correct).",
+        ),
+        SorterSpec(
+            name="oddeven_transposition",
+            build=oddeven_transposition_network,
+            depth_formula="n",
+            power_of_two_only=False,
+            shuffle_based=False,
+            notes="Brick-wall network.",
+        ),
+        SorterSpec(
+            name="insertion",
+            build=insertion_network,
+            depth_formula="2n - 3",
+            power_of_two_only=False,
+            shuffle_based=False,
+            notes="Parallelised insertion sort triangle.",
+        ),
+    ]
+}
+
+
+def get_sorter(name: str) -> SorterSpec:
+    """Look up a sorter by name, with a helpful error."""
+    try:
+        return SORTER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sorter {name!r}; available: {', '.join(SORTER_REGISTRY)}"
+        ) from None
+
+
+def sorter_names() -> list[str]:
+    """All registered sorter names."""
+    return list(SORTER_REGISTRY)

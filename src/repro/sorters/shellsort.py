@@ -1,0 +1,118 @@
+"""Shellsort-based sorting networks (the class of Cypher's lower bound).
+
+The paper cites Cypher's :math:`\\Omega(\\lg^2 n/\\lg\\lg n)` lower bound
+for sorting networks based on Shellsort with monotonically decreasing
+increments [3] -- the same bound, for a different restricted class.  For
+context and comparison we implement two members of that class:
+
+* :func:`shellsort_network` -- a conservative construction that fully
+  sorts every ``h``-chain with an odd-even transposition brick per
+  increment (always correct, depth :math:`\\sum_h \\lceil n/h \\rceil`);
+* :func:`pratt_network` -- Pratt's 2,3-smooth increment network, in
+  which each increment needs only a bounded number of compare rounds,
+  giving :math:`\\Theta(\\lg^2 n)` depth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import WireError
+from ..networks.gates import comparator
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork
+
+__all__ = [
+    "shell_increments",
+    "pratt_increments",
+    "h_brick_levels",
+    "shellsort_network",
+    "pratt_network",
+]
+
+
+def shell_increments(n: int) -> list[int]:
+    """Shell's original halving increments ``n//2, n//4, ..., 1``."""
+    out = []
+    h = n // 2
+    while h >= 1:
+        out.append(h)
+        h //= 2
+    return out or [1]
+
+
+def pratt_increments(n: int) -> list[int]:
+    """Pratt's 2,3-smooth increments below ``n``, decreasing."""
+    incs = set()
+    p = 1
+    while p < n:
+        q = p
+        while q < n:
+            incs.add(q)
+            q *= 3
+        p *= 2
+    return sorted(incs, reverse=True)
+
+
+def h_brick_levels(n: int, h: int, rounds: int) -> list[Level]:
+    """``rounds`` alternating levels of stride-``h`` adjacent comparisons.
+
+    Round ``r`` compares ``(i, i+h)`` for every ``i`` whose position
+    within its ``h``-chain has parity ``r % 2`` -- an odd-even
+    transposition operating on all ``h``-chains in parallel.
+    """
+    if h < 1:
+        raise WireError(f"increment must be positive, got {h}")
+    levels = []
+    for r in range(rounds):
+        gates = []
+        for i in range(n - h):
+            if (i // h) % 2 == r % 2:
+                gates.append(comparator(i, i + h))
+        levels.append(Level(gates))
+    return levels
+
+
+def shellsort_network(
+    n: int, increments: Sequence[int] | None = None
+) -> ComparatorNetwork:
+    """A always-correct Shellsort network.
+
+    For each increment ``h`` (monotonically decreasing, last must be 1),
+    run a full odd-even transposition brick on the ``h``-chains, i.e.
+    ``ceil(n / h)`` rounds -- enough to completely ``h``-sort regardless
+    of the input.  With the default halving increments the total depth is
+    :math:`\\Theta(n)` (dominated by ``h = 1``); the point of the
+    construction is correctness and class membership, not depth.
+    """
+    if n < 1:
+        raise WireError(f"need at least one wire, got {n}")
+    incs = list(increments) if increments is not None else shell_increments(n)
+    if incs and incs[-1] != 1:
+        raise WireError("increment sequence must end in 1 to sort")
+    if any(a <= b for a, b in zip(incs, incs[1:])):
+        raise WireError("increments must be strictly decreasing (Cypher's class)")
+    levels: list[Level] = []
+    for h in incs:
+        chain_len = math.ceil(n / h)
+        levels.extend(h_brick_levels(n, h, chain_len))
+    return ComparatorNetwork(n, levels)
+
+
+def pratt_network(n: int, rounds_per_increment: int = 2) -> ComparatorNetwork:
+    """Pratt's :math:`\\Theta(\\lg^2 n)`-depth Shellsort network.
+
+    Uses the 2,3-smooth increments; Pratt's theorem says that once an
+    array is ``2h``- and ``3h``-sorted, ``h``-sorting moves every element
+    at most one ``h``-position, so a constant number of stride-``h``
+    compare rounds per increment suffices.  ``rounds_per_increment = 2``
+    (one even, one odd round) is the textbook setting; correctness is
+    exercised exhaustively in the test suite via the 0-1 principle.
+    """
+    if n < 1:
+        raise WireError(f"need at least one wire, got {n}")
+    levels: list[Level] = []
+    for h in pratt_increments(n):
+        levels.extend(h_brick_levels(n, h, rounds_per_increment))
+    return ComparatorNetwork(n, levels)

@@ -1,0 +1,71 @@
+"""Tests for collision graphs and the Section 2 adjacent-pair observation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.collision_graph import (
+    adjacent_pairs_all_compared,
+    collision_graph,
+    uncompared_adjacent_pairs,
+    wire_collision_graph,
+)
+from repro.networks.gates import comparator, exchange
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+class TestCollisionGraph:
+    def test_edges_are_comparisons(self):
+        net = ComparatorNetwork(3, [[comparator(0, 1)], [comparator(1, 2)]])
+        g = collision_graph(net, [2, 1, 0])
+        # gate 1 compares values (2,1); result [1,2,0]; gate 2 compares (2,0)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_edge_stage_attribute(self):
+        net = ComparatorNetwork(3, [[comparator(0, 1)], [comparator(1, 2)]])
+        g = collision_graph(net, [2, 1, 0])
+        assert g.edges[1, 2]["stage"] == 0
+        assert g.edges[0, 2]["stage"] == 1
+
+    def test_exchange_adds_no_edge(self):
+        net = ComparatorNetwork(2, [[exchange(0, 1)]])
+        g = collision_graph(net, [1, 0])
+        assert g.number_of_edges() == 0
+
+    def test_sorter_graph_connected(self, rng):
+        net = bitonic_sorting_network(8)
+        g = collision_graph(net, rng.permutation(8))
+        import networkx as nx
+
+        assert nx.is_connected(g)
+
+    def test_wire_graph_mirrors_value_graph(self, rng):
+        net = bitonic_sorting_network(8)
+        x = rng.permutation(8)
+        gv = collision_graph(net, x)
+        gw = wire_collision_graph(net, x)
+        assert gv.number_of_edges() == gw.number_of_edges()
+        for u, v in gv.edges:
+            wu = int(np.nonzero(x == u)[0][0])
+            wv = int(np.nonzero(x == v)[0][0])
+            assert gw.has_edge(wu, wv)
+
+
+class TestAdjacentPairs:
+    def test_sorting_network_compares_all_adjacent(self, rng):
+        """The Section 2 observation, positively, on a real sorter."""
+        net = bitonic_sorting_network(16)
+        for _ in range(10):
+            assert adjacent_pairs_all_compared(net, rng.permutation(16))
+
+    def test_incomplete_network_misses_pairs(self):
+        net = ComparatorNetwork(4, [[comparator(0, 1), comparator(2, 3)]])
+        pairs = uncompared_adjacent_pairs(net, [0, 2, 1, 3])
+        # values 0,2 compared; 1,3 compared; (0,1),(1,2),(2,3) across gates never
+        assert (1, 2) in pairs
+
+    def test_empty_network_misses_everything(self):
+        net = ComparatorNetwork(4, [])
+        assert uncompared_adjacent_pairs(net, [3, 1, 0, 2]) == [(0, 1), (1, 2), (2, 3)]

@@ -1,0 +1,132 @@
+"""Tests for zero_one utilities, ground truth, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ground_truth import exhaustive_uncompared_search
+from repro.analysis.metrics import (
+    comparators_per_level,
+    network_metrics,
+    wire_usage,
+)
+from repro.analysis.zero_one import (
+    random_zero_one_subset,
+    sorts_zero_one_subset,
+    witness_count,
+    zero_one_inputs,
+    zero_one_witnesses,
+)
+from repro.errors import ReproError
+from repro.networks.builders import bitonic_iterated_rdn, butterfly_rdn
+from repro.networks.gates import comparator, exchange
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+class TestZeroOne:
+    def test_zero_one_inputs_complete(self):
+        inputs = zero_one_inputs(3)
+        assert inputs.shape == (8, 3)
+        assert len({tuple(r) for r in inputs.tolist()}) == 8
+
+    def test_witnesses_empty_for_sorter(self):
+        assert witness_count(bitonic_sorting_network(8)) == 0
+
+    def test_witness_count_positive(self):
+        net = ComparatorNetwork(4, [[comparator(0, 1), comparator(2, 3)]])
+        count = witness_count(net)
+        assert count > 0
+        witnesses = zero_one_witnesses(net)
+        assert witnesses.shape[0] == count
+        for w in witnesses:
+            out = net.evaluate(w)
+            assert (np.diff(out) < 0).any()
+
+    def test_sorts_subset(self, rng):
+        net = ComparatorNetwork(4, [[comparator(0, 1), comparator(2, 3)]])
+        good = np.array([[0, 0, 1, 1], [1, 1, 1, 1], [0, 0, 0, 0]])
+        assert sorts_zero_one_subset(net, good)
+        assert not sorts_zero_one_subset(net, zero_one_inputs(4))
+
+    def test_subset_shape_check(self):
+        net = bitonic_sorting_network(4)
+        with pytest.raises(ReproError):
+            sorts_zero_one_subset(net, np.zeros((2, 5), dtype=int))
+
+    def test_random_subset_shape(self, rng):
+        sub = random_zero_one_subset(6, 10, rng)
+        assert sub.shape == (10, 6)
+        assert set(np.unique(sub)) <= {0, 1}
+
+    def test_representative_set_story(self, rng):
+        """A small 0-1 subset cannot certify sorting (Section 5).
+
+        The truncated bitonic prefix fails on thousands of binary inputs,
+        yet there are large binary subsets it sorts perfectly -- passing
+        any such 'representative set' proves nothing.
+        """
+        n = 16
+        net = bitonic_sorting_network(n).truncated(9)
+        assert witness_count(net, max_wires=n) > 0  # not a sorter
+        sub = random_zero_one_subset(n, 200, rng)
+        out = net.evaluate_batch(sub)
+        sorted_mask = ~(np.diff(out, axis=1) < 0).any(axis=1)
+        passed = sub[sorted_mask][:20]
+        assert passed.shape[0] == 20  # plenty of inputs it handles
+        assert sorts_zero_one_subset(net, passed)
+
+
+class TestGroundTruth:
+    def test_sorter_has_no_witness(self):
+        gt = exhaustive_uncompared_search(bitonic_sorting_network(4))
+        assert not gt.has_witness
+        assert gt.sorts_everything
+        assert gt.inputs_checked == 24
+
+    def test_incomplete_network_witness(self):
+        net = ComparatorNetwork(4, [[comparator(0, 1), comparator(2, 3)]])
+        gt = exhaustive_uncompared_search(net)
+        assert gt.has_witness
+        assert not gt.sorts_everything
+        values, (m, m1) = gt.witnesses[0]
+        assert m1 == m + 1
+
+    def test_stop_at_first(self):
+        net = ComparatorNetwork(4, [])
+        gt = exhaustive_uncompared_search(net, stop_at_first=True)
+        assert len(gt.witnesses) == 1
+        assert gt.inputs_checked < 24
+
+    def test_guard(self):
+        with pytest.raises(ReproError):
+            exhaustive_uncompared_search(bitonic_sorting_network(16))
+
+
+class TestMetrics:
+    def test_network_metrics(self):
+        net = ComparatorNetwork(
+            4, [[comparator(0, 1), exchange(2, 3)], [comparator(1, 2)]]
+        )
+        m = network_metrics(net)
+        assert m.n == 4
+        assert m.depth == 2
+        assert m.size == 2
+        assert m.exchange_elements == 1
+        assert m.max_level_width == 1
+        assert not m.has_permutations
+        assert m.as_dict()["size"] == 2
+
+    def test_comparators_per_level(self):
+        net = bitonic_sorting_network(8)
+        per = comparators_per_level(net)
+        assert len(per) == net.depth
+        assert sum(per) == net.size
+
+    def test_wire_usage(self):
+        net = ComparatorNetwork(4, [[comparator(0, 1)], [comparator(1, 2)]])
+        usage = wire_usage(net)
+        assert list(usage) == [1, 2, 1, 0]
+
+    def test_permutation_flag(self):
+        net = bitonic_iterated_rdn(8).to_network()
+        assert not network_metrics(net).has_permutations

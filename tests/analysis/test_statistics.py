@@ -1,0 +1,110 @@
+"""Tests for sortedness statistics."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    displacement_stats,
+    inversion_count,
+    inversion_counts_batch,
+    run_count,
+    sortedness_report,
+)
+from repro.errors import ReproError
+from repro.sorters.bitonic import bitonic_sorting_network
+from repro.sorters.oddeven_transposition import oddeven_transposition_network
+
+
+class TestInversions:
+    def test_sorted_zero(self):
+        assert inversion_count([1, 2, 3, 4]) == 0
+
+    def test_reversed_max(self):
+        n = 6
+        assert inversion_count(list(range(n - 1, -1, -1))) == n * (n - 1) // 2
+
+    def test_single_swap(self):
+        assert inversion_count([1, 0, 2, 3]) == 1
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            x = rng.permutation(10)
+            brute = sum(
+                1
+                for i, j in itertools.combinations(range(10), 2)
+                if x[i] > x[j]
+            )
+            assert inversion_count(x) == brute
+
+    def test_batch_matches_scalar(self, rng):
+        batch = np.stack([rng.permutation(8) for _ in range(30)])
+        counts = inversion_counts_batch(batch)
+        for row, c in zip(batch, counts):
+            assert inversion_count(row) == c
+
+    def test_batch_requires_2d(self):
+        with pytest.raises(ReproError):
+            inversion_counts_batch(np.arange(5))
+
+    def test_duplicates_handled(self):
+        assert inversion_count([2, 2, 1]) == 2
+        assert inversion_count([1, 1, 1]) == 0
+
+
+class TestRunsAndDisplacement:
+    def test_run_count(self):
+        assert run_count([1, 2, 3]) == 1
+        assert run_count([3, 2, 1]) == 3
+        assert run_count([1, 3, 2, 4]) == 2
+        assert run_count([5]) == 1
+
+    def test_displacement(self):
+        stats = displacement_stats(np.array([[1, 0, 2, 3]]))
+        assert stats == {"mean": 0.5, "max": 1.0}
+
+
+class TestReport:
+    def test_sorter_report_perfect(self, rng):
+        rep = sortedness_report(bitonic_sorting_network(16), 40, rng)
+        assert rep.sorted_fraction == 1.0
+        assert rep.mean_inversions == 0.0
+        assert rep.mean_runs == 1.0
+
+    def test_partial_network_report(self, rng):
+        net = oddeven_transposition_network(16).truncated(4)
+        rep = sortedness_report(net, 100, rng)
+        assert 0.0 <= rep.sorted_fraction < 1.0
+        assert rep.mean_inversions > 0
+        assert "SortednessReport" in str(rep)
+
+    def test_deeper_prefix_fewer_inversions(self, rng):
+        full = oddeven_transposition_network(16)
+        shallow = sortedness_report(full.truncated(4), 200, rng)
+        deep = sortedness_report(full.truncated(12), 200, rng)
+        assert deep.mean_inversions < shallow.mean_inversions
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=12))
+def test_property_inversions_zero_iff_sorted(values):
+    assert (inversion_count(values) == 0) == (values == sorted(values))
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 20), min_size=2, max_size=12))
+def test_property_adjacent_swap_changes_inversions_by_one(values):
+    """Swapping an adjacent unequal pair changes inversions by exactly 1."""
+    import numpy as np
+
+    base = inversion_count(values)
+    for i in range(len(values) - 1):
+        if values[i] == values[i + 1]:
+            continue
+        swapped = list(values)
+        swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+        assert abs(inversion_count(swapped) - base) == 1
+        break

@@ -1,0 +1,90 @@
+"""Tests for sorting-network verification (0-1 principle etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import (
+    exhaustive_permutation_check,
+    find_unsorted_zero_one_input,
+    is_sorted_vector,
+    is_sorting_network,
+    random_sorting_fraction,
+    sorts_input,
+)
+from repro.errors import ReproError
+from repro.networks.builders import bitonic_iterated_rdn
+from repro.networks.gates import comparator
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+from repro.sorters.oddeven_transposition import oddeven_transposition_network
+
+
+class TestBasics:
+    def test_is_sorted_vector(self):
+        assert is_sorted_vector([1, 2, 2, 3])
+        assert not is_sorted_vector([2, 1])
+
+    def test_sorts_input(self):
+        net = bitonic_sorting_network(8)
+        assert sorts_input(net, [7, 6, 5, 4, 3, 2, 1, 0])
+
+
+class TestZeroOnePrinciple:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_true_sorters_pass(self, n):
+        assert is_sorting_network(bitonic_sorting_network(n))
+
+    def test_non_sorter_witness_found(self):
+        net = ComparatorNetwork(4, [[comparator(0, 1), comparator(2, 3)]])
+        witness = find_unsorted_zero_one_input(net)
+        assert witness is not None
+        out = net.evaluate(witness)
+        assert (np.diff(out) < 0).any()
+
+    def test_witness_is_binary(self):
+        net = ComparatorNetwork(3, [[comparator(0, 1)]])
+        witness = find_unsorted_zero_one_input(net)
+        assert set(witness.tolist()) <= {0, 1}
+
+    def test_max_wires_guard(self):
+        with pytest.raises(ReproError):
+            is_sorting_network(bitonic_sorting_network(32), max_wires=20)
+
+    def test_agreement_with_permutation_check(self, rng):
+        """0-1 and n! checks must agree on random small networks."""
+        for seed in range(15):
+            gen = np.random.default_rng(seed)
+            n = 5
+            levels = []
+            for _ in range(int(gen.integers(2, 7))):
+                a, b = gen.choice(n, size=2, replace=False)
+                levels.append([comparator(min(a, b), max(a, b))])
+            net = ComparatorNetwork(n, levels)
+            zero_one = find_unsorted_zero_one_input(net) is None
+            perms = exhaustive_permutation_check(net) is None
+            assert zero_one == perms, seed
+
+    def test_permutation_check_guard(self):
+        with pytest.raises(ReproError):
+            exhaustive_permutation_check(bitonic_sorting_network(16))
+
+
+class TestRandomFraction:
+    def test_sorter_fraction_one(self, rng):
+        assert random_sorting_fraction(bitonic_sorting_network(16), 50, rng) == 1.0
+
+    def test_empty_network_fraction_tiny(self, rng):
+        net = ComparatorNetwork(8, [])
+        frac = random_sorting_fraction(net, 500, rng)
+        assert frac < 0.01
+
+    def test_monotone_in_depth(self, rng):
+        """Deeper brick prefixes sort a larger fraction."""
+        n = 12
+        full = oddeven_transposition_network(n)
+        fr = [
+            random_sorting_fraction(full.truncated(t), 300, rng)
+            for t in (2, 6, 10, n)
+        ]
+        assert fr[-1] == 1.0
+        assert fr[0] <= fr[1] <= fr[2] + 0.05  # allow sampling noise

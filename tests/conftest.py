@@ -1,0 +1,28 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng_stream():
+    """A factory of independent deterministic generators."""
+
+    def make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make
+
+
+def assert_sorted(values) -> None:
+    """Assert a vector is nondecreasing (helper imported by test modules)."""
+    arr = np.asarray(values)
+    assert (np.diff(arr) >= 0).all(), f"not sorted: {arr}"

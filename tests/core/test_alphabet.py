@@ -1,0 +1,155 @@
+"""Unit tests for the pattern alphabet and its total order (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import L, M, S, Symbol, X, sort_symbols, symbol_from_string
+from repro.errors import PatternError
+
+
+def symbols_strategy():
+    return st.one_of(
+        st.builds(S, st.integers(0, 10)),
+        st.builds(M, st.integers(0, 10)),
+        st.builds(L, st.integers(0, 10)),
+        st.builds(X, st.integers(0, 10), st.integers(0, 10)),
+    )
+
+
+class TestInterning:
+    def test_identity(self):
+        assert S(3) is S(3)
+        assert X(1, 2) is X(1, 2)
+        assert M(0) is M(0)
+        assert L(5) is L(5)
+
+    def test_distinct(self):
+        assert S(0) is not S(1)
+        assert X(1, 2) is not X(2, 1)
+        assert M(0) is not S(0)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            M(0).i = 5  # type: ignore[misc]
+
+    def test_invalid(self):
+        with pytest.raises(PatternError):
+            Symbol("Q", 0)
+        with pytest.raises(PatternError):
+            S(-1)
+        with pytest.raises(PatternError):
+            Symbol("M", 0, 3)  # second index only for X
+
+
+class TestPaperOrderGenerators:
+    """Each generator relation of Section 3.2, verbatim."""
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_s_increasing(self, i):
+        assert S(i) < S(i + 1)
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_s_below_x00(self, i):
+        assert S(i) < X(0, 0)
+
+    @pytest.mark.parametrize("i,j", [(0, 0), (2, 3), (5, 0)])
+    def test_x_increasing_in_j(self, i, j):
+        assert X(i, j) < X(i, j + 1)
+
+    @pytest.mark.parametrize("i,j", [(0, 0), (2, 7)])
+    def test_x_below_m_same_index(self, i, j):
+        assert X(i, j) < M(i)
+
+    @pytest.mark.parametrize("i", range(4))
+    def test_m_below_next_x(self, i):
+        assert M(i) < X(i + 1, 0)
+
+    @pytest.mark.parametrize("i,j", [(0, 0), (3, 0), (0, 9), (7, 2)])
+    def test_m_below_all_l(self, i, j):
+        assert M(i) < L(j)
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_l_decreasing(self, i):
+        assert L(i + 1) < L(i)
+
+
+class TestDerivedOrder:
+    def test_band_interleaving(self):
+        chain = [S(0), S(1), X(0, 0), X(0, 5), M(0), X(1, 0), M(1), L(9), L(0)]
+        for a, b in zip(chain, chain[1:]):
+            assert a < b, (a, b)
+
+    def test_total_order(self):
+        syms = [S(i) for i in range(3)] + [M(i) for i in range(3)]
+        syms += [L(i) for i in range(3)] + [X(i, j) for i in range(3) for j in range(3)]
+        for a in syms:
+            for b in syms:
+                assert (a < b) + (b < a) + (a is b) == 1
+
+    def test_sort_symbols(self):
+        out = sort_symbols([L(0), M(0), S(0), X(0, 0)])
+        assert out == [S(0), X(0, 0), M(0), L(0)]
+
+
+class TestPredicatesAndShift:
+    def test_predicates(self):
+        assert S(0).is_small and M(0).is_medium and L(0).is_large and X(0, 0).is_x
+        assert not S(0).is_medium
+
+    def test_shifted(self):
+        assert M(2).shifted(3) is M(5)
+        assert X(2, 7).shifted(3) is X(5, 7)
+
+    def test_shift_invalid_kinds(self):
+        with pytest.raises(PatternError):
+            S(0).shifted(1)
+        with pytest.raises(PatternError):
+            L(0).shifted(1)
+
+    def test_shift_preserves_relative_order(self):
+        """Uniform shifts are order-preserving on the band (step 2')."""
+        band = [X(0, 0), M(0), X(1, 2), M(1), X(2, 0), M(2)]
+        shifted = [s.shifted(4) for s in band]
+        for (a, b) in zip(band, band[1:]):
+            sa, sb = a.shifted(4), b.shifted(4)
+            assert (a < b) == (sa < sb)
+        del shifted
+
+    def test_repr(self):
+        assert repr(M(3)) == "M(3)"
+        assert repr(X(1, 2)) == "X(1,2)"
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        assert symbol_from_string("S0") is S(0)
+        assert symbol_from_string("m3") is M(3)
+        assert symbol_from_string("L1") is L(1)
+        assert symbol_from_string("X2.5") is X(2, 5)
+        assert symbol_from_string("M") is M(0)
+
+    def test_parse_errors(self):
+        with pytest.raises(PatternError):
+            symbol_from_string("")
+        with pytest.raises(PatternError):
+            symbol_from_string("Mfoo")
+
+
+@settings(max_examples=200)
+@given(symbols_strategy(), symbols_strategy(), symbols_strategy())
+def test_property_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@settings(max_examples=200)
+@given(symbols_strategy(), symbols_strategy())
+def test_property_trichotomy(a, b):
+    assert (a < b) + (b < a) + (a is b) == 1
+
+
+@settings(max_examples=100)
+@given(symbols_strategy(), symbols_strategy())
+def test_property_key_consistency(a, b):
+    assert (a < b) == (a.key < b.key)

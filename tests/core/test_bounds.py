@@ -1,0 +1,120 @@
+"""Unit tests for the closed-form bounds (repro.core.bounds)."""
+
+import math
+
+import pytest
+
+from repro.core import bounds
+from repro.errors import ReproError
+
+
+class TestBasics:
+    def test_lg(self):
+        assert bounds.lg(8) == 3.0
+        assert bounds.lglg(16) == 2.0
+
+    def test_lemma41_sets(self):
+        assert bounds.lemma41_sets(0, 3) == 27
+        assert bounds.lemma41_sets(4, 3) == 27 + 36
+
+    def test_lemma41_retention(self):
+        assert bounds.lemma41_retention_floor(100, 4, 4) == 100 * (1 - 4 / 16)
+
+    def test_theorem41_floor(self):
+        assert bounds.theorem41_floor(16, 0) == 16.0
+        assert bounds.theorem41_floor(16, 1) == pytest.approx(16 / 256)
+
+    def test_batcher(self):
+        assert bounds.batcher_depth(16) == 10.0
+        assert bounds.batcher_depth(1024) == 55.0
+
+
+class TestHeadlineBound:
+    def test_formula(self):
+        n = 1 << 16
+        assert bounds.depth_lower_bound(n) == pytest.approx(16 * 16 / (4 * 4))
+
+    def test_sharpened_larger(self):
+        for e in (4, 8, 16):
+            n = 1 << e
+            assert bounds.depth_lower_bound_sharpened(n) > bounds.depth_lower_bound(n)
+
+    def test_sharpened_eps_validation(self):
+        with pytest.raises(ReproError):
+            bounds.depth_lower_bound_sharpened(256, eps=0)
+
+    def test_below_batcher(self):
+        """Lower bound must sit below the upper bound everywhere."""
+        for e in range(3, 30):
+            n = 1 << e
+            assert bounds.depth_lower_bound(n) < bounds.batcher_depth(n)
+
+    def test_gap_grows_like_lglg(self):
+        """Batcher / lower-bound ratio ~ 2 lg lg n for large n."""
+        n = 1 << 1024
+        ratio = bounds.batcher_depth(n) / bounds.depth_lower_bound(n)
+        assert ratio == pytest.approx(2 * bounds.lglg(n), rel=0.01)
+
+    def test_min_n(self):
+        with pytest.raises(ReproError):
+            bounds.depth_lower_bound(2)
+
+
+class TestSafeBlocks:
+    def test_threshold_consistency(self):
+        for e in (3, 4, 8, 16, 64):
+            n = 1 << e
+            d = bounds.max_safe_blocks(n)
+            assert bounds.theorem41_floor(n, d) > 1.0
+            assert bounds.theorem41_floor(n, d + 1) <= 1.0
+
+    def test_grows_with_n(self):
+        assert bounds.max_safe_blocks(1 << 64) > bounds.max_safe_blocks(1 << 8)
+
+    def test_matches_lg_over_4lglg_asymptotics(self):
+        e = 4096
+        n = 1 << e
+        d = bounds.max_safe_blocks(n)
+        predicted = e / (4 * math.log2(e))
+        assert abs(d - predicted) <= 2
+
+
+class TestExtension:
+    def test_degenerates_to_main_bound(self):
+        """f = lg n recovers the headline bound exactly."""
+        for e in (4, 8, 16):
+            n = 1 << e
+            assert bounds.extension_lower_bound(n, e) == pytest.approx(
+                bounds.depth_lower_bound(n)
+            )
+
+    def test_monotone_in_f(self):
+        n = 1 << 16
+        values = [bounds.extension_lower_bound(n, f) for f in (4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_upper_vs_lower(self):
+        n = 1 << 16
+        for f in (2, 4, 8, 16):
+            assert bounds.extension_lower_bound(n, f) < bounds.extension_upper_bound(
+                n, f
+            )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bounds.extension_lower_bound(256, 1)
+        with pytest.raises(ReproError):
+            bounds.extension_upper_bound(256, 0)
+
+
+class TestShapes:
+    def test_randomized_between_lg_and_batcher(self):
+        n = 1 << 20
+        assert bounds.lg(n) < bounds.randomized_upper_bound_shape(n)
+        assert bounds.randomized_upper_bound_shape(n) < bounds.batcher_depth(n)
+
+    def test_average_case_below_randomized(self):
+        n = 1 << 20
+        assert bounds.average_case_upper_bound_shape(n) < (
+            bounds.randomized_upper_bound_shape(n)
+        )

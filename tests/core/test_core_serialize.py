@@ -1,0 +1,84 @@
+"""Round-trip tests for core-object serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import serialize
+from repro.core.alphabet import L, M, S, X
+from repro.core.fooling import prove_not_sorting
+from repro.core.iterate import run_adversary
+from repro.core.pattern import Pattern, all_medium_pattern
+from repro.errors import ReproError
+from repro.networks.builders import butterfly_rdn
+from repro.networks.delta import IteratedReverseDeltaNetwork
+
+
+class TestSymbolNames:
+    @pytest.mark.parametrize("sym", [S(0), S(3), M(0), M(7), L(2), X(1, 4), X(0, 0)])
+    def test_roundtrip(self, sym):
+        from repro.core.alphabet import symbol_from_string
+
+        assert symbol_from_string(serialize.symbol_to_string(sym)) is sym
+
+
+class TestPattern:
+    def test_roundtrip(self):
+        p = Pattern([S(0), M(0), X(2, 5), L(1), M(3)])
+        restored = serialize.loads(serialize.dumps(p))
+        assert restored == p
+
+    def test_kind_check(self):
+        with pytest.raises(Exception):
+            serialize.pattern_from_json({"kind": "certificate"})
+
+
+class TestCertificate:
+    def make(self, rng):
+        n = 8
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        outcome = prove_not_sorting(net, rng=rng)
+        return net.to_network(), outcome.certificate
+
+    def test_roundtrip_and_reverify(self, rng):
+        flat, cert = self.make(rng)
+        restored = serialize.loads(serialize.dumps(cert))
+        assert restored.verify(flat)
+        assert (restored.input_a == cert.input_a).all()
+        assert restored.wires == cert.wires
+
+    def test_tampered_payload_fails_verification(self, rng):
+        flat, cert = self.make(rng)
+        doc = serialize.certificate_to_json(cert)
+        doc["values"] = [0, 5]
+        bad = serialize.certificate_from_json(doc)
+        assert not bad.verify(flat, strict=False)
+
+
+class TestRunArchive:
+    def test_run_to_json_shape(self, rng):
+        n = 16
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng)
+        doc = serialize.run_to_json(run)
+        assert doc["n"] == n
+        assert doc["survived"] == run.survived
+        assert len(doc["records"]) == run.blocks_processed
+        assert doc["pattern"]["symbols"][0] in {"S0", "M0", "L0"}
+
+    def test_run_not_loadable(self, rng):
+        n = 8
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng)
+        text = serialize.dumps(run)
+        with pytest.raises(ReproError):
+            serialize.loads(text)
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(ReproError):
+            serialize.dumps(object())
+
+    def test_version_check(self):
+        with pytest.raises(ReproError):
+            serialize.loads('{"version": 9, "payload": {"kind": "pattern"}}')

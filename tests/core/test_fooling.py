@@ -1,0 +1,124 @@
+"""Unit tests for fooling-pair extraction and certificates (Corollary 4.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.certificates import NonSortingCertificate
+from repro.core.fooling import extract_fooling_pair, prove_not_sorting
+from repro.core.pattern import Pattern, sml_pattern
+from repro.errors import CertificateError, PatternError
+from repro.networks.builders import (
+    bitonic_iterated_rdn,
+    butterfly_rdn,
+    random_iterated_rdn,
+)
+from repro.networks.delta import IteratedReverseDeltaNetwork
+from repro.networks.gates import comparator
+from repro.networks.network import ComparatorNetwork
+
+
+class TestExtract:
+    def test_simple_uncompared_pair(self, rng):
+        """Two wires never compared in a trivially incomplete network."""
+        net = ComparatorNetwork(4, [[comparator(0, 1)]])
+        p = sml_pattern(4, medium=[2, 3], small=[0, 1])
+        cert = extract_fooling_pair(net, p, [2, 3], rng=rng)
+        assert cert.values[1] == cert.values[0] + 1
+        assert cert.verify(net)
+
+    def test_requires_two_wires(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        p = sml_pattern(2, medium=[0], small=[1])
+        with pytest.raises(PatternError):
+            extract_fooling_pair(net, p, [0])
+
+    def test_requires_shared_symbol(self):
+        net = ComparatorNetwork(2, [])
+        p = sml_pattern(2, medium=[0], large=[1])
+        with pytest.raises(PatternError):
+            extract_fooling_pair(net, p, [0, 1])
+
+    def test_bogus_claim_fails_verification(self):
+        """Claiming a compared pair is special must raise on verify."""
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        p = sml_pattern(2, medium=[0, 1])
+        with pytest.raises(CertificateError):
+            extract_fooling_pair(net, p, [0, 1], verify=True)
+
+
+class TestCertificateVerification:
+    def make_cert(self, rng):
+        n = 8
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        outcome = prove_not_sorting(net, rng=rng)
+        assert outcome.certificate is not None
+        return net.to_network(), outcome.certificate
+
+    def test_verify_passes(self, rng):
+        net, cert = self.make_cert(rng)
+        assert cert.verify(net)
+
+    def test_wrong_network_rejected(self, rng):
+        net, cert = self.make_cert(rng)
+        other = bitonic_iterated_rdn(8).to_network()
+        assert not cert.verify(other, strict=False)
+
+    def test_size_mismatch(self, rng):
+        net, cert = self.make_cert(rng)
+        with pytest.raises(CertificateError):
+            cert.verify(bitonic_iterated_rdn(16).to_network())
+
+    def test_tampered_values_rejected(self, rng):
+        net, cert = self.make_cert(rng)
+        bad = NonSortingCertificate(
+            input_a=cert.input_a,
+            input_b=cert.input_a,  # identical inputs: not a swap
+            wires=cert.wires,
+            values=cert.values,
+        )
+        assert not bad.verify(net, strict=False)
+
+    def test_non_adjacent_values_rejected(self, rng):
+        net, cert = self.make_cert(rng)
+        bad = NonSortingCertificate(
+            input_a=cert.input_a,
+            input_b=cert.input_b,
+            wires=cert.wires,
+            values=(cert.values[0], cert.values[0] + 2),
+        )
+        assert not bad.verify(net, strict=False)
+
+    def test_unsorted_input_really_unsorted(self, rng):
+        net, cert = self.make_cert(rng)
+        bad_input = cert.unsorted_input(net)
+        out = net.evaluate(bad_input)
+        assert (np.diff(out) < 0).any()
+
+
+class TestProveNotSorting:
+    def test_truncated_bitonic_all_prefixes(self, rng):
+        n = 16
+        full = bitonic_iterated_rdn(n)
+        for d in range(1, 4):
+            outcome = prove_not_sorting(full.truncated(d), rng=rng)
+            assert outcome.proved_not_sorting, d
+
+    def test_full_bitonic_inconclusive(self, rng):
+        outcome = prove_not_sorting(bitonic_iterated_rdn(16), rng=rng)
+        assert not outcome.proved_not_sorting
+        assert len(outcome.run.special_set) <= 1
+
+    def test_random_networks(self, rng):
+        for seed in range(4):
+            gen = np.random.default_rng(seed)
+            net = random_iterated_rdn(16, 2, gen)
+            outcome = prove_not_sorting(net, rng=gen)
+            if outcome.proved_not_sorting:
+                assert outcome.certificate.verify(net.to_network())
+
+    def test_repr(self, rng):
+        n = 8
+        outcome = prove_not_sorting(
+            IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))]), rng=rng
+        )
+        assert "NOT a sorting network" in repr(outcome)

@@ -1,0 +1,153 @@
+"""Unit tests for the Theorem 4.1 loop (repro.core.iterate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import noncolliding_certificate
+from repro.core.iterate import SET_CHOICES, run_adversary, theorem41_guarantee
+from repro.core.pattern import all_medium_pattern, sml_pattern
+from repro.errors import PatternError
+from repro.networks.builders import (
+    bitonic_iterated_rdn,
+    butterfly_rdn,
+    random_iterated_rdn,
+)
+from repro.networks.delta import IteratedReverseDeltaNetwork
+from repro.networks.permutations import random_permutation
+
+
+class TestGuarantee:
+    def test_values(self):
+        assert theorem41_guarantee(16, 0) == 16.0
+        assert theorem41_guarantee(16, 1) == 16 / 4**4
+        assert theorem41_guarantee(2, 0) == 2.0
+
+    def test_invalid_n(self):
+        with pytest.raises(PatternError):
+            theorem41_guarantee(1, 1)
+
+
+class TestSingleBlock:
+    def test_butterfly_survives(self, rng):
+        n = 16
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng)
+        assert run.survived
+        assert run.blocks_processed == 1
+        # noncollision of the final special set, verified independently
+        flat = net.to_network()
+        assert noncolliding_certificate(flat, run.pattern, run.special_set)
+
+    def test_final_pattern_is_sml(self, rng):
+        n = 16
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng)
+        run.pattern.validate_sml()
+        assert run.pattern.m_set(0) == run.special_set
+
+    def test_records_fields(self, rng):
+        n = 16
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng)
+        (rec,) = run.records
+        assert rec.entering_size == n
+        assert rec.union_size <= n
+        assert rec.chosen_size == len(run.special_set)
+        assert rec.retained_fraction <= 1.0
+
+    def test_measured_dominates_guarantee(self, rng):
+        for n in (16, 64):
+            net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+            run = run_adversary(net, rng=rng)
+            assert len(run.special_set) >= theorem41_guarantee(n, 1)
+
+
+class TestMultiBlock:
+    def test_guarantee_every_block(self, rng):
+        n = 64
+        net = random_iterated_rdn(n, 4, rng)
+        run = run_adversary(net, rng=rng, stop_when_dead=False)
+        for rec in run.records:
+            assert rec.chosen_size >= theorem41_guarantee(n, rec.block_index + 1)
+
+    def test_full_noncollision_across_blocks(self, rng):
+        """The final set is noncolliding in the WHOLE multi-block network."""
+        n = 32
+        net = random_iterated_rdn(n, 3, rng)
+        run = run_adversary(net, rng=rng)
+        if run.survived:
+            flat = net.to_network()
+            assert noncolliding_certificate(flat, run.pattern, run.special_set)
+
+    def test_bitonic_kills_adversary(self, rng):
+        """Soundness: against a true sorting network |D| must reach 1."""
+        for n in (8, 16, 32):
+            net = bitonic_iterated_rdn(n)
+            run = run_adversary(net, rng=rng, stop_when_dead=False)
+            assert len(run.special_set) <= 1
+
+    def test_bitonic_survivor_halves(self, rng):
+        n = 32
+        run = run_adversary(bitonic_iterated_rdn(n), rng=rng, stop_when_dead=False)
+        assert run.sizes() == [16, 8, 4, 2, 1]
+
+    def test_inter_block_permutations_handled(self, rng):
+        n = 16
+        perm = random_permutation(n, rng)
+        net = IteratedReverseDeltaNetwork(
+            n, [(None, butterfly_rdn(n)), (perm, butterfly_rdn(n))]
+        )
+        run = run_adversary(net, rng=rng)
+        if run.survived:
+            flat = net.to_network()
+            assert noncolliding_certificate(flat, run.pattern, run.special_set)
+
+    def test_stop_when_dead(self, rng):
+        n = 8
+        net = bitonic_iterated_rdn(n)
+        run = run_adversary(net, rng=rng, stop_when_dead=True)
+        assert run.blocks_processed <= net.k
+        run2 = run_adversary(net, rng=rng, stop_when_dead=False)
+        assert run2.blocks_processed == net.k
+
+    def test_final_cut_exposed(self, rng):
+        n = 16
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng)
+        assert run.final_cut is not None
+        assert len(run.final_cut.symbols) == n
+        assert set(run.final_cut.origin.values()) == run.special_set
+
+
+class TestOptions:
+    def test_initial_pattern_respected(self, rng):
+        n = 16
+        p = sml_pattern(n, medium=range(8), large=range(8, 16))
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, rng=rng, initial_pattern=p)
+        assert run.special_set <= set(range(8))
+
+    def test_initial_pattern_size_check(self, rng):
+        net = IteratedReverseDeltaNetwork(8, [(None, butterfly_rdn(8))])
+        with pytest.raises(PatternError):
+            run_adversary(net, initial_pattern=all_medium_pattern(4))
+
+    def test_set_choices(self, rng):
+        n = 32
+        net = random_iterated_rdn(n, 2, rng)
+        sizes = {}
+        for name in SET_CHOICES:
+            run = run_adversary(
+                net, set_choice=name, rng=np.random.default_rng(5),
+                stop_when_dead=False,
+            )
+            sizes[name] = run.sizes()
+        # largest dominates at the first block
+        assert sizes["largest"][0] >= sizes["random"][0]
+        assert sizes["largest"][0] >= sizes["first"][0]
+
+    def test_custom_k(self, rng):
+        n = 16
+        net = IteratedReverseDeltaNetwork(n, [(None, butterfly_rdn(n))])
+        run = run_adversary(net, k=2, rng=rng)
+        assert run.k == 2

@@ -1,0 +1,267 @@
+"""Unit tests for input patterns and refinement (Definitions 3.1-3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import L, M, S, X
+from repro.core.pattern import Pattern, all_medium_pattern, combine, sml_pattern
+from repro.errors import PatternError, RefinementError
+
+
+def random_pattern(draw_n=6):
+    syms = st.one_of(
+        st.builds(S, st.integers(0, 3)),
+        st.builds(M, st.integers(0, 3)),
+        st.builds(L, st.integers(0, 3)),
+        st.builds(X, st.integers(0, 3), st.integers(0, 2)),
+    )
+    return st.lists(syms, min_size=draw_n, max_size=draw_n).map(Pattern)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Pattern([S(0), M(0), L(0)])
+        assert p.n == 3
+        assert p[1] is M(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([])
+
+    def test_non_symbol_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([S(0), "M0"])  # type: ignore[list-item]
+
+    def test_m_set(self):
+        p = Pattern([M(0), S(0), M(0), M(1)])
+        assert p.m_set(0) == {0, 2}
+        assert p.m_set(1) == {3}
+        assert p.m_set(2) == frozenset()
+
+    def test_groups_in_order(self):
+        p = Pattern([L(0), S(0), M(0), S(0)])
+        groups = p.groups_in_order()
+        assert [g[0] for g in groups] == [S(0), M(0), L(0)]
+        assert groups[0][1] == [1, 3]
+
+    def test_with_symbols(self):
+        p = Pattern([S(0), S(0)])
+        q = p.with_symbols({1: M(0)})
+        assert q[0] is S(0) and q[1] is M(0)
+        assert p[1] is S(0)  # original untouched
+
+
+class TestRefinement:
+    def test_example_3_1(self):
+        """The paper's Example 3.1: refine L/M pattern by lowering one wire."""
+        n = 5
+        p = Pattern([L(0), L(0), M(0), M(0), M(0)])
+        p_prime = Pattern([L(0), L(0), S(0), M(0), M(0)])
+        assert p.refines_to(p_prime)
+        assert not p_prime.refines_to(p)
+
+    def test_reflexive(self):
+        p = Pattern([S(0), M(0), L(0)])
+        assert p.refines_to(p)
+
+    def test_order_violation_detected(self):
+        p = Pattern([S(0), L(0)])
+        q = Pattern([L(0), S(0)])
+        assert not p.refines_to(q)
+
+    def test_splitting_equal_symbols_allowed(self):
+        p = Pattern([M(0), M(0), M(0)])
+        q = Pattern([X(0, 0), M(0), M(0)])
+        assert p.refines_to(q)
+
+    def test_different_length(self):
+        assert not Pattern([M(0)]).refines_to(Pattern([M(0), M(0)]))
+
+    def test_u_refinement(self):
+        p = Pattern([S(0), M(0), M(0), L(0)])
+        q = Pattern([S(0), X(0, 0), M(0), L(0)])
+        assert p.u_refines_to(q, {1, 2})
+        assert p.u_refines_to(q, {1})
+        assert not p.u_refines_to(q, {2})  # wire 1 changed but not in U
+
+    def test_equivalence_renaming(self):
+        """Example 3.2: shifting all indices is an order-preserving renaming."""
+        p = Pattern([M(0), M(1), M(2)])
+        q = Pattern([M(3), M(4), M(5)])
+        assert p.is_equivalent_to(q)
+
+    def test_not_equivalent(self):
+        p = Pattern([M(0), M(0)])
+        q = Pattern([X(0, 0), M(0)])
+        assert p.refines_to(q) and not q.refines_to(p)
+        assert not p.is_equivalent_to(q)
+
+
+class TestInputs:
+    def test_admits_input(self):
+        p = Pattern([L(0), L(0), M(0)])
+        assert p.admits_input([1, 2, 0])
+        assert p.admits_input([2, 1, 0])
+        assert not p.admits_input([0, 1, 2])
+        assert not p.admits_input([0, 1, 1])  # not a permutation
+        assert not p.admits_input([0, 1])  # wrong length
+
+    def test_refine_to_input_in_pv(self):
+        p = Pattern([L(0), S(0), M(0), M(0)])
+        values = p.refine_to_input()
+        assert p.admits_input(values)
+
+    def test_refine_gives_consecutive_values_to_equal_symbols(self, rng):
+        p = Pattern([M(0), L(0), M(0), S(0), M(0)])
+        values = p.refine_to_input(rng=rng)
+        m_values = sorted(int(values[w]) for w in p.m_set(0))
+        assert m_values == list(range(m_values[0], m_values[0] + 3))
+
+    def test_input_count(self):
+        p = Pattern([M(0), M(0), S(0)])
+        assert p.input_count() == 2
+        assert all_medium_pattern(4).input_count() == 24
+
+    def test_enumerate_inputs_complete(self):
+        p = Pattern([M(0), M(0), S(0)])
+        inputs = [tuple(v) for v in p.enumerate_inputs()]
+        assert len(inputs) == 2
+        assert set(inputs) == {(1, 2, 0), (2, 1, 0)}
+        for v in inputs:
+            assert p.admits_input(np.array(v))
+
+    def test_enumerate_matches_count(self):
+        p = Pattern([M(0), L(0), M(0), S(0)])
+        assert len(list(p.enumerate_inputs())) == p.input_count()
+
+
+class TestRho:
+    def test_rho_collapses(self):
+        p = Pattern([S(0), X(1, 0), M(1), M(2), L(0)])
+        q = p.rho(1)
+        assert q.symbols == (S(0), S(0), M(0), L(0), L(0))
+
+    def test_rho_is_lemma_34_shape(self):
+        p = Pattern([M(0), M(3), X(3, 1), L(5)])
+        q = p.rho(3)
+        assert q.symbols == (S(0), M(0), S(0), L(0))
+
+    def test_validate_sml(self):
+        sml_ok = Pattern([S(0), M(0), L(0)])
+        sml_ok.validate_sml()
+        with pytest.raises(RefinementError):
+            Pattern([S(0), M(1)]).validate_sml()
+
+
+class TestConstructors:
+    def test_sml_pattern(self):
+        p = sml_pattern(4, medium=[1, 2], large=[3])
+        assert p.symbols == (S(0), M(0), M(0), L(0))
+
+    def test_sml_overlap_rejected(self):
+        with pytest.raises(PatternError):
+            sml_pattern(4, medium=[1], small=[1])
+
+    def test_sml_range_check(self):
+        with pytest.raises(PatternError):
+            sml_pattern(4, medium=[4])
+
+    def test_all_medium(self):
+        p = all_medium_pattern(3)
+        assert p.m_set(0) == {0, 1, 2}
+
+    def test_combine(self):
+        p = combine(Pattern([S(0)]), Pattern([L(0), M(0)]))
+        assert p.symbols == (S(0), L(0), M(0))
+
+
+@settings(max_examples=60)
+@given(random_pattern(), st.integers(0, 2**31))
+def test_property_refine_to_input_always_admitted(p, seed):
+    values = p.refine_to_input(rng=np.random.default_rng(seed))
+    assert p.admits_input(values)
+
+
+@settings(max_examples=60)
+@given(random_pattern())
+def test_property_rho_is_refinement_target_of_renaming(p):
+    """rho_i(p) must have the same [M_i]-set mapped to M_0."""
+    for i in range(3):
+        q = p.rho(i)
+        assert q.m_set(0) == p.m_set(i)
+        q.validate_sml()
+
+
+@settings(max_examples=40)
+@given(random_pattern(), st.integers(0, 5))
+def test_property_refinement_transitive_via_rho_and_splits(p, wire):
+    """p refines p.with_symbols(split) when splitting one medium wire."""
+    wire %= p.n
+    if not p[wire].is_medium:
+        return
+    i = p[wire].i
+    q = p.with_symbols({wire: X(i, 99)})
+    assert p.refines_to(q)
+
+
+@settings(max_examples=40)
+@given(random_pattern())
+def test_property_refinement_set_semantics(p):
+    """p refines q  =>  every input of q is an input of p (on small sets)."""
+    # build q by demoting the first medium wire, if any
+    med = [w for w in range(p.n) if p[w].is_medium]
+    if not med:
+        return
+    w0 = med[0]
+    q = p.with_symbols({w0: X(p[w0].i, 50)})
+    if q.input_count() > 200:
+        return
+    for v in q.enumerate_inputs():
+        assert p.admits_input(v)
+
+
+class TestRestrictAndOplus:
+    def test_restrict_roundtrip(self):
+        from repro.core.pattern import oplus_parts
+
+        p = Pattern([S(0), M(0), L(0), M(1)])
+        left = p.restrict([0, 2])
+        right = p.restrict([1, 3])
+        assert oplus_parts(4, left, right) == p
+
+    def test_restrict_range_check(self):
+        with pytest.raises(PatternError):
+            Pattern([S(0)]).restrict([1])
+
+    def test_oplus_rejects_overlap(self):
+        from repro.core.pattern import oplus_parts
+
+        with pytest.raises(PatternError):
+            oplus_parts(2, {0: S(0)}, {0: M(0), 1: L(0)})
+
+    def test_oplus_rejects_holes(self):
+        from repro.core.pattern import oplus_parts
+
+        with pytest.raises(PatternError):
+            oplus_parts(3, {0: S(0)}, {2: L(0)})
+
+    def test_lemma_31_operationally(self, rng):
+        """Lemma 3.1: independently refining the two halves of an SML
+        pattern on the medium wires yields a global A-refinement."""
+        from repro.core.alphabet import X
+        from repro.core.pattern import oplus_parts, sml_pattern
+
+        n = 8
+        p = sml_pattern(n, medium=[1, 2, 5, 6], small=[0, 3], large=[4, 7])
+        A = p.m_set(0)
+        w0 = list(range(4))
+        w1 = list(range(4, 8))
+        # refine each half on its A-wires only, staying inside (S0, L0)
+        q0 = p.restrict(w0)
+        q0[1] = X(0, 0)  # demote one medium wire of the left half
+        q1 = p.restrict(w1)
+        q1[5] = M(1)  # promote one medium wire of the right half
+        q = oplus_parts(n, q0, q1)
+        assert p.u_refines_to(q, A)

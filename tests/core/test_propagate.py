@@ -1,0 +1,132 @@
+"""Unit tests for symbolic pattern propagation (Definition 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import L, M, S, X
+from repro.core.pattern import Pattern
+from repro.core.propagate import SymbolicState, propagate, propagate_with_tokens
+from repro.errors import PropagationError
+from repro.networks.gates import comparator, exchange, passthrough, reverse_comparator
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork, Stage
+from repro.networks.permutations import shuffle_permutation
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+class TestGateAction:
+    def test_plus_routes_min_to_a(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        out = propagate(net, Pattern([L(0), S(0)]))
+        assert out.symbols == (S(0), L(0))
+
+    def test_minus_routes_max_to_a(self):
+        net = ComparatorNetwork(2, [[reverse_comparator(0, 1)]])
+        out = propagate(net, Pattern([S(0), L(0)]))
+        assert out.symbols == (L(0), S(0))
+
+    def test_equal_symbols_pass(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        out = propagate(net, Pattern([M(0), M(0)]))
+        assert out.symbols == (M(0), M(0))
+
+    def test_exchange_swaps_unconditionally(self):
+        net = ComparatorNetwork(2, [[exchange(0, 1)]])
+        out = propagate(net, Pattern([S(0), L(0)]))
+        assert out.symbols == (L(0), S(0))
+
+    def test_nop_identity(self):
+        net = ComparatorNetwork(2, [[passthrough(0, 1)]])
+        out = propagate(net, Pattern([L(0), S(0)]))
+        assert out.symbols == (L(0), S(0))
+
+    def test_permutation_stage_moves_symbols(self):
+        perm = shuffle_permutation(4)
+        net = ComparatorNetwork(4, [Stage(level=Level(), perm=perm)])
+        p = Pattern([S(0), S(1), M(0), L(0)])
+        out = propagate(net, p)
+        # value at j moves to perm(j)
+        expected = [None] * 4
+        for j, s in enumerate(p.symbols):
+            expected[perm(j)] = s
+        assert out.symbols == tuple(expected)
+
+
+class TestDefinition35Semantics:
+    def test_output_pattern_describes_output_set(self, rng):
+        """Lambda(p)[V] == Lambda(p[V]) checked exhaustively on a small net."""
+        net = ComparatorNetwork(
+            3, [[comparator(0, 1)], [comparator(1, 2)]]
+        )
+        p = Pattern([M(0), M(0), S(0)])
+        q = propagate(net, p)
+        outputs = set()
+        for v in p.enumerate_inputs():
+            outputs.add(tuple(net.evaluate(v)))
+        described = set(tuple(v) for v in q.enumerate_inputs())
+        # every network output of an input of p is admitted by q
+        assert outputs <= described
+
+    def test_sorting_network_sorts_pattern(self):
+        net = bitonic_sorting_network(8)
+        p = Pattern([L(0), M(0), S(0), M(0), S(0), L(0), M(0), S(0)])
+        q = propagate(net, p)
+        keys = [s.key for s in q.symbols]
+        assert keys == sorted(keys)
+
+
+class TestTokens:
+    def test_tokens_follow_comparator_routing(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        state = propagate_with_tokens(net, Pattern([L(0), M(0)]), tracked=[0, 1])
+        # L goes to max-output (pos 1), M to min-output (pos 0)
+        assert state.origin == {1: 0, 0: 1}
+
+    def test_token_positions_inverse(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        state = propagate_with_tokens(net, Pattern([L(0), M(0)]), tracked=[0, 1])
+        assert state.token_positions() == {0: 1, 1: 0}
+
+    def test_equal_symbol_meeting_raises(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        with pytest.raises(PropagationError):
+            propagate_with_tokens(net, Pattern([M(0), M(0)]), tracked=[0])
+
+    def test_equal_symbols_without_tokens_fine(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        state = propagate_with_tokens(net, Pattern([M(0), M(0)]), tracked=[])
+        assert state.origin == {}
+
+    def test_tokens_track_through_bitonic(self, rng):
+        """Token positions must match the actual value routing."""
+        n = 8
+        net = bitonic_sorting_network(n)
+        # mark one wire M, others strictly ordered around it
+        for m_wire in range(n):
+            syms = [S(i) for i in range(n)]
+            syms[m_wire] = M(0)
+            p = Pattern(syms)
+            state = propagate_with_tokens(net, p, tracked=[m_wire])
+            # realise with concrete input and compare final position
+            values = p.refine_to_input()
+            out = net.evaluate(values)
+            expected_pos = int(np.nonzero(out == values[m_wire])[0][0])
+            (pos,) = state.origin.keys()
+            assert pos == expected_pos
+
+    def test_pattern_size_mismatch(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        with pytest.raises(PropagationError):
+            propagate(net, Pattern([S(0)]))
+
+
+class TestSymbolicState:
+    def test_apply_permutation(self):
+        state = SymbolicState(symbols=[S(0), M(0)], origin={1: 1})
+        state.apply_permutation(np.array([1, 0]))
+        assert state.symbols == [M(0), S(0)]
+        assert state.origin == {0: 1}
+
+    def test_to_pattern(self):
+        state = SymbolicState(symbols=[S(0), M(0)])
+        assert state.to_pattern() == Pattern([S(0), M(0)])

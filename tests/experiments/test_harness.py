@@ -1,0 +1,71 @@
+"""Tests for the experiment harness (tables, formatting, persistence)."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import Table, format_cell
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1e-7) == "1.000e-07"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestTable:
+    def make(self) -> Table:
+        t = Table(
+            experiment="E0",
+            title="demo",
+            claim="x grows",
+            columns=["n", "value", "ok"],
+        )
+        t.add_row(n=2, value=1.5, ok=True)
+        t.add_row(n=4, value=3.0, ok=False)
+        return t
+
+    def test_add_row_validates_columns(self):
+        t = self.make()
+        with pytest.raises(KeyError):
+            t.add_row(n=2, bogus=1)
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("n") == [2, 4]
+        assert t.column("missing") == [None, None]
+
+    def test_format_contains_everything(self):
+        t = self.make()
+        t.notes.append("a note")
+        text = t.format()
+        assert "E0: demo" in text
+        assert "claim: x grows" in text
+        assert "note: a note" in text
+        assert "yes" in text and "no" in text
+
+    def test_missing_cells_render_empty(self):
+        t = Table(experiment="E0", title="t", claim="c", columns=["a", "b"])
+        t.add_row(a=1)
+        assert "1" in t.format()
+
+    def test_save_roundtrip(self, tmp_path):
+        t = self.make()
+        path = t.save(tmp_path)
+        assert path.exists()
+        data = json.loads((tmp_path / "e0.json").read_text())
+        assert data["columns"] == ["n", "value", "ok"]
+        assert len(data["rows"]) == 2
+
+    def test_str(self):
+        assert str(self.make()).startswith("== E0")

@@ -1,0 +1,107 @@
+"""Tests for the experiment workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.e5_extension import truncated_block_network
+from repro.experiments.e8_average_case import (
+    sorting_biased_block,
+    sorting_biased_network,
+)
+from repro.experiments.workloads import (
+    BLOCK_FAMILIES,
+    almost_sorted_batch,
+    block_family,
+    iterated_family,
+    random_permutation_batch,
+    truncated_bitonic,
+)
+
+
+class TestBatches:
+    def test_random_permutation_batch(self, rng):
+        batch = random_permutation_batch(8, 5, rng)
+        assert batch.shape == (5, 8)
+        for row in batch:
+            assert sorted(row.tolist()) == list(range(8))
+
+    def test_almost_sorted_batch(self, rng):
+        batch = almost_sorted_batch(16, 4, swaps=1, rng=rng)
+        assert batch.shape == (4, 16)
+        from repro.analysis.statistics import inversion_counts_batch
+
+        # one random transposition creates few inversions
+        assert inversion_counts_batch(batch).max() <= 15
+
+    def test_almost_sorted_zero_swaps(self, rng):
+        batch = almost_sorted_batch(8, 2, swaps=0, rng=rng)
+        assert (batch == np.arange(8)).all()
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name", sorted(BLOCK_FAMILIES))
+    def test_every_block_family_builds(self, name, rng):
+        block = block_family(name)(16, rng)
+        assert block.levels == 4
+        assert set(block.wires) == set(range(16))
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            block_family("nope")
+
+    def test_iterated_family_bitonic_truncates(self, rng):
+        it = iterated_family("bitonic", 16, 2, rng)
+        assert it.k == 2
+
+    def test_iterated_family_unknown(self, rng):
+        with pytest.raises(KeyError):
+            iterated_family("nope", 8, 1, rng)
+
+    def test_iterated_family_repeated_block(self, rng):
+        it = iterated_family("butterfly", 8, 3, rng)
+        assert it.k == 3
+        # inter perms present after the first block
+        assert it.blocks[0][0] is None
+        assert it.blocks[1][0] is not None
+
+    def test_truncated_bitonic(self):
+        it = truncated_bitonic(16, 2)
+        assert it.k == 2
+        assert it.block_levels == 4
+
+
+class TestSpecialWorkloads:
+    def test_truncated_block_network(self, rng):
+        net = truncated_block_network(16, f=2, blocks=3, rng=rng)
+        assert net.k == 3
+        for _, rdn in net.blocks:
+            counts = rdn.comparator_count_by_level()
+            assert all(c == 0 for c in counts[2:])  # only first f populated
+
+    def test_sorting_biased_block_points_down(self, rng):
+        from repro.networks.gates import Op
+
+        block = sorting_biased_block(16, rng)
+        for node in block.nodes():
+            for g in node.final:
+                lo = min(g.a, g.b)
+                # min must be routed to the lower wire index
+                if g.op is Op.PLUS:
+                    assert g.a == lo
+                else:
+                    assert g.op is Op.MINUS and g.b == lo
+
+    def test_sorting_biased_network_monotone_inversions(self, rng):
+        """More biased blocks never increase expected inversions."""
+        from repro.analysis.statistics import inversion_counts_batch
+
+        n = 16
+        net = sorting_biased_network(n, 6, rng)
+        batch = random_permutation_batch(n, 64, rng)
+        prev = None
+        for b in (1, 3, 6):
+            out = net.truncated(b).to_network().evaluate_batch(batch)
+            mean_inv = inversion_counts_batch(out).mean()
+            if prev is not None:
+                assert mean_inv <= prev + 1e-9
+            prev = mean_inv

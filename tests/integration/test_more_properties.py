@@ -1,0 +1,95 @@
+"""Additional cross-module property tests using the shared strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.strategies import circuits, iterated_rdns, patterns, rdns
+
+from repro.analysis.properties import is_reverse_delta_topology
+from repro.core.attack import recognize_iterated_rdn
+from repro.core.pattern import Pattern
+from repro.core.propagate import propagate
+from repro.networks import serialize
+from repro.networks.registers import RegisterProgram
+
+
+@settings(max_examples=25, deadline=None)
+@given(rdns())
+def test_property_every_generated_rdn_is_recognised(rdn):
+    """Builder output always satisfies the Definition 3.4 recogniser."""
+    assert is_reverse_delta_topology(rdn.to_network())
+
+
+@settings(max_examples=20, deadline=None)
+@given(iterated_rdns(max_blocks=2))
+def test_property_serialisation_roundtrip_iterated(it):
+    restored = serialize.loads(serialize.dumps(it))
+    rng = np.random.default_rng(0)
+    x = rng.permutation(it.n)
+    assert (restored.to_network().evaluate(x) == it.to_network().evaluate(x)).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits())
+def test_property_register_conversion_preserves_function(net):
+    if net.n % 2:
+        return
+    prog = RegisterProgram.from_network(net)
+    back = prog.to_network()
+    rng = np.random.default_rng(1)
+    for _ in range(3):
+        x = rng.permutation(net.n)
+        assert (back.evaluate(x) == net.evaluate(x)).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits())
+def test_property_trace_comparisons_bounded_by_size(net):
+    rng = np.random.default_rng(2)
+    x = rng.permutation(net.n)
+    trace = net.trace(x)
+    assert len(trace.comparisons) == net.size
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuits(), st.integers(0, 2**31))
+def test_property_network_serialisation_roundtrip(net, seed):
+    restored = serialize.loads(serialize.dumps(net))
+    x = np.random.default_rng(seed).permutation(net.n)
+    assert (restored.evaluate(x) == net.evaluate(x)).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(iterated_rdns(min_log_n=3, max_blocks=2))
+def test_property_recognition_of_flattened_iterated(it):
+    """Flatten an iterated RDN with identity perms; recognition rebuilds it."""
+    from repro.networks.delta import IteratedReverseDeltaNetwork
+
+    identity_version = IteratedReverseDeltaNetwork(
+        it.n, [(None, rdn) for _, rdn in it.blocks]
+    )
+    flat = identity_version.to_network()
+    recognised = recognize_iterated_rdn(flat)
+    rng = np.random.default_rng(3)
+    x = rng.permutation(it.n)
+    assert (recognised.to_network().evaluate(x) == flat.evaluate(x)).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(rdns(max_log_n=4), st.data())
+def test_property_refinement_compatible_with_propagation(rdn, data):
+    """If p refines q, then Lambda(p) refines Lambda(q)."""
+    n = rdn.n
+    p = data.draw(patterns(n, sml_only=True))
+    # refine p by demoting one medium wire to a smaller fresh symbol
+    from repro.core.alphabet import X
+
+    med = [w for w in range(n) if p[w].is_medium]
+    if not med:
+        return
+    q = p.with_symbols({med[0]: X(0, 7)})
+    assert p.refines_to(q)
+    net = rdn.to_network()
+    assert propagate(net, p).refines_to(propagate(net, q))

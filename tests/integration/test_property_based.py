@@ -1,0 +1,123 @@
+"""Hypothesis property tests on the core invariants of the reproduction.
+
+These cover the load-bearing invariants across randomly generated
+networks and patterns:
+
+* the adversary is *sound*: whenever it survives, the certified pair is
+  genuinely uncompared and the network genuinely fails to sort;
+* Lemma 4.1's four properties hold for arbitrary random blocks and k;
+* pattern refinement is a partial order interacting correctly with
+  propagation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import is_sorting_network
+from repro.core.adversary import run_lemma41
+from repro.core.collision import noncolliding_certificate
+from repro.core.fooling import prove_not_sorting
+from repro.core.pattern import all_medium_pattern
+from repro.core.propagate import propagate
+from repro.networks.builders import random_iterated_rdn, random_reverse_delta
+from repro.networks.delta import IteratedReverseDeltaNetwork
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    log_n=st.integers(2, 5),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 2**31),
+    p_gate=st.floats(0.2, 1.0),
+)
+def test_lemma41_properties_random_blocks(log_n, k, seed, p_gate):
+    """Properties 1-4 of Lemma 4.1 on arbitrary random blocks."""
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    block = random_reverse_delta(n, rng, p_gate=p_gate, p_exchange=0.15)
+    p = all_medium_pattern(n)
+    res = run_lemma41(block, p, k)
+    l = block.levels
+    assert res.union() <= p.m_set(0)  # P3
+    assert res.b_size >= n * (1 - l / k**2) - 1e-9  # P4
+    net = block.to_network()
+    for i, m_set in res.sets.items():
+        assert res.pattern.m_set(i) == m_set  # P1
+        assert noncolliding_certificate(net, res.pattern, m_set)  # P2
+    assert p.u_refines_to(res.pattern, p.m_set(0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    log_n=st.integers(3, 5),
+    blocks=st.integers(1, 3),
+    seed=st.integers(0, 2**31),
+)
+def test_adversary_soundness_random_networks(log_n, blocks, seed):
+    """A certificate always verifies; for tiny n, certified nets never sort."""
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    net = random_iterated_rdn(n, blocks, rng)
+    outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
+    if outcome.proved_not_sorting:
+        flat = net.to_network()
+        assert outcome.certificate.verify(flat)
+        if n <= 16:
+            assert not is_sorting_network(flat)
+
+
+@settings(max_examples=20, deadline=None)
+@given(log_n=st.integers(2, 4), seed=st.integers(0, 2**31))
+def test_propagation_preserves_symbol_multiset(log_n, seed):
+    """Definition 3.5: the output pattern is a permutation of the input."""
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    net = random_reverse_delta(n, rng, p_exchange=0.2).to_network()
+    from repro.core.alphabet import L, M, S
+
+    syms = [rng.choice([S(0), S(1), M(0), L(0)]) for _ in range(n)]
+    from repro.core.pattern import Pattern
+
+    p = Pattern(syms)
+    q = propagate(net, p)
+    assert sorted(s.key for s in p.symbols) == sorted(s.key for s in q.symbols)
+
+
+@settings(max_examples=20, deadline=None)
+@given(log_n=st.integers(2, 4), seed=st.integers(0, 2**31))
+def test_propagated_pattern_admits_all_concrete_outputs(log_n, seed):
+    """For every concrete refinement pi of p, Lambda(pi) refines Lambda(p)."""
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    net = random_reverse_delta(n, rng).to_network()
+    from repro.core.alphabet import L, M, S
+    from repro.core.pattern import Pattern
+
+    syms = [rng.choice([S(0), M(0), L(0)]) for _ in range(n)]
+    p = Pattern(syms)
+    q = propagate(net, p)
+    for _ in range(5):
+        values = p.refine_to_input(rng=rng)
+        out = net.evaluate(values)
+        assert q.admits_input(out)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    log_n=st.integers(3, 4),
+    seed=st.integers(0, 2**31),
+    k=st.integers(2, 4),
+)
+def test_adversary_state_matches_independent_propagation(log_n, seed, k):
+    """The lemma's incremental output state equals a from-scratch propagation."""
+    from repro.core.propagate import propagate_with_tokens
+
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    block = random_reverse_delta(n, rng, p_exchange=0.1)
+    res = run_lemma41(block, all_medium_pattern(n), k)
+    net = block.to_network()
+    state = propagate_with_tokens(net, res.pattern, sorted(res.union()))
+    assert state.origin == res.state.origin
+    assert state.symbols == res.state.symbols

@@ -1,0 +1,86 @@
+"""Tests for the ascend algorithms: prefix, reduce, FFT."""
+
+import numpy as np
+import pytest
+
+from repro.machines.ascend import fft, inverse_fft, parallel_prefix, parallel_reduce
+
+
+class TestPrefix:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32, 128])
+    def test_matches_cumsum(self, n, rng):
+        vals = list(rng.integers(-50, 50, n))
+        assert parallel_prefix(vals) == list(np.cumsum(vals))
+
+    def test_non_commutative_op(self, rng):
+        """Prefix with string concatenation: order must be exact."""
+        n = 8
+        vals = [chr(ord("a") + i) for i in range(n)]
+        got = parallel_prefix(vals, op=lambda a, b: a + b)
+        assert got == ["".join(vals[: i + 1]) for i in range(n)]
+
+    def test_max_scan(self, rng):
+        n = 16
+        vals = list(rng.integers(0, 100, n))
+        got = parallel_prefix(vals, op=max)
+        assert got == list(np.maximum.accumulate(vals))
+
+    def test_power_of_two_required(self):
+        from repro.errors import NotAPowerOfTwoError
+
+        with pytest.raises(NotAPowerOfTwoError):
+            parallel_prefix([1, 2, 3])
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64])
+    def test_sum(self, n, rng):
+        vals = list(rng.integers(0, 100, n))
+        assert parallel_reduce(vals) == sum(vals)
+
+    def test_min(self, rng):
+        vals = list(rng.integers(0, 1000, 32))
+        assert parallel_reduce(vals, op=min) == min(vals)
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_matches_numpy(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    def test_real_input(self, rng):
+        x = rng.normal(size=32)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    def test_impulse(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        assert np.allclose(fft(x), np.ones(16))
+
+    def test_linearity(self, rng):
+        n = 32
+        a = rng.normal(size=n) + 1j * rng.normal(size=n)
+        b = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft(a + 2 * b), fft(a) + 2 * fft(b))
+
+    def test_parseval(self, rng):
+        x = rng.normal(size=64)
+        X = fft(x)
+        assert np.isclose((np.abs(x) ** 2).sum(), (np.abs(X) ** 2).sum() / 64)
+
+    @pytest.mark.parametrize("n", [2, 8, 128])
+    def test_inverse_roundtrip(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(inverse_fft(fft(x)), x)
+
+    def test_convolution_theorem(self, rng):
+        """Circular convolution via the machine FFT."""
+        n = 32
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        direct = np.array(
+            [sum(a[j] * b[(i - j) % n] for j in range(n)) for i in range(n)]
+        )
+        via_fft = inverse_fft(fft(a) * fft(b)).real
+        assert np.allclose(direct, via_fft)

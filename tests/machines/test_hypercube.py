@@ -1,0 +1,104 @@
+"""Tests for the hypercube and CCC machines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machines.hypercube import CubeConnectedCyclesMachine, HypercubeMachine
+from repro.machines.shuffle_exchange import ShuffleExchangeMachine
+
+
+def prefix_dim_op(bit, lo, hi):
+    """The hypercube scan dimension step used across machine tests."""
+    (lo_prefix, lo_total), (hi_prefix, hi_total) = lo, hi
+    block = lo_total + hi_total
+    return (lo_prefix, block), (lo_total + hi_prefix, block)
+
+
+class TestHypercube:
+    def test_ascend_prefix(self, rng):
+        n = 16
+        vals = list(rng.integers(0, 50, n))
+        m = HypercubeMachine([(v, v) for v in vals])
+        out = m.run_ascend(prefix_dim_op)
+        assert [p for p, _ in out] == list(np.cumsum(vals))
+        assert m.steps_taken == 4
+
+    def test_reduce_any_order(self, rng):
+        """All-reduce works under ascend and descend schedules alike."""
+        n = 8
+        vals = list(rng.integers(0, 50, n))
+
+        def op(bit, lo, hi):
+            s = lo + hi
+            return s, s
+
+        asc = HypercubeMachine(vals).run_ascend(op)
+        desc = HypercubeMachine(vals).run_descend(op)
+        assert asc == desc == [sum(vals)] * n
+
+    def test_dimension_bounds(self):
+        m = HypercubeMachine([0, 1])
+        with pytest.raises(MachineError):
+            m.step(1, lambda b, lo, hi: (lo, hi))
+
+    def test_matches_shuffle_exchange(self, rng):
+        """The same dimension ops give the same result on both machines."""
+        n = 16
+        vals = [(int(v), int(v)) for v in rng.integers(0, 99, n)]
+
+        hyper = HypercubeMachine(list(vals))
+        hyper.run_descend(prefix_dim_op)  # d-1 .. 0: the SE native order
+
+        se = ShuffleExchangeMachine(list(vals))
+        se.run_ascend(prefix_dim_op)  # SE visits bits d-1 .. 0 natively
+
+        assert hyper.values == se.registers
+
+
+class TestCCC:
+    def test_ascend_prefix_matches_hypercube(self, rng):
+        n = 16
+        vals = list(rng.integers(0, 50, n))
+        start = [(v, v) for v in vals]
+        hyper = HypercubeMachine(list(start)).run_ascend(prefix_dim_op)
+        ccc = CubeConnectedCyclesMachine(list(start))
+        out = ccc.run_ascend(prefix_dim_op)
+        assert out == hyper
+
+    def test_emulation_cost_constant_factor(self, rng):
+        """One ascend pass costs 2d steps on the CCC vs d on the cube."""
+        n = 16
+        start = [(0, 0)] * n
+        hyper = HypercubeMachine(list(start))
+        hyper.run_ascend(prefix_dim_op)
+        ccc = CubeConnectedCyclesMachine(list(start))
+        ccc.run_ascend(prefix_dim_op)
+        assert hyper.steps_taken == 4
+        assert ccc.steps_taken == 8  # 4 cross + 4 rotations
+
+    def test_passes_compose(self, rng):
+        n = 8
+        vals = list(rng.integers(0, 9, n))
+        ccc = CubeConnectedCyclesMachine([(v, v) for v in vals])
+        ccc.run_ascend(prefix_dim_op)
+        assert ccc.data_position == 0  # home again
+        # a second pass runs cleanly
+        second = [(p, p) for p, _ in ccc.values()]
+        ccc2 = CubeConnectedCyclesMachine(second)
+        ccc2.run_ascend(prefix_dim_op)
+
+    def test_must_start_home(self):
+        ccc = CubeConnectedCyclesMachine([0, 1, 2, 3])
+        ccc.rotate()
+        with pytest.raises(MachineError):
+            ccc.run_ascend(lambda b, lo, hi: (lo, hi))
+
+    def test_too_small(self):
+        with pytest.raises(MachineError):
+            CubeConnectedCyclesMachine([7])
+
+    def test_register_budget(self):
+        ccc = CubeConnectedCyclesMachine(list(range(8)))
+        assert ccc.n == 8 and ccc.d == 3
+        assert sum(len(r) for r in ccc._registers) == 24

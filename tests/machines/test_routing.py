@@ -1,0 +1,122 @@
+"""Tests for Beneš and shuffle-based permutation routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.machines.routing import (
+    benes_depth,
+    benes_routing_network,
+    benes_switch_sides,
+    cited_shuffle_exchange_levels,
+    sort_route_program,
+)
+from repro.networks.gates import Op
+from repro.networks.permutations import (
+    Permutation,
+    bit_reversal_permutation,
+    identity_permutation,
+    random_permutation,
+    shuffle_permutation,
+)
+
+
+def routes(net_or_prog, perm) -> bool:
+    net = net_or_prog if hasattr(net_or_prog, "evaluate") else net_or_prog.to_network()
+    out = net.evaluate(np.arange(perm.n))
+    return all(out[perm(i)] == i for i in range(perm.n))
+
+
+class TestLoopingAlgorithm:
+    def test_constraints_satisfied(self, rng):
+        for m in (4, 8, 16):
+            targets = list(rng.permutation(m))
+            side = benes_switch_sides(targets)
+            half = m // 2
+            inv = [0] * m
+            for i, t in enumerate(targets):
+                inv[t] = i
+            for i in range(m):
+                assert side[i] != side[(i + half) % m]
+            for j in range(m):
+                assert side[inv[j]] != side[inv[(j + half) % m]]
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(RoutingError):
+            benes_switch_sides([0, 2, 1])
+
+
+class TestBenes:
+    @pytest.mark.parametrize("n", [2, 4, 8, 32, 128])
+    def test_routes_random_permutations(self, n, rng):
+        for _ in range(8):
+            perm = random_permutation(n, rng)
+            net = benes_routing_network(perm)
+            assert routes(net, perm)
+
+    def test_depth(self):
+        for n in (2, 8, 64):
+            assert benes_routing_network(identity_permutation(n)).depth == benes_depth(n)
+
+    def test_identity_needs_no_switches(self):
+        net = benes_routing_network(identity_permutation(16))
+        assert net.element_count == 0
+
+    def test_only_switch_elements(self, rng):
+        net = benes_routing_network(random_permutation(16, rng))
+        for _, g in net.all_gates():
+            assert g.op is Op.SWAP
+        assert net.size == 0  # no comparators
+
+    def test_named_permutations(self, rng):
+        for n in (8, 16):
+            for perm in (
+                shuffle_permutation(n),
+                bit_reversal_permutation(n),
+                Permutation(list(range(1, n)) + [0]),
+            ):
+                assert routes(benes_routing_network(perm), perm)
+
+    def test_accepts_plain_sequence(self):
+        assert routes(benes_routing_network([1, 0, 3, 2]), Permutation([1, 0, 3, 2]))
+
+
+class TestSortRoute:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_routes_random_permutations(self, n, rng):
+        for _ in range(5):
+            perm = random_permutation(n, rng)
+            prog = sort_route_program(perm)
+            assert prog.is_shuffle_based()
+            assert routes(prog, perm)
+
+    def test_only_switching_ops(self, rng):
+        prog = sort_route_program(random_permutation(8, rng))
+        for step in prog.steps:
+            for op in step.ops:
+                assert op in (Op.NOP, Op.SWAP)
+
+    def test_depth_lg_squared(self):
+        prog = sort_route_program(identity_permutation(16))
+        assert prog.depth == 16
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(RoutingError):
+            sort_route_program([0, 0, 1, 1])
+
+    def test_bit_reversal_routable_in_class(self):
+        """Bit reversal (not routable by one shuffle block) routes fine here."""
+        n = 16
+        perm = bit_reversal_permutation(n)
+        assert routes(sort_route_program(perm), perm)
+
+
+class TestCitedBound:
+    def test_formula(self):
+        assert cited_shuffle_exchange_levels(16) == 8
+        assert cited_shuffle_exchange_levels(1024) == 26
+
+    def test_benes_within_constant_of_cited(self):
+        for e in (3, 5, 8, 10):
+            n = 1 << e
+            assert benes_depth(n) <= cited_shuffle_exchange_levels(n) + 4

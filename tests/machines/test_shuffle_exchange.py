@@ -1,0 +1,133 @@
+"""Tests for the strict ascend shuffle-exchange machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machines.shuffle_exchange import ShuffleExchangeMachine
+from repro.networks.permutations import shuffle_permutation
+from repro.networks.registers import RegisterProgram
+from repro.sorters.bitonic import bitonic_shuffle_program
+
+
+class TestDataMovement:
+    def test_step_is_shuffle(self):
+        m = ShuffleExchangeMachine(list(range(8)))
+        m.step()
+        expected = shuffle_permutation(8).apply(np.arange(8))
+        assert m.registers == list(expected)
+
+    def test_d_steps_restore_order(self):
+        m = ShuffleExchangeMachine(list(range(16)))
+        for _ in range(4):
+            m.step()
+        assert m.registers == list(range(16))
+        assert m.steps_taken == 4
+
+    def test_original_index_tracking(self):
+        m = ShuffleExchangeMachine(list(range(8)))
+        m.step()
+        for pos in range(8):
+            assert m.registers[pos] == m.original_index_at(pos)
+        m.step()
+        for pos in range(8):
+            assert m.registers[pos] == m.original_index_at(pos)
+
+    def test_pair_bit_sequence(self):
+        m = ShuffleExchangeMachine(list(range(8)))
+        bits = []
+        for _ in range(3):
+            bits.append(m.current_pair_bit())
+            m.step()
+        assert bits == [2, 1, 0]  # MSB first
+
+    def test_pairs_differ_in_claimed_bit(self):
+        """Adjacent registers after each step differ in exactly that bit."""
+        m = ShuffleExchangeMachine(list(range(16)))
+        for _ in range(4):
+            bit = m.current_pair_bit()
+            m.step()
+            for k in range(8):
+                u, v = m.registers[2 * k], m.registers[2 * k + 1]
+                assert u ^ v == 1 << bit
+                assert u & (1 << bit) == 0  # even position holds bit-clear
+
+    def test_single_register_machine(self):
+        m = ShuffleExchangeMachine([42])
+        with pytest.raises(MachineError):
+            m.step()
+
+
+class TestOps:
+    def test_step_ops_comparator(self):
+        m = ShuffleExchangeMachine([3, 2, 1, 0])
+        m.step_ops(["+", "+"])
+        # shuffle: [3,1,2,0]; compare pairs -> [1,3,0,2]
+        assert m.registers == [1, 3, 0, 2]
+
+    def test_step_ops_wrong_length(self):
+        m = ShuffleExchangeMachine([0, 1, 2, 3])
+        with pytest.raises(MachineError):
+            m.step_ops(["+"])
+
+    def test_run_program_matches_network(self, rng):
+        prog = bitonic_shuffle_program(16)
+        net = prog.to_network()
+        for _ in range(5):
+            x = rng.permutation(16)
+            m = ShuffleExchangeMachine(list(x))
+            result = m.run_program(prog)
+            assert result == list(net.evaluate(x))
+            assert result == sorted(x)
+
+    def test_run_program_rejects_non_shuffle(self):
+        from repro.networks.permutations import identity_permutation
+        from repro.networks.registers import RegisterStep
+        from repro.networks.gates import Op
+
+        prog = RegisterProgram(
+            4, [RegisterStep(perm=identity_permutation(4), ops=(Op.NOP, Op.NOP))]
+        )
+        m = ShuffleExchangeMachine([0, 1, 2, 3])
+        with pytest.raises(MachineError):
+            m.run_program(prog)
+
+    def test_run_program_size_mismatch(self):
+        m = ShuffleExchangeMachine([0, 1, 2, 3])
+        with pytest.raises(MachineError):
+            m.run_program(bitonic_shuffle_program(8))
+
+
+class TestAscend:
+    def test_dimension_op_sees_all_bits_once_per_pass(self):
+        m = ShuffleExchangeMachine(list(range(8)))
+        seen = []
+
+        def op(bit, lo, hi):
+            seen.append(bit)
+            return lo, hi
+
+        m.run_ascend(op)
+        assert sorted(set(seen)) == [0, 1, 2]
+        assert len(seen) == 3 * 4  # once per pair per step
+
+    def test_lo_hi_orientation(self):
+        """lo is the original index with the bit clear."""
+        m = ShuffleExchangeMachine(list(range(8)))
+
+        def op(bit, lo, hi):
+            assert lo ^ hi == 1 << bit
+            assert lo & (1 << bit) == 0
+            return lo, hi
+
+        m.run_ascend(op)
+
+    def test_rounds_compose(self):
+        m = ShuffleExchangeMachine([1] * 8)
+
+        def double_lo(bit, lo, hi):
+            return lo + hi, hi
+
+        m.run_ascend(lambda b, lo, hi: (lo, hi), rounds=2)
+        assert m.steps_taken == 6
+        assert m.registers == [1] * 8

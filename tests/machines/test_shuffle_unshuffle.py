@@ -1,0 +1,92 @@
+"""Tests for shuffle-unshuffle routing (the ascend-descend separation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.machines.shuffle_unshuffle import (
+    benes_shuffle_unshuffle_program,
+    is_shuffle_unshuffle_based,
+    shuffle_unshuffle_route_depth,
+)
+from repro.networks.gates import Op
+from repro.networks.permutations import (
+    bit_reversal_permutation,
+    identity_permutation,
+    random_permutation,
+    shuffle_permutation,
+)
+from repro.networks.registers import RegisterProgram, RegisterStep
+
+
+class TestMembership:
+    def test_shuffle_only_program_is_member(self):
+        from repro.sorters.bitonic import bitonic_shuffle_program
+
+        assert is_shuffle_unshuffle_based(bitonic_shuffle_program(8))
+
+    def test_other_permutation_rejected(self):
+        from repro.networks.permutations import bit_reversal_permutation
+
+        prog = RegisterProgram(
+            8,
+            [RegisterStep(perm=bit_reversal_permutation(8), ops=(Op.NOP,) * 4)],
+        )
+        assert not is_shuffle_unshuffle_based(prog)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256])
+    def test_routes_random_permutations(self, n, rng):
+        for _ in range(5):
+            perm = random_permutation(n, rng)
+            prog = benes_shuffle_unshuffle_program(perm)
+            assert is_shuffle_unshuffle_based(prog)
+            assert prog.depth == shuffle_unshuffle_route_depth(n)
+            out = prog.to_network().evaluate(np.arange(n))
+            assert all(out[perm(i)] == i for i in range(n))
+
+    def test_bit_reversal_in_two_blocks(self, rng):
+        """Bit reversal (which no single shuffle block routes) in 2 lg n."""
+        n = 32
+        perm = bit_reversal_permutation(n)
+        prog = benes_shuffle_unshuffle_program(perm)
+        out = prog.to_network().evaluate(np.arange(n))
+        assert all(out[perm(i)] == i for i in range(n))
+
+    def test_stage_structure(self, rng):
+        n, d = 16, 4
+        prog = benes_shuffle_unshuffle_program(random_permutation(n, rng))
+        shuffle = shuffle_permutation(n)
+        unshuffle = shuffle.inverse()
+        perms = [s.perm for s in prog.steps]
+        assert perms[:d] == [shuffle] * d
+        assert perms[d:] == [unshuffle] * d
+        # last step is gate-free (order restoration)
+        assert all(op is Op.NOP for op in prog.steps[-1].ops)
+
+    def test_only_switching_ops(self, rng):
+        prog = benes_shuffle_unshuffle_program(random_permutation(16, rng))
+        for step in prog.steps:
+            assert all(op in (Op.NOP, Op.SWAP) for op in step.ops)
+
+    def test_identity(self):
+        prog = benes_shuffle_unshuffle_program(identity_permutation(8))
+        out = prog.to_network().evaluate(np.arange(8))
+        assert list(out) == list(range(8))
+
+    def test_single_register(self):
+        prog = benes_shuffle_unshuffle_program(identity_permutation(1))
+        assert prog.depth == 0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(RoutingError):
+            benes_shuffle_unshuffle_program([0, 0, 1, 1])
+
+    def test_separation_depths(self):
+        """2 lg n (two-permutation) vs lg^2 n (strict, our best)."""
+        from repro.machines.routing import sort_route_program
+
+        n = 64
+        assert shuffle_unshuffle_route_depth(n) == 12
+        assert sort_route_program(identity_permutation(n)).depth == 36

@@ -1,0 +1,91 @@
+"""Tests for the ASCII network renderer."""
+
+from repro.networks.draw import render_network, render_stage_summary
+from repro.networks.gates import comparator, exchange, reverse_comparator
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+class TestRenderNetwork:
+    def test_basic_shape(self):
+        net = ComparatorNetwork(4, [[comparator(0, 1)], [comparator(1, 3)]])
+        text = render_network(net)
+        lines = text.splitlines()
+        assert len(lines) == 4  # one per wire, no notes
+        assert lines[0].startswith("0 ")
+
+    def test_comparator_endpoints_marked(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        text = render_network(net, wire_labels=False)
+        top, bottom = text.splitlines()
+        assert "o" in top and "o" in bottom
+
+    def test_minus_direction_marked(self):
+        net = ComparatorNetwork(2, [[reverse_comparator(0, 1)]])
+        top, bottom = render_network(net, wire_labels=False).splitlines()
+        assert "^" in top and "v" in bottom
+
+    def test_exchange_marked(self):
+        net = ComparatorNetwork(2, [[exchange(0, 1)]])
+        text = render_network(net, wire_labels=False)
+        assert text.count("x") == 2
+
+    def test_span_filled(self):
+        net = ComparatorNetwork(4, [[comparator(0, 3)]])
+        lines = render_network(net, wire_labels=False).splitlines()
+        assert "|" in lines[1] and "|" in lines[2]
+
+    def test_permutation_noted(self):
+        from repro.networks.permutations import shuffle_permutation
+        from repro.networks.level import Level
+        from repro.networks.network import Stage
+
+        net = ComparatorNetwork(
+            4, [Stage(level=Level(), perm=shuffle_permutation(4))]
+        )
+        assert "permute" in render_network(net)
+
+    def test_bitonic_renders_without_error(self):
+        text = render_network(bitonic_sorting_network(8))
+        assert len(text.splitlines()) >= 8
+
+
+class TestStageSummary:
+    def test_summary_lines(self):
+        net = bitonic_sorting_network(8)
+        text = render_stage_summary(net)
+        lines = text.splitlines()
+        assert len(lines) == net.depth + 1
+        assert f"depth={net.depth}" in lines[-1]
+        assert f"size={net.size}" in lines[-1]
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        from repro.networks.draw import to_dot
+
+        net = ComparatorNetwork(4, [[comparator(0, 1)], [exchange(2, 3)]])
+        dot = to_dot(net, name="demo")
+        assert dot.startswith("digraph demo {")
+        assert dot.rstrip().endswith("}")
+        # one chain per wire, plus one edge per gate
+        assert dot.count("w0s0") >= 1
+        assert "dir=both" in dot  # the exchange element
+
+    def test_dot_comparator_arrow_to_min(self):
+        from repro.networks.draw import to_dot
+
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        dot = to_dot(net)
+        assert "w1s1 -> w0s1" in dot  # arrow points at the min output
+
+    def test_dot_permutation_edges(self):
+        from repro.networks.draw import to_dot
+        from repro.networks.level import Level
+        from repro.networks.network import Stage
+        from repro.networks.permutations import shuffle_permutation
+
+        net = ComparatorNetwork(
+            4, [Stage(level=Level(), perm=shuffle_permutation(4))]
+        )
+        assert "style=dashed" in to_dot(net)

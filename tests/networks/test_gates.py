@@ -1,0 +1,102 @@
+"""Unit tests for repro.networks.gates."""
+
+import pytest
+
+from repro.errors import WireError
+from repro.networks.gates import (
+    Gate,
+    Op,
+    comparator,
+    exchange,
+    passthrough,
+    reverse_comparator,
+)
+
+
+class TestOp:
+    def test_from_str_all(self):
+        assert Op.from_str("+") is Op.PLUS
+        assert Op.from_str("-") is Op.MINUS
+        assert Op.from_str("0") is Op.NOP
+        assert Op.from_str("1") is Op.SWAP
+
+    def test_from_str_invalid(self):
+        with pytest.raises(WireError):
+            Op.from_str("x")
+
+    def test_is_comparator(self):
+        assert Op.PLUS.is_comparator
+        assert Op.MINUS.is_comparator
+        assert not Op.NOP.is_comparator
+        assert not Op.SWAP.is_comparator
+
+
+class TestGateSemantics:
+    @pytest.mark.parametrize(
+        "op,va,vb,expected",
+        [
+            (Op.PLUS, 5, 3, (3, 5)),
+            (Op.PLUS, 3, 5, (3, 5)),
+            (Op.PLUS, 4, 4, (4, 4)),
+            (Op.MINUS, 5, 3, (5, 3)),
+            (Op.MINUS, 3, 5, (5, 3)),
+            (Op.SWAP, 5, 3, (3, 5)),
+            (Op.NOP, 5, 3, (5, 3)),
+        ],
+    )
+    def test_apply_scalar(self, op, va, vb, expected):
+        assert Gate(0, 1, op).apply_scalar(va, vb) == expected
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(WireError):
+            Gate(3, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(WireError):
+            Gate(-1, 2)
+
+    def test_string_op_coerced(self):
+        g = Gate(0, 1, "-")
+        assert g.op is Op.MINUS
+
+    def test_validate_range(self):
+        Gate(0, 3).validate(4)
+        with pytest.raises(WireError):
+            Gate(0, 4).validate(4)
+
+
+class TestGateTransforms:
+    @pytest.mark.parametrize("op", list(Op))
+    def test_reversed_preserves_behaviour(self, op):
+        g = Gate(0, 1, op)
+        r = g.reversed()
+        for va, vb in [(1, 2), (2, 1), (3, 3)]:
+            direct = g.apply_scalar(va, vb)
+            # reversed gate acts on (b, a); apply and swap back
+            rb, ra = r.apply_scalar(vb, va)
+            assert (ra, rb) == direct
+
+    def test_reversed_endpoints(self):
+        assert Gate(2, 5, Op.PLUS).reversed() == Gate(5, 2, Op.MINUS)
+        assert Gate(2, 5, Op.MINUS).reversed() == Gate(5, 2, Op.PLUS)
+        assert Gate(2, 5, Op.SWAP).reversed() == Gate(5, 2, Op.SWAP)
+
+    def test_normalized_orders_endpoints(self):
+        g = Gate(5, 2, Op.PLUS).normalized()
+        assert g.a < g.b
+        assert g == Gate(2, 5, Op.MINUS)
+
+    def test_normalized_noop_when_ordered(self):
+        g = Gate(2, 5, Op.PLUS)
+        assert g.normalized() is g
+
+
+class TestFactories:
+    def test_factories(self):
+        assert comparator(0, 1).op is Op.PLUS
+        assert reverse_comparator(0, 1).op is Op.MINUS
+        assert exchange(0, 1).op is Op.SWAP
+        assert passthrough(0, 1).op is Op.NOP
+
+    def test_str(self):
+        assert str(comparator(0, 1)) == "(0+1)"

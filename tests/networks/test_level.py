@@ -1,0 +1,102 @@
+"""Unit tests for repro.networks.level."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LevelConflictError, WireError
+from repro.networks.gates import Gate, Op, comparator, exchange, passthrough
+from repro.networks.level import Level
+
+
+class TestConstruction:
+    def test_empty_level(self):
+        lvl = Level()
+        assert len(lvl) == 0
+        assert lvl.comparator_count == 0
+        assert lvl.max_wire == -1
+
+    def test_rejects_shared_wire(self):
+        with pytest.raises(LevelConflictError):
+            Level([comparator(0, 1), comparator(1, 2)])
+
+    def test_rejects_non_gate(self):
+        with pytest.raises(WireError):
+            Level([(0, 1)])  # type: ignore[list-item]
+
+    def test_touched_wires(self):
+        lvl = Level([comparator(0, 3), exchange(1, 2)])
+        assert lvl.touched_wires == {0, 1, 2, 3}
+
+    def test_gate_on(self):
+        g = comparator(0, 3)
+        lvl = Level([g])
+        assert lvl.gate_on(3) is g
+        assert lvl.gate_on(1) is None
+
+    def test_comparator_count_excludes_switches(self):
+        lvl = Level([comparator(0, 1), exchange(2, 3), passthrough(4, 5)])
+        assert lvl.comparator_count == 1
+        assert len(lvl) == 3
+
+    def test_equality_hash(self):
+        a = Level([comparator(0, 1)])
+        b = Level([comparator(0, 1)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestApply:
+    def test_plus_and_minus(self):
+        lvl = Level([Gate(0, 1, Op.PLUS), Gate(2, 3, Op.MINUS)])
+        x = np.array([9, 1, 1, 9])
+        lvl.apply_inplace(x)
+        assert list(x) == [1, 9, 9, 1]
+
+    def test_swap_and_nop(self):
+        lvl = Level([Gate(0, 1, Op.SWAP), Gate(2, 3, Op.NOP)])
+        x = np.array([1, 2, 3, 4])
+        lvl.apply_inplace(x)
+        assert list(x) == [2, 1, 3, 4]
+
+    def test_batch_matches_scalar(self, rng):
+        gates = [Gate(0, 5, Op.PLUS), Gate(1, 4, Op.MINUS), Gate(2, 3, Op.SWAP)]
+        lvl = Level(gates)
+        batch = rng.integers(0, 100, size=(20, 6))
+        expected = batch.copy()
+        for row in expected:
+            lvl.apply_inplace(row)
+        got = batch.copy()
+        lvl.apply_inplace(got)
+        assert (got == expected).all()
+
+    def test_untouched_wires_unchanged(self, rng):
+        lvl = Level([comparator(1, 3)])
+        x = rng.integers(0, 100, size=6)
+        before = x.copy()
+        lvl.apply_inplace(x)
+        for w in (0, 2, 4, 5):
+            assert x[w] == before[w]
+
+    def test_apply_idempotent_for_comparators(self, rng):
+        lvl = Level([comparator(0, 1), comparator(2, 3)])
+        x = rng.integers(0, 100, size=4)
+        lvl.apply_inplace(x)
+        once = x.copy()
+        lvl.apply_inplace(x)
+        assert (x == once).all()
+
+
+class TestNormalized:
+    def test_normalized_sorts_and_orients(self):
+        lvl = Level([Gate(5, 2, Op.PLUS), Gate(0, 1, Op.PLUS)])
+        norm = lvl.normalized()
+        assert [g.a for g in norm] == [0, 2]
+        assert all(g.a < g.b for g in norm)
+
+    def test_normalized_behaviour_equal(self, rng):
+        lvl = Level([Gate(5, 2, Op.PLUS), Gate(4, 0, Op.MINUS)])
+        norm = lvl.normalized()
+        x = rng.integers(0, 50, size=6)
+        y = x.copy()
+        lvl.apply_inplace(x)
+        norm.apply_inplace(y)
+        assert (x == y).all()

@@ -1,0 +1,215 @@
+"""Unit tests for repro.networks.network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireError
+from repro.networks.gates import Gate, Op, comparator, exchange
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork, Stage
+from repro.networks.permutations import (
+    random_permutation,
+    shuffle_permutation,
+)
+
+
+def two_level_net() -> ComparatorNetwork:
+    return ComparatorNetwork(
+        4, [[comparator(0, 1), comparator(2, 3)], [comparator(1, 2)]]
+    )
+
+
+class TestConstruction:
+    def test_accepts_levels_and_iterables(self):
+        net = ComparatorNetwork(4, [Level([comparator(0, 1)]), [comparator(2, 3)]])
+        assert net.depth == 2
+
+    def test_rejects_out_of_range_gate(self):
+        with pytest.raises(WireError):
+            ComparatorNetwork(2, [[comparator(0, 2)]])
+
+    def test_rejects_wrong_perm_size(self):
+        with pytest.raises(WireError):
+            ComparatorNetwork(
+                4, [Stage(level=Level(), perm=shuffle_permutation(8))]
+            )
+
+    def test_rejects_zero_wires(self):
+        with pytest.raises(WireError):
+            ComparatorNetwork(0, [])
+
+    def test_counts(self):
+        net = ComparatorNetwork(
+            4,
+            [
+                Level([comparator(0, 1), exchange(2, 3)]),
+                Level([]),
+                Level([comparator(1, 2)]),
+            ],
+        )
+        assert net.depth == 3
+        assert net.comparator_depth == 2
+        assert net.size == 2
+        assert net.element_count == 3
+
+
+class TestEvaluate:
+    def test_simple_sort(self):
+        net = two_level_net()
+        out = net.evaluate([3, 1, 2, 0])
+        assert list(out) == [1, 2, 3, 0] or True  # exact below
+        # level 1: (3,1)->(1,3); (2,0)->(0,2) ; level 2: (3,0)->(0,3)
+        assert list(net.evaluate([3, 1, 2, 0])) == [1, 0, 3, 2]
+
+    def test_input_not_modified(self):
+        x = np.array([3, 1, 2, 0])
+        two_level_net().evaluate(x)
+        assert list(x) == [3, 1, 2, 0]
+
+    def test_wrong_length(self):
+        with pytest.raises(WireError):
+            two_level_net().evaluate([1, 2, 3])
+
+    def test_batch_matches_scalar(self, rng):
+        net = two_level_net()
+        batch = rng.integers(0, 10, size=(50, 4))
+        got = net.evaluate_batch(batch)
+        for row, out in zip(batch, got):
+            assert (net.evaluate(row) == out).all()
+
+    def test_batch_shape_check(self, rng):
+        with pytest.raises(WireError):
+            two_level_net().evaluate_batch(np.zeros((3, 5), dtype=int))
+
+    def test_permutation_stage_moves_data(self):
+        perm = shuffle_permutation(4)
+        net = ComparatorNetwork(4, [Stage(level=Level(), perm=perm)])
+        out = net.evaluate([10, 11, 12, 13])
+        assert (out == perm.apply(np.array([10, 11, 12, 13]))).all()
+
+
+class TestTrace:
+    def test_trace_records_all_comparisons(self):
+        net = two_level_net()
+        tr = net.trace([3, 1, 2, 0])
+        assert len(tr.comparisons) == 3
+        assert tr.were_compared(3, 1)
+        assert tr.were_compared(2, 0)
+        # after level 1: [1,3,0,2]; level 2 compares values 3 and 0
+        assert tr.were_compared(3, 0)
+        assert not tr.were_compared(1, 0)
+
+    def test_trace_output_matches_evaluate(self, rng):
+        net = two_level_net()
+        x = rng.permutation(4)
+        assert (net.trace(x).output == net.evaluate(x)).all()
+
+    def test_swap_not_recorded(self):
+        net = ComparatorNetwork(2, [[exchange(0, 1)]])
+        tr = net.trace([5, 7])
+        assert tr.comparisons == []
+        assert list(tr.output) == [7, 5]
+
+    def test_comparison_record_fields(self):
+        net = ComparatorNetwork(2, [[comparator(0, 1)]])
+        tr = net.trace([9, 4])
+        (rec,) = tr.comparisons
+        assert rec.stage == 0
+        assert rec.positions == (0, 1)
+        assert rec.values == (9, 4)
+        assert rec.value_pair == frozenset({4, 9})
+
+
+class TestComposition:
+    def test_then_concatenates(self):
+        a = ComparatorNetwork(4, [[comparator(0, 1)]])
+        b = ComparatorNetwork(4, [[comparator(2, 3)]])
+        c = a.then(b)
+        assert c.depth == 2
+        x = np.array([2, 1, 4, 3])
+        assert (c.evaluate(x) == b.evaluate(a.evaluate(x))).all()
+
+    def test_then_with_inter_permutation(self, rng):
+        a = ComparatorNetwork(4, [[comparator(0, 1)]])
+        b = ComparatorNetwork(4, [[comparator(0, 1)]])
+        inter = random_permutation(4, rng)
+        c = a.then(b, inter)
+        x = rng.permutation(4)
+        expected = b.evaluate(inter.apply(a.evaluate(x)))
+        assert (c.evaluate(x) == expected).all()
+
+    def test_then_size_mismatch(self):
+        with pytest.raises(WireError):
+            ComparatorNetwork(4, []).then(ComparatorNetwork(8, []))
+
+    def test_truncated(self):
+        net = two_level_net()
+        assert net.truncated(1).depth == 1
+        assert net.truncated(0).depth == 0
+        assert net.truncated(5).depth == 2
+
+    def test_with_prefix_permutation(self, rng):
+        net = two_level_net()
+        perm = random_permutation(4, rng)
+        pre = net.with_prefix_permutation(perm)
+        x = rng.permutation(4)
+        assert (pre.evaluate(x) == net.evaluate(perm.apply(x))).all()
+
+
+class TestFlattened:
+    def test_flattened_is_pure_and_equivalent(self, rng):
+        shuffle = shuffle_permutation(8)
+        stages = []
+        for _ in range(3):
+            gates = [comparator(2 * k, 2 * k + 1) for k in range(4)]
+            stages.append(Stage(level=Level(gates), perm=shuffle))
+        net = ComparatorNetwork(8, stages)
+        flat = net.flattened()
+        assert flat.is_pure_circuit() or flat.stages[-1].perm is not None
+        # all stages except a possible final restore-permutation are pure
+        assert all(s.perm is None for s in flat.stages[:-1])
+        for _ in range(20):
+            x = rng.permutation(8)
+            assert (net.evaluate(x) == flat.evaluate(x)).all()
+
+    def test_flattened_identity_for_pure(self):
+        net = two_level_net()
+        assert net.flattened() == net
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31), st.integers(2, 4))
+def test_property_comparator_networks_preserve_multiset(seed, log_n):
+    """Any network output is a permutation of its input."""
+    n = 1 << log_n
+    gen = np.random.default_rng(seed)
+    stages = []
+    for _ in range(4):
+        wires = list(gen.permutation(n))
+        gates = [
+            Gate(int(wires[2 * i]), int(wires[2 * i + 1]), gen.choice(list(Op)))
+            for i in range(n // 2)
+        ]
+        stages.append(Level(gates))
+    net = ComparatorNetwork(n, stages)
+    x = gen.integers(0, 50, size=n)
+    out = net.evaluate(x)
+    assert sorted(out.tolist()) == sorted(x.tolist())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31))
+def test_property_monotone_inputs_fixed(seed):
+    """A comparator-only ('+' gates, a<b) network leaves sorted input sorted."""
+    gen = np.random.default_rng(seed)
+    n = 8
+    stages = []
+    for _ in range(3):
+        wires = sorted(gen.permutation(n)[:6].tolist())
+        gates = [comparator(wires[0], wires[1]), comparator(wires[2], wires[3])]
+        stages.append(Level(gates))
+    net = ComparatorNetwork(n, stages)
+    x = np.arange(n)
+    assert (net.evaluate(x) == x).all()

@@ -1,0 +1,220 @@
+"""Unit tests for repro.networks.permutations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireError
+from repro.networks.permutations import (
+    Permutation,
+    bit_reversal_permutation,
+    bit_rotation_permutation,
+    from_cycles,
+    identity_permutation,
+    random_permutation,
+    reversal_permutation,
+    shuffle_permutation,
+    transposition,
+    unshuffle_permutation,
+    xor_permutation,
+)
+
+
+class TestConstruction:
+    def test_valid_mapping(self):
+        p = Permutation([2, 0, 1])
+        assert p.n == 3
+        assert list(p) == [2, 0, 1]
+
+    def test_rejects_non_bijection(self):
+        with pytest.raises(WireError):
+            Permutation([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WireError):
+            Permutation([0, 1, 3])
+
+    def test_rejects_2d(self):
+        with pytest.raises(WireError):
+            Permutation(np.zeros((2, 2), dtype=int))
+
+    def test_mapping_read_only(self):
+        p = Permutation([1, 0])
+        with pytest.raises(ValueError):
+            p.mapping[0] = 1
+
+
+class TestShuffle:
+    def test_shuffle_8_explicit(self):
+        # pi(j) rotates bits left: 0->0, 1->2, 2->4, 3->6, 4->1, 5->3, 6->5, 7->7
+        s = shuffle_permutation(8)
+        assert list(s.mapping) == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_shuffle_interleaves_halves(self):
+        n = 16
+        s = shuffle_permutation(n)
+        deck = np.arange(n)
+        out = s.apply(deck)
+        # perfect riffle: even positions from first half, odd from second
+        assert list(out[::2]) == list(range(n // 2))
+        assert list(out[1::2]) == list(range(n // 2, n))
+
+    def test_unshuffle_is_inverse(self):
+        for n in (2, 4, 8, 32):
+            s = shuffle_permutation(n)
+            assert s.then(unshuffle_permutation(n)).is_identity
+
+    def test_shuffle_order_is_lg_n(self):
+        for n in (2, 8, 64):
+            assert shuffle_permutation(n).order() == n.bit_length() - 1
+
+    def test_d_shuffles_restore(self):
+        n, d = 32, 5
+        s = shuffle_permutation(n)
+        assert s.power(d).is_identity
+        assert not s.power(d - 1).is_identity
+
+    def test_shuffle_1(self):
+        assert shuffle_permutation(1).is_identity
+
+    def test_rejects_non_power_of_two(self):
+        from repro.errors import NotAPowerOfTwoError
+
+        with pytest.raises(NotAPowerOfTwoError):
+            shuffle_permutation(6)
+
+
+class TestAlgebra:
+    def test_inverse_roundtrip(self, rng):
+        p = random_permutation(16, rng)
+        assert p.then(p.inverse()).is_identity
+        assert p.inverse().then(p).is_identity
+
+    def test_then_order_of_application(self):
+        # j -> other(self(j))
+        p = Permutation([1, 2, 0])
+        q = Permutation([0, 2, 1])
+        c = p.then(q)
+        for j in range(3):
+            assert c(j) == q(p(j))
+
+    def test_power_matches_repeated_then(self, rng):
+        p = random_permutation(8, rng)
+        acc = identity_permutation(8)
+        for k in range(5):
+            assert p.power(k) == acc
+            acc = acc.then(p)
+
+    def test_negative_power(self, rng):
+        p = random_permutation(8, rng)
+        assert p.power(-1) == p.inverse()
+        assert p.power(-3) == p.inverse().power(3)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(WireError):
+            identity_permutation(4).then(identity_permutation(8))
+
+    def test_equality_and_hash(self):
+        assert Permutation([1, 0]) == Permutation([1, 0])
+        assert hash(Permutation([1, 0])) == hash(Permutation([1, 0]))
+        assert Permutation([1, 0]) != Permutation([0, 1])
+
+
+class TestAction:
+    def test_apply_semantics(self):
+        # value at j moves to mapping[j]
+        p = Permutation([2, 0, 1])
+        out = p.apply(np.array([10, 11, 12]))
+        assert list(out) == [11, 12, 10]
+
+    def test_apply_batch_rows_independent(self, rng):
+        p = random_permutation(8, rng)
+        batch = rng.integers(0, 100, size=(5, 8))
+        out = p.apply(batch)
+        for row_in, row_out in zip(batch, out):
+            assert (p.apply(row_in) == row_out).all()
+
+    def test_apply_wrong_length(self):
+        with pytest.raises(WireError):
+            identity_permutation(4).apply(np.arange(5))
+
+    def test_apply_positions(self):
+        p = Permutation([2, 0, 1])
+        assert p.apply_positions([0, 2]) == [2, 1]
+
+
+class TestNamedPermutations:
+    def test_bit_reversal_involution(self):
+        for n in (2, 8, 64):
+            r = bit_reversal_permutation(n)
+            assert r.then(r).is_identity
+
+    def test_bit_reversal_16(self):
+        r = bit_reversal_permutation(16)
+        assert r(0b0001) == 0b1000
+        assert r(0b0011) == 0b1100
+        assert r(0b1111) == 0b1111
+
+    def test_bit_rotation_matches_shuffle_power(self):
+        for n in (8, 32):
+            for a in range(5):
+                assert bit_rotation_permutation(n, a) == shuffle_permutation(n).power(a)
+
+    def test_xor_permutation_involution(self):
+        p = xor_permutation(8, 5)
+        assert p.then(p).is_identity
+        assert p(0) == 5
+
+    def test_xor_mask_out_of_range(self):
+        with pytest.raises(WireError):
+            xor_permutation(8, 8)
+
+    def test_reversal(self):
+        p = reversal_permutation(5)
+        assert list(p.mapping) == [4, 3, 2, 1, 0]
+
+    def test_transposition(self):
+        p = transposition(4, 1, 3)
+        assert p(1) == 3 and p(3) == 1 and p(0) == 0
+
+    def test_from_cycles(self):
+        p = from_cycles(5, [(0, 1, 2)])
+        assert p(0) == 1 and p(1) == 2 and p(2) == 0 and p(3) == 3
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(WireError):
+            from_cycles(5, [(0, 1), (1, 2)])
+
+    def test_cycles_roundtrip(self, rng):
+        p = random_permutation(12, rng)
+        q = from_cycles(12, p.cycles())
+        assert p == q
+
+    def test_fixed_points(self):
+        p = transposition(4, 0, 1)
+        assert p.fixed_points() == [2, 3]
+
+
+@settings(max_examples=50)
+@given(st.integers(1, 5), st.data())
+def test_property_inverse_of_product(log_n, data):
+    """(pq)^-1 == q^-1 p^-1 for random permutations."""
+    n = 1 << log_n
+    seed_a = data.draw(st.integers(0, 2**31))
+    seed_b = data.draw(st.integers(0, 2**31))
+    p = random_permutation(n, np.random.default_rng(seed_a))
+    q = random_permutation(n, np.random.default_rng(seed_b))
+    assert p.then(q).inverse() == q.inverse().then(p.inverse())
+
+
+@settings(max_examples=50)
+@given(st.integers(1, 5), st.integers(0, 2**31))
+def test_property_apply_then_compose(log_n, seed):
+    """Applying p then q equals applying p.then(q)."""
+    n = 1 << log_n
+    gen = np.random.default_rng(seed)
+    p = random_permutation(n, gen)
+    q = random_permutation(n, gen)
+    v = gen.integers(0, 1000, size=n)
+    assert (q.apply(p.apply(v)) == p.then(q).apply(v)).all()

@@ -1,0 +1,111 @@
+"""Unit tests for the register model and the model-equivalence conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WireError
+from repro.networks.gates import Op, comparator, exchange
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork, Stage
+from repro.networks.permutations import (
+    identity_permutation,
+    random_permutation,
+    shuffle_permutation,
+)
+from repro.networks.registers import RegisterProgram, RegisterStep
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+class TestRegisterStep:
+    def test_ops_length_check(self):
+        with pytest.raises(WireError):
+            RegisterStep(perm=identity_permutation(4), ops=(Op.PLUS,))
+
+    def test_string_ops_coerced(self):
+        step = RegisterStep(perm=identity_permutation(4), ops=("+", "1"))
+        assert step.ops == (Op.PLUS, Op.SWAP)
+        assert step.ops_string() == "+1"
+
+    def test_to_stage_drops_nops(self):
+        step = RegisterStep(perm=identity_permutation(4), ops=("+", "0"))
+        stage = step.to_stage()
+        assert len(stage.level) == 1
+        assert stage.perm is None  # identity dropped
+
+    def test_to_stage_keeps_nontrivial_perm(self):
+        step = RegisterStep(perm=shuffle_permutation(4), ops=("0", "0"))
+        assert step.to_stage().perm == shuffle_permutation(4)
+
+
+class TestRegisterProgram:
+    def test_size_consistency(self):
+        with pytest.raises(WireError):
+            RegisterProgram(
+                8, [RegisterStep(perm=identity_permutation(4), ops=("0", "0"))]
+            )
+
+    def test_shuffle_based_detection(self):
+        prog = RegisterProgram.shuffle_based(4, [("+", "+"), ("0", "1")])
+        assert prog.is_shuffle_based()
+        assert prog.depth == 2
+
+    def test_not_shuffle_based(self):
+        steps = [RegisterStep(perm=identity_permutation(4), ops=("+", "+"))]
+        assert not RegisterProgram(4, steps).is_shuffle_based()
+
+    def test_shuffle_based_semantics(self):
+        # one step: shuffle then compare adjacent pairs
+        prog = RegisterProgram.shuffle_based(4, [("+", "+")])
+        net = prog.to_network()
+        x = np.array([3, 2, 1, 0])
+        # shuffle [3,2,1,0] -> positions: v[j] moves to pi(j): [3,1,2,0]
+        # pairs (3,1)->(1,3), (2,0)->(0,2) => [1,3,0,2]
+        assert list(net.evaluate(x)) == [1, 3, 0, 2]
+
+
+class TestFromNetworkEquivalence:
+    def test_roundtrip_small_fixed(self, rng):
+        net = ComparatorNetwork(
+            4, [[comparator(0, 3), exchange(1, 2)], [comparator(0, 1)]]
+        )
+        prog = RegisterProgram.from_network(net)
+        pnet = prog.to_network()
+        for _ in range(20):
+            x = rng.permutation(4)
+            assert (net.evaluate(x) == pnet.evaluate(x)).all()
+
+    def test_roundtrip_with_stage_permutations(self, rng):
+        stages = []
+        for _ in range(3):
+            perm = random_permutation(8, rng)
+            gates = [comparator(2 * k, 2 * k + 1) for k in range(4)]
+            stages.append(Stage(level=Level(gates), perm=perm))
+        net = ComparatorNetwork(8, stages)
+        prog = RegisterProgram.from_network(net)
+        pnet = prog.to_network()
+        for _ in range(20):
+            x = rng.permutation(8)
+            assert (net.evaluate(x) == pnet.evaluate(x)).all()
+
+    def test_depth_preserved_up_to_one(self):
+        net = bitonic_sorting_network(16)
+        prog = RegisterProgram.from_network(net)
+        assert prog.depth <= net.depth + 1
+
+    def test_ops_aligned_to_pairs(self):
+        """Every converted step only operates on (2k, 2k+1) pairs."""
+        net = bitonic_sorting_network(8)
+        prog = RegisterProgram.from_network(net)
+        for step in prog.steps:
+            assert len(step.ops) == 4
+
+    def test_odd_register_count_rejected(self):
+        with pytest.raises(WireError):
+            RegisterProgram.from_network(ComparatorNetwork(3, []))
+
+    def test_converted_program_sorts(self, rng):
+        prog = RegisterProgram.from_network(bitonic_sorting_network(16))
+        net = prog.to_network()
+        for _ in range(10):
+            x = rng.permutation(16)
+            assert (net.evaluate(x) == np.arange(16)).all()

@@ -1,0 +1,71 @@
+"""Round-trip tests for JSON serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, WireError
+from repro.networks import serialize
+from repro.networks.builders import (
+    bitonic_iterated_rdn,
+    random_iterated_rdn,
+    random_reverse_delta,
+)
+from repro.networks.registers import RegisterProgram
+from repro.sorters.bitonic import bitonic_shuffle_program, bitonic_sorting_network
+
+
+class TestRoundTrips:
+    def test_network(self, rng):
+        net = bitonic_sorting_network(8)
+        restored = serialize.loads(serialize.dumps(net))
+        assert restored == net
+
+    def test_network_with_permutations(self, rng):
+        net = bitonic_shuffle_program(8).to_network()
+        restored = serialize.loads(serialize.dumps(net))
+        assert restored == net
+        x = rng.permutation(8)
+        assert (restored.evaluate(x) == net.evaluate(x)).all()
+
+    def test_rdn(self, rng):
+        rdn = random_reverse_delta(16, rng)
+        restored = serialize.loads(serialize.dumps(rdn))
+        a, b = rdn.to_network(), restored.to_network()
+        assert a == b
+
+    def test_iterated(self, rng):
+        it = random_iterated_rdn(8, 2, rng)
+        restored = serialize.loads(serialize.dumps(it))
+        x = rng.permutation(8)
+        assert (restored.to_network().evaluate(x) == it.to_network().evaluate(x)).all()
+
+    def test_program(self, rng):
+        prog = bitonic_shuffle_program(8)
+        restored = serialize.loads(serialize.dumps(prog))
+        assert isinstance(restored, RegisterProgram)
+        assert restored.is_shuffle_based()
+        x = rng.permutation(8)
+        assert (restored.to_network().evaluate(x) == np.arange(8)).all()
+
+    def test_indent_readable(self):
+        text = serialize.dumps(bitonic_iterated_rdn(4), indent=2)
+        assert "\n" in text
+
+
+class TestErrors:
+    def test_unknown_object(self):
+        with pytest.raises(ReproError):
+            serialize.dumps(42)
+
+    def test_bad_version(self):
+        with pytest.raises(ReproError):
+            serialize.loads('{"version": 99, "payload": {"kind": "network"}}')
+
+    def test_bad_kind(self):
+        with pytest.raises(ReproError):
+            serialize.loads('{"version": 1, "payload": {"kind": "nope"}}')
+
+    def test_kind_mismatch(self):
+        doc = serialize.network_to_json(bitonic_sorting_network(4))
+        with pytest.raises(WireError):
+            serialize.rdn_from_json(doc)

@@ -1,0 +1,125 @@
+"""Tests for shuffle-based <-> reverse-delta conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.networks.builders import (
+    bitonic_iterated_rdn,
+    butterfly_rdn,
+    shuffle_split_rdn,
+)
+from repro.networks.delta import IteratedReverseDeltaNetwork
+from repro.networks.gates import Op
+from repro.networks.permutations import random_permutation
+from repro.networks.shuffle import (
+    iterated_rdn_from_shuffle_program,
+    shuffle_based_network,
+    shuffle_program_from_iterated_rdn,
+    shuffle_program_from_split_rdn,
+    split_rdn_from_shuffle_stages,
+)
+
+
+class TestSplitRdnToProgram:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_equivalence_plus_ops(self, n, rng):
+        rdn = shuffle_split_rdn(n, "+")
+        prog = shuffle_program_from_split_rdn(rdn)
+        assert prog.is_shuffle_based()
+        assert prog.depth == n.bit_length() - 1
+        net_a, net_b = rdn.to_network(), prog.to_network()
+        for _ in range(15):
+            x = rng.permutation(n)
+            assert (net_a.evaluate(x) == net_b.evaluate(x)).all()
+
+    def test_equivalence_mixed_ops(self, rng):
+        n = 16
+
+        def chooser(height, bit, low_wire):
+            if (height + low_wire) % 3 == 0:
+                return None
+            return Op.MINUS if (height ^ low_wire) & 1 else Op.PLUS
+
+        rdn = shuffle_split_rdn(n, chooser)
+        prog = shuffle_program_from_split_rdn(rdn)
+        net_a, net_b = rdn.to_network(), prog.to_network()
+        for _ in range(15):
+            x = rng.permutation(n)
+            assert (net_a.evaluate(x) == net_b.evaluate(x)).all()
+
+    def test_rejects_butterfly_structure(self):
+        # the canonical butterfly splits by the HIGH bit: wrong structure
+        with pytest.raises(TopologyError):
+            shuffle_program_from_split_rdn(butterfly_rdn(8))
+
+    def test_roundtrip(self, rng):
+        n = 8
+        rdn = shuffle_split_rdn(n, "+")
+        prog = shuffle_program_from_split_rdn(rdn)
+        back = split_rdn_from_shuffle_stages(n, [s.ops for s in prog.steps])
+        net_a, net_b = rdn.to_network(), back.to_network()
+        for _ in range(10):
+            x = rng.permutation(n)
+            assert (net_a.evaluate(x) == net_b.evaluate(x)).all()
+
+
+class TestProgramToIterated:
+    def test_depth_multiple_required(self):
+        prog = shuffle_based_network  # not used; direct construction below
+        from repro.networks.registers import RegisterProgram
+
+        p = RegisterProgram.shuffle_based(8, [("+",) * 4] * 4)  # 4 not mult of 3
+        with pytest.raises(TopologyError):
+            iterated_rdn_from_shuffle_program(p)
+
+    def test_roundtrip_via_iterated(self, rng):
+        from repro.networks.registers import RegisterProgram
+
+        n, d = 8, 3
+        gen = np.random.default_rng(3)
+        vectors = [
+            tuple(gen.choice(["+", "-", "0", "1"]) for _ in range(n // 2))
+            for _ in range(2 * d)
+        ]
+        prog = RegisterProgram.shuffle_based(n, vectors)
+        it = iterated_rdn_from_shuffle_program(prog)
+        assert it.k == 2
+        net_a, net_b = prog.to_network(), it.to_network()
+        for _ in range(15):
+            x = rng.permutation(n)
+            assert (net_a.evaluate(x) == net_b.evaluate(x)).all()
+
+    def test_bitonic_program_roundtrip(self, rng):
+        n = 16
+        it = bitonic_iterated_rdn(n)
+        prog = shuffle_program_from_iterated_rdn(it)
+        assert prog.is_shuffle_based()
+        assert prog.depth == 16  # lg^2 n
+        back = iterated_rdn_from_shuffle_program(prog)
+        net_a, net_b = it.to_network(), back.to_network()
+        for _ in range(10):
+            x = rng.permutation(n)
+            out = net_a.evaluate(x)
+            assert (out == net_b.evaluate(x)).all()
+            assert (out == np.arange(n)).all()
+
+    def test_nontrivial_inter_perm_rejected(self, rng):
+        n = 8
+        it = IteratedReverseDeltaNetwork(
+            n,
+            [
+                (None, shuffle_split_rdn(n)),
+                (random_permutation(n, rng), shuffle_split_rdn(n)),
+            ],
+        )
+        with pytest.raises(TopologyError):
+            shuffle_program_from_iterated_rdn(it)
+
+
+class TestShuffleBasedNetwork:
+    def test_builder_shape(self):
+        net = shuffle_based_network(8, [("+",) * 4, ("0",) * 4])
+        assert net.n == 8
+        assert net.depth == 2
+        assert not net.is_pure_circuit()

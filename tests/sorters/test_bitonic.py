@@ -1,0 +1,86 @@
+"""Tests for Batcher's bitonic sorter in all three forms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import is_sorting_network
+from repro.networks.builders import bitonic_iterated_rdn
+from repro.sorters.bitonic import (
+    bitonic_depth,
+    bitonic_merge_network,
+    bitonic_shuffle_program,
+    bitonic_size,
+    bitonic_sorting_network,
+)
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("n,depth", [(2, 1), (4, 3), (8, 6), (16, 10), (1024, 55)])
+    def test_depth(self, n, depth):
+        assert bitonic_depth(n) == depth
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_constructed_matches_formulas(self, n):
+        net = bitonic_sorting_network(n)
+        assert net.depth == bitonic_depth(n)
+        assert net.size == bitonic_size(n)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_zero_one_exhaustive(self, n):
+        assert is_sorting_network(bitonic_sorting_network(n))
+
+    def test_random_large(self, rng):
+        n = 256
+        net = bitonic_sorting_network(n)
+        batch = np.stack([rng.permutation(n) for _ in range(50)])
+        out = net.evaluate_batch(batch)
+        assert (np.diff(out, axis=1) >= 0).all()
+
+    def test_duplicates_handled(self, rng):
+        n = 64
+        net = bitonic_sorting_network(n)
+        batch = rng.integers(0, 5, size=(20, n))
+        out = net.evaluate_batch(batch)
+        assert (np.diff(out, axis=1) >= 0).all()
+
+
+class TestMergePhases:
+    def test_phase_depths(self):
+        n = 16
+        for p in range(1, 5):
+            assert bitonic_merge_network(n, p).depth == p
+
+    def test_final_merge_sorts_bitonic_sequence(self):
+        n = 16
+        merge = bitonic_merge_network(n)
+        # ascending then descending = bitonic
+        seq = np.concatenate([np.arange(0, 16, 2), np.arange(15, 0, -2)])
+        out = merge.evaluate(seq)
+        assert (np.diff(out) >= 0).all()
+
+    def test_phase_bounds(self):
+        with pytest.raises(ValueError):
+            bitonic_merge_network(8, 0)
+        with pytest.raises(ValueError):
+            bitonic_merge_network(8, 4)
+
+
+class TestThreeFormsAgree:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_circuit_vs_iterated_vs_program(self, n, rng):
+        circuit = bitonic_sorting_network(n)
+        iterated = bitonic_iterated_rdn(n).to_network()
+        program = bitonic_shuffle_program(n).to_network()
+        for _ in range(10):
+            x = rng.permutation(n)
+            a = circuit.evaluate(x)
+            assert (a == iterated.evaluate(x)).all()
+            assert (a == program.evaluate(x)).all()
+            assert (a == np.arange(n)).all()
+
+    def test_program_is_strictly_shuffle_based(self):
+        prog = bitonic_shuffle_program(32)
+        assert prog.is_shuffle_based()
+        assert prog.depth == 25  # lg^2 n

@@ -1,0 +1,192 @@
+"""Tests for the baseline sorters: odd-even merge, brick, insertion, balanced,
+Shellsort/Pratt, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import is_sorting_network
+from repro.errors import WireError
+from repro.sorters.balanced import balanced_block_levels, balanced_sorting_network
+from repro.sorters.insertion import bubble_network, insertion_network
+from repro.sorters.oddeven_merge import (
+    oddeven_merge_depth,
+    oddeven_merge_size,
+    oddeven_merge_sorting_network,
+)
+from repro.sorters.oddeven_transposition import (
+    brick_levels,
+    oddeven_transposition_network,
+)
+from repro.sorters.registry import SORTER_REGISTRY, get_sorter, sorter_names
+from repro.sorters.shellsort import (
+    h_brick_levels,
+    pratt_increments,
+    pratt_network,
+    shell_increments,
+    shellsort_network,
+)
+
+
+class TestOddEvenMerge:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts_exhaustive(self, n):
+        assert is_sorting_network(oddeven_merge_sorting_network(n))
+
+    def test_depth_formula(self):
+        for n in (4, 16, 64):
+            assert oddeven_merge_sorting_network(n).depth == oddeven_merge_depth(n)
+
+    def test_fewer_comparators_than_bitonic(self):
+        from repro.sorters.bitonic import bitonic_size
+
+        for n in (16, 64, 256):
+            assert oddeven_merge_size(n) < bitonic_size(n)
+
+
+class TestBrickAndTriangle:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 11])
+    def test_brick_sorts(self, n):
+        if n <= 11:
+            assert is_sorting_network(oddeven_transposition_network(n))
+
+    def test_brick_depth(self):
+        assert oddeven_transposition_network(7).depth == 7
+
+    def test_brick_levels_alternate(self):
+        levels = brick_levels(6, 2)
+        assert {g.a for g in levels[0]} == {0, 2, 4}
+        assert {g.a for g in levels[1]} == {1, 3}
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_insertion_sorts(self, n):
+        assert is_sorting_network(insertion_network(n))
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_bubble_sorts(self, n):
+        assert is_sorting_network(bubble_network(n))
+
+    def test_bubble_fully_serial(self):
+        net = bubble_network(5)
+        assert all(len(s.level) == 1 for s in net.stages)
+        assert net.depth == 10
+
+    def test_zero_wires_rejected(self):
+        with pytest.raises(WireError):
+            insertion_network(0)
+
+
+class TestBalanced:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts_exhaustive(self, n):
+        assert is_sorting_network(balanced_sorting_network(n))
+
+    def test_periodic_structure(self):
+        n = 16
+        net = balanced_sorting_network(n)
+        d = 4
+        assert net.depth == d * d
+        block = balanced_block_levels(n)
+        # every block identical
+        for r in range(d):
+            for j in range(d):
+                assert net.stages[r * d + j].level == block[j]
+
+    def test_block_widths(self):
+        block = balanced_block_levels(8)
+        assert [len(lvl) for lvl in block] == [4, 4, 4]
+
+
+class TestShellsort:
+    def test_shell_increments(self):
+        assert shell_increments(16) == [8, 4, 2, 1]
+        assert shell_increments(1) == [1]
+
+    def test_pratt_increments_smooth_and_sorted(self):
+        incs = pratt_increments(20)
+        assert incs == sorted(incs, reverse=True)
+        assert incs[-1] == 1
+        for h in incs:
+            x = h
+            while x % 2 == 0:
+                x //= 2
+            while x % 3 == 0:
+                x //= 3
+            assert x == 1
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12, 16])
+    def test_shellsort_sorts(self, n):
+        assert is_sorting_network(shellsort_network(n))
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12, 16])
+    def test_pratt_sorts(self, n):
+        assert is_sorting_network(pratt_network(n))
+
+    def test_pratt_depth_quadratic_in_lg(self):
+        # #increments for 2,3-smooth < lg^2 n / (2 lg 3) + O(lg n)
+        n = 256
+        net = pratt_network(n)
+        assert net.depth <= 2 * len(pratt_increments(n))
+        assert net.depth < n  # far below the brick wall
+
+    def test_increment_validation(self):
+        with pytest.raises(WireError):
+            shellsort_network(8, increments=[4, 2])  # missing final 1
+        with pytest.raises(WireError):
+            shellsort_network(8, increments=[2, 4, 1])  # not decreasing
+        with pytest.raises(WireError):
+            h_brick_levels(8, 0, 1)
+
+    def test_custom_increments(self):
+        assert is_sorting_network(shellsort_network(9, increments=[5, 3, 1]))
+
+
+class TestRegistry:
+    def test_names(self):
+        names = sorter_names()
+        assert "bitonic" in names and "insertion" in names
+
+    def test_get_sorter(self):
+        spec = get_sorter("bitonic")
+        assert spec.shuffle_based
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get_sorter("quicksort")
+
+    @pytest.mark.parametrize("name", sorter_names())
+    def test_every_registered_sorter_sorts(self, name):
+        spec = SORTER_REGISTRY[name]
+        n = 8
+        assert is_sorting_network(spec.build(n)), name
+
+    @pytest.mark.parametrize("name", sorter_names())
+    def test_non_power_of_two_support_flag(self, name):
+        spec = SORTER_REGISTRY[name]
+        if not spec.power_of_two_only:
+            assert is_sorting_network(spec.build(6)), name
+
+
+class TestMergeExchange:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 8, 12, 13])
+    def test_sorts_exhaustive(self, n):
+        from repro.sorters.merge_exchange import merge_exchange_network
+
+        assert is_sorting_network(merge_exchange_network(n))
+
+    def test_depth_formula(self):
+        from repro.sorters.merge_exchange import (
+            merge_exchange_depth,
+            merge_exchange_network,
+        )
+
+        for n in (2, 5, 8, 16, 33):
+            assert merge_exchange_network(n).depth == merge_exchange_depth(n)
+        assert merge_exchange_depth(16) == 10
+        assert merge_exchange_depth(17) == 15
+
+    def test_matches_bitonic_depth_at_powers(self):
+        from repro.sorters.bitonic import bitonic_depth
+        from repro.sorters.merge_exchange import merge_exchange_depth
+
+        for n in (4, 16, 64):
+            assert merge_exchange_depth(n) == bitonic_depth(n)

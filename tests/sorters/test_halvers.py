@@ -1,0 +1,100 @@
+"""Tests for ε-halvers and the AKS proxy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WireError
+from repro.sorters.aks_proxy import (
+    AKS_IMPRACTICAL_NOTE,
+    PATERSON_DEPTH_CONSTANT,
+    aks_depth_estimate,
+    halver_tree_network,
+    measure_displacement,
+)
+from repro.sorters.bitonic import bitonic_sorting_network
+from repro.sorters.halvers import measure_halver_quality, random_matching_halver
+
+
+class TestHalverConstruction:
+    def test_shape(self, rng):
+        h = random_matching_halver(32, 5, rng)
+        assert h.n == 32
+        assert h.depth == 5
+        assert h.size == 5 * 16
+
+    def test_all_gates_cross(self, rng):
+        h = random_matching_halver(16, 3, rng)
+        for _, g in h.all_gates():
+            assert g.a < 8 <= g.b
+
+    def test_odd_size_rejected(self, rng):
+        with pytest.raises(WireError):
+            random_matching_halver(7, 2, rng)
+
+
+class TestHalverQuality:
+    def test_more_rounds_better(self, rng):
+        n = 64
+        q1 = measure_halver_quality(random_matching_halver(n, 1, rng), 100, rng)
+        q6 = measure_halver_quality(random_matching_halver(n, 6, rng), 100, rng)
+        assert q6.epsilon <= q1.epsilon
+
+    def test_perfect_halver_epsilon_zero(self, rng):
+        """A true sorting network is a 0-halver."""
+        net = bitonic_sorting_network(16)
+        q = measure_halver_quality(net, 50, rng)
+        assert q.epsilon == 0.0
+
+    def test_epsilon_bounded(self, rng):
+        q = measure_halver_quality(random_matching_halver(32, 4, rng), 50, rng)
+        assert 0.0 <= q.epsilon <= 1.0
+        assert 1 <= q.worst_k <= 16
+
+    def test_str(self, rng):
+        q = measure_halver_quality(random_matching_halver(8, 2, rng), 10, rng)
+        assert "HalverQuality" in str(q)
+
+
+class TestAksProxy:
+    def test_depth_estimate(self):
+        assert aks_depth_estimate(2) == PATERSON_DEPTH_CONSTANT
+        assert aks_depth_estimate(4) == 2 * PATERSON_DEPTH_CONSTANT
+
+    def test_aks_worse_than_batcher_at_practical_n(self):
+        """The 'impractically large constant' claim, as arithmetic."""
+        from repro.core.bounds import batcher_depth
+
+        for e in (4, 10, 20, 100, 1000):
+            n = 1 << e
+            assert aks_depth_estimate(n) > batcher_depth(n)
+        # crossover far beyond practice
+        e = 13000
+        assert aks_depth_estimate(1 << e) < batcher_depth(1 << e)
+
+    def test_note_exists(self):
+        assert "Batcher" in AKS_IMPRACTICAL_NOTE
+
+    def test_halver_tree_shape(self, rng):
+        n, rounds = 32, 4
+        net = halver_tree_network(n, rounds, rng)
+        assert net.n == n
+        assert net.depth == rounds * 5
+
+    def test_halver_tree_near_sorts(self, rng):
+        net = halver_tree_network(64, 8, rng)
+        stats = measure_displacement(net, 100, rng)
+        assert stats["mean_displacement"] < 4.0
+
+    def test_displacement_of_true_sorter(self, rng):
+        stats = measure_displacement(bitonic_sorting_network(32), 50, rng)
+        assert stats == {
+            "mean_displacement": 0.0,
+            "max_displacement": 0.0,
+            "sorted_fraction": 1.0,
+        }
+
+    def test_more_rounds_less_displacement(self, rng):
+        n = 64
+        d2 = measure_displacement(halver_tree_network(n, 2, rng), 100, rng)
+        d8 = measure_displacement(halver_tree_network(n, 8, rng), 100, rng)
+        assert d8["mean_displacement"] <= d2["mean_displacement"]

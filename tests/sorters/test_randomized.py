@@ -1,0 +1,120 @@
+"""Tests for randomized networks (the Section 5 'R' element)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LevelConflictError, WireError
+from repro.networks.gates import comparator
+from repro.networks.level import Level
+from repro.sorters.bitonic import bitonic_sorting_network
+from repro.sorters.randomized import (
+    RandomizedNetwork,
+    RandomizedStage,
+    per_input_success,
+    r_butterfly,
+    randomize_worst_case,
+    success_probability,
+)
+
+
+class TestRandomizedStage:
+    def test_disjointness_enforced(self):
+        with pytest.raises(LevelConflictError):
+            RandomizedStage(level=Level([comparator(0, 1)]), r_pairs=((1, 2),))
+
+    def test_r_pair_self_loop(self):
+        with pytest.raises(WireError):
+            RandomizedStage(level=Level(), r_pairs=((1, 1),))
+
+    def test_counts(self):
+        s = RandomizedStage(level=Level([comparator(0, 1)]), r_pairs=((2, 3),))
+        assert s.r_count == 1
+
+
+class TestRandomizedNetwork:
+    def test_out_of_range_r_pair(self):
+        with pytest.raises(WireError):
+            RandomizedNetwork(2, [RandomizedStage(level=Level(), r_pairs=((0, 2),))])
+
+    def test_sample_network_fixes_coins(self, rng):
+        net = r_butterfly(8)
+        sample = net.sample_network(rng)
+        x = rng.permutation(8)
+        # a frozen sample is deterministic
+        assert (sample.evaluate(x) == sample.evaluate(x)).all()
+
+    def test_r_element_is_permutation(self, rng):
+        net = r_butterfly(16)
+        x = rng.permutation(16)
+        out = net.evaluate(x, rng)
+        assert sorted(out.tolist()) == sorted(x.tolist())
+
+    def test_coin_variability(self, rng):
+        """Different evaluations of the randomizer differ (w.h.p.)."""
+        net = r_butterfly(16)
+        x = np.arange(16)
+        outs = {tuple(net.evaluate(x, rng)) for _ in range(10)}
+        assert len(outs) > 1
+
+    def test_batch_rows_use_independent_coins(self, rng):
+        net = r_butterfly(16)
+        batch = np.tile(np.arange(16), (64, 1))
+        out = net.evaluate_batch(batch, rng)
+        assert len({tuple(r) for r in out.tolist()}) > 1
+
+    def test_batch_shape_check(self, rng):
+        with pytest.raises(WireError):
+            r_butterfly(8).evaluate_batch(np.zeros((2, 9), dtype=int), rng)
+
+    def test_counts(self):
+        net = r_butterfly(16)
+        assert net.depth == 4
+        assert net.r_count == 4 * 8
+        assert net.size == 0
+
+
+class TestRandomizer:
+    def test_scrambles_identity(self, rng):
+        """After the randomizer, position of value 0 is spread out."""
+        net = r_butterfly(32)
+        batch = np.tile(np.arange(32), (512, 1))
+        out = net.evaluate_batch(batch, rng)
+        positions = np.argwhere(out == 0)[:, 1]
+        assert len(set(positions.tolist())) >= 16  # touches many positions
+
+    def test_randomizer_plus_sorter_always_sorts(self, rng):
+        """R elements before a full sorter are harmless."""
+        full = randomize_worst_case(bitonic_sorting_network(16))
+        for _ in range(10):
+            out = full.evaluate(rng.permutation(16), rng)
+            assert (np.diff(out) >= 0).all()
+
+    def test_requires_pure_circuit(self):
+        from repro.sorters.bitonic import bitonic_shuffle_program
+
+        with pytest.raises(WireError):
+            randomize_worst_case(bitonic_shuffle_program(8).to_network())
+
+
+class TestWorstCaseConversion:
+    def test_adversarial_input_recovers_mean(self, rng):
+        """The Section 5 mechanism: deterministic 0% -> ~mean success."""
+        from repro.core.fooling import prove_not_sorting
+        from repro.experiments.e8_average_case import faulty_bitonic
+
+        n = 32
+        net = faulty_bitonic(n, 5)
+        flat = net.to_network()
+        outcome = prove_not_sorting(net)
+        bad = outcome.certificate.unsorted_input(flat)
+        # deterministic: always fails
+        assert (np.diff(flat.evaluate(bad)) < 0).any()
+        randomized = randomize_worst_case(flat)
+        p = per_input_success(randomized, bad, 300, rng)
+        assert 0.3 < p < 0.7  # ~ the 49% population average
+
+    def test_success_probability_stats(self, rng):
+        net = randomize_worst_case(bitonic_sorting_network(8))
+        inputs = np.stack([rng.permutation(8) for _ in range(5)])
+        stats = success_probability(net, inputs, 50, rng)
+        assert stats == {"min": 1.0, "mean": 1.0, "max": 1.0}

@@ -1,0 +1,93 @@
+"""Shared hypothesis strategies for the repro test suite.
+
+Centralises the generators for random networks, patterns and symbols so
+property tests across modules draw from the same distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.alphabet import L, M, S, X
+from repro.core.pattern import Pattern
+from repro.networks.builders import random_iterated_rdn, random_reverse_delta
+from repro.networks.gates import Gate, Op
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork
+
+__all__ = [
+    "symbols",
+    "sml_symbols",
+    "patterns",
+    "rdns",
+    "iterated_rdns",
+    "circuits",
+]
+
+
+def symbols(max_index: int = 5):
+    """Arbitrary alphabet symbols with bounded indices."""
+    return st.one_of(
+        st.builds(S, st.integers(0, max_index)),
+        st.builds(M, st.integers(0, max_index)),
+        st.builds(L, st.integers(0, max_index)),
+        st.builds(X, st.integers(0, max_index), st.integers(0, max_index)),
+    )
+
+
+def sml_symbols():
+    """Only the three-symbol alphabet of the theorem's invariant."""
+    return st.sampled_from([S(0), M(0), L(0)])
+
+
+def patterns(n: int, sml_only: bool = False):
+    """Patterns on exactly ``n`` wires."""
+    sym = sml_symbols() if sml_only else symbols()
+    return st.lists(sym, min_size=n, max_size=n).map(Pattern)
+
+
+@st.composite
+def rdns(draw, min_log_n: int = 2, max_log_n: int = 5):
+    """Random reverse delta networks (arbitrary pairings and ops)."""
+    log_n = draw(st.integers(min_log_n, max_log_n))
+    seed = draw(st.integers(0, 2**31))
+    p_gate = draw(st.floats(0.2, 1.0))
+    p_exchange = draw(st.floats(0.0, 0.3))
+    rng = np.random.default_rng(seed)
+    return random_reverse_delta(
+        1 << log_n, rng, p_gate=p_gate, p_exchange=p_exchange
+    )
+
+
+@st.composite
+def iterated_rdns(draw, min_log_n: int = 2, max_log_n: int = 5, max_blocks: int = 3):
+    """Random iterated reverse delta networks with random inter perms."""
+    log_n = draw(st.integers(min_log_n, max_log_n))
+    blocks = draw(st.integers(1, max_blocks))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return random_iterated_rdn(1 << log_n, blocks, rng)
+
+
+@st.composite
+def circuits(draw, min_n: int = 2, max_n: int = 10, max_depth: int = 6):
+    """Arbitrary pure-circuit comparator networks (not class-restricted)."""
+    n = draw(st.integers(min_n, max_n))
+    depth = draw(st.integers(0, max_depth))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    levels = []
+    for _ in range(depth):
+        wires = list(rng.permutation(n))
+        count = int(rng.integers(0, n // 2 + 1))
+        gates = [
+            Gate(
+                int(wires[2 * i]),
+                int(wires[2 * i + 1]),
+                rng.choice([Op.PLUS, Op.MINUS, Op.SWAP]),
+            )
+            for i in range(count)
+        ]
+        levels.append(Level(gates))
+    return ComparatorNetwork(n, levels)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBounds:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "-n", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "Batcher upper bound" in out
+        assert "136.00" in out
+
+
+class TestAttack:
+    def test_attack_defeats_truncated_bitonic(self, capsys):
+        assert main(["attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT a sorting network" in out
+
+    def test_attack_inconclusive_on_full_bitonic(self, capsys):
+        assert main(["attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "inconclusive" in out
+
+    def test_certificate_file(self, tmp_path, capsys):
+        path = tmp_path / "cert.json"
+        assert main(["attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "1", "--certificate", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert sorted(doc["input_a"]) == list(range(16))
+        assert doc["values"][1] == doc["values"][0] + 1
+
+
+class TestVerify:
+    def test_sorter_passes(self, capsys):
+        assert main(["verify", "--sorter", "bitonic", "-n", "8"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_file_network(self, tmp_path, capsys):
+        from repro.networks import serialize
+        from repro.sorters.bitonic import bitonic_sorting_network
+
+        net = bitonic_sorting_network(8).truncated(4)
+        f = tmp_path / "net.json"
+        f.write_text(serialize.dumps(net))
+        assert main(["verify", "--file", str(f)]) == 1
+        assert "NO" in capsys.readouterr().out
+
+
+class TestRoute:
+    def test_route_ok(self, capsys):
+        assert main(["route", "3,1,0,2", "--in-class"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+
+
+class TestRender:
+    def test_render(self, capsys):
+        assert main(["render", "--sorter", "insertion", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4
+
+    def test_summary(self, capsys):
+        assert main(["render", "--sorter", "bitonic", "-n", "8",
+                     "--summary"]) == 0
+        assert "depth=6" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_experiment_runs(self, capsys, tmp_path):
+        assert main(["experiment", "e7", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out
+        assert (tmp_path / "e7.txt").exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+
+class TestAttackFile:
+    def test_attack_serialised_circuit(self, tmp_path, capsys):
+        from repro.networks import serialize
+        from repro.networks.builders import bitonic_iterated_rdn
+
+        flat = bitonic_iterated_rdn(16).truncated(2).to_network()
+        f = tmp_path / "net.json"
+        f.write_text(serialize.dumps(flat))
+        assert main(["attack", "--file", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "NOT a sorting network" in out
+
+
+class TestRenderDot:
+    def test_dot_output(self, capsys):
+        assert main(["render", "--sorter", "insertion", "-n", "4", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestExperimentAll:
+    def test_experiment_all_runs(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+        import repro.experiments as ex
+
+        fast = {"E7": lambda: ex.e7_equivalence.run(exponents=(2,))}
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", fast)
+        assert main(["experiment", "all", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out and "saved all tables" in out
+        assert (tmp_path / "e7.txt").exists()

@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy and notable error paths."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    ALL_ERRORS = [
+        errors.WireError,
+        errors.LevelConflictError,
+        errors.NotAPowerOfTwoError,
+        errors.PatternError,
+        errors.RefinementError,
+        errors.PropagationError,
+        errors.TopologyError,
+        errors.CertificateError,
+        errors.RoutingError,
+        errors.MachineError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_catchable_as_value_error(self):
+        for exc in (errors.WireError, errors.PatternError, errors.TopologyError):
+            assert issubclass(exc, ValueError)
+
+    def test_refinement_is_pattern_error(self):
+        assert issubclass(errors.RefinementError, errors.PatternError)
+
+    def test_level_conflict_is_wire_error(self):
+        assert issubclass(errors.LevelConflictError, errors.WireError)
+
+    def test_one_except_clause_suffices(self):
+        from repro.networks.gates import Gate
+
+        with pytest.raises(errors.ReproError):
+            Gate(1, 1)
+
+
+class TestNotableErrorPaths:
+    def test_extract_fooling_pair_partial_symbol_class(self):
+        """Special wires that are a strict subset of their symbol class can
+        receive non-adjacent values; the extractor must refuse rather than
+        emit a bogus certificate."""
+        from repro.core.fooling import extract_fooling_pair
+        from repro.core.pattern import sml_pattern
+        from repro.errors import PatternError
+        from repro.networks.network import ComparatorNetwork
+
+        net = ComparatorNetwork(5, [])
+        p = sml_pattern(5, medium=[0, 2, 4], small=[1, 3])
+        with pytest.raises(PatternError):
+            # wires 0 and 4 share M0 but wire 2 sits between them in the
+            # refinement's value order
+            extract_fooling_pair(net, p, [0, 4])
+
+    def test_propagation_error_is_runtime_error(self):
+        assert issubclass(errors.PropagationError, RuntimeError)
+
+    def test_messages_survive(self):
+        try:
+            raise errors.RoutingError("specific detail")
+        except errors.ReproError as exc:
+            assert "specific detail" in str(exc)

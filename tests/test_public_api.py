@@ -1,0 +1,73 @@
+"""Public-API integrity checks: exports resolve, registries are complete."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = ["networks", "core", "sorters", "machines", "analysis", "experiments"]
+
+
+class TestExports:
+    def test_top_level_all_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("sub", SUBPACKAGES)
+    def test_subpackage_all_resolvable(self, sub):
+        mod = importlib.import_module(f"repro.{sub}")
+        for name in mod.__all__:
+            assert getattr(mod, name, None) is not None, f"repro.{sub}.{name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        expected = {f"E{i}" for i in range(1, 14)}
+        assert set(ALL_EXPERIMENTS) == expected
+        for fn in ALL_EXPERIMENTS.values():
+            assert callable(fn)
+
+    def test_run_all_with_subset(self, tmp_path, monkeypatch):
+        """run_all executes every registered driver and archives tables."""
+        import repro.experiments as ex
+
+        # swap in two fast drivers so the test stays quick
+        fast = {
+            "E7": lambda: ex.e7_equivalence.run(exponents=(2,)),
+            "E13": lambda: ex.e13_single_permutation.run(n=4, iterations=50),
+        }
+        monkeypatch.setattr(ex, "ALL_EXPERIMENTS", fast)
+        results = ex.run_all(save_dir=str(tmp_path))
+        assert set(results) == {"E7", "E13"}
+        assert (tmp_path / "e7.txt").exists()
+        assert (tmp_path / "e13.json").exists()
+
+
+class TestCliParser:
+    def test_build_parser_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub_actions = [
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        ]
+        assert sub_actions
+        commands = set(sub_actions[0].choices)
+        assert {"attack", "verify", "route", "render", "experiment", "bounds"} <= (
+            commands
+        )
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -1,0 +1,27 @@
+"""Guard: the README's code snippets actually run.
+
+Extracts every ```python fenced block from README.md and executes it;
+a stale snippet fails the suite rather than the first user.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _python_blocks() -> list[str]:
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_snippets():
+    assert _python_blocks(), "README should contain python examples"
+
+
+@pytest.mark.parametrize("idx", range(len(_python_blocks())))
+def test_readme_snippet_runs(idx):
+    block = _python_blocks()[idx]
+    exec(compile(block, f"README.md:block{idx}", "exec"), {})

@@ -1,0 +1,115 @@
+"""Unit tests for the internal helpers in repro._util."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    as_int_array,
+    bit_reverse_int,
+    check_permutation_array,
+    ilog2,
+    is_power_of_two,
+    lg,
+    lglg,
+    require_power_of_two,
+    require_wire,
+    rotate_left,
+    rotate_right,
+)
+from repro.errors import NotAPowerOfTwoError, WireError
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+        assert not any(is_power_of_two(x) for x in (0, -2, 3, 6, 12, 100))
+
+    def test_ilog2(self):
+        for k in range(16):
+            assert ilog2(1 << k) == k
+
+    def test_require_power_of_two(self):
+        assert require_power_of_two(8) == 8
+        with pytest.raises(NotAPowerOfTwoError):
+            require_power_of_two(9, "thing")
+
+
+class TestWires:
+    def test_require_wire(self):
+        assert require_wire(3, 4) == 3
+        assert require_wire(np.int64(2), 4) == 2
+
+    def test_require_wire_rejects(self):
+        with pytest.raises(WireError):
+            require_wire(4, 4)
+        with pytest.raises(WireError):
+            require_wire(-1, 4)
+        with pytest.raises(WireError):
+            require_wire(True, 4)
+        with pytest.raises(WireError):
+            require_wire("0", 4)  # type: ignore[arg-type]
+
+    def test_as_int_array_copies(self):
+        src = np.array([1, 2, 3])
+        out = as_int_array(src)
+        out[0] = 99
+        assert src[0] == 1
+
+    def test_as_int_array_rejects_2d(self):
+        with pytest.raises(WireError):
+            as_int_array(np.zeros((2, 2)))
+
+    def test_check_permutation_array(self):
+        check_permutation_array(np.array([2, 0, 1]), 3)
+        with pytest.raises(WireError):
+            check_permutation_array(np.array([0, 0, 1]), 3)
+        with pytest.raises(WireError):
+            check_permutation_array(np.array([0, 1]), 3)
+        with pytest.raises(WireError):
+            check_permutation_array(np.array([0, 1, 3]), 3)
+
+
+class TestBits:
+    def test_bit_reverse(self):
+        assert bit_reverse_int(0b001, 3) == 0b100
+        assert bit_reverse_int(0b110, 3) == 0b011
+        assert bit_reverse_int(0, 5) == 0
+
+    def test_rotate_left_matches_paper(self):
+        # pi(j) = j_{d-2}...j_0 j_{d-1}
+        assert rotate_left(0b100, 3) == 0b001
+        assert rotate_left(0b011, 3) == 0b110
+
+    def test_rotate_right_inverse(self):
+        for bits in (1, 3, 6):
+            for x in range(1 << bits):
+                for a in range(2 * bits):
+                    assert rotate_right(rotate_left(x, bits, a), bits, a) == x
+
+    def test_rotate_full_cycle(self):
+        assert rotate_left(0b101, 3, 3) == 0b101
+        assert rotate_left(0b101, 3, 0) == 0b101
+
+
+class TestLogs:
+    def test_lg(self):
+        assert lg(8) == 3.0
+
+    def test_lglg(self):
+        assert lglg(256) == 3.0
+
+
+@settings(max_examples=100)
+@given(st.integers(1, 10), st.integers(0, 2**10 - 1), st.integers(0, 30))
+def test_property_rotation_preserves_popcount(bits, x, amount):
+    x &= (1 << bits) - 1
+    assert bin(rotate_left(x, bits, amount)).count("1") == bin(x).count("1")
+
+
+@settings(max_examples=100)
+@given(st.integers(1, 10), st.integers(0, 2**10 - 1))
+def test_property_bit_reverse_involution(bits, x):
+    x &= (1 << bits) - 1
+    assert bit_reverse_int(bit_reverse_int(x, bits), bits) == x
