@@ -1,0 +1,42 @@
+"""Benchmarks for the static analyzer: lint throughput on bitonic sorters.
+
+The lint engine's contract is "cheap enough to run on every build": the
+abstract interpreter does one O(n) vector update per gate and the
+witness scan one O(n) row update per gate, so a full lint of bitonic
+n=1024 (28160 gates) should stay well under a second.  These benchmarks
+pin that envelope across n = 2^4 .. 2^10.
+"""
+
+import pytest
+
+from repro.lint import LintConfig, lint_network
+from repro.lint.abstract import interpret
+from repro.lint.rules import witness_scan
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+@pytest.mark.parametrize("log_n", [4, 6, 8, 10])
+def test_bench_lint_bitonic(benchmark, log_n):
+    """Full rule catalog over bitonic n = 2^log_n."""
+    net = bitonic_sorting_network(1 << log_n)
+    # class recognition is the one super-linear pass; its own budget
+    # gate (class_max_wires) keeps the large sizes honest about what a
+    # default lint run would actually execute.
+    report = benchmark(lint_network, net, config=LintConfig())
+    assert not report.has_errors
+
+
+@pytest.mark.parametrize("log_n", [6, 10])
+def test_bench_abstract_interpret(benchmark, log_n):
+    """The 0-1 abstract interpreter alone (per-gate O(n) updates)."""
+    net = bitonic_sorting_network(1 << log_n)
+    outcome = benchmark(interpret, net)
+    assert outcome.facts == []
+
+
+@pytest.mark.parametrize("log_n", [6, 10])
+def test_bench_witness_scan(benchmark, log_n):
+    """The never-compared-pair scan alone."""
+    net = bitonic_sorting_network(1 << log_n)
+    uncompared, never = benchmark(witness_scan, net)
+    assert uncompared == [] and never == []

@@ -19,7 +19,6 @@ exactly how :func:`is_butterfly_topology` decides it.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from .._util import ilog2, is_power_of_two
 from ..errors import TopologyError
@@ -118,10 +117,10 @@ def reconstruct_reverse_delta(
         raise TopologyError("topology recognition requires a pure circuit network")
     if not is_power_of_two(n):
         raise TopologyError(f"need a power-of-two wire count, got {n}")
-    l = ilog2(n)
-    if network.depth != l:
+    log_n = ilog2(n)
+    if network.depth != log_n:
         raise TopologyError(
-            f"an l-level reverse delta network has exactly lg n = {l} levels, "
+            f"an l-level reverse delta network has exactly lg n = {log_n} levels, "
             f"got {network.depth}"
         )
     levels: list[tuple[Gate, ...]] = [s.level.gates for s in network.stages]
@@ -137,7 +136,9 @@ def reconstruct_reverse_delta(
                 if ina != inb:
                     raise TopologyError(
                         f"gate {g} at level {lvl} crosses a required subnetwork "
-                        "boundary"
+                        "boundary",
+                        level=lvl,
+                        gate=g,
                     )
                 if ina:
                     inner_edges.append((g.a, g.b))
@@ -145,7 +146,9 @@ def reconstruct_reverse_delta(
         for g in final:
             if not (g.a in wires and g.b in wires):
                 raise TopologyError(
-                    f"final-level gate {g} crosses the subnetwork boundary"
+                    f"final-level gate {g} crosses the subnetwork boundary",
+                    level=j - 1,
+                    gate=g,
                 )
         uf = _UnionFind(wires)
         for a, b in inner_edges:
@@ -159,7 +162,9 @@ def reconstruct_reverse_delta(
             ca, cb = comp_index[comp_of[g.a]], comp_index[comp_of[g.b]]
             if ca == cb:
                 raise TopologyError(
-                    f"final-level gate {g} joins wires already connected below"
+                    f"final-level gate {g} joins wires already connected below",
+                    level=j - 1,
+                    gate=g,
                 )
             adj[ca].append(cb)
             adj[cb].append(ca)
@@ -180,7 +185,8 @@ def reconstruct_reverse_delta(
                         members.append(v)
                     elif colour[v] == colour[u]:
                         raise TopologyError(
-                            "final level induces an odd cycle; no valid split"
+                            "final level induces an odd cycle; no valid split",
+                            level=j - 1,
                         )
             groups.append(members)
         comp_sizes = [0] * len(comps)
@@ -221,11 +227,13 @@ def reconstruct_reverse_delta(
             oriented = [g if g.a in w0 else g.reversed() for g in final]
             return ReverseDeltaNetwork.node(child0, child1, tuple(oriented))
         if tried == 0:
-            raise TopologyError("no balanced bipartition exists at this level")
+            raise TopologyError(
+                "no balanced bipartition exists at this level", level=j - 1
+            )
         assert last_error is not None
         raise last_error
 
-    return rec(frozenset(range(n)), l)
+    return rec(frozenset(range(n)), log_n)
 
 
 def is_reverse_delta_topology(network: ComparatorNetwork) -> bool:

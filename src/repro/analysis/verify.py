@@ -10,7 +10,6 @@ or by random sampling as a cheap refutation pass.
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Iterator
 
 import numpy as np

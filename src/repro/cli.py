@@ -17,6 +17,11 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
     Run one of the E1-E13 drivers and print its table.
 ``bounds``
     Print the paper's bound landscape for a given n.
+``lint``
+    Statically analyse a named sorter or serialised network file:
+    structural rules, 0-1 abstract interpretation, budget checks and
+    never-compared-pair witnesses, with text or JSON diagnostics and
+    ``--fix`` to write a repaired network.
 
 The CLI is deliberately thin: every command is one or two calls into the
 library, so it doubles as living documentation of the public API.
@@ -33,8 +38,9 @@ import numpy as np
 
 from . import __version__
 from .core import bounds as bounds_mod
+from .errors import LintError, ReproError
 from .core.fooling import prove_not_sorting
-from .core.iterate import run_adversary, theorem41_guarantee
+from .core.iterate import theorem41_guarantee
 from .experiments import ALL_EXPERIMENTS
 from .experiments.workloads import iterated_family
 from .machines.routing import benes_routing_network, sort_route_program
@@ -61,12 +67,25 @@ def _resolve_network(args) -> "object":
     return spec.build(args.n)
 
 
+def _print_lint_failure(context: str, exc: LintError) -> None:
+    """Render a precondition failure as located lint diagnostics."""
+    print(f"{context}: {exc}", file=sys.stderr)
+    for diag in getattr(exc, "diagnostics", []):
+        print(f"  {diag.format()}", file=sys.stderr)
+
+
 def cmd_attack(args) -> int:
     rng = np.random.default_rng(args.seed)
     if getattr(args, "file", None):
         from .core.attack import attack_circuit
 
-        outcome = attack_circuit(_load_network(args.file), k=args.k, rng=rng)
+        try:
+            outcome = attack_circuit(
+                _load_network(args.file), k=args.k, rng=rng
+            )
+        except LintError as exc:
+            _print_lint_failure("attack precondition failed", exc)
+            return 2
     else:
         network = iterated_family(args.family, args.n, args.blocks, rng)
         outcome = prove_not_sorting(network, k=args.k, rng=rng)
@@ -103,8 +122,15 @@ def cmd_attack(args) -> int:
 def cmd_verify(args) -> int:
     from .analysis.verify import find_unsorted_zero_one_input
 
-    net = _resolve_network(args)
-    witness = find_unsorted_zero_one_input(net, max_wires=args.max_wires)
+    try:
+        net = _resolve_network(args)
+        witness = find_unsorted_zero_one_input(net, max_wires=args.max_wires)
+    except LintError as exc:
+        _print_lint_failure("verify precondition failed", exc)
+        return 2
+    except ReproError as exc:
+        print(f"error[verify/precondition]: {exc}", file=sys.stderr)
+        return 2
     if witness is None:
         print(f"sorting network: yes (all 2^{net.n} binary inputs sorted)")
         return 0
@@ -178,6 +204,49 @@ def cmd_bounds(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import LintConfig, apply_fixes, lint_document, lint_network
+
+    config = LintConfig(
+        select=tuple(args.select) if args.select else None
+    )
+    target = args.target
+    path = Path(target)
+    if path.suffix == ".json" or path.is_file():
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            print(f"error[lint/io]: cannot read {target}: {exc}",
+                  file=sys.stderr)
+            return 2
+        report = lint_document(text, target=target, config=config)
+    else:
+        try:
+            spec = get_sorter(target)
+        except (KeyError, ReproError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error[lint/target]: {message}", file=sys.stderr)
+            return 2
+        report = lint_network(
+            spec.build(args.n), target=f"{target} (n={args.n})", config=config
+        )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text())
+    if args.fix:
+        if report.network is None:
+            print("error[lint/fix]: nothing to fix: the document did not "
+                  "parse into a network", file=sys.stderr)
+            return 2
+        fixed = apply_fixes(report.network, report.diagnostics)
+        Path(args.fix).write_text(serialize.dumps(fixed, indent=2))
+        removed = report.network.size - fixed.size
+        print(f"fixed network written to {args.fix} "
+              f"({removed} gate{'s' if removed != 1 else ''} removed)")
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -231,6 +300,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bounds", help="print the bound landscape at n")
     p.add_argument("-n", type=int, default=1 << 16)
     p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("lint", help="static analysis of a network")
+    p.add_argument("target",
+                   help="sorter name (see 'verify --sorter') or path to a "
+                        "serialised network JSON file")
+    p.add_argument("-n", "--n", type=int, default=16,
+                   help="wire count when target is a sorter name")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--fix", metavar="PATH",
+                   help="apply all fix-its and write the repaired network")
+    p.add_argument("--select", action="append", metavar="PREFIX",
+                   help="only run rules whose id starts with PREFIX "
+                        "(repeatable), e.g. --select abstract/")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

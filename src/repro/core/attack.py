@@ -17,7 +17,13 @@ ComparatorNetwork`.  This module closes the gap:
 If some block is *not* a reverse delta network the circuit is outside
 the class and :class:`~repro.errors.TopologyError` is raised -- the
 lower bound simply does not apply to it (e.g. the odd-even merge
-sorter), which is honest and exactly what the paper says.
+sorter), which is honest and exactly what the paper says.  Because
+:class:`~repro.errors.TopologyError` subclasses
+:class:`~repro.errors.LintError`, the raised error carries structured
+:class:`~repro.lint.diagnostics.Diagnostic` records naming the exact
+flattened level (and gate, when known) that broke recognition, so
+``except TopologyError`` keeps working while new callers -- the CLI and
+``repro lint`` -- render precise, uniform messages.
 """
 
 from __future__ import annotations
@@ -35,6 +41,28 @@ from .fooling import FoolingOutcome, prove_not_sorting
 __all__ = ["recognize_iterated_rdn", "attack_circuit"]
 
 
+def _class_diagnostics(exc: TopologyError, level_offset: int = 0) -> list:
+    """Build the structured diagnostics for a recognition failure.
+
+    ``level_offset`` converts a block-local level index into a global
+    flattened-level index.  Imported lazily to keep
+    ``repro.core`` importable without ``repro.lint`` and vice versa.
+    """
+    from ..lint.diagnostics import Diagnostic, Location, Severity
+
+    level = exc.level + level_offset if exc.level is not None else None
+    gate = exc.gate
+    wires = tuple(gate.wires) if gate is not None else ()
+    return [
+        Diagnostic(
+            rule="class/out-of-class",
+            severity=Severity.ERROR,
+            message=str(exc),
+            location=Location(stage=level, wires=wires),
+        )
+    ]
+
+
 def recognize_iterated_rdn(
     network: ComparatorNetwork,
 ) -> IteratedReverseDeltaNetwork:
@@ -48,12 +76,18 @@ def recognize_iterated_rdn(
     reverse delta tree.
 
     Raises :class:`TopologyError` if any block falls outside
-    Definition 3.4.
+    Definition 3.4; the error doubles as a
+    :class:`~repro.errors.LintError` whose ``diagnostics`` pinpoint the
+    offending flattened level and gate.
     """
     n = network.n
     if not is_power_of_two(n):
-        raise TopologyError(f"class requires a power-of-two wire count, got {n}")
-    l = ilog2(n)
+        exc = TopologyError(
+            f"class requires a power-of-two wire count, got {n}"
+        )
+        exc.diagnostics = _class_diagnostics(exc)
+        raise exc
+    log_n = ilog2(n)
     flat = network.flattened()
     stages = list(flat.stages)
     # drop the trailing pure-permutation stage flattening may add
@@ -62,19 +96,22 @@ def recognize_iterated_rdn(
     if any(s.perm is not None for s in stages):  # pragma: no cover - defensive
         raise TopologyError("flattening left an interior permutation")
     levels = [s.level for s in stages]
-    if l == 0:
+    if log_n == 0:
         return IteratedReverseDeltaNetwork(n, [])
-    while len(levels) % l:
+    while len(levels) % log_n:
         levels.append(Level(()))
     blocks = []
-    for start in range(0, len(levels), l):
-        group = ComparatorNetwork(n, levels[start : start + l])
+    for start in range(0, len(levels), log_n):
+        group = ComparatorNetwork(n, levels[start : start + log_n])
         try:
             rdn = reconstruct_reverse_delta(group)
         except TopologyError as exc:
             raise TopologyError(
-                f"levels {start}..{start + l - 1} do not form a reverse "
-                f"delta network: {exc}"
+                f"levels {start}..{start + log_n - 1} do not form a reverse "
+                f"delta network: {exc}",
+                level=start + exc.level if exc.level is not None else None,
+                gate=exc.gate,
+                diagnostics=_class_diagnostics(exc, level_offset=start),
             ) from exc
         blocks.append((None, rdn))
     return IteratedReverseDeltaNetwork(n, blocks)

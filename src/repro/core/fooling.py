@@ -18,7 +18,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..errors import CertificateError, PatternError
+from ..errors import PatternError
 from ..networks.delta import IteratedReverseDeltaNetwork
 from ..networks.network import ComparatorNetwork
 from .certificates import NonSortingCertificate

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..errors import PatternError
 from ..networks.delta import IteratedReverseDeltaNetwork
-from .adversary import Lemma41Result, run_lemma41, t_sets
+from .adversary import run_lemma41
 from .alphabet import L, M, S, Symbol
 from .pattern import Pattern, all_medium_pattern
 from .propagate import SymbolicState

@@ -17,7 +17,7 @@ deterministic paths); if that precondition is violated,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable
 
 import numpy as np
 

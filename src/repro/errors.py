@@ -7,6 +7,8 @@ still being able to distinguish the common failure categories.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 __all__ = [
     "ReproError",
     "WireError",
@@ -15,6 +17,7 @@ __all__ = [
     "PatternError",
     "RefinementError",
     "PropagationError",
+    "LintError",
     "TopologyError",
     "CertificateError",
     "RoutingError",
@@ -54,9 +57,45 @@ class PropagationError(ReproError, RuntimeError):
     """
 
 
-class TopologyError(ReproError, ValueError):
+class LintError(ReproError):
+    """Static analysis found blocking diagnostics for an operation.
+
+    Raised when a precondition of an operation fails for reasons that a
+    static check can pinpoint (e.g. class recognition in
+    :mod:`repro.core.attack`).  ``diagnostics`` carries the structured
+    :class:`repro.lint.diagnostics.Diagnostic` records explaining
+    *where* and *why* the check failed; it is empty for errors raised
+    before the diagnostics layer existed.
+    """
+
+    def __init__(self, *args: object, diagnostics: Sequence[object] = ()):
+        super().__init__(*args)
+        #: Structured diagnostic records (possibly empty).
+        self.diagnostics = list(diagnostics)
+
+
+class TopologyError(LintError, ValueError):
     """A network does not have the required topology (delta, reverse
-    delta, shuffle-based, ...)."""
+    delta, shuffle-based, ...).
+
+    Subclasses :class:`LintError` so topology failures can carry the
+    full diagnostic list while remaining catchable under the historical
+    ``except TopologyError`` clauses.  ``level`` and ``gate`` optionally
+    pinpoint the offending flattened level index and gate.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        level: int | None = None,
+        gate: object = None,
+        diagnostics: Sequence[object] = (),
+    ):
+        super().__init__(*args, diagnostics=diagnostics)
+        #: Flattened level index at which recognition failed, if known.
+        self.level = level
+        #: The offending :class:`~repro.networks.gates.Gate`, if known.
+        self.gate = gate
 
 
 class CertificateError(ReproError, RuntimeError):

@@ -38,8 +38,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.adversary import run_lemma41, t_sets
-from ..core.alphabet import M, Symbol, X
+from ..core.alphabet import Symbol, X
 from ..core.iterate import run_adversary
 from ..core.pattern import Pattern, all_medium_pattern
 from ..errors import PatternError

@@ -22,7 +22,7 @@ from ..analysis.properties import (
 from ..analysis.verify import is_sorting_network
 from ..analysis.zero_one import zero_one_inputs
 from ..networks.builders import butterfly_rdn, shuffle_split_rdn
-from ..sorters.bitonic import bitonic_shuffle_program, bitonic_sorting_network
+from ..sorters.bitonic import bitonic_shuffle_program
 from ..networks.shuffle import shuffle_program_from_split_rdn
 from .harness import Table
 

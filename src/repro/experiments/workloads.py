@@ -12,7 +12,6 @@ from ..networks.builders import (
     random_iterated_rdn,
     random_reverse_delta,
     shuffle_split_rdn,
-    truncated_rdn,
 )
 from ..networks.delta import IteratedReverseDeltaNetwork, ReverseDeltaNetwork
 from ..networks.gates import Op

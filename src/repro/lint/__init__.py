@@ -1,0 +1,51 @@
+"""repro.lint -- rule-based static analysis of comparator networks.
+
+The paper proves non-sorting *statically*: it never evaluates a network
+on all inputs, it reasons about structure.  This subpackage applies the
+same stance as developer tooling: a registry of lint rules
+(:mod:`repro.lint.rules`) over a 0-1 abstract interpretation
+(:mod:`repro.lint.abstract`), structured diagnostics with locations and
+fix-its (:mod:`repro.lint.diagnostics`), behaviour-preserving repairs
+(:mod:`repro.lint.fixes`), and uniform reports
+(:mod:`repro.lint.report`).  The CLI front-end is
+``python -m repro lint``.
+
+Quickstart::
+
+    from repro.lint import lint_network, apply_fixes
+    from repro.sorters.bitonic import bitonic_sorting_network
+
+    report = lint_network(bitonic_sorting_network(16).truncated(3))
+    print(report.format_text())          # located errors: cannot sort
+    assert report.has_errors
+
+    fixed = apply_fixes(report.network, report.diagnostics)
+"""
+
+from .abstract import AbstractBit, AbstractOutcome, AbstractState, interpret
+from .diagnostics import Diagnostic, FixIt, Location, Severity
+from .engine import LintConfig, LintContext, lint_document, lint_network
+from .fixes import apply as apply_fixes
+from .report import LintReport
+from .rules import RULES, LintRule, corollary_4_1_1_refutes, witness_scan
+
+__all__ = [
+    "AbstractBit",
+    "AbstractOutcome",
+    "AbstractState",
+    "interpret",
+    "Diagnostic",
+    "FixIt",
+    "Location",
+    "Severity",
+    "LintConfig",
+    "LintContext",
+    "lint_document",
+    "lint_network",
+    "apply_fixes",
+    "LintReport",
+    "RULES",
+    "LintRule",
+    "corollary_4_1_1_refutes",
+    "witness_scan",
+]

@@ -1,0 +1,343 @@
+"""0-1 abstract interpretation over comparator networks.
+
+The paper's whole argument is static: it reasons about which values
+*can* meet at comparators instead of evaluating the network.  This
+module applies the same spirit at the cheapest useful precision -- the
+0-1 principle.  Each wire position carries an abstract bit from the
+lattice
+
+    ``BOTTOM  <  ZERO, ONE  <  TOP``
+
+and, on top of the per-wire values, the interpreter tracks *sorted-pair
+facts*: a boolean relation ``le[p, q]`` meaning "on every 0-1 input,
+the value at position ``p`` is <= the value at position ``q`` at this
+point of the execution".  The relation starts as the identity, is
+seeded by constant bits, and is transformed exactly by the min/max
+algebra of comparators:
+
+* after ``+`` on ``(a, b)``: ``min <= x`` iff ``a <= x`` or ``b <= x``;
+  ``x <= min`` iff ``x <= a`` and ``x <= b`` (dually for ``max``), and
+  ``min <= max`` always;
+* ``1`` (exchange) swaps the two positions' rows and columns;
+* stage permutations relabel positions.
+
+A ``+`` gate on ``(a, b)`` with ``le[a, b]`` already true is *provably
+the identity on every 0-1 input* -- removing it cannot change any 0-1
+output (and by the threshold argument, any output at all).  Those are
+the facts :mod:`repro.lint.rules` turns into redundant-comparator
+diagnostics and :mod:`repro.lint.fixes` turns into safe deletions.
+
+The analysis is sound but deliberately incomplete: it never flags a
+non-redundant gate, but (like any abstract interpretation) it can miss
+redundancies whose proof needs more than the min/max algebra.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import WireError
+from ..networks.gates import Gate, Op
+from ..networks.network import ComparatorNetwork
+
+__all__ = ["AbstractBit", "AbstractState", "GateFact", "AbstractOutcome", "interpret"]
+
+# const-array encoding: -1 = TOP (unknown), 0/1 = known bit.
+_TOP = -1
+
+
+class AbstractBit(enum.Enum):
+    """One point of the 0-1 value lattice ``BOTTOM < {ZERO, ONE} < TOP``."""
+
+    BOTTOM = "bottom"
+    ZERO = "zero"
+    ONE = "one"
+    TOP = "top"
+
+    def join(self, other: "AbstractBit") -> "AbstractBit":
+        """Least upper bound."""
+        if self is other or other is AbstractBit.BOTTOM:
+            return self
+        if self is AbstractBit.BOTTOM:
+            return other
+        return AbstractBit.TOP
+
+    def meet(self, other: "AbstractBit") -> "AbstractBit":
+        """Greatest lower bound."""
+        if self is other or other is AbstractBit.TOP:
+            return self
+        if self is AbstractBit.TOP:
+            return other
+        return AbstractBit.BOTTOM
+
+    def __le__(self, other: "AbstractBit") -> bool:
+        """Lattice order (``ZERO`` and ``ONE`` are incomparable)."""
+        return self.join(other) is other
+
+
+def _bit_to_code(bit: "AbstractBit | int | None") -> int:
+    """Normalise a user-supplied abstract bit to the int8 encoding."""
+    if bit is None or bit is AbstractBit.TOP:
+        return _TOP
+    if bit is AbstractBit.ZERO or bit == 0:
+        return 0
+    if bit is AbstractBit.ONE or bit == 1:
+        return 1
+    raise WireError(f"cannot use {bit!r} as an initial abstract bit")
+
+
+@dataclass
+class AbstractState:
+    """The interpreter's state: per-position bits plus sorted-pair facts.
+
+    ``const[p]`` is ``-1`` (top), ``0`` or ``1``; ``le[p, q]`` is True
+    iff the value at ``p`` is guaranteed <= the value at ``q`` on every
+    0-1 input admitted by the initial state.
+    """
+
+    const: np.ndarray
+    le: np.ndarray
+
+    @classmethod
+    def initial(
+        cls,
+        n: int,
+        bits: "Sequence[AbstractBit | int | None] | None" = None,
+        sorted_input: bool = False,
+    ) -> "AbstractState":
+        """The entry state for an ``n``-wire network.
+
+        ``bits`` optionally constrains input positions to constants;
+        ``sorted_input`` additionally assumes the input is already
+        nondecreasing (useful for probing what a network does to sorted
+        data; the default assumes nothing).
+        """
+        const = np.full(n, _TOP, dtype=np.int8)
+        if bits is not None:
+            if len(bits) != n:
+                raise WireError(
+                    f"initial bits have length {len(bits)}, expected {n}"
+                )
+            for p, bit in enumerate(bits):
+                const[p] = _bit_to_code(bit)
+        le = np.eye(n, dtype=bool)
+        if sorted_input:
+            le |= np.triu(np.ones((n, n), dtype=bool))
+        state = cls(const=const, le=le)
+        state._seed_constant_facts()
+        return state
+
+    def _seed_constant_facts(self) -> None:
+        """Derive <=-facts implied by constant bits (0 <= x, x <= 1)."""
+        zeros = self.const == 0
+        ones = self.const == 1
+        self.le[zeros, :] = True
+        self.le[:, ones] = True
+        # 1 <= 0 must never be asserted by the blanket row/col fills.
+        self.le[np.ix_(ones, zeros)] = False
+
+    def bit(self, p: int) -> AbstractBit:
+        """The abstract bit currently at position ``p``."""
+        code = int(self.const[p])
+        if code == 0:
+            return AbstractBit.ZERO
+        if code == 1:
+            return AbstractBit.ONE
+        return AbstractBit.TOP
+
+    def knows_le(self, p: int, q: int) -> bool:
+        """True iff ``value(p) <= value(q)`` is a known fact."""
+        return bool(self.le[p, q])
+
+    def is_sorted_chain(self) -> bool:
+        """True iff positions ``0 <= 1 <= ... <= n-1`` are all known."""
+        n = self.const.shape[0]
+        idx = np.arange(n - 1)
+        return bool(self.le[idx, idx + 1].all())
+
+    def copy(self) -> "AbstractState":
+        """An independent deep copy."""
+        return AbstractState(const=self.const.copy(), le=self.le.copy())
+
+
+@dataclass(frozen=True)
+class GateFact:
+    """A per-gate fact discovered during interpretation.
+
+    ``kind`` is ``"redundant-ordered"`` (the gate's inputs were already
+    in the gate's output order) or ``"redundant-constant"`` (a constant
+    input makes the gate the identity).  Either way the gate is provably
+    the identity on every admitted 0-1 input.
+    """
+
+    stage: int
+    gate_index: int
+    gate: Gate
+    kind: str
+
+
+@dataclass
+class AbstractOutcome:
+    """Everything the interpreter learned about a network.
+
+    ``facts`` lists the provably-identity comparators (in execution
+    order), ``identity_levels`` the stages whose every element is
+    provably the identity, and ``final`` the abstract state at the
+    output.
+    """
+
+    n: int
+    facts: list[GateFact] = field(default_factory=list)
+    identity_levels: list[int] = field(default_factory=list)
+    final: AbstractState | None = None
+
+    @property
+    def redundant_gates(self) -> list[GateFact]:
+        """The facts, i.e. gates whose removal is provably safe."""
+        return self.facts
+
+    def proves_sorting(self) -> bool:
+        """True iff the output is provably sorted on every 0-1 input.
+
+        This is a *sound* sorting proof (via the 0-1 principle), but the
+        domain is weak: it succeeds only for networks whose correctness
+        follows from the min/max algebra alone (e.g. ``n = 2``).
+        """
+        return self.final is not None and self.final.is_sorted_chain()
+
+
+def _transfer_comparator(state: AbstractState, lo: int, hi: int) -> None:
+    """Apply a comparator writing min to position ``lo``, max to ``hi``."""
+    le = state.le
+    row_lo = le[lo, :] | le[hi, :]
+    col_lo = le[:, lo] & le[:, hi]
+    row_hi = le[lo, :] & le[hi, :]
+    col_hi = le[:, lo] | le[:, hi]
+    equal = bool(le[lo, hi] and le[hi, lo])
+    le[lo, :] = row_lo
+    le[:, lo] = col_lo
+    le[hi, :] = row_hi
+    le[:, hi] = col_hi
+    le[lo, lo] = le[hi, hi] = True
+    le[lo, hi] = True
+    le[hi, lo] = equal
+    ca, cb = int(state.const[lo]), int(state.const[hi])
+    if ca == 0 or cb == 0:
+        new_lo = 0
+    elif ca == 1:
+        new_lo = cb
+    elif cb == 1:
+        new_lo = ca
+    elif ca >= 0 and cb >= 0:
+        new_lo = min(ca, cb)
+    else:
+        new_lo = _TOP
+    if ca == 1 or cb == 1:
+        new_hi = 1
+    elif ca == 0:
+        new_hi = cb
+    elif cb == 0:
+        new_hi = ca
+    elif ca >= 0 and cb >= 0:
+        new_hi = max(ca, cb)
+    else:
+        new_hi = _TOP
+    state.const[lo], state.const[hi] = new_lo, new_hi
+
+
+def _swap_positions(state: AbstractState, a: int, b: int) -> None:
+    """Exchange positions ``a`` and ``b`` in the whole state."""
+    idx = np.arange(state.const.shape[0])
+    idx[a], idx[b] = b, a
+    state.const = state.const[idx]
+    state.le = state.le[np.ix_(idx, idx)]
+
+
+def _permute(state: AbstractState, mapping: np.ndarray) -> None:
+    """Move position ``p`` to ``mapping[p]`` (the register-model step)."""
+    n = state.const.shape[0]
+    const = np.empty_like(state.const)
+    const[mapping] = state.const
+    le = np.empty_like(state.le)
+    le[np.ix_(mapping, mapping)] = state.le
+    state.const = const
+    state.le = le
+    assert le.shape == (n, n)
+
+
+def _comparator_identity_kind(
+    state: AbstractState, gate: Gate
+) -> str | None:
+    """Classify a comparator as provably-identity, or return ``None``.
+
+    For a ``+`` gate on ``(a, b)`` (min to ``a``): identity iff the
+    value at ``a`` is already <= the value at ``b``; the constant cases
+    (``a`` holds 0, or ``b`` holds 1) are reported separately because
+    their fix-it reads differently.  ``-`` gates mirror.
+    """
+    if gate.op is Op.PLUS:
+        lo, hi = gate.a, gate.b
+    elif gate.op is Op.MINUS:
+        lo, hi = gate.b, gate.a
+    else:
+        return None
+    if state.const[lo] == 0 or state.const[hi] == 1:
+        return "redundant-constant"
+    if state.le[lo, hi]:
+        return "redundant-ordered"
+    return None
+
+
+def interpret(
+    network: ComparatorNetwork,
+    initial: AbstractState | None = None,
+) -> AbstractOutcome:
+    """Run the 0-1 abstract interpreter over a network.
+
+    Returns the provably-identity comparators, the provably-identity
+    levels, and the final abstract state.  With the default ``initial``
+    state (all inputs unknown) every reported fact holds for **all**
+    0-1 inputs, so deleting the flagged gates preserves every 0-1
+    output -- the soundness guarantee behind
+    :func:`repro.lint.fixes.apply`.
+
+    Cost: one ``O(n)`` NumPy row/column update per gate plus one
+    ``O(n^2)`` relabel per stage permutation.
+    """
+    n = network.n
+    state = initial.copy() if initial is not None else AbstractState.initial(n)
+    if state.const.shape[0] != n:
+        raise WireError(
+            f"initial state is for {state.const.shape[0]} wires, network has {n}"
+        )
+    outcome = AbstractOutcome(n=n)
+    for si, stage in enumerate(network.stages):
+        if stage.perm is not None:
+            _permute(state, stage.perm.mapping)
+        level_identity = len(stage.level) > 0
+        for gi, gate in enumerate(stage.level):
+            if gate.op is Op.NOP:
+                continue
+            if gate.op is Op.SWAP:
+                _swap_positions(state, gate.a, gate.b)
+                level_identity = False
+                continue
+            kind = _comparator_identity_kind(state, gate)
+            if kind is not None:
+                outcome.facts.append(
+                    GateFact(stage=si, gate_index=gi, gate=gate, kind=kind)
+                )
+            else:
+                level_identity = False
+            if gate.op is Op.PLUS:
+                _transfer_comparator(state, gate.a, gate.b)
+            else:
+                _transfer_comparator(state, gate.b, gate.a)
+        if level_identity:
+            outcome.identity_levels.append(si)
+    outcome.final = state
+    return outcome

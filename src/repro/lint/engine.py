@@ -1,0 +1,366 @@
+"""The lint engine: orchestrates parsing, shared passes, and rules.
+
+Two entry points:
+
+* :func:`lint_network` -- analyse an in-memory
+  :class:`~repro.networks.network.ComparatorNetwork` (or anything with a
+  ``to_network()`` method);
+* :func:`lint_document` -- leniently parse a serialised network document
+  (the :mod:`repro.networks.serialize` JSON format) so that *malformed
+  files become located diagnostics instead of stack traces*, then run
+  the semantic rules if the structure is sound.
+
+Shared passes (the 0-1 abstract interpretation, the never-compared
+witness scan, class recognition) are computed lazily and at most once
+per lint run via :class:`LintContext`, so every rule reads cached
+results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Sequence
+
+from ..errors import ReproError, TopologyError
+from ..networks.gates import Gate, Op
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork, Stage
+from ..networks.permutations import Permutation
+from .diagnostics import Diagnostic, Location, Severity
+from .report import LintReport
+from .rules import RULES, witness_scan
+
+__all__ = ["LintConfig", "LintContext", "lint_network", "lint_document"]
+
+_VALID_OPS = {op.value for op in Op}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunables for one lint run.
+
+    ``class_max_wires`` bounds the (comparatively expensive) class
+    recognition pass; ``abstract_max_wires`` bounds the ``O(size * n)``
+    abstract interpretation; ``witness_max_wires`` bounds the witness
+    scan.  ``select`` optionally restricts to rules whose id starts
+    with one of the given prefixes.  ``initial_bits`` optionally
+    constrains input wires to abstract constants (see
+    :class:`repro.lint.abstract.AbstractState`).
+    """
+
+    class_max_wires: int = 256
+    abstract_max_wires: int = 4096
+    witness_max_wires: int = 1 << 14
+    max_reported_per_rule: int = 8
+    select: tuple[str, ...] | None = None
+    initial_bits: Sequence[Any] | None = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True iff ``rule_id`` passes the ``select`` filter."""
+        if not self.select:
+            return True
+        return any(rule_id.startswith(prefix) for prefix in self.select)
+
+
+class LintContext:
+    """Lazily-computed shared state handed to every rule."""
+
+    def __init__(self, network: ComparatorNetwork, config: LintConfig):
+        self.network = network
+        self.config = config
+
+    @cached_property
+    def flattened(self) -> ComparatorNetwork:
+        """The network with stage permutations folded away."""
+        return self.network.flattened()
+
+    @cached_property
+    def abstract(self):
+        """The 0-1 abstract interpretation outcome (``None`` if skipped)."""
+        if self.network.n > self.config.abstract_max_wires:
+            return None
+        from .abstract import AbstractState, interpret
+
+        initial = None
+        if self.config.initial_bits is not None:
+            initial = AbstractState.initial(
+                self.network.n, bits=self.config.initial_bits
+            )
+        return interpret(self.network, initial=initial)
+
+    @cached_property
+    def witness(self) -> tuple[list[int], list[int]]:
+        """Cached :func:`repro.lint.rules.witness_scan` result."""
+        if self.network.n > self.config.witness_max_wires:
+            return [], []
+        return witness_scan(self.network)
+
+    @cached_property
+    def class_membership(self) -> tuple[str, Any]:
+        """Class recognition result as ``(kind, payload)``.
+
+        Kinds: ``"ok"`` (payload is the recognised
+        :class:`~repro.networks.delta.IteratedReverseDeltaNetwork`),
+        ``"fail"`` (payload is the :class:`~repro.errors.TopologyError`
+        carrying level/gate location), ``"not-power-of-two"``, and
+        ``"skipped"`` (payload is a human-readable reason).
+        """
+        n = self.network.n
+        if n & (n - 1) or n < 1:
+            return ("not-power-of-two", None)
+        if n > self.config.class_max_wires:
+            return (
+                "skipped",
+                f"class analysis skipped: n = {n} exceeds class_max_wires = "
+                f"{self.config.class_max_wires}",
+            )
+        from ..core.attack import recognize_iterated_rdn
+
+        try:
+            return ("ok", recognize_iterated_rdn(self.network))
+        except TopologyError as exc:
+            return ("fail", exc)
+
+
+def _coerce_network(obj: Any) -> ComparatorNetwork:
+    """Accept a network or anything exposing ``to_network()``."""
+    if isinstance(obj, ComparatorNetwork):
+        return obj
+    to_network = getattr(obj, "to_network", None)
+    if callable(to_network):
+        return to_network()
+    raise ReproError(f"cannot lint objects of type {type(obj).__name__}")
+
+
+def lint_network(
+    network: Any,
+    *,
+    target: str = "",
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Run every enabled rule over a network and return the report.
+
+    ``network`` may be a :class:`~repro.networks.network.
+    ComparatorNetwork` or any object with a ``to_network()`` method
+    (reverse delta trees, iterated networks, register programs).
+    """
+    net = _coerce_network(network)
+    cfg = config or LintConfig()
+    ctx = LintContext(net, cfg)
+    diagnostics: list[Diagnostic] = []
+    for rule in RULES.values():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        diagnostics.extend(rule.check(ctx))
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return LintReport(
+        target=target or repr(net),
+        n=net.n,
+        depth=net.depth,
+        size=net.size,
+        diagnostics=diagnostics,
+        network=net,
+    )
+
+
+# ---------------------------------------------------------------------------
+# lenient document linting
+
+
+def _parse_diag(rule: str, message: str, **loc: Any) -> Diagnostic:
+    """Shorthand for a parse-stage error diagnostic."""
+    return Diagnostic(
+        rule=rule,
+        severity=Severity.ERROR,
+        message=message,
+        location=Location(**loc),
+    )
+
+
+def _lint_raw_stage(
+    si: int, entry: Any, n: int, diagnostics: list[Diagnostic]
+) -> Stage | None:
+    """Validate one raw stage entry, emitting located diagnostics.
+
+    Returns the constructed :class:`Stage` when clean, else ``None``.
+    """
+    if not isinstance(entry, dict) or not isinstance(entry.get("gates"), list):
+        diagnostics.append(
+            _parse_diag(
+                "parse/stage-malformed",
+                "stage entry must be an object with a 'gates' list",
+                stage=si,
+            )
+        )
+        return None
+    gates: list[Gate] = []
+    seen_wires: dict[int, int] = {}
+    ok = True
+    for gi, item in enumerate(entry["gates"]):
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 3
+            or not all(isinstance(x, int) for x in item[:2])
+            or not isinstance(item[2], str)
+        ):
+            diagnostics.append(
+                _parse_diag(
+                    "parse/gate-malformed",
+                    f"gate entry {item!r} is not a [wire, wire, op] triple",
+                    stage=si,
+                    comparator=gi,
+                )
+            )
+            ok = False
+            continue
+        a, b, op = item
+        if op not in _VALID_OPS:
+            diagnostics.append(
+                _parse_diag(
+                    "parse/gate-malformed",
+                    f"unknown gate op {op!r}; expected one of '+', '-', '0', '1'",
+                    stage=si,
+                    comparator=gi,
+                )
+            )
+            ok = False
+            continue
+        if a == b or a < 0 or b < 0 or a >= n or b >= n:
+            diagnostics.append(
+                _parse_diag(
+                    "parse/wire-range",
+                    f"gate endpoints ({a}, {b}) must be distinct wires in "
+                    f"[0, {n})",
+                    stage=si,
+                    comparator=gi,
+                    wires=(a, b),
+                )
+            )
+            ok = False
+            continue
+        for w in (a, b):
+            if w in seen_wires:
+                diagnostics.append(
+                    _parse_diag(
+                        "parse/duplicate-wire",
+                        f"wire {w} is touched by gates {seen_wires[w]} and "
+                        f"{gi} of the same level; level gates must act on "
+                        "disjoint wires",
+                        stage=si,
+                        comparator=gi,
+                        wires=(w,),
+                    )
+                )
+                ok = False
+        if ok:
+            seen_wires[a] = gi
+            seen_wires[b] = gi
+            gates.append(Gate(a, b, Op.from_str(op)))
+    perm = None
+    if "perm" in entry:
+        raw_perm = entry["perm"]
+        if (
+            not isinstance(raw_perm, list)
+            or len(raw_perm) != n
+            or not all(isinstance(x, int) for x in raw_perm)
+            or sorted(raw_perm) != list(range(n))
+        ):
+            diagnostics.append(
+                _parse_diag(
+                    "parse/bad-permutation",
+                    f"stage permutation is not a bijection on range({n})",
+                    stage=si,
+                )
+            )
+            ok = False
+        else:
+            perm = Permutation(raw_perm)
+    if not ok:
+        return None
+    return Stage(level=Level(gates), perm=perm)
+
+
+def lint_document(
+    document: str | dict[str, Any],
+    *,
+    target: str = "",
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint a serialised network document, leniently.
+
+    Structural problems (malformed gates, out-of-range wires, two gates
+    sharing a wire in one level, invalid stage permutations, bad
+    version envelopes) become located ``parse/*`` diagnostics rather
+    than exceptions.  If -- and only if -- the document is structurally
+    sound, the semantic rule set of :func:`lint_network` runs on the
+    reconstructed network.
+    """
+    from ..networks import serialize
+
+    cfg = config or LintConfig()
+
+    def failed(diags: list[Diagnostic]) -> LintReport:
+        diags.sort(key=lambda d: d.sort_key)
+        return LintReport(
+            target=target or "<document>",
+            n=0,
+            depth=0,
+            size=0,
+            diagnostics=diags,
+        )
+
+    if isinstance(document, str):
+        try:
+            doc = json.loads(document)
+        except json.JSONDecodeError as exc:
+            return failed([_parse_diag("parse/json", f"invalid JSON: {exc}")])
+    else:
+        doc = document
+    if not isinstance(doc, dict) or doc.get("version") != serialize.FORMAT_VERSION:
+        return failed(
+            [
+                _parse_diag(
+                    "parse/version",
+                    "document must be an object with version = "
+                    f"{serialize.FORMAT_VERSION}",
+                )
+            ]
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        return failed([_parse_diag("parse/structure", "missing payload object")])
+    kind = payload.get("kind")
+    if kind != "network":
+        # tree-shaped kinds have no lenient form; deserialise strictly
+        try:
+            obj = serialize.loads(json.dumps(doc))
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            return failed(
+                [
+                    _parse_diag(
+                        "parse/structure",
+                        f"cannot deserialise payload kind {kind!r}: {exc}",
+                    )
+                ]
+            )
+        return lint_network(obj, target=target, config=cfg)
+    n = payload.get("n")
+    if not isinstance(n, int) or n < 1:
+        return failed(
+            [_parse_diag("parse/structure", f"invalid wire count n = {n!r}")]
+        )
+    raw_stages = payload.get("stages")
+    if not isinstance(raw_stages, list):
+        return failed([_parse_diag("parse/structure", "'stages' must be a list")])
+    diagnostics: list[Diagnostic] = []
+    stages: list[Stage] = []
+    for si, entry in enumerate(raw_stages):
+        stage = _lint_raw_stage(si, entry, n, diagnostics)
+        if stage is not None:
+            stages.append(stage)
+    if diagnostics:
+        return failed(diagnostics)
+    net = ComparatorNetwork(n, stages)
+    return lint_network(net, target=target, config=cfg)

@@ -1,0 +1,74 @@
+"""Applying fix-its: behaviour-preserving network repairs.
+
+:func:`apply` consumes the :class:`~repro.lint.diagnostics.FixIt`
+records attached to diagnostics (today: deletions of provably-identity
+comparators found by :mod:`repro.lint.abstract`) and rebuilds the
+network without the flagged gates.
+
+Soundness
+---------
+A gate is only flagged when the abstract interpreter proves it is the
+identity *in the original network's state at that point*, for every
+admitted 0-1 input.  Removing an identity gate leaves every
+intermediate state of every such input unchanged, so all remaining
+flagged gates stay identities -- deletions compose, and the repaired
+network's output agrees with the original on **every 0-1 input**.  By
+the threshold argument behind the 0-1 principle (a violation on an
+arbitrary input yields a violating 0-1 input), agreement extends to all
+inputs.  The Hypothesis property test in ``tests/lint/test_fixes.py``
+checks the 0-1 guarantee exhaustively for n <= 16.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import WireError
+from ..networks.level import Level
+from ..networks.network import ComparatorNetwork, Stage
+from .diagnostics import Diagnostic
+
+__all__ = ["apply", "removal_set"]
+
+
+def removal_set(diagnostics: Iterable[Diagnostic]) -> set[tuple[int, int]]:
+    """The union of ``(stage, gate)`` removals over all fix-its."""
+    removals: set[tuple[int, int]] = set()
+    for diag in diagnostics:
+        if diag.fix is not None:
+            removals.update(diag.fix.removals)
+    return removals
+
+
+def apply(
+    network: ComparatorNetwork, diagnostics: Iterable[Diagnostic]
+) -> ComparatorNetwork:
+    """Delete every gate named by a fix-it; return the repaired network.
+
+    Diagnostics without a fix are ignored; an identical network object
+    semantics (stage permutations, gate order of the survivors) is
+    preserved.  Raises :class:`~repro.errors.WireError` if a removal
+    refers to a gate that does not exist -- fix-its must come from a
+    lint run over this very network.
+    """
+    removals = removal_set(diagnostics)
+    if not removals:
+        return network
+    valid = {
+        (si, gi)
+        for si, stage in enumerate(network.stages)
+        for gi in range(len(stage.level))
+    }
+    unknown = removals - valid
+    if unknown:
+        raise WireError(
+            f"fix-it removals {sorted(unknown)} do not name gates of this "
+            "network"
+        )
+    stages = []
+    for si, stage in enumerate(network.stages):
+        gates = [
+            g for gi, g in enumerate(stage.level) if (si, gi) not in removals
+        ]
+        stages.append(Stage(level=Level(gates), perm=stage.perm))
+    return ComparatorNetwork(network.n, stages)

@@ -1,0 +1,581 @@
+"""The lint rule catalog: registry, rule implementations, helpers.
+
+Each rule is a pure function from a :class:`~repro.lint.engine.LintContext`
+to an iterable of :class:`~repro.lint.diagnostics.Diagnostic` records,
+registered under a stable ``category/name`` id via :func:`lint_rule`.
+Categories:
+
+``structural/*``
+    Wire coverage, final-level direction sanity, empty levels, exchange
+    elements.  (In-level duplicate/overlapping comparators and invalid
+    permutation layers are reported by the document parser in
+    :mod:`repro.lint.engine` under ``parse/*`` ids, because constructed
+    :class:`~repro.networks.level.Level` objects already reject them.)
+``abstract/*``
+    Findings of the 0-1 abstract interpreter
+    (:mod:`repro.lint.abstract`): provably-redundant comparators,
+    constant-fed comparators, identity levels, and -- when the weak
+    domain suffices -- a positive sorting proof.
+``class/*``
+    Membership of the paper's shuffle-based class (Definition 3.4),
+    re-expressing :func:`repro.core.attack.recognize_iterated_rdn` as
+    diagnostics that name the offending level/comparator.
+``budget/*``
+    Depth/size prerequisites checked against :mod:`repro.core.bounds`,
+    including the static Corollary 4.1.1 refutation.
+``witness/*``
+    The never-compared-pair pass: adjacent input wires that no
+    execution path can ever compare -- the degenerate, zero-cost case
+    of the paper's noncolliding sets -- each of which certifies a
+    fooling pair without running the adversary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..core import bounds
+from ..networks.gates import Op
+from ..networks.network import ComparatorNetwork
+from .diagnostics import Diagnostic, FixIt, Location, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import LintContext
+
+__all__ = [
+    "LintRule",
+    "RULES",
+    "lint_rule",
+    "corollary_4_1_1_refutes",
+    "witness_scan",
+]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: id, default severity, summary, checker."""
+
+    id: str
+    severity: Severity
+    summary: str
+    check: Callable[["LintContext"], Iterable[Diagnostic]]
+
+
+#: The global registry, keyed by rule id, in registration order.
+RULES: dict[str, LintRule] = {}
+
+
+def lint_rule(
+    rule_id: str, severity: Severity, summary: str
+) -> Callable[[Callable[["LintContext"], Iterable[Diagnostic]]], Callable]:
+    """Decorator registering a rule function under ``rule_id``."""
+
+    def register(fn: Callable[["LintContext"], Iterable[Diagnostic]]) -> Callable:
+        RULES[rule_id] = LintRule(
+            id=rule_id, severity=severity, summary=summary, check=fn
+        )
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# shared passes
+
+
+def witness_scan(
+    network: ComparatorNetwork,
+) -> tuple[list[int], list[int]]:
+    """The never-compared static pass over the comparison graph.
+
+    Tracks, per input wire, the set of positions its value might occupy
+    (an over-approximation, so "never" findings are certain), and marks
+    every adjacent input-wire pair whose values might meet at some
+    comparator.  Returns ``(uncompared_wires, never_pair_starts)``:
+    input wires whose value never reaches any comparator, and wire
+    indices ``i`` such that the values entering on ``i`` and ``i + 1``
+    can never be compared.
+
+    Cost: ``O(n)`` vector work per gate -- linear in network size.
+    """
+    n = network.n
+    reach = np.eye(n, dtype=bool)
+    adjacent_met = np.zeros(max(n - 1, 0), dtype=bool)
+    compared_any = np.zeros(n, dtype=bool)
+    for stage in network.stages:
+        if stage.perm is not None:
+            moved = np.empty_like(reach)
+            moved[:, stage.perm.mapping] = reach
+            reach = moved
+        for gate in stage.level:
+            if gate.op is Op.NOP:
+                continue
+            if gate.op is Op.SWAP:
+                reach[:, [gate.a, gate.b]] = reach[:, [gate.b, gate.a]]
+                continue
+            ra = reach[:, gate.a].copy()
+            rb = reach[:, gate.b]
+            compared_any |= ra
+            compared_any |= rb
+            if n > 1:
+                adjacent_met |= (ra[:-1] & rb[1:]) | (rb[:-1] & ra[1:])
+            both = ra | rb
+            reach[:, gate.a] = both
+            reach[:, gate.b] = both
+    uncompared = np.nonzero(~compared_any)[0].tolist()
+    never = np.nonzero(~adjacent_met)[0].tolist()
+    return uncompared, never
+
+
+def corollary_4_1_1_refutes(n: int, blocks: int) -> bool:
+    """True iff Corollary 4.1.1 statically refutes sorting.
+
+    A ``(d, lg n)``-iterated reverse delta network with ``d = blocks``
+    at most :func:`repro.core.bounds.max_safe_blocks` cannot sort: the
+    special set provably retains ``|D| >= n / lg^{4d} n > 1`` wires, so
+    a fooling pair exists.  Requires ``n >= 8`` (below that the bound
+    never bites).
+    """
+    if n < 8 or blocks < 1:
+        return False
+    return blocks <= bounds.max_safe_blocks(n)
+
+
+# ---------------------------------------------------------------------------
+# structural rules
+
+
+@lint_rule(
+    "structural/uncompared-wire",
+    Severity.ERROR,
+    "an input wire whose value never reaches any comparator",
+)
+def check_uncompared_wires(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Wire coverage: every input must be compared at least once."""
+    if ctx.network.n < 2:
+        return
+    uncompared, _ = ctx.witness
+    for w in uncompared:
+        yield Diagnostic(
+            rule="structural/uncompared-wire",
+            severity=Severity.ERROR,
+            message=(
+                f"the value entering on wire {w} is never compared; "
+                "exchanging it with any other input value cannot be "
+                "detected, so the network cannot sort"
+            ),
+            location=Location(wires=(w,)),
+        )
+
+
+@lint_rule(
+    "structural/descending-final",
+    Severity.WARNING,
+    "final comparator level sends the larger value to the lower wire",
+)
+def check_descending_final(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Monotone-gate sanity on the last comparator level.
+
+    Only checked when flattening leaves no residual output permutation
+    (otherwise a trailing relabelling could legitimately reorder).
+    """
+    flat = ctx.flattened
+    stages = flat.stages
+    if stages and stages[-1].perm is not None:
+        return
+    last = None
+    for si in range(len(stages) - 1, -1, -1):
+        if stages[si].level.comparator_count:
+            last = si
+            break
+    if last is None:
+        return
+    for gi, gate in enumerate(stages[last].level):
+        if not gate.is_comparator:
+            continue
+        norm = gate.normalized()
+        descending = (gate.op is Op.PLUS and gate.a > gate.b) or (
+            gate.op is Op.MINUS and gate.a < gate.b
+        )
+        if descending:
+            yield Diagnostic(
+                rule="structural/descending-final",
+                severity=Severity.WARNING,
+                message=(
+                    f"final-level comparator {gate} sends the larger value "
+                    f"to the lower output position {min(norm.wires)}; an "
+                    "ascending sorter cannot end with a descending compare"
+                ),
+                location=Location(stage=last, comparator=gi, wires=gate.wires),
+            )
+
+
+@lint_rule(
+    "structural/empty-level",
+    Severity.INFO,
+    "a level with no gates and no permutation",
+)
+def check_empty_levels(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Empty do-nothing stages (padding artifacts) are worth surfacing."""
+    for si, stage in enumerate(ctx.network.stages):
+        if len(stage.level) == 0 and (
+            stage.perm is None or stage.perm.is_identity
+        ):
+            yield Diagnostic(
+                rule="structural/empty-level",
+                severity=Severity.INFO,
+                message="level contains no gates and moves no data",
+                location=Location(stage=si),
+            )
+
+
+@lint_rule(
+    "structural/exchange-element",
+    Severity.INFO,
+    "unconditional exchange (`1`) elements present",
+)
+def check_exchange_elements(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Exchanges route but never compare (Definition 3.6) -- note them."""
+    count = sum(
+        1 for _, g in ctx.network.all_gates() if g.op is Op.SWAP
+    )
+    if count:
+        yield Diagnostic(
+            rule="structural/exchange-element",
+            severity=Severity.INFO,
+            message=(
+                f"network contains {count} unconditional exchange "
+                "element(s); exchanges move values but never compare them "
+                "(Definition 3.6), so they add depth without collisions"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# abstract-interpretation rules
+
+
+def _fact_diagnostic(fact, rule: str, message: str) -> Diagnostic:
+    """Build the diagnostic (with fix-it) for one interpreter fact."""
+    return Diagnostic(
+        rule=rule,
+        severity=Severity.WARNING,
+        message=message,
+        location=Location(
+            stage=fact.stage, comparator=fact.gate_index, wires=fact.gate.wires
+        ),
+        fix=FixIt(
+            description=(
+                f"delete gate {fact.gate} from stage {fact.stage}; behaviour "
+                "on every 0-1 input (hence every input) is unchanged"
+            ),
+            removals=((fact.stage, fact.gate_index),),
+        ),
+    )
+
+
+@lint_rule(
+    "abstract/redundant-comparator",
+    Severity.WARNING,
+    "comparator whose inputs are provably already ordered",
+)
+def check_redundant_comparators(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Redundant comparators found by the 0-1 abstract interpreter."""
+    outcome = ctx.abstract
+    if outcome is None:
+        return
+    for fact in outcome.facts:
+        if fact.kind != "redundant-ordered":
+            continue
+        yield _fact_diagnostic(
+            fact,
+            "abstract/redundant-comparator",
+            (
+                f"comparator {fact.gate} is provably redundant: on every "
+                "0-1 input its operands already arrive in the gate's "
+                "output order"
+            ),
+        )
+
+
+@lint_rule(
+    "abstract/constant-comparator",
+    Severity.WARNING,
+    "comparator made the identity by a constant input",
+)
+def check_constant_comparators(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Dead comparators: a constant operand forces identity behaviour.
+
+    With the default (unconstrained) entry state this cannot fire; it
+    reports findings when linting under a constrained abstract input
+    (:class:`repro.lint.engine.LintConfig.initial_bits`).
+    """
+    outcome = ctx.abstract
+    if outcome is None:
+        return
+    for fact in outcome.facts:
+        if fact.kind != "redundant-constant":
+            continue
+        yield _fact_diagnostic(
+            fact,
+            "abstract/constant-comparator",
+            (
+                f"comparator {fact.gate} is dead: a constant operand makes "
+                "it the identity on every admitted 0-1 input"
+            ),
+        )
+
+
+@lint_rule(
+    "abstract/identity-level",
+    Severity.INFO,
+    "a level that is provably the identity",
+)
+def check_identity_levels(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Levels whose every element provably does nothing."""
+    outcome = ctx.abstract
+    if outcome is None:
+        return
+    for si in outcome.identity_levels:
+        yield Diagnostic(
+            rule="abstract/identity-level",
+            severity=Severity.INFO,
+            message=(
+                "every element of this level is provably the identity on "
+                "all 0-1 inputs"
+            ),
+            location=Location(stage=si),
+        )
+
+
+@lint_rule(
+    "abstract/proven-sorting",
+    Severity.INFO,
+    "the abstract interpreter proves the network sorts",
+)
+def check_proven_sorting(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Positive proof: output provably sorted on every 0-1 input.
+
+    Sound but weak -- succeeds only when sortedness follows from the
+    min/max algebra alone.
+    """
+    outcome = ctx.abstract
+    if outcome is not None and outcome.proves_sorting():
+        yield Diagnostic(
+            rule="abstract/proven-sorting",
+            severity=Severity.INFO,
+            message=(
+                "output positions are provably nondecreasing on every 0-1 "
+                "input: this IS a sorting network (0-1 principle)"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# class-membership rules
+
+
+@lint_rule(
+    "class/not-power-of-two",
+    Severity.INFO,
+    "wire count outside the shuffle-based class",
+)
+def check_power_of_two(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """The paper's class needs ``n = 2^l``; note when that fails."""
+    kind, _ = ctx.class_membership
+    if kind == "not-power-of-two":
+        yield Diagnostic(
+            rule="class/not-power-of-two",
+            severity=Severity.INFO,
+            message=(
+                f"n = {ctx.network.n} is not a power of two, so the "
+                "shuffle-based class (Definition 3.4) and the paper's "
+                "lower bound do not apply"
+            ),
+        )
+
+
+@lint_rule(
+    "class/membership",
+    Severity.INFO,
+    "network recognised as an iterated reverse delta network",
+)
+def check_class_membership(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Positive membership: the Theorem 4.1 adversary applies."""
+    kind, payload = ctx.class_membership
+    if kind == "ok":
+        n = ctx.network.n
+        yield Diagnostic(
+            rule="class/membership",
+            severity=Severity.INFO,
+            message=(
+                f"recognised as a ({payload.k}, {int(math.log2(n))})-iterated "
+                "reverse delta network; the paper's Theorem 4.1 adversary "
+                "applies"
+            ),
+        )
+    elif kind == "skipped":
+        yield Diagnostic(
+            rule="class/membership",
+            severity=Severity.INFO,
+            message=str(payload),
+        )
+
+
+@lint_rule(
+    "class/out-of-class",
+    Severity.INFO,
+    "network falls outside the iterated reverse delta class",
+)
+def check_out_of_class(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Precise out-of-class reporting: which level/comparator breaks it.
+
+    Informational, not a defect: the lower bound simply does not speak
+    about such networks (e.g. the odd-even merge sorter).
+    """
+    kind, exc = ctx.class_membership
+    if kind != "fail":
+        return
+    location = Location()
+    gate = getattr(exc, "gate", None)
+    level = getattr(exc, "level", None)
+    if gate is not None or level is not None:
+        location = Location(
+            stage=level, wires=tuple(gate.wires) if gate is not None else ()
+        )
+    yield Diagnostic(
+        rule="class/out-of-class",
+        severity=Severity.INFO,
+        message=(
+            "outside the iterated reverse delta class, so the paper's "
+            f"lower bound does not apply: {exc}"
+        ),
+        location=location,
+    )
+
+
+# ---------------------------------------------------------------------------
+# budget rules
+
+
+@lint_rule(
+    "budget/depth",
+    Severity.ERROR,
+    "comparator depth below the fan-in floor ceil(lg n)",
+)
+def check_depth_budget(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Each output depends on all inputs; depth doubles the cone."""
+    net = ctx.network
+    if net.n < 2:
+        return
+    need = math.ceil(math.log2(net.n))
+    have = net.comparator_depth
+    if have < need:
+        yield Diagnostic(
+            rule="budget/depth",
+            severity=Severity.ERROR,
+            message=(
+                f"comparator depth {have} < ceil(lg n) = {need}: an output "
+                "position can depend on at most 2^depth inputs, so the "
+                "network statically cannot sort"
+            ),
+        )
+
+
+@lint_rule(
+    "budget/size",
+    Severity.ERROR,
+    "fewer comparators than the n-1 certification floor",
+)
+def check_size_budget(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Every adjacent value pair must meet at a comparator."""
+    net = ctx.network
+    if net.n < 2:
+        return
+    if net.size < net.n - 1:
+        yield Diagnostic(
+            rule="budget/size",
+            severity=Severity.ERROR,
+            message=(
+                f"only {net.size} comparators < n - 1 = {net.n - 1}: "
+                "sorting must compare each of the n - 1 adjacent value "
+                "pairs at least once, so the network statically cannot sort"
+            ),
+        )
+
+
+@lint_rule(
+    "budget/class-depth",
+    Severity.ERROR,
+    "too few blocks for an in-class network (Corollary 4.1.1)",
+)
+def check_class_depth_budget(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """The paper's static refutation, without running the adversary."""
+    kind, payload = ctx.class_membership
+    if kind != "ok":
+        return
+    n = ctx.network.n
+    d = payload.k
+    if corollary_4_1_1_refutes(n, d):
+        lower = bounds.depth_lower_bound(n)
+        yield Diagnostic(
+            rule="budget/class-depth",
+            severity=Severity.ERROR,
+            message=(
+                f"a ({d}, lg n)-iterated reverse delta network with "
+                f"d = {d} <= {bounds.max_safe_blocks(n)} blocks statically "
+                "cannot sort (Corollary 4.1.1: the special set retains "
+                f"|D| >= n/lg^{{4d}} n > 1); sorting needs depth > "
+                f"lg^2 n / (4 lg lg n) = {lower:.1f}"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# witness rule
+
+
+@lint_rule(
+    "witness/never-compared-pair",
+    Severity.ERROR,
+    "adjacent input wires that can never be compared",
+)
+def check_never_compared_pairs(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """The degenerate noncolliding set: a free non-sorting certificate.
+
+    If the values entering on wires ``i`` and ``i + 1`` can never meet
+    at a comparator, feeding them adjacent values ``u`` and ``u + 1``
+    (all other wires distinct values outside ``(u, u + 1)``) yields two
+    inputs whose outputs cannot both be sorted -- exactly the paper's
+    noncolliding-set argument with a set of size two.
+    """
+    if ctx.network.n < 2:
+        return
+    uncompared, never = ctx.witness
+    skip = set(uncompared)
+    pairs = [i for i in never if i not in skip and i + 1 not in skip]
+    cap = ctx.config.max_reported_per_rule
+    for i in pairs[:cap]:
+        yield Diagnostic(
+            rule="witness/never-compared-pair",
+            severity=Severity.ERROR,
+            message=(
+                f"the values entering on wires {i} and {i + 1} can never "
+                "meet at a comparator on any execution path: a noncolliding "
+                "pair, so a fooling input exists and the network cannot sort"
+            ),
+            location=Location(wires=(i, i + 1)),
+        )
+    if len(pairs) > cap:
+        yield Diagnostic(
+            rule="witness/never-compared-pair",
+            severity=Severity.ERROR,
+            message=(
+                f"{len(pairs) - cap} further never-compared adjacent pairs "
+                "suppressed (raise max_reported_per_rule to see all)"
+            ),
+        )

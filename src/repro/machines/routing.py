@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from .._util import ilog2, require_power_of_two
 from ..errors import RoutingError

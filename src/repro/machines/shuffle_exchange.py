@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-import numpy as np
 
 from .._util import ilog2, require_power_of_two, rotate_left, rotate_right
 from ..errors import MachineError

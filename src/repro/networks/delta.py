@@ -35,11 +35,11 @@ Definition 3.4.
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator
 
-from .._util import ilog2, require_power_of_two
+from .._util import require_power_of_two
 from ..errors import TopologyError, WireError
-from .gates import Gate, Op
+from .gates import Gate
 from .level import Level
 from .network import ComparatorNetwork, Stage
 from .permutations import Permutation

@@ -98,7 +98,7 @@ def to_dot(net: ComparatorNetwork, name: str = "network") -> str:
 
     for w in range(n):
         chain = " -> ".join(node(w, s) for s in range(depth + 1))
-        lines.append(f"  {{ rank=same; }}")
+        lines.append("  { rank=same; }")
         lines.append(f"  {chain} [weight=10, color=gray];")
     for si, stage in enumerate(net.stages):
         if stage.perm is not None and not stage.perm.is_identity:

@@ -28,7 +28,7 @@ import numpy as np
 
 from .._util import as_int_array
 from ..errors import WireError
-from .gates import Gate, Op
+from .gates import Gate
 from .level import Level
 from .permutations import Permutation
 

@@ -20,6 +20,8 @@ from .permutations import Permutation
 from .registers import RegisterProgram, RegisterStep
 
 __all__ = [
+    "gate_to_json",
+    "gate_from_json",
     "network_to_json",
     "network_from_json",
     "rdn_to_json",
@@ -28,6 +30,7 @@ __all__ = [
     "iterated_from_json",
     "program_to_json",
     "program_from_json",
+    "payload_of",
     "dumps",
     "loads",
 ]
@@ -35,13 +38,20 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def _gate_to_json(g: Gate) -> list[Any]:
+def gate_to_json(g: Gate) -> list[Any]:
+    """Serialise one gate as the ``[a, b, op]`` triple."""
     return [g.a, g.b, g.op.value]
 
 
-def _gate_from_json(item: list[Any]) -> Gate:
+def gate_from_json(item: list[Any]) -> Gate:
+    """Deserialise one ``[a, b, op]`` triple."""
     a, b, op = item
     return Gate(int(a), int(b), Op.from_str(op))
+
+
+# backwards-compatible private aliases
+_gate_to_json = gate_to_json
+_gate_from_json = gate_from_json
 
 
 def network_to_json(net: ComparatorNetwork) -> dict[str, Any]:
@@ -163,12 +173,27 @@ def dumps(obj: Any, indent: int | None = None) -> str:
     raise ReproError(f"cannot serialise objects of type {type(obj).__name__}")
 
 
+def payload_of(doc: dict[str, Any]) -> dict[str, Any]:
+    """Unwrap the version envelope and return the payload dict.
+
+    Raises :class:`~repro.errors.ReproError` on a missing or mismatched
+    ``version`` tag or a non-object payload, without interpreting the
+    payload itself -- callers that want lenient, located validation of
+    the payload (``repro lint``) build on this.
+    """
+    if not isinstance(doc, dict) or doc.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"expected a document object with version = {FORMAT_VERSION}"
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise ReproError("document has no payload object")
+    return payload
+
+
 def loads(text: str) -> Any:
     """Inverse of :func:`dumps`."""
-    doc = json.loads(text)
-    if doc.get("version") != FORMAT_VERSION:
-        raise ReproError(f"unsupported format version {doc.get('version')!r}")
-    payload = doc["payload"]
+    payload = payload_of(json.loads(text))
     kind = payload.get("kind")
     if kind not in _DESERIALIZERS:
         raise ReproError(f"unknown payload kind {kind!r}")

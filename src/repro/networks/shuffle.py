@@ -25,7 +25,7 @@ from typing import Sequence
 from .._util import ilog2, require_power_of_two, rotate_left
 from ..errors import TopologyError
 from .delta import IteratedReverseDeltaNetwork, ReverseDeltaNetwork
-from .gates import Gate, Op
+from .gates import Op
 from .registers import RegisterProgram, RegisterStep
 from .builders import rdn_from_bit_order
 

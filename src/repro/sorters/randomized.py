@@ -35,7 +35,7 @@ import numpy as np
 
 from .._util import ilog2, require_power_of_two
 from ..errors import LevelConflictError, WireError
-from ..networks.gates import Gate, Op, exchange
+from ..networks.gates import exchange
 from ..networks.level import Level
 from ..networks.network import ComparatorNetwork, Stage
 

@@ -62,6 +62,34 @@ class TestRecognition:
         assert recognised.to_network().size == net.size
 
 
+class TestRecognitionDiagnostics:
+    def test_out_of_class_carries_diagnostics(self):
+        from repro.errors import LintError
+
+        with pytest.raises(TopologyError) as excinfo:
+            recognize_iterated_rdn(oddeven_merge_sorting_network(8))
+        exc = excinfo.value
+        assert isinstance(exc, LintError)
+        assert len(exc.diagnostics) == 1
+        diag = exc.diagnostics[0]
+        assert diag.rule == "class/out-of-class"
+        assert diag.severity.value == "error"
+        assert diag.location.stage == exc.level
+        assert exc.level is not None
+
+    def test_non_power_of_two_carries_diagnostics(self):
+        from repro.sorters.insertion import insertion_network
+
+        with pytest.raises(TopologyError) as excinfo:
+            recognize_iterated_rdn(insertion_network(6))
+        assert len(excinfo.value.diagnostics) == 1
+
+    def test_legacy_except_clauses_still_work(self):
+        """TopologyError remains catchable as ValueError (back compat)."""
+        with pytest.raises(ValueError):
+            recognize_iterated_rdn(oddeven_merge_sorting_network(8))
+
+
 class TestAttack:
     def test_attack_truncated_bitonic_circuit(self, rng):
         n = 16

@@ -1,0 +1,141 @@
+"""Tests for the 0-1 abstract interpreter (lattice, transfer, soundness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import WireError
+from repro.lint.abstract import (
+    AbstractBit,
+    AbstractOutcome,
+    AbstractState,
+    interpret,
+)
+from repro.networks.gates import Gate, Op, comparator
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+
+from ..strategies import circuits
+
+
+def all_zero_one_inputs(n: int) -> np.ndarray:
+    """All 2^n binary vectors as a (2^n, n) array."""
+    return (np.arange(1 << n)[:, None] >> np.arange(n)) & 1
+
+
+class TestLattice:
+    def test_join(self):
+        assert AbstractBit.ZERO.join(AbstractBit.ZERO) is AbstractBit.ZERO
+        assert AbstractBit.ZERO.join(AbstractBit.ONE) is AbstractBit.TOP
+        assert AbstractBit.BOTTOM.join(AbstractBit.ONE) is AbstractBit.ONE
+        assert AbstractBit.TOP.join(AbstractBit.ZERO) is AbstractBit.TOP
+
+    def test_meet(self):
+        assert AbstractBit.ONE.meet(AbstractBit.ONE) is AbstractBit.ONE
+        assert AbstractBit.ZERO.meet(AbstractBit.ONE) is AbstractBit.BOTTOM
+        assert AbstractBit.TOP.meet(AbstractBit.ZERO) is AbstractBit.ZERO
+
+    def test_order(self):
+        assert AbstractBit.BOTTOM <= AbstractBit.ZERO <= AbstractBit.TOP
+        assert not (AbstractBit.ZERO <= AbstractBit.ONE)
+        assert not (AbstractBit.ONE <= AbstractBit.ZERO)
+
+
+class TestState:
+    def test_initial_unconstrained(self):
+        s = AbstractState.initial(4)
+        assert all(s.bit(p) is AbstractBit.TOP for p in range(4))
+        assert s.knows_le(2, 2)
+        assert not s.knows_le(0, 1)
+
+    def test_constant_seeding(self):
+        s = AbstractState.initial(4, bits=[0, None, 1, None])
+        assert s.bit(0) is AbstractBit.ZERO
+        assert s.bit(2) is AbstractBit.ONE
+        # 0 <= anything, anything <= 1 -- but never 1 <= 0
+        assert s.knows_le(0, 1) and s.knows_le(0, 3)
+        assert s.knows_le(1, 2) and s.knows_le(3, 2)
+        assert s.knows_le(0, 2)
+        assert not s.knows_le(2, 0)
+
+    def test_sorted_input_chain(self):
+        s = AbstractState.initial(5, sorted_input=True)
+        assert s.is_sorted_chain()
+        assert s.knows_le(0, 4)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(WireError):
+            AbstractState.initial(3, bits=[0, 1])
+        with pytest.raises(WireError):
+            AbstractState.initial(2, bits=["x", 0])
+
+    def test_copy_is_independent(self):
+        s = AbstractState.initial(3)
+        c = s.copy()
+        c.le[0, 1] = True
+        assert not s.knows_le(0, 1)
+
+
+class TestInterpret:
+    def test_single_comparator_proves_sorting(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)])])
+        outcome = interpret(net)
+        assert isinstance(outcome, AbstractOutcome)
+        assert outcome.proves_sorting()
+        assert outcome.facts == []
+
+    def test_repeated_comparator_flagged(self):
+        net = ComparatorNetwork(
+            2, [Level([comparator(0, 1)]), Level([comparator(0, 1)])]
+        )
+        outcome = interpret(net)
+        assert len(outcome.facts) == 1
+        fact = outcome.facts[0]
+        assert fact.stage == 1 and fact.gate_index == 0
+        assert fact.kind == "redundant-ordered"
+        assert outcome.identity_levels == [1]
+
+    def test_constant_input_kills_comparator(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)])])
+        initial = AbstractState.initial(2, bits=[0, None])
+        outcome = interpret(net, initial=initial)
+        assert len(outcome.facts) == 1
+        assert outcome.facts[0].kind == "redundant-constant"
+
+    def test_bitonic_has_no_redundant_gates(self):
+        outcome = interpret(bitonic_sorting_network(16))
+        assert outcome.facts == []
+
+    def test_swap_moves_facts(self):
+        # order (0,1), swap them, then the reversed comparator is redundant
+        net = ComparatorNetwork(
+            2,
+            [
+                Level([comparator(0, 1)]),
+                Level([Gate(0, 1, Op.SWAP)]),
+                Level([Gate(0, 1, Op.MINUS)]),  # max to 0: same as before swap
+            ],
+        )
+        outcome = interpret(net)
+        assert [f.stage for f in outcome.facts] == [2]
+
+    def test_wrong_initial_size_rejected(self):
+        net = ComparatorNetwork(4, [])
+        with pytest.raises(WireError):
+            interpret(net, initial=AbstractState.initial(3))
+
+    @given(circuits(min_n=2, max_n=8, max_depth=6))
+    @settings(max_examples=40, deadline=None)
+    def test_final_facts_sound_on_all_zero_one_inputs(self, net):
+        """Every claimed <=-fact and constant holds on every 0-1 input."""
+        outcome = interpret(net)
+        final = outcome.final
+        outs = net.evaluate_batch(all_zero_one_inputs(net.n))
+        le = final.le
+        for p in range(net.n):
+            for q in range(net.n):
+                if le[p, q]:
+                    assert (outs[:, p] <= outs[:, q]).all()
+        if outcome.proves_sorting():
+            assert (np.diff(outs, axis=1) >= 0).all()

@@ -1,0 +1,177 @@
+"""Tests for the lint engine: orchestration, documents, reports."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lint import (
+    LintConfig,
+    LintContext,
+    Severity,
+    lint_document,
+    lint_network,
+)
+from repro.networks import serialize
+from repro.networks.builders import bitonic_iterated_rdn
+from repro.networks.gates import comparator
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+class TestLintNetwork:
+    def test_bitonic_16_has_zero_errors(self):
+        report = lint_network(bitonic_sorting_network(16), target="bitonic")
+        assert report.target == "bitonic"
+        assert (report.n, report.depth, report.size) == (16, 10, 80)
+        assert not report.has_errors
+        assert report.exit_code == 0
+
+    def test_diagnostics_sorted_by_severity(self):
+        net = bitonic_sorting_network(8).truncated(3)
+        report = lint_network(net)
+        ranks = [d.severity.rank for d in report.diagnostics]
+        assert ranks == sorted(ranks)
+        assert report.exit_code == 1
+
+    def test_accepts_to_network_objects(self):
+        report = lint_network(bitonic_iterated_rdn(16))
+        assert report.n == 16
+
+    def test_rejects_unknown_objects(self):
+        with pytest.raises(ReproError):
+            lint_network(object())
+
+    def test_select_restricts_rules(self):
+        net = bitonic_sorting_network(16).truncated(3)
+        config = LintConfig(select=("budget/",))
+        report = lint_network(net, config=config)
+        assert report.diagnostics
+        assert all(d.rule.startswith("budget/") for d in report.diagnostics)
+
+    def test_context_caches_shared_passes(self):
+        ctx = LintContext(bitonic_sorting_network(8), LintConfig())
+        assert ctx.witness is ctx.witness
+        assert ctx.abstract is ctx.abstract
+        assert ctx.class_membership[0] in {"ok", "fail"}
+
+
+class TestReport:
+    def test_summary_and_text(self):
+        net = bitonic_sorting_network(8).truncated(3)
+        report = lint_network(net, target="trunc")
+        text = report.format_text()
+        assert text.startswith("lint trunc: n=8 depth=3 size=12")
+        assert "error[" in text
+        assert report.summary() in text
+
+    def test_json_round_trips_through_dumps(self):
+        report = lint_network(bitonic_sorting_network(8), target="b8")
+        doc = json.loads(json.dumps(report.to_json()))
+        assert doc["target"] == "b8"
+        assert doc["summary"]["errors"] == 0
+        assert isinstance(doc["diagnostics"], list)
+
+    def test_fix_lines_rendered(self):
+        net = ComparatorNetwork(
+            2, [Level([comparator(0, 1)]), Level([comparator(0, 1)])]
+        )
+        report = lint_network(net)
+        assert "fix-it:" in report.format_text()
+        assert len(report.fixable) == 1
+
+
+class TestLintDocument:
+    def doc(self, payload):
+        return json.dumps({"version": 1, "payload": payload})
+
+    def test_valid_document_runs_semantic_rules(self):
+        text = serialize.dumps(bitonic_sorting_network(16))
+        report = lint_document(text, target="doc")
+        assert report.n == 16
+        assert not report.has_errors
+        assert report.network is not None
+
+    def test_invalid_json(self):
+        report = lint_document("{nope")
+        assert [d.rule for d in report.diagnostics] == ["parse/json"]
+        assert report.has_errors
+
+    def test_bad_version(self):
+        report = lint_document('{"version": 99, "payload": {}}')
+        assert [d.rule for d in report.diagnostics] == ["parse/version"]
+
+    def test_missing_payload(self):
+        report = lint_document('{"version": 1}')
+        assert [d.rule for d in report.diagnostics] == ["parse/structure"]
+
+    def test_malformed_gate_located(self):
+        report = lint_document(
+            self.doc(
+                {
+                    "kind": "network",
+                    "n": 4,
+                    "stages": [{"gates": [[0, 1, "+"], [2, 3]]}],
+                }
+            )
+        )
+        diags = report.by_rule("parse/gate-malformed")
+        assert len(diags) == 1
+        assert diags[0].location.stage == 0
+        assert diags[0].location.comparator == 1
+
+    def test_wire_range_located(self):
+        report = lint_document(
+            self.doc(
+                {"kind": "network", "n": 4, "stages": [{"gates": [[0, 9, "+"]]}]}
+            )
+        )
+        diags = report.by_rule("parse/wire-range")
+        assert diags[0].location.wires == (0, 9)
+
+    def test_duplicate_wire_in_level(self):
+        report = lint_document(
+            self.doc(
+                {
+                    "kind": "network",
+                    "n": 4,
+                    "stages": [{"gates": [[0, 1, "+"], [1, 2, "+"]]}],
+                }
+            )
+        )
+        diags = report.by_rule("parse/duplicate-wire")
+        assert len(diags) == 1
+        assert diags[0].location.wires == (1,)
+
+    def test_bad_permutation(self):
+        report = lint_document(
+            self.doc(
+                {
+                    "kind": "network",
+                    "n": 2,
+                    "stages": [{"gates": [[0, 1, "+"]], "perm": [0, 0]}],
+                }
+            )
+        )
+        assert len(report.by_rule("parse/bad-permutation")) == 1
+
+    def test_parse_errors_suppress_semantic_rules(self):
+        report = lint_document(
+            self.doc(
+                {"kind": "network", "n": 4, "stages": [{"gates": [[0, 0, "+"]]}]}
+            )
+        )
+        assert all(d.rule.startswith("parse/") for d in report.diagnostics)
+        assert report.network is None
+
+    def test_other_kinds_deserialised_strictly(self):
+        text = serialize.dumps(bitonic_iterated_rdn(8))
+        report = lint_document(text)
+        assert report.n == 8
+        assert not report.has_errors
+
+    def test_broken_other_kind_reported(self):
+        report = lint_document(self.doc({"kind": "rdn", "child0": {}}))
+        diags = report.by_rule("parse/structure")
+        assert len(diags) == 1 and diags[0].severity is Severity.ERROR

@@ -1,0 +1,88 @@
+"""Tests that applying fix-its is safe: 0-1 behaviour never changes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import WireError
+from repro.lint import apply_fixes, lint_network
+from repro.lint.diagnostics import Diagnostic, FixIt, Location, Severity
+from repro.lint.fixes import removal_set
+from repro.networks.gates import comparator
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork
+
+from ..strategies import circuits
+
+
+def all_zero_one_inputs(n: int) -> np.ndarray:
+    return (np.arange(1 << n)[:, None] >> np.arange(n)) & 1
+
+
+def redundant_net() -> ComparatorNetwork:
+    return ComparatorNetwork(
+        4,
+        [
+            Level([comparator(0, 1), comparator(2, 3)]),
+            Level([comparator(0, 2), comparator(1, 3)]),
+            Level([comparator(1, 2)]),
+            Level([comparator(0, 1)]),  # provably redundant
+        ],
+    )
+
+
+class TestRemovalSet:
+    def test_collects_only_fixable(self):
+        diags = [
+            Diagnostic(
+                rule="abstract/redundant-comparator",
+                severity=Severity.WARNING,
+                message="m",
+                location=Location(stage=3, comparator=0),
+                fix=FixIt(description="d", removals=((3, 0),)),
+            ),
+            Diagnostic(
+                rule="budget/depth", severity=Severity.ERROR, message="m"
+            ),
+        ]
+        assert removal_set(diags) == {(3, 0)}
+
+
+class TestApply:
+    def test_removes_flagged_gate(self):
+        net = redundant_net()
+        report = lint_network(net)
+        fixed = apply_fixes(net, report.diagnostics)
+        assert fixed.size == net.size - 1
+        assert fixed.n == net.n
+
+    def test_zero_one_behaviour_preserved(self):
+        net = redundant_net()
+        fixed = apply_fixes(net, lint_network(net).diagnostics)
+        batch = all_zero_one_inputs(4)
+        assert (net.evaluate_batch(batch) == fixed.evaluate_batch(batch)).all()
+
+    def test_no_fixes_returns_same_object(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)])])
+        assert apply_fixes(net, []) is net
+
+    def test_unknown_removal_rejected(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)])])
+        bogus = Diagnostic(
+            rule="abstract/redundant-comparator",
+            severity=Severity.WARNING,
+            message="m",
+            fix=FixIt(description="d", removals=((7, 0),)),
+        )
+        with pytest.raises(WireError):
+            apply_fixes(net, [bogus])
+
+    @given(circuits(min_n=2, max_n=16, max_depth=8))
+    @settings(max_examples=40, deadline=None)
+    def test_fixes_never_change_any_zero_one_output(self, net):
+        """The ISSUE's soundness guarantee, exhaustively for n <= 16."""
+        report = lint_network(net)
+        fixed = apply_fixes(net, report.diagnostics)
+        assert fixed.size == net.size - len(removal_set(report.diagnostics))
+        batch = all_zero_one_inputs(net.n)
+        assert (net.evaluate_batch(batch) == fixed.evaluate_batch(batch)).all()

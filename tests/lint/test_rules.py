@@ -1,0 +1,248 @@
+"""Per-rule tests of the lint catalog on known-good and known-bad nets."""
+
+import numpy as np
+
+from repro.lint import LintConfig, Severity, lint_network
+from repro.lint.rules import RULES, corollary_4_1_1_refutes, witness_scan
+from repro.networks.builders import bitonic_iterated_rdn, random_iterated_rdn
+from repro.networks.gates import Gate, Op, comparator
+from repro.networks.level import Level
+from repro.networks.network import ComparatorNetwork
+from repro.sorters.bitonic import bitonic_sorting_network
+
+
+def rules_fired(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestRegistry:
+    def test_expected_catalog(self):
+        for rule_id in [
+            "structural/uncompared-wire",
+            "structural/descending-final",
+            "structural/empty-level",
+            "structural/exchange-element",
+            "abstract/redundant-comparator",
+            "abstract/constant-comparator",
+            "abstract/identity-level",
+            "abstract/proven-sorting",
+            "class/not-power-of-two",
+            "class/membership",
+            "class/out-of-class",
+            "budget/depth",
+            "budget/size",
+            "budget/class-depth",
+            "witness/never-compared-pair",
+        ]:
+            assert rule_id in RULES
+            rule = RULES[rule_id]
+            assert rule.id == rule_id and rule.summary
+
+    def test_ids_are_category_slash_name(self):
+        assert all(r.count("/") == 1 for r in RULES)
+
+
+class TestWitnessScan:
+    def test_full_bitonic_covers_everything(self):
+        uncompared, never = witness_scan(bitonic_sorting_network(16))
+        assert uncompared == []
+        assert never == []
+
+    def test_truncated_bitonic_has_noncolliding_pair(self):
+        net = bitonic_sorting_network(8).truncated(3)
+        uncompared, never = witness_scan(net)
+        assert uncompared == []
+        assert 3 in never  # halves never interact before phase 3 completes
+
+    def test_uncompared_wires_detected(self):
+        net = ComparatorNetwork(4, [Level([comparator(0, 1)])])
+        uncompared, _ = witness_scan(net)
+        assert uncompared == [2, 3]
+
+    def test_exchanges_route_but_do_not_compare(self):
+        net = ComparatorNetwork(2, [Level([Gate(0, 1, Op.SWAP)])])
+        uncompared, never = witness_scan(net)
+        assert uncompared == [0, 1]
+        assert never == [0]
+
+
+class TestStructuralRules:
+    def test_uncompared_wire_errors(self):
+        net = ComparatorNetwork(4, [Level([comparator(0, 1)])])
+        report = lint_network(net)
+        diags = report.by_rule("structural/uncompared-wire")
+        assert [d.location.wires for d in diags] == [(2,), (3,)]
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_descending_final_warns_with_location(self):
+        net = ComparatorNetwork(
+            4,
+            [
+                Level([comparator(0, 1), comparator(2, 3)]),
+                Level([comparator(0, 2), Gate(3, 1, Op.PLUS)]),
+            ],
+        )
+        report = lint_network(net)
+        diags = report.by_rule("structural/descending-final")
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.location.stage == 1 and d.location.comparator == 1
+        assert d.location.wires == (3, 1)
+
+    def test_ascending_sorter_has_no_descending_final(self):
+        report = lint_network(bitonic_sorting_network(8))
+        assert report.by_rule("structural/descending-final") == []
+
+    def test_empty_level_noted(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)]), Level(())])
+        report = lint_network(net)
+        diags = report.by_rule("structural/empty-level")
+        assert [d.location.stage for d in diags] == [1]
+
+    def test_exchange_element_noted(self):
+        net = ComparatorNetwork(
+            2, [Level([comparator(0, 1)]), Level([Gate(0, 1, Op.SWAP)])]
+        )
+        report = lint_network(net)
+        assert len(report.by_rule("structural/exchange-element")) == 1
+
+
+class TestAbstractRules:
+    def test_redundant_comparator_has_fix(self):
+        net = ComparatorNetwork(
+            4,
+            [
+                Level([comparator(0, 1)]),
+                Level([comparator(2, 3)]),
+                Level([comparator(0, 1)]),
+            ],
+        )
+        report = lint_network(net)
+        diags = report.by_rule("abstract/redundant-comparator")
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.location.stage == 2 and d.location.comparator == 0
+        assert d.fix is not None and d.fix.removals == ((2, 0),)
+        assert report.fixable
+
+    def test_constant_comparator_under_constrained_input(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)])])
+        config = LintConfig(initial_bits=[0, None])
+        report = lint_network(net, config=config)
+        assert len(report.by_rule("abstract/constant-comparator")) == 1
+
+    def test_identity_level_noted(self):
+        net = ComparatorNetwork(
+            2, [Level([comparator(0, 1)]), Level([comparator(0, 1)])]
+        )
+        report = lint_network(net)
+        diags = report.by_rule("abstract/identity-level")
+        assert [d.location.stage for d in diags] == [1]
+
+    def test_proven_sorting_on_two_wires(self):
+        net = ComparatorNetwork(2, [Level([comparator(0, 1)])])
+        report = lint_network(net)
+        assert len(report.by_rule("abstract/proven-sorting")) == 1
+
+    def test_bitonic_not_flagged(self):
+        report = lint_network(bitonic_sorting_network(16))
+        assert report.by_rule("abstract/redundant-comparator") == []
+
+
+class TestClassRules:
+    def test_membership_recognised(self, rng):
+        flat = bitonic_iterated_rdn(16).to_network()
+        report = lint_network(flat)
+        diags = report.by_rule("class/membership")
+        assert len(diags) == 1
+        assert "(4, 4)-iterated" in diags[0].message
+
+    def test_random_blocks_recognised(self, rng):
+        flat = random_iterated_rdn(16, 2, rng, random_inter_perms=False)
+        report = lint_network(flat.to_network())
+        assert len(report.by_rule("class/membership")) == 1
+
+    def test_out_of_class_located(self):
+        from repro.sorters.oddeven_merge import oddeven_merge_sorting_network
+
+        report = lint_network(oddeven_merge_sorting_network(8))
+        diags = report.by_rule("class/out-of-class")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.INFO
+        assert diags[0].location.stage is not None
+
+    def test_not_power_of_two_noted(self):
+        from repro.sorters.insertion import insertion_network
+
+        report = lint_network(insertion_network(6))
+        assert len(report.by_rule("class/not-power-of-two")) == 1
+        assert report.by_rule("class/membership") == []
+
+    def test_large_n_skips_class_analysis(self):
+        net = ComparatorNetwork(512, [])
+        config = LintConfig(class_max_wires=256, witness_max_wires=4)
+        report = lint_network(net, config=config)
+        diags = report.by_rule("class/membership")
+        assert len(diags) == 1 and "skipped" in diags[0].message
+
+
+class TestBudgetRules:
+    def test_depth_floor(self):
+        net = bitonic_sorting_network(16).truncated(3)
+        report = lint_network(net)
+        diags = report.by_rule("budget/depth")
+        assert len(diags) == 1
+        assert "depth 3 < ceil(lg n) = 4" in diags[0].message
+
+    def test_size_floor(self):
+        net = ComparatorNetwork(
+            8, [Level([comparator(0, 1)]), Level([comparator(2, 3)]),
+                Level([comparator(4, 5)])]
+        )
+        report = lint_network(net)
+        assert len(report.by_rule("budget/size")) == 1
+
+    def test_full_sorter_within_budget(self):
+        report = lint_network(bitonic_sorting_network(16))
+        assert report.by_rule("budget/depth") == []
+        assert report.by_rule("budget/size") == []
+
+    def test_corollary_4_1_1_only_bites_for_huge_n(self):
+        assert corollary_4_1_1_refutes(1 << 64, 1)
+        assert corollary_4_1_1_refutes(1 << 64, 2)
+        assert not corollary_4_1_1_refutes(1 << 64, 3)
+        assert not corollary_4_1_1_refutes(16, 1)
+        assert not corollary_4_1_1_refutes(4, 1)
+        assert not corollary_4_1_1_refutes(1 << 64, 0)
+
+
+class TestWitnessRule:
+    def test_truncated_bitonic_pair_located(self):
+        net = bitonic_sorting_network(8).truncated(3)
+        report = lint_network(net)
+        diags = report.by_rule("witness/never-compared-pair")
+        assert any(d.location.wires == (3, 4) for d in diags)
+        assert report.has_errors
+
+    def test_cap_emits_summary_diagnostic(self):
+        # n parallel sorted pairs: no adjacent (2i+1, 2i+2) pair ever meets
+        n = 32
+        net = ComparatorNetwork(
+            n, [Level([comparator(2 * i, 2 * i + 1) for i in range(n // 2)])]
+        )
+        config = LintConfig(max_reported_per_rule=4)
+        report = lint_network(net, config=config)
+        diags = report.by_rule("witness/never-compared-pair")
+        assert len(diags) == 5  # 4 located + 1 suppression summary
+        assert "suppressed" in diags[-1].message
+
+    def test_faulty_bitonic_is_sound_but_incomplete(self, rng):
+        """A single dropped comparator defeats the static rules (no false
+        positives is the contract), while 0-1 verification still refutes."""
+        from repro.analysis.verify import find_unsorted_zero_one_input
+        from repro.experiments.e8_average_case import faulty_bitonic
+
+        net = faulty_bitonic(16, phase=4).to_network()
+        report = lint_network(net)
+        assert not report.has_errors  # sound: nothing provable statically
+        assert find_unsorted_zero_one_input(net) is not None

@@ -102,6 +102,81 @@ class TestRenderDot:
         assert capsys.readouterr().out.startswith("digraph")
 
 
+class TestLint:
+    def test_sorter_zero_errors(self, capsys):
+        assert main(["lint", "bitonic", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_truncated_file_exits_nonzero(self, tmp_path, capsys):
+        from repro.networks import serialize
+        from repro.sorters.bitonic import bitonic_sorting_network
+
+        f = tmp_path / "trunc.json"
+        f.write_text(serialize.dumps(bitonic_sorting_network(8).truncated(3)))
+        assert main(["lint", str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "error[" in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "bitonic", "-n", "8", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n"] == 8
+        assert doc["summary"]["errors"] == 0
+
+    def test_select_filter(self, capsys):
+        assert main(["lint", "bitonic", "-n", "8", "--select", "budget/"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors, 0 warnings, 0 notes" in out
+
+    def test_fix_round_trip(self, tmp_path, capsys):
+        from repro.networks import serialize
+        from repro.networks.gates import comparator
+        from repro.networks.level import Level
+        from repro.networks.network import ComparatorNetwork
+
+        net = ComparatorNetwork(
+            2, [Level([comparator(0, 1)]), Level([comparator(0, 1)])]
+        )
+        src = tmp_path / "net.json"
+        dst = tmp_path / "fixed.json"
+        src.write_text(serialize.dumps(net))
+        assert main(["lint", str(src), "--fix", str(dst)]) == 0
+        fixed = serialize.loads(dst.read_text())
+        assert fixed.size == 1
+        assert "1 gate removed" in capsys.readouterr().out
+
+    def test_unknown_sorter(self, capsys):
+        assert main(["lint", "no-such-sorter"]) == 2
+        assert "error[lint/target]" in capsys.readouterr().err
+
+    def test_malformed_document(self, tmp_path, capsys):
+        f = tmp_path / "bad.json"
+        f.write_text('{"version": 1, "payload": {"kind": "network", '
+                     '"n": 2, "stages": [{"gates": [[0, 0, "+"]]}]}}')
+        assert main(["lint", str(f)]) == 1
+        assert "parse/wire-range" in capsys.readouterr().out
+
+
+class TestAttackPrecondition:
+    def test_out_of_class_file_reports_diagnostics(self, tmp_path, capsys):
+        from repro.networks import serialize
+        from repro.sorters.oddeven_merge import oddeven_merge_sorting_network
+
+        f = tmp_path / "oem.json"
+        f.write_text(serialize.dumps(oddeven_merge_sorting_network(8)))
+        assert main(["attack", "--file", str(f)]) == 2
+        err = capsys.readouterr().err
+        assert "attack precondition failed" in err
+        assert "error[class/out-of-class]" in err
+
+
+class TestVerifyPrecondition:
+    def test_bad_build_reports_uniformly(self, capsys):
+        assert main(["verify", "--sorter", "bitonic", "-n", "48"]) == 2
+        assert "error[verify/precondition]" in capsys.readouterr().err
+
+
 class TestExperimentAll:
     def test_experiment_all_runs(self, capsys, tmp_path, monkeypatch):
         import repro.cli as cli

@@ -13,6 +13,7 @@ class TestHierarchy:
         errors.PatternError,
         errors.RefinementError,
         errors.PropagationError,
+        errors.LintError,
         errors.TopologyError,
         errors.CertificateError,
         errors.RoutingError,
@@ -32,6 +33,11 @@ class TestHierarchy:
 
     def test_level_conflict_is_wire_error(self):
         assert issubclass(errors.LevelConflictError, errors.WireError)
+
+    def test_topology_is_lint_error_with_diagnostics(self):
+        assert issubclass(errors.TopologyError, errors.LintError)
+        exc = errors.TopologyError("msg", level=3, gate=None)
+        assert exc.level == 3 and exc.diagnostics == []
 
     def test_one_except_clause_suffices(self):
         from repro.networks.gates import Gate
