@@ -28,10 +28,12 @@ Package layout:
   ascend algorithms, permutation routing;
 * :mod:`repro.analysis` -- 0-1 verification, collision graphs, topology
   recognisers, exhaustive ground truth;
-* :mod:`repro.experiments` -- the E1-E13 drivers behind the benchmarks.
+* :mod:`repro.experiments` -- the E1-E13 drivers behind the benchmarks;
+* :mod:`repro.farm` -- parallel campaign runner with a content-addressed
+  artifact store (``python -m repro farm``).
 """
 
-from . import analysis, core, experiments, machines, networks, sorters
+from . import analysis, core, experiments, farm, machines, networks, sorters
 from .core import (
     AdversaryRun,
     FoolingOutcome,
@@ -110,4 +112,5 @@ __all__ = [
     "machines",
     "analysis",
     "experiments",
+    "farm",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "rotate_right",
     "lg",
     "lglg",
+    "json_native",
 ]
 
 
@@ -103,3 +104,29 @@ def lg(n: float) -> float:
 def lglg(n: float) -> float:
     """``lg lg n``; requires ``n > 2`` for a positive result."""
     return math.log2(math.log2(n))
+
+
+def json_native(obj: object) -> object:
+    """Recursively convert a value to plain JSON-compatible Python types.
+
+    NumPy scalars become ``int``/``float``/``bool``, arrays become lists,
+    tuples become lists; anything else unsupported falls back to ``str``
+    so serialisation never fails (but no longer *silently* stringifies
+    the common numeric types the way ``json.dumps(default=str)`` did).
+    """
+    if obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return json_native(obj.tolist())
+    if isinstance(obj, dict):
+        return {str(k): json_native(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [json_native(v) for v in items]
+    return str(obj)

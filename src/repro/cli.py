@@ -22,6 +22,11 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
     structural rules, 0-1 abstract interpretation, budget checks and
     never-compared-pair witnesses, with text or JSON diagnostics and
     ``--fix`` to write a repaired network.
+``farm``
+    Parallel campaign runner: ``farm run spec.json --workers N
+    [--resume]`` sweeps a job grid on a worker pool, caching every
+    result in a content-addressed artifact store; ``farm status``
+    inventories a store.
 
 The CLI is deliberately thin: every command is one or two calls into the
 library, so it doubles as living documentation of the public API.
@@ -38,7 +43,7 @@ import numpy as np
 
 from . import __version__
 from .core import bounds as bounds_mod
-from .errors import LintError, ReproError
+from .errors import FarmError, LintError, ReproError
 from .core.fooling import prove_not_sorting
 from .core.iterate import theorem41_guarantee
 from .experiments import ALL_EXPERIMENTS
@@ -74,7 +79,74 @@ def _print_lint_failure(context: str, exc: LintError) -> None:
         print(f"  {diag.format()}", file=sys.stderr)
 
 
+def _attack_target(args) -> str:
+    if getattr(args, "file", None):
+        return args.file
+    return f"{args.family} (n={args.n}, blocks={args.blocks})"
+
+
+def _print_attack_result(args, result: dict, cached: bool) -> int:
+    """Render one attack result dict (live or from the store)."""
+    suffix = "  [store hit, certificate re-verified]" if cached else ""
+    print(f"adversary vs {_attack_target(args)} (k={result['k']}){suffix}")
+    print(f"{'block':>5} {'entering':>9} {'union':>7} {'survivor':>9} "
+          f"{'guarantee':>12}")
+    for rec in result["records"]:
+        print(f"{rec['block'] + 1:>5} {rec['entering']:>9} "
+              f"{rec['union']:>7} {rec['survivor']:>9} "
+              f"{theorem41_guarantee(result['n'], rec['block'] + 1):>12.3e}")
+    cert_doc = result.get("certificate")
+    if result["proved_not_sorting"] and cert_doc is not None:
+        wires = tuple(cert_doc["wires"])
+        values = tuple(cert_doc["values"])
+        print(f"\nNOT a sorting network; verified fooling pair on wires "
+              f"{wires}, values {values}")
+        if args.certificate:
+            Path(args.certificate).write_text(json.dumps(cert_doc, indent=2))
+            print(f"certificate written to {args.certificate}")
+    else:
+        print("\ninconclusive: the special set collapsed "
+              f"(|D| = {result['survivor']})")
+    return 0
+
+
+def _attack_via_store(args) -> int:
+    """Attack through the content-addressed store: hit, revalidate or run."""
+    from .farm import ArtifactStore, AttackJob
+
+    if getattr(args, "file", None):
+        payload = serialize.payload_of(json.loads(Path(args.file).read_text()))
+        job = AttackJob(network=payload, k=args.k, seed=args.seed)
+    else:
+        job = AttackJob(family=args.family, n=args.n, blocks=args.blocks,
+                        k=args.k, seed=args.seed)
+    store = ArtifactStore(args.store)
+    key = job.key()
+    doc = store.get(key)
+    if doc is not None and doc.get("status") == "ok":
+        result = doc.get("result")
+        valid = False
+        if isinstance(result, dict):
+            try:
+                valid = job.revalidate(result)
+            except ReproError:
+                valid = False
+        if valid:
+            return _print_attack_result(args, result, cached=True)
+        print("stale artifact failed re-verification; recomputing",
+              file=sys.stderr)
+    try:
+        result = job.execute()
+    except LintError as exc:
+        _print_lint_failure("attack precondition failed", exc)
+        return 2
+    store.put(key, {"job": job.to_json(), "status": "ok", "result": result})
+    return _print_attack_result(args, result, cached=False)
+
+
 def cmd_attack(args) -> int:
+    if getattr(args, "store", None):
+        return _attack_via_store(args)
     rng = np.random.default_rng(args.seed)
     if getattr(args, "file", None):
         from .core.attack import attack_circuit
@@ -90,10 +162,7 @@ def cmd_attack(args) -> int:
         network = iterated_family(args.family, args.n, args.blocks, rng)
         outcome = prove_not_sorting(network, k=args.k, rng=rng)
     run = outcome.run
-    target = args.file if getattr(args, "file", None) else (
-        f"{args.family} (n={args.n}, blocks={args.blocks})"
-    )
-    print(f"adversary vs {target} (k={run.k})")
+    print(f"adversary vs {_attack_target(args)} (k={run.k})")
     print(f"{'block':>5} {'entering':>9} {'union':>7} {'survivor':>9} "
           f"{'guarantee':>12}")
     for rec in run.records:
@@ -105,13 +174,9 @@ def cmd_attack(args) -> int:
         print(f"\nNOT a sorting network; verified fooling pair on wires "
               f"{cert.wires}, values {cert.values}")
         if args.certificate:
-            doc = {
-                "input_a": cert.input_a.tolist(),
-                "input_b": cert.input_b.tolist(),
-                "wires": list(cert.wires),
-                "values": list(cert.values),
-            }
-            Path(args.certificate).write_text(json.dumps(doc, indent=2))
+            Path(args.certificate).write_text(
+                json.dumps(cert.to_json(), indent=2)
+            )
             print(f"certificate written to {args.certificate}")
     else:
         print("\ninconclusive: the special set collapsed "
@@ -163,11 +228,34 @@ def cmd_render(args) -> int:
     return 0
 
 
+def _experiment_kwargs(name: str, fn, args) -> dict:
+    """Thread --seed / --store into drivers whose signature accepts them."""
+    import inspect
+
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if getattr(args, "seed", None) is not None:
+        if "seed" in params:
+            kwargs["seed"] = args.seed
+        else:
+            print(f"note: {name} takes no seed (deterministic driver); "
+                  "--seed ignored", file=sys.stderr)
+    if getattr(args, "store", None):
+        if "store" in params:
+            from .farm import ArtifactStore
+
+            kwargs["store"] = ArtifactStore(args.store)
+        else:
+            print(f"note: {name} is not store-backed; --store ignored",
+                  file=sys.stderr)
+    return kwargs
+
+
 def cmd_experiment(args) -> int:
     name = args.name.upper()
     if name == "ALL":
         for key, fn in ALL_EXPERIMENTS.items():
-            table = fn()
+            table = fn(**_experiment_kwargs(key, fn, args))
             print(table.format())
             print()
             if args.save:
@@ -179,11 +267,67 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {name!r}; available: "
               f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    table = ALL_EXPERIMENTS[name]()
+    fn = ALL_EXPERIMENTS[name]
+    table = fn(**_experiment_kwargs(name, fn, args))
     print(table.format())
     if args.save:
         path = table.save(args.save)
         print(f"\nsaved to {path}")
+    return 0
+
+
+def cmd_farm_run(args) -> int:
+    from .farm import (
+        ArtifactStore,
+        CampaignSpec,
+        campaign_table,
+        format_summary,
+        run_campaign,
+    )
+
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except FarmError as exc:
+        print(f"error[farm/spec]: {exc}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    try:
+        result = run_campaign(
+            spec,
+            store,
+            workers=args.workers,
+            resume=args.resume,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except FarmError as exc:
+        print(f"error[farm/run]: {exc}", file=sys.stderr)
+        return 2
+    table = campaign_table(result)
+    if args.json:
+        print(json.dumps(
+            {"summary": result.summary(), "table": table.to_payload()},
+            indent=2,
+        ))
+    else:
+        print(table.format())
+        print()
+        print(format_summary(result))
+    if args.save:
+        table.save(args.save)
+    if result.interrupted:
+        return 130
+    return 1 if result.failures else 0
+
+
+def cmd_farm_status(args) -> int:
+    from .farm import ArtifactStore, status_table
+
+    store = ArtifactStore(args.store)
+    if args.json:
+        print(json.dumps(store.stats(), indent=2))
+    else:
+        print(status_table(store).format())
     return 0
 
 
@@ -267,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the verified fooling pair as JSON")
     p.add_argument("--file", help="attack a serialised network JSON instead "
                    "(class structure is recognised automatically)")
+    p.add_argument("--store", metavar="DIR",
+                   help="read/write results through a content-addressed "
+                        "artifact store; cached certificates are re-verified "
+                        "against the rebuilt network before being trusted "
+                        "(network build seeds derive from the job hash)")
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("verify", help="0-1 verification of a network")
@@ -295,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run an E1-E13 driver")
     p.add_argument("name", help="e1 .. e13, or 'all'")
     p.add_argument("--save", metavar="DIR", help="archive the table")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for randomized drivers (E2, E8, E9, E11, ...)")
+    p.add_argument("--store", metavar="DIR",
+                   help="artifact store for the sweep-heavy drivers "
+                        "(E8, E11): finished cells are reused after "
+                        "re-verification")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("bounds", help="print the bound landscape at n")
@@ -315,6 +470,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only run rules whose id starts with PREFIX "
                         "(repeatable), e.g. --select abstract/")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("farm", help="parallel campaign runner with a "
+                                    "content-addressed artifact store")
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    fp = farm_sub.add_parser("run", help="run a campaign spec")
+    fp.add_argument("spec", help="path to a campaign spec JSON "
+                                 "(see docs/FARM.md)")
+    fp.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: the spec's setting)")
+    fp.add_argument("--store", metavar="DIR", default="farm-store",
+                    help="artifact store directory (default: farm-store)")
+    fp.add_argument("--resume", action="store_true",
+                    help="skip jobs whose artifacts are already stored; "
+                        "hits are revalidated, counted and reported")
+    fp.add_argument("--timeout", type=float, default=None,
+                    help="per-job timeout in seconds (overrides the spec)")
+    fp.add_argument("--retries", type=int, default=None,
+                    help="retries per failing job (overrides the spec)")
+    fp.add_argument("--json", action="store_true",
+                    help="emit the summary and table as JSON")
+    fp.add_argument("--save", metavar="DIR",
+                    help="archive the campaign table like an experiment")
+    fp.set_defaults(func=cmd_farm_run)
+
+    fp = farm_sub.add_parser("status", help="inventory an artifact store")
+    fp.add_argument("--store", metavar="DIR", default="farm-store")
+    fp.add_argument("--json", action="store_true")
+    fp.set_defaults(func=cmd_farm_status)
 
     return parser
 

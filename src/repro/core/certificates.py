@@ -19,6 +19,7 @@ produced it:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -106,6 +107,36 @@ class NonSortingCertificate:
             raise CertificateError(
                 "both outputs sorted -- impossible for a genuine certificate"
             )
+
+    def to_json(self) -> dict[str, Any]:
+        """Serialise as a JSON-compatible dict (kind-tagged).
+
+        The inverse is :meth:`from_json`; a round-tripped certificate
+        still :meth:`verify`-ies against the same network, which is what
+        lets the farm's artifact store archive certificates and re-check
+        them independently on every cache hit.
+        """
+        return {
+            "kind": "certificate",
+            "input_a": self.input_a.tolist(),
+            "input_b": self.input_b.tolist(),
+            "wires": [int(self.wires[0]), int(self.wires[1])],
+            "values": [int(self.values[0]), int(self.values[1])],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "NonSortingCertificate":
+        """Deserialise a certificate dict (verify it separately!)."""
+        if doc.get("kind") != "certificate":
+            raise CertificateError(
+                f"expected kind 'certificate', got {doc.get('kind')!r}"
+            )
+        return cls(
+            input_a=np.asarray(doc["input_a"], dtype=np.int64),
+            input_b=np.asarray(doc["input_b"], dtype=np.int64),
+            wires=(int(doc["wires"][0]), int(doc["wires"][1])),
+            values=(int(doc["values"][0]), int(doc["values"][1])),
+        )
 
     def unsorted_input(self, network: ComparatorNetwork) -> np.ndarray:
         """Return one of the two inputs that the network fails to sort."""

@@ -12,8 +12,6 @@ from __future__ import annotations
 import json
 from typing import Any
 
-import numpy as np
-
 from ..errors import PatternError, ReproError
 from .alphabet import Symbol, symbol_from_string
 from .certificates import NonSortingCertificate
@@ -58,25 +56,14 @@ def pattern_from_json(doc: dict[str, Any]) -> Pattern:
 
 def certificate_to_json(cert: NonSortingCertificate) -> dict[str, Any]:
     """Serialise a non-sorting certificate."""
-    return {
-        "kind": "certificate",
-        "input_a": cert.input_a.tolist(),
-        "input_b": cert.input_b.tolist(),
-        "wires": list(cert.wires),
-        "values": list(cert.values),
-    }
+    return cert.to_json()
 
 
 def certificate_from_json(doc: dict[str, Any]) -> NonSortingCertificate:
     """Deserialise a non-sorting certificate (verify it separately!)."""
     if doc.get("kind") != "certificate":
         raise PatternError(f"expected kind 'certificate', got {doc.get('kind')!r}")
-    return NonSortingCertificate(
-        input_a=np.asarray(doc["input_a"], dtype=np.int64),
-        input_b=np.asarray(doc["input_b"], dtype=np.int64),
-        wires=(int(doc["wires"][0]), int(doc["wires"][1])),
-        values=(int(doc["values"][0]), int(doc["values"][1])),
-    )
+    return NonSortingCertificate.from_json(doc)
 
 
 def run_to_json(run: AdversaryRun) -> dict[str, Any]:

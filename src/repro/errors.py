@@ -22,6 +22,7 @@ __all__ = [
     "CertificateError",
     "RoutingError",
     "MachineError",
+    "FarmError",
 ]
 
 
@@ -108,3 +109,7 @@ class RoutingError(ReproError, RuntimeError):
 
 class MachineError(ReproError, RuntimeError):
     """A shuffle-exchange machine program violated the machine model."""
+
+
+class FarmError(ReproError, RuntimeError):
+    """A campaign spec, job document, or artifact store is invalid."""

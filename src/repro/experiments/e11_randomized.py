@@ -36,14 +36,76 @@ from .harness import Table
 __all__ = ["run"]
 
 
+def _randomized_cell(
+    flat, net, n: int, phase: int, trials: int, population: int, seed: int
+) -> dict:
+    """The cacheable measurement of one (n, phase) cell.
+
+    The adversarial input rides along in the result so a store hit can
+    be revalidated: it must still fail on the freshly rebuilt
+    deterministic network.
+    """
+    det_fraction = random_sorting_fraction(flat, 2000, np.random.default_rng(seed))
+    outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
+    if outcome.proved_not_sorting:
+        adversarial = outcome.certificate.unsorted_input(flat)
+    else:
+        # the adversary missed this fault; find a failing input by
+        # sampling (one exists -- the network is not a sorter)
+        adversarial = None
+        gen = np.random.default_rng(seed + 1)
+        for _ in range(20000):
+            x = gen.permutation(n)
+            out = flat.evaluate(x)
+            if (np.diff(out) < 0).any():
+                adversarial = x
+                break
+        if adversarial is None:
+            return {"skipped": True}
+    cell_rng = np.random.default_rng([seed, n, phase])
+    randomized = randomize_worst_case(flat)
+    adv_prob = per_input_success(randomized, adversarial, trials, cell_rng)
+    inputs = np.stack([cell_rng.permutation(n) for _ in range(population)])
+    stats = success_probability(randomized, inputs, trials, cell_rng)
+    return {
+        "skipped": False,
+        "det_fraction": det_fraction,
+        "adv_input_randomized": adv_prob,
+        "population_min": stats["min"],
+        "population_mean": stats["mean"],
+        "adversarial": [int(v) for v in adversarial],
+    }
+
+
+def _cell_revalidator(flat):
+    """Trust a cache hit only if its adversarial input still defeats the
+    deterministic network rebuilt by *this* invocation."""
+
+    def revalidate(result: dict) -> bool:
+        if result.get("skipped"):
+            return True
+        out = flat.evaluate(np.asarray(result["adversarial"], dtype=np.int64))
+        return bool((np.diff(out) < 0).any())
+
+    return revalidate
+
+
 def run(
     exponents: tuple[int, ...] = (5, 6),
     fault_phases: tuple[int, ...] | None = None,
     trials: int = 400,
     population: int = 20,
     seed: int = 0,
+    store=None,
 ) -> Table:
-    """Randomize faulty-bitonic networks and compare worst vs mean."""
+    """Randomize faulty-bitonic networks and compare worst vs mean.
+
+    ``store`` (a :class:`repro.farm.ArtifactStore`) memoises the per-cell
+    sampling work; resumed sweeps skip finished cells after re-checking
+    their stored adversarial inputs.
+    """
+    from ..farm.store import cached
+
     table = Table(
         experiment="E11",
         title="Randomization erases the worst case",
@@ -62,48 +124,50 @@ def run(
             "extra_depth",
         ],
     )
-    rng = np.random.default_rng(seed)
+    hits = 0
+    cells = 0
     for e in exponents:
         n = 1 << e
         phases = fault_phases if fault_phases is not None else (1, e - 1)
         for phase in phases:
             net = faulty_bitonic(n, phase)
             flat = net.to_network()
-            det_fraction = random_sorting_fraction(
-                flat, 2000, np.random.default_rng(seed)
+            params = {
+                "experiment": "E11",
+                "cell": "randomized",
+                "n": n,
+                "phase": phase,
+                "trials": trials,
+                "population": population,
+                "seed": seed,
+            }
+            result, hit = cached(
+                store,
+                params,
+                lambda: _randomized_cell(
+                    flat, net, n, phase, trials, population, seed
+                ),
+                revalidate=_cell_revalidator(flat),
             )
-            outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
-            if outcome.proved_not_sorting:
-                adversarial = outcome.certificate.unsorted_input(flat)
-            else:
-                # the adversary missed this fault; find a failing input by
-                # sampling (one exists -- the network is not a sorter)
-                adversarial = None
-                gen = np.random.default_rng(seed + 1)
-                for _ in range(20000):
-                    x = gen.permutation(n)
-                    out = flat.evaluate(x)
-                    if (np.diff(out) < 0).any():
-                        adversarial = x
-                        break
-                if adversarial is None:
-                    continue
-            randomized = randomize_worst_case(flat)
-            adv_prob = per_input_success(randomized, adversarial, trials, rng)
-            inputs = np.stack(
-                [rng.permutation(n) for _ in range(population)]
-            )
-            stats = success_probability(randomized, inputs, trials, rng)
+            cells += 1
+            hits += hit
+            if result.get("skipped"):
+                continue
             table.add_row(
                 n=n,
                 variant=f"drop@phase{phase}",
-                det_fraction=det_fraction,
+                det_fraction=result["det_fraction"],
                 adv_input_det=0.0,
-                adv_input_randomized=adv_prob,
-                population_min=stats["min"],
-                population_mean=stats["mean"],
+                adv_input_randomized=result["adv_input_randomized"],
+                population_min=result["population_min"],
+                population_mean=result["population_mean"],
                 extra_depth=e,
             )
+    if store is not None:
+        table.notes.append(
+            f"store: {hits}/{cells} cells served from cache "
+            "(adversarial inputs re-checked against rebuilt networks)"
+        )
     table.notes.append(
         "adv_input_det is identically 0 by construction (the input is a "
         "verified deterministic failure); after the lg n-stage randomizer "

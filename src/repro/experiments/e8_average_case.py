@@ -99,6 +99,40 @@ def faulty_bitonic(
     return IteratedReverseDeltaNetwork(n, blocks)
 
 
+def _attack_cell(flat, net, trials: int, seed: int) -> dict:
+    """The cacheable measurement of one sweep cell.
+
+    The certificate (when the attack succeeds) rides along so a store
+    hit can re-verify it against the freshly rebuilt network.
+    """
+    frac = random_sorting_fraction(flat, trials, np.random.default_rng(seed))
+    outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
+    cert = outcome.certificate
+    return {
+        "sorted_fraction": frac,
+        "fooling_pair": outcome.proved_not_sorting,
+        "survivor": len(outcome.run.special_set),
+        "certificate": cert.to_json() if cert is not None else None,
+    }
+
+
+def _cell_revalidator(flat):
+    """Cache hits are trusted only after the stored certificate verifies
+    against the network rebuilt by *this* invocation."""
+
+    def revalidate(result: dict) -> bool:
+        cert_doc = result.get("certificate")
+        if cert_doc is None:
+            return True
+        from ..core.certificates import NonSortingCertificate
+
+        return NonSortingCertificate.from_json(cert_doc).verify(
+            flat, strict=False
+        )
+
+    return revalidate
+
+
 def run(
     exponents: tuple[int, ...] = (5, 6),
     trials: int = 2000,
@@ -106,8 +140,16 @@ def run(
     biased_max_blocks: int = 12,
     verify_zero_one_up_to: int = 1 << 4,
     seed: int = 0,
+    store=None,
 ) -> Table:
-    """Faulty-bitonic phase sweep plus biased-random depth curve."""
+    """Faulty-bitonic phase sweep plus biased-random depth curve.
+
+    ``store`` (a :class:`repro.farm.ArtifactStore`) memoises the per-cell
+    attack/sampling work; resumed sweeps skip finished cells after
+    re-verifying their stored certificates.
+    """
+    from ..farm.store import cached
+
     table = Table(
         experiment="E8",
         title="Average case: sorted fraction vs worst-case verdict",
@@ -126,23 +168,38 @@ def run(
             "survivor",
         ],
     )
-    check_rng = np.random.default_rng(seed)
+    hits = 0
+    cells = 0
 
     for e in exponents:
         n = 1 << e
         for phase in range(1, e + 1):
             net = faulty_bitonic(n, phase)
             flat = net.to_network()
-            frac = random_sorting_fraction(flat, trials, check_rng)
-            outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
+            params = {
+                "experiment": "E8",
+                "cell": "faulty_bitonic",
+                "n": n,
+                "phase": phase,
+                "trials": trials,
+                "seed": seed,
+            }
+            result, hit = cached(
+                store,
+                params,
+                lambda: _attack_cell(flat, net, trials, seed),
+                revalidate=_cell_revalidator(flat),
+            )
+            cells += 1
+            hits += hit
             row = {
                 "family": "faulty_bitonic",
                 "n": n,
                 "variant": f"drop@phase{phase}",
                 "stages": flat.depth,
-                "sorted_fraction": frac,
-                "fooling_pair": outcome.proved_not_sorting,
-                "survivor": len(outcome.run.special_set),
+                "sorted_fraction": result["sorted_fraction"],
+                "fooling_pair": result["fooling_pair"],
+                "survivor": result["survivor"],
             }
             if n <= verify_zero_one_up_to:
                 row["is_sorter"] = is_sorting_network(flat)
@@ -154,19 +211,39 @@ def run(
     for blocks in range(1, biased_max_blocks + 1):
         prefix = network.truncated(blocks)
         flat = prefix.to_network()
-        frac = random_sorting_fraction(flat, trials, np.random.default_rng(seed))
-        outcome = prove_not_sorting(prefix, rng=np.random.default_rng(seed))
+        params = {
+            "experiment": "E8",
+            "cell": "biased_random",
+            "n": n,
+            "blocks": blocks,
+            "max_blocks": biased_max_blocks,
+            "trials": trials,
+            "seed": seed,
+        }
+        result, hit = cached(
+            store,
+            params,
+            lambda: _attack_cell(flat, prefix, trials, seed),
+            revalidate=_cell_revalidator(flat),
+        )
+        cells += 1
+        hits += hit
         table.add_row(
             family="biased_random",
             n=n,
             variant=f"{blocks} blocks",
             stages=flat.depth,
-            sorted_fraction=frac,
+            sorted_fraction=result["sorted_fraction"],
             is_sorter=is_sorting_network(flat)
             if n <= verify_zero_one_up_to
             else None,
-            fooling_pair=outcome.proved_not_sorting,
-            survivor=len(outcome.run.special_set),
+            fooling_pair=result["fooling_pair"],
+            survivor=result["survivor"],
+        )
+    if store is not None:
+        table.notes.append(
+            f"store: {hits}/{cells} cells served from cache "
+            "(certificates re-verified against rebuilt networks)"
         )
     table.notes.append(
         "faulty bitonic: earlier faults are usually repaired by later "

@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from .._util import json_native
+from ..errors import ReproError
+
 __all__ = ["Table", "format_cell"]
 
 
@@ -74,22 +77,57 @@ class Table:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON-compatible dict :meth:`save` writes.
+
+        All cell values are converted to native Python types
+        (``np.int64`` → ``int``, ``np.bool_`` → ``bool``, ...) so the
+        dump round-trips faithfully through :meth:`from_payload` instead
+        of silently stringifying NumPy scalars.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "claim": self.claim,
+            "columns": list(self.columns),
+            "rows": json_native(self.rows),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_payload(cls, doc: dict[str, Any]) -> "Table":
+        """Inverse of :meth:`to_payload`."""
+        try:
+            return cls(
+                experiment=doc["experiment"],
+                title=doc["title"],
+                claim=doc["claim"],
+                columns=list(doc["columns"]),
+                rows=[dict(row) for row in doc["rows"]],
+                notes=list(doc.get("notes", [])),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ReproError(f"malformed table document: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Table":
+        """Load a table previously archived by :meth:`save` (the .json)."""
+        try:
+            doc = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise ReproError(f"cannot read table: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"table file is not valid JSON: {exc}") from exc
+        return cls.from_payload(doc)
+
     def save(self, directory: str | Path) -> Path:
         """Write both the text rendering and a JSON dump; returns the txt path."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         txt = directory / f"{self.experiment.lower()}.txt"
         txt.write_text(self.format() + "\n")
-        payload = {
-            "experiment": self.experiment,
-            "title": self.title,
-            "claim": self.claim,
-            "columns": self.columns,
-            "rows": self.rows,
-            "notes": self.notes,
-        }
         (directory / f"{self.experiment.lower()}.json").write_text(
-            json.dumps(payload, indent=2, default=str)
+            json.dumps(self.to_payload(), indent=2)
         )
         return txt
 

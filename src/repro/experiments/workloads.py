@@ -23,6 +23,7 @@ __all__ = [
     "BLOCK_FAMILIES",
     "block_family",
     "iterated_family",
+    "seeded_family",
     "truncated_bitonic",
 ]
 
@@ -94,6 +95,20 @@ def iterated_family(
         perm = random_permutation(n, rng) if b else None
         entries.append((perm, build(n, rng)))
     return IteratedReverseDeltaNetwork(n, entries)
+
+
+def seeded_family(
+    name: str, n: int, blocks: int, seed: int
+) -> IteratedReverseDeltaNetwork:
+    """Build an iterated family from a bare integer seed, reproducibly.
+
+    Unlike :func:`iterated_family` this owns its generator, so two calls
+    with the same arguments return identical networks regardless of what
+    else consumed randomness in between -- the property the farm's
+    content-addressed store relies on to rebuild a network from its job
+    parameters when re-verifying a cached certificate.
+    """
+    return iterated_family(name, n, blocks, np.random.default_rng(seed))
 
 
 def truncated_bitonic(n: int, phases: int) -> IteratedReverseDeltaNetwork:

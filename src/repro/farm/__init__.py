@@ -1,0 +1,72 @@
+"""repro.farm -- parallel campaign runner with a content-addressed store.
+
+The adversary of Lemma 4.1 / Theorem 4.1 is embarrassingly parallel
+across networks: every sweep (E8's average case, E11's randomization,
+the adaptive duels) is a grid of independent attack/verify jobs over
+``(family, n, blocks, seed)``.  This subsystem runs those grids on a
+:mod:`multiprocessing` worker pool and never recomputes finished work:
+results live in a content-addressed artifact store keyed by a canonical
+hash of the job spec, and cache hits are *revalidated* -- a stored
+certificate is re-verified against the freshly rebuilt network -- before
+they are trusted.
+
+Quickstart::
+
+    from repro.farm import ArtifactStore, CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        name="demo", kind="attack",
+        grid={"family": ["bitonic", "random_iterated"],
+              "n": [16, 32], "blocks": [2, 3], "seed": [0, 1]},
+    )
+    store = ArtifactStore("farm-store")
+    cold = run_campaign(spec, store, workers=4)
+    warm = run_campaign(spec, store, workers=4, resume=True)
+    assert warm.hit_rate == 1.0
+
+The CLI front-end is ``python -m repro farm run <spec.json>`` /
+``farm status``; see docs/FARM.md for the spec format, store layout,
+resume semantics and worker tuning.
+"""
+
+from .campaign import CampaignResult, CampaignSpec, expand_grid, run_campaign
+from .jobs import (
+    JOB_TYPES,
+    AttackJob,
+    ExperimentCellJob,
+    Job,
+    LintJob,
+    SleepJob,
+    VerifyJob,
+    job_for,
+    job_from_json,
+)
+from .report import campaign_table, format_summary, status_table
+from .runner import JobOutcome, RunReport, run_jobs
+from .store import ArtifactStore, cached, canonical_json, job_key
+
+__all__ = [
+    "ArtifactStore",
+    "canonical_json",
+    "job_key",
+    "cached",
+    "Job",
+    "AttackJob",
+    "VerifyJob",
+    "LintJob",
+    "ExperimentCellJob",
+    "SleepJob",
+    "JOB_TYPES",
+    "job_for",
+    "job_from_json",
+    "JobOutcome",
+    "RunReport",
+    "run_jobs",
+    "CampaignSpec",
+    "CampaignResult",
+    "expand_grid",
+    "run_campaign",
+    "campaign_table",
+    "format_summary",
+    "status_table",
+]

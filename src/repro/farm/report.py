@@ -1,0 +1,125 @@
+"""Aggregate campaign results back into the experiment harness.
+
+The farm produces streams of :class:`~repro.farm.runner.JobOutcome`;
+this module folds them into the same :class:`~repro.experiments.harness.
+Table` the E1-E13 drivers emit, so campaign output can be printed,
+archived and diffed with the existing tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..experiments.harness import Table
+from .campaign import CampaignResult
+from .store import ArtifactStore
+
+__all__ = ["campaign_table", "format_summary", "status_table"]
+
+
+def _detail(outcome) -> str:
+    """One-cell digest of a job's result, per kind."""
+    result = outcome.result
+    if outcome.status in ("error", "timeout", "interrupted"):
+        return (outcome.error or outcome.status).splitlines()[0][:60]
+    if not isinstance(result, dict):
+        return ""
+    kind = outcome.job.kind
+    if kind == "attack":
+        if result.get("proved_not_sorting"):
+            return f"NOT sorting (|D|={result.get('survivor')})"
+        return f"inconclusive (|D|={result.get('survivor')})"
+    if kind == "verify":
+        return "sorter" if result.get("is_sorter") else "NOT a sorter"
+    if kind == "lint":
+        report = result.get("report") or {}
+        summary = report.get("summary") or {}
+        return (
+            f"{summary.get('errors', '?')} errors, "
+            f"{summary.get('warnings', '?')} warnings"
+        )
+    if kind == "experiment":
+        table = result.get("table") or {}
+        return f"{len(table.get('rows', []))} rows"
+    if kind == "sleep":
+        return f"slept {result.get('slept')}s"
+    return ""
+
+
+def campaign_table(result: CampaignResult) -> Table:
+    """One row per job: identity, fate, cache provenance, timing."""
+    table = Table(
+        experiment=f"farm-{result.spec.name}",
+        title=f"campaign '{result.spec.name}' ({result.spec.kind} jobs)",
+        claim="every cached artifact revalidated before being trusted",
+        columns=[
+            "job", "status", "cached", "attempts", "elapsed_s", "detail", "key",
+        ],
+    )
+    for out in result.outcomes:
+        table.add_row(
+            job=out.job.label(),
+            status=out.status,
+            cached=out.cached,
+            attempts=out.attempts,
+            elapsed_s=round(out.elapsed, 4),
+            detail=_detail(out),
+            key=out.key[:12],
+        )
+    s = result.summary()
+    table.notes.append(
+        f"{s['total']} jobs: {s['ok']} executed ok, {s['cached']} cache "
+        f"hits ({100 * s['hit_rate']:.1f}%), {s['invalidated']} invalidated, "
+        f"{s['errors']} errors, {s['timeouts']} timeouts in "
+        f"{s['wall_time']:.2f}s"
+    )
+    if result.interrupted:
+        table.notes.append(
+            f"interrupted by SIGINT with {s['interrupted_jobs']} jobs "
+            "unfinished; completed results were flushed to the store and "
+            "a re-run with --resume will skip them"
+        )
+    return table
+
+
+def format_summary(result: CampaignResult) -> str:
+    """Human one-liner for the end of a ``farm run``."""
+    s = result.summary()
+    parts = [
+        f"campaign '{s['campaign']}': {s['total']} jobs",
+        f"{s['ok']} ok",
+        f"{s['cached']} cached ({100 * s['hit_rate']:.1f}% hit rate)",
+    ]
+    if s["invalidated"]:
+        parts.append(f"{s['invalidated']} invalidated")
+    if s["errors"]:
+        parts.append(f"{s['errors']} errors")
+    if s["timeouts"]:
+        parts.append(f"{s['timeouts']} timeouts")
+    if s["interrupted_jobs"]:
+        parts.append(f"{s['interrupted_jobs']} interrupted")
+    parts.append(f"{s['wall_time']:.2f}s")
+    return ", ".join(parts)
+
+
+def status_table(store: ArtifactStore) -> Table:
+    """Store inventory for ``farm status``."""
+    stats: dict[str, Any] = store.stats()
+    table = Table(
+        experiment="farm-status",
+        title=f"artifact store at {stats['root']}",
+        claim="content-addressed artifacts by job kind",
+        columns=["kind", "artifacts"],
+    )
+    for kind, count in stats["by_kind"].items():
+        table.add_row(kind=kind, artifacts=count)
+    table.notes.append(
+        f"{stats['artifacts']} artifacts, {stats['bytes']} bytes, "
+        f"{stats['compute_seconds']:.2f}s of cached compute"
+    )
+    if stats["unindexed"]:
+        table.notes.append(
+            f"{stats['unindexed']} objects missing from the index "
+            "(interrupted writes; they remain addressable)"
+        )
+    return table

@@ -1,0 +1,354 @@
+"""Multiprocessing worker-pool executor for farm jobs.
+
+A small pre-fork server: ``workers`` long-lived processes each hold one
+end of a pipe; the parent streams job documents to idle workers and
+collects result documents with :func:`multiprocessing.connection.wait`.
+This keeps per-job overhead at one pickle round-trip rather than one
+process spawn, while still supporting hard per-job timeouts -- a worker
+that blows its deadline is killed and replaced with a fresh process.
+
+Failure semantics:
+
+* a job that **raises** is reported with status ``"error"`` (and the
+  worker survives to take the next job);
+* a job that **exceeds its timeout** is reported with ``"timeout"``;
+* both are retried up to ``retries`` times with exponential backoff
+  before the failure becomes final;
+* **SIGINT** (KeyboardInterrupt) stops dispatch, kills the in-flight
+  workers, and returns normally with every unfinished job marked
+  ``"interrupted"`` -- results already completed have already been
+  streamed to ``on_result``, so a campaign writing to an artifact store
+  loses nothing that finished.
+
+Workers ignore SIGINT themselves (the parent owns cancellation), and
+results are persisted by the parent only, so a store is never written
+from two processes at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait
+from typing import Any, Callable
+
+from ..errors import FarmError
+from .jobs import Job, job_from_json
+
+__all__ = ["JobOutcome", "RunReport", "run_jobs"]
+
+#: Grace period between SIGTERM and SIGKILL when cancelling a worker.
+_KILL_GRACE = 0.5
+
+
+@dataclass
+class JobOutcome:
+    """Final fate of one job."""
+
+    job: Job
+    key: str
+    status: str  # "ok" | "error" | "timeout" | "interrupted" | "cached"
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    elapsed: float = 0.0
+    attempts: int = 0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job's result is usable (freshly computed or cached)."""
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class RunReport:
+    """Everything :func:`run_jobs` observed, in completion order."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    interrupted: bool = False
+    wall_time: float = 0.0
+
+    def by_status(self) -> dict[str, int]:
+        """Outcome counts keyed by status string."""
+        counts: dict[str, int] = {}
+        for out in self.outcomes:
+            counts[out.status] = counts.get(out.status, 0) + 1
+        return counts
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive a job document, execute, send the outcome."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        start = time.perf_counter()
+        try:
+            job = job_from_json(msg)
+            out: dict[str, Any] = {"status": "ok", "result": job.execute()}
+        except Exception as exc:
+            out = {
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=8),
+            }
+        out["elapsed"] = time.perf_counter() - start
+        try:
+            conn.send(out)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _Worker:
+    """One pooled process plus its control pipe and current assignment."""
+
+    def __init__(self, ctx):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child,), daemon=True
+        )
+        self.process.start()
+        child.close()
+        self.item: "_Pending | None" = None
+        self.started = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.item is not None
+
+    def dispatch(self, item: "_Pending") -> None:
+        self.conn.send(item.job.to_json())
+        self.item = item
+        self.started = time.monotonic()
+
+    def kill(self) -> None:
+        """Terminate the process, escalating to SIGKILL if needed."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_KILL_GRACE)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(_KILL_GRACE)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        """Polite stop for an idle worker."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_KILL_GRACE)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+@dataclass
+class _Pending:
+    job: Job
+    key: str
+    attempts: int = 0
+    eligible_at: float = 0.0  # monotonic time before which we must not run
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_jobs(
+    jobs: list[Job],
+    *,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.5,
+    on_result: Callable[[JobOutcome], None] | None = None,
+) -> RunReport:
+    """Execute ``jobs`` on a pool of ``workers`` processes.
+
+    ``timeout`` is the per-job wall-clock budget in seconds (``None``
+    disables it).  ``on_result`` is invoked in the parent for every final
+    outcome, in completion order, *before* the run returns -- campaigns
+    use it to persist results as they land so an interrupt loses nothing.
+    """
+    if workers < 1:
+        raise FarmError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise FarmError(f"retries must be >= 0, got {retries}")
+    report = RunReport()
+    start_wall = time.perf_counter()
+    pending = [_Pending(job=j, key=j.key()) for j in jobs]
+    queue: list[_Pending] = list(pending)
+    ctx = _mp_context()
+    pool: list[_Worker] = []
+
+    def finish(outcome: JobOutcome) -> None:
+        report.outcomes.append(outcome)
+        if on_result is not None:
+            on_result(outcome)
+
+    def settle_failure(item: _Pending, status: str, error: str,
+                       elapsed: float) -> None:
+        """Retry with backoff if budget remains, else finalise."""
+        if item.attempts <= retries:
+            item.eligible_at = time.monotonic() + backoff * (
+                2 ** (item.attempts - 1)
+            )
+            queue.append(item)
+            return
+        finish(
+            JobOutcome(
+                job=item.job,
+                key=item.key,
+                status=status,
+                error=error,
+                elapsed=elapsed,
+                attempts=item.attempts,
+            )
+        )
+
+    def reap(worker: _Worker) -> None:
+        """Collect one ready result (or a dead worker) off the pipe."""
+        item = worker.item
+        assert item is not None
+        worker.item = None
+        try:
+            msg = worker.conn.recv()
+        except (EOFError, OSError):
+            # the worker died without reporting; replace it
+            worker.kill()
+            pool[pool.index(worker)] = _Worker(ctx)
+            settle_failure(
+                item,
+                "error",
+                "worker process died unexpectedly",
+                time.monotonic() - worker.started,
+            )
+            return
+        if msg.get("status") == "ok":
+            finish(
+                JobOutcome(
+                    job=item.job,
+                    key=item.key,
+                    status="ok",
+                    result=msg.get("result"),
+                    elapsed=float(msg.get("elapsed", 0.0)),
+                    attempts=item.attempts,
+                )
+            )
+        else:
+            settle_failure(
+                item,
+                "error",
+                msg.get("error", "unknown worker error"),
+                float(msg.get("elapsed", 0.0)),
+            )
+
+    def expire(worker: _Worker) -> None:
+        """Kill a worker whose job blew the deadline; replace it."""
+        item = worker.item
+        assert item is not None
+        elapsed = time.monotonic() - worker.started
+        worker.item = None
+        worker.kill()
+        pool[pool.index(worker)] = _Worker(ctx)
+        settle_failure(
+            item, "timeout", f"exceeded {timeout}s timeout", elapsed
+        )
+
+    interrupted = False
+    try:
+        size = min(workers, max(len(jobs), 1))
+        pool.extend(_Worker(ctx) for _ in range(size))
+        while True:
+            now = time.monotonic()
+            # dispatch eligible work to idle workers
+            for worker in pool:
+                if worker.busy:
+                    continue
+                idx = next(
+                    (
+                        i
+                        for i, item in enumerate(queue)
+                        if item.eligible_at <= now
+                    ),
+                    None,
+                )
+                if idx is None:
+                    break
+                item = queue.pop(idx)
+                item.attempts += 1
+                worker.dispatch(item)
+            busy = [w for w in pool if w.busy]
+            if not busy and not queue:
+                break
+            # wait until a result lands, a deadline passes, or a
+            # backed-off retry becomes eligible
+            waits: list[float] = []
+            if timeout is not None:
+                waits.extend(
+                    max(0.0, w.started + timeout - now) for w in busy
+                )
+            waits.extend(
+                max(0.0, item.eligible_at - now)
+                for item in queue
+                if item.eligible_at > now
+            )
+            poll = min(waits) if waits else None
+            ready = wait([w.conn for w in busy], timeout=poll) if busy else []
+            ready_set = set(ready)
+            for worker in list(pool):
+                if worker.busy and worker.conn in ready_set:
+                    reap(worker)
+            if timeout is not None:
+                now = time.monotonic()
+                for worker in list(pool):
+                    if worker.busy and now - worker.started > timeout:
+                        expire(worker)
+            if not busy and queue:
+                # nothing running: just sleep out the shortest backoff
+                time.sleep(min(0.05, poll or 0.05))
+    except KeyboardInterrupt:
+        interrupted = True
+        for worker in pool:
+            if worker.busy:
+                item = worker.item
+                worker.item = None
+                finish(
+                    JobOutcome(
+                        job=item.job,
+                        key=item.key,
+                        status="interrupted",
+                        error="cancelled by SIGINT",
+                        attempts=item.attempts,
+                    )
+                )
+        for item in queue:
+            finish(
+                JobOutcome(
+                    job=item.job,
+                    key=item.key,
+                    status="interrupted",
+                    error="cancelled by SIGINT",
+                    attempts=item.attempts,
+                )
+            )
+    finally:
+        for worker in pool:
+            if interrupted or worker.busy:
+                worker.kill()
+            else:
+                worker.shutdown()
+    report.interrupted = interrupted
+    report.wall_time = time.perf_counter() - start_wall
+    return report

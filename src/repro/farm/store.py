@@ -1,0 +1,221 @@
+"""Content-addressed on-disk artifact store for farm campaigns.
+
+Artifacts (adversary traces, non-sorting certificates, lint reports,
+experiment rows) are keyed by a canonical SHA-256 hash of the serialised
+job that produced them, so identical work is never recomputed and two
+stores built from the same campaign are byte-identical up to index
+ordering.  Layout::
+
+    <root>/
+      objects/<k[:2]>/<k[2:]>.json    one JSON document per artifact
+      index.jsonl                     append-only index, one line per put
+
+Writes are atomic (temp file + ``os.replace`` in the object directory),
+so a crash or SIGINT can never leave a half-written object: the worst
+case is a stray ``*.tmp`` file, which readers ignore.  The index is
+advisory -- :meth:`ArtifactStore.get` always reads the object file -- so
+a truncated final index line (the one failure appends admit) cannot
+corrupt results either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from .._util import json_native
+
+__all__ = ["STORE_FORMAT", "canonical_json", "job_key", "ArtifactStore", "cached"]
+
+#: Format tag hashed into every key; bump to invalidate all stores.
+STORE_FORMAT = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: native types, sorted keys, no whitespace."""
+    return json.dumps(
+        json_native(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def job_key(doc: Any) -> str:
+    """SHA-256 hex digest of the canonical serialisation of ``doc``."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """A content-addressed JSON artifact store rooted at a directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the sharded artifact objects."""
+        return self.root / "objects"
+
+    @property
+    def index_path(self) -> Path:
+        """The advisory append-only JSONL index file."""
+        return self.root / "index.jsonl"
+
+    def object_path(self, key: str) -> Path:
+        """Sharded on-disk location of one artifact."""
+        return self.objects_dir / key[:2] / f"{key[2:]}.json"
+
+    def put(self, key: str, doc: dict[str, Any]) -> Path:
+        """Atomically write one artifact and append an index line."""
+        doc = dict(doc)
+        doc.setdefault("format", STORE_FORMAT)
+        doc["key"] = key
+        path = self.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(json_native(doc), indent=2)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        line = canonical_json(
+            {
+                "key": key,
+                "kind": (doc.get("job") or {}).get("kind"),
+                "status": doc.get("status"),
+                "elapsed": doc.get("elapsed"),
+            }
+        )
+        with open(self.index_path, "a") as fh:
+            fh.write(line + "\n")
+        return path
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Load one artifact; a missing or unreadable object is a miss."""
+        path = self.object_path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(doc, dict) or doc.get("key") != key:
+            return None
+        return doc
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> Iterator[str]:
+        """All artifact keys, reconstructed from the object tree."""
+        if not self.objects_dir.is_dir():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield shard.name + path.name[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def iter_index(self) -> Iterator[dict[str, Any]]:
+        """Parse the advisory index; skips the rare truncated line."""
+        try:
+            lines = self.index_path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                yield entry
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate counts for ``farm status``: artifacts, kinds, bytes."""
+        by_kind: dict[str, int] = {}
+        by_status: dict[str, int] = {}
+        artifacts = 0
+        total_bytes = 0
+        elapsed = 0.0
+        seen: set[str] = set()
+        for entry in self.iter_index():
+            key = entry.get("key")
+            if not isinstance(key, str) or key in seen:
+                continue
+            seen.add(key)
+            path = self.object_path(key)
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # indexed but gone: don't count it
+            artifacts += 1
+            kind = entry.get("kind") or "unknown"
+            status = entry.get("status") or "unknown"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            by_status[status] = by_status.get(status, 0) + 1
+            if isinstance(entry.get("elapsed"), (int, float)):
+                elapsed += float(entry["elapsed"])
+        # objects written while the index line was lost still count
+        unindexed = sum(1 for k in self.keys() if k not in seen)
+        return {
+            "root": str(self.root),
+            "artifacts": artifacts + unindexed,
+            "unindexed": unindexed,
+            "bytes": total_bytes,
+            "compute_seconds": elapsed,
+            "by_kind": dict(sorted(by_kind.items())),
+            "by_status": dict(sorted(by_status.items())),
+        }
+
+
+def cached(
+    store: ArtifactStore | None,
+    params: dict[str, Any],
+    compute: Callable[[], dict[str, Any]],
+    *,
+    revalidate: Callable[[dict[str, Any]], bool] | None = None,
+) -> tuple[dict[str, Any], bool]:
+    """Memoise one experiment cell through a store; returns (result, hit).
+
+    ``params`` must fully determine the computation.  On a hit the cached
+    result is handed to ``revalidate`` first (e.g. re-verify a stored
+    certificate against the freshly rebuilt network); a failing or
+    raising revalidation is treated as a miss and the cell is recomputed
+    and rewritten, so stale or corrupted artifacts can never leak into a
+    table.  With ``store=None`` this is just ``compute()``.
+    """
+    if store is None:
+        return compute(), False
+    key = job_key({"format": STORE_FORMAT, "kind": "cell", "params": params})
+    doc = store.get(key)
+    if doc is not None and doc.get("status") == "ok":
+        result = doc.get("result")
+        if isinstance(result, dict):
+            try:
+                valid = revalidate is None or revalidate(result)
+            except Exception:
+                valid = False
+            if valid:
+                return result, True
+    # normalise before returning so cold and warm runs yield identical rows
+    result = json_native(compute())
+    store.put(
+        key,
+        {
+            "job": {"kind": "cell", "params": json_native(params)},
+            "status": "ok",
+            "result": result,
+        },
+    )
+    return result, False

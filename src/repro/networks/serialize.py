@@ -31,6 +31,7 @@ __all__ = [
     "program_to_json",
     "program_from_json",
     "payload_of",
+    "from_payload",
     "dumps",
     "loads",
 ]
@@ -191,10 +192,14 @@ def payload_of(doc: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
-def loads(text: str) -> Any:
-    """Inverse of :func:`dumps`."""
-    payload = payload_of(json.loads(text))
-    kind = payload.get("kind")
+def from_payload(payload: dict[str, Any]) -> Any:
+    """Deserialise a bare (already unwrapped) kind-tagged payload dict."""
+    kind = payload.get("kind") if isinstance(payload, dict) else None
     if kind not in _DESERIALIZERS:
         raise ReproError(f"unknown payload kind {kind!r}")
     return _DESERIALIZERS[kind](payload)
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps`."""
+    return from_payload(payload_of(json.loads(text)))

@@ -73,3 +73,41 @@ def test_mutated_certificates_rejected(genuine, field, i, j):
         out_b = flat.evaluate(mutated.input_b)
         assert sorted(out_a.tolist()) == sorted(out_b.tolist())
     # and the common case: rejection
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    family=st.sampled_from(["bitonic", "random_iterated"]),
+    blocks=st.integers(1, 2),
+    seed=st.integers(0, 5),
+)
+def test_roundtripped_certificates_still_verify(family, blocks, seed):
+    """to_json/from_json is lossless where it matters: the deserialised
+    certificate verifies against the same network the original did."""
+    from repro.experiments.workloads import seeded_family
+
+    net = seeded_family(family, 16, blocks, seed)
+    outcome = prove_not_sorting(net, rng=np.random.default_rng(seed))
+    if outcome.certificate is None:
+        return
+    flat = net.to_network()
+    cert = outcome.certificate
+    assert cert.verify(flat)
+    back = NonSortingCertificate.from_json(cert.to_json())
+    assert back.verify(flat)
+    assert (back.input_a == cert.input_a).all()
+    assert (back.input_b == cert.input_b).all()
+    assert back.wires == cert.wires
+    assert back.values == cert.values
+    # the round trip is a fixed point
+    assert NonSortingCertificate.from_json(back.to_json()).to_json() == cert.to_json()
+
+
+def test_from_json_rejects_wrong_kind(genuine):
+    from repro.errors import CertificateError
+
+    _, cert = genuine
+    doc = cert.to_json()
+    doc["kind"] = "something-else"
+    with pytest.raises(CertificateError):
+        NonSortingCertificate.from_json(doc)

@@ -69,3 +69,62 @@ class TestTable:
 
     def test_str(self):
         assert str(self.make()).startswith("== E0")
+
+
+class TestTablePersistence:
+    """Native-type persistence: save keeps numbers as numbers, load inverts."""
+
+    def make_numpy_table(self) -> Table:
+        import numpy as np
+
+        t = Table(
+            experiment="E0",
+            title="numpy",
+            claim="scalars survive",
+            columns=["n", "frac", "flag"],
+        )
+        t.add_row(n=np.int64(4), frac=np.float64(0.25), flag=np.bool_(True))
+        t.notes.append("a note")
+        return t
+
+    def test_save_writes_native_types(self, tmp_path):
+        t = self.make_numpy_table()
+        t.save(tmp_path)
+        data = json.loads((tmp_path / "e0.json").read_text())
+        row = data["rows"][0]
+        # numpy scalars must be serialised as JSON numbers/booleans,
+        # never stringified
+        assert row == {"n": 4, "frac": 0.25, "flag": True}
+        assert isinstance(row["n"], int)
+        assert isinstance(row["frac"], float)
+        assert isinstance(row["flag"], bool)
+
+    def test_load_roundtrip(self, tmp_path):
+        t = self.make_numpy_table()
+        t.save(tmp_path)
+        back = Table.load(tmp_path / "e0.json")
+        assert back.experiment == t.experiment
+        assert back.title == t.title
+        assert back.claim == t.claim
+        assert back.columns == t.columns
+        assert back.notes == t.notes
+        assert back.rows == [{"n": 4, "frac": 0.25, "flag": True}]
+
+    def test_to_payload_from_payload(self):
+        t = self.make_numpy_table()
+        back = Table.from_payload(t.to_payload())
+        assert back.to_payload() == t.to_payload()
+
+    def test_from_payload_rejects_garbage(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            Table.from_payload({"rows": "not-a-list"})
+        with pytest.raises(ReproError):
+            Table.from_payload([])
+
+    def test_load_missing_file(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            Table.load(tmp_path / "absent.json")

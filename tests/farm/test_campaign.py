@@ -1,0 +1,165 @@
+"""Tests for campaign specs, grid expansion, and resume-from-store."""
+
+import json
+
+import pytest
+
+from repro.errors import FarmError
+from repro.farm import (
+    ArtifactStore,
+    CampaignSpec,
+    campaign_table,
+    expand_grid,
+    format_summary,
+    run_campaign,
+    status_table,
+)
+
+
+def attack_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        name="t",
+        kind="attack",
+        grid={"family": ["bitonic"], "n": [16], "blocks": [2, 3], "seed": [0, 1]},
+        fixed={"k": None},
+        workers=2,
+        timeout=60.0,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestSpec:
+    def test_expand_is_deterministic_cartesian(self):
+        jobs = attack_spec().expand()
+        assert len(jobs) == 4
+        assert jobs == attack_spec().expand()
+        assert all(j.kind == "attack" and j.family == "bitonic" for j in jobs)
+
+    def test_expand_grid_axes_sorted(self):
+        a = expand_grid("sleep", {"tag": ["a", "b"], "duration": [0.0]})
+        b = expand_grid("sleep", {"duration": [0.0], "tag": ["a", "b"]})
+        assert a == b
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FarmError, match="unknown job kind"):
+            CampaignSpec(name="x", kind="bogus")
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(FarmError, match="non-empty list"):
+            CampaignSpec(name="x", kind="sleep", grid={"tag": []})
+
+    def test_grid_fixed_overlap_rejected(self):
+        with pytest.raises(FarmError, match="both grid and fixed"):
+            CampaignSpec(
+                name="x", kind="sleep",
+                grid={"tag": ["a"]}, fixed={"tag": "b"},
+            )
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(FarmError, match="unknown spec fields"):
+            CampaignSpec.from_json({"name": "x", "kind": "sleep", "bogus": 1})
+
+    def test_from_json_requires_name_and_kind(self):
+        with pytest.raises(FarmError, match="missing"):
+            CampaignSpec.from_json({"kind": "sleep"})
+
+    def test_load_roundtrip(self, tmp_path):
+        spec = attack_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_json()))
+        assert CampaignSpec.load(path) == spec
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{ nope")
+        with pytest.raises(FarmError, match="not valid JSON"):
+            CampaignSpec.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FarmError, match="cannot read"):
+            CampaignSpec.load(tmp_path / "absent.json")
+
+
+class TestRunCampaign:
+    def test_cold_run_persists_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        result = run_campaign(attack_spec(), store, workers=2)
+        assert result.count("ok") == 4
+        assert result.hits == 0
+        assert len(store) == 4
+
+    def test_warm_resume_hits_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=2)
+        warm = run_campaign(attack_spec(), store, workers=2, resume=True)
+        assert warm.hits == 4
+        assert warm.executed == 0
+        assert warm.hit_rate == 1.0
+        assert warm.invalidated == 0
+
+    def test_resume_results_match_cold(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        cold = run_campaign(attack_spec(), store, workers=1)
+        warm = run_campaign(attack_spec(), store, workers=1, resume=True)
+        by_key = lambda r: {o.key: o.result for o in r.outcomes}
+        assert by_key(cold) == by_key(warm)
+
+    def test_without_resume_recomputes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=1)
+        again = run_campaign(attack_spec(), store, workers=1)
+        assert again.hits == 0
+        assert again.executed == 4
+
+    def test_tampered_artifact_is_invalidated_and_recomputed(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=1)
+        # corrupt one stored certificate so revalidation must fail
+        key = next(iter(store.keys()))
+        doc = store.get(key)
+        if doc["result"].get("certificate"):
+            doc["result"]["certificate"]["input_a"] = [0] * 16
+            doc["result"]["certificate"]["input_b"] = [0] * 16
+        store.put(key, doc)
+        warm = run_campaign(attack_spec(), store, workers=1, resume=True)
+        assert warm.invalidated == 1
+        assert warm.hits == 3
+        # the bad artifact was recomputed and is now valid again
+        warm2 = run_campaign(attack_spec(), store, workers=1, resume=True)
+        assert warm2.hits == 4
+
+    def test_failures_counted(self, tmp_path):
+        spec = CampaignSpec(
+            name="f", kind="sleep",
+            grid={"tag": ["a", "b"]}, fixed={"fail": True},
+            retries=0,
+        )
+        result = run_campaign(spec, ArtifactStore(tmp_path / "s"), workers=1)
+        assert result.failures == 2
+        assert result.summary()["errors"] == 2
+        # failed jobs are never persisted
+        assert len(ArtifactStore(tmp_path / "s")) == 0
+
+    def test_no_store_still_runs(self):
+        result = run_campaign(attack_spec(), None, workers=1)
+        assert result.count("ok") == 4
+
+
+class TestReport:
+    def test_campaign_table_and_summary(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=1)
+        warm = run_campaign(attack_spec(), store, workers=1, resume=True)
+        table = campaign_table(warm)
+        text = table.format()
+        assert "cached" in text
+        assert table.column("status") == ["cached"] * 4
+        summary = format_summary(warm)
+        assert "4 jobs" in summary or "cached" in summary
+
+    def test_status_table(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=1)
+        text = status_table(store).format()
+        assert "attack" in text

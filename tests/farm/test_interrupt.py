@@ -1,0 +1,83 @@
+"""SIGINT mid-campaign: completed work is flushed, the store stays
+consistent, and a --resume run picks up where the interrupt left off."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.farm import ArtifactStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def spec_doc(n_jobs: int, duration: float) -> dict:
+    return {
+        "name": "interruptible",
+        "kind": "sleep",
+        "grid": {"tag": [f"job{i}" for i in range(n_jobs)]},
+        "fixed": {"duration": duration},
+        "workers": 2,
+        "retries": 0,
+    }
+
+
+def launch_farm(spec_path, store_path, *extra):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "farm", "run", str(spec_path),
+            "--store", str(store_path), "--json", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        # own process group so the test runner never sees the SIGINT
+        preexec_fn=os.setsid,
+    )
+
+
+@pytest.mark.slow  # ~5s: subprocess campaign + real SIGINT timing
+def test_sigint_flushes_completed_work_and_resumes(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    store_path = tmp_path / "store"
+    spec_path.write_text(json.dumps(spec_doc(n_jobs=10, duration=0.25)))
+
+    proc = launch_farm(spec_path, store_path)
+    # let a few jobs finish, then interrupt mid-campaign
+    time.sleep(1.5)
+    os.killpg(proc.pid, signal.SIGINT)
+    stdout, stderr = proc.communicate(timeout=30)
+    assert proc.returncode == 130, f"stdout={stdout!r} stderr={stderr!r}"
+
+    doc = json.loads(stdout)
+    summary = doc["summary"]
+    assert summary["interrupted"] is True
+    assert summary["interrupted_jobs"] >= 1
+    assert summary["total"] == 10
+
+    # the store is consistent: every object parses and matches its key,
+    # no half-written temp files survive
+    store = ArtifactStore(store_path)
+    finished = len(store)
+    assert summary["ok"] == finished
+    assert 1 <= finished < 10
+    for key in store.keys():
+        assert store.get(key) is not None
+    assert not list(store.root.rglob("*.tmp"))
+
+    # resume completes only the remainder and hits the flushed artifacts
+    proc = launch_farm(spec_path, store_path, "--resume")
+    stdout, stderr = proc.communicate(timeout=60)
+    assert proc.returncode == 0, f"stdout={stdout!r} stderr={stderr!r}"
+    summary = json.loads(stdout)["summary"]
+    assert summary["interrupted"] is False
+    assert summary["cached"] == finished
+    assert summary["ok"] == 10 - finished
+    assert len(store) == 10

@@ -188,3 +188,118 @@ class TestExperimentAll:
         out = capsys.readouterr().out
         assert "E7" in out and "saved all tables" in out
         assert (tmp_path / "e7.txt").exists()
+
+
+class TestFarmCli:
+    def write_spec(self, tmp_path, n_jobs=4):
+        spec = {
+            "name": "cli-smoke",
+            "kind": "attack",
+            "grid": {"family": ["bitonic"], "n": [16],
+                     "blocks": [2, 3], "seed": list(range(n_jobs // 2))},
+            "workers": 2,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_farm_run_cold_then_resume(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        assert main(["farm", "run", str(spec), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out and "0 cached" in out
+
+        assert main(["farm", "run", str(spec), "--store", str(store),
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cached (100.0% hit rate)" in out
+
+    def test_farm_run_json_output(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        assert main(["farm", "run", str(spec), "--store", str(store),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["total"] == 4
+        assert doc["summary"]["ok"] == 4
+        assert doc["table"]["rows"]
+
+    def test_farm_run_save(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["farm", "run", str(spec),
+                     "--store", str(tmp_path / "store"),
+                     "--save", str(tmp_path / "out")]) == 0
+        assert (tmp_path / "out" / "farm-cli-smoke.json").exists()
+
+    def test_farm_run_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "kind": "bogus"}')
+        assert main(["farm", "run", str(bad),
+                     "--store", str(tmp_path / "store")]) == 2
+        assert "error[farm/spec]" in capsys.readouterr().err
+
+    def test_farm_run_failures_exit_1(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "fails", "kind": "sleep",
+            "grid": {"tag": ["a"]}, "fixed": {"fail": True},
+        }))
+        assert main(["farm", "run", str(spec),
+                     "--store", str(tmp_path / "store")]) == 1
+
+    def test_farm_status(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        store = tmp_path / "store"
+        assert main(["farm", "run", str(spec), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["farm", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "attack" in out and "4" in out
+
+
+class TestAttackStore:
+    def test_attack_store_cold_then_hit(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["attack", "--family", "bitonic", "-n", "16", "--blocks", "2",
+                "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "NOT a sorting network" in first
+        assert "store hit" not in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "store hit, certificate re-verified" in second
+
+    def test_attack_store_certificate_file(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        cert = tmp_path / "cert.json"
+        args = ["attack", "--family", "bitonic", "-n", "16", "--blocks", "2",
+                "--store", store, "--certificate", str(cert)]
+        assert main(args) == 0
+        doc = json.loads(cert.read_text())
+        assert sorted(doc["input_a"]) == list(range(16))
+
+
+class TestExperimentSeedStore:
+    def test_seed_threads_into_driver(self, capsys):
+        assert main(["experiment", "e7", "--seed", "3"]) == 0
+        assert "E7" in capsys.readouterr().out
+
+    def test_seed_note_when_unsupported(self, capsys, monkeypatch):
+        import repro.cli as cli
+        import repro.experiments as ex
+
+        deterministic = {"E1": ex.ALL_EXPERIMENTS["E1"]}
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", deterministic)
+        assert main(["experiment", "e1", "--seed", "3"]) == 0
+        assert "takes no seed" in capsys.readouterr().err
+
+    def test_store_threads_into_e11(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["experiment", "e11", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "e11", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 cells served from cache" in out

@@ -7,7 +7,9 @@ import pytest
 import repro
 
 
-SUBPACKAGES = ["networks", "core", "sorters", "machines", "analysis", "experiments"]
+SUBPACKAGES = [
+    "networks", "core", "sorters", "machines", "analysis", "experiments", "farm",
+]
 
 
 class TestExports:
