@@ -1,0 +1,89 @@
+"""Observability overhead: tracing must be free when disabled.
+
+The instrumentation ships enabled-by-default code paths (``get_tracer()``
+plus a no-op span/event call per site), so the gate bounds what those
+no-ops cost relative to the real work: per-record no-op cost times the
+number of records an enabled run would emit must stay under 3% of the
+disabled attack runtime on bitonic n=64.  Enabled-tracing overhead is
+recorded informationally (a MemorySink run against the same baseline)
+and both ratios are archived to ``benchmarks/results/obs-overhead.json``.
+"""
+
+import json
+import timeit
+
+import numpy as np
+
+from repro.core.fooling import prove_not_sorting
+from repro.networks.builders import bitonic_iterated_rdn
+from repro.obs import NULL_TRACER, MemorySink, Tracer, use_tracer
+
+#: Disabled instrumentation may cost at most this fraction of the work.
+OVERHEAD_BUDGET = 0.03
+
+_NOOP_ITERATIONS = 20_000
+
+
+def run_attack():
+    # truncated so the adversary wins and the workload is deterministic
+    return prove_not_sorting(
+        bitonic_iterated_rdn(64).truncated(3), rng=np.random.default_rng(0)
+    )
+
+
+def _noop_cost_per_record() -> float:
+    """Seconds per emitted-record-equivalent on the disabled path."""
+
+    def one_site():
+        with NULL_TRACER.span("bench", n=64):
+            NULL_TRACER.event("bench.event", i=0)
+
+    elapsed = timeit.timeit(one_site, number=_NOOP_ITERATIONS)
+    return elapsed / (2 * _NOOP_ITERATIONS)
+
+
+def test_bench_obs_overhead(benchmark, results_dir, capsys):
+    sink = MemorySink()
+    with use_tracer(Tracer(sink)):
+        outcome = run_attack()
+    assert outcome.proved_not_sorting
+    n_records = len(sink.records)
+    assert n_records > 0
+
+    baseline = benchmark(run_attack)
+    assert baseline.proved_not_sorting
+    baseline_s = benchmark.stats.stats.mean
+
+    disabled_ratio = _noop_cost_per_record() * n_records / baseline_s
+
+    def enabled_run():
+        with use_tracer(Tracer(MemorySink())):
+            run_attack()
+
+    enabled_s = min(timeit.repeat(enabled_run, number=1, repeat=3))
+    enabled_ratio = enabled_s / baseline_s - 1.0
+
+    doc = {
+        "workload": "prove_not_sorting(bitonic_iterated_rdn(64))",
+        "records_per_run": n_records,
+        "baseline_mean_s": baseline_s,
+        "disabled_overhead_ratio": disabled_ratio,
+        "enabled_overhead_ratio": enabled_ratio,
+        "budget": OVERHEAD_BUDGET,
+    }
+    (results_dir / "obs-overhead.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"obs overhead: disabled {disabled_ratio:.4%} "
+            f"(budget {OVERHEAD_BUDGET:.0%}), "
+            f"enabled {enabled_ratio:+.2%}, "
+            f"{n_records} records/run"
+        )
+
+    assert disabled_ratio < OVERHEAD_BUDGET, (
+        f"disabled-tracing overhead {disabled_ratio:.4%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} of attack runtime"
+    )

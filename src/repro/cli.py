@@ -27,6 +27,16 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
     [--resume]`` sweeps a job grid on a worker pool, caching every
     result in a content-addressed artifact store; ``farm status``
     inventories a store.
+``stats``
+    Analyse a trace JSONL file written by ``--trace``: span tree,
+    slowest spans, timer percentiles, and the adversary's per-block
+    special-set tables.
+
+Global flags: ``-v``/``-q`` adjust log verbosity (also via the
+``REPRO_LOG`` environment variable); ``attack``/``experiment`` take
+``--trace PATH`` to record a structured trace, ``farm run`` takes
+``--trace [PATH]``, and ``attack --profile`` prints CPU/memory hotspots
+(also via ``REPRO_PROFILE=1``).
 
 The CLI is deliberately thin: every command is one or two calls into the
 library, so it doubles as living documentation of the public API.
@@ -35,7 +45,10 @@ library, so it doubles as living documentation of the public API.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import logging
+import os
 import sys
 from pathlib import Path
 
@@ -43,7 +56,7 @@ import numpy as np
 
 from . import __version__
 from .core import bounds as bounds_mod
-from .errors import FarmError, LintError, ReproError
+from .errors import FarmError, LintError, ObsError, ReproError
 from .core.fooling import prove_not_sorting
 from .core.iterate import theorem41_guarantee
 from .experiments import ALL_EXPERIMENTS
@@ -52,9 +65,19 @@ from .machines.routing import benes_routing_network, sort_route_program
 from .networks import serialize
 from .networks.draw import render_network, render_stage_summary, to_dot
 from .networks.permutations import Permutation
+from .obs import (
+    configure_logging,
+    profile_section,
+    profiling_enabled,
+    read_trace,
+    tracing,
+)
+from .obs.report import render_stats, stats_json, well_formedness_problems
 from .sorters.registry import get_sorter, sorter_names
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger("repro.cli")
 
 
 def _load_network(path: str):
@@ -74,9 +97,9 @@ def _resolve_network(args) -> "object":
 
 def _print_lint_failure(context: str, exc: LintError) -> None:
     """Render a precondition failure as located lint diagnostics."""
-    print(f"{context}: {exc}", file=sys.stderr)
+    logger.error("%s: %s", context, exc)
     for diag in getattr(exc, "diagnostics", []):
-        print(f"  {diag.format()}", file=sys.stderr)
+        logger.error("  %s", diag.format())
 
 
 def _attack_target(args) -> str:
@@ -133,8 +156,7 @@ def _attack_via_store(args) -> int:
                 valid = False
         if valid:
             return _print_attack_result(args, result, cached=True)
-        print("stale artifact failed re-verification; recomputing",
-              file=sys.stderr)
+        logger.warning("stale artifact failed re-verification; recomputing")
     try:
         result = job.execute()
     except LintError as exc:
@@ -194,7 +216,7 @@ def cmd_verify(args) -> int:
         _print_lint_failure("verify precondition failed", exc)
         return 2
     except ReproError as exc:
-        print(f"error[verify/precondition]: {exc}", file=sys.stderr)
+        logger.error("error[verify/precondition]: %s", exc)
         return 2
     if witness is None:
         print(f"sorting network: yes (all 2^{net.n} binary inputs sorted)")
@@ -238,16 +260,19 @@ def _experiment_kwargs(name: str, fn, args) -> dict:
         if "seed" in params:
             kwargs["seed"] = args.seed
         else:
-            print(f"note: {name} takes no seed (deterministic driver); "
-                  "--seed ignored", file=sys.stderr)
+            logger.warning(
+                "note: %s takes no seed (deterministic driver); "
+                "--seed ignored", name,
+            )
     if getattr(args, "store", None):
         if "store" in params:
             from .farm import ArtifactStore
 
             kwargs["store"] = ArtifactStore(args.store)
         else:
-            print(f"note: {name} is not store-backed; --store ignored",
-                  file=sys.stderr)
+            logger.warning(
+                "note: %s is not store-backed; --store ignored", name
+            )
     return kwargs
 
 
@@ -264,8 +289,10 @@ def cmd_experiment(args) -> int:
             print(f"saved all tables to {args.save}")
         return 0
     if name not in ALL_EXPERIMENTS:
-        print(f"unknown experiment {name!r}; available: "
-              f"{', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        logger.error(
+            "unknown experiment %r; available: %s",
+            name, ", ".join(ALL_EXPERIMENTS),
+        )
         return 2
     fn = ALL_EXPERIMENTS[name]
     table = fn(**_experiment_kwargs(name, fn, args))
@@ -288,7 +315,7 @@ def cmd_farm_run(args) -> int:
     try:
         spec = CampaignSpec.load(args.spec)
     except FarmError as exc:
-        print(f"error[farm/spec]: {exc}", file=sys.stderr)
+        logger.error("error[farm/spec]: %s", exc)
         return 2
     store = ArtifactStore(args.store)
     try:
@@ -301,7 +328,7 @@ def cmd_farm_run(args) -> int:
             retries=args.retries,
         )
     except FarmError as exc:
-        print(f"error[farm/run]: {exc}", file=sys.stderr)
+        logger.error("error[farm/run]: %s", exc)
         return 2
     table = campaign_table(result)
     if args.json:
@@ -329,6 +356,25 @@ def cmd_farm_status(args) -> int:
     else:
         print(status_table(store).format())
     return 0
+
+
+def cmd_stats(args) -> int:
+    """Analyse a trace JSONL file: tree, timers, adversary tables.
+
+    Exit codes: 2 when the file is unreadable or contains invalid
+    records, 1 when the span tree is malformed (duplicate ids, dangling
+    parents, impossible nesting), 0 otherwise.
+    """
+    try:
+        records = read_trace(args.trace_file)
+    except ObsError as exc:
+        logger.error("error[stats/trace]: %s", exc)
+        return 2
+    if args.json:
+        print(json.dumps(stats_json(records, top=args.top), indent=2))
+    else:
+        print(render_stats(records, top=args.top))
+    return 1 if well_formedness_problems(records) else 0
 
 
 def cmd_bounds(args) -> int:
@@ -360,8 +406,7 @@ def cmd_lint(args) -> int:
         try:
             text = path.read_text()
         except OSError as exc:
-            print(f"error[lint/io]: cannot read {target}: {exc}",
-                  file=sys.stderr)
+            logger.error("error[lint/io]: cannot read %s: %s", target, exc)
             return 2
         report = lint_document(text, target=target, config=config)
     else:
@@ -369,7 +414,7 @@ def cmd_lint(args) -> int:
             spec = get_sorter(target)
         except (KeyError, ReproError) as exc:
             message = exc.args[0] if exc.args else exc
-            print(f"error[lint/target]: {message}", file=sys.stderr)
+            logger.error("error[lint/target]: %s", message)
             return 2
         report = lint_network(
             spec.build(args.n), target=f"{target} (n={args.n})", config=config
@@ -380,8 +425,10 @@ def cmd_lint(args) -> int:
         print(report.format_text())
     if args.fix:
         if report.network is None:
-            print("error[lint/fix]: nothing to fix: the document did not "
-                  "parse into a network", file=sys.stderr)
+            logger.error(
+                "error[lint/fix]: nothing to fix: the document did not "
+                "parse into a network"
+            )
             return 2
         fixed = apply_fixes(report.network, report.diagnostics)
         Path(args.fix).write_text(serialize.dumps(fixed, indent=2))
@@ -398,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Executable Plaxton-Suel (SPAA 1992) lower-bound toolkit",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more log output (repeatable; also REPRO_LOG)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less log output (repeatable)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("attack", help="run the adversary against a network")
@@ -416,6 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "artifact store; cached certificates are re-verified "
                         "against the rebuilt network before being trusted "
                         "(network build seeds derive from the job hash)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a structured trace (JSONL) of the attack; "
+                        "analyse it with 'repro stats PATH'")
+    p.add_argument("--profile", action="store_const", const=True,
+                   default=None,
+                   help="print CPU/memory hotspots after the attack "
+                        "(also via REPRO_PROFILE=1)")
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("verify", help="0-1 verification of a network")
@@ -450,6 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact store for the sweep-heavy drivers "
                         "(E8, E11): finished cells are reused after "
                         "re-verification")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a structured trace (JSONL) of the run")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("bounds", help="print the bound landscape at n")
@@ -493,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the summary and table as JSON")
     fp.add_argument("--save", metavar="DIR",
                     help="archive the campaign table like an experiment")
+    fp.add_argument("--trace", metavar="PATH", nargs="?",
+                    const="farm-trace.jsonl", default=None,
+                    help="record a structured trace of the campaign, "
+                         "including per-job worker spans "
+                         "(default path: farm-trace.jsonl)")
     fp.set_defaults(func=cmd_farm_run)
 
     fp = farm_sub.add_parser("status", help="inventory an artifact store")
@@ -500,13 +565,41 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--json", action="store_true")
     fp.set_defaults(func=cmd_farm_status)
 
+    p = sub.add_parser("stats", help="analyse a trace written by --trace")
+    p.add_argument("trace_file", help="path to a trace JSONL file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full analysis as JSON")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of slowest spans to list (default 10)")
+    p.set_defaults(func=cmd_stats)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    trace_target = getattr(args, "trace", None)
+    profile_handle = None
+    with contextlib.ExitStack() as stack:
+        if trace_target:
+            stack.enter_context(tracing(trace_target))
+        if hasattr(args, "profile") and profiling_enabled(args.profile):
+            profile_handle = stack.enter_context(
+                profile_section(args.command, enabled=True)
+            )
+        try:
+            code = args.func(args)
+        except BrokenPipeError:
+            # stdout consumer (e.g. `| head`) went away; not an error
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            code = 0
+    if trace_target:
+        logger.info("trace written to %s", trace_target)
+    if profile_handle is not None and profile_handle.report is not None:
+        print(profile_handle.report.format(), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,6 +55,8 @@ import numpy as np
 from ..errors import PatternError, PropagationError
 from ..networks.delta import ReverseDeltaNetwork
 from ..networks.gates import Op
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .alphabet import M, Symbol, X
 from .pattern import Pattern
 from .propagate import SymbolicState
@@ -241,6 +243,8 @@ def run_lemma41(
     )
     rng = rng if rng is not None else np.random.default_rng(0)
     k2 = k * k
+    tracer = get_tracer()
+    traced = tracer.enabled
 
     a_set = pattern.m_set(0)
     # Global mutable state.  Children own disjoint positions, so one array
@@ -326,15 +330,32 @@ def run_lemma41(
         for g in node.final:
             _apply_gate(g)
 
+        elements_after = sum(len(s) for s in merged.values())
         trace.nodes.append(
             NodeRecord(
                 height=node.levels,
                 collisions=n_collisions,
                 chosen_shift=i0,
                 demoted=demoted,
-                elements_after=sum(len(s) for s in merged.values()),
+                elements_after=elements_after,
             )
         )
+        if traced:
+            histogram: dict[str, int] = {}
+            for entries in collisions.values():
+                size = str(len(entries))
+                histogram[size] = histogram.get(size, 0) + 1
+            tracer.event(
+                obs_events.EV_NODE,
+                height=node.levels,
+                collisions=n_collisions,
+                collision_sets=len(collisions),
+                histogram=histogram,
+                shift=i0,
+                matched=losses[i0],
+                demoted=demoted,
+                elements_after=elements_after,
+            )
         return merged
 
     def _apply_gate(g) -> None:
@@ -365,7 +386,21 @@ def run_lemma41(
         if (sa < sb) != (g.op is Op.PLUS):
             swap()
 
-    sets = recurse(rdn)
+    with tracer.span(obs_events.SPAN_LEMMA41, n=n, levels=rdn.levels, k=k):
+        sets = recurse(rdn)
+        if traced:
+            tracer.event(
+                obs_events.EV_SUMMARY,
+                levels=rdn.levels,
+                k=k,
+                a_size=len(a_set),
+                b_size=sum(len(s) for s in sets.values()),
+                sets=sum(1 for s in sets.values() if s),
+                collisions=trace.total_collisions,
+                demoted=trace.total_demoted,
+                demote_steps=sum(1 for r in trace.nodes if r.demoted),
+                shift_steps=sum(1 for r in trace.nodes if r.chosen_shift),
+            )
     result_sets = {i: frozenset(s) for i, s in sets.items() if s}
     b_size = sum(len(s) for s in result_sets.values())
     levels = rdn.levels

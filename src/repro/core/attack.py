@@ -36,6 +36,8 @@ from ..networks.delta import IteratedReverseDeltaNetwork
 from ..networks.level import Level
 from ..networks.network import ComparatorNetwork
 from ..analysis.properties import reconstruct_reverse_delta
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .fooling import FoolingOutcome, prove_not_sorting
 
 __all__ = ["recognize_iterated_rdn", "attack_circuit"]
@@ -81,40 +83,42 @@ def recognize_iterated_rdn(
     offending flattened level and gate.
     """
     n = network.n
-    if not is_power_of_two(n):
-        exc = TopologyError(
-            f"class requires a power-of-two wire count, got {n}"
-        )
-        exc.diagnostics = _class_diagnostics(exc)
-        raise exc
-    log_n = ilog2(n)
-    flat = network.flattened()
-    stages = list(flat.stages)
-    # drop the trailing pure-permutation stage flattening may add
-    if stages and stages[-1].perm is not None and not stages[-1].level.gates:
-        stages = stages[:-1]
-    if any(s.perm is not None for s in stages):  # pragma: no cover - defensive
-        raise TopologyError("flattening left an interior permutation")
-    levels = [s.level for s in stages]
-    if log_n == 0:
-        return IteratedReverseDeltaNetwork(n, [])
-    while len(levels) % log_n:
-        levels.append(Level(()))
-    blocks = []
-    for start in range(0, len(levels), log_n):
-        group = ComparatorNetwork(n, levels[start : start + log_n])
-        try:
-            rdn = reconstruct_reverse_delta(group)
-        except TopologyError as exc:
-            raise TopologyError(
-                f"levels {start}..{start + log_n - 1} do not form a reverse "
-                f"delta network: {exc}",
-                level=start + exc.level if exc.level is not None else None,
-                gate=exc.gate,
-                diagnostics=_class_diagnostics(exc, level_offset=start),
-            ) from exc
-        blocks.append((None, rdn))
-    return IteratedReverseDeltaNetwork(n, blocks)
+    with get_tracer().span(obs_events.SPAN_RECOGNIZE, n=n) as span:
+        if not is_power_of_two(n):
+            exc = TopologyError(
+                f"class requires a power-of-two wire count, got {n}"
+            )
+            exc.diagnostics = _class_diagnostics(exc)
+            raise exc
+        log_n = ilog2(n)
+        flat = network.flattened()
+        stages = list(flat.stages)
+        # drop the trailing pure-permutation stage flattening may add
+        if stages and stages[-1].perm is not None and not stages[-1].level.gates:
+            stages = stages[:-1]
+        if any(s.perm is not None for s in stages):  # pragma: no cover - defensive
+            raise TopologyError("flattening left an interior permutation")
+        levels = [s.level for s in stages]
+        if log_n == 0:
+            return IteratedReverseDeltaNetwork(n, [])
+        while len(levels) % log_n:
+            levels.append(Level(()))
+        blocks = []
+        for start in range(0, len(levels), log_n):
+            group = ComparatorNetwork(n, levels[start : start + log_n])
+            try:
+                rdn = reconstruct_reverse_delta(group)
+            except TopologyError as exc:
+                raise TopologyError(
+                    f"levels {start}..{start + log_n - 1} do not form a reverse "
+                    f"delta network: {exc}",
+                    level=start + exc.level if exc.level is not None else None,
+                    gate=exc.gate,
+                    diagnostics=_class_diagnostics(exc, level_offset=start),
+                ) from exc
+            blocks.append((None, rdn))
+        span.set(levels=len(levels), blocks=len(blocks))
+        return IteratedReverseDeltaNetwork(n, blocks)
 
 
 def attack_circuit(
@@ -132,5 +136,12 @@ def attack_circuit(
     which computes the same comparisons as the original up to the
     dropped trailing output permutation.
     """
-    iterated = recognize_iterated_rdn(network)
-    return prove_not_sorting(iterated, k=k, rng=rng, **adversary_kwargs)
+    with get_tracer().span(obs_events.SPAN_ATTACK, n=network.n) as span:
+        iterated = recognize_iterated_rdn(network)
+        outcome = prove_not_sorting(iterated, k=k, rng=rng, **adversary_kwargs)
+        span.set(
+            proved=outcome.proved_not_sorting,
+            survivor=len(outcome.run.special_set),
+            blocks_processed=outcome.run.blocks_processed,
+        )
+        return outcome

@@ -21,6 +21,8 @@ import numpy as np
 from ..errors import PatternError
 from ..networks.delta import IteratedReverseDeltaNetwork
 from ..networks.network import ComparatorNetwork
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .certificates import NonSortingCertificate
 from .iterate import AdversaryRun, run_adversary
 from .pattern import Pattern
@@ -134,8 +136,11 @@ def prove_not_sorting(
     run = run_adversary(network, k=k, rng=rng, **adversary_kwargs)
     if not run.survived:
         return FoolingOutcome(run, None)
-    flat = network.to_network()
-    cert = extract_fooling_pair(
-        flat, run.pattern, run.special_set, rng=rng, verify=True
-    )
+    with get_tracer().span(
+        obs_events.SPAN_EXTRACT, n=network.n, survivors=len(run.special_set)
+    ):
+        flat = network.to_network()
+        cert = extract_fooling_pair(
+            flat, run.pattern, run.special_set, rng=rng, verify=True
+        )
     return FoolingOutcome(run, cert)

@@ -35,6 +35,8 @@ import numpy as np
 
 from ..errors import PatternError
 from ..networks.delta import IteratedReverseDeltaNetwork
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .adversary import run_lemma41
 from .alphabet import L, M, S, Symbol
 from .pattern import Pattern, all_medium_pattern
@@ -195,87 +197,131 @@ def run_adversary(
     )
     run = AdversaryRun(n=n, k=k, pattern=pattern, special_set=pattern.m_set(0))
 
-    for bi, (perm, rdn) in enumerate(network.blocks):
-        if perm is not None:
-            cut.apply_permutation(perm.mapping)
-        entering = len(cut.origin)
-        block_pattern = cut.to_pattern()
-        result = run_lemma41(
-            rdn,
-            block_pattern,
-            k,
-            shift_strategy=shift_strategy,
-            rng=rng,
-        )
-        if not result.sets:
-            # Every special element was demoted; the adversary is dead.
-            run.records.append(
-                BlockRecord(
-                    block_index=bi,
-                    entering_size=entering,
-                    union_size=0,
-                    nonempty_sets=0,
-                    chosen_index=0,
-                    chosen_size=0,
-                    collisions=result.trace.total_collisions,
-                    guarantee=theorem41_guarantee(n, bi + 1) if n >= 4 else 0.0,
+    tracer = get_tracer()
+    with tracer.span(
+        obs_events.SPAN_ADVERSARY, n=n, k=k, blocks=len(network.blocks)
+    ) as adv_span:
+        for bi, (perm, rdn) in enumerate(network.blocks):
+            with tracer.span(obs_events.SPAN_BLOCK, block=bi) as block_span:
+                if perm is not None:
+                    cut.apply_permutation(perm.mapping)
+                entering = len(cut.origin)
+                block_pattern = cut.to_pattern()
+                result = run_lemma41(
+                    rdn,
+                    block_pattern,
+                    k,
+                    shift_strategy=shift_strategy,
+                    rng=rng,
                 )
-            )
-            run.pattern = pattern
-            run.special_set = frozenset()
-            run.blocks_processed = bi + 1
-            run.aborted_early = bi + 1 < len(network.blocks)
-            run.final_cut = cut
-            return run
+                if not result.sets:
+                    # Every special element was demoted; the adversary is dead.
+                    run.records.append(
+                        BlockRecord(
+                            block_index=bi,
+                            entering_size=entering,
+                            union_size=0,
+                            nonempty_sets=0,
+                            chosen_index=0,
+                            chosen_size=0,
+                            collisions=result.trace.total_collisions,
+                            guarantee=theorem41_guarantee(n, bi + 1)
+                            if n >= 4
+                            else 0.0,
+                        )
+                    )
+                    run.pattern = pattern
+                    run.special_set = frozenset()
+                    run.blocks_processed = bi + 1
+                    run.aborted_early = bi + 1 < len(network.blocks)
+                    run.final_cut = cut
+                    tracer.event(
+                        obs_events.EV_SETS,
+                        block=bi,
+                        entering=entering,
+                        union=0,
+                        survivor=0,
+                        chosen=0,
+                        sets=0,
+                        sizes=[],
+                    )
+                    block_span.set(dead=True)
+                    adv_span.set(survivor=0, blocks_processed=bi + 1)
+                    return run
 
-        chosen = chooser(result.sets, rng)
-        chosen_set = result.sets[chosen]
+                chosen = chooser(result.sets, rng)
+                chosen_set = result.sets[chosen]
 
-        # Lemma 3.3 pullback: the refined symbol at each block-input
-        # position belongs to the network-input wire whose token sat
-        # there when the block began.
-        replacements: dict[int, Symbol] = {}
-        for pos, wire in cut.origin.items():
-            replacements[wire] = result.pattern[pos]
-        pattern = pattern.with_symbols(replacements)
+                # Lemma 3.3 pullback: the refined symbol at each block-input
+                # position belongs to the network-input wire whose token sat
+                # there when the block began.
+                replacements: dict[int, Symbol] = {}
+                for pos, wire in cut.origin.items():
+                    replacements[wire] = result.pattern[pos]
+                pattern = pattern.with_symbols(replacements)
 
-        # Lemma 3.4 renaming rho_{chosen}: collapse back to three symbols.
-        pattern = pattern.rho(chosen)
+                # Lemma 3.4 renaming rho_{chosen}: collapse back to three
+                # symbols.
+                pattern = pattern.rho(chosen)
 
-        # Advance the cut to the block's outputs, with the same renaming.
-        pivot = M(chosen)
-        new_symbols: list[Symbol] = []
-        for s in result.state.symbols:
-            if s is pivot:
-                new_symbols.append(M(0))
-            elif s < pivot:
-                new_symbols.append(S(0))
-            else:
-                new_symbols.append(L(0))
-        new_origin: dict[int, int] = {}
-        for pos, block_wire in result.state.origin.items():
-            if result.state.symbols[pos] is pivot:
-                new_origin[pos] = cut.origin[block_wire]
-        cut = SymbolicState(symbols=new_symbols, origin=new_origin)
+                # Advance the cut to the block's outputs, same renaming.
+                pivot = M(chosen)
+                new_symbols: list[Symbol] = []
+                for s in result.state.symbols:
+                    if s is pivot:
+                        new_symbols.append(M(0))
+                    elif s < pivot:
+                        new_symbols.append(S(0))
+                    else:
+                        new_symbols.append(L(0))
+                new_origin: dict[int, int] = {}
+                for pos, block_wire in result.state.origin.items():
+                    if result.state.symbols[pos] is pivot:
+                        new_origin[pos] = cut.origin[block_wire]
+                cut = SymbolicState(symbols=new_symbols, origin=new_origin)
 
-        run.records.append(
-            BlockRecord(
-                block_index=bi,
-                entering_size=entering,
-                union_size=result.b_size,
-                nonempty_sets=len(result.sets),
-                chosen_index=chosen,
-                chosen_size=len(chosen_set),
-                collisions=result.trace.total_collisions,
-                guarantee=theorem41_guarantee(n, bi + 1) if n >= 4 else 0.0,
-            )
+                run.records.append(
+                    BlockRecord(
+                        block_index=bi,
+                        entering_size=entering,
+                        union_size=result.b_size,
+                        nonempty_sets=len(result.sets),
+                        chosen_index=chosen,
+                        chosen_size=len(chosen_set),
+                        collisions=result.trace.total_collisions,
+                        guarantee=theorem41_guarantee(n, bi + 1)
+                        if n >= 4
+                        else 0.0,
+                    )
+                )
+                run.pattern = pattern
+                run.special_set = pattern.m_set(0)
+                run.blocks_processed = bi + 1
+                run.final_cut = cut
+                if tracer.enabled:
+                    tracer.event(
+                        obs_events.EV_SETS,
+                        block=bi,
+                        entering=entering,
+                        union=result.b_size,
+                        survivor=len(chosen_set),
+                        chosen=chosen,
+                        sets=len(result.sets),
+                        sizes=sorted(
+                            (len(s) for s in result.sets.values()),
+                            reverse=True,
+                        ),
+                    )
+                if stop_when_dead and len(run.special_set) < 2:
+                    run.aborted_early = bi + 1 < len(network.blocks)
+                    adv_span.set(
+                        survivor=len(run.special_set),
+                        blocks_processed=run.blocks_processed,
+                    )
+                    return run
+
+        adv_span.set(
+            survivor=len(run.special_set),
+            blocks_processed=run.blocks_processed,
         )
-        run.pattern = pattern
-        run.special_set = pattern.m_set(0)
-        run.blocks_processed = bi + 1
-        run.final_cut = cut
-        if stop_when_dead and len(run.special_set) < 2:
-            run.aborted_early = bi + 1 < len(network.blocks)
-            return run
-
     return run

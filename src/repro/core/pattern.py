@@ -26,6 +26,8 @@ from typing import Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..errors import PatternError, RefinementError
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .alphabet import L, M, S, Symbol
 
 __all__ = ["Pattern", "sml_pattern", "all_medium_pattern", "combine", "oplus_parts"]
@@ -245,7 +247,16 @@ class Pattern:
                 out.append(S(0))
             else:
                 out.append(L(0))
-        return Pattern(out)
+        renamed = Pattern(out)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                obs_events.EV_RHO,
+                index=i,
+                medium_before=sum(1 for s in self._symbols if s is pivot),
+                medium_after=len(renamed.m_set(0)),
+            )
+        return renamed
 
     def validate_sml(self) -> None:
         """Assert only :math:`S_0, M_0, L_0` occur (Lemma 4.1 precondition)."""

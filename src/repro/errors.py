@@ -23,6 +23,7 @@ __all__ = [
     "RoutingError",
     "MachineError",
     "FarmError",
+    "ObsError",
 ]
 
 
@@ -113,3 +114,7 @@ class MachineError(ReproError, RuntimeError):
 
 class FarmError(ReproError, RuntimeError):
     """A campaign spec, job document, or artifact store is invalid."""
+
+
+class ObsError(ReproError, ValueError):
+    """A trace record, trace file, or sink specification is invalid."""

@@ -5,6 +5,10 @@ defaults; the benchmark suite wraps these with pytest-benchmark and
 archives the tables.  ``run_all`` executes everything at default scale.
 """
 
+import functools
+
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .harness import Table
 from . import (
     adaptive,
@@ -24,6 +28,21 @@ from . import (
     workloads,
 )
 
+def _traced(name: str, fn):
+    """Wrap a driver so each call is an ``experiment.run`` span."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with get_tracer().span(
+            obs_events.SPAN_EXPERIMENT, experiment=name
+        ) as span:
+            table = fn(*args, **kwargs)
+            span.set(rows=len(table.rows))
+            return table
+
+    return wrapper
+
+
 ALL_EXPERIMENTS = {
     "E1": e1_depth_bounds.run,
     "E2": e2_lemma41.run,
@@ -39,6 +58,7 @@ ALL_EXPERIMENTS = {
     "E12": e12_separation.run,
     "E13": e13_single_permutation.run,
 }
+ALL_EXPERIMENTS = {name: _traced(name, fn) for name, fn in ALL_EXPERIMENTS.items()}
 
 
 def run_all(save_dir: str | None = None) -> dict[str, Table]:

@@ -15,8 +15,28 @@ from typing import Any
 
 from .._util import json_native
 from ..errors import ReproError
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 
-__all__ = ["Table", "format_cell"]
+__all__ = ["Table", "format_cell", "experiment_span"]
+
+
+def experiment_span(experiment: str, **cell: Any):
+    """A span tagging one grid cell of an experiment sweep.
+
+    Only scalar cell coordinates become span attributes (lists and dicts
+    are summarised by length), keeping records one-line small no matter
+    how big a driver's parameter grid gets.
+    """
+    attrs: dict[str, Any] = {"experiment": experiment}
+    for key, value in cell.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            attrs[key] = value
+        elif isinstance(value, (list, tuple, dict, set, frozenset)):
+            attrs[key] = f"<{len(value)} items>"
+        else:
+            attrs[key] = str(value)
+    return get_tracer().span(obs_events.SPAN_CELL, **attrs)
 
 
 def format_cell(value: Any) -> str:

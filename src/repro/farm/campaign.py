@@ -32,6 +32,8 @@ from typing import Any
 
 from .._util import json_native
 from ..errors import FarmError
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
 from .jobs import JOB_TYPES, Job, job_for
 from .runner import JobOutcome, RunReport, run_jobs
 from .store import ArtifactStore
@@ -220,60 +222,86 @@ def run_campaign(
     start = time.perf_counter()
     jobs = spec.expand()
     result = CampaignResult(spec=spec)
+    tracer = get_tracer()
 
-    to_run: list[Job] = []
-    for job in jobs:
-        key = job.key()
-        doc = store.get(key) if (resume and store is not None) else None
-        if doc is not None and doc.get("status") == "ok":
-            stored = doc.get("result")
-            valid = False
-            if isinstance(stored, dict):
-                try:
-                    valid = job.revalidate(stored)
-                except Exception:
-                    valid = False
-            if valid:
-                result.outcomes.append(
-                    JobOutcome(
-                        job=job,
-                        key=key,
-                        status="cached",
-                        result=stored,
-                        elapsed=float(doc.get("elapsed") or 0.0),
-                        attempts=0,
-                        cached=True,
+    with tracer.span(
+        obs_events.SPAN_FARM_CAMPAIGN,
+        campaign=spec.name,
+        kind=spec.kind,
+        jobs=len(jobs),
+        resume=resume,
+    ) as span:
+        to_run: list[Job] = []
+        for job in jobs:
+            key = job.key()
+            doc = store.get(key) if (resume and store is not None) else None
+            if doc is not None and doc.get("status") == "ok":
+                stored = doc.get("result")
+                valid = False
+                if isinstance(stored, dict):
+                    try:
+                        valid = job.revalidate(stored)
+                    except Exception:
+                        valid = False
+                if valid:
+                    result.outcomes.append(
+                        JobOutcome(
+                            job=job,
+                            key=key,
+                            status="cached",
+                            result=stored,
+                            elapsed=float(doc.get("elapsed") or 0.0),
+                            attempts=0,
+                            cached=True,
+                        )
                     )
-                )
-                continue
-            result.invalidated += 1
-        to_run.append(job)
+                    continue
+                result.invalidated += 1
+            to_run.append(job)
 
-    def persist(outcome: JobOutcome) -> None:
-        result.outcomes.append(outcome)
-        if store is not None and outcome.status == "ok":
-            store.put(
-                outcome.key,
-                {
-                    "job": outcome.job.to_json(),
-                    "campaign": spec.name,
-                    "status": "ok",
-                    "result": outcome.result,
-                    "elapsed": outcome.elapsed,
-                    "attempts": outcome.attempts,
-                },
+        if resume and tracer.enabled:
+            tracer.event(
+                obs_events.EV_RESUME,
+                campaign=spec.name,
+                jobs=len(jobs),
+                cached=result.hits,
+                invalidated=result.invalidated,
+                to_run=len(to_run),
             )
 
-    report: RunReport | None = None
-    if to_run:
-        report = run_jobs(
-            to_run,
-            workers=workers if workers is not None else spec.workers,
-            timeout=timeout if timeout is not None else spec.timeout,
-            retries=retries if retries is not None else spec.retries,
-            backoff=spec.backoff,
-            on_result=persist,
+        def persist(outcome: JobOutcome) -> None:
+            result.outcomes.append(outcome)
+            if store is not None and outcome.status == "ok":
+                store.put(
+                    outcome.key,
+                    {
+                        "job": outcome.job.to_json(),
+                        "campaign": spec.name,
+                        "status": "ok",
+                        "result": outcome.result,
+                        "elapsed": outcome.elapsed,
+                        "queue_wait": outcome.queue_wait,
+                        "cpu": outcome.cpu,
+                        "attempts": outcome.attempts,
+                    },
+                )
+
+        report: RunReport | None = None
+        if to_run:
+            report = run_jobs(
+                to_run,
+                workers=workers if workers is not None else spec.workers,
+                timeout=timeout if timeout is not None else spec.timeout,
+                retries=retries if retries is not None else spec.retries,
+                backoff=spec.backoff,
+                on_result=persist,
+            )
+            result.interrupted = report.interrupted
+        span.set(
+            cached=result.hits,
+            executed=result.executed,
+            failures=result.failures,
+            interrupted=result.interrupted,
         )
-        result.interrupted = report.interrupted
     result.wall_time = time.perf_counter() - start
     return result

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..experiments.harness import Table
+from ..obs.report import timing_aggregates
 from .campaign import CampaignResult
 from .store import ArtifactStore
 
@@ -53,7 +54,8 @@ def campaign_table(result: CampaignResult) -> Table:
         title=f"campaign '{result.spec.name}' ({result.spec.kind} jobs)",
         claim="every cached artifact revalidated before being trusted",
         columns=[
-            "job", "status", "cached", "attempts", "elapsed_s", "detail", "key",
+            "job", "status", "cached", "attempts", "elapsed_s", "queue_s",
+            "detail", "key",
         ],
     )
     for out in result.outcomes:
@@ -63,6 +65,7 @@ def campaign_table(result: CampaignResult) -> Table:
             cached=out.cached,
             attempts=out.attempts,
             elapsed_s=round(out.elapsed, 4),
+            queue_s=round(out.queue_wait, 4),
             detail=_detail(out),
             key=out.key[:12],
         )
@@ -73,6 +76,15 @@ def campaign_table(result: CampaignResult) -> Table:
         f"{s['errors']} errors, {s['timeouts']} timeouts in "
         f"{s['wall_time']:.2f}s"
     )
+    executed = [out for out in result.outcomes if not out.cached]
+    if executed:
+        elapsed = timing_aggregates([out.elapsed for out in executed])
+        queue = timing_aggregates([out.queue_wait for out in executed])
+        table.notes.append(
+            f"timing (executed jobs): wall p50 {elapsed['p50']:.3f}s / "
+            f"p95 {elapsed['p95']:.3f}s / max {elapsed['max']:.3f}s; "
+            f"queue wait p50 {queue['p50']:.3f}s / max {queue['max']:.3f}s"
+        )
     if result.interrupted:
         table.notes.append(
             f"interrupted by SIGINT with {s['interrupted_jobs']} jobs "
@@ -117,6 +129,11 @@ def status_table(store: ArtifactStore) -> Table:
         f"{stats['artifacts']} artifacts, {stats['bytes']} bytes, "
         f"{stats['compute_seconds']:.2f}s of cached compute"
     )
+    if stats["compute_seconds"]:
+        table.notes.append(
+            f"per-artifact compute p50 {stats['elapsed_p50']:.3f}s / "
+            f"p95 {stats['elapsed_p95']:.3f}s / max {stats['elapsed_max']:.3f}s"
+        )
     if stats["unindexed"]:
         table.notes.append(
             f"{stats['unindexed']} objects missing from the index "

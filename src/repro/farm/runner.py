@@ -27,6 +27,7 @@ from two processes at once.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import signal
 import time
@@ -36,9 +37,15 @@ from multiprocessing.connection import Connection, wait
 from typing import Any, Callable
 
 from ..errors import FarmError
+from ..obs import events as obs_events
+from ..obs.report import timing_aggregates
+from ..obs.sinks import MemorySink
+from ..obs.trace import Tracer, get_tracer, reset_context, set_tracer, use_tracer
 from .jobs import Job, job_from_json
 
 __all__ = ["JobOutcome", "RunReport", "run_jobs"]
+
+logger = logging.getLogger("repro.farm")
 
 #: Grace period between SIGTERM and SIGKILL when cancelling a worker.
 _KILL_GRACE = 0.5
@@ -56,6 +63,11 @@ class JobOutcome:
     elapsed: float = 0.0
     attempts: int = 0
     cached: bool = False
+    #: Seconds the (last attempt of the) job sat dispatchable before a
+    #: worker picked it up; excludes retry backoff.
+    queue_wait: float = 0.0
+    #: Worker-side CPU seconds (``time.process_time``) for the job body.
+    cpu: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -78,10 +90,30 @@ class RunReport:
             counts[out.status] = counts.get(out.status, 0) + 1
         return counts
 
+    def timing(self) -> dict[str, dict[str, float]]:
+        """p50/p95/max/total for wall-clock and queue wait (fresh jobs only)."""
+        executed = [out for out in self.outcomes if not out.cached]
+        return {
+            "elapsed": timing_aggregates([out.elapsed for out in executed]),
+            "queue_wait": timing_aggregates(
+                [out.queue_wait for out in executed]
+            ),
+        }
+
 
 def _worker_main(conn: Connection) -> None:
-    """Worker loop: receive a job document, execute, send the outcome."""
+    """Worker loop: receive a job envelope, execute, send the outcome.
+
+    The envelope is ``{"job": <job doc>, "trace": <child context | None>}``.
+    When a trace context rides along, the job body runs under a child
+    tracer writing to memory, and the collected records travel back in
+    the result document for the parent to merge (see
+    :meth:`repro.obs.trace.Tracer.adopt`).
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # a forked child must never inherit the parent's tracer or open span
+    set_tracer(None)
+    reset_context()
     while True:
         try:
             msg = conn.recv()
@@ -89,10 +121,23 @@ def _worker_main(conn: Connection) -> None:
             break
         if msg is None:
             break
+        ctx = msg.get("trace")
         start = time.perf_counter()
+        cpu0 = time.process_time()
+        records: list[dict[str, Any]] | None = None
         try:
-            job = job_from_json(msg)
-            out: dict[str, Any] = {"status": "ok", "result": job.execute()}
+            job = job_from_json(msg["job"])
+            if ctx is not None:
+                sink = MemorySink()
+                child = Tracer.from_context(ctx, sink)
+                records = sink.records
+                with use_tracer(child), child.span(
+                    obs_events.SPAN_FARM_EXECUTE, kind=job.kind
+                ):
+                    result = job.execute()
+            else:
+                result = job.execute()
+            out: dict[str, Any] = {"status": "ok", "result": result}
         except Exception as exc:
             out = {
                 "status": "error",
@@ -100,6 +145,9 @@ def _worker_main(conn: Connection) -> None:
                 "traceback": traceback.format_exc(limit=8),
             }
         out["elapsed"] = time.perf_counter() - start
+        out["cpu"] = time.process_time() - cpu0
+        if records:
+            out["trace"] = records
         try:
             conn.send(out)
         except (BrokenPipeError, OSError):
@@ -124,8 +172,8 @@ class _Worker:
     def busy(self) -> bool:
         return self.item is not None
 
-    def dispatch(self, item: "_Pending") -> None:
-        self.conn.send(item.job.to_json())
+    def dispatch(self, item: "_Pending", trace_ctx: "dict | None") -> None:
+        self.conn.send({"job": item.job.to_json(), "trace": trace_ctx})
         self.item = item
         self.started = time.monotonic()
 
@@ -158,6 +206,10 @@ class _Pending:
     key: str
     attempts: int = 0
     eligible_at: float = 0.0  # monotonic time before which we must not run
+    queued_at: float = 0.0  # monotonic time the item became dispatchable
+    queue_wait: float = 0.0  # measured wait of the latest dispatch
+    span_id: "str | None" = None  # parent-allocated farm.job span id
+    span_start: float = 0.0  # wall-clock dispatch time for that span
 
 
 def _mp_context():
@@ -186,8 +238,10 @@ def run_jobs(
     if retries < 0:
         raise FarmError(f"retries must be >= 0, got {retries}")
     report = RunReport()
+    tracer = get_tracer()
     start_wall = time.perf_counter()
-    pending = [_Pending(job=j, key=j.key()) for j in jobs]
+    now0 = time.monotonic()
+    pending = [_Pending(job=j, key=j.key(), queued_at=now0) for j in jobs]
     queue: list[_Pending] = list(pending)
     ctx = _mp_context()
     pool: list[_Worker] = []
@@ -197,14 +251,48 @@ def run_jobs(
         if on_result is not None:
             on_result(outcome)
 
+    def close_job_span(item: _Pending, status: str, **attrs: Any) -> None:
+        """Emit the parent-side ``farm.job`` span for one attempt."""
+        if item.span_id is None:
+            return
+        tracer.emit_span(
+            obs_events.SPAN_FARM_JOB,
+            start=item.span_start,
+            dur=time.time() - item.span_start,
+            span_id=item.span_id,
+            status="ok" if status == "ok" else "error",
+            job=item.job.label(),
+            key=item.key[:12],
+            attempt=item.attempts,
+            outcome=status,
+            queue_wait=round(item.queue_wait, 6),
+            **attrs,
+        )
+        item.span_id = None
+
     def settle_failure(item: _Pending, status: str, error: str,
-                       elapsed: float) -> None:
+                       elapsed: float, cpu: float = 0.0) -> None:
         """Retry with backoff if budget remains, else finalise."""
         if item.attempts <= retries:
-            item.eligible_at = time.monotonic() + backoff * (
-                2 ** (item.attempts - 1)
-            )
+            delay = backoff * (2 ** (item.attempts - 1))
+            item.eligible_at = time.monotonic() + delay
+            # backoff is not queue time: the wait clock restarts when the
+            # item becomes dispatchable again
+            item.queued_at = item.eligible_at
             queue.append(item)
+            if tracer.enabled:
+                tracer.event(
+                    obs_events.EV_RETRY,
+                    job=item.job.label(),
+                    attempt=item.attempts,
+                    status=status,
+                    delay=round(delay, 3),
+                    error=error,
+                )
+            logger.warning(
+                "farm: retrying %s after %s (attempt %d/%d, backoff %.2fs)",
+                item.job.label(), status, item.attempts, retries + 1, delay,
+            )
             return
         finish(
             JobOutcome(
@@ -214,6 +302,8 @@ def run_jobs(
                 error=error,
                 elapsed=elapsed,
                 attempts=item.attempts,
+                queue_wait=item.queue_wait,
+                cpu=cpu,
             )
         )
 
@@ -228,6 +318,16 @@ def run_jobs(
             # the worker died without reporting; replace it
             worker.kill()
             pool[pool.index(worker)] = _Worker(ctx)
+            close_job_span(item, "died")
+            if tracer.enabled:
+                tracer.event(
+                    obs_events.EV_WORKER_DEATH,
+                    job=item.job.label(),
+                    attempt=item.attempts,
+                )
+            logger.warning(
+                "farm: worker died running %s", item.job.label()
+            )
             settle_failure(
                 item,
                 "error",
@@ -235,15 +335,23 @@ def run_jobs(
                 time.monotonic() - worker.started,
             )
             return
-        if msg.get("status") == "ok":
+        elapsed = float(msg.get("elapsed", 0.0))
+        cpu = float(msg.get("cpu", 0.0))
+        status = "ok" if msg.get("status") == "ok" else "error"
+        close_job_span(item, status, elapsed=round(elapsed, 6),
+                       cpu=round(cpu, 6))
+        tracer.adopt(msg.get("trace"))
+        if status == "ok":
             finish(
                 JobOutcome(
                     job=item.job,
                     key=item.key,
                     status="ok",
                     result=msg.get("result"),
-                    elapsed=float(msg.get("elapsed", 0.0)),
+                    elapsed=elapsed,
                     attempts=item.attempts,
+                    queue_wait=item.queue_wait,
+                    cpu=cpu,
                 )
             )
         else:
@@ -251,7 +359,8 @@ def run_jobs(
                 item,
                 "error",
                 msg.get("error", "unknown worker error"),
-                float(msg.get("elapsed", 0.0)),
+                elapsed,
+                cpu=cpu,
             )
 
     def expire(worker: _Worker) -> None:
@@ -262,6 +371,19 @@ def run_jobs(
         worker.item = None
         worker.kill()
         pool[pool.index(worker)] = _Worker(ctx)
+        close_job_span(item, "timeout")
+        if tracer.enabled:
+            tracer.event(
+                obs_events.EV_TIMEOUT,
+                job=item.job.label(),
+                attempt=item.attempts,
+                timeout=timeout,
+                elapsed=round(elapsed, 3),
+            )
+        logger.warning(
+            "farm: %s exceeded %ss timeout (attempt %d)",
+            item.job.label(), timeout, item.attempts,
+        )
         settle_failure(
             item, "timeout", f"exceeded {timeout}s timeout", elapsed
         )
@@ -288,7 +410,13 @@ def run_jobs(
                     break
                 item = queue.pop(idx)
                 item.attempts += 1
-                worker.dispatch(item)
+                item.queue_wait = max(0.0, now - item.queued_at)
+                trace_ctx = None
+                if tracer.enabled:
+                    item.span_id = tracer.allocate_id()
+                    item.span_start = time.time()
+                    trace_ctx = tracer.child_context(item.span_id)
+                worker.dispatch(item, trace_ctx)
             busy = [w for w in pool if w.busy]
             if not busy and not queue:
                 break
@@ -320,10 +448,12 @@ def run_jobs(
                 time.sleep(min(0.05, poll or 0.05))
     except KeyboardInterrupt:
         interrupted = True
+        logger.warning("farm: interrupted; cancelling unfinished jobs")
         for worker in pool:
             if worker.busy:
                 item = worker.item
                 worker.item = None
+                close_job_span(item, "interrupted")
                 finish(
                     JobOutcome(
                         job=item.job,
@@ -331,6 +461,7 @@ def run_jobs(
                         status="interrupted",
                         error="cancelled by SIGINT",
                         attempts=item.attempts,
+                        queue_wait=item.queue_wait,
                     )
                 )
         for item in queue:

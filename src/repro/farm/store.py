@@ -28,6 +28,9 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from .._util import json_native
+from ..obs import events as obs_events
+from ..obs.metrics import percentile
+from ..obs.trace import get_tracer
 
 __all__ = ["STORE_FORMAT", "canonical_json", "job_key", "ArtifactStore", "cached"]
 
@@ -147,7 +150,7 @@ class ArtifactStore:
         by_status: dict[str, int] = {}
         artifacts = 0
         total_bytes = 0
-        elapsed = 0.0
+        elapsed_values: list[float] = []
         seen: set[str] = set()
         for entry in self.iter_index():
             key = entry.get("key")
@@ -165,7 +168,7 @@ class ArtifactStore:
             by_kind[kind] = by_kind.get(kind, 0) + 1
             by_status[status] = by_status.get(status, 0) + 1
             if isinstance(entry.get("elapsed"), (int, float)):
-                elapsed += float(entry["elapsed"])
+                elapsed_values.append(float(entry["elapsed"]))
         # objects written while the index line was lost still count
         unindexed = sum(1 for k in self.keys() if k not in seen)
         return {
@@ -173,7 +176,10 @@ class ArtifactStore:
             "artifacts": artifacts + unindexed,
             "unindexed": unindexed,
             "bytes": total_bytes,
-            "compute_seconds": elapsed,
+            "compute_seconds": sum(elapsed_values),
+            "elapsed_p50": percentile(elapsed_values, 50.0),
+            "elapsed_p95": percentile(elapsed_values, 95.0),
+            "elapsed_max": max(elapsed_values, default=0.0),
             "by_kind": dict(sorted(by_kind.items())),
             "by_status": dict(sorted(by_status.items())),
         }
@@ -195,8 +201,10 @@ def cached(
     and rewritten, so stale or corrupted artifacts can never leak into a
     table.  With ``store=None`` this is just ``compute()``.
     """
+    tracer = get_tracer()
     if store is None:
-        return compute(), False
+        with tracer.span(obs_events.SPAN_CELL, cached=False):
+            return compute(), False
     key = job_key({"format": STORE_FORMAT, "kind": "cell", "params": params})
     doc = store.get(key)
     if doc is not None and doc.get("status") == "ok":
@@ -207,9 +215,14 @@ def cached(
             except Exception:
                 valid = False
             if valid:
+                if tracer.enabled:
+                    tracer.event(
+                        obs_events.EV_CACHE, key=key[:12], hit=True
+                    )
                 return result, True
     # normalise before returning so cold and warm runs yield identical rows
-    result = json_native(compute())
+    with tracer.span(obs_events.SPAN_CELL, key=key[:12], cached=False):
+        result = json_native(compute())
     store.put(
         key,
         {

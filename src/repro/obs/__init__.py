@@ -1,0 +1,111 @@
+"""Structured tracing, metrics, logging, and profiling for ``repro``.
+
+A zero-extra-dependency observability layer (stdlib only).  The pieces:
+
+* :mod:`~repro.obs.trace` -- nestable timing spans and typed events with
+  contextvar-propagated context; no-op by default, near-zero overhead
+  when disabled;
+* :mod:`~repro.obs.events` -- the stable JSONL schema: record envelopes
+  plus the adversary/farm/experiment domain vocabulary;
+* :mod:`~repro.obs.sinks` -- JSONL-file (atomic snapshots), in-memory,
+  and stderr sinks;
+* :mod:`~repro.obs.metrics` -- counters/timers with percentile
+  summaries aggregated from record streams;
+* :mod:`~repro.obs.report` -- span-tree reconstruction,
+  well-formedness checking, and the ``repro stats`` renderings;
+* :mod:`~repro.obs.profile` -- opt-in ``cProfile``/``tracemalloc``
+  hotspot reports;
+* :mod:`~repro.obs.logs` -- CLI logging configuration
+  (``-v``/``-q``/``REPRO_LOG``).
+
+Quickstart::
+
+    from repro.obs import tracing
+    from repro import bitonic_iterated_rdn, prove_not_sorting
+
+    with tracing("attack.jsonl"):
+        prove_not_sorting(bitonic_iterated_rdn(64).truncated(3))
+    # then: python -m repro stats attack.jsonl
+"""
+
+from . import events
+from .events import (
+    ADVERSARY_EVENTS,
+    SCHEMA_VERSION,
+    decode,
+    encode,
+    normalize,
+    read_trace,
+    validate_record,
+)
+from .logs import LOG_ENV, configure_logging, level_from
+from .metrics import MetricsAggregator, aggregate, percentile
+from .profile import PROFILE_ENV, ProfileReport, profile_section, profiling_enabled
+from .report import (
+    adversary_summary,
+    build_tree,
+    render_stats,
+    render_tree,
+    slowest_spans,
+    stats_json,
+    timing_aggregates,
+    well_formedness_problems,
+)
+from .sinks import JsonlSink, MemorySink, Sink, StderrSink, open_sink
+from .trace import (
+    NULL_TRACER,
+    Tracer,
+    current_span_id,
+    get_tracer,
+    reset_context,
+    set_tracer,
+    tracing,
+    use_tracer,
+)
+
+__all__ = [
+    "events",
+    "SCHEMA_VERSION",
+    "ADVERSARY_EVENTS",
+    "encode",
+    "decode",
+    "validate_record",
+    "read_trace",
+    "normalize",
+    # tracer
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "tracing",
+    "reset_context",
+    "current_span_id",
+    # sinks
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "StderrSink",
+    "open_sink",
+    # metrics & reporting
+    "MetricsAggregator",
+    "aggregate",
+    "percentile",
+    "build_tree",
+    "well_formedness_problems",
+    "render_tree",
+    "render_stats",
+    "stats_json",
+    "slowest_spans",
+    "adversary_summary",
+    "timing_aggregates",
+    # profiling
+    "PROFILE_ENV",
+    "profile_section",
+    "profiling_enabled",
+    "ProfileReport",
+    # logging
+    "LOG_ENV",
+    "configure_logging",
+    "level_from",
+]

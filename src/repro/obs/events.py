@@ -1,0 +1,226 @@
+"""The stable JSONL trace schema: record shapes, names, encode/decode.
+
+Every record is one JSON object per line.  Four record types exist:
+
+``span``
+    A closed timing interval, written when the span *exits*.  Carries a
+    deterministic ``id``, the enclosing span's ``parent`` id (or
+    ``null`` for a root), the wall-clock start ``ts``, the measured
+    ``dur`` in seconds, and a ``status`` of ``"ok"`` or ``"error"``.
+``event``
+    A point-in-time typed fact (e.g. one Lemma 4.1 node's collision
+    histogram) attached to the enclosing span via ``parent``.
+``counter``
+    A monotonically-accumulating quantity; aggregation sums ``value``.
+``gauge``
+    A sampled quantity; aggregation keeps last/min/max of ``value``.
+
+Common fields on every record: ``v`` (schema version), ``type``,
+``name``, ``trace`` (trace id), ``parent`` (span id or ``null``),
+``ts`` (epoch seconds), ``pid``, ``tid``.  Domain payloads live under
+``attrs`` -- a flat JSON object -- so the envelope never changes shape
+when instrumentation grows.
+
+Determinism: span and event ids are per-tracer counters (never random),
+so two runs with identical seeds produce byte-identical streams modulo
+the ``ts``/``dur``/``pid``/``tid`` fields -- the property the
+determinism tests pin down and :func:`normalize` makes checkable.
+
+The domain names below are the public vocabulary; ``repro stats`` and
+the metrics aggregator key off them, so renaming one is a schema break
+and must bump :data:`SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import ObsError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RECORD_TYPES",
+    "SPAN_ATTACK",
+    "SPAN_RECOGNIZE",
+    "SPAN_ADVERSARY",
+    "SPAN_BLOCK",
+    "SPAN_LEMMA41",
+    "SPAN_EXTRACT",
+    "SPAN_FARM_CAMPAIGN",
+    "SPAN_FARM_JOB",
+    "SPAN_FARM_EXECUTE",
+    "SPAN_EXPERIMENT",
+    "SPAN_CELL",
+    "EV_SETS",
+    "EV_NODE",
+    "EV_SUMMARY",
+    "EV_RHO",
+    "EV_RETRY",
+    "EV_TIMEOUT",
+    "EV_WORKER_DEATH",
+    "EV_RESUME",
+    "EV_CACHE",
+    "ADVERSARY_EVENTS",
+    "jsonable",
+    "encode",
+    "decode",
+    "validate_record",
+    "read_trace",
+    "iter_records",
+    "normalize",
+]
+
+#: Bump on any backwards-incompatible change to record shapes or names.
+SCHEMA_VERSION = 1
+
+RECORD_TYPES = ("span", "event", "counter", "gauge")
+
+# -- span names (timing tree vocabulary) -------------------------------------
+SPAN_ATTACK = "attack.run"               # whole circuit attack
+SPAN_RECOGNIZE = "attack.recognize"      # class recognition of a circuit
+SPAN_ADVERSARY = "adversary.run"         # Theorem 4.1 loop
+SPAN_BLOCK = "adversary.block"           # one block of the loop
+SPAN_LEMMA41 = "lemma41.run"             # Lemma 4.1 induction on one block
+SPAN_EXTRACT = "fooling.extract"         # fooling-pair extraction + verify
+SPAN_FARM_CAMPAIGN = "farm.campaign"     # one campaign run
+SPAN_FARM_JOB = "farm.job"               # one job attempt (parent side)
+SPAN_FARM_EXECUTE = "farm.execute"       # job body (worker side, merged)
+SPAN_EXPERIMENT = "experiment.run"       # one E1-E13 driver call
+SPAN_CELL = "experiment.cell"            # one memoised sweep cell
+
+# -- event names (domain facts) ----------------------------------------------
+#: Per-block special-set sizes after the Lemma 3.4 renaming: ``block``,
+#: ``entering``, ``union``, ``survivor``, ``chosen``, ``sets``, ``sizes``.
+EV_SETS = "adversary.sets"
+#: One Lemma 4.1 tree node: ``height``, ``collisions``, ``histogram``
+#: (|C_{i,j}| size -> count), ``shift`` (the chosen i0), ``matched``
+#: (cardinality of the matching at the chosen shift), ``demoted``,
+#: ``elements_after``.
+EV_NODE = "lemma41.node"
+#: Per-run refinement/renaming totals: ``a_size``, ``b_size``, ``sets``,
+#: ``demote_steps``, ``shift_steps``, ``collisions``, ``demoted``.
+EV_SUMMARY = "lemma41.summary"
+#: One rho_i renaming (Lemma 3.4): ``index``, ``medium_before``,
+#: ``medium_after``.
+EV_RHO = "pattern.rho"
+EV_RETRY = "farm.retry"
+EV_TIMEOUT = "farm.timeout"
+EV_WORKER_DEATH = "farm.worker-death"
+EV_RESUME = "farm.resume"
+EV_CACHE = "experiment.cache"
+
+#: Events ``repro stats`` folds into the adversary summary tables.
+ADVERSARY_EVENTS = (EV_SETS, EV_NODE, EV_SUMMARY, EV_RHO)
+
+#: Fields stripped by :func:`normalize` (host/time dependent).
+VOLATILE_FIELDS = ("ts", "dur", "pid", "tid")
+
+
+def jsonable(obj: Any) -> Any:
+    """Coerce an attribute value to plain JSON types, without NumPy.
+
+    Uses :mod:`numbers` ABCs so NumPy scalars (which register with them)
+    convert to ``int``/``float`` even though this module never imports
+    NumPy.  Unknown objects fall back to ``str`` so emission never
+    raises mid-trace.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return [jsonable(v) for v in sorted(obj)]
+    return str(obj)
+
+
+def encode(record: dict[str, Any]) -> str:
+    """One canonical JSONL line: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def validate_record(record: Any) -> dict[str, Any]:
+    """Check one decoded record against the schema; return it.
+
+    Raises :class:`~repro.errors.ObsError` naming the first violated
+    constraint, so ``repro stats`` can reject a corrupt trace precisely.
+    """
+    if not isinstance(record, dict):
+        raise ObsError(f"record must be a JSON object, got {type(record).__name__}")
+    if record.get("v") != SCHEMA_VERSION:
+        raise ObsError(f"unsupported schema version {record.get('v')!r}")
+    rtype = record.get("type")
+    if rtype not in RECORD_TYPES:
+        raise ObsError(f"unknown record type {rtype!r}")
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        raise ObsError(f"record name must be a non-empty string, got {name!r}")
+    if not isinstance(record.get("trace"), str):
+        raise ObsError("record is missing its trace id")
+    if not isinstance(record.get("ts"), (int, float)):
+        raise ObsError(f"record ts must be a number, got {record.get('ts')!r}")
+    parent = record.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        raise ObsError(f"record parent must be a span id or null, got {parent!r}")
+    attrs = record.get("attrs")
+    if attrs is not None and not isinstance(attrs, dict):
+        raise ObsError(f"record attrs must be an object, got {attrs!r}")
+    if rtype == "span":
+        if not isinstance(record.get("id"), str) or not record["id"]:
+            raise ObsError("span record is missing its id")
+        dur = record.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ObsError(f"span dur must be a non-negative number, got {dur!r}")
+        if record.get("status") not in ("ok", "error"):
+            raise ObsError(f"span status must be ok|error, got {record.get('status')!r}")
+    elif rtype in ("counter", "gauge"):
+        if not isinstance(record.get("value"), (int, float)) or isinstance(
+            record.get("value"), bool
+        ):
+            raise ObsError(f"{rtype} value must be a number, got {record.get('value')!r}")
+    return record
+
+
+def decode(line: str) -> dict[str, Any]:
+    """Parse and validate one JSONL line."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"trace line is not valid JSON: {exc}") from exc
+    return validate_record(record)
+
+
+def iter_records(lines: Iterable[str]) -> Iterator[dict[str, Any]]:
+    """Decode an iterable of JSONL lines, skipping blank ones."""
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield decode(line)
+        except ObsError as exc:
+            raise ObsError(f"line {i}: {exc}") from exc
+
+
+def read_trace(path: "str | Path") -> list[dict[str, Any]]:
+    """Load and validate a whole trace file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ObsError(f"cannot read trace: {exc}") from exc
+    return list(iter_records(text.splitlines()))
+
+
+def normalize(record: dict[str, Any]) -> dict[str, Any]:
+    """Strip host/time-dependent fields, for determinism comparisons."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}

@@ -1,0 +1,79 @@
+"""Logging configuration for the CLI: ``-v``/``-q`` flags + ``REPRO_LOG``.
+
+The library itself only ever *obtains* loggers (``logging.getLogger
+("repro...")``) and never configures handlers; configuration is the
+CLI's job via :func:`configure_logging`.  Precedence for the effective
+level: explicit ``-v``/``-q`` flags adjust around the base level, and
+the base level comes from the ``REPRO_LOG`` environment variable
+(a level name or number) falling back to ``WARNING``.
+
+The installed handler resolves ``sys.stderr`` at emit time, so output
+redirection set up after configuration (pytest's capsys, shells) is
+respected, and reconfiguration replaces the previous handler instead of
+stacking a new one per ``main()`` call.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["LOG_ENV", "level_from", "configure_logging"]
+
+#: Environment variable naming the base log level (e.g. ``debug``, ``20``).
+LOG_ENV = "REPRO_LOG"
+
+_LEVEL_NAMES = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` currently is."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - never raise from logging
+            self.handleError(record)
+
+
+def level_from(
+    verbose: int = 0, quiet: int = 0, env: "str | None" = None
+) -> int:
+    """Resolve the effective level from flags and ``REPRO_LOG``.
+
+    Each ``-v`` lowers the threshold by one level (more output), each
+    ``-q`` raises it; the result is clamped to ``DEBUG..CRITICAL``.
+    """
+    if env is None:
+        env = os.environ.get(LOG_ENV, "")
+    env = (env or "").strip().lower()
+    base = logging.WARNING
+    if env:
+        if env in _LEVEL_NAMES:
+            base = _LEVEL_NAMES[env]
+        elif env.isdigit():
+            base = int(env)
+    level = base + 10 * (quiet - verbose)
+    return max(logging.DEBUG, min(logging.CRITICAL, level))
+
+
+def configure_logging(verbose: int = 0, quiet: int = 0) -> int:
+    """(Re)configure the ``repro`` logger tree; returns the level set."""
+    level = level_from(verbose, quiet)
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if isinstance(handler, _DynamicStderrHandler):
+            logger.removeHandler(handler)
+    handler = _DynamicStderrHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return level

@@ -1,0 +1,114 @@
+"""Fold trace records into counters and timers with percentile summaries.
+
+Pure-Python aggregation (no NumPy) so the observability layer stays
+importable everywhere, including minimal worker processes.  Percentiles
+use linear interpolation between order statistics, matching
+``numpy.percentile``'s default for the sizes we care about.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+__all__ = ["percentile", "span_stats", "MetricsAggregator", "aggregate"]
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values``; 0.0 when empty.
+
+    ``values`` need not be pre-sorted.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(ordered):
+        return float(ordered[-1])
+    return float(ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac)
+
+
+def span_stats(durations: "list[float]") -> dict[str, float]:
+    """Count/total/mean plus p50/p90/p99/max for one span name."""
+    if not durations:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "p50": 0.0,
+                "p90": 0.0, "p99": 0.0, "max": 0.0}
+    total = sum(durations)
+    return {
+        "count": len(durations),
+        "total": total,
+        "mean": total / len(durations),
+        "p50": percentile(durations, 50),
+        "p90": percentile(durations, 90),
+        "p99": percentile(durations, 99),
+        "max": max(durations),
+    }
+
+
+class MetricsAggregator:
+    """Streams records in, hands out counter/timer/gauge summaries."""
+
+    def __init__(self) -> None:
+        self.durations: dict[str, list[float]] = defaultdict(list)
+        self.errors: dict[str, int] = defaultdict(int)
+        self.counters: dict[str, float] = defaultdict(float)
+        self.events: dict[str, int] = defaultdict(int)
+        self.gauges: dict[str, dict[str, float]] = {}
+
+    def add(self, record: dict[str, Any]) -> None:
+        """Fold one record in (unknown types are ignored, not rejected)."""
+        rtype = record.get("type")
+        name = record.get("name", "?")
+        if rtype == "span":
+            self.durations[name].append(float(record.get("dur", 0.0)))
+            if record.get("status") != "ok":
+                self.errors[name] += 1
+        elif rtype == "event":
+            self.events[name] += 1
+        elif rtype == "counter":
+            self.counters[name] += float(record.get("value", 0.0))
+        elif rtype == "gauge":
+            value = float(record.get("value", 0.0))
+            slot = self.gauges.setdefault(
+                name, {"last": value, "min": value, "max": value, "count": 0}
+            )
+            slot["last"] = value
+            slot["min"] = min(slot["min"], value)
+            slot["max"] = max(slot["max"], value)
+            slot["count"] += 1
+
+    def add_all(self, records: Iterable[dict[str, Any]]) -> "MetricsAggregator":
+        """Fold a whole record stream in; returns ``self`` for chaining."""
+        for record in records:
+            self.add(record)
+        return self
+
+    def span_summary(self) -> dict[str, dict[str, float]]:
+        """Per-span-name timer summaries, sorted by total time descending."""
+        out = {
+            name: {**span_stats(durs), "errors": self.errors.get(name, 0)}
+            for name, durs in self.durations.items()
+        }
+        return dict(
+            sorted(out.items(), key=lambda kv: -kv[1]["total"])
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Everything: spans, counters, events, gauges."""
+        return {
+            "spans": self.span_summary(),
+            "counters": dict(sorted(self.counters.items())),
+            "events": dict(sorted(self.events.items())),
+            "gauges": {k: dict(v) for k, v in sorted(self.gauges.items())},
+        }
+
+
+def aggregate(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """One-shot aggregation of a record stream."""
+    return MetricsAggregator().add_all(records).summary()

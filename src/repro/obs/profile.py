@@ -1,0 +1,158 @@
+"""Opt-in CPU and memory profiling behind ``cProfile``/``tracemalloc``.
+
+Profiling is strictly opt-in: :func:`profile_section` with no explicit
+``enabled`` consults the ``REPRO_PROFILE`` environment variable and is
+a no-op (yielding a disabled handle) when unset, so instrumented call
+sites cost nothing in production.  When enabled it wraps the block in a
+``cProfile.Profile`` and (optionally) a ``tracemalloc`` session and
+builds a :class:`ProfileReport` with top-N hotspot tables.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "PROFILE_ENV",
+    "profiling_enabled",
+    "ProfileReport",
+    "ProfileHandle",
+    "profile_section",
+]
+
+#: Set to any non-empty value other than ``0``/``false`` to opt in.
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+def profiling_enabled(flag: "bool | None" = None) -> bool:
+    """Resolve the opt-in: explicit flag wins, else the environment."""
+    if flag is not None:
+        return bool(flag)
+    value = os.environ.get(PROFILE_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+class ProfileReport:
+    """Formatted top-N hotspot tables from one profiled section."""
+
+    def __init__(
+        self,
+        label: str,
+        cpu_rows: "list[tuple[float, float, int, str]]",
+        memory_rows: "list[tuple[int, int, str]]",
+        peak_bytes: "int | None",
+    ):
+        self.label = label
+        #: ``(cumulative_s, self_s, calls, where)`` sorted by cumulative.
+        self.cpu_rows = cpu_rows
+        #: ``(bytes, blocks, where)`` sorted by bytes; empty w/o memory.
+        self.memory_rows = memory_rows
+        self.peak_bytes = peak_bytes
+
+    def format(self) -> str:
+        """Render the hotspot tables as aligned plain text."""
+        lines = [f"== profile: {self.label} =="]
+        lines.append(f"{'cum s':>9} {'self s':>9} {'calls':>8}  function")
+        for cum, self_t, calls, where in self.cpu_rows:
+            lines.append(f"{cum:>9.4f} {self_t:>9.4f} {calls:>8}  {where}")
+        if self.peak_bytes is not None:
+            lines.append(
+                f"peak traced memory: {self.peak_bytes / 1024:.1f} KiB"
+            )
+        if self.memory_rows:
+            lines.append(f"{'KiB':>9} {'blocks':>8}  allocation site")
+            for size, blocks, where in self.memory_rows:
+                lines.append(f"{size / 1024:>9.1f} {blocks:>8}  {where}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible dump of the CPU and memory hotspot rows."""
+        return {
+            "label": self.label,
+            "cpu": [
+                {"cumulative_s": c, "self_s": s, "calls": n, "where": w}
+                for c, s, n, w in self.cpu_rows
+            ],
+            "peak_bytes": self.peak_bytes,
+            "memory": [
+                {"bytes": b, "blocks": n, "where": w}
+                for b, n, w in self.memory_rows
+            ],
+        }
+
+
+class ProfileHandle:
+    """What :func:`profile_section` yields; ``report`` fills in on exit."""
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self.report: "ProfileReport | None" = None
+
+
+def _cpu_rows(profile, top: int) -> "list[tuple[float, float, int, str]]":
+    import pstats
+
+    stats = pstats.Stats(profile)
+    rows: list[tuple[float, float, int, str]] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        where = f"{os.path.basename(filename)}:{lineno}({name})"
+        rows.append((ct, tt, nc, where))
+    rows.sort(key=lambda row: -row[0])
+    return rows[:top]
+
+
+def _memory_rows(snapshot, top: int) -> "list[tuple[int, int, str]]":
+    rows: list[tuple[int, int, str]] = []
+    for stat in snapshot.statistics("lineno")[:top]:
+        frame = stat.traceback[0]
+        where = f"{os.path.basename(frame.filename)}:{frame.lineno}"
+        rows.append((stat.size, stat.count, where))
+    return rows
+
+
+@contextmanager
+def profile_section(
+    label: str = "section",
+    *,
+    enabled: "bool | None" = None,
+    top: int = 20,
+    memory: bool = True,
+) -> Iterator[ProfileHandle]:
+    """Profile the block when opted in; yields a :class:`ProfileHandle`.
+
+    After the block exits, ``handle.report`` holds the
+    :class:`ProfileReport` (or stays ``None`` when disabled).  Memory
+    tracing is skipped when ``tracemalloc`` is already running (nested
+    sections) so the outermost section owns the session.
+    """
+    if not profiling_enabled(enabled):
+        yield ProfileHandle(False)
+        return
+    import cProfile
+    import tracemalloc
+
+    handle = ProfileHandle(True)
+    trace_memory = memory and not tracemalloc.is_tracing()
+    if trace_memory:
+        tracemalloc.start()
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield handle
+    finally:
+        profile.disable()
+        snapshot = None
+        peak = None
+        if trace_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            snapshot = tracemalloc.take_snapshot()
+            tracemalloc.stop()
+        handle.report = ProfileReport(
+            label,
+            _cpu_rows(profile, top),
+            _memory_rows(snapshot, top) if snapshot is not None else [],
+            peak,
+        )

@@ -1,0 +1,154 @@
+"""Trace record sinks: JSONL file, in-memory, stderr.
+
+The file sink follows the farm store's atomic-write discipline: records
+are buffered and periodically written as a *complete snapshot* through a
+temp file + ``os.replace`` in the destination directory, so a crash or
+SIGINT can never leave a torn line -- readers always see the last fully
+flushed snapshot.  A forked child never clobbers the parent's file: the
+sink remembers the pid that created it and silently drops foreign-pid
+flushes (farm workers ship their records back over the result pipe
+instead, where the parent merges them).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..errors import ObsError
+from .events import encode
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "StderrSink", "open_sink"]
+
+
+class Sink:
+    """Interface: receives finished records, owns durability."""
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Accept one finished record."""
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        """Make everything written so far durable (no-op by default)."""
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Flush and release resources."""
+        self.flush()
+
+
+class MemorySink(Sink):
+    """Keeps records as Python dicts; the farm workers' shipping buffer."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append the record (thread-safe)."""
+        with self._lock:
+            self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink(Sink):
+    """Buffered JSONL file sink with atomic snapshot flushes."""
+
+    def __init__(self, path: "str | Path", *, flush_every: int = 512):
+        if flush_every < 1:
+            raise ObsError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self._lines: list[str] = []
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._flushed = 0  # lines already part of a snapshot
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Buffer one encoded line; snapshots every ``flush_every``."""
+        with self._lock:
+            self._lines.append(encode(record))
+            if len(self._lines) - self._flushed >= self.flush_every:
+                self._snapshot()
+
+    def flush(self) -> None:
+        """Write a fresh atomic snapshot of the full stream."""
+        with self._lock:
+            self._snapshot()
+
+    def close(self) -> None:
+        """Final snapshot; the file is complete after this returns."""
+        self.flush()
+
+    def _snapshot(self) -> None:
+        """Atomically replace the file with the full buffered stream."""
+        if os.getpid() != self._pid:
+            return  # forked child: never clobber the parent's trace
+        if self._flushed == len(self._lines) and self.path.exists():
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        text = "".join(line + "\n" for line in self._lines)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._flushed = len(self._lines)
+
+
+def _render_line(record: dict[str, Any]) -> str:
+    """Compact human rendering for the stderr sink."""
+    rtype = record.get("type", "?")
+    name = record.get("name", "?")
+    bits = [f"[{rtype}] {name}"]
+    if rtype == "span":
+        bits.append(f"{record.get('dur', 0.0):.6f}s")
+        if record.get("status") != "ok":
+            bits.append(str(record.get("status")))
+    if "value" in record:
+        bits.append(f"value={record['value']}")
+    attrs = record.get("attrs")
+    if attrs:
+        bits.append(
+            " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        )
+    return " ".join(bits)
+
+
+class StderrSink(Sink):
+    """Streams one human-readable line per record to ``sys.stderr``.
+
+    ``sys.stderr`` is resolved at write time so redirection (pytest's
+    capsys, shell pipes set up after tracer creation) is respected.
+    """
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Print one rendered line to the current ``sys.stderr``."""
+        print(_render_line(record), file=sys.stderr)
+
+
+def open_sink(spec: "str | Path | Sink") -> Sink:
+    """Resolve a sink spec: a Sink instance, ``-``/``stderr``, ``:memory:``,
+    or a JSONL file path."""
+    if isinstance(spec, Sink):
+        return spec
+    text = str(spec)
+    if text in ("-", "stderr"):
+        return StderrSink()
+    if text == ":memory:":
+        return MemorySink()
+    return JsonlSink(text)

@@ -1,0 +1,332 @@
+"""Nestable timing spans and structured events with contextvar context.
+
+The tracer is a process-global singleton behind :func:`get_tracer`; the
+default is a disabled null tracer whose ``event``/``counter``/``gauge``
+calls return after one attribute check and whose ``span`` hands back a
+shared no-op context manager -- instrumentation left in hot paths costs
+essentially nothing until someone turns tracing on (measured by
+``benchmarks/test_bench_obs.py``; the gate is <3% on a full attack).
+
+Span nesting propagates through a :class:`contextvars.ContextVar`, so
+the tree shape survives generators and ``asyncio``-style context
+switches; each record also stamps ``pid``/``tid``, making interleaved
+multi-thread emission attributable.  Ids are deterministic per-tracer
+counters (``s0``, ``s1``, ...), never random, so identically-seeded
+runs emit identical streams modulo timestamps.
+
+Fork/worker support: the parent allocates a job span id up front and
+ships :meth:`Tracer.child_context` to the worker, which builds a child
+tracer (:meth:`Tracer.from_context`) writing to an in-memory sink.  The
+child's ids are prefixed with the parent span id, so when the parent
+:meth:`Tracer.adopt`\\ s the returned records into its own sink the
+merged stream is one well-formed tree with no id collisions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from .events import SCHEMA_VERSION, jsonable
+from .sinks import Sink, open_sink
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "tracing",
+    "reset_context",
+    "current_span_id",
+]
+
+#: The enclosing span id for records emitted in this context.
+_current_span: ContextVar["str | None"] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span_id() -> "str | None":
+    """The id of the innermost open span in this context, if any."""
+    return _current_span.get()
+
+
+def reset_context() -> None:
+    """Clear the span context (used by forked workers at startup)."""
+    _current_span.set(None)
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: context-manager handle emitting one record on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "_parent", "_token",
+                 "_wall", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach result attributes before the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self.span_id = self._tracer.allocate_id()
+        self._parent = _current_span.get() or self._tracer.default_parent
+        self._token = _current_span.set(self.span_id)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        dur = time.perf_counter() - self._t0
+        _current_span.reset(self._token)
+        self._tracer.emit_span(
+            self.name,
+            start=self._wall,
+            dur=dur,
+            span_id=self.span_id,
+            parent=self._parent,
+            status="error" if exc_type is not None else "ok",
+            **self.attrs,
+        )
+        return False
+
+
+class Tracer:
+    """Emits spans, events, counters and gauges into one sink.
+
+    Parameters
+    ----------
+    sink:
+        Destination for finished records (``None`` only for the null
+        tracer).
+    trace_id:
+        Logical trace identity stamped on every record.
+    id_prefix:
+        Prepended to every allocated span id; child tracers use the
+        parent span id as prefix so merged streams never collide.
+    default_parent:
+        Parent id for records emitted outside any local span -- the
+        graft point of a child tracer into the parent's tree.
+    enabled:
+        When False every emission is a near-free no-op.
+    """
+
+    def __init__(
+        self,
+        sink: "Sink | None",
+        *,
+        trace_id: str = "t0",
+        id_prefix: str = "",
+        default_parent: "str | None" = None,
+        enabled: bool = True,
+    ):
+        self.sink = sink
+        self.trace_id = trace_id
+        self.id_prefix = id_prefix
+        self.default_parent = default_parent
+        self.enabled = enabled and sink is not None
+        self._lock = threading.Lock()
+        self._next = 0
+
+    # -- identity ------------------------------------------------------------
+    def allocate_id(self) -> str:
+        """Next deterministic span id (thread-safe counter)."""
+        with self._lock:
+            n = self._next
+            self._next += 1
+        return f"{self.id_prefix}s{n}"
+
+    def child_context(self, parent_span_id: str) -> dict[str, str]:
+        """The JSON-able context a worker needs to continue this trace."""
+        return {
+            "trace": self.trace_id,
+            "parent": parent_span_id,
+            "prefix": f"{parent_span_id}.",
+        }
+
+    @classmethod
+    def from_context(cls, ctx: dict[str, str], sink: Sink) -> "Tracer":
+        """Build the worker-side child tracer from :meth:`child_context`."""
+        return cls(
+            sink,
+            trace_id=ctx["trace"],
+            id_prefix=ctx["prefix"],
+            default_parent=ctx["parent"],
+        )
+
+    # -- emission ------------------------------------------------------------
+    def _base(self, rtype: str, name: str) -> dict[str, Any]:
+        return {
+            "v": SCHEMA_VERSION,
+            "type": rtype,
+            "name": name,
+            "trace": self.trace_id,
+            "parent": _current_span.get() or self.default_parent,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+
+    def span(self, name: str, **attrs: Any):
+        """A nestable timing span; use as a context manager."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def emit_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        dur: float,
+        span_id: "str | None" = None,
+        parent: "str | None" = None,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> "str | None":
+        """Emit one already-measured span record (the farm parent's path).
+
+        ``parent`` defaults to the current context like events do.
+        Returns the span id, or ``None`` when disabled.
+        """
+        if not self.enabled:
+            return None
+        record = self._base("span", name)
+        record["id"] = span_id if span_id is not None else self.allocate_id()
+        if parent is not None:
+            record["parent"] = parent
+        record["ts"] = start
+        record["dur"] = max(0.0, float(dur))
+        record["status"] = status
+        if attrs:
+            record["attrs"] = jsonable(attrs)
+        self.sink.write(record)
+        return record["id"]
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point-in-time structured fact under the current span."""
+        if not self.enabled:
+            return
+        record = self._base("event", name)
+        if attrs:
+            record["attrs"] = jsonable(attrs)
+        self.sink.write(record)
+
+    def counter(self, name: str, value: "int | float" = 1, **attrs: Any) -> None:
+        """An accumulating quantity; aggregation sums values."""
+        if not self.enabled:
+            return
+        record = self._base("counter", name)
+        record["value"] = value
+        if attrs:
+            record["attrs"] = jsonable(attrs)
+        self.sink.write(record)
+
+    def gauge(self, name: str, value: "int | float", **attrs: Any) -> None:
+        """A sampled quantity; aggregation keeps last/min/max."""
+        if not self.enabled:
+            return
+        record = self._base("gauge", name)
+        record["value"] = value
+        if attrs:
+            record["attrs"] = jsonable(attrs)
+        self.sink.write(record)
+
+    def adopt(self, records: "list[dict[str, Any]] | None") -> int:
+        """Merge records produced by a child tracer into this sink.
+
+        The records already carry their own ids/parents (prefixed by the
+        job span id the parent allocated), so adoption is a plain write.
+        Returns the number of records merged.
+        """
+        if not self.enabled or not records:
+            return 0
+        count = 0
+        for record in records:
+            if isinstance(record, dict):
+                self.sink.write(record)
+                count += 1
+        return count
+
+
+#: The default tracer: disabled, sinkless, shared.
+NULL_TRACER = Tracer(None, enabled=False)
+
+_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (the null tracer unless installed)."""
+    return _tracer
+
+
+def set_tracer(tracer: "Tracer | None") -> Tracer:
+    """Install ``tracer`` globally (``None`` restores the null tracer);
+    returns the previously installed tracer."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` as the global tracer."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def tracing(
+    target: "str | Sink",
+    *,
+    trace_id: str = "t0",
+) -> Iterator[Tracer]:
+    """Enable tracing into ``target`` for the duration of the block.
+
+    ``target`` is a sink spec (path, ``-``/``stderr``, ``:memory:``) or
+    a :class:`~repro.obs.sinks.Sink`.  The sink is flushed and -- when
+    this call opened it -- closed on exit, and the previous global
+    tracer is restored even on error.
+    """
+    owned = not isinstance(target, Sink)
+    sink = open_sink(target)
+    tracer = Tracer(sink, trace_id=trace_id)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        if owned:
+            sink.close()
+        else:
+            sink.flush()

@@ -1,0 +1,153 @@
+"""Schema tests: encode/decode roundtrip, validation, normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObsError
+from repro.obs import (
+    SCHEMA_VERSION,
+    decode,
+    encode,
+    normalize,
+    read_trace,
+    validate_record,
+)
+from repro.obs.events import VOLATILE_FIELDS, iter_records, jsonable
+
+
+def span_record(**overrides):
+    record = {
+        "v": SCHEMA_VERSION,
+        "type": "span",
+        "name": "work",
+        "trace": "t0",
+        "parent": None,
+        "ts": 100.0,
+        "pid": 1,
+        "tid": 2,
+        "id": "s0",
+        "dur": 0.5,
+        "status": "ok",
+    }
+    record.update(overrides)
+    return record
+
+
+class TestValidation:
+    def test_valid_span_passes(self):
+        assert validate_record(span_record())["id"] == "s0"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"v": 999},
+            {"type": "bogus"},
+            {"name": ""},
+            {"trace": None},
+            {"ts": "yesterday"},
+            {"parent": 7},
+            {"attrs": [1, 2]},
+            {"id": None},
+            {"dur": -1.0},
+            {"status": "maybe"},
+        ],
+    )
+    def test_invalid_records_rejected(self, overrides):
+        with pytest.raises(ObsError):
+            validate_record(span_record(**overrides))
+
+    def test_counter_needs_numeric_value(self):
+        record = span_record(type="counter")
+        del record["id"], record["dur"], record["status"]
+        with pytest.raises(ObsError):
+            validate_record({**record, "value": True})
+        assert validate_record({**record, "value": 3})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ObsError):
+            validate_record([1, 2, 3])
+
+    def test_iter_records_names_bad_line(self):
+        with pytest.raises(ObsError, match="line 2"):
+            list(iter_records([encode(span_record()), "not json"]))
+
+    def test_read_trace_missing_file(self, tmp_path):
+        with pytest.raises(ObsError):
+            read_trace(tmp_path / "absent.jsonl")
+
+
+# JSON-compatible attribute values (no NaN: encode() forbids it).
+_attr_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+
+class TestRoundtrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.text(min_size=1, max_size=30),
+        dur=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        status=st.sampled_from(["ok", "error"]),
+        attrs=st.dictionaries(st.text(min_size=1, max_size=10), _attr_values, max_size=5),
+    )
+    def test_span_roundtrip(self, name, dur, status, attrs):
+        record = span_record(name=name, dur=dur, status=status)
+        if attrs:
+            record["attrs"] = attrs
+        assert decode(encode(record)) == record
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        records=st.lists(
+            st.builds(
+                lambda n, d: span_record(id=f"s{n}", name=f"name{n}", dur=d),
+                st.integers(min_value=0, max_value=99),
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+            ),
+            max_size=10,
+        )
+    )
+    def test_file_roundtrip(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("trace") / "t.jsonl"
+        path.write_text("".join(encode(r) + "\n" for r in records))
+        assert read_trace(path) == records
+
+    def test_encode_is_canonical(self):
+        a = encode({"b": 1, "a": 2})
+        b = encode({"a": 2, "b": 1})
+        assert a == b and " " not in a
+
+
+class TestNormalize:
+    def test_strips_exactly_the_volatile_fields(self):
+        record = span_record()
+        slim = normalize(record)
+        assert set(record) - set(slim) == set(VOLATILE_FIELDS)
+        assert slim["id"] == "s0" and slim["name"] == "work"
+
+
+class TestJsonable:
+    def test_numpy_scalars_become_native(self):
+        out = jsonable({"i": np.int64(3), "f": np.float64(0.5), "b": True})
+        assert out == {"i": 3, "f": 0.5, "b": True}
+        assert type(out["i"]) is int and type(out["f"]) is float
+
+    def test_sets_sort_and_tuples_listify(self):
+        assert jsonable({3, 1, 2}) == [1, 2, 3]
+        assert jsonable((1, "a")) == [1, "a"]
+
+    def test_unknown_objects_stringify(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert jsonable(Weird()) == "<weird>"

@@ -1,0 +1,116 @@
+"""Farm integration: worker traces merge into the parent span tree."""
+
+from repro.farm.jobs import SleepJob
+from repro.farm.runner import run_jobs
+from repro.obs import MemorySink, Tracer, use_tracer, well_formedness_problems
+from repro.obs import events as obs_events
+
+
+def traced_run(jobs, **kwargs):
+    sink = MemorySink()
+    with use_tracer(Tracer(sink)):
+        report = run_jobs(jobs, **kwargs)
+    return report, sink.records
+
+
+class TestFarmTracing:
+    def test_job_spans_with_worker_children(self):
+        jobs = [SleepJob(duration=0.0, tag=str(i)) for i in range(3)]
+        report, records = traced_run(jobs, workers=2)
+        assert report.by_status() == {"ok": 3}
+        assert well_formedness_problems(records) == []
+
+        job_spans = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == obs_events.SPAN_FARM_JOB
+        ]
+        assert len(job_spans) == 3
+        for rec in job_spans:
+            assert rec["status"] == "ok"
+            assert rec["attrs"]["attempt"] == 1
+            assert rec["attrs"]["queue_wait"] >= 0
+
+        exec_spans = [
+            r for r in records
+            if r["type"] == "span"
+            and r["name"] == obs_events.SPAN_FARM_EXECUTE
+        ]
+        assert len(exec_spans) == 3
+        job_ids = {r["id"] for r in job_spans}
+        # each worker-side execute span hangs under a distinct job span
+        assert {r["parent"] for r in exec_spans} == job_ids
+        for rec in exec_spans:
+            assert rec["id"].startswith(f"{rec['parent']}.")
+
+    def test_outcomes_carry_timing_fields(self):
+        report, _ = traced_run([SleepJob(duration=0.0, tag="t")])
+        (out,) = report.outcomes
+        assert out.queue_wait is not None and out.queue_wait >= 0
+        assert out.cpu is not None and out.cpu >= 0
+        assert out.elapsed is not None and out.elapsed >= 0
+
+    def test_timing_report_aggregates(self):
+        report, _ = traced_run(
+            [SleepJob(duration=0.0, tag=str(i)) for i in range(4)]
+        )
+        timing = report.timing()
+        elapsed, queue = timing["elapsed"], timing["queue_wait"]
+        assert elapsed["max"] >= elapsed["p50"] >= 0
+        assert elapsed["total"] >= elapsed["max"]
+        assert queue["max"] >= 0
+
+    def test_retry_emits_event_and_error_trace_survives(self):
+        report, records = traced_run(
+            [SleepJob(fail=True, tag="boom")], retries=1, backoff=0.01
+        )
+        (out,) = report.outcomes
+        assert out.status == "error" and out.attempts == 2
+        assert well_formedness_problems(records) == []
+
+        retries = [
+            r for r in records
+            if r["type"] == "event" and r["name"] == obs_events.EV_RETRY
+        ]
+        assert len(retries) == 1
+        assert retries[0]["attrs"]["attempt"] == 1
+
+        job_spans = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == obs_events.SPAN_FARM_JOB
+        ]
+        assert [r["status"] for r in job_spans] == ["error", "error"]
+        # worker-side execute spans ship back even on failure
+        exec_spans = [
+            r for r in records
+            if r["type"] == "span"
+            and r["name"] == obs_events.SPAN_FARM_EXECUTE
+        ]
+        assert len(exec_spans) == 2
+        assert all(r["status"] == "error" for r in exec_spans)
+
+    def test_timeout_emits_event(self):
+        report, records = traced_run(
+            [SleepJob(duration=30.0, tag="slow")], timeout=0.3, backoff=0.01
+        )
+        (out,) = report.outcomes
+        assert out.status == "timeout"
+        timeouts = [
+            r for r in records
+            if r["type"] == "event" and r["name"] == obs_events.EV_TIMEOUT
+        ]
+        assert len(timeouts) == 1
+        (job_span,) = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == obs_events.SPAN_FARM_JOB
+        ]
+        # schema restricts span status to ok/error; real status in attrs
+        assert job_span["status"] == "error"
+        assert job_span["attrs"]["outcome"] == "timeout"
+
+    def test_untraced_run_emits_nothing(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)  # built but never installed
+        report = run_jobs([SleepJob(duration=0.0, tag="quiet")])
+        assert report.by_status() == {"ok": 1}
+        assert sink.records == []
+        assert tracer.enabled

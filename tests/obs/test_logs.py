@@ -1,0 +1,55 @@
+"""Logging level resolution and CLI handler configuration."""
+
+import logging
+
+from repro.obs.logs import LOG_ENV, configure_logging, level_from
+from repro.obs.logs import _DynamicStderrHandler
+
+
+class TestLevelFrom:
+    def test_default_is_warning(self):
+        assert level_from(env="") == logging.WARNING
+
+    def test_verbose_lowers_quiet_raises(self):
+        assert level_from(verbose=1, env="") == logging.INFO
+        assert level_from(verbose=2, env="") == logging.DEBUG
+        assert level_from(quiet=1, env="") == logging.ERROR
+
+    def test_clamped_to_debug_and_critical(self):
+        assert level_from(verbose=10, env="") == logging.DEBUG
+        assert level_from(quiet=10, env="") == logging.CRITICAL
+
+    def test_env_names_and_numbers(self, monkeypatch):
+        assert level_from(env="debug") == logging.DEBUG
+        assert level_from(env="ERROR") == logging.ERROR
+        assert level_from(env="20") == logging.INFO
+        assert level_from(env="nonsense") == logging.WARNING
+        monkeypatch.setenv(LOG_ENV, "info")
+        assert level_from() == logging.INFO
+
+    def test_flags_adjust_around_env_base(self):
+        assert level_from(verbose=1, env="info") == logging.DEBUG
+
+
+class TestConfigureLogging:
+    def test_sets_level_and_single_handler(self):
+        configure_logging(verbose=1)
+        configure_logging(verbose=1)  # reconfigure must not stack handlers
+        logger = logging.getLogger("repro")
+        ours = [
+            h for h in logger.handlers
+            if isinstance(h, _DynamicStderrHandler)
+        ]
+        assert len(ours) == 1
+        assert logger.level == logging.INFO
+        assert logger.propagate is False
+
+    def test_emits_plain_message_to_current_stderr(self, capsys):
+        configure_logging()
+        logging.getLogger("repro.cli").error("error[test] plain message")
+        assert capsys.readouterr().err == "error[test] plain message\n"
+
+    def test_quiet_suppresses_warnings(self, capsys):
+        configure_logging(quiet=1)
+        logging.getLogger("repro.cli").warning("hidden")
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,94 @@
+"""Percentile math and record-stream aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MemorySink, Tracer, aggregate, percentile
+from repro.obs.metrics import MetricsAggregator, span_stats
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.5], 99) == 3.5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        q=st.floats(min_value=0, max_value=100),
+    )
+    def test_matches_numpy_linear_interpolation(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(np.asarray(values), q)), abs=1e-6, rel=1e-9
+        )
+
+
+class TestSpanStats:
+    def test_empty(self):
+        stats = span_stats([])
+        assert stats["count"] == 0 and stats["max"] == 0.0
+
+    def test_basic(self):
+        stats = span_stats([1.0, 3.0])
+        assert stats["count"] == 2
+        assert stats["total"] == 4.0
+        assert stats["mean"] == 2.0
+        assert stats["p50"] == 2.0
+        assert stats["max"] == 3.0
+
+
+class TestAggregation:
+    def make_records(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("fast"):
+            pass
+        try:
+            with tracer.span("fast"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        tracer.event("fact")
+        tracer.event("fact")
+        tracer.counter("hits", 2)
+        tracer.counter("hits", 3)
+        tracer.gauge("depth", 1.0)
+        tracer.gauge("depth", 5.0)
+        tracer.gauge("depth", 3.0)
+        return sink.records
+
+    def test_aggregate_summary(self):
+        doc = aggregate(self.make_records())
+        assert doc["spans"]["fast"]["count"] == 2
+        assert doc["spans"]["fast"]["errors"] == 1
+        assert doc["events"] == {"fact": 2}
+        assert doc["counters"] == {"hits": 5.0}
+        gauge = doc["gauges"]["depth"]
+        assert (gauge["min"], gauge["max"], gauge["last"]) == (1.0, 5.0, 3.0)
+
+    def test_span_summary_sorted_by_total_desc(self):
+        agg = MetricsAggregator()
+        agg.add_all(
+            [
+                {"type": "span", "name": "small", "dur": 0.1, "status": "ok"},
+                {"type": "span", "name": "big", "dur": 9.0, "status": "ok"},
+            ]
+        )
+        assert list(agg.span_summary()) == ["big", "small"]
+
+    def test_unknown_record_types_ignored(self):
+        agg = MetricsAggregator()
+        agg.add({"type": "mystery", "name": "x"})
+        assert agg.summary()["spans"] == {}

@@ -1,0 +1,61 @@
+"""Opt-in profiling: disabled by default, reports when enabled."""
+
+import logging
+
+from repro.obs import profile_section, profiling_enabled
+from repro.obs.profile import PROFILE_ENV
+
+
+class TestOptIn:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert not profiling_enabled()
+
+    def test_explicit_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        assert not profiling_enabled(False)
+        monkeypatch.delenv(PROFILE_ENV)
+        assert profiling_enabled(True)
+
+    def test_env_opt_in_spellings(self, monkeypatch):
+        for value, expect in [
+            ("1", True), ("yes", True), ("0", False),
+            ("false", False), ("off", False), ("", False),
+        ]:
+            monkeypatch.setenv(PROFILE_ENV, value)
+            assert profiling_enabled() is expect, value
+
+
+class TestSection:
+    def test_disabled_section_yields_no_report(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        with profile_section("x") as handle:
+            pass
+        assert not handle.enabled and handle.report is None
+
+    def test_enabled_section_builds_report(self):
+        with profile_section("attack", enabled=True, top=5) as handle:
+            sum(i * i for i in range(10_000))
+        report = handle.report
+        assert report is not None and report.label == "attack"
+        assert report.cpu_rows and len(report.cpu_rows) <= 5
+        cum, self_t, calls, where = report.cpu_rows[0]
+        assert cum >= self_t >= 0 and calls >= 1 and where
+        assert report.peak_bytes is not None and report.peak_bytes > 0
+
+    def test_memory_rows_optional(self):
+        with profile_section("nomem", enabled=True, memory=False) as handle:
+            [0] * 100
+        assert handle.report.peak_bytes is None
+        assert handle.report.memory_rows == []
+
+    def test_format_and_json(self):
+        with profile_section("fmt", enabled=True) as handle:
+            logging.getLogger("repro.test").debug("work")
+        text = handle.report.format()
+        assert "== profile: fmt ==" in text and "cum s" in text
+        doc = handle.report.to_json()
+        assert doc["label"] == "fmt"
+        assert doc["cpu"] and set(doc["cpu"][0]) == {
+            "cumulative_s", "self_s", "calls", "where"
+        }

@@ -1,0 +1,201 @@
+"""Tests for the tracer: spans, context, child merging, sinks."""
+
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    StderrSink,
+    Tracer,
+    current_span_id,
+    get_tracer,
+    open_sink,
+    read_trace,
+    reset_context,
+    set_tracer,
+    tracing,
+    use_tracer,
+    well_formedness_problems,
+)
+from repro.errors import ObsError
+
+
+class TestDisabled:
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_noop_span_is_shared_and_silent(self):
+        span1 = NULL_TRACER.span("a", x=1)
+        span2 = NULL_TRACER.span("b")
+        assert span1 is span2  # one shared handle, no allocation
+        with span1 as handle:
+            handle.set(anything=True)
+        assert current_span_id() is None
+
+    def test_noop_events(self):
+        NULL_TRACER.event("e", x=1)
+        NULL_TRACER.counter("c")
+        NULL_TRACER.gauge("g", 3.0)
+        assert NULL_TRACER.adopt([{"type": "event"}]) == 0
+
+    def test_sinkless_tracer_is_disabled_even_when_asked(self):
+        assert not Tracer(None, enabled=True).enabled
+
+
+class TestSpans:
+    def test_span_emits_record_with_attrs(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("work", n=8) as span:
+            span.set(result=3)
+        (rec,) = sink.records
+        assert rec["type"] == "span"
+        assert rec["name"] == "work"
+        assert rec["status"] == "ok"
+        assert rec["dur"] >= 0
+        assert rec["attrs"] == {"n": 8, "result": 3}
+        assert rec["parent"] is None
+
+    def test_nesting_links_parent_ids(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            outer_id = current_span_id()
+            with tracer.span("inner"):
+                assert current_span_id() != outer_id
+            tracer.event("fact", x=1)
+        inner, fact, outer = sink.records
+        assert inner["parent"] == outer["id"]
+        assert fact["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert current_span_id() is None
+
+    def test_ids_are_deterministic_counters(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r["id"] for r in sink.records] == ["s0", "s1"]
+
+    def test_exception_marks_span_error_and_propagates(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("broken"):
+                raise ValueError("boom")
+        (rec,) = sink.records
+        assert rec["status"] == "error"
+
+    def test_counter_and_gauge_records(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.counter("hits", 2)
+        tracer.gauge("depth", 5.5)
+        counter, gauge = sink.records
+        assert counter["type"] == "counter" and counter["value"] == 2
+        assert gauge["type"] == "gauge" and gauge["value"] == 5.5
+
+
+class TestInstallation:
+    def test_use_tracer_restores_previous(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        before = get_tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_null(self):
+        previous = set_tracer(Tracer(MemorySink()))
+        try:
+            set_tracer(None)
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(previous)
+
+    def test_tracing_writes_jsonl_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(str(path)):
+            with get_tracer().span("outer"):
+                get_tracer().event("fact", x=1)
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["event", "span"]
+        assert well_formedness_problems(records) == []
+
+
+class TestChildMerging:
+    def test_adopted_child_records_form_one_tree(self):
+        import time
+
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink)
+        job_id = parent.allocate_id()
+        ctx = parent.child_context(job_id)
+
+        start = time.time()
+        child_sink = MemorySink()
+        child = Tracer.from_context(ctx, child_sink)
+        reset_context()
+        with use_tracer(child):
+            with child.span("child-work"):
+                child.event("child-fact")
+
+        parent.emit_span(
+            "job", start=start, dur=time.time() - start, span_id=job_id
+        )
+        assert parent.adopt(child_sink.records) == 2
+        records = parent_sink.records
+        assert well_formedness_problems(records) == []
+        child_span = next(r for r in records if r["name"] == "child-work")
+        assert child_span["id"].startswith(f"{job_id}.")
+        assert child_span["parent"] == job_id
+
+    def test_child_ids_never_collide_with_parent_ids(self):
+        parent = Tracer(MemorySink())
+        ids = {parent.allocate_id() for _ in range(5)}
+        ctx = parent.child_context("s0")
+        child = Tracer(MemorySink(), id_prefix=ctx["prefix"])
+        child_ids = {child.allocate_id() for _ in range(5)}
+        assert not ids & child_ids
+
+
+class TestSinks:
+    def test_open_sink_specs(self):
+        assert isinstance(open_sink(":memory:"), MemorySink)
+        assert isinstance(open_sink("-"), StderrSink)
+        assert isinstance(open_sink("stderr"), StderrSink)
+        sink = MemorySink()
+        assert open_sink(sink) is sink
+
+    def test_jsonl_sink_rejects_bad_flush_every(self, tmp_path):
+        with pytest.raises(ObsError):
+            JsonlSink(tmp_path / "t.jsonl", flush_every=0)
+
+    def test_jsonl_snapshot_is_complete_valid_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        tracer = Tracer(sink)
+        for i in range(5):
+            tracer.event("e", i=i)
+        sink.close()
+        records = read_trace(path)
+        assert [r["attrs"]["i"] for r in records] == list(range(5))
+
+    def test_jsonl_sink_ignores_foreign_pid_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        Tracer(sink).event("e")
+        sink._pid = os.getpid() + 1  # simulate a forked child
+        sink.flush()
+        assert not path.exists()
+
+    def test_stderr_sink_renders_to_stderr(self, capsys):
+        Tracer(StderrSink()).event("hello", n=3)
+        err = capsys.readouterr().err
+        assert "hello" in err and "n=3" in err

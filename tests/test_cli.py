@@ -303,3 +303,78 @@ class TestExperimentSeedStore:
         assert main(["experiment", "e11", "--store", store]) == 0
         out = capsys.readouterr().out
         assert "4/4 cells served from cache" in out
+
+
+class TestStats:
+    def test_trace_then_stats_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree: well-formed" in out
+        assert "special sets per block" in out
+
+    def test_stats_json_output(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["well_formed"] is True
+        assert doc["adversary"]["blocks"]
+
+    def test_stats_unreadable_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "error[stats" in capsys.readouterr().err
+
+    def test_stats_missing_file_exits_2(self, tmp_path):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+
+
+class TestVerbosityFlags:
+    def test_flags_accepted_everywhere(self, capsys):
+        assert main(["-v", "bounds", "-n", "256"]) == 0
+        capsys.readouterr()
+        assert main(["-q", "bounds", "-n", "256"]) == 0
+
+    def test_verbose_reports_trace_destination(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["-v", "attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "2", "--trace", str(trace)]) == 0
+        assert "trace written to" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_prints_hotspots(self, capsys):
+        assert main(["attack", "--family", "bitonic", "-n", "16",
+                     "--blocks", "2", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== profile: attack ==" in err
+
+
+class TestFarmTraceFlag:
+    def test_farm_run_trace_produces_merged_tree(self, tmp_path, capsys):
+        from repro.obs import read_trace
+        from repro.obs import events as obs_events
+        from repro.obs.report import well_formedness_problems
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "traced", "kind": "sleep",
+            "grid": {"tag": ["a", "b"]}, "workers": 2,
+        }))
+        trace = tmp_path / "farm.jsonl"
+        assert main(["farm", "run", str(spec),
+                     "--store", str(tmp_path / "store"),
+                     "--trace", str(trace)]) == 0
+        records = read_trace(trace)
+        assert well_formedness_problems(records) == []
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert obs_events.SPAN_FARM_CAMPAIGN in names
+        assert obs_events.SPAN_FARM_JOB in names
+        assert obs_events.SPAN_FARM_EXECUTE in names
