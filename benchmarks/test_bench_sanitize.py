@@ -1,0 +1,66 @@
+"""Self-analysis throughput: a full-tree sanitize run must stay cheap.
+
+``repro sanitize src/`` is a CI gate and a pre-commit hook, so its
+budget is wall-clock, not asymptotics: parsing ~100 modules and running
+the whole rule catalog (shared per-file passes computed once, rules
+reading from the cached ``FileContext``) has to finish well inside an
+interactive edit loop.  The gate pins the full-tree run under 5 seconds
+and archives the measured envelope to
+``benchmarks/results/sanitize-selfcheck.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.sanitize import sanitize_paths
+
+#: A full-tree analysis may take at most this many seconds.
+TIME_BUDGET_S = 5.0
+
+SRC = Path(__file__).parents[1] / "src"
+
+
+def test_bench_sanitize_full_tree(benchmark, results_dir, capsys):
+    # time inside the workload as well: under --benchmark-disable (the
+    # PR smoke mode) benchmark.stats is None, but the 5s gate must hold.
+    durations = []
+
+    def run():
+        t0 = time.perf_counter()
+        rep = sanitize_paths([str(SRC)])
+        durations.append(time.perf_counter() - t0)
+        return rep
+
+    report = benchmark(run)
+
+    # the shipped tree is clean: the benchmark doubles as the self-check
+    assert report.exit_code == 0
+    assert report.diagnostics == []
+    assert report.files >= 90
+
+    mean_s = (
+        benchmark.stats.stats.mean if benchmark.stats else min(durations)
+    )
+    doc = {
+        "workload": "sanitize_paths([src])",
+        "files": report.files,
+        "mean_s": mean_s,
+        "files_per_s": report.files / mean_s,
+        "budget_s": TIME_BUDGET_S,
+    }
+    (results_dir / "sanitize-selfcheck.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"sanitize: {report.files} files in {mean_s:.3f}s "
+            f"({report.files / mean_s:.0f} files/s, "
+            f"budget {TIME_BUDGET_S:.0f}s)"
+        )
+
+    assert mean_s < TIME_BUDGET_S, (
+        f"full-tree sanitize took {mean_s:.2f}s, "
+        f"over the {TIME_BUDGET_S:.0f}s budget"
+    )

@@ -30,7 +30,10 @@ Package layout:
   recognisers, exhaustive ground truth;
 * :mod:`repro.experiments` -- the E1-E13 drivers behind the benchmarks;
 * :mod:`repro.farm` -- parallel campaign runner with a content-addressed
-  artifact store (``python -m repro farm``).
+  artifact store (``python -m repro farm``);
+* :mod:`repro.sanitize` -- static analysis of this source tree itself:
+  determinism, fork-safety, observability and schema-stability rules
+  (``python -m repro sanitize``).
 """
 
 from . import analysis, core, experiments, farm, machines, networks, sorters

@@ -22,6 +22,12 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
     structural rules, 0-1 abstract interpretation, budget checks and
     never-compared-pair witnesses, with text or JSON diagnostics and
     ``--fix`` to write a repaired network.
+``sanitize``
+    Statically analyse the repro source tree itself: determinism,
+    fork-safety, observability and schema-stability rules over the
+    Python AST, with ``--select``, an optional baseline of
+    grandfathered findings, and ``--fix`` to re-pin the schema
+    fingerprint registry (see docs/SANITIZE.md).
 ``farm``
     Parallel campaign runner: ``farm run spec.json --workers N
     [--resume]`` sweeps a job grid on a worker pool, caching every
@@ -56,7 +62,7 @@ import numpy as np
 
 from . import __version__
 from .core import bounds as bounds_mod
-from .errors import FarmError, LintError, ObsError, ReproError
+from .errors import FarmError, LintError, ObsError, ReproError, SanitizeError
 from .core.fooling import prove_not_sorting
 from .core.iterate import theorem41_guarantee
 from .experiments import ALL_EXPERIMENTS
@@ -438,6 +444,75 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_sanitize(args) -> int:
+    from .sanitize import (
+        Baseline,
+        SanitizeConfig,
+        collect_schemas,
+        discover_files,
+        load_registry,
+        sanitize_paths,
+        updated_registry,
+        write_registry,
+    )
+
+    config = SanitizeConfig(
+        select=tuple(args.select) if args.select else None
+    )
+    baseline_path = args.baseline
+    if baseline_path is None and Path("sanitize-baseline.json").is_file():
+        baseline_path = "sanitize-baseline.json"
+    try:
+        if args.fix:
+            registry = load_registry()
+            schemas = collect_schemas(discover_files(args.paths))
+            doc, refusals = updated_registry(schemas, registry)
+            write_registry(doc)
+            print(
+                f"schema registry re-pinned "
+                f"({len(schemas)} module{'s' if len(schemas) != 1 else ''})"
+            )
+            for message in refusals:
+                logger.error("error[sanitize/fix]: %s", message)
+            if refusals:
+                return 1
+        baseline = None
+        if baseline_path is not None and not args.write_baseline:
+            baseline = Baseline.load(baseline_path)
+        report = sanitize_paths(args.paths, config, baseline=baseline)
+    except SanitizeError as exc:
+        logger.error("error[sanitize/usage]: %s", exc)
+        return 2
+    if args.write_baseline:
+        target = baseline_path or "sanitize-baseline.json"
+        cache: dict[str, list[str]] = {}
+        pairs = []
+        for diag in report.diagnostics:
+            path = getattr(diag.location, "path", None)
+            line = getattr(diag.location, "line", None)
+            text = ""
+            if path and line:
+                if path not in cache:
+                    cache[path] = Path(path).read_text().splitlines()
+                lines = cache[path]
+                if 1 <= line <= len(lines):
+                    text = lines[line - 1].strip()
+            pairs.append((diag, text))
+        doc = Baseline.document(pairs)
+        Baseline().write(target, doc)
+        n_findings = len(doc["findings"])
+        print(
+            f"baseline with {n_findings} "
+            f"finding{'s' if n_findings != 1 else ''} written to {target}"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -530,6 +605,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only run rules whose id starts with PREFIX "
                         "(repeatable), e.g. --select abstract/")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("sanitize", help="static analysis of the repro "
+                                        "source tree itself")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to analyse (default: src)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--select", action="append", metavar="PREFIX",
+                   help="only run rules whose id starts with PREFIX "
+                        "(repeatable), e.g. --select determinism/")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline of grandfathered findings (default: "
+                        "sanitize-baseline.json when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write the current findings to the baseline file "
+                        "and exit 0 (the ratchet: entries only disappear)")
+    p.add_argument("--fix", action="store_true",
+                   help="re-pin the schema fingerprint registry from the "
+                        "tree (refuses field changes without a version "
+                        "bump), then re-analyse")
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("farm", help="parallel campaign runner with a "
                                     "content-addressed artifact store")

@@ -26,7 +26,11 @@ import numpy as np
 from ..errors import CertificateError
 from ..networks.network import ComparatorNetwork
 
-__all__ = ["NonSortingCertificate"]
+__all__ = ["CERTIFICATE_FORMAT", "NonSortingCertificate"]
+
+#: Version of the certificate JSON document; bump on field changes so
+#: archived certificates (the farm store keeps them) stay identifiable.
+CERTIFICATE_FORMAT = 1
 
 
 @dataclass(frozen=True)

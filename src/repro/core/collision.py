@@ -160,6 +160,7 @@ def is_noncolliding_set(
     max_inputs: int = 100_000,
     samples: int = 64,
     rng: np.random.Generator | None = None,
+    seed: int = 0,
 ) -> bool:
     """Check Definition 3.7(d) for a wire set, by the chosen method.
 
@@ -169,6 +170,10 @@ def is_noncolliding_set(
     * ``"enumerate"`` -- exhaustively check every input in ``p[V]``;
     * ``"sample"`` -- necessary-condition check on random refinements
       (can only *refute*; a True result is evidence, not proof).
+
+    ``"sample"`` draws from ``rng`` when given, else from a generator
+    seeded with ``seed`` -- never from OS entropy, so two runs with the
+    same arguments sample the same refinements and agree.
     """
     wire_list = list(wires)
     if len(wire_list) < 2:
@@ -185,7 +190,7 @@ def is_noncolliding_set(
             for values in pattern.enumerate_inputs()
         )
     if method == "sample":
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(seed)
         for _ in range(samples):
             values = pattern.refine_to_input(rng=rng)
             if not is_noncolliding_under_input(network, values, wire_list):

@@ -1,0 +1,219 @@
+"""Diagnostic plumbing shared by the repo's static analyzers.
+
+Two analyzers live in this package: :mod:`repro.lint` (networks are the
+analysis target) and :mod:`repro.sanitize` (the repro source tree itself
+is the analysis target).  Both express findings as immutable
+:class:`Diagnostic` records -- a stable ``category/name`` rule id, a
+:class:`Severity`, a message, an analyzer-specific location, and an
+optional :class:`FixIt` -- and aggregate them in reports sharing one
+rendering, one JSON schema, and one exit-code convention
+(:class:`DiagnosticReport`).  Keeping the plumbing here means the two
+analyzers cannot drift: a change to severity ordering, report summaries
+or exit codes lands in both at once.
+
+Locations are analyzer-specific (a network finding points at a
+stage/gate/wire triple, a source finding at a file/line/column) and are
+duck-typed: any object with ``format() -> str``, ``to_json() -> dict``
+and a comparable ``sort_key`` tuple works.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "Severity",
+    "SupportsLocation",
+    "FixIt",
+    "Diagnostic",
+    "DiagnosticReport",
+]
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is.
+
+    ``ERROR``
+        A violated invariant (the network provably cannot sort; the
+        source change breaks reproducibility or fork safety); the
+        analyzer exits non-zero.
+    ``WARNING``
+        Suspicious but not disqualifying.
+    ``INFO``
+        Neutral facts worth surfacing.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for sorting: errors first, infos last."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@runtime_checkable
+class SupportsLocation(Protocol):
+    """What a location object must provide to ride on a diagnostic."""
+
+    def format(self) -> str:  # pragma: no cover - protocol
+        """Render the location for the human-readable report."""
+        ...
+
+    def to_json(self) -> dict[str, Any]:  # pragma: no cover - protocol
+        """Render the location as a JSON-compatible dict."""
+        ...
+
+    @property
+    def sort_key(self) -> tuple:  # pragma: no cover - protocol
+        """Tuple ordering diagnostics within one severity."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixIt:
+    """A behaviour-preserving repair suggested by a rule.
+
+    ``removals`` lists analyzer-specific ``(index, index)`` pairs of
+    items that can be deleted safely; :func:`repro.lint.fixes.apply`
+    consumes gate removals, and :mod:`repro.sanitize` uses the
+    description alone (its repairs are applied by hand or by
+    ``--fix`` for schema registry updates).
+    """
+
+    description: str
+    removals: tuple[tuple[int, int], ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible dict."""
+        return {
+            "description": self.description,
+            "removals": [list(r) for r in self.removals],
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analyzer rule.
+
+    ``rule`` is the registry id (e.g. ``"abstract/redundant-comparator"``
+    or ``"determinism/unseeded-rng"``); ``severity``, ``message`` and
+    ``location`` describe the finding; ``fix`` optionally carries a safe
+    repair.  ``location`` may be ``None`` for findings with no
+    meaningful anchor (e.g. a whole-network budget violation).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: SupportsLocation | None = None
+    fix: FixIt | None = None
+
+    def format(self) -> str:
+        """One-line rendering: ``error[rule] location: message``."""
+        loc = self.location.format() if self.location is not None else "-"
+        prefix = f"{self.severity.value}[{self.rule}]"
+        if loc != "-":
+            return f"{prefix} {loc}: {self.message}"
+        return f"{prefix}: {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible dict mirroring :meth:`format`'s content."""
+        doc: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": (
+                self.location.to_json() if self.location is not None else {}
+            ),
+        }
+        if self.fix is not None:
+            doc["fix"] = self.fix.to_json()
+        return doc
+
+    @property
+    def sort_key(self) -> tuple:
+        """Order: severity rank, then location order, then rule id.
+
+        Location sort keys are analyzer-specific tuples; within one
+        report they are homogeneous, so tuple comparison is total.
+        """
+        loc_key = self.location.sort_key if self.location is not None else ()
+        return (self.severity.rank, loc_key, self.rule)
+
+
+class DiagnosticReport:
+    """Severity accessors, summaries and exit codes shared by reports.
+
+    Subclasses are dataclasses declaring (at least) a ``diagnostics``
+    list plus their own headline fields, and implement
+    :meth:`format_text` / :meth:`to_json` on top of the helpers here.
+    The exit-code convention is uniform across analyzers: ``1`` when at
+    least one error-severity diagnostic fired, else ``0`` (usage
+    problems exit ``2`` at the CLI layer, before a report exists).
+    """
+
+    diagnostics: list[Diagnostic]
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """All diagnostics of one severity, in report order."""
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """The error-severity diagnostics."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """The warning-severity diagnostics."""
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        """The info-severity diagnostics."""
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        """True iff at least one error diagnostic was reported."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 1 when errors are present, else 0."""
+        return 1 if self.has_errors else 0
+
+    @property
+    def fixable(self) -> list[Diagnostic]:
+        """Diagnostics carrying a safe fix-it."""
+        return [d for d in self.diagnostics if d.fix is not None]
+
+    def by_rule(self, prefix: str) -> list[Diagnostic]:
+        """Diagnostics whose rule id starts with ``prefix``."""
+        return [d for d in self.diagnostics if d.rule.startswith(prefix)]
+
+    def summary(self) -> str:
+        """One line like ``2 errors, 1 warning, 3 notes``."""
+        e, w, i = len(self.errors), len(self.warnings), len(self.infos)
+        parts = [
+            f"{e} error{'s' if e != 1 else ''}",
+            f"{w} warning{'s' if w != 1 else ''}",
+            f"{i} note{'s' if i != 1 else ''}",
+        ]
+        return ", ".join(parts)
+
+    def summary_json(self) -> dict[str, int]:
+        """The counts block shared by every report's ``to_json``."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "fixable": len(self.fixable),
+        }

@@ -24,6 +24,9 @@ __all__ = [
     "MachineError",
     "FarmError",
     "ObsError",
+    "SanitizeError",
+    "RegistryError",
+    "DomainError",
 ]
 
 
@@ -118,3 +121,24 @@ class FarmError(ReproError, RuntimeError):
 
 class ObsError(ReproError, ValueError):
     """A trace record, trace file, or sink specification is invalid."""
+
+
+class SanitizeError(ReproError, ValueError):
+    """A sanitize input (target path, baseline, schema registry) is invalid."""
+
+
+class RegistryError(ReproError, KeyError):
+    """A name was not found in a runtime registry (sorters, experiments).
+
+    Dual-inherits :class:`KeyError` so historical ``except KeyError``
+    callers keep working while the CLI boundary maps the error to a
+    diagnostic instead of a stack trace.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the plain message.
+        return Exception.__str__(self)
+
+
+class DomainError(ReproError, ValueError):
+    """An argument is outside a function's documented domain."""

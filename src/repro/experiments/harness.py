@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Any
 
 from .._util import json_native
-from ..errors import ReproError
+from ..errors import RegistryError, ReproError
 from ..obs import events as obs_events
 from ..obs.trace import get_tracer
 
@@ -67,7 +67,7 @@ class Table:
         """Append a row (keys must be a subset of the columns)."""
         unknown = set(values) - set(self.columns)
         if unknown:
-            raise KeyError(f"row has unknown columns: {sorted(unknown)}")
+            raise RegistryError(f"row has unknown columns: {sorted(unknown)}")
         self.rows.append(values)
 
     def column(self, name: str) -> list[Any]:

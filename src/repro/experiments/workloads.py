@@ -6,6 +6,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..errors import RegistryError
 from ..networks.builders import (
     bitonic_iterated_rdn,
     butterfly_rdn,
@@ -70,7 +71,7 @@ def block_family(name: str) -> Callable[[int, np.random.Generator], ReverseDelta
     try:
         return BLOCK_FAMILIES[name]
     except KeyError:
-        raise KeyError(
+        raise RegistryError(
             f"unknown block family {name!r}; available: {', '.join(BLOCK_FAMILIES)}"
         ) from None
 

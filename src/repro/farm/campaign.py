@@ -38,7 +38,17 @@ from .jobs import JOB_TYPES, Job, job_for
 from .runner import JobOutcome, RunReport, run_jobs
 from .store import ArtifactStore
 
-__all__ = ["CampaignSpec", "CampaignResult", "expand_grid", "run_campaign"]
+__all__ = [
+    "CAMPAIGN_FORMAT",
+    "CampaignSpec",
+    "CampaignResult",
+    "expand_grid",
+    "run_campaign",
+]
+
+#: Version of the campaign spec document; bump on field changes so
+#: checked-in campaign files stay identifiable across releases.
+CAMPAIGN_FORMAT = 1
 
 
 @dataclass

@@ -1,48 +1,25 @@
-"""Structured diagnostics emitted by the static analyzer.
+"""Structured diagnostics emitted by the network analyzer.
 
-A :class:`Diagnostic` is one finding of one lint rule: a severity, a
-human-readable message, an optional :class:`Location` (stage index,
-comparator index within the stage, wire ids) and an optional
-:class:`FixIt` describing a behaviour-preserving repair.  Diagnostics
-are plain immutable data so they can be collected, sorted, serialised
-to JSON, attached to exceptions (:class:`repro.errors.LintError`) and
-rendered uniformly by the CLI.
+The generic pieces -- :class:`~repro.diagnostics.Severity`,
+:class:`~repro.diagnostics.FixIt`, the :class:`Diagnostic` record and
+its rendering/ordering -- live in :mod:`repro.diagnostics`, shared with
+the source-tree analyzer :mod:`repro.sanitize` so the two cannot drift.
+This module contributes the network-specific :class:`Location` (stage
+index, comparator index within the stage, wire ids) and a
+:class:`Diagnostic` subclass that defaults its location to an empty
+network location, preserving the historical ``diag.location.stage``
+access pattern.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..diagnostics import Diagnostic as _BaseDiagnostic
+from ..diagnostics import FixIt, Severity
 
 __all__ = ["Severity", "Location", "FixIt", "Diagnostic"]
-
-
-class Severity(enum.Enum):
-    """How serious a diagnostic is.
-
-    ``ERROR``
-        The network provably cannot be a sorting network (or the input
-        document is malformed); linting exits non-zero.
-    ``WARNING``
-        Suspicious but not disqualifying (e.g. a provably-redundant
-        comparator, or falling outside the paper's shuffle-based class).
-    ``INFO``
-        Neutral facts worth surfacing (class membership, empty levels).
-    """
-
-    ERROR = "error"
-    WARNING = "warning"
-    INFO = "info"
-
-    @property
-    def rank(self) -> int:
-        """Numeric rank for sorting: errors first, infos last."""
-        return {"error": 0, "warning": 1, "info": 2}[self.value]
-
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return self.value
 
 
 @dataclass(frozen=True)
@@ -82,71 +59,17 @@ class Location:
             doc["wires"] = list(self.wires)
         return doc
 
-
-@dataclass(frozen=True)
-class FixIt:
-    """A behaviour-preserving repair suggested by a rule.
-
-    ``removals`` lists ``(stage_index, gate_index)`` pairs of gates that
-    can be deleted without changing the network's output on any 0-1
-    input (and hence, by the threshold argument behind the 0-1
-    principle, on any input at all).  :func:`repro.lint.fixes.apply`
-    consumes these.
-    """
-
-    description: str
-    removals: tuple[tuple[int, int], ...] = ()
-
-    def to_json(self) -> dict[str, Any]:
-        """JSON-compatible dict."""
-        return {
-            "description": self.description,
-            "removals": [list(r) for r in self.removals],
-        }
-
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One finding of one lint rule.
-
-    ``rule`` is the registry id (e.g. ``"abstract/redundant-comparator"``);
-    ``severity``, ``message`` and ``location`` describe the finding;
-    ``fix`` optionally carries a safe repair.
-    """
-
-    rule: str
-    severity: Severity
-    message: str
-    location: Location = field(default_factory=Location)
-    fix: FixIt | None = None
-
-    def format(self) -> str:
-        """One-line rendering: ``error[rule] location: message``."""
-        loc = self.location.format()
-        prefix = f"{self.severity.value}[{self.rule}]"
-        if loc != "-":
-            return f"{prefix} {loc}: {self.message}"
-        return f"{prefix}: {self.message}"
-
-    def to_json(self) -> dict[str, Any]:
-        """JSON-compatible dict mirroring :meth:`format`'s content."""
-        doc: dict[str, Any] = {
-            "rule": self.rule,
-            "severity": self.severity.value,
-            "message": self.message,
-            "location": self.location.to_json(),
-        }
-        if self.fix is not None:
-            doc["fix"] = self.fix.to_json()
-        return doc
-
     @property
-    def sort_key(self) -> tuple[int, int, int, str]:
-        """Order: severity rank, then stage, then gate, then rule id."""
-        loc = self.location
+    def sort_key(self) -> tuple[int, int]:
+        """Report order within a severity: stage, then gate."""
         return (
-            self.severity.rank,
-            loc.stage if loc.stage is not None else -1,
-            loc.comparator if loc.comparator is not None else -1,
-            self.rule,
+            self.stage if self.stage is not None else -1,
+            self.comparator if self.comparator is not None else -1,
         )
+
+
+@dataclass(frozen=True)
+class Diagnostic(_BaseDiagnostic):
+    """One finding of one lint rule, located in network coordinates."""
+
+    location: Location = field(default_factory=Location)

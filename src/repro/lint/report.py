@@ -2,7 +2,10 @@
 
 A :class:`LintReport` is the result of one lint run: the analysed
 network's headline numbers, the sorted diagnostics, and convenience
-accessors used by the CLI (`python -m repro lint`) and by tests.
+accessors used by the CLI (`python -m repro lint`) and by tests.  The
+severity accessors, summaries and exit-code convention come from
+:class:`repro.diagnostics.DiagnosticReport`, shared with
+:mod:`repro.sanitize` reports.
 """
 
 from __future__ import annotations
@@ -10,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from .diagnostics import Diagnostic, Severity
+from ..diagnostics import DiagnosticReport
+from .diagnostics import Diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..networks.network import ComparatorNetwork
@@ -19,7 +23,7 @@ __all__ = ["LintReport"]
 
 
 @dataclass
-class LintReport:
+class LintReport(DiagnosticReport):
     """The outcome of linting one network or document.
 
     ``network`` is the analysed network when one could be constructed
@@ -33,54 +37,6 @@ class LintReport:
     size: int
     diagnostics: list[Diagnostic] = field(default_factory=list)
     network: "ComparatorNetwork | None" = None
-
-    def by_severity(self, severity: Severity) -> list[Diagnostic]:
-        """All diagnostics of one severity, in report order."""
-        return [d for d in self.diagnostics if d.severity is severity]
-
-    @property
-    def errors(self) -> list[Diagnostic]:
-        """The error-severity diagnostics."""
-        return self.by_severity(Severity.ERROR)
-
-    @property
-    def warnings(self) -> list[Diagnostic]:
-        """The warning-severity diagnostics."""
-        return self.by_severity(Severity.WARNING)
-
-    @property
-    def infos(self) -> list[Diagnostic]:
-        """The info-severity diagnostics."""
-        return self.by_severity(Severity.INFO)
-
-    @property
-    def has_errors(self) -> bool:
-        """True iff at least one error diagnostic was reported."""
-        return any(d.severity is Severity.ERROR for d in self.diagnostics)
-
-    @property
-    def exit_code(self) -> int:
-        """Process exit code: 1 when errors are present, else 0."""
-        return 1 if self.has_errors else 0
-
-    @property
-    def fixable(self) -> list[Diagnostic]:
-        """Diagnostics carrying a safe fix-it."""
-        return [d for d in self.diagnostics if d.fix is not None]
-
-    def by_rule(self, prefix: str) -> list[Diagnostic]:
-        """Diagnostics whose rule id starts with ``prefix``."""
-        return [d for d in self.diagnostics if d.rule.startswith(prefix)]
-
-    def summary(self) -> str:
-        """One line like ``2 errors, 1 warning, 3 notes``."""
-        e, w, i = len(self.errors), len(self.warnings), len(self.infos)
-        parts = [
-            f"{e} error{'s' if e != 1 else ''}",
-            f"{w} warning{'s' if w != 1 else ''}",
-            f"{i} note{'s' if i != 1 else ''}",
-        ]
-        return ", ".join(parts)
 
     def format_text(self) -> str:
         """Full human-readable report."""
@@ -103,10 +59,5 @@ class LintReport:
             "depth": self.depth,
             "size": self.size,
             "diagnostics": [d.to_json() for d in self.diagnostics],
-            "summary": {
-                "errors": len(self.errors),
-                "warnings": len(self.warnings),
-                "infos": len(self.infos),
-                "fixable": len(self.fixable),
-            },
+            "summary": self.summary_json(),
         }

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Iterable
 
+from ..errors import DomainError
+
 __all__ = ["percentile", "span_stats", "MetricsAggregator", "aggregate"]
 
 
@@ -22,7 +24,7 @@ def percentile(values: "list[float]", q: float) -> float:
     if not values:
         return 0.0
     if not 0 <= q <= 100:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
+        raise DomainError(f"percentile must be in [0, 100], got {q}")
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])

@@ -1,0 +1,58 @@
+"""Source-tree diagnostics: file/line/column locations.
+
+The record type, severities, fix-its and ordering are the shared ones
+from :mod:`repro.diagnostics` (also used by :mod:`repro.lint`); this
+module contributes :class:`SourceLocation`, the location flavour that
+points into Python source instead of into a comparator network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..diagnostics import Diagnostic, FixIt, Severity
+
+__all__ = ["Severity", "FixIt", "Diagnostic", "SourceLocation"]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where in the source tree a diagnostic points.
+
+    ``path`` is the file as given to the analyzer (kept relative so
+    reports are machine-portable); ``line`` is 1-based, ``col`` 0-based
+    (both straight off the AST node).  ``line`` may be ``None`` for
+    whole-file findings (e.g. a module missing its version constant).
+    """
+
+    path: str
+    line: int | None = None
+    col: int | None = None
+
+    def format(self) -> str:
+        """Render like ``repro/core/collision.py:188:15``."""
+        parts = [self.path]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.col is not None:
+                parts.append(str(self.col))
+        return ":".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible dict (omits unset fields)."""
+        doc: dict[str, Any] = {"path": self.path}
+        if self.line is not None:
+            doc["line"] = self.line
+        if self.col is not None:
+            doc["col"] = self.col
+        return doc
+
+    @property
+    def sort_key(self) -> tuple[str, int, int]:
+        """Report order within a severity: path, then line, then column."""
+        return (
+            self.path,
+            self.line if self.line is not None else -1,
+            self.col if self.col is not None else -1,
+        )

@@ -1,0 +1,402 @@
+"""The sanitize engine: file discovery, shared per-file passes, rules.
+
+Mirrors :mod:`repro.lint.engine` with the analysis target swapped: the
+input is Python source from the repro tree itself, parsed with the
+stdlib :mod:`ast` (zero new dependencies).  Entry points:
+
+* :func:`sanitize_source` -- analyse one in-memory source string under a
+  virtual path (the fixture-corpus and unit-test entry point);
+* :func:`sanitize_file` -- analyse one file on disk;
+* :func:`sanitize_paths` -- walk files/directories in deterministic
+  (sorted) order, apply the checked-in baseline, and aggregate a
+  :class:`~repro.sanitize.report.SanitizeReport`.
+
+Shared passes (import-alias resolution, module-level name collection,
+suppression pragmas) are computed lazily and at most once per file via
+:class:`FileContext`, so every rule reads cached results.  Unparseable
+files become ``parse/syntax-error`` diagnostics instead of stack
+traces, mirroring the lenient document path of the network linter.
+
+Determinism contract: the report depends only on the *set* of files and
+their contents -- never on visit order, dict order, or the host -- so
+two runs over the same tree are bit-identical (property-tested in
+``tests/sanitize/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import SanitizeError
+from .baseline import Baseline
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+__all__ = [
+    "SanitizeConfig",
+    "FileContext",
+    "anchored_path",
+    "sanitize_source",
+    "sanitize_file",
+    "sanitize_paths",
+]
+
+#: ``# sanitize: ok`` or ``# sanitize: ok[prefix, prefix]`` on a line
+#: suppresses findings anchored there (bracketed form: only matching
+#: rule-id prefixes).
+_PRAGMA = re.compile(r"#\s*sanitize:\s*ok(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class SanitizeConfig:
+    """Tunables for one sanitize run.
+
+    ``select`` optionally restricts to rules whose id starts with one of
+    the given prefixes.  ``schema_registry`` overrides the packaged
+    schema fingerprint registry (tests inject fixture registries here);
+    ``None`` loads ``schema_registry.json`` from the package.
+    """
+
+    select: tuple[str, ...] | None = None
+    schema_registry: dict[str, Any] | None = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True iff ``rule_id`` passes the ``select`` filter."""
+        if not self.select:
+            return True
+        return any(rule_id.startswith(prefix) for prefix in self.select)
+
+
+def anchored_path(path: str | Path) -> str:
+    """Normalise a file path to its ``repro/...`` suffix.
+
+    Rule scopes and baseline fingerprints are keyed by this anchored
+    form so they are independent of where the tree is checked out
+    (``src/repro/core/x.py`` and ``/ci/build/src/repro/core/x.py`` both
+    anchor to ``repro/core/x.py``).  Paths without a ``repro`` segment
+    fall back to the bare file name.
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[idx:])
+    return parts[-1]
+
+
+class FileContext:
+    """Lazily-computed shared state handed to every rule for one file."""
+
+    def __init__(
+        self,
+        source: str,
+        path: str,
+        tree: ast.Module,
+        config: SanitizeConfig,
+        registry: dict[str, Any] | None = None,
+    ):
+        self.source = source
+        #: The path as given (what diagnostics display).
+        self.path = path
+        #: The ``repro/...``-anchored path (what rule scopes match on).
+        self.relpath = anchored_path(path)
+        self.tree = tree
+        self.config = config
+        #: Parsed schema fingerprint registry (``schema/*`` rules).
+        self.registry = registry if registry is not None else {}
+
+    @cached_property
+    def lines(self) -> list[str]:
+        """Source split into lines (1-based access via :meth:`line_text`)."""
+        return self.source.splitlines()
+
+    def line_text(self, line: int | None) -> str:
+        """The stripped text of a 1-based source line (or ``""``)."""
+        if line is None or not (1 <= line <= len(self.lines)):
+            return ""
+        return self.lines[line - 1].strip()
+
+    @cached_property
+    def module(self) -> str:
+        """Dotted module name derived from the anchored path."""
+        rel = self.relpath
+        if rel.endswith(".py"):
+            rel = rel[: -len(".py")]
+        parts = [p for p in rel.split("/") if p]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    @cached_property
+    def aliases(self) -> dict[str, str]:
+        """Imported-name map: local alias -> fully-qualified dotted name.
+
+        Collected over the whole file (the tree under analysis imports
+        lazily inside functions); relative imports are resolved against
+        :attr:`module`, so ``from ..errors import ReproError`` inside
+        ``repro/core/x.py`` maps ``ReproError`` to
+        ``repro.errors.ReproError``.
+        """
+        aliases: dict[str, str] = {}
+        pkg = self.module.split(".")[:-1]
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.asname:
+                        aliases[a.asname] = a.name
+                    else:
+                        root = a.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = pkg[: len(pkg) - (node.level - 1)]
+                    head = ".".join(base + ([node.module] if node.module else []))
+                else:
+                    head = node.module or ""
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    full = f"{head}.{a.name}" if head else a.name
+                    aliases[a.asname or a.name] = full
+        return aliases
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """The literal dotted form of a Name/Attribute chain, if any."""
+        if isinstance(node, ast.Attribute):
+            base = self.dotted(node.value)
+            return f"{base}.{node.attr}" if base else None
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Qualified name with the root alias expanded (or the raw name).
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when ``np`` was imported as numpy;
+        an unimported root (builtin, local variable) passes through
+        unchanged.
+        """
+        name = self.dotted(node)
+        if name is None:
+            return None
+        root, _, rest = name.partition(".")
+        target = self.aliases.get(root)
+        if target is None:
+            return name
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_imported(self, node: ast.AST) -> str | None:
+        """Like :meth:`resolve`, but ``None`` unless the root is imported.
+
+        Module-membership rules (``random.*``, ``numpy.random.*``) use
+        this so a local variable that happens to shadow a module name
+        (``rng.random()``) cannot false-positive.
+        """
+        name = self.dotted(node)
+        if name is None:
+            return None
+        root, _, rest = name.partition(".")
+        target = self.aliases.get(root)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    @cached_property
+    def module_level_names(self) -> frozenset[str]:
+        """Names bound by plain assignments in the module body."""
+        names: set[str] = set()
+        for stmt in self.tree.body:
+            for target in _assign_targets(stmt):
+                names.add(target)
+        return frozenset(names)
+
+    @cached_property
+    def function_nodes(self) -> list[ast.AST]:
+        """Every function/lambda body node, for function-scope rules."""
+        funcs: list[ast.AST] = []
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                funcs.append(node)
+        return funcs
+
+    def in_scope(self, prefixes: Iterable[str]) -> bool:
+        """True iff this file's anchored path falls under any prefix."""
+        rel = self.relpath
+        return any(
+            rel == p or (p.endswith("/") and rel.startswith(p))
+            for p in prefixes
+        )
+
+    def suppressed(self, diag: Diagnostic) -> bool:
+        """True iff a ``# sanitize: ok`` pragma covers this diagnostic."""
+        loc = diag.location
+        line = getattr(loc, "line", None)
+        if line is None or not (1 <= line <= len(self.lines)):
+            return False
+        match = _PRAGMA.search(self.lines[line - 1])
+        if match is None:
+            return False
+        prefixes = match.group(1)
+        if prefixes is None:
+            return True
+        return any(
+            diag.rule.startswith(p.strip())
+            for p in prefixes.split(",")
+            if p.strip()
+        )
+
+
+def _assign_targets(stmt: ast.stmt) -> Iterator[str]:
+    """Plain names bound by one module-body statement."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                yield target.id
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id
+
+
+def _load_registry(config: SanitizeConfig) -> dict[str, Any]:
+    """The schema fingerprint registry (packaged unless overridden)."""
+    if config.schema_registry is not None:
+        return config.schema_registry
+    from .schema import load_registry
+
+    return load_registry()
+
+
+def sanitize_source(
+    source: str,
+    path: str,
+    config: SanitizeConfig | None = None,
+    *,
+    registry: dict[str, Any] | None = None,
+) -> list[Diagnostic]:
+    """Run every enabled rule over one source string.
+
+    ``path`` locates the findings *and* selects rule scopes (the
+    determinism rules only apply under ``repro/core/`` etc.), so tests
+    can exercise scoped rules on fixture snippets by passing virtual
+    paths like ``"repro/core/example.py"``.  Returns the pragma-filtered
+    diagnostics, sorted.
+    """
+    cfg = config or SanitizeConfig()
+    if registry is None:
+        registry = _load_registry(cfg)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="parse/syntax-error",
+                severity=Severity.ERROR,
+                message=f"cannot parse: {exc.msg}",
+                location=SourceLocation(
+                    path=path, line=exc.lineno, col=exc.offset
+                ),
+            )
+        ]
+    from .rules import RULES
+
+    ctx = FileContext(source, path, tree, cfg, registry=registry)
+    diagnostics: list[Diagnostic] = []
+    for rule in RULES.values():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        diagnostics.extend(rule.check(ctx))
+    diagnostics = [d for d in diagnostics if not ctx.suppressed(d)]
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return diagnostics
+
+
+def sanitize_file(
+    path: str | Path,
+    config: SanitizeConfig | None = None,
+    *,
+    registry: dict[str, Any] | None = None,
+) -> list[Diagnostic]:
+    """Analyse one file on disk (raises ``SanitizeError`` if unreadable)."""
+    p = Path(path)
+    try:
+        source = p.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise SanitizeError(f"cannot read {p}: {exc}") from exc
+    return sanitize_source(source, p.as_posix(), config, registry=registry)
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Directories are walked recursively for ``*.py``; ``__pycache__`` is
+    skipped.  The sort (by posix path string) is what makes the report
+    independent of filesystem enumeration order.
+    """
+    files: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.update(
+                f for f in p.rglob("*.py") if "__pycache__" not in f.parts
+            )
+        elif p.is_file():
+            files.add(p)
+        else:
+            raise SanitizeError(f"no such file or directory: {p}")
+    return sorted(files, key=lambda f: f.as_posix())
+
+
+def sanitize_paths(
+    paths: Iterable[str | Path],
+    config: SanitizeConfig | None = None,
+    baseline: Baseline | None = None,
+):
+    """Analyse a set of files/directories and aggregate the report.
+
+    Baseline-matched findings are suppressed from the report (and hence
+    from the exit code) but counted in ``report.suppressed`` so a
+    grandfathered tree is visibly grandfathered, not silently clean.
+    """
+    from .report import SanitizeReport
+
+    cfg = config or SanitizeConfig()
+    registry = _load_registry(cfg)
+    files = discover_files(paths)
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    for f in files:
+        try:
+            source = f.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SanitizeError(f"cannot read {f}: {exc}") from exc
+        lines = source.splitlines()
+        for diag in sanitize_source(
+            source, f.as_posix(), cfg, registry=registry
+        ):
+            if baseline is not None and baseline.matches(
+                diag, _line_text(lines, diag)
+            ):
+                suppressed += 1
+                continue
+            diagnostics.append(diag)
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return SanitizeReport(
+        targets=sorted(str(p) for p in paths),
+        files=len(files),
+        diagnostics=diagnostics,
+        suppressed=suppressed,
+    )
+
+
+def _line_text(lines: list[str], diag: Diagnostic) -> str:
+    """The stripped source line a diagnostic anchors to (baseline key)."""
+    line = getattr(diag.location, "line", None)
+    if line is None or not (1 <= line <= len(lines)):
+        return ""
+    return lines[line - 1].strip()

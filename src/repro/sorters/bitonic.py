@@ -12,6 +12,7 @@ delta* form (certifying class membership) is
 from __future__ import annotations
 
 from .._util import ilog2, require_power_of_two
+from ..errors import DomainError
 from ..networks.gates import Gate, Op
 from ..networks.level import Level
 from ..networks.network import ComparatorNetwork
@@ -50,7 +51,7 @@ def bitonic_merge_network(n: int, phase: int | None = None) -> ComparatorNetwork
     d = ilog2(require_power_of_two(n, "bitonic size"))
     p = d if phase is None else phase
     if not 1 <= p <= d:
-        raise ValueError(f"phase must be in [1, {d}], got {p}")
+        raise DomainError(f"phase must be in [1, {d}], got {p}")
     levels = []
     for s in range(p - 1, -1, -1):
         stride = 1 << s

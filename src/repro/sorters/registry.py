@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..errors import RegistryError
 from ..networks.network import ComparatorNetwork
 from .balanced import balanced_sorting_network
 from .bitonic import bitonic_sorting_network
@@ -109,7 +110,7 @@ def get_sorter(name: str) -> SorterSpec:
     try:
         return SORTER_REGISTRY[name]
     except KeyError:
-        raise KeyError(
+        raise RegistryError(
             f"unknown sorter {name!r}; available: {', '.join(SORTER_REGISTRY)}"
         ) from None
 

@@ -1,0 +1,20 @@
+"""Shared fixtures for the sanitize test suite."""
+
+from pathlib import Path
+
+import pytest
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: Repository src/ directory (the self-analysis target).
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def corpus():
+    """Read a corpus snippet by file name."""
+
+    def read(name: str) -> str:
+        return (CORPUS / name).read_text()
+
+    return read

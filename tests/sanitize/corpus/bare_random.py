@@ -1,0 +1,8 @@
+"""Corpus: determinism/bare-random -- the stdlib global generator."""
+
+import random
+
+
+def shuffle_wires(wires):
+    random.shuffle(wires)
+    return wires

@@ -1,0 +1,24 @@
+"""Corpus: a compliant deterministic-zone module; no rule may fire."""
+
+import logging
+
+import numpy as np
+
+from repro.errors import PatternError
+
+logger = logging.getLogger(__name__)
+
+_KINDS = ("S", "M", "L")
+
+
+def sample(pattern, seed=0, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return pattern.refine_to_input(rng=rng)
+
+
+def ordered_wires(wires):
+    special = set(wires)
+    if not special:
+        raise PatternError("empty wire set")
+    logger.debug("ordering %d wires", len(special))
+    return sorted(special)

@@ -1,0 +1,12 @@
+"""Corpus: determinism/entropy-source -- unseedable OS entropy."""
+
+import os
+import uuid
+
+
+def job_nonce():
+    return os.urandom(8)
+
+
+def job_id():
+    return str(uuid.uuid4())

@@ -1,0 +1,12 @@
+"""Corpus: obs/foreign-exception -- raw builtin across the CLI boundary."""
+
+
+def lookup(table, name):
+    if name not in table:
+        raise KeyError(f"unknown entry {name!r}")
+    return table[name]
+
+
+def check_range(q):
+    if not 0 <= q <= 100:
+        raise ValueError(f"out of range: {q}")

@@ -1,0 +1,9 @@
+"""Corpus: forksafety/global-statement -- rebinding a module global."""
+
+_COUNTER = 0
+
+
+def bump():
+    global _COUNTER
+    _COUNTER += 1
+    return _COUNTER

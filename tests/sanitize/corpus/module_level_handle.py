@@ -1,0 +1,10 @@
+"""Corpus: forksafety/module-level-handle -- a lock created at import."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def locked(fn):
+    with _LOCK:
+        return fn()

@@ -1,0 +1,12 @@
+"""Corpus: forksafety/module-state-mutation -- mutating a module dict."""
+
+_CACHE = {}
+_SEEN = []
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def visit(item):
+    _SEEN.append(item)

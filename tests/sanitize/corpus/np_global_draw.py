@@ -1,0 +1,7 @@
+"""Corpus: determinism/unseeded-rng -- numpy's process-global generator."""
+
+import numpy as np
+
+
+def pick_wire(n):
+    return np.random.randint(n)

@@ -1,0 +1,5 @@
+"""Corpus: obs/print-stdout -- library code printing to stdout."""
+
+
+def report_progress(done, total):
+    print(f"{done}/{total} jobs finished")

@@ -1,0 +1,12 @@
+"""Corpus: determinism/set-iteration -- order-sensitive set loops."""
+
+
+def collect(special):
+    out = []
+    for wire in set(special):
+        out.append(wire)
+    return out
+
+
+def materialise(wires):
+    return list({w * 2 for w in wires})

@@ -1,0 +1,10 @@
+"""Corpus: forksafety/tracer-capture -- pre-fork tracer capture."""
+
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
+
+
+def traced_step(name):
+    with TRACER.span(name):
+        pass

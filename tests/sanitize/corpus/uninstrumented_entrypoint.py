@@ -1,0 +1,12 @@
+"""Corpus: obs/uninstrumented-entrypoint -- an entry point with no spans.
+
+Analysed under a virtual entry-point path (e.g. repro/core/attack.py);
+it never imports repro.obs, so the whole file is flagged.
+"""
+
+import numpy as np
+
+
+def run_attack(network, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(network)

@@ -1,0 +1,8 @@
+"""Corpus: determinism/unseeded-rng -- default_rng() without a seed."""
+
+import numpy as np
+
+
+def sample_refinement(pattern):
+    rng = np.random.default_rng()
+    return pattern.refine_to_input(rng=rng)

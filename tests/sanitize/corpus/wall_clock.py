@@ -1,0 +1,7 @@
+"""Corpus: determinism/wall-clock -- a timestamp inside a result."""
+
+import time
+
+
+def stamp_result(result):
+    return {"result": result, "at": time.time()}

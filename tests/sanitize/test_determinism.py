@@ -1,0 +1,82 @@
+"""Property tests: sanitize output is deterministic and order-independent.
+
+The engine promises the report depends only on the *set* of analysed
+files and their contents -- not on argument order, filesystem
+enumeration order, or run count.  Hypothesis drives permutations of the
+same fixture tree through :func:`sanitize_paths` and asserts the JSON
+report is bit-identical.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sanitize import SanitizeConfig, sanitize_paths
+
+CONFIG = SanitizeConfig(schema_registry={"version": 1, "modules": {}})
+
+FIXTURES = {
+    "repro/core/a.py": (
+        "import numpy as np\nrng = np.random.default_rng()\n"
+    ),
+    "repro/core/b.py": (
+        "import random\ndef f():\n    return random.random()\n"
+    ),
+    "repro/farm/c.py": (
+        "_STATE = {}\ndef f(k):\n    _STATE[k] = 1\n"
+    ),
+    "repro/networks/d.py": (
+        "def f():\n    raise ValueError('boom')\n"
+    ),
+    "repro/core/e.py": "x = 1\n",
+    "repro/core/broken.py": "def broken(:\n",
+}
+
+
+@pytest.fixture(scope="module")
+def tree(tmp_path_factory):
+    """A fixture tree with one violation per file, written once."""
+    root = tmp_path_factory.mktemp("sanitize-tree")
+    paths = []
+    for rel, source in FIXTURES.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+        paths.append(p)
+    return paths
+
+
+def report_json(paths):
+    return sanitize_paths(paths, CONFIG).to_json()
+
+
+class TestDeterminism:
+    def test_two_runs_are_bit_identical(self, tree):
+        first = json.dumps(report_json(tree), sort_keys=True)
+        second = json.dumps(report_json(tree), sort_keys=True)
+        assert first == second
+
+    def test_every_fixture_file_contributes(self, tree):
+        doc = report_json(tree)
+        flagged = {d["location"]["path"] for d in doc["diagnostics"]}
+        # every file except the clean one produced a finding
+        assert len(flagged) == len(FIXTURES) - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_argument_order_never_matters(self, tree, data):
+        perm = data.draw(st.permutations(tree))
+        assert report_json(perm) == report_json(tree)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_directory_vs_file_enumeration(self, tree, data):
+        """Passing the root directory equals passing a permuted file list."""
+        root = tree[0].parents[2]
+        perm = data.draw(st.permutations(tree))
+        by_files = report_json(perm)
+        by_dir = report_json([root])
+        assert by_files["diagnostics"] == by_dir["diagnostics"]
+        assert by_files["files"] == by_dir["files"]

@@ -1,0 +1,186 @@
+"""Engine tests: discovery, anchoring, contexts, baselines, reports."""
+
+import json
+
+import pytest
+
+from repro.errors import SanitizeError
+from repro.sanitize import (
+    Baseline,
+    SanitizeConfig,
+    anchored_path,
+    discover_files,
+    sanitize_file,
+    sanitize_paths,
+    sanitize_source,
+)
+
+BAD = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestAnchoredPath:
+    @pytest.mark.parametrize(
+        "given,expected",
+        [
+            ("src/repro/core/x.py", "repro/core/x.py"),
+            ("/ci/build/src/repro/farm/jobs.py", "repro/farm/jobs.py"),
+            ("repro/cli.py", "repro/cli.py"),
+            ("standalone.py", "standalone.py"),
+            # the *last* repro segment anchors
+            ("repro/vendored/repro/core/x.py", "repro/core/x.py"),
+        ],
+    )
+    def test_anchor(self, given, expected):
+        assert anchored_path(given) == expected
+
+
+class TestDiscovery:
+    def test_sorted_recursive_discovery(self, tmp_path):
+        (tmp_path / "b").mkdir()
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b" / "c.py").write_text("y = 2\n")
+        (tmp_path / "b" / "__pycache__").mkdir()
+        (tmp_path / "b" / "__pycache__" / "c.cpython-312.py").write_text("")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = discover_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "c.py"]
+
+    def test_explicit_file_and_dedup(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        assert discover_files([f, tmp_path]) == [f]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(SanitizeError, match="no such file"):
+            discover_files([tmp_path / "gone"])
+
+
+class TestSanitizeFile:
+    def test_file_on_disk(self, tmp_path):
+        f = tmp_path / "repro" / "core" / "x.py"
+        f.parent.mkdir(parents=True)
+        f.write_text(BAD)
+        diags = sanitize_file(f, registry={"version": 1, "modules": {}})
+        assert [d.rule for d in diags] == ["determinism/unseeded-rng"]
+        assert diags[0].location.line == 2
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(SanitizeError, match="cannot read"):
+            sanitize_file(tmp_path / "gone.py")
+
+
+class TestSelect:
+    def test_select_filters_rules(self):
+        src = BAD + "def f():\n    print('hi')\n"
+        all_rules = {
+            d.rule
+            for d in sanitize_source(
+                src, "repro/core/x.py",
+                registry={"version": 1, "modules": {}},
+            )
+        }
+        assert all_rules == {"determinism/unseeded-rng", "obs/print-stdout"}
+        only = sanitize_source(
+            src,
+            "repro/core/x.py",
+            SanitizeConfig(select=("obs/",)),
+            registry={"version": 1, "modules": {}},
+        )
+        assert {d.rule for d in only} == {"obs/print-stdout"}
+
+
+class TestSanitizePaths:
+    def write_tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(BAD)
+        (pkg / "good.py").write_text("x = 1\n")
+        return tmp_path
+
+    def test_report_shape(self, tmp_path):
+        root = self.write_tree(tmp_path)
+        report = sanitize_paths(
+            [root], SanitizeConfig(schema_registry={"version": 1,
+                                                   "modules": {}})
+        )
+        assert report.files == 2
+        assert report.exit_code == 1 and report.has_errors
+        assert [d.rule for d in report.diagnostics] == [
+            "determinism/unseeded-rng"
+        ]
+        doc = report.to_json()
+        assert doc["summary"]["errors"] == 1
+        assert doc["suppressed"] == 0
+        assert "unseeded-rng" in report.format_text()
+        # the JSON document is itself JSON-serialisable
+        json.dumps(doc)
+
+    def test_baseline_suppresses_and_counts(self, tmp_path):
+        root = self.write_tree(tmp_path)
+        baseline = Baseline(
+            entries={
+                (
+                    "determinism/unseeded-rng",
+                    "repro/core/bad.py",
+                    "rng = np.random.default_rng()",
+                )
+            }
+        )
+        report = sanitize_paths(
+            [root],
+            SanitizeConfig(schema_registry={"version": 1, "modules": {}}),
+            baseline=baseline,
+        )
+        assert report.diagnostics == []
+        assert report.suppressed == 1
+        assert report.exit_code == 0
+        assert "(1 baselined)" in report.format_text()
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        root = self.write_tree(tmp_path)
+        # push the violation down some lines; fingerprint still matches
+        bad = root / "repro" / "core" / "bad.py"
+        bad.write_text("# a comment\n# another\n" + BAD)
+        baseline = Baseline(
+            entries={
+                (
+                    "determinism/unseeded-rng",
+                    "repro/core/bad.py",
+                    "rng = np.random.default_rng()",
+                )
+            }
+        )
+        report = sanitize_paths(
+            [root],
+            SanitizeConfig(schema_registry={"version": 1, "modules": {}}),
+            baseline=baseline,
+        )
+        assert report.diagnostics == [] and report.suppressed == 1
+
+
+class TestFileContextResolution:
+    def test_relative_import_resolution(self):
+        src = (
+            "from ..errors import ReproError\n"
+            "def f():\n"
+            "    raise ReproError('ok')\n"
+        )
+        # ReproError resolves to repro.errors.ReproError -> not foreign
+        diags = sanitize_source(
+            src, "repro/core/x.py", registry={"version": 1, "modules": {}}
+        )
+        assert diags == []
+
+    def test_aliased_import_resolution(self):
+        src = "import numpy.random as npr\nrng = npr.default_rng()\n"
+        diags = sanitize_source(
+            src, "repro/core/x.py", registry={"version": 1, "modules": {}}
+        )
+        assert [d.rule for d in diags] == ["determinism/unseeded-rng"]
+
+    def test_from_import_resolution(self):
+        src = "from numpy.random import default_rng\nrng = default_rng()\n"
+        diags = sanitize_source(
+            src, "repro/core/x.py", registry={"version": 1, "modules": {}}
+        )
+        assert [d.rule for d in diags] == ["determinism/unseeded-rng"]

@@ -1,0 +1,316 @@
+"""Per-rule tests of the sanitize catalog on the known-bad corpus.
+
+Every rule id has at least one corpus snippet that makes it fire under a
+virtual in-scope path, plus scope/exemption cases proving it stays quiet
+where it should.
+"""
+
+import pytest
+
+from repro.sanitize import RULES, SanitizeConfig, Severity, sanitize_source
+
+#: Registry with the schema modules unpinned, so corpus runs under
+#: schema-module virtual paths do not drag in schema/* noise.
+EMPTY_REGISTRY = {"version": 1, "modules": {}}
+
+
+def run(source, path, select=None, registry=None):
+    config = SanitizeConfig(select=tuple(select) if select else None)
+    return sanitize_source(
+        source,
+        path,
+        config,
+        registry=EMPTY_REGISTRY if registry is None else registry,
+    )
+
+
+def fired(diags):
+    return {d.rule for d in diags}
+
+
+class TestRegistry:
+    def test_expected_catalog(self):
+        for rule_id in [
+            "determinism/unseeded-rng",
+            "determinism/bare-random",
+            "determinism/wall-clock",
+            "determinism/entropy-source",
+            "determinism/set-iteration",
+            "forksafety/global-statement",
+            "forksafety/module-state-mutation",
+            "forksafety/module-level-handle",
+            "forksafety/tracer-capture",
+            "obs/foreign-exception",
+            "obs/print-stdout",
+            "obs/uninstrumented-entrypoint",
+            "schema/missing-version",
+            "schema/fingerprint-drift",
+        ]:
+            assert rule_id in RULES
+            rule = RULES[rule_id]
+            assert rule.id == rule_id and rule.summary
+
+    def test_ids_are_category_slash_name(self):
+        for rule_id, rule in RULES.items():
+            category, _, name = rule_id.partition("/")
+            assert category and name, rule_id
+            assert rule.severity in (
+                Severity.ERROR,
+                Severity.WARNING,
+                Severity.INFO,
+            )
+
+
+#: (corpus file, virtual path, expected rule id)
+CORPUS_CASES = [
+    ("unseeded_rng.py", "repro/core/example.py", "determinism/unseeded-rng"),
+    ("np_global_draw.py", "repro/analysis/example.py",
+     "determinism/unseeded-rng"),
+    ("bare_random.py", "repro/core/example.py", "determinism/bare-random"),
+    ("wall_clock.py", "repro/farm/jobs.py", "determinism/wall-clock"),
+    ("entropy_source.py", "repro/core/example.py",
+     "determinism/entropy-source"),
+    ("set_iteration.py", "repro/core/example.py",
+     "determinism/set-iteration"),
+    ("global_statement.py", "repro/farm/example.py",
+     "forksafety/global-statement"),
+    ("module_state_mutation.py", "repro/core/example.py",
+     "forksafety/module-state-mutation"),
+    ("module_level_handle.py", "repro/farm/example.py",
+     "forksafety/module-level-handle"),
+    ("tracer_capture.py", "repro/farm/example.py",
+     "forksafety/tracer-capture"),
+    ("foreign_exception.py", "repro/networks/example.py",
+     "obs/foreign-exception"),
+    ("print_stdout.py", "repro/obs/example.py", "obs/print-stdout"),
+    ("uninstrumented_entrypoint.py", "repro/core/attack.py",
+     "obs/uninstrumented-entrypoint"),
+]
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("name,path,rule_id", CORPUS_CASES)
+    def test_known_bad_snippet_fires(self, corpus, name, path, rule_id):
+        diags = run(corpus(name), path)
+        assert rule_id in fired(diags), (name, fired(diags))
+        hit = next(d for d in diags if d.rule == rule_id)
+        assert hit.severity is RULES[rule_id].severity
+        assert hit.location is not None and hit.location.path == path
+
+    @pytest.mark.parametrize("name,path,rule_id", CORPUS_CASES)
+    def test_select_isolates_one_rule(self, corpus, name, path, rule_id):
+        diags = run(corpus(name), path, select=[rule_id])
+        assert fired(diags) == {rule_id}
+
+    def test_clean_corpus_module_is_clean(self, corpus):
+        assert run(corpus("clean.py"), "repro/core/example.py") == []
+
+
+class TestScoping:
+    """The same bad code outside a rule's scope reports nothing."""
+
+    @pytest.mark.parametrize(
+        "name,out_of_scope_path",
+        [
+            ("unseeded_rng.py", "repro/sorters/example.py"),
+            ("bare_random.py", "repro/networks/example.py"),
+            ("wall_clock.py", "repro/obs/trace.py"),
+            ("set_iteration.py", "repro/lint/example.py"),
+            ("global_statement.py", "repro/obs/trace.py"),
+            ("module_level_handle.py", "repro/obs/example.py"),
+            ("uninstrumented_entrypoint.py", "repro/core/pattern.py"),
+        ],
+    )
+    def test_out_of_scope_is_quiet(self, corpus, name, out_of_scope_path):
+        diags = run(corpus(name), out_of_scope_path)
+        assert diags == [], fired(diags)
+
+    def test_cli_may_print_and_raise(self, corpus):
+        assert run(corpus("print_stdout.py"), "repro/cli.py") == []
+        assert run(corpus("foreign_exception.py"), "repro/cli.py") == []
+
+    def test_errors_module_may_reference_builtins(self, corpus):
+        assert run(corpus("foreign_exception.py"), "repro/errors.py") == []
+
+
+class TestDeterminismExemptions:
+    def test_seeded_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert run(src, "repro/core/x.py") == []
+
+    def test_local_variable_shadowing_random_is_not_flagged(self):
+        src = (
+            "def f(rng):\n"
+            "    random = rng\n"
+            "    return random.random()\n"
+        )
+        assert run(src, "repro/core/x.py") == []
+
+    def test_order_insensitive_set_reducers_ok(self):
+        src = (
+            "def f(wires):\n"
+            "    total = sum({w for w in wires})\n"
+            "    return sorted({w + 1 for w in wires}), total\n"
+        )
+        assert run(src, "repro/core/x.py") == []
+
+    def test_set_comprehension_over_set_ok(self):
+        # producing another set keeps order irrelevant
+        src = "def f(s):\n    return {x + 1 for x in set(s)}\n"
+        assert run(src, "repro/core/x.py") == []
+
+
+class TestForkSafetyExemptions:
+    def test_import_time_registration_ok(self):
+        src = "REGISTRY = {}\nREGISTRY['bitonic'] = object()\n"
+        assert run(src, "repro/farm/x.py") == []
+
+    def test_instance_state_mutation_ok(self):
+        src = (
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "    def add(self, x):\n"
+            "        self.items.append(x)\n"
+        )
+        assert run(src, "repro/farm/x.py") == []
+
+    def test_lock_inside_constructor_ok(self):
+        src = (
+            "import threading\n"
+            "class Tracer:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+        )
+        assert run(src, "repro/farm/x.py") == []
+
+    def test_use_time_get_tracer_ok(self):
+        src = (
+            "from repro.obs.trace import get_tracer\n"
+            "def step():\n"
+            "    with get_tracer().span('step'):\n"
+            "        pass\n"
+        )
+        assert run(src, "repro/core/x.py") == []
+
+
+class TestObsExemptions:
+    def test_repro_error_subclass_raise_ok(self):
+        src = (
+            "from repro.errors import PatternError\n"
+            "def f():\n"
+            "    raise PatternError('bad')\n"
+        )
+        assert run(src, "repro/core/x.py") == []
+
+    def test_print_to_stderr_ok(self):
+        src = (
+            "import sys\n"
+            "def f():\n"
+            "    print('x', file=sys.stderr)\n"
+        )
+        assert run(src, "repro/obs/x.py") == []
+
+    def test_instrumented_entrypoint_ok(self):
+        src = (
+            "from ..obs.trace import get_tracer\n"
+            "def run_attack():\n"
+            "    with get_tracer().span('attack'):\n"
+            "        pass\n"
+        )
+        assert run(src, "repro/core/attack.py") == []
+
+
+class TestSchemaRules:
+    TRACKED = (
+        "from dataclasses import dataclass\n"
+        "{version}"
+        "@dataclass\n"
+        "class Cert:\n"
+        "    a: int\n"
+        "    b: int\n"
+        "    def to_json(self):\n"
+        "        return {{}}\n"
+    )
+
+    def pinned(self, fields, version=1):
+        return {
+            "version": 1,
+            "modules": {
+                "repro/core/certificates.py": {
+                    "version_constant": "CERTIFICATE_FORMAT",
+                    "version": version,
+                    "classes": {"Cert": fields},
+                }
+            },
+        }
+
+    def test_missing_version_constant(self):
+        src = self.TRACKED.format(version="")
+        diags = run(src, "repro/core/certificates.py",
+                    select=["schema/missing-version"],
+                    registry=self.pinned(["a", "b"]))
+        assert fired(diags) == {"schema/missing-version"}
+
+    def test_pinned_and_versioned_is_clean(self):
+        src = self.TRACKED.format(version="CERTIFICATE_FORMAT = 1\n")
+        diags = run(src, "repro/core/certificates.py", select=["schema/"],
+                    registry=self.pinned(["a", "b"]))
+        assert diags == []
+
+    def test_field_drift_without_bump(self):
+        src = self.TRACKED.format(version="CERTIFICATE_FORMAT = 1\n")
+        diags = run(src, "repro/core/certificates.py", select=["schema/"],
+                    registry=self.pinned(["a"]))
+        assert fired(diags) == {"schema/fingerprint-drift"}
+        assert "version bump" in diags[0].message
+
+    def test_version_bump_mismatch_reported(self):
+        src = self.TRACKED.format(version="CERTIFICATE_FORMAT = 2\n")
+        diags = run(src, "repro/core/certificates.py", select=["schema/"],
+                    registry=self.pinned(["a", "b"], version=1))
+        assert fired(diags) == {"schema/fingerprint-drift"}
+        assert "re-pin" in diags[0].message
+
+    def test_unpinned_module_reported(self):
+        src = self.TRACKED.format(version="CERTIFICATE_FORMAT = 1\n")
+        diags = run(src, "repro/core/certificates.py", select=["schema/"],
+                    registry=EMPTY_REGISTRY)
+        assert fired(diags) == {"schema/fingerprint-drift"}
+        assert "not pinned" in diags[0].message
+
+    def test_plain_dataclass_without_to_json_untracked(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "CERTIFICATE_FORMAT = 1\n"
+            "@dataclass\n"
+            "class Helper:\n"
+            "    x: int\n"
+        )
+        diags = run(src, "repro/core/certificates.py", select=["schema/"],
+                    registry=self.pinned([]))
+        assert fired(diags) == {"schema/fingerprint-drift"}  # Cert vanished
+
+
+class TestPragmas:
+    BAD = "import numpy as np\nrng = np.random.default_rng()%s\n"
+
+    def test_bare_pragma_suppresses(self):
+        assert run(self.BAD % "  # sanitize: ok", "repro/core/x.py") == []
+
+    def test_matching_prefix_suppresses(self):
+        src = self.BAD % "  # sanitize: ok[determinism]"
+        assert run(src, "repro/core/x.py") == []
+
+    def test_non_matching_prefix_does_not_suppress(self):
+        src = self.BAD % "  # sanitize: ok[forksafety]"
+        assert fired(run(src, "repro/core/x.py")) == {
+            "determinism/unseeded-rng"
+        }
+
+
+class TestSyntaxError:
+    def test_unparseable_file_is_a_diagnostic(self):
+        diags = run("def broken(:\n", "repro/core/x.py")
+        assert fired(diags) == {"parse/syntax-error"}
+        assert diags[0].severity is Severity.ERROR

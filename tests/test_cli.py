@@ -336,6 +336,60 @@ class TestStats:
         assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
 
 
+class TestSanitizeCli:
+    BAD = "import numpy as np\nrng = np.random.default_rng()\n"
+
+    def bad_tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(self.BAD)
+        return tmp_path
+
+    def test_violation_exits_1(self, tmp_path, capsys):
+        root = self.bad_tree(tmp_path)
+        assert main(["sanitize", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "determinism/unseeded-rng" in out
+        assert "1 error" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        root = self.bad_tree(tmp_path)
+        assert main(["sanitize", str(root), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 1
+        assert doc["diagnostics"][0]["rule"] == "determinism/unseeded-rng"
+
+    def test_select_filters(self, tmp_path, capsys):
+        root = self.bad_tree(tmp_path)
+        assert main(["sanitize", str(root), "--select", "forksafety/"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["sanitize", str(tmp_path / "absent")]) == 2
+        assert "error[sanitize" in capsys.readouterr().err
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = self.bad_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["sanitize", str(root), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert "1 finding" in capsys.readouterr().out
+        # grandfathered finding no longer fails the gate, but is counted
+        assert main(["sanitize", str(root), "--baseline",
+                     str(baseline)]) == 0
+        assert "(1 baselined)" in capsys.readouterr().out
+
+    def test_src_tree_is_clean_via_cli(self, capsys):
+        assert main(["sanitize", "src"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_fix_repins_schema_registry(self, capsys):
+        # idempotent on a clean tree (and leaves the gate green)
+        assert main(["sanitize", "src", "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "re-pinned" in out and "0 errors" in out
+
+
 class TestVerbosityFlags:
     def test_flags_accepted_everywhere(self, capsys):
         assert main(["-v", "bounds", "-n", "256"]) == 0

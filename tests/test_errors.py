@@ -18,6 +18,11 @@ class TestHierarchy:
         errors.CertificateError,
         errors.RoutingError,
         errors.MachineError,
+        errors.FarmError,
+        errors.ObsError,
+        errors.SanitizeError,
+        errors.RegistryError,
+        errors.DomainError,
     ]
 
     @pytest.mark.parametrize("exc", ALL_ERRORS)
@@ -33,6 +38,34 @@ class TestHierarchy:
 
     def test_level_conflict_is_wire_error(self):
         assert issubclass(errors.LevelConflictError, errors.WireError)
+
+    def test_registry_error_catchable_as_key_error(self):
+        assert issubclass(errors.RegistryError, KeyError)
+        # KeyError's repr-style __str__ is overridden: message stays flat
+        assert str(errors.RegistryError("unknown sorter")) == "unknown sorter"
+
+    def test_domain_error_catchable_as_value_error(self):
+        assert issubclass(errors.DomainError, ValueError)
+
+    def test_registry_error_raised_by_lookups(self):
+        from repro.experiments.workloads import block_family
+        from repro.sorters.registry import get_sorter
+
+        with pytest.raises(errors.RegistryError):
+            get_sorter("no-such-sorter")
+        with pytest.raises(KeyError):  # historical clause still works
+            get_sorter("no-such-sorter")
+        with pytest.raises(errors.RegistryError):
+            block_family("no-such-family")
+
+    def test_domain_error_raised_by_range_checks(self):
+        from repro.obs.metrics import percentile
+        from repro.sorters.bitonic import bitonic_merge_network
+
+        with pytest.raises(errors.DomainError):
+            percentile([1.0], 150)
+        with pytest.raises(ValueError):  # historical clause still works
+            bitonic_merge_network(8, phase=99)
 
     def test_topology_is_lint_error_with_diagnostics(self):
         assert issubclass(errors.TopologyError, errors.LintError)
