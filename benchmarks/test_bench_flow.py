@@ -1,0 +1,73 @@
+"""Whole-program flow analysis throughput: the tree-wide gate stays cheap.
+
+``repro flow src/`` runs as a CI gate next to sanitize, but unlike the
+per-file passes it builds a project-wide call graph and iterates three
+fixpoint summaries (exception escape sets, rng-None provenance,
+reachability) to convergence.  The budget is still wall-clock: the full
+tree must analyse inside an interactive edit loop.  The gate pins the
+run under 10 seconds and archives the measured envelope to
+``benchmarks/results/flow-selfcheck.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.flow import analyze_paths
+
+#: A full-tree whole-program analysis may take at most this many seconds.
+TIME_BUDGET_S = 10.0
+
+SRC = Path(__file__).parents[1] / "src"
+
+
+def test_bench_flow_full_tree(benchmark, results_dir, capsys):
+    # time inside the workload as well: under --benchmark-disable (the
+    # PR smoke mode) benchmark.stats is None, but the 10s gate must hold.
+    durations = []
+
+    def run():
+        t0 = time.perf_counter()
+        rep = analyze_paths([str(SRC)])
+        durations.append(time.perf_counter() - t0)
+        return rep
+
+    report = benchmark(run)
+
+    # the shipped tree is flow-clean: the benchmark doubles as the
+    # self-check (no baseline, no suppressions)
+    assert report.exit_code == 0
+    assert report.diagnostics == []
+    assert report.suppressed == 0
+    assert report.files >= 90
+    assert report.functions >= 700
+    assert report.edges >= 1500
+
+    mean_s = (
+        benchmark.stats.stats.mean if benchmark.stats else min(durations)
+    )
+    doc = {
+        "workload": "analyze_paths([src])",
+        "files": report.files,
+        "functions": report.functions,
+        "edges": report.edges,
+        "mean_s": mean_s,
+        "files_per_s": report.files / mean_s,
+        "budget_s": TIME_BUDGET_S,
+    }
+    (results_dir / "flow-selfcheck.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"flow: {report.files} files, {report.functions} functions, "
+            f"{report.edges} edges in {mean_s:.3f}s "
+            f"({report.files / mean_s:.0f} files/s, "
+            f"budget {TIME_BUDGET_S:.0f}s)"
+        )
+
+    assert mean_s < TIME_BUDGET_S, (
+        f"whole-program flow analysis took {mean_s:.2f}s, "
+        f"over the {TIME_BUDGET_S:.0f}s budget"
+    )

@@ -480,11 +480,81 @@ def cmd_sanitize(args) -> int:
         if baseline_path is not None and not args.write_baseline:
             baseline = Baseline.load(baseline_path)
         report = sanitize_paths(args.paths, config, baseline=baseline)
+        if args.flow:
+            from .flow import FlowConfig, analyze_paths
+
+            flow_report = analyze_paths(
+                args.paths,
+                FlowConfig(
+                    select=tuple(args.select) if args.select else None
+                ),
+                baseline=baseline,
+            )
+            report.diagnostics.extend(
+                d for d in flow_report.diagnostics
+                # the per-file pass already reported unparseable files
+                if d.rule != "parse/syntax-error"
+            )
+            report.diagnostics.sort(key=lambda d: d.sort_key)
+            report.suppressed += flow_report.suppressed
     except SanitizeError as exc:
         logger.error("error[sanitize/usage]: %s", exc)
         return 2
     if args.write_baseline:
         target = baseline_path or "sanitize-baseline.json"
+        cache: dict[str, list[str]] = {}
+        pairs = []
+        for diag in report.diagnostics:
+            path = getattr(diag.location, "path", None)
+            line = getattr(diag.location, "line", None)
+            text = ""
+            if path and line:
+                if path not in cache:
+                    cache[path] = Path(path).read_text().splitlines()
+                lines = cache[path]
+                if 1 <= line <= len(lines):
+                    text = lines[line - 1].strip()
+            pairs.append((diag, text))
+        doc = Baseline.document(pairs)
+        Baseline().write(target, doc)
+        n_findings = len(doc["findings"])
+        print(
+            f"baseline with {n_findings} "
+            f"finding{'s' if n_findings != 1 else ''} written to {target}"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
+def cmd_flow(args) -> int:
+    from .flow import FlowConfig, analyze_paths, build_program, graph_json
+    from .sanitize import Baseline
+
+    config = FlowConfig(select=tuple(args.select) if args.select else None)
+    baseline_path = args.baseline
+    if baseline_path is None and Path("flow-baseline.json").is_file():
+        baseline_path = "flow-baseline.json"
+    try:
+        if args.graph:
+            doc = graph_json(build_program(args.paths))
+            Path(args.graph).write_text(json.dumps(doc, indent=2) + "\n")
+            print(
+                f"call graph with {len(doc['nodes'])} nodes, "
+                f"{len(doc['edges'])} edges written to {args.graph}"
+            )
+        baseline = None
+        if baseline_path is not None and not args.write_baseline:
+            baseline = Baseline.load(baseline_path)
+        report = analyze_paths(args.paths, config, baseline=baseline)
+    except SanitizeError as exc:
+        logger.error("error[flow/usage]: %s", exc)
+        return 2
+    if args.write_baseline:
+        target = baseline_path or "flow-baseline.json"
         cache: dict[str, list[str]] = {}
         pairs = []
         for diag in report.diagnostics:
@@ -625,7 +695,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-pin the schema fingerprint registry from the "
                         "tree (refuses field changes without a version "
                         "bump), then re-analyse")
+    p.add_argument("--flow", action="store_true",
+                   help="also run the whole-program flow analysis "
+                        "(see `repro flow`) and merge its findings")
     p.set_defaults(func=cmd_sanitize)
+
+    p = sub.add_parser("flow", help="whole-program flow analysis of the "
+                                    "repro source tree itself")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to analyse as one program "
+                        "(default: src)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--select", action="append", metavar="PREFIX",
+                   help="only run rules whose id starts with PREFIX "
+                        "(repeatable), e.g. --select flow/dead")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline of grandfathered findings (default: "
+                        "flow-baseline.json when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write the current findings to the baseline file "
+                        "and exit 0 (the ratchet: entries only disappear)")
+    p.add_argument("--graph", metavar="PATH", default=None,
+                   help="also serialise the call graph (nodes, edges, "
+                        "per-function facts) to PATH as JSON")
+    p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser("farm", help="parallel campaign runner with a "
                                     "content-addressed artifact store")
@@ -691,6 +785,11 @@ def main(argv: list[str] | None = None) -> int:
             # stdout consumer (e.g. `| head`) went away; not an error
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
             code = 0
+        except ReproError as exc:
+            # Backstop for library errors no subcommand mapped itself:
+            # a diagnostic line and exit 2, never a stack trace.
+            logger.error("error[%s]: %s", args.command, exc)
+            code = 2
     if trace_target:
         logger.info("trace written to %s", trace_target)
     if profile_handle is not None and profile_handle.report is not None:

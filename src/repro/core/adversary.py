@@ -52,7 +52,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import PatternError, PropagationError
+from ..errors import GuaranteeError, PatternError, PropagationError
 from ..networks.delta import ReverseDeltaNetwork
 from ..networks.gates import Op
 from ..obs import events as obs_events
@@ -80,18 +80,28 @@ def t_sets(l: int, k: int) -> int:
 #: A shift strategy picks ``i_0`` from the per-shift loss table.  Called
 #: with ``(losses, k, rng)`` where ``losses[s]`` is ``|L_s|`` for shifts
 #: ``s`` in ``[0, k^2)``; must return the chosen shift.
-ShiftStrategy = Callable[[list[int], int, np.random.Generator], int]
+ShiftStrategy = Callable[[list[int], int, "np.random.Generator | None"], int]
 
 
-def _shift_argmin(losses: list[int], k: int, rng: np.random.Generator) -> int:
+def _shift_argmin(
+    losses: list[int], k: int, rng: np.random.Generator | None
+) -> int:
     return int(np.argmin(losses))
 
 
-def _shift_random(losses: list[int], k: int, rng: np.random.Generator) -> int:
+def _shift_random(
+    losses: list[int], k: int, rng: np.random.Generator | None
+) -> int:
+    if rng is None:
+        raise PatternError(
+            "shift_strategy='random' needs an explicit seed-derived rng"
+        )
     return int(rng.integers(0, len(losses)))
 
 
-def _shift_worst(losses: list[int], k: int, rng: np.random.Generator) -> int:
+def _shift_worst(
+    losses: list[int], k: int, rng: np.random.Generator | None
+) -> int:
     return int(np.argmax(losses))
 
 
@@ -220,7 +230,11 @@ def run_lemma41(
         worse than the paper's averaging bound), ``"random"``,
         ``"worst"``, or a custom callable.
     rng:
-        Random generator for stochastic strategies.
+        Seed-derived generator, required only by stochastic strategies
+        (``"random"``); deterministic strategies never draw, and an
+        omitted rng on a stochastic path raises
+        :class:`~repro.errors.PatternError` rather than silently
+        pinning every caller to one default stream.
     check_guarantee:
         Assert Property 4 when the strategy is ``"argmin"``.
 
@@ -241,7 +255,11 @@ def run_lemma41(
         if isinstance(shift_strategy, str)
         else shift_strategy
     )
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is None and strategy is _shift_random:
+        raise PatternError(
+            "shift_strategy='random' draws from rng; pass a seed-derived "
+            "np.random.Generator (there is no implicit default stream)"
+        )
     k2 = k * k
     tracer = get_tracer()
     traced = tracer.enabled
@@ -419,7 +437,7 @@ def run_lemma41(
     )
     if check_guarantee and strategy is _shift_argmin:
         if b_size < result.guarantee - 1e-9:
-            raise AssertionError(
+            raise GuaranteeError(
                 f"Lemma 4.1 guarantee violated: |B|={b_size} < "
                 f"{result.guarantee} = |A|(1 - l/k^2)"
             )

@@ -53,19 +53,29 @@ __all__ = [
 
 #: Chooses which special set survives a block: called with the sparse
 #: ``sets`` map and an RNG, returns the chosen index.
-SetChoice = Callable[[dict[int, frozenset[int]], np.random.Generator], int]
+SetChoice = Callable[[dict[int, frozenset[int]], "np.random.Generator | None"], int]
 
 
-def _choose_largest(sets: dict[int, frozenset[int]], rng: np.random.Generator) -> int:
+def _choose_largest(
+    sets: dict[int, frozenset[int]], rng: np.random.Generator | None
+) -> int:
     return max(sets, key=lambda i: (len(sets[i]), -i))
 
 
-def _choose_random(sets: dict[int, frozenset[int]], rng: np.random.Generator) -> int:
+def _choose_random(
+    sets: dict[int, frozenset[int]], rng: np.random.Generator | None
+) -> int:
+    if rng is None:
+        raise PatternError(
+            "set_choice='random' needs an explicit seed-derived rng"
+        )
     keys = sorted(sets)
     return int(keys[rng.integers(0, len(keys))])
 
 
-def _choose_first(sets: dict[int, frozenset[int]], rng: np.random.Generator) -> int:
+def _choose_first(
+    sets: dict[int, frozenset[int]], rng: np.random.Generator | None
+) -> int:
     return min(sets)
 
 
@@ -162,6 +172,12 @@ def run_adversary(
         ``"first"``, or a callable) -- E3 ablation knob.
     shift_strategy:
         Forwarded to :func:`run_lemma41` (E2 ablation knob).
+    rng:
+        Seed-derived generator, required only by the stochastic knobs
+        (``set_choice="random"``, ``shift_strategy="random"``).  There
+        is deliberately no implicit default stream: an omitted rng on a
+        stochastic path raises :class:`~repro.errors.PatternError`
+        instead of silently pinning every caller to one sequence.
     stop_when_dead:
         Stop as soon as the survivor set drops below two wires; further
         blocks cannot revive a dead adversary.
@@ -182,7 +198,11 @@ def run_adversary(
     chooser: SetChoice = (
         SET_CHOICES[set_choice] if isinstance(set_choice, str) else set_choice
     )
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is None and chooser is _choose_random:
+        raise PatternError(
+            "set_choice='random' draws from rng; pass a seed-derived "
+            "np.random.Generator (there is no implicit default stream)"
+        )
 
     pattern = initial_pattern if initial_pattern is not None else all_medium_pattern(n)
     if pattern.n != n:

@@ -27,6 +27,7 @@ __all__ = [
     "SanitizeError",
     "RegistryError",
     "DomainError",
+    "GuaranteeError",
 ]
 
 
@@ -142,3 +143,15 @@ class RegistryError(ReproError, KeyError):
 
 class DomainError(ReproError, ValueError):
     """An argument is outside a function's documented domain."""
+
+
+class GuaranteeError(ReproError, AssertionError):
+    """A proved quantitative guarantee failed on a concrete run.
+
+    Raised when a runtime check of a paper-level bound (e.g. Lemma
+    4.1's Property 4, ``|B| >= |A|(1 - l/k^2)``) fails, which means a
+    bug in this implementation rather than bad user input.
+    Dual-inherits :class:`AssertionError` so historical
+    ``except AssertionError`` harnesses keep working while the CLI
+    boundary reports it as a diagnostic instead of a stack trace.
+    """

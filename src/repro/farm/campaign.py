@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Any
 
 from .._util import json_native
-from ..errors import FarmError
+from ..errors import FarmError, ReproError
 from ..obs import events as obs_events
 from ..obs.trace import get_tracer
 from .jobs import JOB_TYPES, Job, job_for
@@ -251,7 +251,11 @@ def run_campaign(
                 if isinstance(stored, dict):
                     try:
                         valid = job.revalidate(stored)
-                    except Exception:
+                    except ReproError:
+                        # A raising revalidation means the artifact is
+                        # stale or corrupt: treat as a miss and rerun.
+                        # Anything outside the library hierarchy is a
+                        # bug and must surface, not silently recompute.
                         valid = False
                 if valid:
                     result.outcomes.append(

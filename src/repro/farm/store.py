@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from .._util import json_native
+from ..errors import ReproError
 from ..obs import events as obs_events
 from ..obs.metrics import percentile
 from ..obs.trace import get_tracer
@@ -212,7 +213,10 @@ def cached(
         if isinstance(result, dict):
             try:
                 valid = revalidate is None or revalidate(result)
-            except Exception:
+            except ReproError:
+                # A raising revalidation means the artifact is stale or
+                # corrupt: treat as a miss and recompute.  Exceptions
+                # outside the library hierarchy are bugs and propagate.
                 valid = False
             if valid:
                 if tracer.enabled:

@@ -1,0 +1,141 @@
+"""The flow engine: discovery, program construction, rules, report.
+
+Entry point :func:`analyze_paths` mirrors
+:func:`repro.sanitize.engine.sanitize_paths` -- deterministic (sorted)
+file discovery, the ratcheted baseline, ``# sanitize: ok`` pragma
+suppression -- but the analysis unit is the whole program, not one
+file: every parseable file joins a single
+:class:`~repro.flow.graph.Program`, the fixpoint summaries run once,
+and each rule reads the global result.
+
+Determinism contract: the report depends only on the *set* of files and
+their contents, never on discovery order (property-tested in
+``tests/flow/test_order_independence.py``).  Unparseable files become
+``parse/syntax-error`` diagnostics, exactly as in sanitize, and are
+excluded from the program rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import SanitizeError
+from ..sanitize.baseline import Baseline
+from ..sanitize.diagnostics import Diagnostic, Severity, SourceLocation
+from ..sanitize.engine import FileContext, SanitizeConfig, discover_files
+from .graph import Program
+from .report import FlowReport
+from .rules import FLOW_RULES, FlowAnalysis
+
+__all__ = ["FlowConfig", "analyze_paths", "build_program"]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Tunables for one flow run.
+
+    ``select`` optionally restricts to rules whose id starts with one
+    of the given prefixes (``--select flow/dead`` etc.), mirroring the
+    sanitize and lint configs.
+    """
+
+    select: tuple[str, ...] | None = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True iff ``rule_id`` passes the ``select`` filter."""
+        if not self.select:
+            return True
+        return any(rule_id.startswith(prefix) for prefix in self.select)
+
+
+def _load_contexts(
+    files: list[Path],
+) -> tuple[list[FileContext], list[Diagnostic]]:
+    """Parse every file; syntax failures become diagnostics, not crashes."""
+    shared = SanitizeConfig()
+    contexts: list[FileContext] = []
+    parse_diags: list[Diagnostic] = []
+    for f in files:
+        try:
+            source = f.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SanitizeError(f"cannot read {f}: {exc}") from exc
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            parse_diags.append(
+                Diagnostic(
+                    rule="parse/syntax-error",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse: {exc.msg}",
+                    location=SourceLocation(
+                        path=f.as_posix(), line=exc.lineno, col=exc.offset
+                    ),
+                )
+            )
+            continue
+        contexts.append(
+            FileContext(source, f.as_posix(), tree, shared, registry={})
+        )
+    return contexts, parse_diags
+
+
+def build_program(paths: Iterable[str | Path]) -> Program:
+    """Discover, parse and index a tree without running any rules."""
+    contexts, _ = _load_contexts(discover_files(paths))
+    return Program.build(contexts)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    config: FlowConfig | None = None,
+    baseline: Baseline | None = None,
+) -> FlowReport:
+    """Analyse a set of files/directories as one whole program.
+
+    Pragma-suppressed findings are dropped silently (the pragma is the
+    documented waiver); baseline-matched findings are dropped from the
+    report and exit code but counted in ``report.suppressed`` so a
+    grandfathered tree never reads as clean.
+    """
+    cfg = config or FlowConfig()
+    files = discover_files(paths)
+    contexts, diagnostics = _load_contexts(files)
+    program = Program.build(contexts)
+    analysis = FlowAnalysis.build(program)
+    for rule in FLOW_RULES.values():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        diagnostics.extend(rule.check(analysis))
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in diagnostics:
+        path = getattr(diag.location, "path", None)
+        ctx = program.contexts.get(path) if path else None
+        if ctx is not None and ctx.suppressed(diag):
+            continue
+        if baseline is not None and baseline.matches(
+            diag, _line_text(ctx, diag)
+        ):
+            suppressed += 1
+            continue
+        kept.append(diag)
+    kept.sort(key=lambda d: d.sort_key)
+    return FlowReport(
+        targets=sorted(str(p) for p in paths),
+        files=len(files),
+        functions=len(program.functions),
+        edges=len(program.edges),
+        diagnostics=kept,
+        suppressed=suppressed,
+    )
+
+
+def _line_text(ctx: FileContext | None, diag: Diagnostic) -> str:
+    """The stripped source line a diagnostic anchors to (baseline key)."""
+    if ctx is None:
+        return ""
+    return ctx.line_text(getattr(diag.location, "line", None))

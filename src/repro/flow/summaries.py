@@ -1,0 +1,140 @@
+"""Whole-program fixpoints over the call graph.
+
+Three interprocedural summaries, each a monotone fixpoint over the
+finite edge set of a :class:`~repro.flow.graph.Program` (so iteration
+terminates even through call cycles):
+
+``escape_sets``
+    For every function, the exception types that can propagate out of
+    it: its own surviving raise sites plus, for each outgoing call or
+    reference edge, whatever escapes the callee minus what the edge's
+    lexically-enclosing handlers absorb (a handler that re-raises
+    absorbs nothing).  Reference edges conservatively count as calls --
+    that is what makes ``set_defaults(func=cmd_attack)``-style dispatch
+    visible to the ``cli.main`` escape analysis.
+
+``rng_may_arrive_none``
+    For every function with an rng-like parameter, whether that
+    parameter can be ``None`` at entry: directly (a caller omits the
+    keyword or passes literal ``None`` while the parameter defaults to
+    ``None``; or the function is exported via ``__all__`` with a
+    ``None`` default, so outside callers may omit it) or transitively
+    (a caller forwards its *own* possibly-``None`` rng parameter).
+
+``reachable``
+    Forward reachability from a root set over call (and optionally
+    reference) edges, returning the BFS parent map so rules can print a
+    concrete witness path.
+
+Everything iterates in sorted order, so results are independent of file
+discovery order (property-tested in ``tests/flow``).
+"""
+
+from __future__ import annotations
+
+from .graph import Program
+
+__all__ = [
+    "escape_sets",
+    "rng_may_arrive_none",
+    "reachable",
+    "witness_path",
+]
+
+
+def escape_sets(program: Program) -> dict[str, frozenset[str]]:
+    """Exception types escaping each function, to a fixpoint."""
+    escapes: dict[str, set[str]] = {
+        q: {site.exc for site in f.raises}
+        for q, f in program.functions.items()
+    }
+    order = sorted(program.functions)
+    changed = True
+    while changed:
+        changed = False
+        for qualname in order:
+            out = escapes[qualname]
+            for edge in program.edges_from.get(qualname, ()):
+                for exc in escapes.get(edge.callee, ()):
+                    if exc in out:
+                        continue
+                    if program.absorbed(exc, edge.handlers):
+                        continue
+                    out.add(exc)
+                    changed = True
+    return {q: frozenset(v) for q, v in escapes.items()}
+
+
+def _publicly_exported(program: Program, qualname: str) -> bool:
+    """True iff the function is named in its module's ``__all__``."""
+    finfo = program.functions[qualname]
+    exported = program.module_all.get(finfo.module, ())
+    return finfo.cls is None and finfo.name in exported
+
+
+def rng_may_arrive_none(program: Program) -> dict[str, bool]:
+    """Which rng-like parameters can be ``None`` at entry, to a fixpoint."""
+    may_none: dict[str, bool] = {}
+    candidates = sorted(
+        q for q, f in program.functions.items() if f.rng_param is not None
+    )
+    for qualname in candidates:
+        finfo = program.functions[qualname]
+        may_none[qualname] = finfo.rng_param_optional and _publicly_exported(
+            program, qualname
+        )
+    changed = True
+    while changed:
+        changed = False
+        for qualname in candidates:
+            if may_none[qualname]:
+                continue
+            finfo = program.functions[qualname]
+            for edge in program.edges_to.get(qualname, ()):
+                if edge.kind != "call":
+                    continue
+                if edge.rng_mode == "none" or (
+                    edge.rng_mode == "absent" and finfo.rng_param_optional
+                ):
+                    may_none[qualname] = True
+                    changed = True
+                    break
+                if edge.rng_mode == "param" and may_none.get(
+                    edge.caller, False
+                ):
+                    may_none[qualname] = True
+                    changed = True
+                    break
+    return may_none
+
+
+def reachable(
+    program: Program,
+    roots: list[str],
+    *,
+    kinds: tuple[str, ...] = ("call", "ref"),
+) -> dict[str, str | None]:
+    """BFS over outgoing edges; maps each reached node to its parent."""
+    parents: dict[str, str | None] = {}
+    queue: list[str] = []
+    for root in sorted(set(roots)):
+        parents[root] = None
+        queue.append(root)
+    while queue:
+        cur = queue.pop(0)
+        for edge in program.edges_from.get(cur, ()):
+            if edge.kind not in kinds or edge.callee in parents:
+                continue
+            parents[edge.callee] = cur
+            queue.append(edge.callee)
+    return parents
+
+
+def witness_path(parents: dict[str, str | None], target: str) -> list[str]:
+    """The root-to-target chain recorded by :func:`reachable`."""
+    path: list[str] = []
+    cur: str | None = target
+    while cur is not None and cur not in path:
+        path.append(cur)
+        cur = parents.get(cur)
+    return list(reversed(path))

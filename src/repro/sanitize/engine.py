@@ -141,7 +141,13 @@ class FileContext:
         ``repro.errors.ReproError``.
         """
         aliases: dict[str, str] = {}
-        pkg = self.module.split(".")[:-1]
+        parts = self.module.split(".") if self.module else []
+        # An ``__init__.py``'s module name already IS its package, so a
+        # level-1 relative import resolves against it, not its parent.
+        if Path(self.relpath).name == "__init__.py":
+            pkg = parts
+        else:
+            pkg = parts[:-1]
         for node in ast.walk(self.tree):
             if isinstance(node, ast.Import):
                 for a in node.names:

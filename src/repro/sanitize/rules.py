@@ -100,6 +100,7 @@ SCHEMA_MODULES = (
     "repro/farm/campaign.py",
     "repro/farm/jobs.py",
     "repro/farm/store.py",
+    "repro/flow/report.py",
     "repro/networks/serialize.py",
     "repro/obs/events.py",
 )

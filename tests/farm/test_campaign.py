@@ -129,6 +129,35 @@ class TestRunCampaign:
         warm2 = run_campaign(attack_spec(), store, workers=1, resume=True)
         assert warm2.hits == 4
 
+    def test_raising_revalidation_is_invalidated(self, tmp_path, monkeypatch):
+        from repro.farm.jobs import AttackJob
+
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=1)
+
+        def boom(self, result):
+            raise FarmError("stale artifact")
+
+        monkeypatch.setattr(AttackJob, "revalidate", boom)
+        warm = run_campaign(attack_spec(), store, workers=1, resume=True)
+        assert warm.invalidated == 4
+        assert warm.hits == 0
+
+    def test_foreign_revalidation_error_propagates(self, tmp_path, monkeypatch):
+        # only ReproError means "stale, recompute"; an arbitrary bug in
+        # a revalidator must surface instead of silently rerunning
+        from repro.farm.jobs import AttackJob
+
+        store = ArtifactStore(tmp_path / "s")
+        run_campaign(attack_spec(), store, workers=1)
+
+        def boom(self, result):
+            raise RuntimeError("bug in revalidator")
+
+        monkeypatch.setattr(AttackJob, "revalidate", boom)
+        with pytest.raises(RuntimeError):
+            run_campaign(attack_spec(), store, workers=1, resume=True)
+
     def test_failures_counted(self, tmp_path):
         spec = CampaignSpec(
             name="f", kind="sleep",

@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import FarmError
 from repro.farm.store import ArtifactStore, cached, canonical_json, job_key
 
 
@@ -160,7 +161,19 @@ class TestCached:
         cached(store, {"a": 1}, lambda: {"v": 1})
 
         def boom(result):
-            raise RuntimeError("corrupt")
+            raise FarmError("corrupt")
 
         result, hit = cached(store, {"a": 1}, lambda: {"v": 2}, revalidate=boom)
         assert (result, hit) == ({"v": 2}, False)
+
+    def test_foreign_revalidation_error_propagates(self, tmp_path):
+        # Only ReproError means "stale artifact, recompute"; anything
+        # else is a bug in the revalidator and must surface.
+        store = ArtifactStore(tmp_path / "s")
+        cached(store, {"a": 1}, lambda: {"v": 1})
+
+        def boom(result):
+            raise RuntimeError("bug in revalidator")
+
+        with pytest.raises(RuntimeError):
+            cached(store, {"a": 1}, lambda: {"v": 2}, revalidate=boom)

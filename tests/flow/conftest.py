@@ -1,0 +1,28 @@
+"""Shared fixtures for the flow test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.flow import analyze_paths, build_program
+
+#: The fixture trees: ``dirty`` fires every rule family, ``clean``
+#: exercises the resolution machinery with zero findings.
+CORPUS = Path(__file__).parent / "corpus"
+DIRTY = CORPUS / "dirty"
+CLEAN = CORPUS / "clean"
+
+#: Repository src/ directory (the self-analysis target).
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="session")
+def clean_program():
+    """The clean corpus built once per session (it is read-only)."""
+    return build_program([CLEAN])
+
+
+@pytest.fixture(scope="session")
+def dirty_report():
+    """The dirty corpus analysed once per session (it is read-only)."""
+    return analyze_paths([DIRTY])

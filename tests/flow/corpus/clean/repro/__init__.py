@@ -1,0 +1,1 @@
+"""Clean fixture tree: cycles, aliasing, re-exports, zero findings."""

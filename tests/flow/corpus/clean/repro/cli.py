@@ -1,0 +1,18 @@
+"""Mini CLI: every library error is absorbed at the boundary."""
+
+from . import kernels as kern
+from .cycle_a import ping
+from .errors import ReproError
+from .pkg import transform
+from .shapes import Square, total
+
+
+def main(argv=None):
+    try:
+        value = kern.draw(kern.make_rng(7))
+        value += transform(3)
+        value += total(Square(2))
+        value += ping(4)
+    except ReproError:
+        return 1
+    return 0 if value >= 0 else 1

@@ -1,0 +1,11 @@
+"""Half of a call cycle; the raise lives on the other side."""
+
+from .cycle_b import pong
+
+__all__ = ["ping"]
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return pong(n - 1)

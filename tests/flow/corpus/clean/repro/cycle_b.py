@@ -1,0 +1,16 @@
+"""Other half of the cycle: raises a typed error through it.
+
+The module-level import cycle is fine here: the fixture tree is only
+ever parsed, never imported.
+"""
+
+from .cycle_a import ping
+from .errors import BadInputError
+
+__all__ = ["pong"]
+
+
+def pong(n):
+    if n > 1000:
+        raise BadInputError("recursion budget exceeded")
+    return 1 + ping(n - 1)

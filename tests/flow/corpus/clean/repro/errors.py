@@ -1,0 +1,11 @@
+"""Exception hierarchy mirroring the real tree's dual-inheritance."""
+
+__all__ = ["ReproError", "BadInputError"]
+
+
+class ReproError(Exception):
+    """Base class for every library-raised error."""
+
+
+class BadInputError(ReproError, ValueError):
+    """An argument is outside the documented domain."""

@@ -1,0 +1,11 @@
+"""A stochastic kernel done right: rng required, seeds derived."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng):
+    return float(rng.integers(0, 10))

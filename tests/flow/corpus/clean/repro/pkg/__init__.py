@@ -1,0 +1,5 @@
+"""Package facade: re-exports the implementation's public name."""
+
+from .impl import transform
+
+__all__ = ["transform"]

@@ -1,0 +1,9 @@
+"""Implementation behind the package facade."""
+
+from ..errors import BadInputError
+
+
+def transform(x):
+    if x < 0:
+        raise BadInputError("x must be nonnegative")
+    return x * 2

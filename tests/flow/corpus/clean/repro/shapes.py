@@ -1,0 +1,20 @@
+"""Method resolution: abstract marker plus a concrete override."""
+
+__all__ = ["Base", "Square", "total"]
+
+
+class Base:
+    def area(self):
+        raise NotImplementedError
+
+
+class Square(Base):
+    def __init__(self, side):
+        self.side = side
+
+    def area(self):
+        return self.side * self.side
+
+
+def total(shape: Base):
+    return shape.area()

@@ -1,0 +1,1 @@
+"""Dirty fixture tree: every flow rule family fires exactly once or twice."""

@@ -1,0 +1,5 @@
+"""Entry point: keeps ``cli.main`` referenced (not a dead export)."""
+
+from .cli import main
+
+raise SystemExit(main())

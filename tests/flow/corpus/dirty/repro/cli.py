@@ -1,0 +1,7 @@
+"""Mini CLI whose escape set picks up a foreign exception."""
+
+from .pipeline import run_pipeline
+
+
+def main(argv=None):
+    return run_pipeline()

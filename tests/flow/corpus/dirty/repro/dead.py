@@ -1,0 +1,7 @@
+"""One unreferenced definition and one stale ``__all__`` entry."""
+
+__all__ = ["missing"]
+
+
+def forgotten_helper():
+    return 42

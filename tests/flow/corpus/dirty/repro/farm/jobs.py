@@ -1,0 +1,16 @@
+"""Mini job hierarchy: the concrete handler transitively mutates state."""
+
+from ..state import bump
+
+__all__ = ["Job", "CountJob"]
+
+
+class Job:
+    def execute(self):
+        raise NotImplementedError
+
+
+class CountJob(Job):
+    def execute(self):
+        bump()
+        return {"ok": True}

@@ -1,0 +1,8 @@
+"""A stochastic kernel with the constant-default-generator bug."""
+
+import numpy as np
+
+
+def draw(rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return float(rng.integers(0, 10)) - 5.0

@@ -1,0 +1,13 @@
+"""Calls the stochastic kernel with no rng and raises a foreign type."""
+
+from .kernels import draw
+from .state import bump
+from .util import swallow
+
+
+def run_pipeline():
+    value = draw()
+    if value < 0:
+        raise ValueError("negative draw")
+    swallow(bump)
+    return value

@@ -1,0 +1,7 @@
+"""Module-level mutable state and its mutator."""
+
+COUNTER = {"runs": 0}
+
+
+def bump():
+    COUNTER["runs"] = COUNTER["runs"] + 1

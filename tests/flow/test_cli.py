@@ -1,0 +1,100 @@
+"""The ``repro flow`` subcommand and the ``sanitize --flow`` merge."""
+
+import json
+
+from repro.cli import main
+
+from tests.flow.conftest import CLEAN, DIRTY, SRC
+
+
+class TestFlowCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["flow", str(CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_dirty_tree_exits_one(self, capsys):
+        # the seeded negative test: a tree with planted defects FAILS
+        assert main(["flow", str(DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "flow/unseeded-rng-path" in out
+        assert "flow/foreign-exception-escape" in out
+        assert "flow/fork-hostile-call" in out
+        assert "flow/broad-except-swallow" in out
+        assert "flow/dead-export" in out
+
+    def test_json_report(self, capsys):
+        assert main(["flow", str(DIRTY), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == 1
+        assert len(doc["diagnostics"]) == 6
+
+    def test_select_filters_rules(self, capsys):
+        assert main(["flow", str(DIRTY), "--select", "flow/dead"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng-path" not in out
+        assert "dead-export" in out
+
+    def test_graph_serialization(self, tmp_path, capsys):
+        target = tmp_path / "graph.json"
+        assert main(["flow", str(CLEAN), "--graph", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["format"] == 1
+        assert {n["kind"] for n in doc["nodes"]} == {
+            "function",
+            "class",
+            "module",
+        }
+        assert capsys.readouterr().out.count("written to") == 1
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        target = tmp_path / "flow-baseline.json"
+        assert main(
+            ["flow", str(DIRTY), "--write-baseline",
+             "--baseline", str(target)]
+        ) == 0
+        assert "6 findings" in capsys.readouterr().out
+        # with the ratchet in place the dirty tree passes but reports it
+        assert main(
+            ["flow", str(DIRTY), "--baseline", str(target)]
+        ) == 0
+        assert "6 baselined" in capsys.readouterr().out
+
+    def test_shipped_tree_is_clean_with_no_baseline(self, capsys):
+        assert main(["flow", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        assert "baselined" not in out
+
+
+class TestBoundaryBackstop:
+    def test_unmapped_repro_error_exits_2(self, monkeypatch):
+        # any ReproError a subcommand does not map itself becomes a
+        # diagnostic and exit 2 at the main() boundary, never a trace
+        import repro.flow
+        from repro.errors import FarmError
+
+        def boom(*args, **kwargs):
+            raise FarmError("boom")
+
+        monkeypatch.setattr(repro.flow, "analyze_paths", boom)
+        assert main(["flow", str(CLEAN)]) == 2
+
+
+class TestSanitizeFlowMerge:
+    def test_sanitize_flow_merges_findings(self, capsys):
+        # the dirty tree also carries per-file findings; --flow adds the
+        # whole-program families on top of them
+        assert main(["sanitize", str(DIRTY), "--flow"]) == 1
+        out = capsys.readouterr().out
+        assert "flow/fork-hostile-call" in out
+
+    def test_sanitize_without_flow_misses_interprocedural(self, capsys):
+        main(["sanitize", str(DIRTY)])
+        out = capsys.readouterr().out
+        # no flow diagnostics fire; "[flow/" avoids matching corpus paths
+        assert "[flow/" not in out
+
+    def test_shipped_tree_clean_under_sanitize_flow(self, capsys):
+        assert main(["sanitize", str(SRC), "--flow"]) == 0
+        assert "0 errors" in capsys.readouterr().out

@@ -1,0 +1,146 @@
+"""The flow engine: pragmas, baseline ratchet, parse failures, report."""
+
+import json
+
+from repro.flow import FLOW_FORMAT, analyze_paths, build_program, graph_json
+from repro.sanitize import Baseline
+
+from tests.flow.conftest import CLEAN, DIRTY
+
+
+def write_tree(tmp_path, name, source):
+    target = tmp_path / "repro" / name
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestPragmas:
+    def test_flow_pragma_suppresses_on_the_anchored_line(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "__all__ = ['swallow']\n"
+            "def swallow(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:  # sanitize: ok[flow] deliberate\n"
+            "        return None\n",
+        )
+        report = analyze_paths([tmp_path])
+        assert report.diagnostics == []
+
+    def test_unrelated_pragma_does_not_suppress(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "__all__ = ['swallow']\n"
+            "def swallow(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:  # sanitize: ok[determinism]\n"
+            "        return None\n",
+        )
+        report = analyze_paths([tmp_path])
+        assert [d.rule for d in report.diagnostics] == [
+            "flow/broad-except-swallow"
+        ]
+
+    def test_forksafety_pragma_transfers_to_fork_hostile(self, tmp_path):
+        # A site already waived for the per-file forksafety rules is
+        # waived for the whole-program rule too -- one pragma, one site.
+        farm = tmp_path / "repro" / "farm"
+        farm.mkdir(parents=True)
+        (farm / "__init__.py").write_text("")
+        (farm / "jobs.py").write_text(
+            "STATE = {}\n"
+            "__all__ = ['Job', 'TouchJob']\n"
+            "class Job:\n"
+            "    def execute(self):\n"
+            "        raise NotImplementedError\n"
+            "class TouchJob(Job):\n"
+            "    def execute(self):\n"
+            "        STATE['x'] = 1  # sanitize: ok[forksafety] startup\n"
+            "        return {}\n"
+        )
+        report = analyze_paths([tmp_path])
+        assert [d.rule for d in report.diagnostics] == []
+
+
+class TestBaseline:
+    def test_baseline_suppresses_and_counts(self, tmp_path, dirty_report):
+        pairs = []
+        for diag in dirty_report.diagnostics:
+            ctx_lines = (
+                open(diag.location.path).read().splitlines()
+            )
+            pairs.append(
+                (diag, ctx_lines[diag.location.line - 1].strip())
+            )
+        doc = Baseline.document(pairs)
+        target = tmp_path / "flow-baseline.json"
+        Baseline().write(target, doc)
+        baseline = Baseline.load(target)
+        report = analyze_paths([DIRTY], baseline=baseline)
+        assert report.diagnostics == []
+        assert report.suppressed == len(dirty_report.diagnostics)
+        assert report.exit_code == 0
+
+    def test_new_findings_pierce_an_old_baseline(self, tmp_path):
+        # baseline only the dead-export findings; the rest still fail
+        full = analyze_paths([DIRTY])
+        pairs = []
+        for diag in full.diagnostics:
+            if diag.rule != "flow/dead-export":
+                continue
+            lines = open(diag.location.path).read().splitlines()
+            pairs.append((diag, lines[diag.location.line - 1].strip()))
+        doc = Baseline.document(pairs)
+        target = tmp_path / "flow-baseline.json"
+        Baseline().write(target, doc)
+        report = analyze_paths([DIRTY], baseline=Baseline.load(target))
+        assert report.exit_code == 1
+        assert report.suppressed == 2
+        assert sorted({d.rule for d in report.diagnostics}) == [
+            "flow/broad-except-swallow",
+            "flow/foreign-exception-escape",
+            "flow/fork-hostile-call",
+            "flow/unseeded-rng-path",
+        ]
+
+
+class TestParseFailures:
+    def test_syntax_error_is_a_diagnostic_not_a_crash(self, tmp_path):
+        write_tree(tmp_path, "bad.py", "def broken(:\n")
+        write_tree(
+            tmp_path, "good.py", "__all__ = ['f']\ndef f():\n    return 1\n"
+        )
+        report = analyze_paths([tmp_path])
+        assert [d.rule for d in report.diagnostics] == [
+            "parse/syntax-error"
+        ]
+        # the parseable file still joined the program
+        assert report.functions == 1
+
+
+class TestReport:
+    def test_json_document_shape(self, dirty_report):
+        doc = dirty_report.to_json()
+        assert doc["format"] == FLOW_FORMAT
+        assert doc["files"] == 10
+        assert len(doc["diagnostics"]) == 6
+        json.dumps(doc)  # round-trippable
+
+    def test_format_text_mentions_sizes_and_summary(self, dirty_report):
+        text = dirty_report.format_text()
+        assert "10 files" in text
+        assert "6 errors" in text
+
+    def test_graph_json_is_deterministic(self):
+        program = build_program([CLEAN])
+        doc1 = graph_json(program)
+        doc2 = graph_json(build_program([CLEAN]))
+        assert doc1 == doc2
+        assert doc1["format"] == FLOW_FORMAT
+        kinds = {n["kind"] for n in doc1["nodes"]}
+        assert kinds == {"function", "class", "module"}

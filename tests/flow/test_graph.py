@@ -1,0 +1,144 @@
+"""Call-graph construction: resolution, hierarchy, edges.
+
+Everything here runs against the ``clean`` corpus -- a miniature tree
+built to exercise exactly the resolution machinery the rules depend on:
+module-level import cycles, aliased module imports, package
+``__init__`` re-exports, and method resolution through an abstract base
+with a concrete override.
+"""
+
+from repro.flow import build_program
+
+from tests.flow.conftest import CLEAN
+
+
+def edges_between(program, caller, callee):
+    return [
+        e for e in program.edges_from.get(caller, ()) if e.callee == callee
+    ]
+
+
+class TestResolution:
+    def test_reexport_resolves_through_package_init(self, clean_program):
+        # ``from repro.pkg import transform`` must land on the
+        # implementation, hopping through the __init__ alias.
+        assert clean_program.resolve("repro.pkg.transform") == (
+            "func",
+            "repro.pkg.impl.transform",
+        )
+
+    def test_aliased_module_import(self, clean_program):
+        # cli does ``from . import kernels as kern`` then ``kern.draw``.
+        assert edges_between(
+            clean_program, "repro.cli.main", "repro.kernels.draw"
+        )
+
+    def test_relative_import_in_package_init_stays_inside_package(
+        self, clean_program
+    ):
+        ctx = clean_program.modules["repro.pkg"]
+        assert ctx.aliases["transform"] == "repro.pkg.impl.transform"
+
+    def test_call_cycle_has_both_edges(self, clean_program):
+        assert edges_between(
+            clean_program, "repro.cycle_a.ping", "repro.cycle_b.pong"
+        )
+        assert edges_between(
+            clean_program, "repro.cycle_b.pong", "repro.cycle_a.ping"
+        )
+
+    def test_reexported_callee_gets_an_edge(self, clean_program):
+        assert edges_between(
+            clean_program, "repro.cli.main", "repro.pkg.impl.transform"
+        )
+
+
+class TestMethods:
+    def test_annotation_typed_call_targets_base_and_override(
+        self, clean_program
+    ):
+        callees = {
+            e.callee
+            for e in clean_program.edges_from.get("repro.shapes.total", ())
+        }
+        assert "repro.shapes.Base.area" in callees
+        assert "repro.shapes.Square.area" in callees
+
+    def test_constructor_call_resolves_to_init(self, clean_program):
+        assert edges_between(
+            clean_program, "repro.cli.main", "repro.shapes.Square.__init__"
+        )
+
+    def test_abstract_marker_detected(self, clean_program):
+        assert clean_program.functions["repro.shapes.Base.area"].is_abstract
+        assert not clean_program.functions[
+            "repro.shapes.Square.area"
+        ].is_abstract
+
+
+class TestExceptionModel:
+    def test_dual_inheritance_subtyping(self, clean_program):
+        assert clean_program.is_exception_subtype(
+            "repro.errors.BadInputError", "repro.errors.ReproError"
+        )
+        assert clean_program.is_exception_subtype(
+            "repro.errors.BadInputError", "ValueError"
+        )
+        assert not clean_program.is_exception_subtype(
+            "repro.errors.ReproError", "ValueError"
+        )
+
+    def test_builtin_hierarchy(self, clean_program):
+        assert clean_program.is_exception_subtype("ValueError", "Exception")
+        assert clean_program.is_exception_subtype(
+            "FileNotFoundError", "OSError"
+        )
+        assert not clean_program.is_exception_subtype(
+            "ValueError", "OSError"
+        )
+
+    def test_raise_of_local_variable_records_nothing(self, tmp_path):
+        # ``raise exc`` where exc is a plain local must not invent an
+        # exception type named "exc".
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "def f():\n"
+            "    exc = make()\n"
+            "    raise exc\n"
+            "def make():\n"
+            "    return ValueError('x')\n"
+        )
+        program = build_program([tmp_path])
+        assert list(program.functions["repro.mod.f"].raises) == []
+
+    def test_bare_reraise_does_not_widen(self, tmp_path):
+        # ``except BaseException: ... raise`` must not count as a direct
+        # BaseException raise; the caught types flow through on their own.
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except BaseException:\n"
+            "        cleanup()\n"
+            "        raise\n"
+            "def g():\n"
+            "    raise ValueError('x')\n"
+            "def cleanup():\n"
+            "    pass\n"
+        )
+        program = build_program([tmp_path])
+        assert list(program.functions["repro.mod.f"].raises) == []
+
+
+class TestDeterminism:
+    def test_edges_are_sorted_and_stable(self, clean_program):
+        rebuilt = build_program([CLEAN])
+        assert [
+            (e.caller, e.callee, e.kind, e.line) for e in rebuilt.edges
+        ] == [
+            (e.caller, e.callee, e.kind, e.line)
+            for e in clean_program.edges
+        ]

@@ -1,0 +1,67 @@
+"""The interprocedural fixpoints: escapes, rng-None, reachability."""
+
+from repro.flow import build_program
+from repro.flow.summaries import (
+    escape_sets,
+    reachable,
+    rng_may_arrive_none,
+    witness_path,
+)
+
+from tests.flow.conftest import DIRTY
+
+
+class TestEscapeSets:
+    def test_escape_propagates_through_cycle(self, clean_program):
+        escapes = escape_sets(clean_program)
+        # pong raises; ping only calls pong -- the cycle must converge
+        # with the error visible from both sides.
+        assert "repro.errors.BadInputError" in escapes["repro.cycle_b.pong"]
+        assert "repro.errors.BadInputError" in escapes["repro.cycle_a.ping"]
+
+    def test_typed_handler_absorbs_subclasses(self, clean_program):
+        escapes = escape_sets(clean_program)
+        # main catches ReproError; the dual-inherited subclass coming
+        # out of transform/ping must not escape it.
+        assert "repro.errors.BadInputError" not in escapes["repro.cli.main"]
+
+    def test_abstract_marker_is_not_a_raise(self, clean_program):
+        escapes = escape_sets(clean_program)
+        assert "NotImplementedError" not in escapes["repro.shapes.Base.area"]
+        assert "NotImplementedError" not in escapes["repro.cli.main"]
+
+    def test_foreign_raise_escapes_dirty_main(self):
+        program = build_program([DIRTY])
+        escapes = escape_sets(program)
+        assert "ValueError" in escapes["repro.cli.main"]
+
+
+class TestRngMayArriveNone:
+    def test_absent_call_marks_optional_kernel(self):
+        program = build_program([DIRTY])
+        may_none = rng_may_arrive_none(program)
+        assert may_none["repro.kernels.draw"] is True
+
+    def test_required_param_stays_clean(self, clean_program):
+        may_none = rng_may_arrive_none(clean_program)
+        assert may_none["repro.kernels.draw"] is False
+
+
+class TestReachability:
+    def test_witness_path_from_handler_to_mutation(self):
+        program = build_program([DIRTY])
+        parents = reachable(program, ["repro.farm.jobs.CountJob.execute"])
+        assert "repro.state.bump" in parents
+        assert witness_path(parents, "repro.state.bump") == [
+            "repro.farm.jobs.CountJob.execute",
+            "repro.state.bump",
+        ]
+
+    def test_kinds_filter_restricts_edges(self, clean_program):
+        # cli.main only *references* ReproError (except clause), so a
+        # call-only BFS must not reach it.
+        parents = reachable(
+            clean_program, ["repro.cli.main"], kinds=("call",)
+        )
+        assert "repro.errors.ReproError" not in parents
+        assert "repro.kernels.draw" in parents

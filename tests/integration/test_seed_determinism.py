@@ -1,0 +1,49 @@
+"""End-to-end seed determinism: same seed, byte-identical certificate.
+
+The attack chain (attack -> iterate -> adversary -> collision/fooling)
+threads exactly one generator, passed explicitly at the entry point.
+With the hidden ``default_rng(0)`` fallbacks removed, the only
+randomness a stochastic run consumes is that generator -- so two runs
+from the same seed must serialise to the same bytes, even with every
+stochastic knob (random set choice, random shift strategy, randomised
+refinement ties) switched on.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.attack import attack_circuit
+from repro.networks.builders import bitonic_iterated_rdn
+
+
+def _attack_bytes(seed):
+    # one truncated block defeats the network for every tested seed even
+    # under the random shift strategy; the rng is consumed both by the
+    # shifts and by the randomised refinement ties in the fooling pair
+    circuit = bitonic_iterated_rdn(16).truncated(1).to_network()
+    outcome = attack_circuit(
+        circuit,
+        k=3,
+        rng=np.random.default_rng(seed),
+        shift_strategy="random",
+    )
+    assert outcome.proved_not_sorting, "fixture network must be defeated"
+    doc = {
+        "certificate": outcome.certificate.to_json(),
+        "blocks_processed": outcome.run.blocks_processed,
+        "special_set": sorted(outcome.run.special_set),
+    }
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+class TestSeedDeterminism:
+    def test_same_seed_byte_identical(self):
+        assert _attack_bytes(42) == _attack_bytes(42)
+
+    def test_stochastic_runs_consume_only_the_passed_rng(self):
+        # interleaving unrelated global draws must change nothing
+        first = _attack_bytes(7)
+        np.random.seed(999)
+        np.random.random(100)
+        assert _attack_bytes(7) == first
