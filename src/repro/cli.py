@@ -425,10 +425,7 @@ def cmd_lint(args) -> int:
         report = lint_network(
             spec.build(args.n), target=f"{target} (n={args.n})", config=config
         )
-    if args.json:
-        print(json.dumps(report.to_json(), indent=2))
-    else:
-        print(report.format_text())
+    _print_report(args, report)
     if args.fix:
         if report.network is None:
             logger.error(
@@ -444,9 +441,75 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _print_report(args, report) -> None:
+    """Emit any analyzer report as JSON or text (the shared rendering)."""
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text())
+
+
+def _selected(args) -> tuple[str, ...] | None:
+    """The --select prefixes as the analyzer configs expect them."""
+    return tuple(args.select) if args.select else None
+
+
+def _analyzer_baseline(args, default_name: str):
+    """Load the ratchet baseline a tree analyzer should apply.
+
+    ``--baseline PATH`` wins; otherwise ``default_name`` is used when
+    it exists.  No baseline applies while writing one (the findings
+    being written must not be filtered by their own previous ratchet).
+    """
+    from .sanitize import Baseline
+
+    path = args.baseline
+    if path is None and Path(default_name).is_file():
+        path = default_name
+    if path is not None and not args.write_baseline:
+        return Baseline.load(path)
+    return None
+
+
+def _finish_analyzer(args, report, default_name: str) -> int:
+    """Shared tail of every tree analyzer subcommand.
+
+    ``--write-baseline`` snapshots the current findings (fingerprinted
+    with their source line text so the ratchet survives unrelated
+    edits) and exits 0; otherwise the report is emitted and its
+    severity-mapped exit code returned.
+    """
+    from .sanitize import Baseline
+
+    if args.write_baseline:
+        target = args.baseline or default_name
+        cache: dict[str, list[str]] = {}
+        pairs = []
+        for diag in report.diagnostics:
+            path = getattr(diag.location, "path", None)
+            line = getattr(diag.location, "line", None)
+            text = ""
+            if path and line:
+                if path not in cache:
+                    cache[path] = Path(path).read_text().splitlines()
+                lines = cache[path]
+                if 1 <= line <= len(lines):
+                    text = lines[line - 1].strip()
+            pairs.append((diag, text))
+        doc = Baseline.document(pairs)
+        Baseline().write(target, doc)
+        n_findings = len(doc["findings"])
+        print(
+            f"baseline with {n_findings} "
+            f"finding{'s' if n_findings != 1 else ''} written to {target}"
+        )
+        return 0
+    _print_report(args, report)
+    return report.exit_code
+
+
 def cmd_sanitize(args) -> int:
     from .sanitize import (
-        Baseline,
         SanitizeConfig,
         collect_schemas,
         discover_files,
@@ -456,12 +519,7 @@ def cmd_sanitize(args) -> int:
         write_registry,
     )
 
-    config = SanitizeConfig(
-        select=tuple(args.select) if args.select else None
-    )
-    baseline_path = args.baseline
-    if baseline_path is None and Path("sanitize-baseline.json").is_file():
-        baseline_path = "sanitize-baseline.json"
+    config = SanitizeConfig(select=_selected(args))
     try:
         if args.fix:
             registry = load_registry()
@@ -476,68 +534,63 @@ def cmd_sanitize(args) -> int:
                 logger.error("error[sanitize/fix]: %s", message)
             if refusals:
                 return 1
-        baseline = None
-        if baseline_path is not None and not args.write_baseline:
-            baseline = Baseline.load(baseline_path)
+        baseline = _analyzer_baseline(args, "sanitize-baseline.json")
         report = sanitize_paths(args.paths, config, baseline=baseline)
-        if args.flow:
-            from .flow import FlowConfig, analyze_paths
-
-            flow_report = analyze_paths(
-                args.paths,
-                FlowConfig(
-                    select=tuple(args.select) if args.select else None
-                ),
-                baseline=baseline,
-            )
+        for merge in _sanitize_merges(args):
+            merged = merge(args.paths, _selected(args), baseline)
             report.diagnostics.extend(
-                d for d in flow_report.diagnostics
+                d for d in merged.diagnostics
                 # the per-file pass already reported unparseable files
                 if d.rule != "parse/syntax-error"
             )
             report.diagnostics.sort(key=lambda d: d.sort_key)
-            report.suppressed += flow_report.suppressed
+            report.suppressed += merged.suppressed
     except SanitizeError as exc:
         logger.error("error[sanitize/usage]: %s", exc)
         return 2
-    if args.write_baseline:
-        target = baseline_path or "sanitize-baseline.json"
-        cache: dict[str, list[str]] = {}
-        pairs = []
-        for diag in report.diagnostics:
-            path = getattr(diag.location, "path", None)
-            line = getattr(diag.location, "line", None)
-            text = ""
-            if path and line:
-                if path not in cache:
-                    cache[path] = Path(path).read_text().splitlines()
-                lines = cache[path]
-                if 1 <= line <= len(lines):
-                    text = lines[line - 1].strip()
-            pairs.append((diag, text))
-        doc = Baseline.document(pairs)
-        Baseline().write(target, doc)
-        n_findings = len(doc["findings"])
-        print(
-            f"baseline with {n_findings} "
-            f"finding{'s' if n_findings != 1 else ''} written to {target}"
-        )
-        return 0
-    if args.json:
-        print(json.dumps(report.to_json(), indent=2))
-    else:
-        print(report.format_text())
-    return report.exit_code
+    return _finish_analyzer(args, report, "sanitize-baseline.json")
+
+
+def _sanitize_merges(args):
+    """The whole-program analyses ``sanitize --flow/--perf`` fold in.
+
+    With an explicit ``--baseline`` the one ratchet file applies to
+    everything; otherwise each merged family falls back to its own
+    default baseline (``flow-baseline.json``/``perf-baseline.json``),
+    exactly as its standalone subcommand would.
+    """
+    merges = []
+    if args.flow:
+
+        def run_flow(paths, select, baseline):
+            from .flow import FlowConfig, analyze_paths
+
+            if args.baseline is None:
+                baseline = _analyzer_baseline(args, "flow-baseline.json")
+            return analyze_paths(
+                paths, FlowConfig(select=select), baseline=baseline
+            )
+
+        merges.append(run_flow)
+    if args.perf:
+
+        def run_perf(paths, select, baseline):
+            from .perf import PerfConfig, analyze_paths
+
+            if args.baseline is None:
+                baseline = _analyzer_baseline(args, "perf-baseline.json")
+            return analyze_paths(
+                paths, PerfConfig(select=select), baseline=baseline
+            )
+
+        merges.append(run_perf)
+    return merges
 
 
 def cmd_flow(args) -> int:
     from .flow import FlowConfig, analyze_paths, build_program, graph_json
-    from .sanitize import Baseline
 
-    config = FlowConfig(select=tuple(args.select) if args.select else None)
-    baseline_path = args.baseline
-    if baseline_path is None and Path("flow-baseline.json").is_file():
-        baseline_path = "flow-baseline.json"
+    config = FlowConfig(select=_selected(args))
     try:
         if args.graph:
             doc = graph_json(build_program(args.paths))
@@ -546,41 +599,61 @@ def cmd_flow(args) -> int:
                 f"call graph with {len(doc['nodes'])} nodes, "
                 f"{len(doc['edges'])} edges written to {args.graph}"
             )
-        baseline = None
-        if baseline_path is not None and not args.write_baseline:
-            baseline = Baseline.load(baseline_path)
+        baseline = _analyzer_baseline(args, "flow-baseline.json")
         report = analyze_paths(args.paths, config, baseline=baseline)
     except SanitizeError as exc:
         logger.error("error[flow/usage]: %s", exc)
         return 2
-    if args.write_baseline:
-        target = baseline_path or "flow-baseline.json"
-        cache: dict[str, list[str]] = {}
-        pairs = []
-        for diag in report.diagnostics:
-            path = getattr(diag.location, "path", None)
-            line = getattr(diag.location, "line", None)
-            text = ""
-            if path and line:
-                if path not in cache:
-                    cache[path] = Path(path).read_text().splitlines()
-                lines = cache[path]
-                if 1 <= line <= len(lines):
-                    text = lines[line - 1].strip()
-            pairs.append((diag, text))
-        doc = Baseline.document(pairs)
-        Baseline().write(target, doc)
-        n_findings = len(doc["findings"])
-        print(
-            f"baseline with {n_findings} "
-            f"finding{'s' if n_findings != 1 else ''} written to {target}"
-        )
-        return 0
-    if args.json:
-        print(json.dumps(report.to_json(), indent=2))
-    else:
-        print(report.format_text())
-    return report.exit_code
+    return _finish_analyzer(args, report, "flow-baseline.json")
+
+
+def cmd_perf(args) -> int:
+    from .perf import PerfConfig, analyze_paths, worklist_paths
+
+    config = PerfConfig(select=_selected(args), profile=args.profile_data)
+    try:
+        if args.worklist:
+            worklist = worklist_paths(args.paths, config)
+            print(json.dumps(worklist.to_json(), indent=2))
+            n = len(worklist.entries)
+            print(
+                f"worklist: {n} ranked candidate{'s' if n != 1 else ''}",
+                file=sys.stderr,
+            )
+            return 0
+        baseline = _analyzer_baseline(args, "perf-baseline.json")
+        report = analyze_paths(args.paths, config, baseline=baseline)
+    except (SanitizeError, ObsError) as exc:
+        logger.error("error[perf/usage]: %s", exc)
+        return 2
+    return _finish_analyzer(args, report, "perf-baseline.json")
+
+
+def _add_tree_analyzer_args(
+    p: argparse.ArgumentParser,
+    *,
+    paths_help: str,
+    select_example: str,
+    default_baseline: str,
+) -> None:
+    """The argparse wiring every source-tree analyzer shares.
+
+    ``sanitize``, ``flow`` and ``perf`` all take positional paths,
+    ``--json``, ``--select`` and the ratcheted-baseline pair; declaring
+    them once keeps the families flag-compatible by construction.
+    """
+    p.add_argument("paths", nargs="*", default=["src"], help=paths_help)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--select", action="append", metavar="PREFIX",
+                   help="only run rules whose id starts with PREFIX "
+                        f"(repeatable), e.g. --select {select_example}")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="baseline of grandfathered findings (default: "
+                        f"{default_baseline} when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write the current findings to the baseline file "
+                        "and exit 0 (the ratchet: entries only disappear)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -678,19 +751,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sanitize", help="static analysis of the repro "
                                         "source tree itself")
-    p.add_argument("paths", nargs="*", default=["src"],
-                   help="files/directories to analyse (default: src)")
-    p.add_argument("--json", action="store_true",
-                   help="emit the report as JSON")
-    p.add_argument("--select", action="append", metavar="PREFIX",
-                   help="only run rules whose id starts with PREFIX "
-                        "(repeatable), e.g. --select determinism/")
-    p.add_argument("--baseline", metavar="PATH", default=None,
-                   help="baseline of grandfathered findings (default: "
-                        "sanitize-baseline.json when present)")
-    p.add_argument("--write-baseline", action="store_true",
-                   help="write the current findings to the baseline file "
-                        "and exit 0 (the ratchet: entries only disappear)")
+    _add_tree_analyzer_args(
+        p,
+        paths_help="files/directories to analyse (default: src)",
+        select_example="determinism/",
+        default_baseline="sanitize-baseline.json",
+    )
     p.add_argument("--fix", action="store_true",
                    help="re-pin the schema fingerprint registry from the "
                         "tree (refuses field changes without a version "
@@ -698,28 +764,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flow", action="store_true",
                    help="also run the whole-program flow analysis "
                         "(see `repro flow`) and merge its findings")
+    p.add_argument("--perf", action="store_true",
+                   help="also run the hot-path perf analysis "
+                        "(see `repro perf`) and merge its findings")
     p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("flow", help="whole-program flow analysis of the "
                                     "repro source tree itself")
-    p.add_argument("paths", nargs="*", default=["src"],
-                   help="files/directories to analyse as one program "
-                        "(default: src)")
-    p.add_argument("--json", action="store_true",
-                   help="emit the report as JSON")
-    p.add_argument("--select", action="append", metavar="PREFIX",
-                   help="only run rules whose id starts with PREFIX "
-                        "(repeatable), e.g. --select flow/dead")
-    p.add_argument("--baseline", metavar="PATH", default=None,
-                   help="baseline of grandfathered findings (default: "
-                        "flow-baseline.json when present)")
-    p.add_argument("--write-baseline", action="store_true",
-                   help="write the current findings to the baseline file "
-                        "and exit 0 (the ratchet: entries only disappear)")
+    _add_tree_analyzer_args(
+        p,
+        paths_help="files/directories to analyse as one program "
+                   "(default: src)",
+        select_example="flow/dead",
+        default_baseline="flow-baseline.json",
+    )
     p.add_argument("--graph", metavar="PATH", default=None,
                    help="also serialise the call graph (nodes, edges, "
                         "per-function facts) to PATH as JSON")
     p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("perf", help="profile-guided hot-path analysis of "
+                                    "the repro source tree itself")
+    _add_tree_analyzer_args(
+        p,
+        paths_help="files/directories to analyse as one program "
+                   "(default: src)",
+        select_example="perf/scalar",
+        default_baseline="perf-baseline.json",
+    )
+    # dest avoids the attack/experiment --profile (CPU profiler) toggle
+    # that main() inspects on every command
+    p.add_argument("--profile", dest="profile_data", metavar="PATH",
+                   default=None,
+                   help="join a trace JSONL (from --trace) or a profile "
+                        "JSON document onto the call graph and rank "
+                        "findings by observed hot-path weight")
+    p.add_argument("--worklist", action="store_true",
+                   help="emit the ranked vectorization worklist as JSON "
+                        "(ignores pragmas and the baseline: it is the "
+                        "inventory of remaining scalar hot paths)")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("farm", help="parallel campaign runner with a "
                                     "content-addressed artifact store")
@@ -767,7 +851,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``BrokenPipeError`` is handled here, around the *whole* command --
+    any subcommand's stdout (reports, worklists, graph summaries) may
+    be cut short by ``| head``, and that is the consumer's prerogative,
+    not an error.  Redirecting the dead stdout to ``/dev/null`` also
+    keeps the interpreter's shutdown flush quiet.
+    """
+    try:
+        return _run_command(argv)
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _run_command(argv: list[str] | None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
     trace_target = getattr(args, "trace", None)
@@ -781,10 +880,6 @@ def main(argv: list[str] | None = None) -> int:
             )
         try:
             code = args.func(args)
-        except BrokenPipeError:
-            # stdout consumer (e.g. `| head`) went away; not an error
-            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-            code = 0
         except ReproError as exc:
             # Backstop for library errors no subcommand mapped itself:
             # a diagnostic line and exit 2, never a stack trace.

@@ -38,7 +38,7 @@ from ..networks.delta import IteratedReverseDeltaNetwork
 from ..obs import events as obs_events
 from ..obs.trace import get_tracer
 from .adversary import run_lemma41
-from .alphabet import L, M, S, Symbol
+from .alphabet import M, Symbol, rename_against_pivot
 from .pattern import Pattern, all_medium_pattern
 from .propagate import SymbolicState
 
@@ -286,18 +286,13 @@ def run_adversary(
 
                 # Advance the cut to the block's outputs, same renaming.
                 pivot = M(chosen)
-                new_symbols: list[Symbol] = []
-                for s in result.state.symbols:
-                    if s is pivot:
-                        new_symbols.append(M(0))
-                    elif s < pivot:
-                        new_symbols.append(S(0))
-                    else:
-                        new_symbols.append(L(0))
-                new_origin: dict[int, int] = {}
-                for pos, block_wire in result.state.origin.items():
-                    if result.state.symbols[pos] is pivot:
-                        new_origin[pos] = cut.origin[block_wire]
+                new_symbols = rename_against_pivot(result.state.symbols, pivot)
+                block_symbols = result.state.symbols
+                new_origin = {
+                    pos: cut.origin[block_wire]
+                    for pos, block_wire in result.state.origin.items()
+                    if block_symbols[pos] is pivot
+                }
                 cut = SymbolicState(symbols=new_symbols, origin=new_origin)
 
                 run.records.append(

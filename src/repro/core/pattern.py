@@ -28,7 +28,7 @@ import numpy as np
 from ..errors import PatternError, RefinementError
 from ..obs import events as obs_events
 from ..obs.trace import get_tracer
-from .alphabet import L, M, S, Symbol
+from .alphabet import L, M, S, Symbol, rename_against_pivot
 
 __all__ = ["Pattern", "sml_pattern", "all_medium_pattern", "combine", "oplus_parts"]
 
@@ -239,15 +239,7 @@ class Pattern:
         against everything else is unchanged.
         """
         pivot = M(i)
-        out = []
-        for s in self._symbols:
-            if s is pivot:
-                out.append(M(0))
-            elif s < pivot:
-                out.append(S(0))
-            else:
-                out.append(L(0))
-        renamed = Pattern(out)
+        renamed = Pattern(rename_against_pivot(self._symbols, pivot))
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(

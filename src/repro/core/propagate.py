@@ -61,12 +61,22 @@ class SymbolicState:
         return Pattern(self.symbols)
 
     def apply_permutation(self, mapping: np.ndarray) -> None:
-        """Move all symbols and tokens by a position permutation."""
-        new_symbols: list[Symbol] = [None] * self.n  # type: ignore[list-item]
-        for pos, sym in enumerate(self.symbols):
-            new_symbols[int(mapping[pos])] = sym
-        self.symbols = new_symbols
-        self.origin = {int(mapping[pos]): w for pos, w in self.origin.items()}
+        """Move all symbols and tokens by a position permutation.
+
+        One vectorised scatter for the symbols; the (sparse) token map
+        moves by a single fancy-indexed gather over its positions.
+        """
+        dest = np.asarray(mapping, dtype=np.int64)
+        scattered = np.empty(self.n, dtype=object)
+        scattered[dest] = self.symbols
+        self.symbols = scattered.tolist()
+        if self.origin:
+            held = np.fromiter(
+                self.origin.keys(), dtype=np.int64, count=len(self.origin)
+            )
+            self.origin = dict(
+                zip(dest[held].tolist(), self.origin.values())
+            )
 
 
 def apply_gate_symbolic(state: SymbolicState, gate: Gate) -> None:

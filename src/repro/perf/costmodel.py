@@ -1,0 +1,206 @@
+"""The static cost model: effective loop depth through the call graph.
+
+Per-function, an AST walk assigns every statement and expression its
+*local* loop depth -- how many ``for``/``while`` bodies (and
+comprehension generators) lexically enclose it.  That alone cannot see
+that a depth-0 helper is hot when its only caller invokes it from a
+doubly-nested loop, so the model propagates nesting through the
+:class:`~repro.flow.graph.Program` call edges to a fixpoint:
+
+.. math::
+
+    entry(f) = \\max_{(g \\to f) \\in E} \\bigl( entry(g) + depth_g(site) \\bigr)
+
+where :math:`depth_g(site)` is the local depth of the call site inside
+``g``.  The *effective* depth of a statement in ``f`` is then
+``entry(f)`` plus its local depth -- a depth-1 helper called inside a
+depth-2 loop is effectively depth-3.  Recursion is handled by capping
+the entry depth (``DEPTH_CAP``), which makes the iteration a monotone
+map on a finite lattice and hence convergent.
+
+Reference (``kind == "ref"``) edges count like calls: a function passed
+to ``map``/``set_defaults``/a dispatch table from inside a loop is
+presumed to run there.  Callers outside the analysed program (module
+bodies, the test suite) contribute entry depth 0.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..flow.graph import Program
+
+__all__ = ["DEPTH_CAP", "FunctionCost", "CostModel", "build_cost_model"]
+
+#: Entry depths saturate here so recursive cycles converge; no real
+#: loop nest in the tree comes close.
+DEPTH_CAP = 8
+
+#: AST nodes that open one loop level for their body.
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+#: Comprehension nodes; each generator is one loop level.
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@dataclass
+class FunctionCost:
+    """The cost facts for one indexed function.
+
+    ``depth_by_line`` maps source lines to the *maximum* local loop
+    depth of any node starting there (call sites are looked up through
+    it); ``local_depth`` is the deepest nesting in the body;
+    ``entry_depth`` is the propagated call-context depth.
+    """
+
+    qualname: str
+    local_depth: int = 0
+    entry_depth: int = 0
+    depth_by_line: dict[int, int] = field(default_factory=dict)
+
+    def depth_at(self, line: int | None) -> int:
+        """Local loop depth of the node at ``line`` (0 when unknown)."""
+        if line is None:
+            return 0
+        return self.depth_by_line.get(line, 0)
+
+    def effective_at(self, line: int | None) -> int:
+        """Entry depth plus the local depth at ``line``."""
+        return self.entry_depth + self.depth_at(line)
+
+
+@dataclass
+class CostModel:
+    """Per-function costs plus the headline hot-function count."""
+
+    functions: dict[str, FunctionCost] = field(default_factory=dict)
+
+    def effective_depth(self, qualname: str, line: int | None = None) -> int:
+        """Effective depth of a site, 0 for functions outside the model."""
+        cost = self.functions.get(qualname)
+        if cost is None:
+            return 0
+        return cost.effective_at(line)
+
+    def hot_functions(self, threshold: int = 2) -> list[str]:
+        """Functions whose deepest site reaches ``threshold``, sorted."""
+        return sorted(
+            q
+            for q, cost in self.functions.items()
+            if cost.entry_depth + cost.local_depth >= threshold
+        )
+
+
+class _DepthWalker(ast.NodeVisitor):
+    """Annotate every node of one function body with its loop depth.
+
+    Nested ``def``/``lambda`` bodies run when *called*, not where they
+    are defined, so they reset to depth 0 (their own call edges carry
+    the context instead).  A loop's iterable/test evaluates once per
+    entry at the loop's own depth; only the body is one level deeper.
+    """
+
+    def __init__(self, cost: FunctionCost) -> None:
+        self.cost = cost
+        self.depth = 0
+
+    def _mark(self, node: ast.AST) -> None:
+        line = getattr(node, "lineno", None)
+        if line is None:
+            return
+        by_line = self.cost.depth_by_line
+        if self.depth > by_line.get(line, -1):
+            by_line[line] = self.depth
+        if self.depth > self.cost.local_depth:
+            self.cost.local_depth = self.depth
+
+    def visit(self, node: ast.AST) -> None:
+        self._mark(node)
+        super().visit(node)
+
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        if isinstance(node, ast.While):
+            self.visit(node.test)
+        else:
+            self.visit(node.target)
+            self.visit(node.iter)
+        self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self.depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        self._mark(node)
+        levels = len(node.generators)  # type: ignore[attr-defined]
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self.visit(gen.iter)
+        self.depth += levels
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self.visit(gen.target)
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)  # type: ignore[attr-defined]
+        self.depth -= levels
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        self._mark(node)
+        saved, self.depth = self.depth, 0
+        self.generic_visit(node)
+        self.depth = saved
+
+    visit_FunctionDef = _visit_nested
+    visit_AsyncFunctionDef = _visit_nested
+    visit_Lambda = _visit_nested
+
+
+def _local_costs(program: Program) -> dict[str, FunctionCost]:
+    costs: dict[str, FunctionCost] = {}
+    for qualname in sorted(program.functions):
+        finfo = program.functions[qualname]
+        cost = FunctionCost(qualname=qualname)
+        walker = _DepthWalker(cost)
+        for stmt in finfo.node.body:
+            walker.visit(stmt)
+        costs[qualname] = cost
+    return costs
+
+
+def build_cost_model(program: Program) -> CostModel:
+    """Local depths per function, then the entry-depth fixpoint."""
+    costs = _local_costs(program)
+    # Chaotic iteration over the (sorted) call edges: entry depths only
+    # ever grow and are capped, so this terminates; the max-combine
+    # makes the result independent of edge order.
+    changed = True
+    while changed:
+        changed = False
+        for edge in program.edges:
+            callee = costs.get(edge.callee)
+            if callee is None:
+                continue
+            caller = costs.get(edge.caller)
+            if caller is None:
+                continue  # module-level or foreign caller: entry 0
+            candidate = min(
+                DEPTH_CAP, caller.effective_at(edge.line)
+            )
+            if candidate > callee.entry_depth:
+                callee.entry_depth = candidate
+                changed = True
+    return CostModel(functions=costs)

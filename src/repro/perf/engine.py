@@ -1,0 +1,133 @@
+"""The perf engine: discovery, analysis, worklist, report assembly.
+
+Entry points :func:`analyze_paths` and :func:`worklist_paths` mirror
+:func:`repro.flow.engine.analyze_paths` -- deterministic (sorted) file
+discovery, the ratcheted baseline, ``# sanitize: ok`` pragma
+suppression -- over the same whole-program unit: every parseable file
+joins one :class:`~repro.flow.graph.Program`, the effective-depth
+fixpoint runs once, and each rule reads the global result.
+
+The two entry points differ in what they suppress: the *report* honours
+pragmas and the baseline (the ratchet: the tree must stay at zero new
+findings), while the *worklist* ranks every raw finding -- it is the
+inventory of remaining vectorization work, so waived findings stay
+listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..sanitize.baseline import Baseline
+from ..sanitize.diagnostics import Diagnostic
+from ..sanitize.engine import FileContext, discover_files
+from .report import PerfReport
+from .rules import HOT_DEPTH, PERF_RULES, PerfAnalysis
+from .profilejoin import ProfileJoin, join_profile
+from .worklist import Worklist, build_worklist
+
+__all__ = ["PerfConfig", "analyze_paths", "worklist_paths", "build_analysis"]
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Tunables for one perf run.
+
+    ``select`` optionally restricts to rules whose id starts with one
+    of the given prefixes, mirroring the other analyzer configs;
+    ``profile`` optionally names a trace JSONL / profile document to
+    join for observed hot-path ranking.
+    """
+
+    select: tuple[str, ...] | None = None
+    profile: str | None = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True iff ``rule_id`` passes the ``select`` filter."""
+        if not self.select:
+            return True
+        return any(rule_id.startswith(prefix) for prefix in self.select)
+
+
+def build_analysis(
+    paths: Iterable[str | Path], config: PerfConfig | None = None
+) -> tuple[PerfAnalysis, list[Diagnostic], int]:
+    """Build the program, cost model and (optional) profile join.
+
+    Returns the analysis, the raw rule findings (plus parse
+    diagnostics), and the number of analysed files.
+    """
+    from ..flow.engine import _load_contexts
+    from ..flow.graph import Program
+
+    cfg = config or PerfConfig()
+    files = discover_files(paths)
+    contexts, diagnostics = _load_contexts(files)
+    program = Program.build(contexts)
+    join: ProfileJoin | None = None
+    if cfg.profile is not None:
+        join = join_profile(program, cfg.profile)
+    analysis = PerfAnalysis.build(program, join=join)
+    for rule in PERF_RULES.values():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        diagnostics.extend(rule.check(analysis))
+    return analysis, diagnostics, len(files)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    config: PerfConfig | None = None,
+    baseline: Baseline | None = None,
+) -> PerfReport:
+    """Analyse a set of files/directories; pragmas and baseline apply.
+
+    Pragma-suppressed findings are dropped silently (the pragma is the
+    documented waiver); baseline-matched findings are dropped from the
+    report and exit code but counted in ``report.suppressed`` so a
+    grandfathered tree never reads as clean.
+    """
+    analysis, diagnostics, files = build_analysis(paths, config)
+    program = analysis.program
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in diagnostics:
+        path = getattr(diag.location, "path", None)
+        ctx = program.contexts.get(path) if path else None
+        if ctx is not None and ctx.suppressed(diag):
+            continue
+        if baseline is not None and baseline.matches(
+            diag, _line_text(ctx, diag)
+        ):
+            suppressed += 1
+            continue
+        kept.append(diag)
+    kept.sort(key=lambda d: d.sort_key)
+    join = analysis.join
+    return PerfReport(
+        targets=sorted(str(p) for p in paths),
+        files=files,
+        functions=len(program.functions),
+        hot=len(analysis.cost.hot_functions(HOT_DEPTH)),
+        profile=join.source if join is not None else None,
+        diagnostics=kept,
+        suppressed=suppressed,
+    )
+
+
+def worklist_paths(
+    paths: Iterable[str | Path], config: PerfConfig | None = None
+) -> Worklist:
+    """The ranked vectorization worklist (ignores pragmas and baseline)."""
+    analysis, diagnostics, _files = build_analysis(paths, config)
+    findings = [d for d in diagnostics if d.rule.startswith("perf/")]
+    return build_worklist(analysis, findings, [str(p) for p in paths])
+
+
+def _line_text(ctx: FileContext | None, diag: Diagnostic) -> str:
+    """The stripped source line a diagnostic anchors to (baseline key)."""
+    if ctx is None:
+        return ""
+    return ctx.line_text(getattr(diag.location, "line", None))

@@ -1,0 +1,222 @@
+"""Joining measured profiles onto the call graph (``--profile``).
+
+Two observed-time sources are accepted, both produced by
+:mod:`repro.obs`:
+
+* a **trace JSONL** written by ``--trace`` (span records with ``name``,
+  ``id``, ``parent``, ``dur``): per-span *self time* is the span's
+  duration minus its direct children's, aggregated by span name;
+* a **profile document** as serialised by
+  :meth:`repro.obs.profile.ProfileReport.to_json` (``cpu`` rows with
+  ``self_s`` and a ``file.py:line(func)`` location).
+
+Span names are mapped to owning functions statically: every
+``*.span(NAME, ...)`` call site in the program is found in the AST, the
+``NAME`` argument resolved through the import graph to its module-level
+string constant (``repro.obs.events.SPAN_*``) or taken literally.  The
+owner's weight then flows *down* the call edges with a max-combine --
+a function called from a hot span is hot -- to a fixpoint.
+
+Spans whose name no call site in the analysed tree owns (instrumented
+code that has since been deleted or renamed) degrade gracefully: they
+are reported in :attr:`ProfileJoin.unmatched` instead of aborting the
+run, and contribute no weight.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ObsError
+from ..flow.graph import Program
+from ..obs.events import read_trace
+
+__all__ = ["ProfileJoin", "load_profile", "join_profile", "span_owners"]
+
+#: ``file.py:123(funcname)`` as emitted by ProfileReport cpu rows.
+_WHERE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+)\((?P<func>[^)]*)\)$")
+
+
+@dataclass
+class ProfileJoin:
+    """One profile joined onto one program.
+
+    ``span_self`` maps span names to aggregated self seconds;
+    ``weights`` maps function qualnames to their observed hot-path
+    weight (seconds) after propagation; ``unmatched`` lists span names
+    with measured time but no owning call site in the tree.
+    """
+
+    source: str
+    span_self: dict[str, float] = field(default_factory=dict)
+    weights: dict[str, float] = field(default_factory=dict)
+    unmatched: tuple[str, ...] = ()
+
+
+def load_profile(path: str | Path) -> dict[str, Any] | list[dict]:
+    """Read a trace JSONL or a ProfileReport JSON document.
+
+    A file whose whole body parses as one JSON object with a ``cpu``
+    list is treated as a profile document; anything else must be a
+    valid trace (validated record by record by
+    :func:`repro.obs.events.read_trace`).
+    """
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ObsError(f"cannot read profile {p}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and isinstance(doc.get("cpu"), list):
+        return doc
+    return read_trace(p)
+
+
+def _span_self_times(records: list[dict]) -> dict[str, float]:
+    """Aggregate per-name self time: duration minus direct children."""
+    spans = [
+        r
+        for r in records
+        if r.get("type") == "span" and isinstance(r.get("dur"), (int, float))
+    ]
+    child_time: dict[Any, float] = {}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + float(rec["dur"])
+    totals: dict[str, float] = {}
+    for rec in spans:
+        name = rec.get("name")
+        if not isinstance(name, str):
+            continue
+        self_time = max(0.0, float(rec["dur"]) - child_time.get(rec.get("id"), 0.0))
+        totals[name] = totals.get(name, 0.0) + self_time
+    return totals
+
+
+def _string_constants(program: Program) -> dict[str, str]:
+    """Every module-level ``NAME = "literal"`` as ``module.NAME -> value``."""
+    consts: dict[str, str] = {}
+    for module in sorted(program.modules):
+        ctx = program.modules[module]
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if not (
+                isinstance(value, ast.Constant) and isinstance(value.value, str)
+            ):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    consts[f"{module}.{target.id}"] = value.value
+    return consts
+
+
+def span_owners(program: Program) -> dict[str, set[str]]:
+    """Span name -> qualnames of functions opening a span of that name."""
+    consts = _string_constants(program)
+    owners: dict[str, set[str]] = {}
+    for qualname in sorted(program.functions):
+        finfo = program.functions[qualname]
+        ctx = program.contexts.get(finfo.path)
+        for node in ast.walk(finfo.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            name: str | None = None
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+            elif ctx is not None:
+                dotted = ctx.resolve(arg)
+                if dotted is not None:
+                    # Imported constants resolve fully dotted; a
+                    # module-local NAME resolves bare, so qualify it.
+                    name = consts.get(dotted)
+                    if name is None:
+                        name = consts.get(f"{ctx.module}.{dotted}")
+            if name is not None:
+                owners.setdefault(name, set()).add(qualname)
+    return owners
+
+
+def _cpu_row_weights(
+    program: Program, doc: dict[str, Any]
+) -> tuple[dict[str, float], list[str]]:
+    """Match ProfileReport cpu rows to functions by file name + function."""
+    by_key: dict[tuple[str, str], list[str]] = {}
+    for qualname in sorted(program.functions):
+        finfo = program.functions[qualname]
+        by_key.setdefault(
+            (Path(finfo.path).name, finfo.name), []
+        ).append(qualname)
+    weights: dict[str, float] = {}
+    unmatched: list[str] = []
+    for row in doc.get("cpu", []):
+        where = row.get("where", "")
+        match = _WHERE.match(where) if isinstance(where, str) else None
+        self_s = row.get("self_s")
+        if match is None or not isinstance(self_s, (int, float)):
+            continue
+        targets = by_key.get(
+            (Path(match.group("file")).name, match.group("func")), []
+        )
+        if not targets:
+            unmatched.append(where)
+            continue
+        for qualname in targets:
+            weights[qualname] = weights.get(qualname, 0.0) + float(self_s)
+    return weights, unmatched
+
+
+def _propagate(program: Program, weights: dict[str, float]) -> dict[str, float]:
+    """Flow weight down call edges with a max-combine to a fixpoint."""
+    out = dict(weights)
+    changed = True
+    while changed:
+        changed = False
+        for edge in program.edges:
+            w = out.get(edge.caller, 0.0)
+            if w > out.get(edge.callee, 0.0):
+                out[edge.callee] = w
+                changed = True
+    return out
+
+
+def join_profile(program: Program, path: str | Path) -> ProfileJoin:
+    """Load a trace/profile and join it onto the program's call graph."""
+    loaded = load_profile(path)
+    if isinstance(loaded, dict):
+        seeds, unmatched = _cpu_row_weights(program, loaded)
+        span_self: dict[str, float] = {}
+    else:
+        span_self = _span_self_times(loaded)
+        owners = span_owners(program)
+        seeds = {}
+        unmatched = []
+        for name in sorted(span_self):
+            holders = owners.get(name)
+            if not holders:
+                unmatched.append(name)
+                continue
+            for qualname in holders:
+                seeds[qualname] = seeds.get(qualname, 0.0) + span_self[name]
+    return ProfileJoin(
+        source=str(path),
+        span_self=span_self,
+        weights=_propagate(program, seeds),
+        unmatched=tuple(unmatched),
+    )

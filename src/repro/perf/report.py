@@ -1,0 +1,80 @@
+"""Perf reports: aggregation and text/JSON rendering.
+
+A :class:`PerfReport` is the result of one hot-path analysis run: the
+sorted diagnostics plus the program's headline sizes and the number of
+*hot* functions (effective loop depth >= 2 somewhere in the body),
+sharing the severity accessors and exit-code convention of
+:class:`repro.diagnostics.DiagnosticReport` with the lint, sanitize and
+flow reports.  ``PERF_FORMAT`` versions the report JSON; the dataclass
+is pinned in the sanitize schema fingerprint registry like every other
+persisted format in the tree (``repro sanitize --fix`` re-pins after a
+deliberate, version-bumped change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..diagnostics import DiagnosticReport
+from ..sanitize.diagnostics import Diagnostic
+
+__all__ = ["PERF_FORMAT", "PerfReport"]
+
+#: Version of the perf report JSON document.
+PERF_FORMAT = 1
+
+
+@dataclass
+class PerfReport(DiagnosticReport):
+    """The outcome of one hot-path perf analysis.
+
+    ``targets`` are the paths as requested; ``files``, ``functions``
+    and ``hot`` size the analysed program (zero hot functions on a
+    non-trivial tree means depth propagation broke, not that the tree
+    is fast); ``profile`` names the joined trace/profile when one was
+    given; ``suppressed`` counts baseline-grandfathered findings hidden
+    from ``diagnostics``.
+    """
+
+    targets: list[str] = field(default_factory=list)
+    files: int = 0
+    functions: int = 0
+    hot: int = 0
+    profile: str | None = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+
+    def format_text(self) -> str:
+        """Full human-readable report."""
+        header = (
+            f"perf {' '.join(self.targets)}: "
+            f"{self.files} file{'s' if self.files != 1 else ''}, "
+            f"{self.functions} functions, {self.hot} hot"
+        )
+        if self.profile:
+            header += f", profile {self.profile}"
+        lines = [header]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.format())
+            if diag.fix is not None:
+                lines.append(f"    fix-it: {diag.fix.description}")
+        summary = self.summary()
+        if self.suppressed:
+            summary += f" ({self.suppressed} baselined)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible report document."""
+        return {
+            "format": PERF_FORMAT,
+            "targets": self.targets,
+            "files": self.files,
+            "functions": self.functions,
+            "hot": self.hot,
+            "profile": self.profile,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "suppressed": self.suppressed,
+            "summary": self.summary_json(),
+        }

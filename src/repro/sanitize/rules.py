@@ -103,6 +103,8 @@ SCHEMA_MODULES = (
     "repro/flow/report.py",
     "repro/networks/serialize.py",
     "repro/obs/events.py",
+    "repro/perf/report.py",
+    "repro/perf/worklist.py",
 )
 
 

@@ -4,7 +4,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.alphabet import L, M, S, Symbol, X, sort_symbols, symbol_from_string
+from repro.core.alphabet import (
+    L,
+    M,
+    S,
+    Symbol,
+    X,
+    rename_against_pivot,
+    sort_symbols,
+    symbol_from_string,
+)
 from repro.errors import PatternError
 
 
@@ -134,6 +143,49 @@ class TestParsing:
             symbol_from_string("")
         with pytest.raises(PatternError):
             symbol_from_string("Mfoo")
+
+
+def _scalar_rename(symbols, pivot):
+    """Element-at-a-time reference for the vectorised helper."""
+    out = []
+    for s in symbols:
+        if s is pivot:
+            out.append(M(0))
+        elif s < pivot:
+            out.append(S(0))
+        else:
+            out.append(L(0))
+    return out
+
+
+class TestRenameAgainstPivot:
+    def test_three_way_classification(self):
+        symbols = [S(2), M(3), L(1), M(0), X(3, 1), M(3)]
+        assert rename_against_pivot(symbols, M(3)) == [
+            S(0),
+            M(0),
+            L(0),
+            S(0),
+            S(0),
+            M(0),
+        ]
+
+    def test_empty(self):
+        assert rename_against_pivot([], M(0)) == []
+
+    def test_all_pivot(self):
+        assert rename_against_pivot([M(2)] * 5, M(2)) == [M(0)] * 5
+
+    def test_results_are_interned(self):
+        out = rename_against_pivot([S(4), M(1), L(9)], M(1))
+        assert out[0] is S(0) and out[1] is M(0) and out[2] is L(0)
+
+    @settings(max_examples=100)
+    @given(st.lists(symbols_strategy(), max_size=64), st.integers(0, 10))
+    def test_matches_scalar_reference(self, symbols, i):
+        assert rename_against_pivot(symbols, M(i)) == _scalar_rename(
+            symbols, M(i)
+        )
 
 
 @settings(max_examples=200)

@@ -1,0 +1,1 @@
+"""The clean perf corpus: vectorised and cold code, zero findings."""

@@ -1,0 +1,28 @@
+"""Vectorised equivalents of the dirty corpus kernels.
+
+Nothing here fires: the per-element work is NumPy expressions, and the
+only literal loops sit at effective depth 1 (the hot threshold is 2).
+"""
+
+import numpy as np
+
+
+def gather(values, index):
+    """One fancy-indexed gather instead of a scalar loop."""
+    return np.asarray(values)[np.asarray(index)]
+
+
+def sweep(rows, index, scale):
+    """Row totals via a reduction; the row loop itself is depth 1."""
+    out = np.empty(len(rows), dtype=np.float64)
+    for k, row in enumerate(rows):
+        out[k] = float(np.sum(gather(row, index))) * scale
+    return out
+
+
+def normalize(table):
+    """Depth-1 scalar fixups stay below the hot threshold."""
+    cleaned = []
+    for row in table:
+        cleaned.append(row)
+    return cleaned

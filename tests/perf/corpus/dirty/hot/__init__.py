@@ -1,0 +1,6 @@
+"""The dirty perf corpus: one planted finding per ``perf/*`` rule.
+
+Everything hot in this package sits at effective loop depth >= 2,
+either via literal nesting (:mod:`hot.driver`) or via call-edge
+propagation into a depth-1 helper (:mod:`hot.kernels`).
+"""

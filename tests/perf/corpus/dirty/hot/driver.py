@@ -1,0 +1,36 @@
+"""The planted hot path: a doubly nested sweep over symbol rows.
+
+Fires, at effective depth >= 2: membership-in-loop, copy-in-loop,
+repeated-recompute-in-loop, attr-lookup-in-hot-loop, plus a literal
+scalar loop -- and makes :func:`hot.kernels.gather` hot through the
+call edge inside its outer loop.
+"""
+
+from .kernels import gather
+
+SPAN_SWEEP = "sweep.run"
+
+
+def sweep(rows, index, params, tracer):
+    """Process every row; everything inside the inner loop is hot."""
+    limits = [8, 16, 32]
+    out = []
+    with tracer.span(SPAN_SWEEP):
+        for row in rows:
+            picked = gather(row, index)
+            for j in range(len(picked)):
+                snapshot = list(row)
+                bound = max(limits)
+                if picked[j] in limits:
+                    out.append(snapshot[0] - bound)
+                scale = params.scale.hi + params.scale.hi * params.scale.hi
+                out.append(picked[j] * scale)
+    return out
+
+
+def prepare(rows):
+    """Cold preamble: depth-1 loop, below the hot threshold."""
+    cleaned = []
+    for row in rows:
+        cleaned.append(row)
+    return cleaned

@@ -1,0 +1,22 @@
+"""Depth-1 scalar kernels that are hot only through their callers.
+
+The planted findings here must fire *only* because the cost model
+propagates entry depth along the call edge from ``driver.sweep``'s
+loop -- locally these loops are depth 1 and would stay silent.
+"""
+
+
+def gather(values, index):
+    """Scalar gather: planted scalar-loop + append-accumulator."""
+    out = []
+    for i in range(len(index)):
+        out.append(values[index[i]])
+    return out
+
+
+def cold_gather(values, index):
+    """Identical shape, but never called from a loop: stays silent."""
+    out = []
+    for i in range(len(index)):
+        out.append(values[index[i]])
+    return out

@@ -1,0 +1,16 @@
+"""Statically deep but never measured hot: the re-ranking foil.
+
+``render`` sits at literal depth 3, so the pure-static ranking puts it
+above :func:`hot.driver.sweep` (depth 2).  No span ever measures it,
+so a joined profile must flip the order.
+"""
+
+
+def render(tables):
+    """Triple loop: the deepest planted findings in the corpus."""
+    lines = []
+    for table in tables:
+        for row in table:
+            for j in range(len(row)):
+                lines.append(row[j])
+    return lines

@@ -1,0 +1,151 @@
+"""The ``repro perf`` subcommand and the ``sanitize --perf`` merge."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+from tests.perf.conftest import CLEAN, DIRTY, SRC, TRACE
+
+
+class TestPerfCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["perf", str(CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_dirty_tree_exits_one(self, capsys):
+        # the seeded negative test: a tree with planted defects FAILS
+        assert main(["perf", str(DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "perf/scalar-loop-over-wires" in out
+        assert "perf/membership-in-loop" in out
+        assert "perf/append-accumulator" in out
+        assert "perf/repeated-recompute-in-loop" in out
+        assert "perf/copy-in-loop" in out
+        assert "perf/attr-lookup-in-hot-loop" in out
+
+    def test_json_report(self, capsys):
+        assert main(["perf", str(DIRTY), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == 1
+        assert doc["hot"] == 3
+        assert len(doc["diagnostics"]) == 11
+
+    def test_select_filters_rules(self, capsys):
+        assert main(["perf", str(DIRTY), "--select", "perf/append"]) == 1
+        out = capsys.readouterr().out
+        assert "scalar-loop-over-wires" not in out
+        assert "append-accumulator" in out
+
+    def test_profile_flag_joins_trace(self, capsys):
+        assert main(
+            ["perf", str(DIRTY), "--profile", str(TRACE), "--json"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["profile"] == str(TRACE)
+        # observed seconds surface in the finding messages
+        assert any(
+            "observed" in d["message"] for d in doc["diagnostics"]
+        )
+
+    def test_worklist_emits_ranked_json(self, capsys):
+        assert main(["perf", str(DIRTY), "--worklist"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["format"] == 1
+        assert [e["rank"] for e in doc["entries"]] == list(
+            range(1, len(doc["entries"]) + 1)
+        )
+        assert "ranked candidate" in captured.err
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        target = tmp_path / "perf-baseline.json"
+        assert main(
+            ["perf", str(DIRTY), "--write-baseline",
+             "--baseline", str(target)]
+        ) == 0
+        assert "11 findings" in capsys.readouterr().out
+        # with the ratchet in place the dirty tree passes but reports it
+        assert main(["perf", str(DIRTY), "--baseline", str(target)]) == 0
+        assert "11 baselined" in capsys.readouterr().out
+
+    def test_worklist_ignores_baseline(self, tmp_path, capsys):
+        target = tmp_path / "perf-baseline.json"
+        main(["perf", str(DIRTY), "--write-baseline",
+              "--baseline", str(target)])
+        capsys.readouterr()
+        assert main(
+            ["perf", str(DIRTY), "--worklist", "--baseline", str(target)]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # the worklist is the inventory of remaining work: waived
+        # findings stay listed
+        assert len(doc["entries"]) == 11
+
+
+class TestUsageErrors:
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["perf", str(tmp_path / "absent")]) == 2
+
+    def test_corrupt_profile_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["perf", str(DIRTY), "--profile", str(bad)]) == 2
+
+    def test_unmapped_repro_error_exits_2(self, monkeypatch):
+        # any ReproError a subcommand does not map itself becomes a
+        # diagnostic and exit 2 at the main() boundary, never a trace
+        import repro.perf
+        from repro.errors import FarmError
+
+        def boom(*args, **kwargs):
+            raise FarmError("boom")
+
+        monkeypatch.setattr(repro.perf, "analyze_paths", boom)
+        assert main(["perf", str(CLEAN)]) == 2
+
+
+class TestBrokenPipe:
+    def _run_piped(self, *repro_args):
+        root = Path(__file__).resolve().parents[2]
+        inner = " ".join(
+            [sys.executable, "-m", "repro", *repro_args]
+        )
+        return subprocess.run(
+            ["sh", "-c", f"{inner} | head -n 1"],
+            cwd=root,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+
+    def test_perf_report_survives_head(self):
+        proc = self._run_piped("perf", str(DIRTY), "--json")
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert proc.stdout.strip() == "{"
+
+    def test_perf_worklist_survives_head(self):
+        proc = self._run_piped("perf", str(DIRTY), "--worklist")
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_flow_report_survives_head(self):
+        proc = self._run_piped("flow", str(SRC), "--json")
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
+class TestSanitizePerfMerge:
+    def test_sanitize_perf_merge_exits_one_on_dirty(self, capsys):
+        assert main(["sanitize", str(DIRTY), "--perf"]) == 1
+        out = capsys.readouterr().out
+        assert "[perf/" in out
+
+    def test_sanitize_without_perf_misses_hot_paths(self, capsys):
+        main(["sanitize", str(DIRTY)])
+        out = capsys.readouterr().out
+        assert "[perf/" not in out

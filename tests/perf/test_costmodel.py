@@ -1,0 +1,133 @@
+"""The static effective-depth cost model."""
+
+import pytest
+
+from repro.flow import build_program
+from repro.perf import build_cost_model
+from repro.perf.costmodel import DEPTH_CAP
+
+from tests.perf.conftest import DIRTY
+
+
+def _model_for(tmp_path, source):
+    pkg = tmp_path / "mod.py"
+    pkg.write_text(source)
+    return build_cost_model(build_program([tmp_path]))
+
+
+class TestLocalDepth:
+    def test_flat_function_is_depth_zero(self, tmp_path):
+        model = _model_for(tmp_path, "def f(x):\n    return x + 1\n")
+        assert model.functions["mod.f"].local_depth == 0
+
+    def test_nested_loops_count(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def f(rows):\n"
+            "    for row in rows:\n"
+            "        for x in row:\n"
+            "            print(x)\n",
+        )
+        assert model.functions["mod.f"].local_depth == 2
+
+    def test_comprehension_generators_count(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def f(rows):\n"
+            "    return [x for row in rows for x in row]\n",
+        )
+        assert model.functions["mod.f"].local_depth == 2
+
+    def test_loop_iterable_stays_at_outer_depth(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def f(rows):\n"
+            "    for row in sorted(rows):\n"
+            "        print(row)\n",
+        )
+        cost = model.functions["mod.f"]
+        # line 2 holds the iterable (depth 0); line 3 is the body
+        assert cost.depth_at(2) == 0
+        assert cost.depth_at(3) == 1
+
+    def test_nested_def_resets_depth(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def f(rows):\n"
+            "    for row in rows:\n"
+            "        def g():\n"
+            "            return row\n"
+            "        print(g())\n",
+        )
+        cost = model.functions["mod.f"]
+        # g's body (line 4) runs when called, not where it is defined,
+        # so it does not count as loop-depth-1 work of f
+        assert cost.depth_at(4) == 0
+        assert cost.depth_at(5) == 1
+
+
+class TestEntryPropagation:
+    def test_callee_inherits_call_site_depth(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def helper(x):\n"
+            "    return x * 2\n"
+            "def driver(rows):\n"
+            "    for row in rows:\n"
+            "        for x in row:\n"
+            "            helper(x)\n",
+        )
+        assert model.functions["mod.helper"].entry_depth == 2
+
+    def test_transitive_propagation(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def inner(x):\n"
+            "    return x\n"
+            "def mid(x):\n"
+            "    for i in range(x):\n"
+            "        inner(i)\n"
+            "def top(rows):\n"
+            "    for row in rows:\n"
+            "        mid(row)\n",
+        )
+        # top's loop (1) -> mid entry 1, mid's loop (+1) -> inner entry 2
+        assert model.functions["mod.mid"].entry_depth == 1
+        assert model.functions["mod.inner"].entry_depth == 2
+
+    def test_recursive_cycle_saturates_at_cap(self, tmp_path):
+        model = _model_for(
+            tmp_path,
+            "def ping(xs):\n"
+            "    for x in xs:\n"
+            "        pong(x)\n"
+            "def pong(x):\n"
+            "    ping(x)\n",
+        )
+        # each trip around the cycle adds ping's loop level; the cap
+        # turns the would-be-divergent iteration into a fixpoint
+        assert model.functions["mod.pong"].entry_depth == DEPTH_CAP
+        assert model.functions["mod.ping"].entry_depth == DEPTH_CAP
+
+    def test_unindexed_function_is_depth_zero(self, tmp_path):
+        model = _model_for(tmp_path, "def f():\n    return 1\n")
+        assert model.effective_depth("mod.ghost", 3) == 0
+
+
+class TestCorpusModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_cost_model(build_program([DIRTY]))
+
+    def test_propagated_kernel_is_hot(self, model):
+        # gather is locally depth 1 but called from sweep's row loop
+        assert model.functions["kernels.gather"].entry_depth == 1
+        assert "kernels.gather" in model.hot_functions(2)
+
+    def test_uncalled_twin_stays_cold(self, model):
+        assert model.functions["kernels.cold_gather"].entry_depth == 0
+        assert "kernels.cold_gather" not in model.hot_functions(2)
+
+    def test_hot_functions_sorted(self, model):
+        hot = model.hot_functions(2)
+        assert hot == sorted(hot)

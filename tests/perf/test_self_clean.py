@@ -1,0 +1,65 @@
+"""The perf gate behind CI: the shipped tree ratchets at zero new findings.
+
+Unlike the flow gate (which reached literally zero findings), perf
+intentionally ships with a populated ratchet: the worklist is the
+inventory of vectorization work still to do, and the baseline pins it
+so *new* hot scalar loops fail CI while grandfathered ones are burned
+down PR by PR.  The top of the original worklist -- the Lemma 3.4
+rename loops and ``SymbolicState.apply_permutation`` -- is already
+fixed, which the worklist floor below reflects.
+"""
+
+from pathlib import Path
+
+from repro.perf import analyze_paths, worklist_paths
+from repro.sanitize import Baseline
+
+from tests.perf.conftest import SRC
+
+BASELINE = Path(__file__).resolve().parents[2] / "perf-baseline.json"
+
+
+class TestSelfClean:
+    def test_source_tree_clean_under_shipped_ratchet(self):
+        report = analyze_paths([SRC], baseline=Baseline.load(BASELINE))
+        assert report.diagnostics == [], report.format_text()
+        assert report.exit_code == 0
+        # grandfathered, not hidden: the report says what it waived
+        assert report.suppressed > 0
+
+    def test_analysis_actually_covered_the_tree(self):
+        """Guard against the gate passing vacuously."""
+        report = analyze_paths([SRC], baseline=Baseline.load(BASELINE))
+        assert report.files >= 90
+        assert report.functions >= 700
+        assert report.hot >= 200
+
+
+class TestWorklistInventory:
+    def test_worklist_surfaces_core_candidates(self):
+        worklist = worklist_paths([SRC])
+        targeted = [
+            e
+            for e in worklist.entries
+            if "/core/" in e.path or "/experiments/" in e.path
+        ]
+        # the acceptance floor: the analyzer must keep surfacing ranked
+        # vectorization candidates in the hot subsystems
+        assert len(targeted) >= 10
+
+    def test_vectorized_functions_left_the_worklist(self):
+        worklist = worklist_paths([SRC])
+        remaining = {e.function for e in worklist.entries}
+        # the former top-of-worklist scalar loops, now NumPy expressions
+        assert "repro.core.pattern.Pattern.rho" not in remaining
+        assert (
+            "repro.core.propagate.SymbolicState.apply_permutation"
+            not in remaining
+        )
+
+    def test_worklist_lists_baselined_findings(self):
+        # the ratchet hides findings from the gate, never from the
+        # inventory
+        report = analyze_paths([SRC], baseline=Baseline.load(BASELINE))
+        worklist = worklist_paths([SRC])
+        assert len(worklist.entries) >= report.suppressed

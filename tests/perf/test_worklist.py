@@ -1,0 +1,42 @@
+"""The ranked vectorization worklist."""
+
+from repro.perf import WORKLIST_FORMAT, worklist_paths
+
+from tests.perf.conftest import DIRTY
+
+
+class TestWorklist:
+    def test_every_raw_finding_is_listed(self, dirty_analysis):
+        _analysis, diagnostics = dirty_analysis
+        worklist = worklist_paths([DIRTY])
+        perf_findings = [d for d in diagnostics if d.rule.startswith("perf/")]
+        assert len(worklist.entries) == len(perf_findings)
+
+    def test_ranks_are_dense_from_one(self):
+        worklist = worklist_paths([DIRTY])
+        assert [e.rank for e in worklist.entries] == list(
+            range(1, len(worklist.entries) + 1)
+        )
+
+    def test_ranking_is_deterministic(self):
+        first = worklist_paths([DIRTY]).to_json()
+        second = worklist_paths([DIRTY]).to_json()
+        assert first == second
+
+    def test_depth_orders_static_ranking(self):
+        depths = [e.effective_depth for e in worklist_paths([DIRTY]).entries]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_entries_name_owning_functions(self):
+        functions = {e.function for e in worklist_paths([DIRTY]).entries}
+        assert functions == {
+            "driver.sweep",
+            "kernels.gather",
+            "report.render",
+        }
+
+    def test_document_is_versioned(self):
+        doc = worklist_paths([DIRTY]).to_json()
+        assert doc["format"] == WORKLIST_FORMAT
+        assert doc["profile"] is None
+        assert {"targets", "entries", "unmatched_spans"} <= set(doc)
