@@ -33,10 +33,19 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
     [--resume]`` sweeps a job grid on a worker pool, caching every
     result in a content-addressed artifact store; ``farm status``
     inventories a store.
+``serve``
+    Run the certificate daemon: an async HTTP service answering
+    attack/verify queries from the artifact store (cache-fronted,
+    batch-computed on the farm pool; see docs/SERVE.md).
+``query``
+    Send one request to a running daemon and print the response.
+``loadgen``
+    Drive a running daemon with closed-loop concurrent load and report
+    p50/p99 latency and certificates/sec.
 ``stats``
     Analyse a trace JSONL file written by ``--trace``: span tree,
-    slowest spans, timer percentiles, and the adversary's per-block
-    special-set tables.
+    slowest spans, timer percentiles, the adversary's per-block
+    special-set tables, and the certificate service's cache summary.
 
 Global flags: ``-v``/``-q`` adjust log verbosity (also via the
 ``REPRO_LOG`` environment variable); ``attack``/``experiment`` take
@@ -224,11 +233,87 @@ def cmd_verify(args) -> int:
     except ReproError as exc:
         logger.error("error[verify/precondition]: %s", exc)
         return 2
+    if args.json:
+        from .serve.protocol import verdict_document
+
+        doc = verdict_document(
+            sorter=None if getattr(args, "file", None) else args.sorter,
+            n=net.n,
+            depth=net.depth,
+            size=net.size,
+            witness=None if witness is None else witness.tolist(),
+        )
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if witness is None else 1
     if witness is None:
         print(f"sorting network: yes (all 2^{net.n} binary inputs sorted)")
         return 0
     print(f"sorting network: NO; unsorted 0-1 witness: {witness.tolist()}")
     return 1
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .farm import ArtifactStore
+    from .serve import CertificateServer, ServeSettings
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_batch=args.max_batch,
+        batch_delay=args.batch_delay,
+        request_timeout=args.request_timeout,
+        job_timeout=args.job_timeout,
+    )
+    store = ArtifactStore(args.store)
+    server = CertificateServer(store, settings)
+
+    def announce(port: int) -> None:
+        # scripted callers (tests, CI smoke) wait for this exact line
+        print(f"serving on {settings.host}:{port} (store: {args.store})",
+              flush=True)
+
+    asyncio.run(server.serve_forever(on_ready=announce))
+    print(f"drained; served {server.requests} requests "
+          f"({server.rejected} rejected)")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .serve import ServeClient
+
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as exc:
+        logger.error("error[query/params]: --params is not JSON: %s", exc)
+        return 2
+    if not isinstance(params, dict):
+        logger.error("error[query/params]: --params must be a JSON object")
+        return 2
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    response = client.query(args.op, params)
+    print(json.dumps(response.to_json(), indent=2, sort_keys=True))
+    return 0 if response.ok else 1
+
+
+def cmd_loadgen(args) -> int:
+    from .serve import default_mix, run_load
+
+    report = run_load(
+        args.host,
+        args.port,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        mix=default_mix(args.unique),
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 1 if report.errors else 0
 
 
 def cmd_route(args) -> int:
@@ -700,7 +785,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=16)
     p.add_argument("--file", help="serialised network JSON instead")
     p.add_argument("--max-wires", type=int, default=24)
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable verdict document "
+                        "(the same shape the certificate service returns)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("serve", help="run the certificate daemon over an "
+                                     "artifact store")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 picks a free one; the bound port is "
+                        "announced on stdout)")
+    p.add_argument("--store", metavar="DIR", default="farm-store",
+                   help="artifact store directory (default: farm-store)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for cold-miss batches")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="admitted requests before answering 429")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="largest cold-miss batch per pool dispatch")
+    p.add_argument("--batch-delay", type=float, default=0.01,
+                   help="seconds to wait coalescing a cold-miss batch")
+    p.add_argument("--request-timeout", type=float, default=300.0,
+                   help="per-request budget before answering 504")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-job pool timeout in seconds (default: none)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a structured trace (JSONL) of the daemon; "
+                        "analyse it with 'repro stats PATH'")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query", help="send one request to a running daemon")
+    p.add_argument("op", help="attack | verify")
+    p.add_argument("--params", default="{}",
+                   help='job parameters as JSON, e.g. '
+                        '\'{"sorter": "bitonic", "n": 8}\'')
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--timeout", type=float, default=310.0)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("loadgen", help="drive a running daemon with "
+                                       "closed-loop load")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent closed-loop workers")
+    p.add_argument("--requests", type=int, default=16,
+                   help="requests per client")
+    p.add_argument("--unique", type=int, default=8,
+                   help="distinct queries in the round-robin mix")
+    p.add_argument("--json", action="store_true",
+                   help="emit the load report as JSON")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("route", help="route a permutation")
     p.add_argument("permutation", help="comma-separated targets, e.g. 3,1,0,2")

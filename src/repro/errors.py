@@ -25,6 +25,7 @@ __all__ = [
     "FarmError",
     "ObsError",
     "SanitizeError",
+    "ServeError",
     "RegistryError",
     "DomainError",
     "GuaranteeError",
@@ -126,6 +127,16 @@ class ObsError(ReproError, ValueError):
 
 class SanitizeError(ReproError, ValueError):
     """A sanitize input (target path, baseline, schema registry) is invalid."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """A certificate-service request, response, or daemon operation failed.
+
+    Covers malformed protocol documents, refused operations, transport
+    failures in the stdlib client, and daemon startup errors (e.g. a
+    port already in use).  The HTTP boundary maps protocol violations to
+    4xx responses; the CLI boundary maps everything else to exit 2.
+    """
 
 
 class RegistryError(ReproError, KeyError):

@@ -201,19 +201,26 @@ class VerifyJob(Job):
         return get_sorter(self.sorter).build(self.n)
 
     def execute(self) -> dict[str, Any]:
-        """0-1 verify; result carries a counterexample witness if any."""
+        """0-1 verify; result carries a counterexample witness if any.
+
+        The result is the shared verdict document of
+        :func:`repro.serve.protocol.verdict_document`, so a farm
+        campaign row, a ``repro verify --json`` run, and a certificate
+        service reply are the same shape (imported lazily to keep the
+        farm layer importable without the service).
+        """
         from ..analysis.verify import find_unsorted_zero_one_input
+        from ..serve.protocol import verdict_document
 
         net = self.build_network()
         witness = find_unsorted_zero_one_input(net, max_wires=self.max_wires)
-        return {
-            "sorter": self.sorter,
-            "n": self.n,
-            "depth": net.depth,
-            "size": net.size,
-            "is_sorter": witness is None,
-            "witness": None if witness is None else witness.tolist(),
-        }
+        return verdict_document(
+            sorter=self.sorter,
+            n=self.n,
+            depth=net.depth,
+            size=net.size,
+            witness=None if witness is None else witness.tolist(),
+        )
 
     def revalidate(self, result: dict[str, Any]) -> bool:
         """Re-evaluate a stored unsorted witness on the rebuilt network."""

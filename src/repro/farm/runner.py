@@ -434,13 +434,16 @@ def run_jobs(
             )
             poll = min(waits) if waits else None
             ready = wait([w.conn for w in busy], timeout=poll) if busy else []
-            ready_set = set(ready)
-            for worker in list(pool):
+            # the set is rebuilt per poll because `ready` changes per
+            # poll, and `pool` is snapshotted because reap/expire may
+            # replace workers mid-iteration; both are <= `workers` long
+            ready_set = set(ready)  # sanitize: ok[perf/copy-in-loop]
+            for worker in list(pool):  # sanitize: ok[perf/copy-in-loop]
                 if worker.busy and worker.conn in ready_set:
                     reap(worker)
             if timeout is not None:
                 now = time.monotonic()
-                for worker in list(pool):
+                for worker in list(pool):  # sanitize: ok[perf/copy-in-loop]
                     if worker.busy and now - worker.started > timeout:
                         expire(worker)
             if not busy and queue:

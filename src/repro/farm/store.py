@@ -13,9 +13,17 @@ ordering.  Layout::
 Writes are atomic (temp file + ``os.replace`` in the object directory),
 so a crash or SIGINT can never leave a half-written object: the worst
 case is a stray ``*.tmp`` file, which readers ignore.  The index is
-advisory -- :meth:`ArtifactStore.get` always reads the object file -- so
-a truncated final index line (the one failure appends admit) cannot
-corrupt results either.
+advisory -- :meth:`ArtifactStore.get` reads the object file on a cache
+miss -- so a truncated final index line (the one failure appends admit)
+cannot corrupt results either.
+
+Reads go through a bounded in-process LRU (``cache_size`` entries, least
+recently used evicted first), so a hot key is parsed from disk once per
+process rather than on every :meth:`ArtifactStore.get`.  :meth:`put`
+refreshes the cached entry, keeping a single-process reader-after-writer
+coherent; the cache is advisory only -- a cached document is exactly the
+parsed object file -- and callers must treat returned documents as
+immutable, since cache hits share one dict.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
@@ -33,7 +42,14 @@ from ..obs import events as obs_events
 from ..obs.metrics import percentile
 from ..obs.trace import get_tracer
 
-__all__ = ["STORE_FORMAT", "canonical_json", "job_key", "ArtifactStore", "cached"]
+__all__ = [
+    "STORE_FORMAT",
+    "DEFAULT_CACHE_SIZE",
+    "canonical_json",
+    "job_key",
+    "ArtifactStore",
+    "cached",
+]
 
 #: Format tag hashed into every key; bump to invalidate all stores.
 STORE_FORMAT = 1
@@ -51,11 +67,24 @@ def job_key(doc: Any) -> str:
     return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
 
 
-class ArtifactStore:
-    """A content-addressed JSON artifact store rooted at a directory."""
+#: Default bound of the per-store read cache (documents, not bytes).
+DEFAULT_CACHE_SIZE = 256
 
-    def __init__(self, root: str | Path):
+
+class ArtifactStore:
+    """A content-addressed JSON artifact store rooted at a directory.
+
+    ``cache_size`` bounds the in-process read cache (0 disables it);
+    documents returned by :meth:`get` are shared with the cache and must
+    not be mutated by callers.
+    """
+
+    def __init__(self, root: str | Path, *, cache_size: int = DEFAULT_CACHE_SIZE):
         self.root = Path(root)
+        self.cache_size = max(0, int(cache_size))
+        self._cache: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def objects_dir(self) -> Path:
@@ -102,10 +131,44 @@ class ArtifactStore:
         )
         with open(self.index_path, "a") as fh:
             fh.write(line + "\n")
+        # refresh (or install) the cached entry so a reader in this
+        # process sees the overwrite immediately; re-parsing the written
+        # text guarantees cache and disk agree byte for byte
+        self._remember(key, json.loads(text))
         return path
 
+    def _remember(self, key: str, doc: dict[str, Any]) -> None:
+        """Install one parsed document as the most-recent cache entry."""
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = doc
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, key: str | None = None) -> None:
+        """Drop one cached document (or all of them with ``key=None``).
+
+        Needed only when another *process* rewrote an object under this
+        store's feet; same-process :meth:`put` refreshes automatically.
+        """
+        if key is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(key, None)
+
     def get(self, key: str) -> dict[str, Any] | None:
-        """Load one artifact; a missing or unreadable object is a miss."""
+        """Load one artifact; a missing or unreadable object is a miss.
+
+        Hits are served from the in-process LRU without touching disk;
+        treat the returned document as immutable (it is shared).
+        """
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
         path = self.object_path(key)
         try:
             doc = json.loads(path.read_text())
@@ -113,6 +176,7 @@ class ArtifactStore:
             return None
         if not isinstance(doc, dict) or doc.get("key") != key:
             return None
+        self._remember(key, doc)
         return doc
 
     def __contains__(self, key: str) -> bool:

@@ -54,6 +54,8 @@ __all__ = [
     "SPAN_FARM_EXECUTE",
     "SPAN_EXPERIMENT",
     "SPAN_CELL",
+    "SPAN_SERVE_REQUEST",
+    "SPAN_SERVE_BATCH",
     "EV_SETS",
     "EV_NODE",
     "EV_SUMMARY",
@@ -63,7 +65,10 @@ __all__ = [
     "EV_WORKER_DEATH",
     "EV_RESUME",
     "EV_CACHE",
+    "EV_SERVE_CACHE",
+    "EV_SERVE_REJECT",
     "ADVERSARY_EVENTS",
+    "SERVE_EVENTS",
     "jsonable",
     "encode",
     "decode",
@@ -90,6 +95,8 @@ SPAN_FARM_JOB = "farm.job"               # one job attempt (parent side)
 SPAN_FARM_EXECUTE = "farm.execute"       # job body (worker side, merged)
 SPAN_EXPERIMENT = "experiment.run"       # one E1-E13 driver call
 SPAN_CELL = "experiment.cell"            # one memoised sweep cell
+SPAN_SERVE_REQUEST = "serve.request"     # one daemon request (parse -> reply)
+SPAN_SERVE_BATCH = "serve.batch"         # one cold-miss batch dispatch
 
 # -- event names (domain facts) ----------------------------------------------
 #: Per-block special-set sizes after the Lemma 3.4 renaming: ``block``,
@@ -111,9 +118,18 @@ EV_TIMEOUT = "farm.timeout"
 EV_WORKER_DEATH = "farm.worker-death"
 EV_RESUME = "farm.resume"
 EV_CACHE = "experiment.cache"
+#: One cache decision of the certificate service: ``key``, ``source``
+#: (``memory`` | ``store`` | ``computed`` | ``joined``), ``op``.
+EV_SERVE_CACHE = "serve.cache"
+#: One rejected request: ``reason`` (``backpressure`` | ``draining``),
+#: ``http_status``.
+EV_SERVE_REJECT = "serve.reject"
 
 #: Events ``repro stats`` folds into the adversary summary tables.
 ADVERSARY_EVENTS = (EV_SETS, EV_NODE, EV_SUMMARY, EV_RHO)
+
+#: Records ``repro stats`` folds into the certificate-service table.
+SERVE_EVENTS = (EV_SERVE_CACHE, EV_SERVE_REJECT)
 
 #: Fields stripped by :func:`normalize` (host/time dependent).
 VOLATILE_FIELDS = ("ts", "dur", "pid", "tid")

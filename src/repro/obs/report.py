@@ -22,7 +22,14 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any
 
-from .events import EV_NODE, EV_RHO, EV_SETS, EV_SUMMARY
+from .events import (
+    EV_NODE,
+    EV_RHO,
+    EV_SERVE_CACHE,
+    EV_SERVE_REJECT,
+    EV_SETS,
+    EV_SUMMARY,
+)
 from .metrics import MetricsAggregator, percentile
 
 __all__ = [
@@ -32,6 +39,7 @@ __all__ = [
     "render_tree",
     "slowest_spans",
     "adversary_summary",
+    "serve_summary",
     "stats_json",
     "render_stats",
     "timing_aggregates",
@@ -224,6 +232,39 @@ def adversary_summary(records: "list[dict[str, Any]]") -> dict[str, Any]:
     }
 
 
+def serve_summary(records: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Fold the certificate-service events into the cache-hit table.
+
+    Returns ``requests`` (count of ``serve.request`` spans), ``by_source``
+    (``serve.cache`` event counts keyed by memory/store/joined/computed),
+    ``hit_rate`` (fraction answered without recomputation), and
+    ``rejected`` (``serve.reject`` counts keyed by reason).
+    """
+    by_source: dict[str, int] = defaultdict(int)
+    rejected: dict[str, int] = defaultdict(int)
+    requests = 0
+    for record in records:
+        rtype, name = record.get("type"), record.get("name")
+        attrs = record.get("attrs") or {}
+        if rtype == "span" and name == "serve.request":
+            requests += 1
+        elif rtype == "event" and name == EV_SERVE_CACHE:
+            by_source[str(attrs.get("source", "?"))] += 1
+        elif rtype == "event" and name == EV_SERVE_REJECT:
+            rejected[str(attrs.get("reason", "?"))] += 1
+    lookups = sum(by_source.values())
+    warm = sum(
+        count for source, count in by_source.items()
+        if source in ("memory", "store", "joined")
+    )
+    return {
+        "requests": requests,
+        "by_source": dict(sorted(by_source.items())),
+        "hit_rate": (warm / lookups) if lookups else 0.0,
+        "rejected": dict(sorted(rejected.items())),
+    }
+
+
 def stats_json(
     records: "list[dict[str, Any]]", *, top: int = 10
 ) -> dict[str, Any]:
@@ -240,6 +281,7 @@ def stats_json(
         "gauges": {k: dict(v) for k, v in sorted(aggregator.gauges.items())},
         "slowest": slowest_spans(records, top=top),
         "adversary": adversary_summary(records),
+        "serve": serve_summary(records),
     }
 
 
@@ -319,6 +361,24 @@ def render_stats(records: "list[dict[str, Any]]", *, top: int = 10) -> str:
                 for shift, count in nodes["chosen_shifts"].items()
             )
             lines.append(f"  chosen shifts: {shifts}")
+    serve = doc["serve"]
+    if serve["requests"] or serve["by_source"] or serve["rejected"]:
+        lines.append("")
+        lines.append("-- certificate service " + "-" * 37)
+        sources = ", ".join(
+            f"{source}: {count}"
+            for source, count in serve["by_source"].items()
+        ) or "none"
+        lines.append(
+            f"  {serve['requests']} requests, cache hit rate "
+            f"{serve['hit_rate'] * 100:.1f}%  ({sources})"
+        )
+        if serve["rejected"]:
+            shed = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in serve["rejected"].items()
+            )
+            lines.append(f"  rejected: {shed}")
     if doc["events"]:
         lines.append("")
         lines.append("-- events " + "-" * 50)

@@ -105,6 +105,7 @@ SCHEMA_MODULES = (
     "repro/obs/events.py",
     "repro/perf/report.py",
     "repro/perf/worklist.py",
+    "repro/serve/protocol.py",
 )
 
 

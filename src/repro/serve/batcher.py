@@ -1,0 +1,157 @@
+"""Cold-request coalescing onto the farm's pre-fork worker pool.
+
+Cache misses are expensive (an adversary run or a 0-1 sweep), so the
+daemon does not execute them inline: misses are queued, and a single
+dispatcher task drains the queue in *batches* -- up to ``max_batch``
+jobs gathered within a ``max_delay`` window -- handing each batch to
+:func:`repro.farm.runner.run_jobs` on a worker thread.  One batch pays
+one pool spin-up for up to ``max_batch`` independent jobs, the worker
+pool computes them in parallel, and per-job timeouts/retries come for
+free from the runner's own failure semantics.
+
+The cache layer above already single-flights identical requests, so
+every job reaching the batcher is distinct; the batcher only has to
+amortise pool startup and keep the event loop unblocked (the blocking
+``run_jobs`` call runs via :func:`asyncio.to_thread`, which propagates
+the tracing context, so ``farm.job`` spans nest under the daemon's
+``serve.batch`` span).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServeError
+from ..farm.jobs import Job
+from ..farm.runner import run_jobs
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
+
+__all__ = ["Batcher"]
+
+
+@dataclass
+class _Item:
+    job: Job
+    future: asyncio.Future = field(default_factory=lambda: (
+        asyncio.get_running_loop().create_future()
+    ))
+
+
+class Batcher:
+    """Queue cold jobs, dispatch them in batches to the worker pool."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_batch: int = 32,
+        max_delay: float = 0.01,
+        job_timeout: "float | None" = None,
+        retries: int = 0,
+    ):
+        self.workers = max(1, int(workers))
+        self.max_batch = max(1, int(max_batch))
+        self.max_delay = max(0.0, float(max_delay))
+        self.job_timeout = job_timeout
+        self.retries = max(0, int(retries))
+        self._queue: "asyncio.Queue[_Item]" = asyncio.Queue()
+        self._task: "asyncio.Task | None" = None
+        self.batches = 0
+        self.dispatched = 0
+
+    def start(self) -> None:
+        """Spawn the dispatcher task (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the dispatcher and fail anything still queued."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if not item.future.done():
+                item.future.set_exception(
+                    ServeError("daemon shutting down before dispatch")
+                )
+                item.future.exception()
+
+    async def submit(self, job: Job) -> dict[str, Any]:
+        """Enqueue one job and await its result document.
+
+        Raises :class:`~repro.errors.ServeError` when the job errors or
+        times out on the pool (carrying the worker's error string).
+        """
+        self.start()
+        item = _Item(job=job)
+        await self._queue.put(item)
+        return await item.future
+
+    async def _gather(self) -> "list[_Item]":
+        """One batch: the first waiter plus up to ``max_batch - 1`` more
+        arriving within the ``max_delay`` window."""
+        batch = [await self._queue.get()]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_delay
+        while len(batch) < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._gather()
+            tracer = get_tracer()
+            self.batches += 1
+            self.dispatched += len(batch)
+            by_key = {item.job.key(): item for item in batch}
+            with tracer.span(
+                obs_events.SPAN_SERVE_BATCH, jobs=len(batch)
+            ):
+                report = await asyncio.to_thread(
+                    run_jobs,
+                    [item.job for item in batch],
+                    workers=min(self.workers, len(batch)),
+                    timeout=self.job_timeout,
+                    retries=self.retries,
+                )
+            for outcome in report.outcomes:
+                item = by_key.pop(outcome.key, None)
+                if item is None or item.future.done():
+                    continue
+                if outcome.ok and outcome.result is not None:
+                    item.future.set_result(outcome.result)
+                else:
+                    item.future.set_exception(
+                        ServeError(
+                            f"job {item.job.label()} failed on the pool "
+                            f"({outcome.status}): "
+                            f"{outcome.error or 'no result'}"
+                        )
+                    )
+                    item.future.exception()
+            # a runner bug could drop an outcome; never strand a waiter
+            for item in by_key.values():
+                if not item.future.done():
+                    item.future.set_exception(
+                        ServeError(
+                            f"job {item.job.label()} vanished from the "
+                            "batch report"
+                        )
+                    )
+                    item.future.exception()

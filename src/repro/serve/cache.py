@@ -1,0 +1,149 @@
+"""Read-through result cache: memory LRU over the artifact store.
+
+The service's hot path.  A request's result is looked up in three
+tiers, cheapest first:
+
+1. an in-process LRU of result documents (``memory`` -- no disk, no
+   revalidation: entries only enter this tier already trusted);
+2. the content-addressed :class:`~repro.farm.ArtifactStore` (``store``
+   -- the document is revalidated through the job's own trust boundary,
+   :meth:`repro.farm.jobs.Job.revalidate`, off the event loop, exactly
+   as a resumed farm campaign would revalidate it);
+3. the compute callback (``computed`` -- the batcher dispatches the job
+   to the pre-fork worker pool and the result is persisted to the store
+   before anyone sees it).
+
+Concurrent identical requests are *single-flighted*: the first caller
+computes, every later caller awaits the same future and reports source
+``joined``.  This is what turns a thundering herd of identical cold
+requests into exactly one adversary run.
+
+All state lives on one event loop; the store write happens on the loop
+thread only, so the daemon never writes the store from two places at
+once (the same single-writer discipline as the farm parent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Awaitable, Callable
+
+from ..errors import ReproError
+from ..farm.jobs import Job
+from ..farm.store import ArtifactStore
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
+
+__all__ = ["ServeCache"]
+
+#: Type of the cold-miss callback: run the job, return its result doc.
+ComputeFn = Callable[[Job], Awaitable[dict[str, Any]]]
+
+
+class ServeCache:
+    """Single-flight, read-through cache in front of an artifact store."""
+
+    def __init__(self, store: ArtifactStore, *, memory_size: int = 1024):
+        self.store = store
+        self.memory_size = max(0, int(memory_size))
+        self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Lookup counts by source, plus revalidation failures.
+        self.counters: dict[str, int] = {
+            "memory": 0,
+            "store": 0,
+            "joined": 0,
+            "computed": 0,
+            "revalidation_miss": 0,
+        }
+
+    def _remember(self, key: str, result: dict[str, Any]) -> None:
+        if self.memory_size <= 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_size:
+            self._memory.popitem(last=False)
+
+    def _stored_result(self, job: Job, key: str) -> "dict[str, Any] | None":
+        """Load and revalidate one stored result; ``None`` is a miss."""
+        doc = self.store.get(key)
+        if doc is None or doc.get("status") != "ok":
+            return None
+        result = doc.get("result")
+        if not isinstance(result, dict):
+            return None
+        try:
+            valid = job.revalidate(result)
+        except ReproError:
+            valid = False
+        if not valid:
+            self.counters["revalidation_miss"] += 1
+            return None
+        return result
+
+    async def lookup(
+        self, job: Job, compute: ComputeFn
+    ) -> tuple[dict[str, Any], str]:
+        """Resolve one job to ``(result document, source)``.
+
+        ``compute`` is awaited only on a full miss, at most once per key
+        across all concurrent callers.  Raises whatever ``compute``
+        raises; joined waiters see the same exception.
+        """
+        key = job.key()
+        tracer = get_tracer()
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.counters["memory"] += 1
+            if tracer.enabled:
+                tracer.event(
+                    obs_events.EV_SERVE_CACHE,
+                    key=key[:12], source="memory", op=job.kind,
+                )
+            return hit, "memory"
+        shared = self._inflight.get(key)
+        if shared is not None:
+            result = await asyncio.shield(shared)
+            self.counters["joined"] += 1
+            if tracer.enabled:
+                tracer.event(
+                    obs_events.EV_SERVE_CACHE,
+                    key=key[:12], source="joined", op=job.kind,
+                )
+            return result, "joined"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            # the store (and its LRU) is touched from the loop thread
+            # only; reads are one small JSON file, revalidation is a
+            # one-time cost per key per process
+            result = self._stored_result(job, key)
+            if result is not None:
+                source = "store"
+            else:
+                result = await compute(job)
+                self.store.put(
+                    key,
+                    {"job": job.to_json(), "status": "ok", "result": result},
+                )
+                source = "computed"
+            self._remember(key, result)
+            future.set_result(result)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # consume the exception so a flight nobody joined does not
+            # log "exception was never retrieved" at GC time
+            future.exception()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self.counters[source] += 1
+        if tracer.enabled:
+            tracer.event(
+                obs_events.EV_SERVE_CACHE,
+                key=key[:12], source=source, op=job.kind,
+            )
+        return result, source

@@ -1,0 +1,107 @@
+"""Stdlib client for the certificate daemon.
+
+A thin, dependency-free wrapper over :mod:`http.client` speaking the
+:mod:`repro.serve.protocol` wire format.  Used three ways: by ``repro
+query`` on the command line, by the load generator's worker threads
+(one :class:`ServeClient` per thread -- instances are not thread-safe,
+but are cheap: one TCP connection per call, matching the daemon's
+``Connection: close`` replies), and by the CI smoke test.
+
+Transport failures (daemon not up, connection reset) raise
+:class:`~repro.errors.ServeError`; HTTP-level rejections (429
+backpressure, 503 draining, 400 malformed) raise the
+:class:`ServeHTTPError` subclass carrying ``status``, so a caller can
+tell "retry with backoff" apart from "fix the request".
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from ..errors import ServeError
+from .protocol import ServeRequest, ServeResponse, response_from_json
+
+__all__ = ["ServeHTTPError", "ServeClient"]
+
+
+class ServeHTTPError(ServeError):
+    """The daemon answered with a non-200 status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+    @property
+    def retryable(self) -> bool:
+        """Whether backing off and retrying can succeed (429/503/504)."""
+        return self.status in (429, 503, 504)
+
+
+class ServeClient:
+    """One caller's handle on a daemon at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 timeout: float = 310.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def _call(self, method: str, path: str,
+              body: "dict[str, Any] | None" = None) -> tuple[int, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            reply = conn.getresponse()
+            raw = reply.read()
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServeError(
+                    f"daemon reply is not JSON ({reply.status}): {exc}"
+                ) from exc
+            return reply.status, doc
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def query(self, op: str, params: dict[str, Any]) -> ServeResponse:
+        """POST one request; returns the parsed response on HTTP 200.
+
+        Raises :class:`ServeHTTPError` for any other status (consult
+        ``.retryable``), :class:`~repro.errors.ServeError` when the
+        daemon is unreachable or replies off-protocol.
+        """
+        request = ServeRequest(op=op, params=params)
+        status, doc = self._call("POST", "/v1/query", request.to_json())
+        if status != 200:
+            message = doc.get("error") if isinstance(doc, dict) else None
+            if message is None and isinstance(doc, dict):
+                message = str(doc)
+            raise ServeHTTPError(status, message or "unexplained rejection")
+        return response_from_json(doc)
+
+    def health(self) -> dict[str, Any]:
+        """GET ``/healthz``; raises unless the daemon answers 200."""
+        status, doc = self._call("GET", "/healthz")
+        if status != 200:
+            raise ServeHTTPError(status, str(doc))
+        return doc
+
+    def stats(self) -> dict[str, Any]:
+        """GET ``/statsz``: the daemon's cache/batcher/store counters."""
+        status, doc = self._call("GET", "/statsz")
+        if status != 200:
+            raise ServeHTTPError(status, str(doc))
+        return doc

@@ -1,0 +1,224 @@
+"""The versioned request/response schema of the certificate service.
+
+One wire format shared by the daemon (:mod:`repro.serve.server`), the
+stdlib client (:mod:`repro.serve.client`), the load generator, and the
+CLI (``repro verify --json`` emits the same verdict document the
+service returns).  The schema is pinned in the sanitize fingerprint
+registry: adding or renaming a field without bumping
+:data:`PROTOCOL_VERSION` fails ``repro sanitize``.
+
+A request names an *operation* -- a farm job kind from
+:data:`SERVE_OPS` -- plus the job's parameter dict, so the service
+inherits the farm's content addressing (the request's cache key *is*
+:meth:`repro.farm.jobs.Job.key`), its derived seeding, and its
+revalidation trust boundary for store hits.  Two operations are served:
+
+``attack``
+    Run the Plaxton-Suel adversary against a family instance or an
+    embedded serialised circuit; the result carries the per-block trace
+    and, on success, a verified non-sorting certificate
+    (:class:`repro.farm.jobs.AttackJob`).
+``verify``
+    0-1-principle verification of a named sorter
+    (:class:`repro.farm.jobs.VerifyJob`); the result is the shared
+    verdict document of :func:`verdict_document`.
+
+Responses carry the protocol version, the operation, the content key,
+a status, the cache ``source`` (``memory``/``store``/``computed``/
+``joined``), and either the job's result document or an error message.
+Identical requests yield byte-identical ``result`` documents -- the
+envelope's ``source`` field is the only part that may differ between a
+cold and a warm call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import FarmError, ServeError
+from ..farm.jobs import Job, job_for
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVE_OPS",
+    "SOURCES",
+    "ServeRequest",
+    "ServeResponse",
+    "request_from_json",
+    "response_from_json",
+    "verdict_document",
+]
+
+#: Bump on any backwards-incompatible change to request/response shapes.
+PROTOCOL_VERSION = 1
+
+#: Operations the service accepts, by farm job kind.
+SERVE_OPS = ("attack", "verify")
+
+#: Where a response's result came from, cheapest first.
+SOURCES = ("memory", "store", "joined", "computed")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query: an operation name plus its job parameter dict."""
+
+    op: str
+    params: dict[str, Any]
+
+    def to_json(self) -> dict[str, Any]:
+        """The wire document; inverse of :func:`request_from_json`."""
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "op": self.op,
+            "params": dict(self.params),
+        }
+
+    def job(self) -> Job:
+        """Instantiate the farm job this request addresses.
+
+        Raises :class:`~repro.errors.ServeError` for an unknown
+        operation or invalid parameters, so the HTTP boundary can map
+        every malformed request to a 400 without touching the engine.
+        """
+        if self.op not in SERVE_OPS:
+            raise ServeError(
+                f"unknown operation {self.op!r}; "
+                f"available: {', '.join(SERVE_OPS)}"
+            )
+        if not isinstance(self.params, dict):
+            raise ServeError(
+                f"request params must be an object, got "
+                f"{type(self.params).__name__}"
+            )
+        try:
+            return job_for(self.op, self.params)
+        except FarmError as exc:
+            raise ServeError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One reply: the content key, status, cache source, and result."""
+
+    op: str
+    key: str
+    status: str  # "ok" | "error"
+    source: str | None = None  # one of SOURCES when status == "ok"
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        """The wire document; inverse of :func:`response_from_json`."""
+        doc: dict[str, Any] = {
+            "protocol": PROTOCOL_VERSION,
+            "op": self.op,
+            "key": self.key,
+            "status": self.status,
+            "source": self.source,
+            "result": self.result,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a usable result document."""
+        return self.status == "ok"
+
+    @property
+    def cached(self) -> bool:
+        """Whether the result was served without recomputation."""
+        return self.source in ("memory", "store", "joined")
+
+
+def _require_protocol(doc: Any, what: str) -> dict[str, Any]:
+    if not isinstance(doc, dict):
+        raise ServeError(f"{what} must be a JSON object, got "
+                         f"{type(doc).__name__}")
+    version = doc.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ServeError(
+            f"{what} has protocol version {version!r}; this build speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    return doc
+
+
+def request_from_json(doc: Any) -> ServeRequest:
+    """Parse and validate one request document."""
+    doc = _require_protocol(doc, "request")
+    op = doc.get("op")
+    if not isinstance(op, str) or op not in SERVE_OPS:
+        raise ServeError(
+            f"request op must be one of {', '.join(SERVE_OPS)}; got {op!r}"
+        )
+    params = doc.get("params")
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ServeError(
+            f"request params must be an object, got {type(params).__name__}"
+        )
+    return ServeRequest(op=op, params=params)
+
+
+def response_from_json(doc: Any) -> ServeResponse:
+    """Parse and validate one response document (the client's half)."""
+    doc = _require_protocol(doc, "response")
+    status = doc.get("status")
+    if status not in ("ok", "error"):
+        raise ServeError(f"response status must be ok|error, got {status!r}")
+    source = doc.get("source")
+    if source is not None and source not in SOURCES:
+        raise ServeError(
+            f"response source must be one of {', '.join(SOURCES)}; "
+            f"got {source!r}"
+        )
+    result = doc.get("result")
+    if result is not None and not isinstance(result, dict):
+        raise ServeError(
+            f"response result must be an object, got {type(result).__name__}"
+        )
+    error = doc.get("error")
+    if error is not None and not isinstance(error, str):
+        raise ServeError("response error must be a string")
+    if status == "ok" and result is None:
+        raise ServeError("ok response carries no result document")
+    return ServeResponse(
+        op=str(doc.get("op", "")),
+        key=str(doc.get("key", "")),
+        status=status,
+        source=source,
+        result=result,
+        error=error,
+    )
+
+
+def verdict_document(
+    *,
+    n: int,
+    depth: int,
+    size: int,
+    witness: "list[int] | None",
+    sorter: str | None = None,
+) -> dict[str, Any]:
+    """The machine-readable sortedness verdict.
+
+    The one shape shared by ``repro verify --json``, the farm's
+    :class:`~repro.farm.jobs.VerifyJob` results, and the service's
+    ``verify`` responses: a network identity (``sorter`` name when
+    built from the registry, else ``None``), its dimensions, the
+    boolean verdict, and the unsorted 0-1 witness when one exists.
+    """
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "sorter": sorter,
+        "n": int(n),
+        "depth": int(depth),
+        "size": int(size),
+        "is_sorter": witness is None,
+        "witness": None if witness is None else [int(x) for x in witness],
+    }

@@ -1,0 +1,380 @@
+"""The certificate daemon: a zero-dependency asyncio HTTP front end.
+
+``repro serve`` binds this server to a host/port and answers three
+routes over plain HTTP/1.1 (parsed here with :mod:`asyncio` streams --
+no web framework, matching the repo's stdlib-only rule):
+
+``POST /v1/query``
+    Body: one :class:`~repro.serve.protocol.ServeRequest` document.
+    The request is mapped to a farm job, resolved through the
+    :class:`~repro.serve.cache.ServeCache` (memory -> store ->
+    batched compute on the pre-fork pool), and answered with a
+    :class:`~repro.serve.protocol.ServeResponse`.  Identical requests
+    return byte-identical ``result`` documents; only the envelope's
+    ``source`` differs between cold and warm calls.
+``GET /healthz``
+    Liveness: ``{"status": "ok"}`` (``"draining"`` during shutdown).
+``GET /statsz``
+    Cache/batcher/store counters, for the load generator and CI smoke.
+
+Operational behaviour, mirroring the farm runner's discipline:
+
+* **Backpressure** -- at most ``max_inflight`` requests are admitted;
+  beyond that the daemon answers ``429`` immediately (with an
+  ``EV_SERVE_REJECT`` event) instead of queueing unboundedly.
+* **Timeouts** -- a request that exceeds ``request_timeout`` answers
+  ``504``; the underlying job keeps its own per-job pool timeout.
+* **Graceful drain** -- SIGTERM/SIGINT stop the listener, answer new
+  requests ``503``, wait for in-flight work to land (results are
+  persisted to the store as they complete, like the farm's
+  SIGINT-flush), then exit.
+* **Broken peers** -- a client that disappears mid-reply
+  (``BrokenPipeError``/``ConnectionResetError``) costs only its own
+  connection handler; the daemon keeps serving.
+
+Every admitted request runs under a ``serve.request`` span, so one
+trace file tells the whole story: request -> cache decision -> batch
+dispatch -> farm job -> store put.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+from typing import Any, Callable
+
+from ..errors import ReproError, ServeError
+from ..farm.store import ArtifactStore
+from ..obs import events as obs_events
+from ..obs.trace import get_tracer
+from . import protocol
+from .batcher import Batcher
+from .cache import ServeCache
+
+__all__ = ["ServeSettings", "CertificateServer"]
+
+logger = logging.getLogger("repro.serve")
+
+#: Largest request body the daemon will read, in bytes.  Big enough for
+#: an embedded serialised circuit, small enough to bound memory.
+_MAX_BODY = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ServeSettings:
+    """Tunables of one daemon instance, with serving defaults."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        workers: int = 2,
+        max_inflight: int = 64,
+        max_batch: int = 32,
+        batch_delay: float = 0.01,
+        request_timeout: float = 300.0,
+        job_timeout: "float | None" = None,
+        memory_size: int = 1024,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.workers = max(1, int(workers))
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_batch = max(1, int(max_batch))
+        self.batch_delay = max(0.0, float(batch_delay))
+        self.request_timeout = max(0.1, float(request_timeout))
+        self.job_timeout = job_timeout
+        self.memory_size = max(0, int(memory_size))
+
+
+class CertificateServer:
+    """One daemon: listener, cache, batcher, and drain choreography."""
+
+    def __init__(self, store: ArtifactStore, settings: "ServeSettings | None" = None):
+        self.store = store
+        self.settings = settings or ServeSettings()
+        self.cache = ServeCache(store, memory_size=self.settings.memory_size)
+        self.batcher = Batcher(
+            workers=self.settings.workers,
+            max_batch=self.settings.max_batch,
+            max_delay=self.settings.batch_delay,
+            job_timeout=self.settings.job_timeout,
+            retries=0,
+        )
+        self.draining = False
+        self.inflight = 0
+        self.requests = 0
+        self.rejected = 0
+        self._server: "asyncio.base_events.Server | None" = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+
+    # -- request plumbing ---------------------------------------------------
+
+    async def _compute(self, job: Any) -> dict[str, Any]:
+        return await self.batcher.submit(job)
+
+    async def handle_query(self, body: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Resolve one parsed request body to ``(http_status, document)``."""
+        request = protocol.request_from_json(body)
+        job = request.job()
+        key = job.key()
+        try:
+            result, source = await asyncio.wait_for(
+                self.cache.lookup(job, self._compute),
+                self.settings.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            return 504, protocol.ServeResponse(
+                op=request.op,
+                key=key,
+                status="error",
+                error=(
+                    f"request exceeded {self.settings.request_timeout:g}s; "
+                    "the job may still complete and land in the store"
+                ),
+            ).to_json()
+        except ServeError as exc:
+            return 500, protocol.ServeResponse(
+                op=request.op, key=key, status="error", error=str(exc)
+            ).to_json()
+        return 200, protocol.ServeResponse(
+            op=request.op, key=key, status="ok", source=source, result=result
+        ).to_json()
+
+    def stats_document(self) -> dict[str, Any]:
+        """The ``/statsz`` body: cache, batcher, and store counters."""
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "status": "draining" if self.draining else "ok",
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "inflight": self.inflight,
+            "cache": dict(self.cache.counters),
+            "batches": self.batcher.batches,
+            "dispatched": self.batcher.dispatched,
+            "store": {
+                "hits": self.store.cache_hits,
+                "misses": self.store.cache_misses,
+            },
+        }
+
+    async def _dispatch(
+        self, method: str, path: str, body: "dict[str, Any] | None"
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, {"status": "draining" if self.draining else "ok"}
+        if path == "/statsz":
+            if method != "GET":
+                return 405, {"error": "statsz is GET-only"}
+            return 200, self.stats_document()
+        if path == "/v1/query":
+            if method != "POST":
+                return 405, {"error": "query is POST-only"}
+            if body is None:
+                return 400, {"error": "query requires a JSON body"}
+            return await self.handle_query(body)
+        return 404, {"error": f"no route {path!r}"}
+
+    # -- HTTP/1.1 over asyncio streams --------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> "tuple[str, str, bytes] | None":
+        """Parse one request; ``None`` when the peer closed cleanly."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split(None, 2)
+        except ValueError as exc:
+            raise ServeError(f"malformed request line {line!r}") from exc
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError as exc:
+                    raise ServeError(
+                        f"bad content-length {value.strip()!r}"
+                    ) from exc
+        if length > _MAX_BODY:
+            raise ServeError(f"request body of {length} bytes exceeds "
+                             f"the {_MAX_BODY}-byte limit")
+        payload = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], payload
+
+    @staticmethod
+    def _encode_response(status: int, doc: dict[str, Any]) -> bytes:
+        # canonical JSON keeps replies byte-stable for identical requests
+        body = json.dumps(
+            doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        return head + body
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status = 500
+        doc: dict[str, Any] = {"error": "internal error"}
+        tracer = get_tracer()
+        admitted = False
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, payload = parsed
+            if self.draining:
+                status, doc = 503, {"error": "daemon is draining"}
+                self.rejected += 1
+                if tracer.enabled:
+                    tracer.event(
+                        obs_events.EV_SERVE_REJECT,
+                        reason="draining", http_status=503,
+                    )
+            elif self.inflight >= self.settings.max_inflight:
+                status, doc = 429, {
+                    "error": f"at capacity ({self.settings.max_inflight} "
+                             "requests in flight); retry with backoff"
+                }
+                self.rejected += 1
+                if tracer.enabled:
+                    tracer.event(
+                        obs_events.EV_SERVE_REJECT,
+                        reason="backpressure", http_status=429,
+                    )
+            else:
+                admitted = True
+                self.inflight += 1
+                self.requests += 1
+                self._idle.clear()
+                body: "dict[str, Any] | None" = None
+                if payload:
+                    try:
+                        decoded = json.loads(payload)
+                    except json.JSONDecodeError as exc:
+                        raise ServeError(
+                            f"request body is not valid JSON: {exc}"
+                        ) from exc
+                    if not isinstance(decoded, dict):
+                        raise ServeError("request body must be a JSON object")
+                    body = decoded
+                with tracer.span(
+                    obs_events.SPAN_SERVE_REQUEST, method=method, path=path
+                ):
+                    status, doc = await self._dispatch(method, path, body)
+        except ServeError as exc:
+            status, doc = 400, {"error": str(exc)}
+        except asyncio.IncompleteReadError:
+            return  # peer hung up mid-request; nothing to answer
+        except ReproError as exc:
+            status, doc = 500, {"error": str(exc)}
+        finally:
+            if admitted:
+                self.inflight -= 1
+                if self.inflight == 0:
+                    self._idle.set()
+            try:
+                writer.write(self._encode_response(status, doc))
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                # the peer is gone; log and keep serving everyone else
+                logger.debug("serve: peer vanished mid-reply: %s", exc)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Begin shutdown: refuse new work, let in-flight work land."""
+        if not self.draining:
+            self.draining = True
+            logger.info("serve: draining (%d in flight)", self.inflight)
+            self._stopped.set()
+
+    async def serve_forever(
+        self, on_ready: "Callable[[int], None] | None" = None
+    ) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return.
+
+        ``on_ready`` is called with the bound port once the listener is
+        accepting -- the CLI uses it to announce readiness on stdout so
+        scripted callers can wait for the line instead of polling.
+        """
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_drain)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.settings.host, self.settings.port
+        )
+        if on_ready is not None:
+            on_ready(self.port)
+        try:
+            await self._stopped.wait()
+            # listener stays open through the drain so late requests get
+            # an orderly 503 instead of a connection refusal
+            await self._idle.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            await self.batcher.stop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(signum)
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the kernel's pick)."""
+        if self._server is None or not self._server.sockets:
+            return self.settings.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start answering, without installing signal handlers.
+
+        Test harnesses use this with :meth:`stop` for in-process
+        lifecycle control; ``repro serve`` uses :meth:`serve_forever`.
+        """
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.settings.host, self.settings.port
+        )
+
+    async def stop(self) -> None:
+        """Drain in-flight work and release the listener (test harness)."""
+        self.request_drain()
+        await self._idle.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()

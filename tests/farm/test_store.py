@@ -54,7 +54,9 @@ class TestArtifactStore:
         store = ArtifactStore(tmp_path / "s")
         key = job_key({"job": 1})
         path = store.put(key, {"status": "ok"})
+        # out-of-band corruption: the read cache must be dropped first
         path.write_text("{ not json")
+        store.invalidate(key)
         assert store.get(key) is None
 
     def test_wrong_key_in_object_is_a_miss(self, tmp_path):
@@ -64,6 +66,7 @@ class TestArtifactStore:
         doc = json.loads(path.read_text())
         doc["key"] = "f" * 64
         path.write_text(json.dumps(doc))
+        store.invalidate()  # full clear: same out-of-band rewrite story
         assert store.get(key) is None
 
     def test_no_tmp_files_left_behind(self, tmp_path):
@@ -113,6 +116,64 @@ class TestArtifactStore:
         stats = ArtifactStore(tmp_path / "nothing").stats()
         assert stats["artifacts"] == 0
         assert stats["bytes"] == 0
+
+
+class TestReadCache:
+    def test_hit_is_served_without_touching_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = job_key({"job": 1})
+        path = store.put(key, {"status": "ok", "result": {"v": 7}})
+        first = store.get(key)
+        path.unlink()  # a hit after this can only come from memory
+        second = store.get(key)
+        assert second == first
+        assert store.cache_hits >= 1
+
+    def test_put_refreshes_cached_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = job_key({"job": 1})
+        store.put(key, {"status": "ok", "result": {"v": 1}})
+        assert store.get(key)["result"] == {"v": 1}
+        store.put(key, {"status": "ok", "result": {"v": 2}})
+        assert store.get(key)["result"] == {"v": 2}
+
+    def test_invalidate_exposes_external_rewrite(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = job_key({"job": 1})
+        path = store.put(key, {"status": "ok", "result": {"v": 1}})
+        assert store.get(key)["result"] == {"v": 1}
+        # another process rewrites the object under our feet
+        doc = json.loads(path.read_text())
+        doc["result"] = {"v": 99}
+        path.write_text(json.dumps(doc))
+        assert store.get(key)["result"] == {"v": 1}  # stale but cached
+        store.invalidate(key)
+        assert store.get(key)["result"] == {"v": 99}
+
+    def test_cached_document_matches_disk_byte_for_byte(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key = job_key({"job": 1})
+        path = store.put(key, {"status": "ok", "result": {"v": [1, 2]}})
+        assert store.get(key) == json.loads(path.read_text())
+
+    def test_lru_bound_is_enforced(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", cache_size=2)
+        keys = [job_key({"job": i}) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, {"status": "ok", "result": {"v": i}})
+        assert len(store._cache) == 2
+        # oldest key evicted; still readable from disk (a miss)
+        misses_before = store.cache_misses
+        assert store.get(keys[0])["result"] == {"v": 0}
+        assert store.cache_misses == misses_before + 1
+
+    def test_zero_cache_size_disables_caching(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", cache_size=0)
+        key = job_key({"job": 1})
+        path = store.put(key, {"status": "ok"})
+        assert store.get(key) is not None
+        path.unlink()
+        assert store.get(key) is None
 
 
 class TestCached:

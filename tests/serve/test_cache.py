@@ -1,0 +1,186 @@
+"""ServeCache: tier order, revalidation, and single-flight dedup."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.farm.jobs import job_for
+from repro.farm.store import ArtifactStore
+from repro.serve.cache import ServeCache
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def verify_job(n=4):
+    return job_for("verify", {"sorter": "oddeven_transposition", "n": n})
+
+
+def compute_counter(calls):
+    async def compute(job):
+        calls.append(job.key())
+        return job.execute()
+
+    return compute
+
+
+class TestTiers:
+    def test_cold_computes_then_memory_hits(self, tmp_path):
+        cache = ServeCache(ArtifactStore(tmp_path / "s"))
+        calls = []
+
+        async def main():
+            job = verify_job()
+            first = await cache.lookup(job, compute_counter(calls))
+            second = await cache.lookup(job, compute_counter(calls))
+            return first, second
+
+        (r1, s1), (r2, s2) = run(main())
+        assert (s1, s2) == ("computed", "memory")
+        assert r1 == r2
+        assert len(calls) == 1
+        assert cache.counters["computed"] == 1
+        assert cache.counters["memory"] == 1
+
+    def test_store_tier_revalidates_and_promotes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        job = verify_job()
+        # a previous process computed and stored the artifact
+        store.put(
+            job.key(),
+            {"job": job.to_json(), "status": "ok", "result": job.execute()},
+        )
+        cache = ServeCache(store)
+        calls = []
+
+        async def main():
+            first = await cache.lookup(job, compute_counter(calls))
+            second = await cache.lookup(job, compute_counter(calls))
+            return first, second
+
+        (_, s1), (_, s2) = run(main())
+        assert (s1, s2) == ("store", "memory")
+        assert calls == []  # never computed
+
+    def test_invalid_stored_result_is_recomputed(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        job = verify_job()
+        good = job.execute()
+        # store a forged witness: revalidation must reject it
+        forged = dict(good, is_sorter=False, witness=[0, 1, 0, 1])
+        store.put(
+            job.key(),
+            {"job": job.to_json(), "status": "ok", "result": forged},
+        )
+        cache = ServeCache(store)
+        calls = []
+
+        async def main():
+            return await cache.lookup(job, compute_counter(calls))
+
+        result, source = run(main())
+        assert source == "computed"
+        assert result == good
+        assert cache.counters["revalidation_miss"] == 1
+        assert len(calls) == 1
+
+    def test_computed_result_is_persisted(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        cache = ServeCache(store)
+        job = verify_job()
+
+        async def main():
+            return await cache.lookup(job, compute_counter([]))
+
+        result, _ = run(main())
+        doc = store.get(job.key())
+        assert doc["status"] == "ok"
+        assert doc["result"] == result
+
+    def test_memory_lru_is_bounded(self, tmp_path):
+        cache = ServeCache(ArtifactStore(tmp_path / "s"), memory_size=2)
+
+        async def main():
+            for n in (4, 6, 8):
+                await cache.lookup(verify_job(n), compute_counter([]))
+
+        run(main())
+        assert len(cache._memory) == 2
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_once(self, tmp_path):
+        cache = ServeCache(ArtifactStore(tmp_path / "s"))
+        calls = []
+
+        async def main():
+            job = verify_job()
+            gate = asyncio.Event()
+
+            async def slow_compute(j):
+                calls.append(j.key())
+                await gate.wait()
+                return j.execute()
+
+            tasks = [
+                asyncio.ensure_future(cache.lookup(job, slow_compute))
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0)  # let every task reach the cache
+            gate.set()
+            return await asyncio.gather(*tasks)
+
+        results = run(main())
+        assert len(calls) == 1
+        sources = sorted(source for _, source in results)
+        assert sources.count("computed") == 1
+        assert sources.count("joined") == 7
+        docs = [result for result, _ in results]
+        assert all(doc == docs[0] for doc in docs)
+
+    def test_join_failure_propagates_to_all_waiters(self, tmp_path):
+        cache = ServeCache(ArtifactStore(tmp_path / "s"))
+
+        async def main():
+            job = verify_job()
+            gate = asyncio.Event()
+
+            async def failing_compute(j):
+                await gate.wait()
+                raise ServeError("pool exploded")
+
+            tasks = [
+                asyncio.ensure_future(cache.lookup(job, failing_compute))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            gate.set()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        outcomes = run(main())
+        assert len(outcomes) == 3
+        assert all(isinstance(o, ServeError) for o in outcomes)
+
+    def test_flight_is_cleared_after_failure(self, tmp_path):
+        cache = ServeCache(ArtifactStore(tmp_path / "s"))
+        calls = []
+
+        async def main():
+            job = verify_job()
+
+            async def fail_once(j):
+                calls.append(j.key())
+                if len(calls) == 1:
+                    raise ServeError("transient")
+                return j.execute()
+
+            with pytest.raises(ServeError):
+                await cache.lookup(job, fail_once)
+            return await cache.lookup(job, fail_once)
+
+        result, source = run(main())
+        assert source == "computed"
+        assert len(calls) == 2
+        assert result["is_sorter"] is True

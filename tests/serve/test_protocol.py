@@ -1,0 +1,179 @@
+"""Protocol roundtrips: golden documents plus Hypothesis properties."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SERVE_OPS,
+    SOURCES,
+    ServeRequest,
+    ServeResponse,
+    request_from_json,
+    response_from_json,
+    verdict_document,
+)
+
+# Golden wire documents: these exact shapes are what a v1 peer emits.
+# Changing them is a protocol break and must bump PROTOCOL_VERSION.
+GOLDEN_REQUEST = {
+    "protocol": 1,
+    "op": "verify",
+    "params": {"sorter": "bitonic", "n": 8},
+}
+
+GOLDEN_RESPONSE = {
+    "protocol": 1,
+    "op": "verify",
+    "key": "ab" * 32,
+    "status": "ok",
+    "source": "store",
+    "result": {
+        "protocol": 1,
+        "sorter": "bitonic",
+        "n": 8,
+        "depth": 6,
+        "size": 24,
+        "is_sorter": True,
+        "witness": None,
+    },
+}
+
+
+class TestGolden:
+    def test_request_roundtrip(self):
+        request = request_from_json(GOLDEN_REQUEST)
+        assert request == ServeRequest(
+            op="verify", params={"sorter": "bitonic", "n": 8}
+        )
+        assert request.to_json() == GOLDEN_REQUEST
+
+    def test_response_roundtrip(self):
+        response = response_from_json(GOLDEN_RESPONSE)
+        assert response.ok
+        assert response.cached
+        assert response.to_json() == GOLDEN_RESPONSE
+
+    def test_golden_documents_survive_json_serialisation(self):
+        for doc in (GOLDEN_REQUEST, GOLDEN_RESPONSE):
+            assert json.loads(json.dumps(doc)) == doc
+
+    def test_verdict_document_shape(self):
+        doc = verdict_document(
+            sorter="bitonic", n=8, depth=6, size=24, witness=None
+        )
+        assert doc == GOLDEN_RESPONSE["result"]
+
+    def test_verdict_document_with_witness(self):
+        doc = verdict_document(n=4, depth=1, size=1, witness=[1, 0, 0, 0])
+        assert doc["is_sorter"] is False
+        assert doc["witness"] == [1, 0, 0, 0]
+        assert doc["sorter"] is None
+
+
+class TestValidation:
+    def test_wrong_protocol_version_rejected(self):
+        bad = dict(GOLDEN_REQUEST, protocol=PROTOCOL_VERSION + 1)
+        with pytest.raises(ServeError, match="protocol version"):
+            request_from_json(bad)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            request_from_json([1, 2])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ServeError, match="op"):
+            request_from_json(dict(GOLDEN_REQUEST, op="explode"))
+
+    def test_non_dict_params_rejected(self):
+        with pytest.raises(ServeError, match="params"):
+            request_from_json(dict(GOLDEN_REQUEST, params=[1]))
+
+    def test_missing_params_default_to_empty(self):
+        doc = {"protocol": PROTOCOL_VERSION, "op": "verify"}
+        assert request_from_json(doc).params == {}
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ServeError, match="source"):
+            response_from_json(dict(GOLDEN_RESPONSE, source="cloud"))
+
+    def test_ok_without_result_rejected(self):
+        bad = dict(GOLDEN_RESPONSE, result=None)
+        with pytest.raises(ServeError, match="result"):
+            response_from_json(bad)
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(ServeError, match="status"):
+            response_from_json(dict(GOLDEN_RESPONSE, status="maybe"))
+
+    def test_request_job_rejects_unknown_op(self):
+        with pytest.raises(ServeError, match="unknown operation"):
+            ServeRequest(op="explode", params={}).job()
+
+    def test_request_job_wraps_bad_params(self):
+        with pytest.raises(ServeError):
+            ServeRequest(op="verify", params={"bogus": 1}).job()
+
+    def test_request_job_builds_farm_job(self):
+        job = request_from_json(GOLDEN_REQUEST).job()
+        assert job.kind == "verify"
+        assert job.key() == ServeRequest(
+            op="verify", params={"n": 8, "sorter": "bitonic"}
+        ).job().key()
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+
+params_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(json_scalars, st.lists(json_scalars, max_size=4)),
+    max_size=6,
+)
+
+
+class TestProperties:
+    @given(op=st.sampled_from(SERVE_OPS), params=params_dicts)
+    def test_request_roundtrip_is_identity(self, op, params):
+        request = ServeRequest(op=op, params=params)
+        assert request_from_json(
+            json.loads(json.dumps(request.to_json()))
+        ) == request
+
+    @given(
+        op=st.sampled_from(SERVE_OPS),
+        key=st.text("0123456789abcdef", min_size=64, max_size=64),
+        source=st.sampled_from(SOURCES),
+        result=params_dicts,
+    )
+    def test_ok_response_roundtrip_is_identity(self, op, key, source, result):
+        response = ServeResponse(
+            op=op, key=key, status="ok", source=source, result=result
+        )
+        parsed = response_from_json(
+            json.loads(json.dumps(response.to_json()))
+        )
+        assert parsed == response
+
+    @given(
+        op=st.sampled_from(SERVE_OPS),
+        error=st.text(min_size=1, max_size=40),
+    )
+    def test_error_response_roundtrip_is_identity(self, op, error):
+        response = ServeResponse(
+            op=op, key="", status="error", error=error
+        )
+        parsed = response_from_json(response.to_json())
+        assert parsed == response
+        assert not parsed.ok
+        assert not parsed.cached
