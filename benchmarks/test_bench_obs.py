@@ -1,12 +1,16 @@
-"""Observability overhead: tracing must be free when disabled.
+"""Observability overhead: tracing and metrics must be free when disabled.
 
 The instrumentation ships enabled-by-default code paths (``get_tracer()``
-plus a no-op span/event call per site), so the gate bounds what those
+plus a no-op span/event call per site, and now ``get_registry()`` with a
+no-op ``inc``/``observe`` per site), so the gate bounds what those
 no-ops cost relative to the real work: per-record no-op cost times the
 number of records an enabled run would emit must stay under 3% of the
-disabled attack runtime on bitonic n=64.  Enabled-tracing overhead is
-recorded informationally (a MemorySink run against the same baseline)
-and both ratios are archived to ``benchmarks/results/obs-overhead.json``.
+disabled attack runtime on bitonic n=64.  The same budget covers the
+metrics registry both disabled and *enabled-but-idle* (counting into
+dicts with nobody sampling -- the serve daemon's steady state).
+Enabled-tracing overhead is recorded informationally (a MemorySink run
+against the same baseline) and all ratios are archived to
+``benchmarks/results/obs-overhead.json``.
 """
 
 import json
@@ -16,7 +20,15 @@ import numpy as np
 
 from repro.core.fooling import prove_not_sorting
 from repro.networks.builders import bitonic_iterated_rdn
-from repro.obs import NULL_TRACER, MemorySink, Tracer, use_tracer
+from repro.obs import (
+    NULL_REGISTRY,
+    MemorySink,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    use_registry,
+    use_tracer,
+)
 
 #: Disabled instrumentation may cost at most this fraction of the work.
 OVERHEAD_BUDGET = 0.03
@@ -42,6 +54,17 @@ def _noop_cost_per_record() -> float:
     return elapsed / (2 * _NOOP_ITERATIONS)
 
 
+def _registry_cost_per_update(registry: MetricsRegistry) -> float:
+    """Seconds per counter-increment-equivalent against ``registry``."""
+
+    def one_site():
+        registry.inc("bench.counter")
+        registry.observe("bench.seconds", 0.001, bounds=(0.001, 0.01, 0.1))
+
+    elapsed = timeit.timeit(one_site, number=_NOOP_ITERATIONS)
+    return elapsed / (2 * _NOOP_ITERATIONS)
+
+
 def test_bench_obs_overhead(benchmark, results_dir, capsys):
     sink = MemorySink()
     with use_tracer(Tracer(sink)):
@@ -52,7 +75,13 @@ def test_bench_obs_overhead(benchmark, results_dir, capsys):
 
     baseline = benchmark(run_attack)
     assert baseline.proved_not_sorting
-    baseline_s = benchmark.stats.stats.mean
+    # under --benchmark-disable (the PR smoke mode) benchmark.stats is
+    # None, but the overhead ratios must still gate
+    baseline_s = (
+        benchmark.stats.stats.mean
+        if benchmark.stats
+        else min(timeit.repeat(run_attack, number=1, repeat=3))
+    )
 
     disabled_ratio = _noop_cost_per_record() * n_records / baseline_s
 
@@ -63,12 +92,36 @@ def test_bench_obs_overhead(benchmark, results_dir, capsys):
     enabled_s = min(timeit.repeat(enabled_run, number=1, repeat=3))
     enabled_ratio = enabled_s / baseline_s - 1.0
 
+    # how many registry updates one attack performs when metrics are on
+    live = MetricsRegistry()
+    with use_registry(live):
+        run_attack()
+    snap = live.snapshot()
+    n_updates = max(
+        1,
+        int(
+            sum(s["value"] for s in snap["counters"].values())
+            + sum(h["count"] for h in snap["histograms"].values())
+        ),
+    )
+    registry_disabled_ratio = (
+        _registry_cost_per_update(NULL_REGISTRY) * n_updates / baseline_s
+    )
+    # enabled-but-idle: counting into dicts with nobody sampling, the
+    # daemon's steady state when /metricsz has no callers
+    registry_idle_ratio = (
+        _registry_cost_per_update(MetricsRegistry()) * n_updates / baseline_s
+    )
+
     doc = {
         "workload": "prove_not_sorting(bitonic_iterated_rdn(64))",
         "records_per_run": n_records,
+        "registry_updates_per_run": n_updates,
         "baseline_mean_s": baseline_s,
         "disabled_overhead_ratio": disabled_ratio,
         "enabled_overhead_ratio": enabled_ratio,
+        "registry_disabled_overhead_ratio": registry_disabled_ratio,
+        "registry_idle_overhead_ratio": registry_idle_ratio,
         "budget": OVERHEAD_BUDGET,
     }
     (results_dir / "obs-overhead.json").write_text(
@@ -80,10 +133,21 @@ def test_bench_obs_overhead(benchmark, results_dir, capsys):
             f"obs overhead: disabled {disabled_ratio:.4%} "
             f"(budget {OVERHEAD_BUDGET:.0%}), "
             f"enabled {enabled_ratio:+.2%}, "
-            f"{n_records} records/run"
+            f"{n_records} records/run; "
+            f"registry disabled {registry_disabled_ratio:.4%}, "
+            f"idle {registry_idle_ratio:.4%}, "
+            f"{n_updates} updates/run"
         )
 
     assert disabled_ratio < OVERHEAD_BUDGET, (
         f"disabled-tracing overhead {disabled_ratio:.4%} exceeds "
         f"{OVERHEAD_BUDGET:.0%} of attack runtime"
+    )
+    assert registry_disabled_ratio < OVERHEAD_BUDGET, (
+        f"disabled-registry overhead {registry_disabled_ratio:.4%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} of attack runtime"
+    )
+    assert registry_idle_ratio < OVERHEAD_BUDGET, (
+        f"enabled-but-idle registry overhead {registry_idle_ratio:.4%} "
+        f"exceeds {OVERHEAD_BUDGET:.0%} of attack runtime"
     )

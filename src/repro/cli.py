@@ -41,7 +41,13 @@ Installed as ``python -m repro`` (see ``__main__.py``).  Subcommands:
     Send one request to a running daemon and print the response.
 ``loadgen``
     Drive a running daemon with closed-loop concurrent load and report
-    p50/p99 latency and certificates/sec.
+    p50/p99 latency and certificates/sec (``--json [PATH]`` for the
+    machine-readable report).
+``top``
+    Live dashboard: poll a running daemon's ``/statsz`` + ``/metricsz``
+    (req/s, cache tier hit ratios, p50/p99 from histogram buckets) or a
+    farm store's heartbeats (``--store``), refreshing every
+    ``--interval`` seconds.
 ``stats``
     Analyse a trace JSONL file written by ``--trace``: span tree,
     slowest spans, timer percentiles, the adversary's per-block
@@ -51,7 +57,10 @@ Global flags: ``-v``/``-q`` adjust log verbosity (also via the
 ``REPRO_LOG`` environment variable); ``attack``/``experiment`` take
 ``--trace PATH`` to record a structured trace, ``farm run`` takes
 ``--trace [PATH]``, and ``attack --profile`` prints CPU/memory hotspots
-(also via ``REPRO_PROFILE=1``).
+(also via ``REPRO_PROFILE=1``).  Every subcommand additionally runs
+under a crash flight recorder (``SIGUSR2`` dumps the recent-record
+ring, as does the unhandled-error backstop; opt out with
+``REPRO_FLIGHT=0``, point dumps somewhere with ``REPRO_FLIGHT_DIR``).
 
 The CLI is deliberately thin: every command is one or two calls into the
 library, so it doubles as living documentation of the public API.
@@ -82,6 +91,9 @@ from .networks.draw import render_network, render_stage_summary, to_dot
 from .networks.permutations import Permutation
 from .obs import (
     configure_logging,
+    flight_enabled,
+    flight_recording,
+    get_flight,
     profile_section,
     profiling_enabled,
     read_trace,
@@ -279,6 +291,12 @@ def cmd_serve(args) -> int:
     asyncio.run(server.serve_forever(on_ready=announce))
     print(f"drained; served {server.requests} requests "
           f"({server.rejected} rejected)")
+    recorder = get_flight()
+    if recorder is not None:
+        # every smoke run leaves a postmortem artifact for CI to upload
+        dump = recorder.dump("serve-drain")
+        if dump is not None:
+            print(f"flight recording: {dump}")
     return 0
 
 
@@ -309,9 +327,13 @@ def cmd_loadgen(args) -> int:
         requests_per_client=args.requests,
         mix=default_mix(args.unique),
     )
-    if args.json:
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    doc = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    if args.json == "-":
+        print(doc)
     else:
+        if args.json:
+            Path(args.json).write_text(doc + "\n")
+            logger.info("load report written to %s", args.json)
         print(report.format())
     return 1 if report.errors else 0
 
@@ -439,14 +461,33 @@ def cmd_farm_run(args) -> int:
 
 
 def cmd_farm_status(args) -> int:
-    from .farm import ArtifactStore, status_table
+    from .farm import ArtifactStore, live_status_table, read_heartbeats, status_table
 
     store = ArtifactStore(args.store)
+    if args.live:
+        if args.json:
+            print(json.dumps(read_heartbeats(store.root), indent=2,
+                             sort_keys=True))
+        else:
+            print(live_status_table(store).format())
+        return 0
     if args.json:
         print(json.dumps(store.stats(), indent=2))
     else:
         print(status_table(store).format())
     return 0
+
+
+def cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        interval=args.interval,
+        iterations=args.iterations,
+    )
 
 
 def cmd_stats(args) -> int:
@@ -835,9 +876,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per client")
     p.add_argument("--unique", type=int, default=8,
                    help="distinct queries in the round-robin mix")
-    p.add_argument("--json", action="store_true",
-                   help="emit the load report as JSON")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit the load report as JSON: bare --json prints "
+                        "to stdout, --json PATH writes the file and still "
+                        "prints the human table")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser("top", help="live dashboard over a running daemon "
+                                   "or a campaign's heartbeats")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="watch a farm store's heartbeats instead of a "
+                        "serve daemon")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N frames (0 = run until Ctrl-C); "
+                        "--iterations 1 prints a single frame for scripts")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("route", help="route a permutation")
     p.add_argument("permutation", help="comma-separated targets, e.g. 3,1,0,2")
@@ -972,6 +1030,10 @@ def build_parser() -> argparse.ArgumentParser:
     fp.set_defaults(func=cmd_farm_run)
 
     fp = farm_sub.add_parser("status", help="inventory an artifact store")
+    fp.add_argument("--live", action="store_true",
+                    help="show live campaign heartbeats (per-worker "
+                         "liveness, queue depth, throughput) instead of "
+                         "the store inventory")
     fp.add_argument("--store", metavar="DIR", default="farm-store")
     fp.add_argument("--json", action="store_true")
     fp.set_defaults(func=cmd_farm_status)
@@ -1011,6 +1073,12 @@ def _run_command(argv: list[str] | None) -> int:
     with contextlib.ExitStack() as stack:
         if trace_target:
             stack.enter_context(tracing(trace_target))
+        # The flight recorder attaches after tracing so an explicit
+        # --trace sink gets teed rather than replaced.
+        recorder = (
+            stack.enter_context(flight_recording())
+            if flight_enabled() else None
+        )
         if hasattr(args, "profile") and profiling_enabled(args.profile):
             profile_handle = stack.enter_context(
                 profile_section(args.command, enabled=True)
@@ -1021,6 +1089,10 @@ def _run_command(argv: list[str] | None) -> int:
             # Backstop for library errors no subcommand mapped itself:
             # a diagnostic line and exit 2, never a stack trace.
             logger.error("error[%s]: %s", args.command, exc)
+            if recorder is not None:
+                dump = recorder.dump(f"error:{args.command}")
+                if dump is not None:
+                    logger.error("flight recording dumped to %s", dump)
             code = 2
     if trace_target:
         logger.info("trace written to %s", trace_target)

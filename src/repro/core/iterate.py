@@ -36,6 +36,7 @@ import numpy as np
 from ..errors import PatternError
 from ..networks.delta import IteratedReverseDeltaNetwork
 from ..obs import events as obs_events
+from ..obs.registry import get_registry
 from ..obs.trace import get_tracer
 from .adversary import run_lemma41
 from .alphabet import M, Symbol, rename_against_pivot
@@ -255,6 +256,7 @@ def run_adversary(
                     run.blocks_processed = bi + 1
                     run.aborted_early = bi + 1 < len(network.blocks)
                     run.final_cut = cut
+                    get_registry().inc("core.blocks_refined")
                     tracer.event(
                         obs_events.EV_SETS,
                         block=bi,
@@ -313,6 +315,7 @@ def run_adversary(
                 run.special_set = pattern.m_set(0)
                 run.blocks_processed = bi + 1
                 run.final_cut = cut
+                get_registry().inc("core.blocks_refined")
                 if tracer.enabled:
                     tracer.event(
                         obs_events.EV_SETS,

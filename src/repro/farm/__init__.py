@@ -30,6 +30,12 @@ resume semantics and worker tuning.
 """
 
 from .campaign import CampaignResult, CampaignSpec, expand_grid, run_campaign
+from .heartbeat import (
+    HEARTBEAT_FORMAT,
+    HeartbeatWriter,
+    heartbeat_age,
+    read_heartbeats,
+)
 from .jobs import (
     JOB_TYPES,
     AttackJob,
@@ -41,7 +47,12 @@ from .jobs import (
     job_for,
     job_from_json,
 )
-from .report import campaign_table, format_summary, status_table
+from .report import (
+    campaign_table,
+    format_summary,
+    live_status_table,
+    status_table,
+)
 from .runner import JobOutcome, RunReport, run_jobs
 from .store import ArtifactStore, cached, canonical_json, job_key
 
@@ -69,4 +80,9 @@ __all__ = [
     "campaign_table",
     "format_summary",
     "status_table",
+    "live_status_table",
+    "HEARTBEAT_FORMAT",
+    "HeartbeatWriter",
+    "heartbeat_age",
+    "read_heartbeats",
 ]

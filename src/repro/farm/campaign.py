@@ -34,6 +34,7 @@ from .._util import json_native
 from ..errors import FarmError, ReproError
 from ..obs import events as obs_events
 from ..obs.trace import get_tracer
+from .heartbeat import HeartbeatWriter
 from .jobs import JOB_TYPES, Job, job_for
 from .runner import JobOutcome, RunReport, run_jobs
 from .store import ArtifactStore
@@ -309,6 +310,11 @@ def run_campaign(
                 retries=retries if retries is not None else spec.retries,
                 backoff=spec.backoff,
                 on_result=persist,
+                # live liveness files under <store>/heartbeats/ for
+                # `farm status --live` and `repro top --store`
+                heartbeat=(
+                    HeartbeatWriter(store.root) if store is not None else None
+                ),
             )
             result.interrupted = report.interrupted
         span.set(

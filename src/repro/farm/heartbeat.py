@@ -1,0 +1,203 @@
+"""Atomic per-worker heartbeat files: live farm telemetry on disk.
+
+A multi-hour campaign is opaque from outside: the trace file is flushed
+in snapshots and the store only shows *finished* work.  Heartbeats fix
+that with the cheapest possible channel -- small JSON files, rewritten
+atomically about once a second under ``<store>/heartbeats/``::
+
+    <store>/heartbeats/
+      runner.json       queue depth, in-flight, done/failed, throughput
+      worker-<i>.json   pid, busy, current job label, jobs done
+
+Readers (``repro farm status --live``, ``repro top``) just parse the
+files; a reader racing a rewrite sees the previous complete document
+(temp file + ``os.replace``, the store's own discipline), and staleness
+is measured by comparing the embedded ``ts`` to the reader's clock.
+
+The *parent* writes every file, including the per-worker ones: it owns
+the dispatch state, and the store directory keeps its single-writer
+guarantee.  Workers stay oblivious.  Rewrites are rate-limited inside
+:class:`HeartbeatWriter`, so the runner can call :meth:`HeartbeatWriter.
+tick` every loop iteration without thinking about cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import FarmError
+
+__all__ = [
+    "HEARTBEAT_FORMAT",
+    "HEARTBEAT_INTERVAL",
+    "HEARTBEAT_DIR",
+    "HeartbeatWriter",
+    "read_heartbeats",
+    "heartbeat_age",
+]
+
+#: Bump on any backwards-incompatible change to heartbeat documents.
+HEARTBEAT_FORMAT = 1
+
+#: Default seconds between rewrites of any one heartbeat file.
+HEARTBEAT_INTERVAL = 1.0
+
+#: Subdirectory of the campaign store holding heartbeat files.
+HEARTBEAT_DIR = "heartbeats"
+
+
+def _write_atomic(path: Path, doc: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class HeartbeatWriter:
+    """Owns the heartbeat directory of one campaign run.
+
+    ``interval`` rate-limits rewrites per file; ``force=True`` (used for
+    the first and final beats) bypasses it so a finished run always
+    leaves an accurate last word.
+    """
+
+    def __init__(
+        self, root: "str | Path", *, interval: float = HEARTBEAT_INTERVAL
+    ):
+        self.directory = Path(root) / HEARTBEAT_DIR
+        self.interval = max(0.0, float(interval))
+        self._last: dict[str, float] = {}
+        self._started = time.monotonic()
+
+    def _due(self, name: str, force: bool) -> bool:
+        now = time.monotonic()
+        if not force and now - self._last.get(name, -1e9) < self.interval:
+            return False
+        self._last[name] = now
+        return True
+
+    def beat_runner(
+        self,
+        *,
+        queue_depth: int,
+        inflight: int,
+        done: int,
+        failed: int,
+        total: int,
+        workers: int,
+        force: bool = False,
+    ) -> None:
+        """Rewrite ``runner.json`` (rate-limited unless ``force``)."""
+        if not self._due("runner", force):
+            return
+        elapsed = time.monotonic() - self._started
+        _write_atomic(
+            self.directory / "runner.json",
+            {
+                "heartbeat": HEARTBEAT_FORMAT,
+                "role": "runner",
+                "ts": time.time(),
+                "pid": os.getpid(),
+                "queue_depth": int(queue_depth),
+                "inflight": int(inflight),
+                "done": int(done),
+                "failed": int(failed),
+                "total": int(total),
+                "workers": int(workers),
+                "elapsed": elapsed,
+                "throughput": (done / elapsed) if elapsed > 0 else 0.0,
+            },
+        )
+
+    def beat_worker(
+        self,
+        index: int,
+        *,
+        pid: "int | None",
+        busy: bool,
+        job: "str | None",
+        job_elapsed: float,
+        jobs_done: int,
+        force: bool = False,
+    ) -> None:
+        """Rewrite ``worker-<index>.json`` (rate-limited unless ``force``)."""
+        name = f"worker-{index}"
+        if not self._due(name, force):
+            return
+        _write_atomic(
+            self.directory / f"{name}.json",
+            {
+                "heartbeat": HEARTBEAT_FORMAT,
+                "role": "worker",
+                "index": int(index),
+                "ts": time.time(),
+                "pid": pid,
+                "busy": bool(busy),
+                "job": job,
+                "job_elapsed": max(0.0, float(job_elapsed)),
+                "jobs_done": int(jobs_done),
+            },
+        )
+
+
+def _load(path: Path) -> "dict[str, Any] | None":
+    """Parse one heartbeat file; ``None`` for missing/torn/foreign docs."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("heartbeat") != HEARTBEAT_FORMAT:
+        return None
+    return doc
+
+
+def read_heartbeats(root: "str | Path") -> dict[str, Any]:
+    """Load every heartbeat under a campaign store.
+
+    Returns ``{"runner": doc | None, "workers": [docs sorted by index]}``.
+    Raises :class:`~repro.errors.FarmError` when the store root itself
+    does not exist (a missing *heartbeat directory* is not an error --
+    the campaign simply has not started, and both lists come back
+    empty).
+    """
+    base = Path(root)
+    if not base.exists():
+        raise FarmError(f"no store at {base}")
+    directory = base / HEARTBEAT_DIR
+    if not directory.is_dir():
+        return {"runner": None, "workers": []}
+    runner = _load(directory / "runner.json")
+    workers = []
+    for path in sorted(directory.glob("worker-*.json")):
+        doc = _load(path)
+        if doc is not None:
+            workers.append(doc)  # sanitize: ok[perf] - a handful of files
+    workers.sort(key=lambda d: d.get("index", 0))
+    return {"runner": runner, "workers": workers}
+
+
+def heartbeat_age(
+    doc: "dict[str, Any] | None", *, now: "float | None" = None
+) -> "float | None":
+    """Seconds since the heartbeat was written; ``None`` when absent."""
+    if doc is None:
+        return None
+    ts = doc.get("ts")
+    if not isinstance(ts, (int, float)):
+        return None
+    return max(0.0, (time.time() if now is None else now) - ts)

@@ -13,9 +13,15 @@ from typing import Any
 from ..experiments.harness import Table
 from ..obs.report import timing_aggregates
 from .campaign import CampaignResult
+from .heartbeat import heartbeat_age, read_heartbeats
 from .store import ArtifactStore
 
-__all__ = ["campaign_table", "format_summary", "status_table"]
+__all__ = [
+    "campaign_table",
+    "format_summary",
+    "status_table",
+    "live_status_table",
+]
 
 
 def _detail(outcome) -> str:
@@ -139,4 +145,56 @@ def status_table(store: ArtifactStore) -> Table:
             f"{stats['unindexed']} objects missing from the index "
             "(interrupted writes; they remain addressable)"
         )
+    return table
+
+
+def live_status_table(store: ArtifactStore) -> Table:
+    """Per-worker liveness for ``farm status --live``.
+
+    Renders the heartbeat files a running (or recently finished)
+    campaign maintains under ``<store>/heartbeats/`` -- one row per
+    worker plus a runner summary note.  A store with no heartbeats
+    yields an empty table noting that no campaign has run.
+    """
+    # the store creates its directory lazily; an untouched store is
+    # "no campaign yet", not the missing-path error read_heartbeats
+    # reserves for mistyped --store arguments
+    if store.root.exists():
+        beats = read_heartbeats(store.root)
+    else:
+        beats = {"runner": None, "workers": []}
+    table = Table(
+        experiment="farm-live",
+        title=f"live heartbeats under {store.root}",
+        claim="per-worker liveness without touching trace files",
+        columns=["worker", "pid", "state", "job", "busy_s", "done", "age_s"],
+    )
+    for doc in beats["workers"]:
+        age = heartbeat_age(doc)
+        table.add_row(
+            worker=doc.get("index"),
+            pid=doc.get("pid"),
+            state="busy" if doc.get("busy") else "idle",
+            job=doc.get("job") or "-",
+            busy_s=round(doc.get("job_elapsed", 0.0), 1),
+            done=doc.get("jobs_done", 0),
+            age_s=round(age, 1) if age is not None else "-",
+        )
+    runner = beats["runner"]
+    if runner is None:
+        table.notes.append(
+            "no runner heartbeat: no campaign has run against this store"
+        )
+        return table
+    age = heartbeat_age(runner)
+    age_text = f"{age:.1f}s ago" if age is not None else "age unknown"
+    table.notes.append(
+        f"runner pid {runner.get('pid')}: "
+        f"{runner.get('done', 0)}/{runner.get('total', 0)} done "
+        f"({runner.get('failed', 0)} failed), "
+        f"queue depth {runner.get('queue_depth', 0)}, "
+        f"{runner.get('inflight', 0)} in flight, "
+        f"{runner.get('throughput', 0.0):.2f} jobs/s, "
+        f"heartbeat {age_text}"
+    )
     return table

@@ -27,6 +27,7 @@ from two processes at once.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import multiprocessing as mp
 import signal
@@ -38,9 +39,16 @@ from typing import Any, Callable
 
 from ..errors import FarmError
 from ..obs import events as obs_events
+from ..obs.registry import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
 from ..obs.report import timing_aggregates
 from ..obs.sinks import MemorySink
 from ..obs.trace import Tracer, get_tracer, reset_context, set_tracer, use_tracer
+from .heartbeat import HeartbeatWriter
 from .jobs import Job, job_from_json
 
 __all__ = ["JobOutcome", "RunReport", "run_jobs"]
@@ -104,15 +112,22 @@ class RunReport:
 def _worker_main(conn: Connection) -> None:
     """Worker loop: receive a job envelope, execute, send the outcome.
 
-    The envelope is ``{"job": <job doc>, "trace": <child context | None>}``.
-    When a trace context rides along, the job body runs under a child
-    tracer writing to memory, and the collected records travel back in
-    the result document for the parent to merge (see
-    :meth:`repro.obs.trace.Tracer.adopt`).
+    The envelope is ``{"job": <job doc>, "trace": <child context | None>,
+    "metrics": <bool>}``.  When a trace context rides along, the job
+    body runs under a child tracer writing to memory, and the collected
+    records travel back in the result document for the parent to merge
+    (see :meth:`repro.obs.trace.Tracer.adopt`).  When ``metrics`` is
+    true the body also runs under a fresh per-job
+    :class:`~repro.obs.registry.MetricsRegistry` segment, whose snapshot
+    ships back as ``out["metrics"]`` for the parent to
+    :meth:`~repro.obs.registry.MetricsRegistry.merge` -- the registry's
+    adoption flow.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    # a forked child must never inherit the parent's tracer or open span
+    # a forked child must never inherit the parent's tracer, open span,
+    # or metrics registry
     set_tracer(None)
+    set_registry(None)
     reset_context()
     while True:
         try:
@@ -125,17 +140,20 @@ def _worker_main(conn: Connection) -> None:
         start = time.perf_counter()
         cpu0 = time.process_time()
         records: list[dict[str, Any]] | None = None
+        segment = MetricsRegistry() if msg.get("metrics") else None
         try:
             job = job_from_json(msg["job"])
-            if ctx is not None:
-                sink = MemorySink()
-                child = Tracer.from_context(ctx, sink)
-                records = sink.records
-                with use_tracer(child), child.span(
-                    obs_events.SPAN_FARM_EXECUTE, kind=job.kind
-                ):
-                    result = job.execute()
-            else:
+            with contextlib.ExitStack() as stack:
+                if segment is not None:
+                    stack.enter_context(use_registry(segment))
+                if ctx is not None:
+                    sink = MemorySink()
+                    child = Tracer.from_context(ctx, sink)
+                    records = sink.records
+                    stack.enter_context(use_tracer(child))
+                    stack.enter_context(
+                        child.span(obs_events.SPAN_FARM_EXECUTE, kind=job.kind)
+                    )
                 result = job.execute()
             out: dict[str, Any] = {"status": "ok", "result": result}
         except Exception as exc:
@@ -148,6 +166,8 @@ def _worker_main(conn: Connection) -> None:
         out["cpu"] = time.process_time() - cpu0
         if records:
             out["trace"] = records
+        if segment is not None:
+            out["metrics"] = segment.snapshot()
         try:
             conn.send(out)
         except (BrokenPipeError, OSError):
@@ -167,13 +187,24 @@ class _Worker:
         child.close()
         self.item: "_Pending | None" = None
         self.started = 0.0
+        self.jobs_done = 0
 
     @property
     def busy(self) -> bool:
         return self.item is not None
 
-    def dispatch(self, item: "_Pending", trace_ctx: "dict | None") -> None:
-        self.conn.send({"job": item.job.to_json(), "trace": trace_ctx})
+    def dispatch(
+        self,
+        item: "_Pending",
+        trace_ctx: "dict | None",
+        *,
+        metrics: bool = False,
+    ) -> None:
+        self.conn.send({
+            "job": item.job.to_json(),
+            "trace": trace_ctx,
+            "metrics": metrics,
+        })
         self.item = item
         self.started = time.monotonic()
 
@@ -225,6 +256,7 @@ def run_jobs(
     retries: int = 0,
     backoff: float = 0.5,
     on_result: Callable[[JobOutcome], None] | None = None,
+    heartbeat: "HeartbeatWriter | None" = None,
 ) -> RunReport:
     """Execute ``jobs`` on a pool of ``workers`` processes.
 
@@ -232,6 +264,9 @@ def run_jobs(
     disables it).  ``on_result`` is invoked in the parent for every final
     outcome, in completion order, *before* the run returns -- campaigns
     use it to persist results as they land so an interrupt loses nothing.
+    ``heartbeat`` (a :class:`~repro.farm.heartbeat.HeartbeatWriter`)
+    publishes runner/worker liveness files while the pool runs; the
+    writer rate-limits itself, so the runner beats every loop pass.
     """
     if workers < 1:
         raise FarmError(f"workers must be >= 1, got {workers}")
@@ -239,17 +274,50 @@ def run_jobs(
         raise FarmError(f"retries must be >= 0, got {retries}")
     report = RunReport()
     tracer = get_tracer()
+    registry = get_registry()
     start_wall = time.perf_counter()
     now0 = time.monotonic()
     pending = [_Pending(job=j, key=j.key(), queued_at=now0) for j in jobs]
     queue: list[_Pending] = list(pending)
     ctx = _mp_context()
     pool: list[_Worker] = []
+    failed = 0
 
     def finish(outcome: JobOutcome) -> None:
+        nonlocal failed
         report.outcomes.append(outcome)
+        if outcome.status in ("error", "timeout"):
+            failed += 1
+        registry.inc(f"farm.jobs_{outcome.status}")
+        registry.observe("farm.queue_wait_seconds", outcome.queue_wait)
         if on_result is not None:
             on_result(outcome)
+
+    def beat(force: bool = False) -> None:
+        """Publish liveness; also the registry's ring-series tick."""
+        if heartbeat is None:
+            return
+        registry.sample()
+        heartbeat.beat_runner(
+            queue_depth=len(queue),
+            inflight=sum(1 for w in pool if w.busy),
+            done=len(report.outcomes),
+            failed=failed,
+            total=len(jobs),
+            workers=len(pool),
+            force=force,
+        )
+        now = time.monotonic()
+        for i, worker in enumerate(pool):
+            heartbeat.beat_worker(
+                i,
+                pid=worker.process.pid,
+                busy=worker.busy,
+                job=worker.item.job.label() if worker.busy else None,
+                job_elapsed=(now - worker.started) if worker.busy else 0.0,
+                jobs_done=worker.jobs_done,
+                force=force,
+            )
 
     def close_job_span(item: _Pending, status: str, **attrs: Any) -> None:
         """Emit the parent-side ``farm.job`` span for one attempt."""
@@ -335,12 +403,15 @@ def run_jobs(
                 time.monotonic() - worker.started,
             )
             return
+        worker.jobs_done += 1
         elapsed = float(msg.get("elapsed", 0.0))
         cpu = float(msg.get("cpu", 0.0))
         status = "ok" if msg.get("status") == "ok" else "error"
         close_job_span(item, status, elapsed=round(elapsed, 6),
                        cpu=round(cpu, 6))
         tracer.adopt(msg.get("trace"))
+        if msg.get("metrics"):
+            registry.merge(msg["metrics"])
         if status == "ok":
             finish(
                 JobOutcome(
@@ -392,6 +463,7 @@ def run_jobs(
     try:
         size = min(workers, max(len(jobs), 1))
         pool.extend(_Worker(ctx) for _ in range(size))
+        beat(force=True)
         while True:
             now = time.monotonic()
             # dispatch eligible work to idle workers
@@ -416,7 +488,8 @@ def run_jobs(
                     item.span_id = tracer.allocate_id()
                     item.span_start = time.time()
                     trace_ctx = tracer.child_context(item.span_id)
-                worker.dispatch(item, trace_ctx)
+                worker.dispatch(item, trace_ctx, metrics=registry.enabled)
+            beat()
             busy = [w for w in pool if w.busy]
             if not busy and not queue:
                 break
@@ -478,6 +551,7 @@ def run_jobs(
                 )
             )
     finally:
+        beat(force=True)
         for worker in pool:
             if interrupted or worker.busy:
                 worker.kill()

@@ -11,6 +11,14 @@ A zero-extra-dependency observability layer (stdlib only).  The pieces:
   and stderr sinks;
 * :mod:`~repro.obs.metrics` -- counters/timers with percentile
   summaries aggregated from record streams;
+* :mod:`~repro.obs.registry` -- the live metrics registry: process-wide
+  counters, gauges and fixed-bucket histograms behind the same
+  null-object pattern as the tracer, with fork-merge and Prometheus
+  text exposition (``/metricsz`` on the serve daemon);
+* :mod:`~repro.obs.flight` -- a bounded in-memory flight recorder of
+  recent spans/events, dumped on SIGUSR2 or on crash;
+* :mod:`~repro.obs.top` -- the ``repro top`` live dashboard over a
+  serve daemon or a farm store's heartbeats;
 * :mod:`~repro.obs.report` -- span-tree reconstruction,
   well-formedness checking, and the ``repro stats`` renderings;
 * :mod:`~repro.obs.profile` -- opt-in ``cProfile``/``tracemalloc``
@@ -38,9 +46,31 @@ from .events import (
     read_trace,
     validate_record,
 )
+from .flight import (
+    FLIGHT_ENV,
+    FlightRecorder,
+    RingSink,
+    TeeSink,
+    flight_enabled,
+    flight_recording,
+    get_flight,
+    set_flight,
+)
 from .logs import LOG_ENV, configure_logging, level_from
 from .metrics import MetricsAggregator, aggregate, percentile
 from .profile import PROFILE_ENV, ProfileReport, profile_section, profiling_enabled
+from .registry import (
+    METRICS_FORMAT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    normalize_metrics,
+    prometheus_text,
+    set_registry,
+    snapshot_quantile,
+    use_registry,
+    validate_metrics_document,
+)
 from .report import (
     adversary_summary,
     build_tree,
@@ -99,6 +129,26 @@ __all__ = [
     "slowest_spans",
     "adversary_summary",
     "timing_aggregates",
+    # live metrics registry
+    "METRICS_FORMAT",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "validate_metrics_document",
+    "normalize_metrics",
+    "prometheus_text",
+    "snapshot_quantile",
+    # flight recorder
+    "FLIGHT_ENV",
+    "FlightRecorder",
+    "RingSink",
+    "TeeSink",
+    "flight_enabled",
+    "flight_recording",
+    "get_flight",
+    "set_flight",
     # profiling
     "PROFILE_ENV",
     "profile_section",

@@ -1,0 +1,278 @@
+"""Crash flight recorder: a bounded ring of recent records, always on.
+
+JSONL tracing is opt-in, so the runs that crash are usually the runs
+nobody thought to trace.  The flight recorder closes that gap: a
+bounded in-memory ring (:class:`RingSink`) receives every span/event/
+counter/gauge record even when no ``--trace`` target is set, and its
+contents are dumped to a timestamped JSON artifact when something goes
+wrong -- on ``SIGUSR2`` (poke a stuck process from outside), on the
+CLI's unhandled :class:`~repro.errors.ReproError` backstop, and on
+serve-daemon drain (so every CI smoke run leaves a postmortem).
+
+Cost model: when tracing is *off* the recorder installs a real tracer
+writing only into the ring, so previously-free instrumentation now
+costs one dict build + deque append per record.  That is bounded by
+the same <3% ``benchmarks/test_bench_obs.py`` gate as tracing itself;
+set ``REPRO_FLIGHT=0`` to opt out entirely.  When tracing is *on* the
+recorder tees the existing sink, adding only the deque append.
+
+The dump document (``{"flight": FLIGHT_FORMAT, "reason", "ts", "pid",
+"records": [...]}``) is written atomically (temp file + ``os.replace``)
+into ``REPRO_FLIGHT_DIR`` (default: the system temp directory), so a
+dump can never be torn and never pollutes the working tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from .sinks import Sink
+from .trace import Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "FLIGHT_FORMAT",
+    "FLIGHT_CAPACITY",
+    "FLIGHT_ENV",
+    "FLIGHT_DIR_ENV",
+    "RingSink",
+    "TeeSink",
+    "FlightRecorder",
+    "flight_enabled",
+    "get_flight",
+    "set_flight",
+    "flight_recording",
+]
+
+#: Bump on any backwards-incompatible change to the dump document.
+FLIGHT_FORMAT = 1
+
+#: Default ring capacity (records, not bytes).
+FLIGHT_CAPACITY = 4096
+
+#: Set to ``0``/``false``/``off`` to disable the CLI's flight recorder.
+FLIGHT_ENV = "REPRO_FLIGHT"
+
+#: Directory receiving dump artifacts (default: the system temp dir).
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+
+
+def flight_enabled(env: "str | None" = None) -> bool:
+    """Whether the CLI should keep a flight recorder (default: yes)."""
+    value = os.environ.get(FLIGHT_ENV) if env is None else env
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "off", "no", "")
+
+
+class RingSink(Sink):
+    """Keeps only the most recent ``capacity`` records (thread-safe)."""
+
+    def __init__(self, capacity: int = FLIGHT_CAPACITY):
+        self._ring: deque[dict[str, Any]] = deque(maxlen=max(1, int(capacity)))
+        self._lock = threading.Lock()
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append, silently evicting the oldest record when full."""
+        with self._lock:
+            self._ring.append(record)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """A consistent copy of the current ring contents (oldest first)."""
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+class TeeSink(Sink):
+    """Fans every record out to several sinks (flush/close follow)."""
+
+    def __init__(self, *sinks: Sink):
+        self.sinks = tuple(sinks)
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Write ``record`` to every fanned-out sink in order."""
+        for sink in self.sinks:
+            sink.write(record)
+
+    def flush(self) -> None:
+        """Flush every fanned-out sink."""
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Close every fanned-out sink."""
+        for sink in self.sinks:
+            sink.close()
+
+
+class FlightRecorder:
+    """Owns the ring, its tracer plumbing, and the dump artifact format.
+
+    :meth:`attach` splices the ring into the process: when a real
+    tracer is already installed its sink is wrapped with a
+    :class:`TeeSink`; otherwise a ring-only tracer is installed
+    globally.  :meth:`detach` undoes exactly what attach did.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = FLIGHT_CAPACITY,
+        directory: "str | Path | None" = None,
+    ):
+        self.ring = RingSink(capacity)
+        env_dir = os.environ.get(FLIGHT_DIR_ENV)
+        self.directory = Path(
+            directory
+            if directory is not None
+            else (env_dir or tempfile.gettempdir())
+        )
+        self._attached = False
+        self._teed_tracer: "Tracer | None" = None
+        self._original_sink: "Sink | None" = None
+        self._previous_tracer: "Tracer | None" = None
+        self._previous_handler: Any = None
+        #: Paths of every dump written so far (newest last).
+        self.dumps: list[Path] = []
+
+    # -- plumbing ------------------------------------------------------------
+    def attach(self) -> None:
+        """Start recording into the ring (idempotent)."""
+        if self._attached:
+            return
+        tracer = get_tracer()
+        if tracer.enabled and tracer.sink is not None:
+            self._teed_tracer = tracer
+            self._original_sink = tracer.sink
+            tracer.sink = TeeSink(tracer.sink, self.ring)
+        else:
+            self._previous_tracer = set_tracer(
+                Tracer(self.ring, trace_id="flight")
+            )
+        self._attached = True
+
+    def detach(self) -> None:
+        """Stop recording and restore the previous tracer plumbing."""
+        if not self._attached:
+            return
+        if self._teed_tracer is not None:
+            self._teed_tracer.sink = self._original_sink
+            self._teed_tracer = None
+            self._original_sink = None
+        else:
+            set_tracer(self._previous_tracer)
+            self._previous_tracer = None
+        self._attached = False
+
+    def install_signal_handler(self) -> None:
+        """Dump on ``SIGUSR2`` (no-op on platforms without it)."""
+        if not hasattr(signal, "SIGUSR2"):  # pragma: no cover - windows
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return  # signal.signal is main-thread-only
+
+        def on_sigusr2(signum: int, frame: Any) -> None:
+            self.dump("sigusr2")
+
+        self._previous_handler = signal.signal(signal.SIGUSR2, on_sigusr2)
+
+    def restore_signal_handler(self) -> None:
+        """Put back whatever handler was installed before ours."""
+        if self._previous_handler is None:
+            return
+        if not hasattr(signal, "SIGUSR2"):  # pragma: no cover - windows
+            return
+        signal.signal(signal.SIGUSR2, self._previous_handler)
+        self._previous_handler = None
+
+    # -- dumping -------------------------------------------------------------
+    def dump(
+        self, reason: str, *, now: "float | None" = None
+    ) -> "Path | None":
+        """Write the ring to a timestamped artifact; ``None`` when empty.
+
+        The write is atomic (temp file + ``os.replace``), so a reader
+        racing the dump sees either nothing or a complete document.
+        """
+        records = self.ring.drain()
+        if not records:
+            return None
+        ts = time.time() if now is None else float(now)
+        doc = {
+            "flight": FLIGHT_FORMAT,
+            "reason": reason,
+            "ts": ts,
+            "pid": os.getpid(),
+            "records": records,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"flight-{int(ts)}-{os.getpid()}.json"
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.dumps.append(path)
+        return path
+
+
+_flight: "FlightRecorder | None" = None
+
+
+def get_flight() -> "FlightRecorder | None":
+    """The process-global flight recorder, if one is attached."""
+    return _flight
+
+
+def set_flight(recorder: "FlightRecorder | None") -> "FlightRecorder | None":
+    """Install ``recorder`` globally; returns the previous one."""
+    global _flight
+    previous = _flight
+    _flight = recorder
+    return previous
+
+
+@contextmanager
+def flight_recording(
+    *,
+    capacity: int = FLIGHT_CAPACITY,
+    directory: "str | Path | None" = None,
+    signals: bool = True,
+) -> Iterator[FlightRecorder]:
+    """Attach a flight recorder (and its SIGUSR2 handler) for a block.
+
+    The CLI wraps every subcommand in this; libraries embedding repro
+    can do the same around their own entry points.
+    """
+    recorder = FlightRecorder(capacity=capacity, directory=directory)
+    recorder.attach()
+    if signals:
+        recorder.install_signal_handler()
+    previous = set_flight(recorder)
+    try:
+        yield recorder
+    finally:
+        set_flight(previous)
+        if signals:
+            recorder.restore_signal_handler()
+        recorder.detach()

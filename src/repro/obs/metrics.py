@@ -8,32 +8,126 @@ use linear interpolation between order statistics, matching
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from typing import Any, Iterable
 
 from ..errors import DomainError
 
-__all__ = ["percentile", "span_stats", "MetricsAggregator", "aggregate"]
+__all__ = [
+    "percentile",
+    "rank_position",
+    "bucket_counts",
+    "histogram_quantile",
+    "span_stats",
+    "MetricsAggregator",
+    "aggregate",
+]
+
+
+def rank_position(count: int, q: float) -> float:
+    """The fractional order-statistic rank of the ``q``-th percentile.
+
+    The one interpolation rule shared by :func:`percentile` (exact
+    samples) and :func:`histogram_quantile` (bucketed samples), matching
+    ``numpy.percentile``'s default *linear* method: percentile ``q`` of
+    ``count`` sorted samples sits at rank ``(count - 1) * q / 100``,
+    linearly interpolated between neighbours.  Keeping the rank formula
+    in one place is what guarantees ``repro stats`` (which sees raw
+    durations) and ``/metricsz`` (which sees histogram buckets) can
+    never disagree about what "p50" means.
+    """
+    if not 0 <= q <= 100:
+        raise DomainError(f"percentile must be in [0, 100], got {q}")
+    if count < 1:
+        return 0.0
+    return (count - 1) * q / 100.0
 
 
 def percentile(values: "list[float]", q: float) -> float:
     """The ``q``-th percentile (0..100) of ``values``; 0.0 when empty.
 
-    ``values`` need not be pre-sorted.
+    ``values`` need not be pre-sorted.  Tiny samples follow the linear
+    interpolation rule of :func:`rank_position` exactly: with one
+    sample every percentile is that sample; with two, p50 is their
+    midpoint and p0/p100 are the samples themselves (golden values are
+    pinned in ``tests/obs/test_metrics.py``).
     """
     if not values:
         return 0.0
-    if not 0 <= q <= 100:
-        raise DomainError(f"percentile must be in [0, 100], got {q}")
+    pos = rank_position(len(values), q)
     ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
-    pos = (len(ordered) - 1) * q / 100.0
     lo = int(pos)
     frac = pos - lo
     if lo + 1 >= len(ordered):
         return float(ordered[-1])
     return float(ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac)
+
+
+def bucket_counts(
+    values: Iterable[float], bounds: "tuple[float, ...] | list[float]"
+) -> "list[int]":
+    """Per-bucket counts of ``values`` against sorted upper ``bounds``.
+
+    Returns ``len(bounds) + 1`` counts; the last bucket is the +Inf
+    overflow.  A value lands in the first bucket whose upper bound is
+    ``>= value`` (closed upper edges, the Prometheus convention).
+    """
+    counts = [0] * (len(bounds) + 1)
+    for value in values:
+        # first bucket whose upper bound is >= value; len(bounds) = +Inf
+        counts[bisect.bisect_left(bounds, value)] += 1
+    return counts
+
+
+def histogram_quantile(
+    bounds: "tuple[float, ...] | list[float]",
+    counts: "list[int]",
+    q: float,
+) -> float:
+    """Estimate the ``q``-th percentile from fixed-bucket counts.
+
+    ``bounds`` are the sorted finite upper bucket edges and ``counts``
+    the per-bucket (non-cumulative) counts, with ``counts[-1]`` the
+    +Inf overflow bucket; 0.0 when the histogram is empty.
+
+    Each sample is represented by its bucket's upper edge (the overflow
+    bucket by ``bounds[-1]`` -- the histogram cannot see further), and
+    the result is exactly :func:`percentile` of that multiset, computed
+    without materialising it: the same :func:`rank_position` rank, the
+    same linear interpolation between neighbouring order statistics.
+    Samples placed exactly on bucket edges therefore reproduce
+    :func:`percentile` of the raw values to the float (pinned by the
+    consistency test in ``tests/obs/test_metrics.py``).
+    """
+    if len(counts) != len(bounds) + 1:
+        raise DomainError(
+            f"histogram needs {len(bounds) + 1} counts for {len(bounds)} "
+            f"bounds, got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0 or not bounds:
+        return 0.0
+    edges = [float(b) for b in bounds] + [float(bounds[-1])]
+
+    def edge_at(rank: int) -> float:
+        """Upper edge of the bucket holding the sample of this rank."""
+        cumulative = 0
+        for i, count in enumerate(counts):
+            cumulative += count
+            if rank < cumulative:
+                return edges[i]
+        return edges[-1]
+
+    pos = rank_position(total, q)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= total:
+        return edge_at(total - 1)
+    low_edge = edge_at(lo)
+    return low_edge + (edge_at(lo + 1) - low_edge) * frac
 
 
 def span_stats(durations: "list[float]") -> dict[str, float]:

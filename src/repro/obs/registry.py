@@ -1,0 +1,498 @@
+"""Process-global live metrics: counters, gauges, fixed-bucket histograms.
+
+Where :mod:`~repro.obs.trace` writes an append-only JSONL stream for
+*post-hoc* analysis, the registry keeps the current value of every
+metric in memory so a running daemon or farm can be observed *live*
+(``GET /metricsz``, heartbeat files, ``repro top``) without replaying a
+trace.  The design mirrors the tracer deliberately:
+
+* one process-global singleton behind :func:`get_registry`, defaulting
+  to a disabled :data:`NULL_REGISTRY` whose emission methods return
+  after a single attribute check -- no lock, no allocation --
+  so instrumentation left in hot paths is near-free until someone
+  enables it (gated by ``benchmarks/test_bench_obs.py``);
+* fork-aware: a pre-fork worker builds its own registry segment,
+  ships :meth:`MetricsRegistry.snapshot` home in the job result, and
+  the parent :meth:`MetricsRegistry.merge`\\ s it -- the same adoption
+  flow child traces use;
+* snapshot-consistent: readers get one immutable JSON document built
+  under the registry lock, never a live view that tears mid-read.
+
+Three instrument kinds (the Prometheus trio):
+
+``counter``
+    Monotonically accumulating; merge sums values.
+``gauge``
+    Last-set value with a last-set timestamp; merge keeps the newer.
+``histogram``
+    Fixed upper ``bounds`` plus a +Inf overflow bucket, with running
+    ``sum``/``count``; merge adds bucket counts element-wise.
+    Quantiles are *estimated from the buckets* by
+    :func:`~repro.obs.metrics.histogram_quantile`, which shares its
+    interpolation rule with :func:`~repro.obs.metrics.percentile` so
+    ``repro stats`` and ``/metricsz`` cannot disagree about "p50".
+
+Counters and gauges additionally keep a bounded ring of ``(ts, value)``
+samples appended only by :meth:`MetricsRegistry.sample` -- a periodic
+tick owned by the daemon / heartbeat loop, never by the hot ``inc``
+path -- so ``repro top`` can show short-horizon rates without the
+registry ever growing unboundedly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import ObsError
+from .metrics import histogram_quantile
+
+__all__ = [
+    "METRICS_FORMAT",
+    "DEFAULT_LATENCY_BOUNDS",
+    "SERIES_CAPACITY",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "validate_metrics_document",
+    "normalize_metrics",
+    "prometheus_text",
+    "snapshot_quantile",
+]
+
+#: Bump on any backwards-incompatible change to the snapshot document.
+METRICS_FORMAT = 1
+
+#: Default histogram upper edges for request/job latencies in seconds:
+#: 1ms .. ~65s in powers of two, wide enough for both a warm memory-cache
+#: hit and a cold Lemma 4.1 attack, narrow enough that p99 estimates
+#: stay within one octave of the truth.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(
+    0.001 * 2**i for i in range(17)
+)
+
+#: Ring capacity for per-counter/gauge time series (samples, not seconds:
+#: at the daemon's 1s sample tick this is ~4 minutes of history).
+SERIES_CAPACITY = 256
+
+
+class MetricsRegistry:
+    """A thread-safe bag of named counters, gauges, and histograms.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every emission method returns after one attribute
+        check, touching no lock and allocating nothing.
+    series_capacity:
+        Ring size for the per-counter/gauge ``(ts, value)`` series.
+    """
+
+    def __init__(
+        self, *, enabled: bool = True, series_capacity: int = SERIES_CAPACITY
+    ):
+        self.enabled = enabled
+        self.series_capacity = max(1, int(series_capacity))
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, tuple[float, float]] = {}  # name -> (value, ts)
+        # name -> (bounds, counts, sum, count)
+        self._histograms: dict[str, list[Any]] = {}
+        self._series: dict[str, deque[tuple[float, float]]] = {}
+
+    # -- emission (hot paths) ------------------------------------------------
+    def inc(self, name: str, value: "int | float" = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0 on first use)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(
+        self, name: str, value: "int | float", *, now: "float | None" = None
+    ) -> None:
+        """Set gauge ``name``; the set time decides fork-merge winners."""
+        if not self.enabled:
+            return
+        ts = time.time() if now is None else float(now)
+        with self._lock:
+            self._gauges[name] = (float(value), ts)
+
+    def observe(
+        self,
+        name: str,
+        value: "int | float",
+        *,
+        bounds: "tuple[float, ...] | None" = None,
+    ) -> None:
+        """Record one sample into histogram ``name``.
+
+        ``bounds`` (sorted finite upper edges) are fixed on first use --
+        pass them at the first ``observe`` or via
+        :meth:`declare_histogram`; later calls may omit them.
+        """
+        if not self.enabled:
+            return
+        value = float(value)
+        with self._lock:
+            slot = self._ensure_histogram(name, bounds)
+            slot_bounds, counts = slot[0], slot[1]
+            # first bucket whose upper bound is >= value; miss = +Inf
+            counts[bisect.bisect_left(slot_bounds, value)] += 1
+            slot[2] += value
+            slot[3] += 1
+
+    def declare_histogram(
+        self, name: str, bounds: "tuple[float, ...]"
+    ) -> None:
+        """Pin ``name``'s bucket bounds up front (idempotent if equal)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._ensure_histogram(name, tuple(bounds))
+
+    def _ensure_histogram(
+        self, name: str, bounds: "tuple[float, ...] | None"
+    ) -> list[Any]:
+        slot = self._histograms.get(name)
+        if slot is None:
+            use = tuple(
+                float(b) for b in (bounds or DEFAULT_LATENCY_BOUNDS)
+            )
+            if not use or any(
+                not math.isfinite(b) for b in use
+            ) or list(use) != sorted(set(use)):
+                raise ObsError(
+                    f"histogram {name!r} bounds must be sorted distinct "
+                    f"finite numbers, got {use!r}"
+                )
+            slot = [use, [0] * (len(use) + 1), 0.0, 0]
+            self._histograms[name] = slot
+        elif bounds is not None and tuple(float(b) for b in bounds) != slot[0]:
+            raise ObsError(
+                f"histogram {name!r} was declared with bounds {slot[0]!r}; "
+                f"cannot redeclare with {tuple(bounds)!r}"
+            )
+        return slot
+
+    # -- time series ---------------------------------------------------------
+    def sample(self, *, now: "float | None" = None) -> None:
+        """Append one ``(ts, value)`` ring point per counter and gauge.
+
+        Called by the owner's periodic tick (serve daemon, farm
+        heartbeat loop) -- never by the hot ``inc`` path, which keeps
+        the enabled-but-idle overhead of instrumentation at the cost of
+        one dict update.
+        """
+        if not self.enabled:
+            return
+        ts = time.time() if now is None else float(now)
+        with self._lock:
+            for name, value in self._counters.items():
+                self._series_for(name).append((ts, value))
+            for name, (value, _) in self._gauges.items():
+                self._series_for(name).append((ts, value))
+
+    def _series_for(self, name: str) -> deque[tuple[float, float]]:
+        ring = self._series.get(name)
+        if ring is None:
+            ring = deque(maxlen=self.series_capacity)
+            self._series[name] = ring
+        return ring
+
+    # -- reading -------------------------------------------------------------
+    def snapshot(self, *, now: "float | None" = None) -> dict[str, Any]:
+        """One immutable, JSON-able view of every metric.
+
+        The wire document for ``/metricsz``, heartbeat files, and
+        fork-merge; validated by :func:`validate_metrics_document` and
+        pinned in the sanitize schema-fingerprint registry.
+        """
+        ts = time.time() if now is None else float(now)
+        with self._lock:
+            counters = {
+                name: {
+                    "value": value,
+                    "series": [list(p) for p in self._series.get(name, ())],
+                }
+                for name, value in sorted(self._counters.items())
+            }
+            gauges = {
+                name: {
+                    "value": value,
+                    "ts": set_ts,
+                    "series": [list(p) for p in self._series.get(name, ())],
+                }
+                for name, (value, set_ts) in sorted(self._gauges.items())
+            }
+            histograms = {
+                name: {
+                    "bounds": list(slot[0]),
+                    "counts": list(slot[1]),
+                    "sum": slot[2],
+                    "count": slot[3],
+                }
+                for name, slot in sorted(self._histograms.items())
+            }
+        return {
+            "metrics": METRICS_FORMAT,
+            "ts": ts,
+            "pid": self.pid,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, doc: dict[str, Any]) -> None:
+        """Fold a worker segment's snapshot into this registry.
+
+        Counters and histogram buckets add; gauges keep whichever side
+        was set later (ties go to the incoming document, so merging the
+        same snapshot twice is idempotent for gauges).  Histogram bounds
+        must match -- a mismatch is a programming error, not data.
+        """
+        if not self.enabled:
+            return
+        doc = validate_metrics_document(doc)
+        # dict bookkeeping over a handful of metric names, not wire math
+        with self._lock:
+            for name, slot in doc["counters"].items():  # sanitize: ok[perf]
+                self._counters[name] = (
+                    self._counters.get(name, 0.0) + slot["value"]
+                )
+            for name, slot in doc["gauges"].items():  # sanitize: ok[perf]
+                mine = self._gauges.get(name)
+                if mine is None or slot["ts"] >= mine[1]:
+                    self._gauges[name] = (slot["value"], slot["ts"])
+            for name, slot in doc["histograms"].items():
+                bounds = tuple(float(b) for b in slot["bounds"])
+                target = self._ensure_histogram(name, bounds)
+                for i, count in enumerate(slot["counts"]):  # sanitize: ok[perf]
+                    target[1][i] += count
+                target[2] += slot["sum"]
+                target[3] += slot["count"]
+
+    @classmethod
+    def from_snapshot(cls, doc: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot (wire-roundtrip inverse).
+
+        ``from_snapshot(doc).snapshot(now=doc["ts"])`` equals ``doc``
+        exactly -- the property the Hypothesis roundtrip test pins.
+        """
+        doc = validate_metrics_document(doc)
+        registry = cls()
+        registry.pid = doc["pid"]
+        with registry._lock:
+            for name, slot in doc["counters"].items():
+                registry._counters[name] = slot["value"]
+                for ts, value in slot["series"]:
+                    registry._series_for(name).append((ts, value))
+            for name, slot in doc["gauges"].items():
+                registry._gauges[name] = (slot["value"], slot["ts"])
+                for ts, value in slot["series"]:
+                    registry._series_for(name).append((ts, value))
+            for name, slot in doc["histograms"].items():
+                target = registry._ensure_histogram(
+                    name, tuple(float(b) for b in slot["bounds"])
+                )
+                target[1] = list(slot["counts"])
+                target[2] = slot["sum"]
+                target[3] = slot["count"]
+        return registry
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation; never called in daemons)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._series.clear()
+
+
+def validate_metrics_document(doc: Any) -> dict[str, Any]:
+    """Check one decoded snapshot against the wire schema; return it.
+
+    Raises :class:`~repro.errors.ObsError` naming the first violated
+    constraint, mirroring :func:`~repro.obs.events.validate_record`.
+    """
+    if not isinstance(doc, dict):
+        raise ObsError(
+            f"metrics document must be a JSON object, got {type(doc).__name__}"
+        )
+    if doc.get("metrics") != METRICS_FORMAT:
+        raise ObsError(
+            f"unsupported metrics format {doc.get('metrics')!r}"
+        )
+    for field in ("ts",):
+        if not isinstance(doc.get(field), (int, float)):
+            raise ObsError(f"metrics {field} must be a number")
+    if not isinstance(doc.get("pid"), int):
+        raise ObsError("metrics pid must be an integer")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            raise ObsError(f"metrics {section} must be an object")
+    def check_series(name: str, series: Any) -> None:
+        if not isinstance(series, list) or not all(
+            isinstance(p, list) and len(p) == 2
+            and all(isinstance(x, (int, float)) for x in p)
+            for p in series
+        ):
+            raise ObsError(f"series of {name!r} must be [ts, value] pairs")
+    for name, slot in doc["counters"].items():
+        if not isinstance(slot, dict) or not isinstance(
+            slot.get("value"), (int, float)
+        ):
+            raise ObsError(f"counter {name!r} must carry a numeric value")
+        check_series(name, slot.get("series"))
+    for name, slot in doc["gauges"].items():
+        if not isinstance(slot, dict) or not isinstance(
+            slot.get("value"), (int, float)
+        ) or not isinstance(slot.get("ts"), (int, float)):
+            raise ObsError(f"gauge {name!r} must carry value and ts")
+        check_series(name, slot.get("series"))
+    for name, slot in doc["histograms"].items():
+        if not isinstance(slot, dict):
+            raise ObsError(f"histogram {name!r} must be an object")
+        bounds, counts = slot.get("bounds"), slot.get("counts")
+        if not isinstance(bounds, list) or not bounds or not all(
+            isinstance(b, (int, float)) for b in bounds
+        ):
+            raise ObsError(f"histogram {name!r} bounds must be numbers")
+        if list(bounds) != sorted(set(bounds)):  # sanitize: ok[perf]
+            raise ObsError(f"histogram {name!r} bounds must be sorted distinct")
+        if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+            raise ObsError(
+                f"histogram {name!r} needs {len(bounds) + 1} counts"
+            )
+        if not all(isinstance(c, int) and c >= 0 for c in counts):
+            raise ObsError(
+                f"histogram {name!r} counts must be non-negative integers"
+            )
+        if not isinstance(slot.get("sum"), (int, float)):
+            raise ObsError(f"histogram {name!r} sum must be a number")
+        if not isinstance(slot.get("count"), int) or slot["count"] < 0:
+            raise ObsError(f"histogram {name!r} count must be >= 0")
+        if slot["count"] != sum(counts):
+            raise ObsError(
+                f"histogram {name!r} count {slot['count']} != bucket "
+                f"total {sum(counts)}"
+            )
+    return doc
+
+
+def normalize_metrics(doc: dict[str, Any]) -> dict[str, Any]:
+    """Strip host/time-dependent fields for determinism comparisons.
+
+    Drops the document ``ts``/``pid``, every per-gauge set time, and
+    every ring series (whose points carry wall-clock stamps) -- what
+    remains is exactly the data two identically-seeded fork-merge runs
+    must agree on.
+    """
+    out = {
+        "metrics": doc["metrics"],
+        "counters": {
+            name: {"value": slot["value"]}
+            for name, slot in doc["counters"].items()
+        },
+        "gauges": {
+            name: {"value": slot["value"]}
+            for name, slot in doc["gauges"].items()
+        },
+        "histograms": doc["histograms"],
+    }
+    return out
+
+
+def _prom_name(name: str) -> str:
+    """``serve.request_seconds`` -> ``repro_serve_request_seconds``."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def _prom_number(value: "int | float") -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(doc: dict[str, Any]) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Pure function of the JSON document, so the two ``/metricsz``
+    formats can never drift apart.  Histograms render cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, per the
+    Prometheus convention.
+    """
+    lines: list[str] = []
+    for name, slot in doc["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_number(slot['value'])}")
+    for name, slot in doc["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_number(slot['value'])}")
+    for name, slot in doc["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(slot["bounds"], slot["counts"]):
+            cumulative += count
+            lines.append(  # sanitize: ok[perf] - text assembly, not math
+                f'{prom}_bucket{{le="{_prom_number(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {slot["count"]}')
+        lines.append(f"{prom}_sum {_prom_number(slot['sum'])}")
+        lines.append(f"{prom}_count {slot['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_quantile(
+    doc: dict[str, Any], name: str, q: float
+) -> float:
+    """Estimate percentile ``q`` of histogram ``name`` in a snapshot."""
+    slot = doc.get("histograms", {}).get(name)
+    if slot is None:
+        return 0.0
+    return histogram_quantile(slot["bounds"], slot["counts"], q)
+
+
+#: The default registry: disabled, shared, lock-free on every call.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (the null registry unless installed)."""
+    return _registry
+
+
+def set_registry(registry: "MetricsRegistry | None") -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` restores the null one);
+    returns the previously installed registry."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the global registry."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

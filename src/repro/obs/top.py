@@ -1,0 +1,197 @@
+"""``repro top``: a refreshing terminal dashboard over live telemetry.
+
+Polls one of the two live sources the observability layer exposes and
+renders a compact frame each interval:
+
+* **serve** -- ``GET /statsz`` + ``GET /metricsz`` on a running
+  certificate daemon: req/s (from counter deltas between polls), cache
+  tier hit ratios, p50/p99 request latency estimated from the
+  histogram buckets (by the same interpolation ``repro stats`` uses,
+  see :func:`~repro.obs.metrics.histogram_quantile`), in-flight count
+  and uptime;
+* **farm** -- the heartbeat files a campaign maintains under
+  ``<store>/heartbeats/``: per-worker liveness, current job, queue
+  depth and throughput.
+
+Everything here is a pure function of polled documents, so the
+renderers are unit-testable without a daemon; only :func:`run_top`
+touches the network/filesystem and the clock.  The serve client is
+imported lazily to keep :mod:`repro.obs` free of an import cycle with
+:mod:`repro.serve` (which instruments itself against this package).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..errors import FarmError, ObsError, ReproError
+from .registry import snapshot_quantile
+
+__all__ = [
+    "TOP_INTERVAL",
+    "serve_frame",
+    "farm_frame",
+    "counter_rate",
+    "run_top",
+]
+
+#: Default seconds between dashboard refreshes.
+TOP_INTERVAL = 2.0
+
+#: ANSI: clear screen, home cursor (between refreshing frames).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def counter_rate(
+    now_doc: dict[str, Any],
+    prev_doc: "dict[str, Any] | None",
+    name: str,
+) -> float:
+    """Per-second rate of a counter between two metrics snapshots.
+
+    Uses the documents' own ``ts`` stamps, so the rate is exact for the
+    window actually measured, not for the intended poll interval.
+    Returns 0.0 on the first poll or a non-advancing clock.
+    """
+    if prev_doc is None:
+        return 0.0
+    dt = float(now_doc.get("ts", 0.0)) - float(prev_doc.get("ts", 0.0))
+    if dt <= 0:
+        return 0.0
+    now_value = now_doc["counters"].get(name, {}).get("value", 0.0)
+    prev_value = prev_doc["counters"].get(name, {}).get("value", 0.0)
+    return max(0.0, (now_value - prev_value) / dt)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def serve_frame(
+    stats: dict[str, Any],
+    snapshot: dict[str, Any],
+    previous: "dict[str, Any] | None" = None,
+) -> str:
+    """Render one dashboard frame from ``/statsz`` + ``/metricsz`` docs."""
+    ratios = stats.get("cache_ratios", {})
+    tiers = "  ".join(
+        f"{tier} {100 * ratios.get(tier, 0.0):.0f}%"
+        for tier in ("memory", "store", "joined", "computed")
+    )
+    lines = [
+        f"repro serve -- {stats.get('status', '?')}, "
+        f"up {stats.get('uptime', 0.0):.0f}s",
+        f"requests      {stats.get('requests', 0)} total, "
+        f"{counter_rate(snapshot, previous, 'serve.requests'):.1f} req/s, "
+        f"{stats.get('inflight', 0)} in flight, "
+        f"{stats.get('rejected', 0)} rejected",
+        f"latency       p50 "
+        f"{_ms(snapshot_quantile(snapshot, 'serve.request_seconds', 50))}  "
+        f"p99 "
+        f"{_ms(snapshot_quantile(snapshot, 'serve.request_seconds', 99))}",
+        f"cache tiers   {tiers}",
+        f"batcher       {stats.get('batches', 0)} batches, "
+        f"{stats.get('dispatched', 0)} jobs dispatched",
+        f"store         {stats.get('store', {}).get('hits', 0)} hits / "
+        f"{stats.get('store', {}).get('misses', 0)} misses",
+    ]
+    return "\n".join(lines)
+
+
+def farm_frame(
+    beats: dict[str, Any], *, now: "float | None" = None
+) -> str:
+    """Render one dashboard frame from a store's heartbeat files."""
+    from ..farm.heartbeat import heartbeat_age
+
+    runner = beats.get("runner")
+    lines: list[str] = []
+    if runner is None:
+        lines.append("repro farm -- no runner heartbeat "
+                     "(campaign not started?)")
+    else:
+        age = heartbeat_age(runner, now=now)
+        age_text = f"{age:.1f}s" if age is not None else "?"
+        lines.append(
+            f"repro farm -- runner pid {runner.get('pid')}, "
+            f"heartbeat {age_text} ago"
+        )
+        lines.append(
+            f"progress      {runner.get('done', 0)}/{runner.get('total', 0)} "
+            f"done ({runner.get('failed', 0)} failed), "
+            f"queue depth {runner.get('queue_depth', 0)}, "
+            f"{runner.get('inflight', 0)} in flight"
+        )
+        lines.append(
+            f"throughput    {runner.get('throughput', 0.0):.2f} jobs/s "
+            f"over {runner.get('elapsed', 0.0):.0f}s "
+            f"({runner.get('workers', 0)} workers)"
+        )
+    for doc in beats.get("workers", []):
+        age = heartbeat_age(doc, now=now)
+        age_text = f"{age:.1f}s" if age is not None else "?"
+        state = (
+            f"busy {doc.get('job_elapsed', 0.0):.1f}s on {doc.get('job')}"
+            if doc.get("busy")
+            else "idle"
+        )
+        lines.append(  # sanitize: ok[perf] - text assembly, not math
+            f"worker {doc.get('index', '?')}      pid {doc.get('pid')}, "
+            f"{state}, {doc.get('jobs_done', 0)} done, beat {age_text} ago"
+        )
+    return "\n".join(lines)
+
+
+def _poll_serve(host: str, port: int) -> tuple[dict, dict]:
+    from ..serve.client import ServeClient  # lazy: avoids an import cycle
+
+    client = ServeClient(host, port, timeout=10.0)
+    return client.stats(), client.metrics()
+
+
+def run_top(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    store: "str | None" = None,
+    interval: float = TOP_INTERVAL,
+    iterations: int = 0,
+    out: Callable[[str], None] = print,
+) -> int:
+    """The ``repro top`` loop: poll, render, refresh.
+
+    With ``store`` set the farm heartbeats are the source; otherwise a
+    serve daemon at ``host:port``.  ``iterations`` bounds the number of
+    frames (0 means run until interrupted); one-frame runs (the CI
+    mode) skip the screen-clear escape so output composes with logs.
+    Returns a CLI exit code: 2 when the source is unreachable on the
+    first poll, 0 otherwise (including Ctrl-C).
+    """
+    interval = max(0.1, float(interval))
+    previous: "dict[str, Any] | None" = None
+    frame_index = 0
+    while True:
+        try:
+            if store is not None:
+                from ..farm.heartbeat import read_heartbeats
+
+                frame = farm_frame(read_heartbeats(store))
+            else:
+                stats, snapshot = _poll_serve(host, port)
+                frame = serve_frame(stats, snapshot, previous)
+                previous = snapshot
+        except (FarmError, ObsError, ReproError) as exc:
+            if frame_index == 0:
+                out(f"repro top: {exc}")
+                return 2
+            frame = f"repro top: source went away: {exc}"
+        clear = _CLEAR if iterations != 1 and frame_index > 0 else ""
+        out(clear + frame)
+        frame_index += 1
+        if iterations and frame_index >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0

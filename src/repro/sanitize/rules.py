@@ -98,14 +98,19 @@ ENTRYPOINT_MODULES = (
 SCHEMA_MODULES = (
     "repro/core/certificates.py",
     "repro/farm/campaign.py",
+    "repro/farm/heartbeat.py",
     "repro/farm/jobs.py",
     "repro/farm/store.py",
     "repro/flow/report.py",
     "repro/networks/serialize.py",
     "repro/obs/events.py",
+    "repro/obs/flight.py",
+    "repro/obs/registry.py",
     "repro/perf/report.py",
     "repro/perf/worklist.py",
+    "repro/serve/loadgen.py",
     "repro/serve/protocol.py",
+    "repro/serve/server.py",
 )
 
 

@@ -28,7 +28,7 @@ Layering (each module depends only on those above it):
 from .batcher import Batcher
 from .cache import ServeCache
 from .client import ServeClient, ServeHTTPError
-from .loadgen import LoadReport, default_mix, run_load
+from .loadgen import LOADGEN_FORMAT, LoadReport, default_mix, run_load
 from .protocol import (
     PROTOCOL_VERSION,
     SERVE_OPS,
@@ -38,10 +38,11 @@ from .protocol import (
     response_from_json,
     verdict_document,
 )
-from .server import CertificateServer, ServeSettings
+from .server import STATSZ_FORMAT, CertificateServer, ServeSettings
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "STATSZ_FORMAT",
     "SERVE_OPS",
     "ServeRequest",
     "ServeResponse",
@@ -54,6 +55,7 @@ __all__ = [
     "ServeSettings",
     "ServeClient",
     "ServeHTTPError",
+    "LOADGEN_FORMAT",
     "LoadReport",
     "default_mix",
     "run_load",

@@ -27,6 +27,7 @@ from ..errors import ServeError
 from ..farm.jobs import Job
 from ..farm.runner import run_jobs
 from ..obs import events as obs_events
+from ..obs.registry import get_registry
 from ..obs.trace import get_tracer
 
 __all__ = ["Batcher"]
@@ -119,6 +120,9 @@ class Batcher:
             tracer = get_tracer()
             self.batches += 1
             self.dispatched += len(batch)
+            registry = get_registry()
+            registry.inc("serve.batches")
+            registry.inc("serve.batch_jobs", len(batch))
             by_key = {item.job.key(): item for item in batch}
             with tracer.span(
                 obs_events.SPAN_SERVE_BATCH, jobs=len(batch)

@@ -33,6 +33,7 @@ from ..errors import ReproError
 from ..farm.jobs import Job
 from ..farm.store import ArtifactStore
 from ..obs import events as obs_events
+from ..obs.registry import get_registry
 from ..obs.trace import get_tracer
 
 __all__ = ["ServeCache"]
@@ -80,6 +81,7 @@ class ServeCache:
             valid = False
         if not valid:
             self.counters["revalidation_miss"] += 1
+            get_registry().inc("serve.cache.revalidation_miss")
             return None
         return result
 
@@ -98,6 +100,7 @@ class ServeCache:
         if hit is not None:
             self._memory.move_to_end(key)
             self.counters["memory"] += 1
+            get_registry().inc("serve.cache.memory")
             if tracer.enabled:
                 tracer.event(
                     obs_events.EV_SERVE_CACHE,
@@ -108,6 +111,7 @@ class ServeCache:
         if shared is not None:
             result = await asyncio.shield(shared)
             self.counters["joined"] += 1
+            get_registry().inc("serve.cache.joined")
             if tracer.enabled:
                 tracer.event(
                     obs_events.EV_SERVE_CACHE,
@@ -141,6 +145,7 @@ class ServeCache:
         finally:
             self._inflight.pop(key, None)
         self.counters[source] += 1
+        get_registry().inc(f"serve.cache.{source}")
         if tracer.enabled:
             tracer.event(
                 obs_events.EV_SERVE_CACHE,

@@ -105,3 +105,17 @@ class ServeClient:
         if status != 200:
             raise ServeHTTPError(status, str(doc))
         return doc
+
+    def metrics(self) -> dict[str, Any]:
+        """GET ``/metricsz``: the live metrics-registry snapshot.
+
+        Validate with
+        :func:`repro.obs.registry.validate_metrics_document`; the
+        Prometheus text rendering is available over HTTP with
+        ``GET /metricsz?format=prom`` (not through this helper, which
+        speaks JSON only).
+        """
+        status, doc = self._call("GET", "/metricsz")
+        if status != 200:
+            raise ServeHTTPError(status, str(doc))
+        return doc

@@ -27,10 +27,16 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ServeError
-from ..obs.metrics import percentile
+from ..obs.metrics import bucket_counts, percentile
+from ..obs.registry import DEFAULT_LATENCY_BOUNDS
 from .client import ServeClient, ServeHTTPError
 
-__all__ = ["LoadReport", "default_mix", "run_load"]
+__all__ = ["LOADGEN_FORMAT", "LoadReport", "default_mix", "run_load"]
+
+#: Version of the ``loadgen --json`` report document; bump on any
+#: backwards-incompatible field change so archived reports stay
+#: identifiable (pinned in the sanitize schema-fingerprint registry).
+LOADGEN_FORMAT = 2
 
 
 def default_mix(unique: int = 8) -> list[dict[str, Any]]:
@@ -77,8 +83,28 @@ class LoadReport:
         return self.completed / self.elapsed
 
     def to_json(self) -> dict[str, Any]:
-        """Machine-readable summary (latencies reduced to percentiles)."""
+        """Machine-readable summary (latencies reduced to percentiles).
+
+        v2 added ``loadgen`` (the format version), per-temperature
+        ``max``, and histogram ``buckets`` over the same bounds the
+        daemon's ``/metricsz`` histograms use, so a report can be
+        compared bucket-for-bucket against the server-side view.
+        """
+
+        def side(latencies: list[float]) -> dict[str, Any]:
+            return {
+                "count": len(latencies),
+                "p50": percentile(latencies, 50.0),
+                "p99": percentile(latencies, 99.0),
+                "max": max(latencies) if latencies else 0.0,
+                "buckets": {
+                    "bounds": list(DEFAULT_LATENCY_BOUNDS),
+                    "counts": bucket_counts(latencies, DEFAULT_LATENCY_BOUNDS),
+                },
+            }
+
         return {
+            "loadgen": LOADGEN_FORMAT,
             "requests": self.requests,
             "completed": self.completed,
             "errors": self.errors,
@@ -86,16 +112,8 @@ class LoadReport:
             "elapsed": self.elapsed,
             "certificates_per_second": self.certificates_per_second,
             "by_source": dict(sorted(self.by_source.items())),
-            "cold": {
-                "count": len(self.cold_latencies),
-                "p50": percentile(self.cold_latencies, 50.0),
-                "p99": percentile(self.cold_latencies, 99.0),
-            },
-            "warm": {
-                "count": len(self.warm_latencies),
-                "p50": percentile(self.warm_latencies, 50.0),
-                "p99": percentile(self.warm_latencies, 99.0),
-            },
+            "cold": side(self.cold_latencies),
+            "warm": side(self.warm_latencies),
         }
 
     def format(self) -> str:

@@ -15,7 +15,12 @@ no web framework, matching the repo's stdlib-only rule):
 ``GET /healthz``
     Liveness: ``{"status": "ok"}`` (``"draining"`` during shutdown).
 ``GET /statsz``
-    Cache/batcher/store counters, for the load generator and CI smoke.
+    Cache/batcher/store counters, uptime, per-tier hit ratios and the
+    in-flight count, for the load generator and CI smoke.
+``GET /metricsz``
+    The live metrics-registry snapshot (counters, gauges, histogram
+    buckets with ring time series) as JSON, or in the Prometheus text
+    exposition format with ``?format=prom``; ``repro top`` polls this.
 
 Operational behaviour, mirroring the farm runner's discipline:
 
@@ -43,17 +48,28 @@ import asyncio
 import json
 import logging
 import signal
+import time
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
 from ..errors import ReproError, ServeError
 from ..farm.store import ArtifactStore
 from ..obs import events as obs_events
+from ..obs.registry import MetricsRegistry, prometheus_text, set_registry
 from ..obs.trace import get_tracer
 from . import protocol
 from .batcher import Batcher
 from .cache import ServeCache
 
-__all__ = ["ServeSettings", "CertificateServer"]
+__all__ = ["STATSZ_FORMAT", "ServeSettings", "CertificateServer"]
+
+#: Version of the ``/statsz`` document (pinned in the sanitize schema
+#: registry).  v2 added ``statsz``/``uptime``/``cache_ratios`` and made
+#: ``inflight`` a stable part of the contract.
+STATSZ_FORMAT = 2
+
+#: Seconds between registry ring-series samples while serving.
+_SAMPLE_INTERVAL = 1.0
 
 logger = logging.getLogger("repro.serve")
 
@@ -119,10 +135,16 @@ class CertificateServer:
         self.inflight = 0
         self.requests = 0
         self.rejected = 0
+        #: The daemon's live metrics; installed process-globally while
+        #: serving so the cache/batcher/farm layers publish into it.
+        self.registry = MetricsRegistry()
+        self.started = time.monotonic()
         self._server: "asyncio.base_events.Server | None" = None
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
+        self._sampler: "asyncio.Task | None" = None
+        self._previous_registry: "MetricsRegistry | None" = None
 
     # -- request plumbing ---------------------------------------------------
 
@@ -158,14 +180,31 @@ class CertificateServer:
         ).to_json()
 
     def stats_document(self) -> dict[str, Any]:
-        """The ``/statsz`` body: cache, batcher, and store counters."""
+        """The ``/statsz`` body: counters, uptime, per-tier hit ratios.
+
+        Versioned by :data:`STATSZ_FORMAT` and pinned in the sanitize
+        schema-fingerprint registry; add fields freely, but renaming or
+        removing one must bump the version.
+        """
+        cache = dict(self.cache.counters)
+        lookups = sum(
+            count for tier, count in cache.items()
+            if tier != "revalidation_miss"
+        )
+        ratios = {
+            tier: (cache.get(tier, 0) / lookups if lookups else 0.0)
+            for tier in ("memory", "store", "joined", "computed")
+        }
         return {
+            "statsz": STATSZ_FORMAT,
             "protocol": protocol.PROTOCOL_VERSION,
             "status": "draining" if self.draining else "ok",
+            "uptime": max(0.0, time.monotonic() - self.started),
             "requests": self.requests,
             "rejected": self.rejected,
             "inflight": self.inflight,
-            "cache": dict(self.cache.counters),
+            "cache": cache,
+            "cache_ratios": ratios,
             "batches": self.batcher.batches,
             "dispatched": self.batcher.dispatched,
             "store": {
@@ -175,8 +214,12 @@ class CertificateServer:
         }
 
     async def _dispatch(
-        self, method: str, path: str, body: "dict[str, Any] | None"
-    ) -> tuple[int, dict[str, Any]]:
+        self,
+        method: str,
+        path: str,
+        body: "dict[str, Any] | None",
+        query: str = "",
+    ) -> "tuple[int, dict[str, Any] | str]":
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "healthz is GET-only"}
@@ -185,6 +228,17 @@ class CertificateServer:
             if method != "GET":
                 return 405, {"error": "statsz is GET-only"}
             return 200, self.stats_document()
+        if path == "/metricsz":
+            if method != "GET":
+                return 405, {"error": "metricsz is GET-only"}
+            snapshot = self.registry.snapshot()
+            form = parse_qs(query).get("format", ["json"])[0]
+            if form == "prom":
+                return 200, prometheus_text(snapshot)
+            if form != "json":
+                return 400, {"error": f"unknown format {form!r} "
+                                      "(expected json or prom)"}
+            return 200, snapshot
         if path == "/v1/query":
             if method != "POST":
                 return 405, {"error": "query is POST-only"}
@@ -197,8 +251,9 @@ class CertificateServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> "tuple[str, str, bytes] | None":
-        """Parse one request; ``None`` when the peer closed cleanly."""
+    ) -> "tuple[str, str, str, bytes] | None":
+        """Parse one request into ``(method, path, query, body)``;
+        ``None`` when the peer closed cleanly."""
         line = await reader.readline()
         if not line:
             return None
@@ -223,18 +278,26 @@ class CertificateServer:
             raise ServeError(f"request body of {length} bytes exceeds "
                              f"the {_MAX_BODY}-byte limit")
         payload = await reader.readexactly(length) if length else b""
-        return method.upper(), target.split("?", 1)[0], payload
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, payload
 
     @staticmethod
-    def _encode_response(status: int, doc: dict[str, Any]) -> bytes:
-        # canonical JSON keeps replies byte-stable for identical requests
-        body = json.dumps(
-            doc, sort_keys=True, separators=(",", ":"), allow_nan=False
-        ).encode("utf-8")
+    def _encode_response(status: int, doc: "dict[str, Any] | str") -> bytes:
+        if isinstance(doc, str):
+            # pre-rendered text body (the Prometheus exposition format)
+            body = doc.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            # canonical JSON keeps replies byte-stable for identical
+            # requests
+            body = json.dumps(
+                doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n"
             "\r\n"
@@ -245,17 +308,20 @@ class CertificateServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status = 500
-        doc: dict[str, Any] = {"error": "internal error"}
+        doc: "dict[str, Any] | str" = {"error": "internal error"}
         tracer = get_tracer()
+        registry = self.registry
         admitted = False
+        t0 = time.perf_counter()
         try:
             parsed = await self._read_request(reader)
             if parsed is None:
                 return
-            method, path, payload = parsed
+            method, path, query, payload = parsed
             if self.draining:
                 status, doc = 503, {"error": "daemon is draining"}
                 self.rejected += 1
+                registry.inc("serve.rejected")
                 if tracer.enabled:
                     tracer.event(
                         obs_events.EV_SERVE_REJECT,
@@ -267,6 +333,7 @@ class CertificateServer:
                              "requests in flight); retry with backoff"
                 }
                 self.rejected += 1
+                registry.inc("serve.rejected")
                 if tracer.enabled:
                     tracer.event(
                         obs_events.EV_SERVE_REJECT,
@@ -276,6 +343,8 @@ class CertificateServer:
                 admitted = True
                 self.inflight += 1
                 self.requests += 1
+                registry.inc("serve.requests")
+                registry.set_gauge("serve.inflight", self.inflight)
                 self._idle.clear()
                 body: "dict[str, Any] | None" = None
                 if payload:
@@ -291,7 +360,9 @@ class CertificateServer:
                 with tracer.span(
                     obs_events.SPAN_SERVE_REQUEST, method=method, path=path
                 ):
-                    status, doc = await self._dispatch(method, path, body)
+                    status, doc = await self._dispatch(
+                        method, path, body, query
+                    )
         except ServeError as exc:
             status, doc = 400, {"error": str(exc)}
         except asyncio.IncompleteReadError:
@@ -301,6 +372,10 @@ class CertificateServer:
         finally:
             if admitted:
                 self.inflight -= 1
+                registry.set_gauge("serve.inflight", self.inflight)
+                registry.observe(
+                    "serve.request_seconds", time.perf_counter() - t0
+                )
                 if self.inflight == 0:
                     self._idle.set()
             try:
@@ -313,6 +388,32 @@ class CertificateServer:
                 logger.debug("serve: peer vanished mid-reply: %s", exc)
 
     # -- lifecycle ----------------------------------------------------------
+
+    def _begin_serving(self) -> None:
+        """Shared start-up: uptime clock, global registry, sample tick."""
+        self.started = time.monotonic()
+        self._previous_registry = set_registry(self.registry)
+        self._sampler = asyncio.get_running_loop().create_task(
+            self._sample_loop()
+        )
+
+    async def _end_serving(self) -> None:
+        """Shared teardown: stop sampling, restore the global registry."""
+        if self._sampler is not None:
+            self._sampler.cancel()
+            try:
+                await self._sampler
+            except asyncio.CancelledError:
+                pass
+            self._sampler = None
+        set_registry(self._previous_registry)
+        self._previous_registry = None
+
+    async def _sample_loop(self) -> None:
+        """Append one ring-series point per metric every second."""
+        while True:
+            await asyncio.sleep(_SAMPLE_INTERVAL)
+            self.registry.sample()
 
     def request_drain(self) -> None:
         """Begin shutdown: refuse new work, let in-flight work land."""
@@ -334,6 +435,7 @@ class CertificateServer:
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, self.request_drain)
         self.batcher.start()
+        self._begin_serving()
         self._server = await asyncio.start_server(
             self._handle_connection, self.settings.host, self.settings.port
         )
@@ -348,6 +450,7 @@ class CertificateServer:
             self._server.close()
             await self._server.wait_closed()
             await self.batcher.stop()
+            await self._end_serving()
             for signum in (signal.SIGTERM, signal.SIGINT):
                 loop.remove_signal_handler(signum)
 
@@ -365,6 +468,7 @@ class CertificateServer:
         lifecycle control; ``repro serve`` uses :meth:`serve_forever`.
         """
         self.batcher.start()
+        self._begin_serving()
         self._server = await asyncio.start_server(
             self._handle_connection, self.settings.host, self.settings.port
         )
@@ -378,3 +482,4 @@ class CertificateServer:
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
+        await self._end_serving()

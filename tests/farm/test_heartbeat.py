@@ -1,0 +1,136 @@
+"""Heartbeat files: atomic writes, rate limiting, reading, liveness."""
+
+import json
+
+import pytest
+
+from repro.errors import FarmError
+from repro.farm import (
+    ArtifactStore,
+    CampaignSpec,
+    HeartbeatWriter,
+    heartbeat_age,
+    live_status_table,
+    read_heartbeats,
+    run_campaign,
+)
+from repro.farm.heartbeat import HEARTBEAT_DIR, HEARTBEAT_FORMAT
+
+
+class TestWriter:
+    def test_runner_document_shape(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        writer.beat_runner(
+            queue_depth=3, inflight=2, done=5, failed=1, total=10,
+            workers=2, force=True,
+        )
+        doc = json.loads((tmp_path / HEARTBEAT_DIR / "runner.json").read_text())
+        assert doc["heartbeat"] == HEARTBEAT_FORMAT
+        assert doc["role"] == "runner"
+        assert doc["queue_depth"] == 3
+        assert doc["done"] == 5
+        assert doc["failed"] == 1
+        assert doc["throughput"] >= 0.0
+
+    def test_worker_document_shape(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        writer.beat_worker(
+            1, pid=1234, busy=True, job="attack n=32", job_elapsed=0.5,
+            jobs_done=7, force=True,
+        )
+        doc = json.loads(
+            (tmp_path / HEARTBEAT_DIR / "worker-1.json").read_text()
+        )
+        assert doc["role"] == "worker"
+        assert doc["index"] == 1
+        assert doc["busy"] is True
+        assert doc["job"] == "attack n=32"
+        assert doc["jobs_done"] == 7
+
+    def test_rate_limit_skips_rapid_rewrites_but_force_bypasses(
+        self, tmp_path
+    ):
+        writer = HeartbeatWriter(tmp_path, interval=3600.0)
+        writer.beat_worker(0, pid=1, busy=False, job=None, job_elapsed=0,
+                           jobs_done=1, force=True)
+        writer.beat_worker(0, pid=1, busy=False, job=None, job_elapsed=0,
+                           jobs_done=2)  # suppressed: too soon
+        path = tmp_path / HEARTBEAT_DIR / "worker-0.json"
+        assert json.loads(path.read_text())["jobs_done"] == 1
+        writer.beat_worker(0, pid=1, busy=False, job=None, job_elapsed=0,
+                           jobs_done=3, force=True)
+        assert json.loads(path.read_text())["jobs_done"] == 3
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        writer.beat_runner(queue_depth=0, inflight=0, done=0, failed=0,
+                           total=0, workers=0, force=True)
+        assert list((tmp_path / HEARTBEAT_DIR).glob("*.tmp")) == []
+
+
+class TestReader:
+    def test_missing_store_root_raises(self, tmp_path):
+        with pytest.raises(FarmError, match="no store"):
+            read_heartbeats(tmp_path / "nope")
+
+    def test_store_without_heartbeats_is_empty_not_an_error(self, tmp_path):
+        beats = read_heartbeats(tmp_path)
+        assert beats == {"runner": None, "workers": []}
+
+    def test_workers_sorted_by_index_and_torn_files_skipped(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        for i in (2, 0, 1):
+            writer.beat_worker(i, pid=i, busy=False, job=None,
+                               job_elapsed=0, jobs_done=i, force=True)
+        (tmp_path / HEARTBEAT_DIR / "worker-9.json").write_text("{ torn")
+        beats = read_heartbeats(tmp_path)
+        assert [w["index"] for w in beats["workers"]] == [0, 1, 2]
+
+    def test_age_measures_staleness(self):
+        assert heartbeat_age(None) is None
+        assert heartbeat_age({"ts": "bad"}) is None
+        assert heartbeat_age({"ts": 100.0}, now=103.5) == 3.5
+        assert heartbeat_age({"ts": 100.0}, now=99.0) == 0.0  # clock skew
+
+
+class TestCampaignIntegration:
+    def test_campaign_with_store_leaves_heartbeats(self, tmp_path):
+        spec = CampaignSpec(
+            name="hb", kind="sleep",
+            grid={"duration": [0.0, 0.01]}, workers=2,
+        )
+        store = ArtifactStore(tmp_path / "store")
+        result = run_campaign(spec, store)
+        assert result.failures == 0
+        beats = read_heartbeats(store.root)
+        runner = beats["runner"]
+        assert runner is not None
+        assert runner["done"] == 2
+        assert runner["total"] == 2
+        assert runner["workers"] == 2
+        assert len(beats["workers"]) == 2
+        assert all(not w["busy"] for w in beats["workers"])
+
+    def test_live_status_table_renders(self, tmp_path):
+        spec = CampaignSpec(
+            name="hb", kind="sleep", grid={"duration": [0.0]}, workers=1,
+        )
+        store = ArtifactStore(tmp_path / "store")
+        run_campaign(spec, store)
+        table = live_status_table(store)
+        assert len(table.rows) == 1
+        assert any("runner pid" in note for note in table.notes)
+
+    def test_live_status_table_on_fresh_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        table = live_status_table(store)
+        assert table.rows == []
+        assert any("no campaign has run" in note for note in table.notes)
+
+    def test_campaign_without_store_writes_nothing(self, tmp_path):
+        spec = CampaignSpec(
+            name="hb", kind="sleep", grid={"duration": [0.0]},
+        )
+        run_campaign(spec, None)
+        # nothing to read -- no store, no heartbeat directory anywhere
+        assert not (tmp_path / HEARTBEAT_DIR).exists()

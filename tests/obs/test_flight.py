@@ -1,0 +1,176 @@
+"""The crash flight recorder: ring, tee, attach modes, dumps, SIGUSR2."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import MemorySink, Tracer, get_tracer, set_tracer, tracing
+from repro.obs.flight import (
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    RingSink,
+    TeeSink,
+    flight_enabled,
+    flight_recording,
+    get_flight,
+)
+
+
+class TestRingSink:
+    def test_keeps_only_the_most_recent_records(self):
+        ring = RingSink(capacity=3)
+        for i in range(10):
+            ring.write({"i": i})
+        assert [r["i"] for r in ring.drain()] == [7, 8, 9]
+        assert len(ring) == 3
+
+    def test_drain_returns_a_copy(self):
+        ring = RingSink(capacity=3)
+        ring.write({"i": 0})
+        drained = ring.drain()
+        ring.write({"i": 1})
+        assert drained == [{"i": 0}]
+
+
+class TestTeeSink:
+    def test_fans_out_every_record(self):
+        a, b = MemorySink(), MemorySink()
+        tee = TeeSink(a, b)
+        tee.write({"x": 1})
+        tee.flush()
+        tee.close()
+        assert a.records == b.records == [{"x": 1}]
+
+
+class TestAttach:
+    def test_installs_ring_tracer_when_tracing_is_off(self):
+        recorder = FlightRecorder(capacity=8)
+        assert not get_tracer().enabled
+        recorder.attach()
+        try:
+            tracer = get_tracer()
+            assert tracer.enabled
+            with tracer.span("work"):
+                pass
+            assert any(r["name"] == "work" for r in recorder.ring.drain())
+        finally:
+            recorder.detach()
+        assert not get_tracer().enabled
+
+    def test_tees_an_existing_tracer_sink(self, tmp_path):
+        sink = MemorySink()
+        previous = set_tracer(Tracer(sink))
+        recorder = FlightRecorder(capacity=8)
+        try:
+            recorder.attach()
+            with get_tracer().span("work"):
+                pass
+            recorder.detach()
+            # both the original sink and the ring saw the span
+            assert any(r["name"] == "work" for r in sink.records)
+            assert any(r["name"] == "work" for r in recorder.ring.drain())
+            assert get_tracer().sink is sink  # detach restored the sink
+        finally:
+            set_tracer(previous)
+
+    def test_attach_is_idempotent(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.attach()
+        recorder.attach()
+        try:
+            with get_tracer().span("once"):
+                pass
+            names = [r["name"] for r in recorder.ring.drain()]
+            assert names.count("once") == 1
+        finally:
+            recorder.detach()
+
+
+class TestDump:
+    def test_empty_ring_dumps_nothing(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        assert recorder.dump("why") is None
+        assert recorder.dumps == []
+
+    def test_dump_document_shape(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, directory=tmp_path)
+        recorder.attach()
+        try:
+            with get_tracer().span("work"):
+                pass
+        finally:
+            recorder.detach()
+        path = recorder.dump("unit-test", now=1000.0)
+        assert path is not None and path.parent == tmp_path
+        doc = json.loads(path.read_text())
+        assert doc["flight"] == FLIGHT_FORMAT
+        assert doc["reason"] == "unit-test"
+        assert doc["pid"] == os.getpid()
+        assert any(r["name"] == "work" for r in doc["records"])
+        assert recorder.dumps == [path]
+        # no stray temp files left behind
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_flight_recording_context(self, tmp_path):
+        with flight_recording(directory=tmp_path, signals=False) as recorder:
+            assert get_flight() is recorder
+            with get_tracer().span("inside"):
+                pass
+            assert recorder.dump("ctx") is not None
+        assert get_flight() is None
+        assert not get_tracer().enabled
+
+    def test_tracing_still_writes_its_own_file(self, tmp_path):
+        # the tee must not swallow records bound for an explicit --trace
+        trace_path = tmp_path / "trace.jsonl"
+        with tracing(trace_path):
+            with flight_recording(directory=tmp_path, signals=False):
+                with get_tracer().span("both"):
+                    pass
+        lines = trace_path.read_text().splitlines()
+        assert any(json.loads(ln)["name"] == "both" for ln in lines if ln)
+
+
+class TestEnabledFlag:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLIGHT", raising=False)
+        assert flight_enabled()
+
+    def test_explicit_values(self):
+        for off in ("0", "false", "off", "no", "", "  OFF  "):
+            assert not flight_enabled(off)
+        for on in ("1", "true", "yes", "anything"):
+            assert flight_enabled(on)
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGUSR2"), reason="platform lacks SIGUSR2"
+)
+class TestSignalDump:
+    def test_sigusr2_dumps_from_a_live_process(self, tmp_path):
+        # a subprocess attaches the recorder, pokes itself with
+        # SIGUSR2, and reports the dump path -- the "poke a stuck
+        # process from outside" workflow end to end
+        script = (
+            "import os, signal\n"
+            "from repro.obs.flight import flight_recording\n"
+            "from repro.obs.trace import get_tracer\n"
+            "with flight_recording(directory={dir!r}) as rec:\n"
+            "    get_tracer().event('stuck')\n"  # events flush immediately
+            "    os.kill(os.getpid(), signal.SIGUSR2)\n"
+            "    print(rec.dumps[0])\n"
+        ).format(dir=str(tmp_path))
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=60,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert result.returncode == 0, result.stderr
+        doc = json.loads(open(result.stdout.strip()).read())
+        assert doc["reason"] == "sigusr2"
+        assert any(r["name"] == "stuck" for r in doc["records"])

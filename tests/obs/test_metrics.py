@@ -6,7 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.obs import MemorySink, Tracer, aggregate, percentile
-from repro.obs.metrics import MetricsAggregator, span_stats
+from repro.obs.metrics import (
+    MetricsAggregator,
+    bucket_counts,
+    histogram_quantile,
+    rank_position,
+    span_stats,
+)
 
 
 class TestPercentile:
@@ -19,6 +25,61 @@ class TestPercentile:
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+
+    def test_single_sample_golden_all_quantiles(self):
+        # n=1: every percentile is the sample itself, with no
+        # interpolation artifacts at the extremes
+        for q in (0, 1, 25, 50, 75, 99, 100):
+            assert percentile([7.25], q) == 7.25
+
+    def test_two_sample_golden_interpolation(self):
+        # n=2: rank (2-1)*q/100 interpolates linearly between the
+        # order statistics -- these exact values are the contract
+        # shared with histogram_quantile
+        golden = {0: 1.0, 25: 1.5, 50: 2.0, 75: 2.5, 100: 3.0}
+        for q, expected in golden.items():
+            assert percentile([3.0, 1.0], q) == expected
+
+    def test_rank_position_is_the_shared_rule(self):
+        assert rank_position(1, 50) == 0.0
+        assert rank_position(2, 50) == 0.5
+        assert rank_position(5, 100) == 4.0
+        assert rank_position(0, 75) == 0.0
+        with pytest.raises(ValueError):
+            rank_position(3, -1)
+
+
+class TestBucketCounts:
+    def test_closed_upper_edges_and_overflow(self):
+        counts = bucket_counts([0.5, 1.0, 1.5, 99.0], [1.0, 2.0])
+        assert counts == [2, 1, 1]  # 1.0 lands in the le=1.0 bucket
+
+    def test_empty_values(self):
+        assert bucket_counts([], [1.0, 2.0]) == [0, 0, 0]
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert histogram_quantile([1.0, 2.0], [0, 0, 0], 50) == 0.0
+        assert histogram_quantile([], [0], 50) == 0.0
+
+    def test_edge_placed_samples_reproduce_percentile_exactly(self):
+        # samples sitting exactly on bucket edges lose nothing to
+        # bucketing, so the estimator must agree with the exact
+        # percentile -- the property that keeps `repro stats` and
+        # /metricsz from ever disagreeing
+        bounds = [1.0, 2.0, 4.0, 8.0]
+        samples = [1.0, 2.0, 2.0, 4.0, 8.0]
+        counts = bucket_counts(samples, bounds)
+        for q in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert histogram_quantile(bounds, counts, q) == pytest.approx(
+                percentile(samples, q)
+            )
+
+    def test_overflow_bucket_reports_top_edge(self):
+        # values beyond the last bound are only known to be >= it;
+        # the estimator answers with the top edge rather than inventing
+        assert histogram_quantile([1.0, 2.0], [0, 0, 3], 99) == 2.0
 
     @settings(max_examples=50, deadline=None)
     @given(

@@ -1,0 +1,290 @@
+"""The live metrics registry: emission, snapshots, fork-merge, wire schema."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObsError
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    METRICS_FORMAT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    normalize_metrics,
+    prometheus_text,
+    set_registry,
+    snapshot_quantile,
+    use_registry,
+    validate_metrics_document,
+)
+
+
+class TestEmission:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs")
+        reg.inc("jobs", 4)
+        assert reg.snapshot()["counters"]["jobs"]["value"] == 5.0
+
+    def test_gauge_keeps_last_value_and_set_time(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3, now=10.0)
+        reg.set_gauge("depth", 7, now=20.0)
+        slot = reg.snapshot()["gauges"]["depth"]
+        assert (slot["value"], slot["ts"]) == (7.0, 20.0)
+
+    def test_histogram_buckets_sum_count(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5, bounds=(1.0, 2.0))
+        reg.observe("lat", 1.0)  # closed upper edge: lands in le=1.0
+        reg.observe("lat", 9.0)  # overflow
+        slot = reg.snapshot()["histograms"]["lat"]
+        assert slot["counts"] == [2, 0, 1]
+        assert slot["count"] == 3
+        assert slot["sum"] == pytest.approx(10.5)
+
+    def test_histogram_default_bounds(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.01)
+        slot = reg.snapshot()["histograms"]["lat"]
+        assert slot["bounds"] == list(DEFAULT_LATENCY_BOUNDS)
+
+    def test_histogram_redeclare_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 1.0, bounds=(1.0, 2.0))
+        with pytest.raises(ObsError, match="cannot redeclare"):
+            reg.observe("lat", 1.0, bounds=(1.0, 4.0))
+
+    def test_bad_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError, match="sorted distinct"):
+            reg.observe("lat", 1.0, bounds=(2.0, 1.0))
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("jobs")
+        reg.set_gauge("depth", 1)
+        reg.observe("lat", 1.0)
+        reg.sample()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_emission_is_thread_safe(self):
+        reg = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["n"]["value"] == 4000.0
+
+
+class TestSeries:
+    def test_sample_appends_ring_points(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs", 2)
+        reg.sample(now=1.0)
+        reg.inc("jobs", 3)
+        reg.sample(now=2.0)
+        series = reg.snapshot()["counters"]["jobs"]["series"]
+        assert series == [[1.0, 2.0], [2.0, 5.0]]
+
+    def test_ring_is_bounded(self):
+        reg = MetricsRegistry(series_capacity=3)
+        reg.inc("jobs")
+        for i in range(10):
+            reg.sample(now=float(i))
+        series = reg.snapshot()["counters"]["jobs"]["series"]
+        assert len(series) == 3
+        assert series[0][0] == 7.0  # oldest points evicted
+
+
+class TestSnapshotWire:
+    def make_populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("farm.jobs_ok", 3)
+        reg.set_gauge("serve.inflight", 2, now=50.0)
+        reg.observe("lat", 1.5, bounds=(1.0, 2.0))
+        reg.sample(now=60.0)
+        return reg
+
+    def test_snapshot_validates(self):
+        doc = self.make_populated().snapshot(now=61.0)
+        assert validate_metrics_document(doc) is doc
+        assert doc["metrics"] == METRICS_FORMAT
+
+    def test_snapshot_is_json_roundtrippable(self):
+        doc = self.make_populated().snapshot(now=61.0)
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_from_snapshot_roundtrip_is_exact(self):
+        reg = self.make_populated()
+        doc = reg.snapshot(now=61.0)
+        rebuilt = MetricsRegistry.from_snapshot(doc)
+        assert rebuilt.snapshot(now=doc["ts"]) == doc
+
+    def test_validate_rejects_bad_documents(self):
+        good = self.make_populated().snapshot(now=61.0)
+        for mutate in (
+            lambda d: d.pop("metrics"),
+            lambda d: d.update(metrics=99),
+            lambda d: d.update(pid="x"),
+            lambda d: d["counters"].update(bad={"value": "NaN-ish"}),
+            lambda d: d["histograms"]["lat"].update(count=99),
+            lambda d: d["histograms"]["lat"].update(bounds=[2.0, 1.0]),
+            lambda d: d["histograms"]["lat"].update(counts=[1]),
+        ):
+            doc = json.loads(json.dumps(good))
+            mutate(doc)
+            with pytest.raises(ObsError):
+                validate_metrics_document(doc)
+
+
+# Hypothesis: arbitrary registry contents survive the wire roundtrip.
+_names = st.text(
+    st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
+    min_size=1, max_size=8,
+)
+_finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    counters=st.dictionaries(_names, _finite, max_size=4),
+    gauges=st.dictionaries(_names, st.tuples(_finite, _finite), max_size=4),
+    observations=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False), max_size=20
+    ),
+    sample_times=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=5
+    ),
+)
+def test_wire_roundtrip_property(counters, gauges, observations, sample_times):
+    reg = MetricsRegistry()
+    for name, value in counters.items():
+        reg.inc(f"c.{name}", value)
+    for name, (value, ts) in gauges.items():
+        reg.set_gauge(f"g.{name}", value, now=ts)
+    for value in observations:
+        reg.observe("lat", value, bounds=(1.0, 10.0))
+    for ts in sample_times:
+        reg.sample(now=ts)
+    doc = reg.snapshot(now=123.0)
+    wire = json.loads(json.dumps(doc))
+    assert validate_metrics_document(wire) is wire
+    rebuilt = MetricsRegistry.from_snapshot(wire)
+    assert rebuilt.snapshot(now=123.0) == doc
+
+
+class TestMerge:
+    def segment(self, jobs: int, gauge_ts: float) -> dict:
+        seg = MetricsRegistry()
+        seg.inc("jobs", jobs)
+        seg.set_gauge("busy", jobs, now=gauge_ts)
+        seg.observe("lat", float(jobs), bounds=(1.0, 4.0))
+        return seg.snapshot(now=gauge_ts)
+
+    def test_counters_and_histograms_add(self):
+        parent = MetricsRegistry()
+        parent.merge(self.segment(2, 10.0))
+        parent.merge(self.segment(3, 11.0))
+        snap = parent.snapshot()
+        assert snap["counters"]["jobs"]["value"] == 5.0
+        assert snap["histograms"]["lat"]["count"] == 2
+
+    def test_gauge_newer_set_time_wins_regardless_of_order(self):
+        a, b = self.segment(2, 10.0), self.segment(3, 11.0)
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.merge(a), one.merge(b)
+        two.merge(b), two.merge(a)
+        assert one.snapshot()["gauges"]["busy"]["value"] == 3.0
+        assert two.snapshot()["gauges"]["busy"]["value"] == 3.0
+
+    def test_fork_merge_is_order_deterministic(self):
+        # the determinism contract: identical segments merged in any
+        # order produce identical normalized documents
+        segments = [self.segment(i, float(i)) for i in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for doc in segments:
+            forward.merge(doc)
+        for doc in reversed(segments):
+            backward.merge(doc)
+        assert normalize_metrics(forward.snapshot()) == normalize_metrics(
+            backward.snapshot()
+        )
+
+    def test_merge_bounds_mismatch_raises(self):
+        seg = MetricsRegistry()
+        seg.observe("lat", 1.0, bounds=(1.0, 2.0))
+        parent = MetricsRegistry()
+        parent.observe("lat", 1.0, bounds=(1.0, 8.0))
+        with pytest.raises(ObsError, match="cannot redeclare"):
+            parent.merge(seg.snapshot())
+
+    def test_merge_into_disabled_registry_is_a_noop(self):
+        parent = MetricsRegistry(enabled=False)
+        parent.merge(self.segment(2, 10.0))
+        assert parent.snapshot()["counters"] == {}
+
+
+class TestPrometheusText:
+    def test_rendering_golden(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 3)
+        reg.set_gauge("serve.inflight", 1, now=5.0)
+        reg.observe("serve.request_seconds", 1.5, bounds=(1.0, 2.0))
+        reg.observe("serve.request_seconds", 9.0)
+        text = prometheus_text(reg.snapshot(now=6.0))
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 3" in text
+        assert "repro_serve_inflight 1" in text
+        assert 'repro_serve_request_seconds_bucket{le="1"} 0' in text
+        assert 'repro_serve_request_seconds_bucket{le="2"} 1' in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_serve_request_seconds_sum 10.5" in text
+        assert "repro_serve_request_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_quantile_estimate_reads_snapshot(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 1.0, 2.0, 2.0):
+            reg.observe("lat", v, bounds=(1.0, 2.0, 4.0))
+        doc = reg.snapshot()
+        assert snapshot_quantile(doc, "lat", 50) == pytest.approx(1.5)
+        assert snapshot_quantile(doc, "absent", 50) == 0.0
+
+
+class TestGlobalInstall:
+    def test_default_is_the_null_registry(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_use_registry_restores_on_exit(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as active:
+            assert active is mine
+            assert get_registry() is mine
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_null(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        set_registry(None)
+        assert get_registry() is NULL_REGISTRY

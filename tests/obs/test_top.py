@@ -1,0 +1,123 @@
+"""The ``repro top`` dashboard: frame rendering and the poll loop."""
+
+from repro.farm.heartbeat import HeartbeatWriter
+from repro.obs.registry import MetricsRegistry
+from repro.obs.top import counter_rate, farm_frame, run_top, serve_frame
+
+
+def make_snapshot(requests: float, ts: float) -> dict:
+    reg = MetricsRegistry()
+    reg.inc("serve.requests", requests)
+    for v in (0.001, 0.002, 0.004):
+        reg.observe("serve.request_seconds", v, bounds=(0.001, 0.002, 0.004))
+    return reg.snapshot(now=ts)
+
+
+class TestCounterRate:
+    def test_first_poll_is_zero(self):
+        assert counter_rate(make_snapshot(5, 10.0), None, "serve.requests") == 0.0
+
+    def test_delta_over_snapshot_timestamps(self):
+        prev = make_snapshot(10, 100.0)
+        now = make_snapshot(30, 104.0)
+        assert counter_rate(now, prev, "serve.requests") == 5.0
+
+    def test_non_advancing_clock_is_zero(self):
+        doc = make_snapshot(10, 100.0)
+        assert counter_rate(doc, doc, "serve.requests") == 0.0
+
+    def test_counter_reset_clamps_to_zero(self):
+        prev = make_snapshot(30, 100.0)
+        now = make_snapshot(10, 104.0)  # daemon restarted
+        assert counter_rate(now, prev, "serve.requests") == 0.0
+
+
+class TestServeFrame:
+    def test_renders_the_vital_signs(self):
+        stats = {
+            "status": "serving", "uptime": 12.0, "requests": 30,
+            "inflight": 2, "rejected": 1,
+            "cache_ratios": {"memory": 0.5, "computed": 0.25},
+            "batches": 3, "dispatched": 7,
+            "store": {"hits": 4, "misses": 2},
+        }
+        frame = serve_frame(
+            stats, make_snapshot(30, 104.0), make_snapshot(10, 100.0)
+        )
+        assert "serving" in frame
+        assert "5.0 req/s" in frame
+        assert "memory 50%" in frame
+        assert "computed 25%" in frame
+        assert "2 in flight" in frame
+        assert "p50" in frame and "p99" in frame
+        assert "3 batches" in frame
+        assert "4 hits / 2 misses" in frame
+
+    def test_latency_comes_from_the_histogram(self):
+        frame = serve_frame({}, make_snapshot(3, 10.0))
+        # samples 1/2/4ms on matching edges: p50 is exactly 2ms
+        assert "p50 2.0ms" in frame
+
+
+class TestFarmFrame:
+    def test_renders_runner_and_workers(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path)
+        writer.beat_runner(queue_depth=4, inflight=2, done=3, failed=1,
+                           total=10, workers=2, force=True)
+        writer.beat_worker(0, pid=11, busy=True, job="attack n=32",
+                           job_elapsed=1.5, jobs_done=2, force=True)
+        writer.beat_worker(1, pid=12, busy=False, job=None,
+                           job_elapsed=0.0, jobs_done=1, force=True)
+        from repro.farm.heartbeat import read_heartbeats
+
+        frame = farm_frame(read_heartbeats(tmp_path))
+        assert "3/10 done (1 failed)" in frame
+        assert "queue depth 4" in frame
+        assert "busy 1.5s on attack n=32" in frame
+        assert "idle" in frame
+
+    def test_no_runner_heartbeat(self):
+        frame = farm_frame({"runner": None, "workers": []})
+        assert "no runner heartbeat" in frame
+
+
+class TestRunTop:
+    def test_farm_source_single_frame(self, tmp_path):
+        HeartbeatWriter(tmp_path).beat_runner(
+            queue_depth=0, inflight=0, done=1, failed=0, total=1,
+            workers=1, force=True,
+        )
+        frames = []
+        code = run_top(store=str(tmp_path), iterations=1, out=frames.append)
+        assert code == 0
+        assert len(frames) == 1
+        assert "1/1 done" in frames[0]
+        assert "\x1b" not in frames[0]  # single-frame mode: no ANSI clear
+
+    def test_unreachable_source_exits_2(self, tmp_path):
+        frames = []
+        code = run_top(
+            store=str(tmp_path / "missing"), iterations=1, out=frames.append
+        )
+        assert code == 2
+        assert frames and "repro top:" in frames[0]
+
+    def test_unreachable_daemon_exits_2(self):
+        frames = []
+        code = run_top(port=1, iterations=1, out=frames.append)
+        assert code == 2
+
+    def test_multi_frame_clears_screen_between_frames(self, tmp_path):
+        HeartbeatWriter(tmp_path).beat_runner(
+            queue_depth=0, inflight=0, done=1, failed=0, total=1,
+            workers=1, force=True,
+        )
+        frames = []
+        code = run_top(
+            store=str(tmp_path), iterations=2, interval=0.1,
+            out=frames.append,
+        )
+        assert code == 0
+        assert len(frames) == 2
+        assert not frames[0].startswith("\x1b")
+        assert frames[1].startswith("\x1b[2J")

@@ -1,0 +1,63 @@
+"""The loadgen report document: v2 fields, bucket agreement, formatting."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import bucket_counts, histogram_quantile, percentile
+from repro.obs.registry import DEFAULT_LATENCY_BOUNDS
+from repro.serve import LOADGEN_FORMAT, LoadReport
+
+
+def make_report() -> LoadReport:
+    return LoadReport(
+        requests=6,
+        errors=1,
+        rejected=1,
+        elapsed=2.0,
+        cold_latencies=[0.5, 0.25],
+        warm_latencies=[0.002, 0.001],
+        by_source={"computed": 2, "memory": 2},
+    )
+
+
+class TestToJson:
+    def test_carries_format_version(self):
+        doc = make_report().to_json()
+        assert doc["loadgen"] == LOADGEN_FORMAT
+
+    def test_max_latency_per_temperature(self):
+        doc = make_report().to_json()
+        assert doc["cold"]["max"] == 0.5
+        assert doc["warm"]["max"] == 0.002
+        assert LoadReport().to_json()["cold"]["max"] == 0.0
+
+    def test_buckets_use_the_shared_latency_bounds(self):
+        doc = make_report().to_json()
+        cold = doc["cold"]["buckets"]
+        assert cold["bounds"] == list(DEFAULT_LATENCY_BOUNDS)
+        assert cold["counts"] == bucket_counts(
+            [0.5, 0.25], DEFAULT_LATENCY_BOUNDS
+        )
+        assert sum(cold["counts"]) == doc["cold"]["count"]
+
+    def test_bucketed_p50_tracks_exact_p50(self):
+        # the client-side buckets admit the same estimator /metricsz
+        # uses server-side; estimates stay within one bucket octave
+        doc = make_report().to_json()
+        exact = percentile([0.5, 0.25], 50.0)
+        estimate = histogram_quantile(
+            doc["cold"]["buckets"]["bounds"],
+            doc["cold"]["buckets"]["counts"],
+            50.0,
+        )
+        assert estimate == pytest.approx(exact, rel=1.0)
+
+    def test_document_is_json_serializable(self):
+        json.dumps(make_report().to_json())
+
+    def test_human_format_still_renders(self):
+        text = make_report().format()
+        assert "cold latency" in text
+        assert "warm latency" in text
+        assert "throughput" in text

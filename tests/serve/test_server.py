@@ -166,6 +166,69 @@ class TestHttpSurface:
         assert excinfo.value.status == 400
 
 
+class TestMetricsz:
+    def test_json_snapshot_validates_and_counts_requests(self, tmp_path):
+        from repro.obs.registry import validate_metrics_document
+
+        with DaemonHarness(tmp_path / "store") as daemon:
+            daemon.client.query("verify", {"sorter": "bitonic", "n": 8})
+            doc = daemon.client.metrics()
+        assert validate_metrics_document(doc) is doc
+        assert doc["counters"]["serve.requests"]["value"] >= 1
+        assert doc["counters"]["serve.cache.computed"]["value"] == 1
+        hist = doc["histograms"]["serve.request_seconds"]
+        assert hist["count"] >= 1
+        assert sum(hist["counts"]) == hist["count"]
+
+    def test_prometheus_format_negotiated_by_query_string(self, tmp_path):
+        import http.client
+
+        with DaemonHarness(tmp_path / "store") as daemon:
+            daemon.client.query("verify", {"sorter": "bitonic", "n": 8})
+            conn = http.client.HTTPConnection("127.0.0.1", daemon.server.port)
+            conn.request("GET", "/metricsz?format=prom")
+            reply = conn.getresponse()
+            content_type = reply.getheader("Content-Type")
+            text = reply.read().decode()
+            conn.close()
+        assert reply.status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_serve_requests counter" in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"}' in text
+
+    def test_unknown_format_is_400(self, tmp_path):
+        with DaemonHarness(tmp_path / "store") as daemon:
+            status, doc = daemon.client._call("GET", "/metricsz?format=xml")
+        assert status == 400
+
+    def test_worker_metrics_merge_into_the_parent_registry(self, tmp_path):
+        # a cold miss runs on the farm pool; the worker's segment
+        # (farm.jobs_ok et al.) must come home in the result envelope
+        with DaemonHarness(tmp_path / "store") as daemon:
+            daemon.client.query("verify", {"sorter": "bitonic", "n": 8})
+            doc = daemon.client.metrics()
+        assert doc["counters"]["farm.jobs_ok"]["value"] == 1
+        assert "farm.queue_wait_seconds" in doc["histograms"]
+
+
+class TestStatszV2:
+    def test_uptime_inflight_and_cache_ratios(self, tmp_path):
+        from repro.serve import STATSZ_FORMAT
+
+        with DaemonHarness(tmp_path / "store") as daemon:
+            daemon.client.query("verify", {"sorter": "bitonic", "n": 8})
+            daemon.client.query("verify", {"sorter": "bitonic", "n": 8})
+            stats = daemon.client.stats()
+        assert stats["statsz"] == STATSZ_FORMAT
+        assert stats["uptime"] >= 0.0
+        assert isinstance(stats["inflight"], int)
+        ratios = stats["cache_ratios"]
+        # one cold compute + one memory hit over two cache lookups
+        assert ratios["computed"] == 0.5
+        assert ratios["memory"] == 0.5
+        assert ratios["store"] == 0.0
+
+
 class TestBackpressure:
     def test_requests_beyond_max_inflight_get_429(self, tmp_path):
         with DaemonHarness(
