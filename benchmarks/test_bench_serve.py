@@ -128,6 +128,14 @@ def test_bench_serve_latency_and_throughput(benchmark, record_table, tmp_path):
         f"warm p50 {warm_p50 * 1e3:.2f}ms not >= 10x faster than "
         f"cold p50 {cold_p50 * 1e3:.2f}ms"
     )
+    # the warm *tail* is the event-loop-health pin: blocking work on
+    # the loop (the tier-2 store access repro race caught in issue 9)
+    # drags warm p99 toward cold territory long before p50 moves
+    warm_p99 = percentile(report.warm_latencies, 99)
+    assert warm_p99 <= cold_p50, (
+        f"warm p99 {warm_p99 * 1e3:.2f}ms reached cold p50 "
+        f"{cold_p50 * 1e3:.2f}ms: something is stalling the loop"
+    )
 
 
 def test_bench_serve_stress_1000_requests(record_table, tmp_path):

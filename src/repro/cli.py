@@ -710,6 +710,18 @@ def _sanitize_merges(args):
             )
 
         merges.append(run_perf)
+    if args.race:
+
+        def run_race(paths, select, baseline):
+            from .race import RaceConfig, analyze_paths
+
+            if args.baseline is None:
+                baseline = _analyzer_baseline(args, "race-baseline.json")
+            return analyze_paths(
+                paths, RaceConfig(select=select), baseline=baseline
+            )
+
+        merges.append(run_race)
     return merges
 
 
@@ -721,9 +733,10 @@ def cmd_flow(args) -> int:
         if args.graph:
             doc = graph_json(build_program(args.paths))
             Path(args.graph).write_text(json.dumps(doc, indent=2) + "\n")
-            print(
-                f"call graph with {len(doc['nodes'])} nodes, "
-                f"{len(doc['edges'])} edges written to {args.graph}"
+            # stderr: stdout must stay a clean report under --json
+            logger.info(
+                "call graph with %d nodes, %d edges written to %s",
+                len(doc["nodes"]), len(doc["edges"]), args.graph,
             )
         baseline = _analyzer_baseline(args, "flow-baseline.json")
         report = analyze_paths(args.paths, config, baseline=baseline)
@@ -731,6 +744,29 @@ def cmd_flow(args) -> int:
         logger.error("error[flow/usage]: %s", exc)
         return 2
     return _finish_analyzer(args, report, "flow-baseline.json")
+
+
+def cmd_race(args) -> int:
+    from .race import RaceConfig, analyze_paths, build_analysis, model_json
+
+    config = RaceConfig(select=_selected(args))
+    try:
+        if args.graph:
+            analysis, _, _ = build_analysis(args.paths, config)
+            doc = model_json(analysis)
+            Path(args.graph).write_text(json.dumps(doc, indent=2) + "\n")
+            # stderr: stdout must stay a clean report under --json
+            logger.info(
+                "concurrency model with %d functions, %d module "
+                "handles written to %s",
+                len(doc["functions"]), len(doc["handles"]), args.graph,
+            )
+        baseline = _analyzer_baseline(args, "race-baseline.json")
+        report = analyze_paths(args.paths, config, baseline=baseline)
+    except SanitizeError as exc:
+        logger.error("error[race/usage]: %s", exc)
+        return 2
+    return _finish_analyzer(args, report, "race-baseline.json")
 
 
 def cmd_perf(args) -> int:
@@ -962,6 +998,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perf", action="store_true",
                    help="also run the hot-path perf analysis "
                         "(see `repro perf`) and merge its findings")
+    p.add_argument("--race", action="store_true",
+                   help="also run the whole-program concurrency analysis "
+                        "(see `repro race`) and merge its findings")
     p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("flow", help="whole-program flow analysis of the "
@@ -999,6 +1038,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "(ignores pragmas and the baseline: it is the "
                         "inventory of remaining scalar hot paths)")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("race", help="whole-program concurrency analysis "
+                                    "of the repro source tree itself")
+    _add_tree_analyzer_args(
+        p,
+        paths_help="files/directories to analyse as one program "
+                   "(default: src)",
+        select_example="race/blocking",
+        default_baseline="race-baseline.json",
+    )
+    p.add_argument("--graph", metavar="PATH", default=None,
+                   help="also serialise the concurrency model (contexts, "
+                        "blocking/fork/dispatch facts, shared-state "
+                        "writes, module handles) to PATH as JSON")
+    p.set_defaults(func=cmd_race)
 
     p = sub.add_parser("farm", help="parallel campaign runner with a "
                                     "content-addressed artifact store")

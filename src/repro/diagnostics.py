@@ -1,15 +1,23 @@
 """Diagnostic plumbing shared by the repo's static analyzers.
 
-Two analyzers live in this package: :mod:`repro.lint` (networks are the
-analysis target) and :mod:`repro.sanitize` (the repro source tree itself
-is the analysis target).  Both express findings as immutable
+The analyzer family lives on this module: :mod:`repro.lint` (networks
+are the analysis target) and the source-tree analyzers
+:mod:`repro.sanitize`, :mod:`repro.flow`, :mod:`repro.perf` and
+:mod:`repro.race`.  All express findings as immutable
 :class:`Diagnostic` records -- a stable ``category/name`` rule id, a
 :class:`Severity`, a message, an analyzer-specific location, and an
 optional :class:`FixIt` -- and aggregate them in reports sharing one
 rendering, one JSON schema, and one exit-code convention
-(:class:`DiagnosticReport`).  Keeping the plumbing here means the two
+(:class:`DiagnosticReport`).  Keeping the plumbing here means the
 analyzers cannot drift: a change to severity ordering, report summaries
-or exit codes lands in both at once.
+or exit codes lands in all of them at once.
+
+The ratcheted-baseline mechanism (:class:`Baseline`) and the waiver
+pass every tree analyzer runs over its raw findings
+(:func:`apply_waivers`) live here too, so the grandfathering semantics
+-- line-number-independent fingerprints, pragma-before-baseline order,
+suppressed counts -- are identical across ``sanitize``, ``flow``,
+``perf`` and ``race``.
 
 Locations are analyzer-specific (a network finding points at a
 stage/gate/wire triple, a source finding at a file/line/column) and are
@@ -20,8 +28,12 @@ and a comparable ``sort_key`` tuple works.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Any, Protocol, runtime_checkable
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from .errors import SanitizeError
 
 __all__ = [
     "Severity",
@@ -29,6 +41,9 @@ __all__ = [
     "FixIt",
     "Diagnostic",
     "DiagnosticReport",
+    "BASELINE_VERSION",
+    "Baseline",
+    "apply_waivers",
 ]
 
 
@@ -217,3 +232,136 @@ class DiagnosticReport:
             "infos": len(self.infos),
             "fixable": len(self.fixable),
         }
+
+
+#: Version of the baseline document format; bump on breaking change.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints.
+
+    A baseline is a JSON document listing findings that are
+    acknowledged but not yet fixed; matching findings are suppressed
+    from the report (and the exit code) so a CI gate can be turned on
+    *before* the tree is fully clean, then ratcheted down to empty.
+    The shipped sanitize/flow/race baselines are empty and must stay
+    empty: new findings fail CI immediately; ``perf-baseline.json``
+    grandfathers the vectorization worklist and is burned down PR by
+    PR.
+
+    Entries are fingerprinted as ``(rule id, repro-anchored path,
+    stripped source line)`` rather than line numbers, so unrelated
+    edits above a grandfathered finding do not churn the baseline.  A
+    consequence worth knowing: two *identical* violations on identical
+    lines of one file share a fingerprint and are suppressed together
+    -- acceptable for a ratchet-to-zero workflow, where entries only
+    ever disappear.
+    """
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (``SanitizeError`` on malformed input)."""
+        p = Path(path)
+        try:
+            doc = json.loads(p.read_text())
+        except OSError as exc:
+            raise SanitizeError(f"cannot read baseline {p}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SanitizeError(
+                f"baseline {p} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise SanitizeError(
+                f"baseline {p} must be an object with version = "
+                f"{BASELINE_VERSION}"
+            )
+        findings = doc.get("findings")
+        if not isinstance(findings, list):
+            raise SanitizeError(f"baseline {p}: 'findings' must be a list")
+        entries: set[tuple[str, str, str]] = set()
+        for i, entry in enumerate(findings):
+            if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(k), str) for k in ("rule", "path")
+            ):
+                raise SanitizeError(
+                    f"baseline {p}: finding {i} must be an object with "
+                    "string 'rule' and 'path'"
+                )
+            entries.add(
+                (entry["rule"], entry["path"], entry.get("content", ""))
+            )
+        return cls(entries=entries)
+
+    @staticmethod
+    def fingerprint(diag: Diagnostic, line_text: str) -> tuple[str, str, str]:
+        """The line-number-independent identity of one finding."""
+        from .sanitize.engine import anchored_path
+
+        path = getattr(diag.location, "path", "") or ""
+        return (diag.rule, anchored_path(path) if path else "", line_text)
+
+    def matches(self, diag: Diagnostic, line_text: str) -> bool:
+        """True iff this finding is grandfathered."""
+        return self.fingerprint(diag, line_text) in self.entries
+
+    @staticmethod
+    def document(
+        findings: list[tuple[Diagnostic, str]],
+    ) -> dict[str, Any]:
+        """Build a baseline document from ``(diagnostic, line text)`` pairs."""
+        seen: set[tuple[str, str, str]] = set()
+        entries: list[dict[str, str]] = []
+        for diag, line_text in findings:
+            fp = Baseline.fingerprint(diag, line_text)
+            if fp in seen:
+                continue
+            seen.add(fp)
+            entries.append(
+                {"rule": fp[0], "path": fp[1], "content": fp[2]}
+            )
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["content"]))
+        return {"version": BASELINE_VERSION, "findings": entries}
+
+    def write(self, path: str | Path, doc: dict[str, Any]) -> None:
+        """Write a baseline document with a trailing newline."""
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def apply_waivers(
+    diagnostics: list[Diagnostic],
+    contexts: Mapping[str, Any],
+    baseline: "Baseline | None",
+) -> tuple[list[Diagnostic], int]:
+    """The waiver pass every tree analyzer runs over its raw findings.
+
+    Pragma-suppressed findings are dropped silently (the pragma is the
+    documented waiver); baseline-matched findings are dropped but
+    counted, so a grandfathered tree never reads as clean.  Returns the
+    kept diagnostics sorted by :attr:`Diagnostic.sort_key` plus the
+    suppressed count.  ``contexts`` maps file paths to objects with the
+    :class:`repro.sanitize.FileContext` waiver surface (``suppressed``
+    and ``line_text``); diagnostics whose path has no context (e.g.
+    syntax errors) skip the pragma check and fingerprint with an empty
+    line.
+    """
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in diagnostics:
+        path = getattr(diag.location, "path", None)
+        ctx = contexts.get(path) if path else None
+        if ctx is not None and ctx.suppressed(diag):
+            continue
+        if ctx is None:
+            line_text = ""
+        else:
+            line_text = ctx.line_text(getattr(diag.location, "line", None))
+        if baseline is not None and baseline.matches(diag, line_text):
+            suppressed += 1
+            continue
+        kept.append(diag)
+    kept.sort(key=lambda d: d.sort_key)
+    return kept, suppressed

@@ -180,7 +180,13 @@ class _Worker:
 
     def __init__(self, ctx):
         self.conn, child = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
+        # Deliberately forked from the batcher's dispatcher thread when
+        # serving: the child runs _worker_main, which re-seeds rng state
+        # and rebuilds its own registry/tracer before touching anything
+        # inherited, and the farm's fork-safety rules (flow/fork-hostile
+        # -call, forksafety/*) keep the worker's reachable set free of
+        # inherited locks and handles.
+        self.process = ctx.Process(  # sanitize: ok[race/fork-after-thread]
             target=_worker_main, args=(child,), daemon=True
         )
         self.process.start()

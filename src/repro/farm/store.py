@@ -24,6 +24,13 @@ refreshes the cached entry, keeping a single-process reader-after-writer
 coherent; the cache is advisory only -- a cached document is exactly the
 parsed object file -- and callers must treat returned documents as
 immutable, since cache hits share one dict.
+
+The store is thread-safe: the serve daemon calls :meth:`get` and
+:meth:`put` from ``asyncio.to_thread`` workers, so an internal lock
+guards the LRU, its hit/miss counters and the index append.  Object
+file I/O (the temp-file/fsync/replace dance) happens *outside* the
+lock -- per-key atomicity comes from ``os.replace``, not from the
+lock, so one slow disk write never serialises unrelated keys.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Iterator
@@ -83,6 +91,9 @@ class ArtifactStore:
         self.root = Path(root)
         self.cache_size = max(0, int(cache_size))
         self._cache: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        #: Guards the LRU, the hit/miss counters and the index append;
+        #: never held across object-file I/O.
+        self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -129,16 +140,21 @@ class ArtifactStore:
                 "elapsed": doc.get("elapsed"),
             }
         )
-        with open(self.index_path, "a") as fh:
-            fh.write(line + "\n")
-        # refresh (or install) the cached entry so a reader in this
+        # the lock serialises index lines from concurrent to_thread
+        # writers and refreshes the cached entry, so a reader in this
         # process sees the overwrite immediately; re-parsing the written
         # text guarantees cache and disk agree byte for byte
-        self._remember(key, json.loads(text))
+        with self._lock:
+            with open(self.index_path, "a") as fh:
+                fh.write(line + "\n")
+            self._remember(key, json.loads(text))
         return path
 
     def _remember(self, key: str, doc: dict[str, Any]) -> None:
-        """Install one parsed document as the most-recent cache entry."""
+        """Install one parsed document as the most-recent cache entry.
+
+        Callers hold ``self._lock``.
+        """
         if self.cache_size <= 0:
             return
         self._cache[key] = doc
@@ -152,10 +168,11 @@ class ArtifactStore:
         Needed only when another *process* rewrote an object under this
         store's feet; same-process :meth:`put` refreshes automatically.
         """
-        if key is None:
-            self._cache.clear()
-        else:
-            self._cache.pop(key, None)
+        with self._lock:
+            if key is None:
+                self._cache.clear()
+            else:
+                self._cache.pop(key, None)
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Load one artifact; a missing or unreadable object is a miss.
@@ -163,12 +180,13 @@ class ArtifactStore:
         Hits are served from the in-process LRU without touching disk;
         treat the returned document as immutable (it is shared).
         """
-        hit = self._cache.get(key)
-        if hit is not None:
-            self._cache.move_to_end(key)
-            self.cache_hits += 1
-            return hit
-        self.cache_misses += 1
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return hit
+            self.cache_misses += 1
         path = self.object_path(key)
         try:
             doc = json.loads(path.read_text())
@@ -176,7 +194,8 @@ class ArtifactStore:
             return None
         if not isinstance(doc, dict) or doc.get("key") != key:
             return None
-        self._remember(key, doc)
+        with self._lock:
+            self._remember(key, doc)
         return doc
 
     def __contains__(self, key: str) -> bool:

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from ..diagnostics import Baseline, apply_waivers
 from ..errors import SanitizeError
-from ..sanitize.baseline import Baseline
 from ..sanitize.diagnostics import Diagnostic, Severity, SourceLocation
 from ..sanitize.engine import FileContext, SanitizeConfig, discover_files
 from .graph import Program
@@ -110,20 +110,9 @@ def analyze_paths(
         if not cfg.rule_enabled(rule.id):
             continue
         diagnostics.extend(rule.check(analysis))
-    kept: list[Diagnostic] = []
-    suppressed = 0
-    for diag in diagnostics:
-        path = getattr(diag.location, "path", None)
-        ctx = program.contexts.get(path) if path else None
-        if ctx is not None and ctx.suppressed(diag):
-            continue
-        if baseline is not None and baseline.matches(
-            diag, _line_text(ctx, diag)
-        ):
-            suppressed += 1
-            continue
-        kept.append(diag)
-    kept.sort(key=lambda d: d.sort_key)
+    kept, suppressed = apply_waivers(
+        diagnostics, program.contexts, baseline
+    )
     return FlowReport(
         targets=sorted(str(p) for p in paths),
         files=len(files),
@@ -132,10 +121,3 @@ def analyze_paths(
         diagnostics=kept,
         suppressed=suppressed,
     )
-
-
-def _line_text(ctx: FileContext | None, diag: Diagnostic) -> str:
-    """The stripped source line a diagnostic anchors to (baseline key)."""
-    if ctx is None:
-        return ""
-    return ctx.line_text(getattr(diag.location, "line", None))

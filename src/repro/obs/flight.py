@@ -186,7 +186,13 @@ class FlightRecorder:
         def on_sigusr2(signum: int, frame: Any) -> None:
             self.dump("sigusr2")
 
-        self._previous_handler = signal.signal(signal.SIGUSR2, on_sigusr2)
+        # The dump blocks the main thread mid-bytecode, which is the
+        # right trade for synchronous CLI commands (the only users of
+        # this registration): a stuck solve *should* stop to write its
+        # postmortem.  The serve daemon swaps this handler for a
+        # loop-registered, off-thread dump for the duration of
+        # serve_forever and restores it afterwards.
+        self._previous_handler = signal.signal(signal.SIGUSR2, on_sigusr2)  # sanitize: ok[race/blocking-in-signal-handler]
 
     def restore_signal_handler(self) -> None:
         """Put back whatever handler was installed before ours."""

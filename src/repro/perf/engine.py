@@ -20,9 +20,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from ..sanitize.baseline import Baseline
+from ..diagnostics import Baseline, apply_waivers
 from ..sanitize.diagnostics import Diagnostic
-from ..sanitize.engine import FileContext, discover_files
+from ..sanitize.engine import discover_files
 from .report import PerfReport
 from .rules import HOT_DEPTH, PERF_RULES, PerfAnalysis
 from .profilejoin import ProfileJoin, join_profile
@@ -91,20 +91,9 @@ def analyze_paths(
     """
     analysis, diagnostics, files = build_analysis(paths, config)
     program = analysis.program
-    kept: list[Diagnostic] = []
-    suppressed = 0
-    for diag in diagnostics:
-        path = getattr(diag.location, "path", None)
-        ctx = program.contexts.get(path) if path else None
-        if ctx is not None and ctx.suppressed(diag):
-            continue
-        if baseline is not None and baseline.matches(
-            diag, _line_text(ctx, diag)
-        ):
-            suppressed += 1
-            continue
-        kept.append(diag)
-    kept.sort(key=lambda d: d.sort_key)
+    kept, suppressed = apply_waivers(
+        diagnostics, program.contexts, baseline
+    )
     join = analysis.join
     return PerfReport(
         targets=sorted(str(p) for p in paths),
@@ -124,10 +113,3 @@ def worklist_paths(
     analysis, diagnostics, _files = build_analysis(paths, config)
     findings = [d for d in diagnostics if d.rule.startswith("perf/")]
     return build_worklist(analysis, findings, [str(p) for p in paths])
-
-
-def _line_text(ctx: FileContext | None, diag: Diagnostic) -> str:
-    """The stripped source line a diagnostic anchors to (baseline key)."""
-    if ctx is None:
-        return ""
-    return ctx.line_text(getattr(diag.location, "line", None))

@@ -1,0 +1,99 @@
+"""The race engine: discovery, program construction, rules, report.
+
+Entry point :func:`analyze_paths` mirrors
+:func:`repro.flow.engine.analyze_paths` -- deterministic (sorted) file
+discovery, the ratcheted baseline, ``# sanitize: ok`` pragma
+suppression -- over the same whole-program unit: every parseable file
+joins one :class:`~repro.flow.graph.Program`, the concurrency-context
+and blocking-effect fixpoints run once, and each rule reads the global
+result.
+
+Determinism contract: the report depends only on the *set* of files and
+their contents, never on discovery order (property-tested in
+``tests/race/test_order_independence.py``).  Unparseable files become
+``parse/syntax-error`` diagnostics, exactly as in the other analyzers,
+and are excluded from the program rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..diagnostics import Baseline, apply_waivers
+from ..sanitize.diagnostics import Diagnostic
+from ..sanitize.engine import discover_files
+from .report import RaceReport
+from .rules import RACE_RULES, RaceAnalysis
+
+__all__ = ["RaceConfig", "analyze_paths", "build_analysis"]
+
+
+@dataclass(frozen=True)
+class RaceConfig:
+    """Tunables for one race run.
+
+    ``select`` optionally restricts to rules whose id starts with one
+    of the given prefixes (``--select race/blocking`` etc.), mirroring
+    the other analyzer configs.
+    """
+
+    select: tuple[str, ...] | None = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True iff ``rule_id`` passes the ``select`` filter."""
+        if not self.select:
+            return True
+        return any(rule_id.startswith(prefix) for prefix in self.select)
+
+
+def build_analysis(
+    paths: Iterable[str | Path], config: RaceConfig | None = None
+) -> tuple[RaceAnalysis, list[Diagnostic], int]:
+    """Build the program and concurrency model, run the rules.
+
+    Returns the analysis, the raw rule findings (plus parse
+    diagnostics), and the number of analysed files.
+    """
+    from ..flow.engine import _load_contexts
+    from ..flow.graph import Program
+
+    cfg = config or RaceConfig()
+    files = discover_files(paths)
+    contexts, diagnostics = _load_contexts(files)
+    program = Program.build(contexts)
+    analysis = RaceAnalysis.build(program)
+    for rule in RACE_RULES.values():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        diagnostics.extend(rule.check(analysis))
+    return analysis, diagnostics, len(files)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    config: RaceConfig | None = None,
+    baseline: Baseline | None = None,
+) -> RaceReport:
+    """Analyse a set of files/directories as one whole program.
+
+    Pragma-suppressed findings are dropped silently (the pragma is the
+    documented waiver); baseline-matched findings are dropped from the
+    report and exit code but counted in ``report.suppressed`` so a
+    grandfathered tree never reads as clean.
+    """
+    analysis, diagnostics, files = build_analysis(paths, config)
+    program = analysis.program
+    kept, suppressed = apply_waivers(
+        diagnostics, program.contexts, baseline
+    )
+    return RaceReport(
+        targets=sorted(str(p) for p in paths),
+        files=files,
+        functions=len(program.functions),
+        edges=len(program.edges),
+        contexts=analysis.context_counts(),
+        diagnostics=kept,
+        suppressed=suppressed,
+    )

@@ -1,0 +1,1009 @@
+"""The concurrency model: contexts, blocking effects, locks, dispatch.
+
+This module extracts the per-function concurrency facts the race rules
+consume, on top of the :class:`~repro.flow.graph.Program` call graph:
+
+**Concurrency contexts.**  Every function is classified into the
+contexts it can execute under, propagated through call edges from a
+small set of roots:
+
+``async``
+    ``async def`` bodies plus event-loop callbacks
+    (``loop.add_signal_handler`` / ``call_soon`` / ``call_later``
+    targets) and everything they call synchronously -- all of it runs
+    on the loop thread, where a blocking call stalls every connection.
+``thread``
+    Targets of ``asyncio.to_thread`` / ``loop.run_in_executor`` /
+    ``threading.Thread(target=...)`` and their callees: genuinely
+    parallel with the loop thread.
+``worker``
+    ``multiprocessing`` ``Process(target=...)`` entry points and
+    concrete ``Job.execute`` overrides: a *separate process*, so its
+    writes never race the parent's memory (they are excluded from
+    shared-state pairing) but its code still matters for fork
+    inheritance.
+``signal``
+    ``signal.signal``-registered handlers: interleaved between
+    bytecodes on the main thread, at arbitrary points.  Handlers
+    registered through ``loop.add_signal_handler`` run as ordinary
+    loop callbacks and are classified ``async`` instead.
+
+Functions with no label run only in the main flow of a CLI command
+(the implicit ``main`` context).  ``async`` and ``main`` share the
+main OS thread (``asyncio.run`` runs the loop there), so they are
+*interleaved but not parallel*; true concurrency needs ``thread``
+against anything, or a ``signal`` handler cutting in.
+
+**Blocking effects.**  A fixpoint marks every function that
+transitively reaches a curated blocking vocabulary (file/socket I/O,
+``subprocess``, ``time.sleep``, ``Path`` I/O methods -- which is how
+``ArtifactStore`` disk access and ``run_jobs`` are caught), with a
+witness chain down to the concrete site.  An *awaited* call is never a
+blocking site, and dispatching through ``asyncio.to_thread`` is the
+sanctioned escape: the target is analysed under ``thread``, not
+``async``.
+
+**Precise call edges.**  The base graph links attribute calls on
+unknown receivers to *every* method of that name (its
+``methods_named`` fallback), which is fine for flow's
+reachability-flavoured rules but poison for context propagation: one
+``proc.start()`` must not paint ``CertificateServer.start`` with the
+caller's context.  The race adjacency therefore keeps a graph edge
+into a *method* only when this model independently confirms it by
+precise resolution -- ``self.method()`` (own hierarchy),
+``super().method()``, a fully dotted ``Class.method`` reference, or
+``self.<attr>.<method>()`` where ``__init__`` types the attribute
+(annotated parameters and constructor calls).  The typed-attribute
+overlay also *adds* edges the base graph refuses (the serve cache's
+``self.store.get`` is tier-2 disk I/O).  Edges into plain functions
+are kept as the graph resolved them.  All of this exists only inside
+this analyzer; the flow/perf graphs are untouched.
+
+**Entry locks.**  Every confirmed call site records the locks
+lexically held around it, and a must-analysis intersects them down the
+edges: a helper whose every caller holds ``self._lock`` is
+lock-protected even though its own body shows no ``with`` (the
+registry's ``_ensure_histogram`` pattern).  Context roots (coroutines,
+thread/worker/signal entry points) are pinned to the empty set --
+nothing is known to be held when the scheduler calls you.
+
+Known blind spots, accepted and documented: lambdas are opaque,
+callable-valued parameters don't propagate context (the cache's
+``compute`` callback), a nested ``def``'s sites are attributed to its
+enclosing function except where ``signal.signal`` registration makes
+the nested handler itself interesting, and a call through an untyped
+local receiver (``registry = get_registry(); registry.inc(...)``)
+neither propagates context nor weakens entry locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..flow.graph import FunctionInfo, Program
+from ..sanitize.engine import FileContext
+from ..sanitize.rules import _HANDLE_FACTORIES as HANDLE_FACTORIES
+from ..sanitize.rules import FORKSAFETY_SCOPE
+
+__all__ = [
+    "CONTEXTS",
+    "Site",
+    "DispatchSite",
+    "CallSite",
+    "SignalRegistration",
+    "StateWrite",
+    "BlockingEffect",
+    "FunctionConc",
+    "RaceModel",
+    "propagate_contexts",
+    "blocking_effects",
+    "blocking_chain",
+    "entry_locks",
+]
+
+#: The explicit concurrency contexts (plus the implicit ``main``).
+CONTEXTS = ("async", "thread", "worker", "signal")
+
+#: Dotted call names that block the calling thread.  Curated rather
+#: than exhaustive: every entry is either I/O the serve stack actually
+#: performs or a classic stall (``time.sleep``); vague names stay out
+#: so an untyped receiver cannot false-positive.
+_BLOCKING_CALLS = {
+    "open": "file I/O (open)",
+    "os.replace": "file I/O (os.replace)",
+    "os.fsync": "file I/O (os.fsync)",
+    "os.fdopen": "file I/O (os.fdopen)",
+    "os.unlink": "file I/O (os.unlink)",
+    "os.makedirs": "file I/O (os.makedirs)",
+    "tempfile.mkstemp": "file I/O (tempfile.mkstemp)",
+    "shutil.rmtree": "file I/O (shutil.rmtree)",
+    "time.sleep": "time.sleep",
+    "subprocess.run": "subprocess (run)",
+    "subprocess.Popen": "subprocess (Popen)",
+    "subprocess.call": "subprocess (call)",
+    "subprocess.check_call": "subprocess (check_call)",
+    "subprocess.check_output": "subprocess (check_output)",
+    "socket.socket": "socket construction",
+    "socket.create_connection": "network I/O (create_connection)",
+    "urllib.request.urlopen": "network I/O (urlopen)",
+}
+
+#: Method names that block regardless of receiver type.  Restricted to
+#: names whose *only* plausible binding is filesystem/IPC I/O
+#: (``Path`` I/O methods, pipe/socket primitives); ``sleep``/``write``/
+#: ``read`` style vocabulary words are excluded because asyncio and
+#: in-memory types use them too.
+_BLOCKING_ATTRS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "mkdir",
+        "rmdir",
+        "iterdir",
+        "glob",
+        "rglob",
+        "recv",
+        "accept",
+        "sendall",
+    }
+)
+
+#: Dotted call names that fork the process.
+_FORK_CALLS = ("os.fork", "os.forkpty", "multiprocessing.Process")
+
+#: Event-loop callback registrars: ``(attr name, callback arg index)``.
+#: Their targets run *on* the loop, so they root the ``async`` context.
+_LOOP_CALLBACK_ATTRS = {
+    "add_signal_handler": 1,
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+}
+
+#: The job base class whose concrete ``execute`` overrides run in the
+#: farm's forked worker children (mirrors ``repro.flow.rules``).
+_JOB_BASE = "repro.farm.jobs.Job"
+
+
+@dataclass(frozen=True)
+class Site:
+    """A line-anchored fact inside one function (what happened where)."""
+
+    what: str
+    line: int
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    """A control transfer into another concurrency context."""
+
+    target: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One precisely-resolved call, with the locks held around it.
+
+    These sites confirm method edges for the race adjacency and feed
+    the entry-lock must-analysis; calls the walker cannot resolve
+    precisely (untyped receivers) are deliberately absent.
+    """
+
+    target: str
+    line: int
+    locks: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class SignalRegistration:
+    """One ``signal.signal(sig, handler)`` call with a live handler.
+
+    ``handlers`` are the program functions the handler expression
+    resolves to; for a handler defined *nested* in the registering
+    function, ``nested_calls`` are the resolved callees of its body and
+    ``nested_blocking`` its direct blocking sites.  Registrations of
+    ``SIG_IGN``/``SIG_DFL``-style constants are not recorded.
+    """
+
+    line: int
+    handlers: tuple[str, ...] = ()
+    nested_calls: tuple[str, ...] = ()
+    nested_blocking: tuple[Site, ...] = ()
+
+
+@dataclass(frozen=True)
+class StateWrite:
+    """A write to shared state, with the locks lexically held.
+
+    ``scope`` is ``"module"`` (a ``global`` rebind or a mutation of a
+    module-level container) or ``"instance"`` (``self.attr`` writes
+    outside ``__init__``); ``name`` is the qualified state cell
+    (``module.NAME`` or ``Class.attr``).
+    """
+
+    scope: str
+    name: str
+    line: int
+    locks: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class BlockingEffect:
+    """Why a function (transitively) blocks: the site and its owner."""
+
+    site: Site
+    owner: str
+
+
+@dataclass(frozen=True)
+class FunctionConc:
+    """The per-function concurrency facts one walker pass collects."""
+
+    qualname: str
+    blocking: tuple[Site, ...] = ()
+    fork_sites: tuple[Site, ...] = ()
+    thread_targets: tuple[DispatchSite, ...] = ()
+    loop_targets: tuple[DispatchSite, ...] = ()
+    worker_targets: tuple[DispatchSite, ...] = ()
+    signal_registrations: tuple[SignalRegistration, ...] = ()
+    unawaited: tuple[Site, ...] = ()
+    lock_awaits: tuple[Site, ...] = ()
+    writes: tuple[StateWrite, ...] = ()
+    calls: tuple[CallSite, ...] = ()
+
+
+@dataclass
+class RaceModel:
+    """The whole-program concurrency facts the race rules consume."""
+
+    facts: dict[str, FunctionConc] = field(default_factory=dict)
+    instance_types: dict[str, dict[str, str]] = field(default_factory=dict)
+    module_handles: dict[str, tuple[Site, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, program: Program) -> "RaceModel":
+        """Extract facts for every indexed function and module."""
+        model = cls()
+        model.instance_types = _instance_types(program)
+        for module in sorted(program.modules):
+            ctx = program.modules[module]
+            sites = _module_handles(ctx)
+            if sites:
+                model.module_handles[module] = sites
+        for qualname in sorted(program.functions):
+            finfo = program.functions[qualname]
+            ctx = program.contexts.get(finfo.path)
+            if ctx is None:
+                model.facts[qualname] = FunctionConc(qualname=qualname)
+                continue
+            walker = _ConcWalker(program, model.instance_types, ctx, finfo)
+            model.facts[qualname] = walker.run()
+        return model
+
+    def worker_roots(self, program: Program) -> list[str]:
+        """Functions that run in a forked worker child.
+
+        ``Process(target=...)`` entry points plus every concrete
+        ``Job.execute`` override (jobs are shipped to the pool over a
+        pipe, so there is no static call edge into them).
+        """
+        roots: set[str] = set()
+        for fc in self.facts.values():
+            roots.update(d.target for d in fc.worker_targets)
+        for sub in program.descendants(_JOB_BASE):
+            info = program.classes.get(sub)
+            if info is None or "execute" not in info.methods:
+                continue
+            qualname = info.methods["execute"]
+            finfo = program.functions.get(qualname)
+            if finfo is not None and not finfo.is_abstract:
+                roots.add(qualname)
+        return sorted(r for r in roots if r in program.functions)
+
+
+def _instance_types(program: Program) -> dict[str, dict[str, str]]:
+    """Per-class ``self.<attr>`` types, read off ``__init__`` bodies.
+
+    An attribute is typed when ``__init__`` assigns it from an
+    annotated parameter whose annotation resolves to a program class,
+    or directly from a program-class constructor call.
+    """
+    table: dict[str, dict[str, str]] = {}
+    for cls_name in sorted(program.classes):
+        info = program.classes[cls_name]
+        init = info.methods.get("__init__")
+        finfo = program.functions.get(init) if init else None
+        if finfo is None:
+            continue
+        ctx = program.contexts.get(finfo.path)
+        if ctx is None:
+            continue
+        param_types: dict[str, str] = {}
+        args = finfo.node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if arg.annotation is None:
+                continue
+            resolved = program.resolve(
+                ctx.resolve(arg.annotation), finfo.module
+            )
+            if resolved is not None and resolved[0] == "class":
+                param_types[arg.arg] = resolved[1]
+        attrs: dict[str, str] = {}
+        for stmt in ast.walk(finfo.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            if value is None:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if isinstance(value, ast.Name):
+                    typed = param_types.get(value.id)
+                    if typed is not None:
+                        attrs[target.attr] = typed
+                elif isinstance(value, ast.Call):
+                    resolved = program.resolve(
+                        ctx.resolve(value.func), finfo.module
+                    )
+                    if resolved is not None and resolved[0] == "class":
+                        attrs[target.attr] = resolved[1]
+        if attrs:
+            table[cls_name] = attrs
+    return table
+
+
+def _module_handles(ctx: FileContext) -> tuple[Site, ...]:
+    """Module-level handle creations, outside the per-file rule's scope.
+
+    The per-file ``forksafety/module-level-handle`` rule owns the
+    ``FORKSAFETY_SCOPE`` directories; this whole-program upgrade covers
+    everything else, gated later on actual fork-reachability.
+    """
+    if ctx.in_scope(FORKSAFETY_SCOPE):
+        return ()
+    sites: list[Site] = []
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            value = stmt.value
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        resolved = ctx.resolve(value.func)
+        if resolved in HANDLE_FACTORIES:
+            sites.append(Site(resolved, stmt.lineno))
+    return tuple(sites)
+
+
+class _ConcWalker:
+    """One pass over one function body, collecting concurrency facts.
+
+    Tracks the lexical ``with <lock>`` stack (reset across nested
+    ``def`` boundaries -- a lock is not held inside a function that
+    merely *defines* another) and whether a call sits under ``await``
+    (an awaited call is loop-friendly by definition at that site).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        instance_types: dict[str, dict[str, str]],
+        ctx: FileContext,
+        finfo: FunctionInfo,
+    ) -> None:
+        self.program = program
+        self.types = instance_types
+        self.ctx = ctx
+        self.finfo = finfo
+        self.blocking: list[Site] = []
+        self.fork_sites: list[Site] = []
+        self.thread_targets: list[DispatchSite] = []
+        self.loop_targets: list[DispatchSite] = []
+        self.worker_targets: list[DispatchSite] = []
+        self.signal_registrations: list[SignalRegistration] = []
+        self.unawaited: list[Site] = []
+        self.lock_awaits: list[Site] = []
+        self.writes: list[StateWrite] = []
+        self.calls: list[CallSite] = []
+        self.lock_stack: list[str] = []
+        self.globals_declared: set[str] = set()
+        self.nested: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+
+    def run(self) -> FunctionConc:
+        """Walk the body and freeze the collected facts."""
+        node = self.finfo.node
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and sub is not node
+            ):
+                self.nested.setdefault(sub.name, sub)
+        for stmt in node.body:
+            self._stmt(stmt)
+        return FunctionConc(
+            qualname=self.finfo.qualname,
+            blocking=tuple(self.blocking),
+            fork_sites=tuple(self.fork_sites),
+            thread_targets=tuple(self.thread_targets),
+            loop_targets=tuple(self.loop_targets),
+            worker_targets=tuple(self.worker_targets),
+            signal_registrations=tuple(self.signal_registrations),
+            unawaited=tuple(self.unawaited),
+            lock_awaits=tuple(self.lock_awaits),
+            writes=tuple(self.writes),
+            calls=tuple(self.calls),
+        )
+
+    # -- statements --------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            saved, self.lock_stack = self.lock_stack, []
+            for inner in stmt.body:
+                self._stmt(inner)
+            self.lock_stack = saved
+            return
+        if isinstance(stmt, ast.Global):
+            self.globals_declared.update(stmt.names)
+            return
+        if isinstance(stmt, ast.With):
+            self._with(stmt)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._record_write(stmt)
+            self._generic(stmt)
+            return
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            self._bare_call(stmt.value)
+            self._expr(stmt.value)
+            return
+        self._generic(stmt)
+
+    def _with(self, stmt: ast.With) -> None:
+        locks: list[str] = []
+        for item in stmt.items:
+            token = self._lock_token(item.context_expr)
+            if token is not None:
+                locks.append(token)
+            self._expr(item.context_expr)
+        self.lock_stack.extend(locks)
+        for inner in stmt.body:
+            self._stmt(inner)
+        if locks:
+            del self.lock_stack[-len(locks):]
+
+    def _generic(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._stmt(child)
+            elif isinstance(child, ast.expr):
+                self._expr(child)
+            else:
+                self._generic(child)
+
+    # -- expressions -------------------------------------------------
+
+    def _expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Await):
+            if self.lock_stack:
+                self.lock_awaits.append(
+                    Site(self.lock_stack[-1], node.lineno)
+                )
+            inner = node.value
+            if isinstance(inner, ast.Call):
+                self._call(inner, awaited=True)
+                self._call_children(inner)
+            else:
+                self._expr(inner)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, awaited=False)
+            self._call_children(node)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        self._generic(node)
+
+    def _call_children(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            # a chained receiver may itself contain calls: a().b()
+            if not isinstance(node.func.value, (ast.Name, ast.Attribute)):
+                self._expr(node.func.value)
+        for arg in node.args:
+            self._expr(arg)
+        for kw in node.keywords:
+            self._expr(kw.value)
+
+    # -- calls -------------------------------------------------------
+
+    def _call(self, node: ast.Call, *, awaited: bool) -> None:
+        func = node.func
+        resolved = self.ctx.resolve(func)
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+
+        if resolved == "asyncio.to_thread" and node.args:
+            self._dispatch(self.thread_targets, node.args[0], node.lineno)
+            return
+        if attr == "run_in_executor" and len(node.args) >= 2:
+            self._dispatch(self.thread_targets, node.args[1], node.lineno)
+            return
+        if resolved == "threading.Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    self._dispatch(
+                        self.thread_targets, kw.value, node.lineno
+                    )
+            return
+        if resolved in _FORK_CALLS or attr == "Process":
+            what = resolved if resolved in _FORK_CALLS else (
+                "multiprocessing.Process"
+            )
+            self.fork_sites.append(Site(what, node.lineno))
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    self._dispatch(
+                        self.worker_targets, kw.value, node.lineno
+                    )
+            return
+        if resolved == "signal.signal" and len(node.args) >= 2:
+            self._signal_registration(node)
+            return
+        if attr in _LOOP_CALLBACK_ATTRS:
+            index = _LOOP_CALLBACK_ATTRS[attr]
+            if len(node.args) > index:
+                self._dispatch(
+                    self.loop_targets, node.args[index], node.lineno
+                )
+            return
+
+        if not awaited:
+            if resolved in _BLOCKING_CALLS:
+                self.blocking.append(
+                    Site(_BLOCKING_CALLS[resolved], node.lineno)
+                )
+            elif attr in _BLOCKING_ATTRS:
+                self.blocking.append(Site(f"file I/O ({attr})", node.lineno))
+
+        held = frozenset(self.lock_stack)
+        for target in self._target_qualnames(func, fuzzy=False):
+            self.calls.append(CallSite(target, node.lineno, held))
+
+    def _signal_registration(self, node: ast.Call) -> None:
+        handler = node.args[1]
+        qualnames = self._target_qualnames(handler, fuzzy=False)
+        if qualnames:
+            self.signal_registrations.append(
+                SignalRegistration(line=node.lineno, handlers=qualnames)
+            )
+            return
+        if isinstance(handler, ast.Name) and handler.id in self.nested:
+            calls, blocking = self._scan_nested(self.nested[handler.id])
+            self.signal_registrations.append(
+                SignalRegistration(
+                    line=node.lineno,
+                    nested_calls=calls,
+                    nested_blocking=blocking,
+                )
+            )
+        # SIG_IGN / SIG_DFL / lambdas: nothing a handler rule can say
+
+    def _scan_nested(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[tuple[str, ...], tuple[Site, ...]]:
+        """Resolved callees and direct blocking sites of a nested body."""
+        calls: set[str] = set()
+        blocking: list[Site] = []
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            calls.update(self._target_qualnames(sub.func, fuzzy=False))
+            resolved = self.ctx.resolve(sub.func)
+            attr = (
+                sub.func.attr
+                if isinstance(sub.func, ast.Attribute)
+                else None
+            )
+            if resolved in _BLOCKING_CALLS:
+                blocking.append(
+                    Site(_BLOCKING_CALLS[resolved], sub.lineno)
+                )
+            elif attr in _BLOCKING_ATTRS:
+                blocking.append(Site(f"file I/O ({attr})", sub.lineno))
+        return tuple(sorted(calls)), tuple(blocking)
+
+    def _dispatch(
+        self, out: list[DispatchSite], node: ast.expr, line: int
+    ) -> None:
+        for target in self._target_qualnames(node):
+            out.append(DispatchSite(target, line))
+
+    def _target_qualnames(
+        self, node: ast.expr, *, fuzzy: bool = True
+    ) -> tuple[str, ...]:
+        """Resolve a function-valued expression to program functions.
+
+        With ``fuzzy=True`` an otherwise-unresolvable attribute falls
+        back to the graph's name-match (acceptable for *dispatch*
+        targets, where missing a thread root is the worse error); with
+        ``fuzzy=False`` only precise resolutions count (required for
+        call confirmation, entry locks and the unawaited rule, where a
+        name-match false positive is the worse error).
+        """
+        program, ctx = self.program, self.ctx
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if (
+                node.value.id in ("self", "cls")
+                and self.finfo.cls is not None
+            ):
+                return tuple(
+                    program.method_targets(self.finfo.cls, node.attr)
+                )
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "super"
+            and self.finfo.cls is not None
+        ):
+            return tuple(
+                program.method_targets(self.finfo.cls, node.attr)
+            )
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Attribute)
+            and isinstance(node.value.value, ast.Name)
+            and node.value.value.id == "self"
+            and self.finfo.cls is not None
+        ):
+            receiver = self.types.get(self.finfo.cls, {}).get(
+                node.value.attr
+            )
+            if receiver is not None:
+                return tuple(
+                    program.method_targets(receiver, node.attr)
+                )
+        resolved = program.resolve(ctx.resolve(node), ctx.module)
+        if resolved is not None and resolved[0] == "func":
+            return (resolved[1],)
+        if resolved is not None and resolved[0] == "class":
+            # a constructor call runs __init__ in the caller's context
+            init = f"{resolved[1]}.__init__"
+            if init in program.functions:
+                return (init,)
+            return ()
+        if fuzzy and isinstance(node, ast.Attribute):
+            return program.methods_named(node.attr)
+        return ()
+
+    def _bare_call(self, call: ast.Call) -> None:
+        """A statement-level ``f()`` whose value is dropped."""
+        for target in self._target_qualnames(call.func, fuzzy=False):
+            finfo = self.program.functions.get(target)
+            if finfo is not None and isinstance(
+                finfo.node, ast.AsyncFunctionDef
+            ):
+                self.unawaited.append(Site(target, call.lineno))
+                return
+
+    # -- locks and writes --------------------------------------------
+
+    def _lock_token(self, expr: ast.expr) -> str | None:
+        """Normalise a ``with``-ed lock expression to a comparable token.
+
+        Heuristic: the terminal name segment must look lock-ish
+        (contains ``lock``/``mutex``).  ``self.X`` locks normalise per
+        class so every method of a class agrees on the token; bare
+        module-level names normalise per module; anything else (a
+        parameter, a local) stays function-scoped.
+        """
+        dotted = self.ctx.dotted(expr)
+        if dotted is None:
+            return None
+        last = dotted.rsplit(".", 1)[-1].lower()
+        if "lock" not in last and "mutex" not in last:
+            return None
+        if dotted.startswith("self.") and self.finfo.cls is not None:
+            return f"{self.finfo.cls}.{dotted[len('self.'):]}"
+        root = dotted.partition(".")[0]
+        if root in self.ctx.module_level_names:
+            return f"{self.ctx.module}.{dotted}"
+        return f"{self.finfo.qualname}:{dotted}"
+
+    def _record_write(
+        self, stmt: ast.Assign | ast.AugAssign | ast.AnnAssign
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets: list[ast.expr] = list(stmt.targets)
+        else:
+            targets = [stmt.target]
+        for target in targets:
+            self._write_target(target, stmt.lineno)
+
+    def _write_target(self, target: ast.expr, line: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._write_target(element, line)
+            return
+        if isinstance(target, ast.Starred):
+            self._write_target(target.value, line)
+            return
+        locks = frozenset(self.lock_stack)
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self.writes.append(
+                    StateWrite(
+                        scope="module",
+                        name=f"{self.ctx.module}.{target.id}",
+                        line=line,
+                        locks=locks,
+                    )
+                )
+            return
+        # a subscript/attribute write mutates whatever the root names
+        root: ast.expr = target
+        first_attr: str | None = None
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            if isinstance(root, ast.Attribute):
+                first_attr = root.attr
+            root = root.value
+        if not isinstance(root, ast.Name):
+            return
+        if root.id == "self":
+            if (
+                self.finfo.cls is None
+                or first_attr is None
+                or self.finfo.name
+                in ("__init__", "__new__", "__post_init__")
+            ):
+                return
+            self.writes.append(
+                StateWrite(
+                    scope="instance",
+                    name=f"{self.finfo.cls}.{first_attr}",
+                    line=line,
+                    locks=locks,
+                )
+            )
+            return
+        if (
+            root.id in self.globals_declared
+            or root.id in self.ctx.module_level_names
+        ):
+            self.writes.append(
+                StateWrite(
+                    scope="module",
+                    name=f"{self.ctx.module}.{root.id}",
+                    line=line,
+                    locks=locks,
+                )
+            )
+
+
+# -- whole-program summaries -----------------------------------------
+
+
+def build_adjacency(
+    program: Program, model: RaceModel
+) -> dict[str, tuple[str, ...]]:
+    """The race call adjacency: precise method edges, all plain edges.
+
+    Graph call edges into plain functions are kept as resolved; edges
+    into *methods* survive only when the walker confirmed the call
+    precisely (so the graph's name-match fallback cannot smear context
+    across unrelated classes), and the walker's typed-attribute
+    overlay adds method edges the graph refuses.
+    """
+    adj: dict[str, tuple[str, ...]] = {}
+    for qualname in sorted(program.functions):
+        confirmed = {
+            c.target
+            for c in model.facts[qualname].calls
+            if c.target in program.functions
+        }
+        out = {
+            edge.callee
+            for edge in program.edges_from.get(qualname, ())
+            if edge.kind == "call"
+            and edge.callee in program.functions
+            and (
+                program.functions[edge.callee].cls is None
+                or edge.callee in confirmed
+            )
+        }
+        out.update(confirmed)
+        out.discard(qualname)
+        adj[qualname] = tuple(sorted(out))
+    return adj
+
+
+def _is_async(program: Program, qualname: str) -> bool:
+    finfo = program.functions.get(qualname)
+    return finfo is not None and isinstance(
+        finfo.node, ast.AsyncFunctionDef
+    )
+
+
+def propagate_contexts(
+    program: Program, model: RaceModel
+) -> tuple[dict[str, frozenset[str]], dict[str, dict[str, str | None]]]:
+    """BFS each context from its roots over call + overlay edges.
+
+    Returns the per-function label sets and, per context, the BFS
+    parent map (for witness chains).  Propagation never enters an
+    ``async def`` from a sync caller: calling a coroutine function
+    only *builds* the coroutine, it does not run the body in the
+    caller's context.
+    """
+    adj = build_adjacency(program, model)
+    roots: dict[str, set[str]] = {label: set() for label in CONTEXTS}
+    for qualname in sorted(program.functions):
+        if _is_async(program, qualname):
+            roots["async"].add(qualname)
+        fc = model.facts[qualname]
+        roots["thread"].update(d.target for d in fc.thread_targets)
+        roots["async"].update(d.target for d in fc.loop_targets)
+        for reg in fc.signal_registrations:
+            roots["signal"].update(reg.handlers)
+            roots["signal"].update(reg.nested_calls)
+    roots["worker"].update(model.worker_roots(program))
+    contexts: dict[str, set[str]] = {}
+    parents: dict[str, dict[str, str | None]] = {}
+    for label in CONTEXTS:
+        seeds = sorted(
+            r for r in roots[label] if r in program.functions
+        )
+        parent: dict[str, str | None] = {}
+        queue: list[str] = []
+        for seed in seeds:
+            parent[seed] = None
+            queue.append(seed)
+        while queue:
+            current = queue.pop(0)
+            for callee in adj.get(current, ()):
+                if callee in parent or _is_async(program, callee):
+                    continue
+                parent[callee] = current
+                queue.append(callee)
+        parents[label] = parent
+        for qualname in parent:
+            contexts.setdefault(qualname, set()).add(label)
+    return (
+        {q: frozenset(v) for q, v in contexts.items()},
+        parents,
+    )
+
+
+def blocking_effects(
+    program: Program, model: RaceModel
+) -> tuple[dict[str, BlockingEffect], dict[str, str]]:
+    """Which functions transitively block, to a fixpoint.
+
+    Returns the effect per blocking function (the ultimate site and
+    its owner) plus the ``via`` step map: ``via[f]`` is the callee
+    through which ``f`` blocks, so :func:`blocking_chain` can print
+    the witness.  Effects never propagate *out of* an ``async def``:
+    awaiting a coroutine suspends, it does not block the thread.
+    """
+    adj = build_adjacency(program, model)
+    effects: dict[str, BlockingEffect] = {}
+    via: dict[str, str] = {}
+    for qualname in sorted(program.functions):
+        fc = model.facts[qualname]
+        if fc.blocking:
+            effects[qualname] = BlockingEffect(fc.blocking[0], qualname)
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(program.functions):
+            if qualname in effects:
+                continue
+            for callee in adj.get(qualname, ()):
+                if callee in effects and not _is_async(program, callee):
+                    effects[qualname] = effects[callee]
+                    via[qualname] = callee
+                    changed = True
+                    break
+    return effects, via
+
+
+def blocking_chain(via: dict[str, str], start: str) -> list[str]:
+    """The call chain from ``start`` down to the blocking site's owner."""
+    chain = [start]
+    current = start
+    while current in via and via[current] not in chain:
+        current = via[current]
+        chain.append(current)
+    return chain
+
+
+def entry_locks(
+    program: Program, model: RaceModel
+) -> dict[str, frozenset[str]]:
+    """Locks held on *every* path into each function (must-analysis).
+
+    A helper called only under ``with self._lock`` is lock-protected
+    even though its own body shows no ``with``: its writes count as
+    guarded by the inherited lock.  The analysis intersects, per
+    function, the locks held at every confirmed call site plus the
+    caller's own entry locks; a call edge without a lock record (a
+    graph edge the walker could not pin to a site) contributes the
+    empty set, and context roots -- coroutines, thread/worker/signal
+    entry points, loop callbacks -- are pinned empty, because the
+    scheduler holds nothing when it calls you.  Only non-empty entries
+    are returned.
+    """
+    adj = build_adjacency(program, model)
+    forced: set[str] = set(model.worker_roots(program))
+    for qualname in program.functions:
+        if _is_async(program, qualname):
+            forced.add(qualname)
+        fc = model.facts[qualname]
+        for dispatch in (
+            fc.thread_targets + fc.loop_targets + fc.worker_targets
+        ):
+            forced.add(dispatch.target)
+        for reg in fc.signal_registrations:
+            forced.update(reg.handlers)
+            forced.update(reg.nested_calls)
+    # per-(caller, callee) locks: intersected over that caller's sites
+    site: dict[tuple[str, str], frozenset[str]] = {}
+    for qualname in program.functions:
+        for call in model.facts[qualname].calls:
+            key = (qualname, call.target)
+            prior = site.get(key)
+            site[key] = (
+                call.locks if prior is None else prior & call.locks
+            )
+    preds: dict[str, list[str]] = {}
+    for caller, callees in adj.items():
+        for callee in callees:
+            preds.setdefault(callee, []).append(caller)
+    # None is "top": not yet reached by any caller
+    entry: dict[str, frozenset[str] | None] = {}
+    for qualname in program.functions:
+        if qualname in forced or qualname not in preds:
+            entry[qualname] = frozenset()
+        else:
+            entry[qualname] = None
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(program.functions):
+            if qualname in forced or qualname not in preds:
+                continue
+            acc: frozenset[str] | None = None
+            for caller in preds[qualname]:
+                caller_entry = entry[caller]
+                if caller_entry is None:
+                    continue  # unreached caller: no constraint yet
+                held = caller_entry | site.get(
+                    (caller, qualname), frozenset()
+                )
+                acc = held if acc is None else acc & held
+            if acc is not None and acc != entry[qualname]:
+                entry[qualname] = acc
+                changed = True
+    return {
+        qualname: locks
+        for qualname, locks in entry.items()
+        if locks
+    }

@@ -1,0 +1,145 @@
+"""Race reports: aggregation, text/JSON rendering, model serialization.
+
+A :class:`RaceReport` is the result of one whole-program concurrency
+analysis run: the sorted diagnostics plus the sizes of the analysed
+program and its concurrency-context summary, sharing the severity
+accessors and exit-code convention of
+:class:`repro.diagnostics.DiagnosticReport` with the other analyzer
+reports.  ``RACE_FORMAT`` versions both the report JSON and the
+``--graph`` model serialization; the report dataclass is pinned in the
+sanitize schema fingerprint registry like every other persisted format
+in the tree (``repro sanitize --fix`` re-pins after a deliberate,
+version-bumped change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..diagnostics import DiagnosticReport
+from ..sanitize.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rules import RaceAnalysis
+
+__all__ = ["RACE_FORMAT", "RaceReport", "model_json"]
+
+#: Version of the race report and model JSON documents.
+RACE_FORMAT = 1
+
+
+@dataclass
+class RaceReport(DiagnosticReport):
+    """The outcome of one whole-program race analysis.
+
+    ``targets`` are the paths as requested; ``files``, ``functions``
+    and ``edges`` size the analysed program (zero edges means call
+    resolution broke, not that the tree is clean); ``contexts`` counts
+    the functions classified into each concurrency context, so an
+    analysis that silently lost its async roots is self-diagnosing;
+    ``suppressed`` counts baseline-grandfathered findings hidden from
+    ``diagnostics``.
+    """
+
+    targets: list[str] = field(default_factory=list)
+    files: int = 0
+    functions: int = 0
+    edges: int = 0
+    contexts: dict[str, int] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+
+    def format_text(self) -> str:
+        """Full human-readable report."""
+        ctx = ", ".join(
+            f"{label}: {self.contexts[label]}"
+            for label in sorted(self.contexts)
+            if self.contexts[label]
+        )
+        lines = [
+            f"race {' '.join(self.targets)}: "
+            f"{self.files} file{'s' if self.files != 1 else ''}, "
+            f"{self.functions} functions, {self.edges} edges"
+            + (f" ({ctx})" if ctx else "")
+        ]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.format())
+            if diag.fix is not None:
+                lines.append(f"    fix-it: {diag.fix.description}")
+        summary = self.summary()
+        if self.suppressed:
+            summary += f" ({self.suppressed} baselined)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible report document."""
+        return {
+            "format": RACE_FORMAT,
+            "targets": self.targets,
+            "files": self.files,
+            "functions": self.functions,
+            "edges": self.edges,
+            "contexts": {k: self.contexts[k] for k in sorted(self.contexts)},
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "suppressed": self.suppressed,
+            "summary": self.summary_json(),
+        }
+
+
+def model_json(analysis: "RaceAnalysis") -> dict[str, Any]:
+    """Serialise the concurrency model (``repro race --graph``).
+
+    One entry per function with its context labels, its direct
+    blocking/fork/dispatch facts and its shared-state writes, plus the
+    module-level handle table.  Everything iterates in sorted order, so
+    two runs over the same tree emit bit-identical documents.
+    """
+    model = analysis.model
+    functions: list[dict[str, Any]] = []
+    for qualname in sorted(analysis.program.functions):
+        fc = model.facts[qualname]
+        entry: dict[str, Any] = {
+            "id": qualname,
+            "contexts": sorted(analysis.contexts.get(qualname, ())),
+            "blocking": [
+                {"what": s.what, "line": s.line} for s in fc.blocking
+            ],
+            "forks": [
+                {"what": s.what, "line": s.line} for s in fc.fork_sites
+            ],
+            "thread_targets": sorted(
+                {d.target for d in fc.thread_targets}
+            ),
+            "loop_targets": sorted({d.target for d in fc.loop_targets}),
+            "worker_targets": sorted(
+                {d.target for d in fc.worker_targets}
+            ),
+            "writes": [
+                {
+                    "scope": w.scope,
+                    "name": w.name,
+                    "line": w.line,
+                    "locks": sorted(w.locks),
+                }
+                for w in fc.writes
+            ],
+        }
+        effect = analysis.effects.get(qualname)
+        if effect is not None:
+            entry["blocking_effect"] = {
+                "what": effect.site.what,
+                "owner": effect.owner,
+            }
+        functions.append(entry)
+    handles = [
+        {"module": module, "what": site.what, "line": site.line}
+        for module in sorted(model.module_handles)
+        for site in model.module_handles[module]
+    ]
+    return {
+        "format": RACE_FORMAT,
+        "functions": functions,
+        "handles": handles,
+    }

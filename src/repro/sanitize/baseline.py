@@ -1,106 +1,15 @@
 """Checked-in baselines: grandfathering existing findings, temporarily.
 
-A baseline is a JSON document listing findings that are acknowledged
-but not yet fixed; matching findings are suppressed from the report
-(and the exit code) so the CI gate can be turned on *before* the tree
-is fully clean, then ratcheted down to empty.  The shipped baseline
-(``sanitize-baseline.json`` at the repo root) is empty and must stay
-empty: new findings fail CI immediately.
-
-Entries are fingerprinted as ``(rule id, repro-anchored path, stripped
-source line)`` rather than line numbers, so unrelated edits above a
-grandfathered finding do not churn the baseline.  A consequence worth
-knowing: two *identical* violations on identical lines of one file
-share a fingerprint and are suppressed together -- acceptable for a
-ratchet-to-zero workflow, where entries only ever disappear.
+The implementation lives in :mod:`repro.diagnostics` since PR 9: the
+ratchet semantics (line-number-independent fingerprints, load/match/
+write, the shipped-empty contract) are shared verbatim by ``sanitize``,
+``flow``, ``perf`` and ``race``, so the class moved next to the
+:class:`~repro.diagnostics.Diagnostic` record it fingerprints.  This
+module re-exports it under the historical import path.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any
-
-from ..errors import SanitizeError
-from .diagnostics import Diagnostic
+from ..diagnostics import BASELINE_VERSION, Baseline
 
 __all__ = ["BASELINE_VERSION", "Baseline"]
-
-#: Version of the baseline document format; bump on breaking change.
-BASELINE_VERSION = 1
-
-
-@dataclass
-class Baseline:
-    """A set of grandfathered finding fingerprints."""
-
-    entries: set[tuple[str, str, str]] = field(default_factory=set)
-
-    @classmethod
-    def load(cls, path: str | Path) -> "Baseline":
-        """Read a baseline file (``SanitizeError`` on malformed input)."""
-        p = Path(path)
-        try:
-            doc = json.loads(p.read_text())
-        except OSError as exc:
-            raise SanitizeError(f"cannot read baseline {p}: {exc}") from exc
-        except json.JSONDecodeError as exc:
-            raise SanitizeError(
-                f"baseline {p} is not valid JSON: {exc}"
-            ) from exc
-        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
-            raise SanitizeError(
-                f"baseline {p} must be an object with version = "
-                f"{BASELINE_VERSION}"
-            )
-        findings = doc.get("findings")
-        if not isinstance(findings, list):
-            raise SanitizeError(f"baseline {p}: 'findings' must be a list")
-        entries: set[tuple[str, str, str]] = set()
-        for i, entry in enumerate(findings):
-            if not isinstance(entry, dict) or not all(
-                isinstance(entry.get(k), str) for k in ("rule", "path")
-            ):
-                raise SanitizeError(
-                    f"baseline {p}: finding {i} must be an object with "
-                    "string 'rule' and 'path'"
-                )
-            entries.add(
-                (entry["rule"], entry["path"], entry.get("content", ""))
-            )
-        return cls(entries=entries)
-
-    @staticmethod
-    def fingerprint(diag: Diagnostic, line_text: str) -> tuple[str, str, str]:
-        """The line-number-independent identity of one finding."""
-        from .engine import anchored_path
-
-        path = getattr(diag.location, "path", "") or ""
-        return (diag.rule, anchored_path(path) if path else "", line_text)
-
-    def matches(self, diag: Diagnostic, line_text: str) -> bool:
-        """True iff this finding is grandfathered."""
-        return self.fingerprint(diag, line_text) in self.entries
-
-    @staticmethod
-    def document(
-        findings: list[tuple[Diagnostic, str]],
-    ) -> dict[str, Any]:
-        """Build a baseline document from ``(diagnostic, line text)`` pairs."""
-        seen: set[tuple[str, str, str]] = set()
-        entries: list[dict[str, str]] = []
-        for diag, line_text in findings:
-            fp = Baseline.fingerprint(diag, line_text)
-            if fp in seen:
-                continue
-            seen.add(fp)
-            entries.append(
-                {"rule": fp[0], "path": fp[1], "content": fp[2]}
-            )
-        entries.sort(key=lambda e: (e["path"], e["rule"], e["content"]))
-        return {"version": BASELINE_VERSION, "findings": entries}
-
-    def write(self, path: str | Path, doc: dict[str, Any]) -> None:
-        """Write a baseline document with a trailing newline."""
-        Path(path).write_text(json.dumps(doc, indent=2) + "\n")

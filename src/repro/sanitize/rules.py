@@ -108,6 +108,7 @@ SCHEMA_MODULES = (
     "repro/obs/registry.py",
     "repro/perf/report.py",
     "repro/perf/worklist.py",
+    "repro/race/report.py",
     "repro/serve/loadgen.py",
     "repro/serve/protocol.py",
     "repro/serve/server.py",

@@ -23,7 +23,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..errors import ServeError
+from ..errors import ReproError, ServeError
 from ..farm.jobs import Job
 from ..farm.runner import run_jobs
 from ..obs import events as obs_events
@@ -102,16 +102,24 @@ class Batcher:
         batch = [await self._queue.get()]
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.max_delay
-        while len(batch) < self.max_batch:
-            remaining = deadline - loop.time()
-            if remaining <= 0:
-                break
-            try:
-                batch.append(
-                    await asyncio.wait_for(self._queue.get(), remaining)
-                )
-            except asyncio.TimeoutError:
-                break
+        try:
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+        except asyncio.CancelledError:
+            # shutdown landed mid-window: hand the already-dequeued
+            # items back so stop()'s drain fails their futures instead
+            # of stranding them in this dying task's locals
+            for item in batch:
+                self._queue.put_nowait(item)
+            raise
         return batch
 
     async def _run(self) -> None:
@@ -124,16 +132,42 @@ class Batcher:
             registry.inc("serve.batches")
             registry.inc("serve.batch_jobs", len(batch))
             by_key = {item.job.key(): item for item in batch}
-            with tracer.span(
-                obs_events.SPAN_SERVE_BATCH, jobs=len(batch)
-            ):
-                report = await asyncio.to_thread(
-                    run_jobs,
-                    [item.job for item in batch],
-                    workers=min(self.workers, len(batch)),
-                    timeout=self.job_timeout,
-                    retries=self.retries,
-                )
+            try:
+                with tracer.span(
+                    obs_events.SPAN_SERVE_BATCH, jobs=len(batch)
+                ):
+                    report = await asyncio.to_thread(
+                        run_jobs,
+                        [item.job for item in batch],
+                        workers=min(self.workers, len(batch)),
+                        timeout=self.job_timeout,
+                        retries=self.retries,
+                    )
+            except asyncio.CancelledError:
+                # shutdown mid-dispatch: the pool thread finishes on
+                # its own, but nobody will read the report -- fail the
+                # waiters rather than strand them
+                for item in by_key.values():
+                    if not item.future.done():
+                        item.future.set_exception(
+                            ServeError("daemon shutting down mid-dispatch")
+                        )
+                        item.future.exception()
+                raise
+            except ReproError as exc:
+                # a dispatcher-side failure (pool spin-up, pickling...)
+                # must fail this batch's waiters, not kill the
+                # dispatcher task and strand their futures forever
+                for item in by_key.values():
+                    if not item.future.done():
+                        item.future.set_exception(
+                            ServeError(
+                                f"batch dispatch failed before any job "
+                                f"ran: {exc}"
+                            )
+                        )
+                        item.future.exception()
+                continue
             for outcome in report.outcomes:
                 item = by_key.pop(outcome.key, None)
                 if item is None or item.future.done():

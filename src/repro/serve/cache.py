@@ -18,9 +18,13 @@ computes, every later caller awaits the same future and reports source
 ``joined``.  This is what turns a thundering herd of identical cold
 requests into exactly one adversary run.
 
-All state lives on one event loop; the store write happens on the loop
-thread only, so the daemon never writes the store from two places at
-once (the same single-writer discipline as the farm parent).
+Blocking discipline (checked by ``repro race``): the event loop never
+touches the disk.  Tier-2 store reads and the post-compute store write
+run on worker threads via :func:`asyncio.to_thread`; the store's own
+internal lock makes its LRU safe under those threads, and single-flight
+guarantees at most one writer per key.  Everything else -- the memory
+LRU, the in-flight futures, the counters -- is touched from the loop
+thread only and needs no lock.
 """
 
 from __future__ import annotations
@@ -67,23 +71,28 @@ class ServeCache:
         while len(self._memory) > self.memory_size:
             self._memory.popitem(last=False)
 
-    def _stored_result(self, job: Job, key: str) -> "dict[str, Any] | None":
-        """Load and revalidate one stored result; ``None`` is a miss."""
+    def _stored_result(
+        self, job: Job, key: str
+    ) -> "tuple[dict[str, Any] | None, bool]":
+        """Load and revalidate one stored result, on a worker thread.
+
+        Returns ``(result, revalidation_missed)``; a missing, damaged
+        or invalid document is ``(None, ...)``.  Counters stay with the
+        async caller so they are only ever touched on the loop thread.
+        """
         doc = self.store.get(key)
         if doc is None or doc.get("status") != "ok":
-            return None
+            return None, False
         result = doc.get("result")
         if not isinstance(result, dict):
-            return None
+            return None, False
         try:
             valid = job.revalidate(result)
         except ReproError:
             valid = False
         if not valid:
-            self.counters["revalidation_miss"] += 1
-            get_registry().inc("serve.cache.revalidation_miss")
-            return None
-        return result
+            return None, True
+        return result, False
 
     async def lookup(
         self, job: Job, compute: ComputeFn
@@ -121,15 +130,21 @@ class ServeCache:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
-            # the store (and its LRU) is touched from the loop thread
-            # only; reads are one small JSON file, revalidation is a
-            # one-time cost per key per process
-            result = self._stored_result(job, key)
+            # tier-2 disk access runs off the loop: the read + reval is
+            # a one-time cost per key per process, but one cold read
+            # must not stall every other connection
+            result, reval_miss = await asyncio.to_thread(
+                self._stored_result, job, key
+            )
+            if reval_miss:
+                self.counters["revalidation_miss"] += 1
+                get_registry().inc("serve.cache.revalidation_miss")
             if result is not None:
                 source = "store"
             else:
                 result = await compute(job)
-                self.store.put(
+                await asyncio.to_thread(
+                    self.store.put,
                     key,
                     {"job": job.to_json(), "status": "ok", "result": result},
                 )

@@ -55,6 +55,7 @@ from urllib.parse import parse_qs
 from ..errors import ReproError, ServeError
 from ..farm.store import ArtifactStore
 from ..obs import events as obs_events
+from ..obs.flight import FlightRecorder, get_flight
 from ..obs.registry import MetricsRegistry, prometheus_text, set_registry
 from ..obs.trace import get_tracer
 from . import protocol
@@ -145,6 +146,9 @@ class CertificateServer:
         self._stopped = asyncio.Event()
         self._sampler: "asyncio.Task | None" = None
         self._previous_registry: "MetricsRegistry | None" = None
+        #: Live SIGUSR2 flight-dump tasks, referenced so the loop
+        #: cannot garbage-collect one mid-dump.
+        self._flight_dumps: "set[asyncio.Task]" = set()
 
     # -- request plumbing ---------------------------------------------------
 
@@ -422,6 +426,19 @@ class CertificateServer:
             logger.info("serve: draining (%d in flight)", self.inflight)
             self._stopped.set()
 
+    def _dump_flight(self, recorder: FlightRecorder) -> None:
+        """SIGUSR2 loop callback: dump the flight ring off the loop.
+
+        The dump's atomic-write dance is disk I/O, so it runs on a
+        worker thread; the task is held in ``_flight_dumps`` until done
+        so it cannot be garbage-collected mid-write.
+        """
+        task = asyncio.get_running_loop().create_task(
+            asyncio.to_thread(recorder.dump, "sigusr2")
+        )
+        self._flight_dumps.add(task)
+        task.add_done_callback(self._flight_dumps.discard)
+
     async def serve_forever(
         self, on_ready: "Callable[[int], None] | None" = None
     ) -> None:
@@ -430,10 +447,23 @@ class CertificateServer:
         ``on_ready`` is called with the bound port once the listener is
         accepting -- the CLI uses it to announce readiness on stdout so
         scripted callers can wait for the line instead of polling.
+
+        While serving, the CLI flight recorder's synchronous ``SIGUSR2``
+        handler (which writes its dump on whatever the main thread was
+        doing -- here, the event loop) is replaced by a loop-registered
+        callback that pushes the dump to a worker thread; the original
+        handler is restored on exit so post-drain CLI code keeps its
+        crash dumps.
         """
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, self.request_drain)
+        recorder = get_flight()
+        flight_signum = getattr(signal, "SIGUSR2", None)
+        if recorder is not None and flight_signum is not None:
+            loop.add_signal_handler(
+                flight_signum, self._dump_flight, recorder
+            )
         self.batcher.start()
         self._begin_serving()
         self._server = await asyncio.start_server(
@@ -450,9 +480,16 @@ class CertificateServer:
             self._server.close()
             await self._server.wait_closed()
             await self.batcher.stop()
+            if self._flight_dumps:
+                await asyncio.gather(
+                    *self._flight_dumps, return_exceptions=True
+                )
             await self._end_serving()
             for signum in (signal.SIGTERM, signal.SIGINT):
                 loop.remove_signal_handler(signum)
+            if recorder is not None and flight_signum is not None:
+                loop.remove_signal_handler(flight_signum)
+                recorder.install_signal_handler()
 
     @property
     def port(self) -> int:

@@ -45,7 +45,9 @@ class TestFlowCommand:
             "class",
             "module",
         }
-        assert capsys.readouterr().out.count("written to") == 1
+        # the notice goes to the stderr logger: stdout must stay a
+        # clean report so --graph composes with --json
+        assert "written to" not in capsys.readouterr().out
 
     def test_write_baseline_then_clean_run(self, tmp_path, capsys):
         target = tmp_path / "flow-baseline.json"

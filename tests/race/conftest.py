@@ -1,0 +1,37 @@
+"""Shared fixtures for the race test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.race import analyze_paths, build_analysis
+
+#: The fixture trees: ``dirty`` fires every rule family exactly once,
+#: ``clean`` does the same concurrency shapes correctly (off-loop I/O,
+#: loop-registered signal handlers, entry-lock-guarded helpers).
+CORPUS = Path(__file__).parent / "corpus"
+DIRTY = CORPUS / "dirty"
+CLEAN = CORPUS / "clean"
+
+#: Repository src/ directory (the self-analysis target).
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="session")
+def clean_analysis():
+    """The clean corpus analysed once per session (it is read-only)."""
+    analysis, diagnostics, _ = build_analysis([CLEAN])
+    assert diagnostics == []
+    return analysis
+
+
+@pytest.fixture(scope="session")
+def dirty_analysis():
+    """The dirty corpus model, for the unit tests on summaries."""
+    return build_analysis([DIRTY])[0]
+
+
+@pytest.fixture(scope="session")
+def dirty_report():
+    """The dirty corpus analysed once per session (it is read-only)."""
+    return analyze_paths([DIRTY])

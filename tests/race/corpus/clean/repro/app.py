@@ -1,0 +1,36 @@
+"""The dirty shapes done right: off-loop I/O, typed dispatch, awaits."""
+
+import asyncio
+import json
+import threading
+
+from .state import Registry
+
+__all__ = ["App", "load", "notify"]
+
+
+async def notify():
+    return None
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+class App:
+    def __init__(self, registry: Registry):
+        self.registry = registry
+        self._lock = threading.Lock()
+
+    async def handle(self, path):
+        data = await asyncio.to_thread(load, path)
+        self.registry.inc()
+        await notify()
+        return data
+
+    def pump(self):
+        self.registry.inc()
+
+    async def refill(self, path):
+        return await asyncio.to_thread(self.pump)

@@ -1,0 +1,17 @@
+"""Concrete jobs may block: they run in their own worker process."""
+
+__all__ = ["Job", "WriteJob"]
+
+
+class Job:
+    def execute(self):
+        raise NotImplementedError
+
+
+class WriteJob(Job):
+    def __init__(self, path):
+        self.path = path
+
+    def execute(self):
+        self.path.write_text("done")
+        return {"ok": True}

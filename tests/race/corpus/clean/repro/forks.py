@@ -1,0 +1,22 @@
+"""Forking from the main flow only, handles created per call."""
+
+import multiprocessing
+import threading
+
+__all__ = ["main", "serve", "tick"]
+
+
+def tick():
+    return 0
+
+
+def serve():
+    worker = threading.Thread(target=tick)
+    worker.start()
+    worker.join()
+
+
+def main():
+    proc = multiprocessing.Process(target=tick)
+    proc.start()
+    proc.join()

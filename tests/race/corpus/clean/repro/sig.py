@@ -1,0 +1,15 @@
+"""Loop-registered signal dispatch: no work between bytecodes."""
+
+import asyncio
+import signal
+
+__all__ = ["install", "request_stop"]
+
+
+def request_stop(event):
+    event.set()
+
+
+def install(event):
+    loop = asyncio.get_running_loop()
+    loop.add_signal_handler(signal.SIGTERM, request_stop, event)

@@ -1,0 +1,22 @@
+"""Lock-guarded shared state: concurrent writers, one lock.
+
+``_bump`` has no lexical ``with``: the entry-lock must-analysis proves
+its only caller always holds ``Registry._lock`` around the call.
+"""
+
+import threading
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def inc(self):
+        with self._lock:
+            self._bump()
+
+    def _bump(self):
+        self.count += 1

@@ -1,0 +1,35 @@
+"""Event-loop defects: blocking call, unawaited coroutine, held lock."""
+
+import json
+import threading
+
+from .state import bump
+
+__all__ = ["Gate", "handle", "kick", "load", "notify"]
+
+
+async def notify():
+    return None
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+async def handle(path):
+    bump()
+    return load(path)
+
+
+def kick():
+    notify()
+
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def update(self):
+        with self._lock:
+            await notify()

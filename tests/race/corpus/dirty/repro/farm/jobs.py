@@ -1,0 +1,13 @@
+"""Mini job hierarchy: concrete overrides run in forked workers."""
+
+__all__ = ["Job", "SolveJob"]
+
+
+class Job:
+    def execute(self):
+        raise NotImplementedError
+
+
+class SolveJob(Job):
+    def execute(self):
+        return {"ok": True}

@@ -1,0 +1,25 @@
+"""Fork defects: a fork from thread context, an import-time handle."""
+
+import multiprocessing
+import threading
+
+from .state import bump
+
+__all__ = ["POOL_LOCK", "child", "launch", "work"]
+
+POOL_LOCK = threading.Lock()
+
+
+def child():
+    return 0
+
+
+def work():
+    bump()
+    proc = multiprocessing.Process(target=child)
+    proc.start()
+
+
+def launch():
+    thread = threading.Thread(target=work)
+    thread.start()

@@ -1,0 +1,10 @@
+"""A bare module counter written from two concurrent contexts."""
+
+__all__ = ["COUNT", "bump"]
+
+COUNT = 0
+
+
+def bump():
+    global COUNT
+    COUNT += 1

@@ -1,0 +1,93 @@
+"""The ``repro race`` subcommand and the ``sanitize --race`` merge."""
+
+import json
+
+from repro.cli import main
+
+from tests.race.conftest import CLEAN, DIRTY, SRC
+
+
+class TestRaceCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["race", str(CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_dirty_tree_exits_one(self, capsys):
+        # the seeded negative test: a tree with planted defects FAILS
+        assert main(["race", str(DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "race/blocking-call-in-async" in out
+        assert "race/fork-after-thread" in out
+        assert "race/unawaited-coroutine" in out
+        assert "race/shared-state-unlocked" in out
+        assert "race/lock-held-across-await" in out
+        assert "race/fork-inherited-handle" in out
+        assert "race/blocking-in-signal-handler" in out
+
+    def test_json_report(self, capsys):
+        assert main(["race", str(DIRTY), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == 1
+        assert len(doc["diagnostics"]) == 7
+
+    def test_select_filters_rules(self, capsys):
+        assert main(["race", str(DIRTY), "--select", "race/fork"]) == 1
+        out = capsys.readouterr().out
+        assert "blocking-call-in-async" not in out
+        assert "fork-after-thread" in out
+
+    def test_graph_serialization(self, tmp_path, capsys):
+        target = tmp_path / "model.json"
+        assert main(["race", str(CLEAN), "--graph", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["format"] == 1
+        by_id = {f["id"]: f for f in doc["functions"]}
+        assert by_id["repro.app.load"]["contexts"] == ["thread"]
+        assert by_id["repro.app.load"]["blocking"]
+        # the notice goes to the stderr logger: stdout must stay a
+        # clean report so --graph composes with --json
+        assert "written to" not in capsys.readouterr().out
+        assert main(
+            ["race", str(CLEAN), "--graph", str(target), "--json"]
+        ) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["format"] == 1 and rep["diagnostics"] == []
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        target = tmp_path / "race-baseline.json"
+        assert main(
+            ["race", str(DIRTY), "--write-baseline",
+             "--baseline", str(target)]
+        ) == 0
+        assert "7 findings" in capsys.readouterr().out
+        # with the ratchet in place the dirty tree passes but reports it
+        assert main(
+            ["race", str(DIRTY), "--baseline", str(target)]
+        ) == 0
+        assert "7 baselined" in capsys.readouterr().out
+
+    def test_shipped_tree_is_clean_with_no_baseline(self, capsys):
+        assert main(["race", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        assert "baselined" not in out
+
+
+class TestSanitizeRaceMerge:
+    def test_sanitize_race_merges_findings(self, capsys):
+        # the dirty tree also carries per-file findings; --race adds
+        # the whole-program concurrency families on top of them
+        assert main(["sanitize", str(DIRTY), "--race"]) == 1
+        out = capsys.readouterr().out
+        assert "race/shared-state-unlocked" in out
+
+    def test_sanitize_without_race_misses_concurrency(self, capsys):
+        main(["sanitize", str(DIRTY)])
+        out = capsys.readouterr().out
+        # no race diagnostics; "[race/" avoids matching corpus paths
+        assert "[race/" not in out
+
+    def test_shipped_tree_clean_under_sanitize_race(self, capsys):
+        assert main(["sanitize", str(SRC), "--race"]) == 0
+        assert "0 errors" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""The concurrency model: contexts, edges, entry locks, effects.
+
+These are unit tests on the summaries the rules consume, against the
+two corpora -- where the rule tests check *messages*, these check the
+underlying facts, so a regression points at the layer that broke.
+"""
+
+from repro.race import RaceModel
+from repro.race.model import (
+    blocking_chain,
+    build_adjacency,
+    entry_locks,
+)
+
+
+class TestContexts:
+    def test_async_propagates_into_sync_callees(self, dirty_analysis):
+        # handle (async def) calls load synchronously: load runs on
+        # the loop thread even though its own def is plain
+        assert "async" in dirty_analysis.contexts["repro.aio.load"]
+
+    def test_async_never_enters_an_async_def(self, dirty_analysis):
+        # kick() builds a coroutine; that must not label notify with
+        # kick's (absent) context -- async defs root their own context
+        assert dirty_analysis.contexts["repro.aio.notify"] == frozenset(
+            {"async"}
+        )
+
+    def test_thread_rooted_at_thread_target(self, dirty_analysis):
+        assert "thread" in dirty_analysis.contexts["repro.forks.work"]
+        # launch itself runs in the main flow, not the thread
+        assert "repro.forks.launch" not in dirty_analysis.contexts
+
+    def test_shared_callee_carries_both_contexts(self, dirty_analysis):
+        labels = dirty_analysis.contexts["repro.state.bump"]
+        assert labels == frozenset({"async", "thread"})
+
+    def test_signal_covers_handler_and_callees(self, dirty_analysis):
+        assert "signal" in dirty_analysis.contexts["repro.sig.handle"]
+        assert "signal" in dirty_analysis.contexts["repro.sig.dump"]
+
+    def test_worker_roots_are_process_targets_and_jobs(
+        self, dirty_analysis
+    ):
+        roots = dirty_analysis.model.worker_roots(dirty_analysis.program)
+        assert roots == [
+            "repro.farm.jobs.SolveJob.execute",
+            "repro.forks.child",
+        ]
+
+    def test_to_thread_target_is_thread_not_async(self, clean_analysis):
+        # await asyncio.to_thread(load, ...) sanctions the blocking
+        # call: load runs off-loop, under thread
+        labels = clean_analysis.contexts["repro.app.load"]
+        assert labels == frozenset({"thread"})
+
+    def test_loop_signal_handler_is_async(self, clean_analysis):
+        labels = clean_analysis.contexts["repro.sig.request_stop"]
+        assert labels == frozenset({"async"})
+
+
+class TestAdjacency:
+    def test_typed_attribute_confirms_the_method_edge(
+        self, clean_analysis
+    ):
+        # self.registry.inc() resolves through the annotated __init__
+        # parameter; the base graph alone cannot type the receiver
+        adj = build_adjacency(clean_analysis.program, clean_analysis.model)
+        assert "repro.state.Registry.inc" in adj["repro.app.App.handle"]
+
+    def test_dispatch_is_not_a_call_edge(self, clean_analysis):
+        # to_thread(load) transfers control to another context; the
+        # race adjacency must not also treat it as a same-context call
+        adj = build_adjacency(clean_analysis.program, clean_analysis.model)
+        assert "repro.app.load" not in adj["repro.app.App.handle"]
+
+    def test_instance_types_read_off_init(self, clean_analysis):
+        types = clean_analysis.model.instance_types
+        assert types["repro.app.App"]["registry"] == "repro.state.Registry"
+
+
+class TestEntryLocks:
+    def test_helper_inherits_its_callers_lock(self, clean_analysis):
+        entry = entry_locks(clean_analysis.program, clean_analysis.model)
+        assert entry["repro.state.Registry._bump"] == frozenset(
+            {"repro.state.Registry._lock"}
+        )
+
+    def test_the_locking_caller_itself_has_no_entry_lock(
+        self, clean_analysis
+    ):
+        entry = entry_locks(clean_analysis.program, clean_analysis.model)
+        assert "repro.state.Registry.inc" not in entry
+
+    def test_context_roots_are_pinned_empty(self, clean_analysis):
+        # pump is a to_thread target: even if every static caller held
+        # a lock, the scheduler calls it with nothing held
+        entry = entry_locks(clean_analysis.program, clean_analysis.model)
+        assert "repro.app.App.pump" not in entry
+
+
+class TestBlockingEffects:
+    def test_effect_propagates_with_witness_chain(self, dirty_analysis):
+        effect = dirty_analysis.effects["repro.sig.handle"]
+        assert effect.site.what == "file I/O (write_text)"
+        assert effect.owner == "repro.sig.dump"
+        assert blocking_chain(dirty_analysis.via, "repro.sig.handle") == [
+            "repro.sig.handle",
+            "repro.sig.dump",
+        ]
+
+    def test_awaiting_a_coroutine_is_not_blocking(self, dirty_analysis):
+        # Gate.update awaits notify: suspension, not a thread stall
+        assert "repro.aio.Gate.update" not in dirty_analysis.effects
+
+
+class TestModelFacts:
+    def test_lock_tokens_normalise_per_class(self, dirty_analysis):
+        facts = dirty_analysis.model.facts["repro.aio.Gate.update"]
+        (site,) = facts.lock_awaits
+        assert site.what == "repro.aio.Gate._lock"
+
+    def test_module_handles_recorded_outside_forksafety_scope(
+        self, dirty_analysis
+    ):
+        handles = dirty_analysis.model.module_handles
+        (site,) = handles["repro.forks"]
+        assert site.what == "threading.Lock"
+
+    def test_facts_cover_every_function(self, dirty_analysis):
+        program = dirty_analysis.program
+        assert set(dirty_analysis.model.facts) == set(program.functions)
+
+    def test_rebuild_is_deterministic(self, dirty_analysis):
+        rebuilt = RaceModel.build(dirty_analysis.program)
+        assert rebuilt.facts == dirty_analysis.model.facts
+        assert rebuilt.module_handles == dirty_analysis.model.module_handles

@@ -1,0 +1,32 @@
+"""Property: the report never depends on file discovery order.
+
+The context propagation, blocking-effect fixpoint and entry-lock meet
+all run over a graph assembled from many files; any hidden dependence
+on insertion order (dict iteration, BFS tie-breaks, worklist order)
+would make CI and local runs disagree.  Feeding the same file set in
+random orders must produce a bit-identical JSON document.
+"""
+
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.race import analyze_paths
+
+from tests.race.conftest import DIRTY
+
+FILES = sorted(str(p) for p in Path(DIRTY).rglob("*.py"))
+CANONICAL = analyze_paths(FILES).to_json()
+
+
+@given(order=st.permutations(FILES))
+@settings(max_examples=15, deadline=None)
+def test_any_file_order_yields_the_same_report(order):
+    assert analyze_paths(order).to_json() == CANONICAL
+
+
+def test_canonical_report_is_nonempty():
+    """Guard: the property above must not pass vacuously."""
+    assert len(CANONICAL["diagnostics"]) == 7
+    assert CANONICAL["edges"] > 0

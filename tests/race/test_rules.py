@@ -1,0 +1,95 @@
+"""Each rule family: fires on the dirty corpus, silent on the clean one.
+
+The dirty tree plants exactly one defect per rule family, each at a
+known file and line; every assertion also checks the witness call
+chain, because a finding nobody can trace to a context root is noise.
+The clean tree does the same shapes correctly -- ``to_thread`` for the
+blocking load, a loop-registered signal handler, a fork from the main
+flow, an entry-lock-guarded helper -- so any finding there is a false
+positive.
+"""
+
+from repro.race import analyze_paths
+
+from tests.race.conftest import CLEAN
+
+
+def by_rule(report, rule):
+    return [d for d in report.diagnostics if d.rule == rule]
+
+
+class TestDirtyCorpusFires:
+    def test_exactly_the_planted_findings(self, dirty_report):
+        assert sorted(d.rule for d in dirty_report.diagnostics) == [
+            "race/blocking-call-in-async",
+            "race/blocking-in-signal-handler",
+            "race/fork-after-thread",
+            "race/fork-inherited-handle",
+            "race/lock-held-across-await",
+            "race/shared-state-unlocked",
+            "race/unawaited-coroutine",
+        ]
+        assert dirty_report.exit_code == 1
+
+    def test_blocking_call_in_async(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/blocking-call-in-async")
+        assert diag.location.path.endswith("aio.py")
+        assert "file I/O (open)" in diag.message
+        # the chain runs from the async root to the blocking function
+        assert "repro.aio.handle -> repro.aio.load" in diag.message
+
+    def test_unawaited_coroutine(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/unawaited-coroutine")
+        assert diag.location.path.endswith("aio.py")
+        assert "repro.aio.notify" in diag.message
+        assert "repro.aio.kick" in diag.message
+
+    def test_lock_held_across_await(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/lock-held-across-await")
+        assert diag.location.path.endswith("aio.py")
+        assert "repro.aio.Gate._lock" in diag.message
+        assert "repro.aio.Gate.update" in diag.message
+
+    def test_blocking_in_signal_handler(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/blocking-in-signal-handler")
+        assert diag.location.path.endswith("sig.py")
+        assert "repro.sig.install" in diag.message
+        assert "file I/O (write_text)" in diag.message
+        # the chain descends from the handler to the blocking site
+        assert "repro.sig.handle -> repro.sig.dump" in diag.message
+
+    def test_fork_after_thread(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/fork-after-thread")
+        assert diag.location.path.endswith("forks.py")
+        assert "multiprocessing.Process" in diag.message
+        assert "repro.forks.work" in diag.message
+
+    def test_fork_inherited_handle(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/fork-inherited-handle")
+        assert diag.location.path.endswith("forks.py")
+        assert "threading.Lock" in diag.message
+        assert "'repro.forks'" in diag.message
+
+    def test_shared_state_unlocked(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "race/shared-state-unlocked")
+        assert diag.location.path.endswith("state.py")
+        assert "repro.state.COUNT" in diag.message
+        assert "[async, thread]" in diag.message
+        # one witness chain per concurrent context
+        assert "repro.aio.handle -> repro.state.bump" in diag.message
+        assert "repro.forks.work -> repro.state.bump" in diag.message
+
+
+class TestCleanCorpusIsSilent:
+    def test_no_findings(self):
+        report = analyze_paths([CLEAN])
+        assert report.diagnostics == [], report.format_text()
+        assert report.exit_code == 0
+
+    def test_the_clean_tree_actually_exercises_the_contexts(self):
+        # guard against the silence being vacuous: the clean corpus
+        # must reach the same context machinery the dirty one does
+        report = analyze_paths([CLEAN])
+        assert report.contexts.get("async", 0) >= 3
+        assert report.contexts.get("thread", 0) >= 2
+        assert report.contexts.get("worker", 0) >= 1
