@@ -1,0 +1,73 @@
+"""Whole-program shape analysis throughput: the dtype gate stays cheap.
+
+``repro shape src/`` joins the CI gate family.  On top of flow's call
+graph it runs the abstract interpreter over every function and iterates
+the return-summary fixpoint to convergence, so this gate pins the full
+tree under the same 10-second interactive budget as the other analyzers
+and archives the measured envelope to
+``benchmarks/results/shape-selfcheck.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.shape import analyze_paths
+
+#: A full-tree whole-program analysis may take at most this many seconds.
+TIME_BUDGET_S = 10.0
+
+SRC = Path(__file__).parents[1] / "src"
+
+
+def test_bench_shape_full_tree(benchmark, results_dir, capsys):
+    # time inside the workload as well: under --benchmark-disable (the
+    # PR smoke mode) benchmark.stats is None, but the 10s gate must hold.
+    durations = []
+
+    def run():
+        t0 = time.perf_counter()
+        rep = analyze_paths([str(SRC)])
+        durations.append(time.perf_counter() - t0)
+        return rep
+
+    report = benchmark(run)
+
+    # the shipped tree is shape-clean: the benchmark doubles as the
+    # self-check (no baseline, no suppressions)
+    assert report.exit_code == 0
+    assert report.diagnostics == []
+    assert report.suppressed == 0
+    assert report.files >= 100
+    assert report.functions >= 800
+    assert report.dtypes.get("int64", 0) >= 30
+
+    mean_s = (
+        benchmark.stats.stats.mean if benchmark.stats else min(durations)
+    )
+    doc = {
+        "workload": "analyze_paths([src])",
+        "files": report.files,
+        "functions": report.functions,
+        "arrays": report.arrays,
+        "dtypes": {k: report.dtypes[k] for k in sorted(report.dtypes)},
+        "mean_s": mean_s,
+        "files_per_s": report.files / mean_s,
+        "budget_s": TIME_BUDGET_S,
+    }
+    (results_dir / "shape-selfcheck.json").write_text(
+        json.dumps(doc, indent=2) + "\n"
+    )
+    with capsys.disabled():
+        print()
+        print(
+            f"shape: {report.files} files, {report.functions} functions, "
+            f"{report.arrays} arrays in {mean_s:.3f}s "
+            f"({report.files / mean_s:.0f} files/s, "
+            f"budget {TIME_BUDGET_S:.0f}s)"
+        )
+
+    assert mean_s < TIME_BUDGET_S, (
+        f"whole-program shape analysis took {mean_s:.2f}s, "
+        f"over the {TIME_BUDGET_S:.0f}s budget"
+    )

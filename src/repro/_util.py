@@ -54,10 +54,10 @@ def require_wire(w: int, n: int) -> int:
 
 def as_int_array(values: Sequence[int] | np.ndarray) -> np.ndarray:
     """Convert a sequence to a 1-D ``int64`` NumPy array (copying)."""
-    arr = np.asarray(values, dtype=np.int64)
+    arr = np.array(values, dtype=np.int64)
     if arr.ndim != 1:
         raise WireError(f"expected a 1-D sequence, got shape {arr.shape}")
-    return arr.copy()
+    return arr
 
 
 def check_permutation_array(mapping: np.ndarray, n: int) -> None:

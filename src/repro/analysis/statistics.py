@@ -26,7 +26,7 @@ __all__ = [
 
 def inversion_count(values) -> int:
     """Number of inversions (pairs out of order), via merge counting."""
-    arr = list(np.asarray(values).tolist())
+    arr = np.asarray(values).tolist()
 
     def sort_count(a: list) -> tuple[list, int]:
         if len(a) <= 1:

@@ -44,10 +44,14 @@ def _zero_one_batches(n: int) -> Iterator[np.ndarray]:
     """All 0-1 inputs of length ``n``, in vectorised batches."""
     total = 1 << n
     bit_cols = np.arange(n - 1, -1, -1, dtype=np.uint64)
-    for start in range(0, total, _ZERO_ONE_BATCH):
+    # batch stepping, not a scalar per-wire loop: each iteration emits
+    # one vectorised (batch, n) block
+    start = 0
+    while start < total:
         stop = min(start + _ZERO_ONE_BATCH, total)
         codes = np.arange(start, stop, dtype=np.uint64)[:, None]
         yield ((codes >> bit_cols) & 1).astype(np.int64)
+        start = stop
 
 
 def find_unsorted_zero_one_input(
@@ -63,12 +67,16 @@ def find_unsorted_zero_one_input(
         raise ReproError(
             f"exhaustive 0-1 check over 2^{n} inputs refused (max_wires={max_wires})"
         )
+    witness = None
     for batch in _zero_one_batches(n):
         out = network.evaluate_batch(batch)
         bad = np.nonzero((np.diff(out, axis=1) < 0).any(axis=1))[0]
         if bad.size:
-            return batch[int(bad[0])].copy()
-    return None
+            witness = batch[int(bad[0])]
+            break
+    if witness is None:
+        return None
+    return np.array(witness)
 
 
 def is_sorting_network(network: ComparatorNetwork, max_wires: int = 24) -> bool:

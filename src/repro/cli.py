@@ -722,6 +722,18 @@ def _sanitize_merges(args):
             )
 
         merges.append(run_race)
+    if args.shape:
+
+        def run_shape(paths, select, baseline):
+            from .shape import ShapeConfig, analyze_paths
+
+            if args.baseline is None:
+                baseline = _analyzer_baseline(args, "shape-baseline.json")
+            return analyze_paths(
+                paths, ShapeConfig(select=select), baseline=baseline
+            )
+
+        merges.append(run_shape)
     return merges
 
 
@@ -767,6 +779,28 @@ def cmd_race(args) -> int:
         logger.error("error[race/usage]: %s", exc)
         return 2
     return _finish_analyzer(args, report, "race-baseline.json")
+
+
+def cmd_shape(args) -> int:
+    from .shape import ShapeConfig, analyze_paths, build_analysis, model_json
+
+    config = ShapeConfig(select=_selected(args))
+    try:
+        if args.graph:
+            analysis, _, _ = build_analysis(args.paths, config)
+            doc = model_json(analysis)
+            Path(args.graph).write_text(json.dumps(doc, indent=2) + "\n")
+            # stderr: stdout must stay a clean report under --json
+            logger.info(
+                "dtype/ndim model with %d functions written to %s",
+                len(doc["functions"]), args.graph,
+            )
+        baseline = _analyzer_baseline(args, "shape-baseline.json")
+        report = analyze_paths(args.paths, config, baseline=baseline)
+    except SanitizeError as exc:
+        logger.error("error[shape/usage]: %s", exc)
+        return 2
+    return _finish_analyzer(args, report, "shape-baseline.json")
 
 
 def cmd_perf(args) -> int:
@@ -1001,6 +1035,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--race", action="store_true",
                    help="also run the whole-program concurrency analysis "
                         "(see `repro race`) and merge its findings")
+    p.add_argument("--shape", action="store_true",
+                   help="also run the array dtype/shape analysis "
+                        "(see `repro shape`) and merge its findings")
     p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("flow", help="whole-program flow analysis of the "
@@ -1053,6 +1090,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "blocking/fork/dispatch facts, shared-state "
                         "writes, module handles) to PATH as JSON")
     p.set_defaults(func=cmd_race)
+
+    p = sub.add_parser("shape", help="array dtype/shape abstract "
+                                     "interpretation of the repro source "
+                                     "tree itself")
+    _add_tree_analyzer_args(
+        p,
+        paths_help="files/directories to analyse as one program "
+                   "(default: src)",
+        select_example="shape/implicit",
+        default_baseline="shape-baseline.json",
+    )
+    p.add_argument("--graph", metavar="PATH", default=None,
+                   help="also serialise the dtype/ndim model (per-function "
+                        "return summaries, constructor sites, inferred "
+                        "abstract values) to PATH as JSON")
+    p.set_defaults(func=cmd_shape)
 
     p = sub.add_parser("farm", help="parallel campaign runner with a "
                                     "content-addressed artifact store")

@@ -67,7 +67,9 @@ class SymbolicState:
         moves by a single fancy-indexed gather over its positions.
         """
         dest = np.asarray(mapping, dtype=np.int64)
-        scattered = np.empty(self.n, dtype=object)
+        # Deliberate object array: it scatters Python symbol objects in
+        # one vectorised step and never feeds certificate numerics.
+        scattered = np.empty(self.n, dtype=object)  # sanitize: ok[shape/object-dtype-array]
         scattered[dest] = self.symbols
         self.symbols = scattered.tolist()
         if self.origin:

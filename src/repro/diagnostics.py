@@ -233,6 +233,41 @@ class DiagnosticReport:
             "fixable": len(self.fixable),
         }
 
+    def render_text(self, header: str) -> str:
+        """The shared ``format_text`` body of every tree analyzer report.
+
+        One ``header`` line sizing the analysed tree, each diagnostic
+        with its optional fix-it, then the severity summary with the
+        baselined count appended when the ratchet suppressed anything.
+        Subclasses build their analyzer-specific header and delegate
+        here, so the rendering cannot drift between families.
+        """
+        lines = [header]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.format())
+            if diag.fix is not None:
+                lines.append(f"    fix-it: {diag.fix.description}")
+        summary = self.summary()
+        suppressed = getattr(self, "suppressed", 0)
+        if suppressed:
+            summary += f" ({suppressed} baselined)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def json_tail(self) -> dict[str, Any]:
+        """The shared trailing block of every report's ``to_json``.
+
+        Every schema-pinned report document ends with the rendered
+        diagnostics, the suppressed count and the severity summary;
+        subclasses splat this after their headline fields so the wire
+        tail stays field-for-field identical across analyzers.
+        """
+        return {
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "suppressed": getattr(self, "suppressed", 0),
+            "summary": self.summary_json(),
+        }
+
 
 #: Version of the baseline document format; bump on breaking change.
 BASELINE_VERSION = 1

@@ -71,11 +71,11 @@ def run(
             perm = random_permutation(n, rng)
             prog = benes_shuffle_unshuffle_program(perm)
             su_ok &= is_shuffle_unshuffle_based(prog)
-            out = prog.to_network().evaluate(np.arange(n))
+            out = prog.to_network().evaluate(np.arange(n, dtype=np.int64))
             su_ok &= all(out[perm(i)] == i for i in range(n))
             sprog = sort_route_program(perm)
             strict_ok &= sprog.is_shuffle_based()
-            out2 = sprog.to_network().evaluate(np.arange(n))
+            out2 = sprog.to_network().evaluate(np.arange(n, dtype=np.int64))
             strict_ok &= all(out2[perm(i)] == i for i in range(n))
         # strict shuffle-only networks of depth 2 lg n (= 2 blocks): the
         # adversary must defeat every one we try.  Only meaningful when

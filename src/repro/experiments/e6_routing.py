@@ -58,11 +58,11 @@ def run(
         for _ in range(trials):
             perm = random_permutation(n, rng)
             net = benes_routing_network(perm)
-            out = net.evaluate(np.arange(n))
+            out = net.evaluate(np.arange(n, dtype=np.int64))
             benes_ok &= all(out[perm(i)] == i for i in range(n))
             prog = sort_route_program(perm)
             sort_steps = prog.depth
-            out2 = prog.to_network().evaluate(np.arange(n))
+            out2 = prog.to_network().evaluate(np.arange(n, dtype=np.int64))
             sort_ok &= all(out2[perm(i)] == i for i in range(n))
             sort_ok &= prog.is_shuffle_based()
         table.add_row(

@@ -46,20 +46,11 @@ class FlowReport(DiagnosticReport):
 
     def format_text(self) -> str:
         """Full human-readable report."""
-        lines = [
+        return self.render_text(
             f"flow {' '.join(self.targets)}: "
             f"{self.files} file{'s' if self.files != 1 else ''}, "
             f"{self.functions} functions, {self.edges} edges"
-        ]
-        for diag in self.diagnostics:
-            lines.append("  " + diag.format())
-            if diag.fix is not None:
-                lines.append(f"    fix-it: {diag.fix.description}")
-        summary = self.summary()
-        if self.suppressed:
-            summary += f" ({self.suppressed} baselined)"
-        lines.append(summary)
-        return "\n".join(lines)
+        )
 
     def to_json(self) -> dict[str, Any]:
         """JSON-compatible report document."""
@@ -69,9 +60,7 @@ class FlowReport(DiagnosticReport):
             "files": self.files,
             "functions": self.functions,
             "edges": self.edges,
-            "diagnostics": [d.to_json() for d in self.diagnostics],
-            "suppressed": self.suppressed,
-            "summary": self.summary_json(),
+            **self.json_tail(),
         }
 
 

@@ -251,7 +251,7 @@ def _transfer_comparator(state: AbstractState, lo: int, hi: int) -> None:
 
 def _swap_positions(state: AbstractState, a: int, b: int) -> None:
     """Exchange positions ``a`` and ``b`` in the whole state."""
-    idx = np.arange(state.const.shape[0])
+    idx = np.arange(state.const.shape[0], dtype=np.int64)
     idx[a], idx[b] = b, a
     state.const = state.const[idx]
     state.le = state.le[np.ix_(idx, idx)]

@@ -123,7 +123,7 @@ def fft(values: Sequence[complex]) -> np.ndarray:
     require_power_of_two(n, "FFT size")
     d = ilog2(n)
     if d == 0:
-        return x.copy()
+        return np.array(x)
     omega = np.exp(-2j * np.pi / n)
     machine = ShuffleExchangeMachine([(u, x[u]) for u in range(n)])
 

@@ -54,16 +54,7 @@ class PerfReport(DiagnosticReport):
         )
         if self.profile:
             header += f", profile {self.profile}"
-        lines = [header]
-        for diag in self.diagnostics:
-            lines.append("  " + diag.format())
-            if diag.fix is not None:
-                lines.append(f"    fix-it: {diag.fix.description}")
-        summary = self.summary()
-        if self.suppressed:
-            summary += f" ({self.suppressed} baselined)"
-        lines.append(summary)
-        return "\n".join(lines)
+        return self.render_text(header)
 
     def to_json(self) -> dict[str, Any]:
         """JSON-compatible report document."""
@@ -74,7 +65,5 @@ class PerfReport(DiagnosticReport):
             "functions": self.functions,
             "hot": self.hot,
             "profile": self.profile,
-            "diagnostics": [d.to_json() for d in self.diagnostics],
-            "suppressed": self.suppressed,
-            "summary": self.summary_json(),
+            **self.json_tail(),
         }

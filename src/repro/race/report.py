@@ -57,21 +57,12 @@ class RaceReport(DiagnosticReport):
             for label in sorted(self.contexts)
             if self.contexts[label]
         )
-        lines = [
+        return self.render_text(
             f"race {' '.join(self.targets)}: "
             f"{self.files} file{'s' if self.files != 1 else ''}, "
             f"{self.functions} functions, {self.edges} edges"
             + (f" ({ctx})" if ctx else "")
-        ]
-        for diag in self.diagnostics:
-            lines.append("  " + diag.format())
-            if diag.fix is not None:
-                lines.append(f"    fix-it: {diag.fix.description}")
-        summary = self.summary()
-        if self.suppressed:
-            summary += f" ({self.suppressed} baselined)"
-        lines.append(summary)
-        return "\n".join(lines)
+        )
 
     def to_json(self) -> dict[str, Any]:
         """JSON-compatible report document."""
@@ -82,9 +73,7 @@ class RaceReport(DiagnosticReport):
             "functions": self.functions,
             "edges": self.edges,
             "contexts": {k: self.contexts[k] for k in sorted(self.contexts)},
-            "diagnostics": [d.to_json() for d in self.diagnostics],
-            "suppressed": self.suppressed,
-            "summary": self.summary_json(),
+            **self.json_tail(),
         }
 
 

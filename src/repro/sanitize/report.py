@@ -35,26 +35,15 @@ class SanitizeReport(DiagnosticReport):
 
     def format_text(self) -> str:
         """Full human-readable report."""
-        lines = [
+        return self.render_text(
             f"sanitize {' '.join(self.targets)}: "
             f"{self.files} file{'s' if self.files != 1 else ''}"
-        ]
-        for diag in self.diagnostics:
-            lines.append("  " + diag.format())
-            if diag.fix is not None:
-                lines.append(f"    fix-it: {diag.fix.description}")
-        summary = self.summary()
-        if self.suppressed:
-            summary += f" ({self.suppressed} baselined)"
-        lines.append(summary)
-        return "\n".join(lines)
+        )
 
     def to_json(self) -> dict[str, Any]:
         """JSON-compatible report document."""
         return {
             "targets": self.targets,
             "files": self.files,
-            "diagnostics": [d.to_json() for d in self.diagnostics],
-            "suppressed": self.suppressed,
-            "summary": self.summary_json(),
+            **self.json_tail(),
         }

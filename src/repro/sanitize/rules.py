@@ -112,6 +112,7 @@ SCHEMA_MODULES = (
     "repro/serve/loadgen.py",
     "repro/serve/protocol.py",
     "repro/serve/server.py",
+    "repro/shape/report.py",
 )
 
 

@@ -1,0 +1,99 @@
+"""The shape engine: discovery, program construction, rules, report.
+
+Entry point :func:`analyze_paths` mirrors
+:func:`repro.race.engine.analyze_paths` -- deterministic (sorted) file
+discovery, the ratcheted baseline, ``# sanitize: ok`` pragma
+suppression -- over the same whole-program unit: every parseable file
+joins one :class:`~repro.flow.graph.Program`, the abstract
+interpretation and its summary fixpoint run once, and each rule reads
+the global result.
+
+Determinism contract: the report depends only on the *set* of files and
+their contents, never on discovery order (property-tested in
+``tests/shape/test_order_independence.py``).  Unparseable files become
+``parse/syntax-error`` diagnostics, exactly as in the other analyzers,
+and are excluded from the program rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..diagnostics import Baseline, apply_waivers
+from ..sanitize.diagnostics import Diagnostic
+from ..sanitize.engine import discover_files
+from .report import ShapeReport
+from .rules import SHAPE_RULES, ShapeAnalysis
+
+__all__ = ["ShapeConfig", "analyze_paths", "build_analysis"]
+
+
+@dataclass(frozen=True)
+class ShapeConfig:
+    """Tunables for one shape run.
+
+    ``select`` optionally restricts to rules whose id starts with one
+    of the given prefixes (``--select shape/implicit`` etc.), mirroring
+    the other analyzer configs.
+    """
+
+    select: tuple[str, ...] | None = None
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """True iff ``rule_id`` passes the ``select`` filter."""
+        if not self.select:
+            return True
+        return any(rule_id.startswith(prefix) for prefix in self.select)
+
+
+def build_analysis(
+    paths: Iterable[str | Path], config: ShapeConfig | None = None
+) -> tuple[ShapeAnalysis, list[Diagnostic], int]:
+    """Build the program and the dtype/ndim model, run the rules.
+
+    Returns the analysis, the raw rule findings (plus parse
+    diagnostics), and the number of analysed files.
+    """
+    from ..flow.engine import _load_contexts
+    from ..flow.graph import Program
+
+    cfg = config or ShapeConfig()
+    files = discover_files(paths)
+    contexts, diagnostics = _load_contexts(files)
+    program = Program.build(contexts)
+    analysis = ShapeAnalysis.build(program)
+    for rule in SHAPE_RULES.values():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        diagnostics.extend(rule.check(analysis))
+    return analysis, diagnostics, len(files)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    config: ShapeConfig | None = None,
+    baseline: Baseline | None = None,
+) -> ShapeReport:
+    """Analyse a set of files/directories as one whole program.
+
+    Pragma-suppressed findings are dropped silently (the pragma is the
+    documented waiver); baseline-matched findings are dropped from the
+    report and exit code but counted in ``report.suppressed`` so a
+    grandfathered tree never reads as clean.
+    """
+    analysis, diagnostics, files = build_analysis(paths, config)
+    program = analysis.program
+    kept, suppressed = apply_waivers(
+        diagnostics, program.contexts, baseline
+    )
+    return ShapeReport(
+        targets=sorted(str(p) for p in paths),
+        files=files,
+        functions=len(program.functions),
+        arrays=analysis.constructor_count(),
+        dtypes=analysis.dtype_counts(),
+        diagnostics=kept,
+        suppressed=suppressed,
+    )

@@ -1,0 +1,1428 @@
+"""The dtype × ndim abstract domain and its interpreter.
+
+Every NumPy value the analyser reasons about is an
+:class:`AbstractValue` -- a ``kind`` (array, scalar, list, ...) plus a
+dtype name, a rank (``ndim``), an optional statically-known ``shape``
+and the ``origin`` of the allocation (which conversion built it).  The
+per-function interpreter walks each indexed function of the
+:class:`~repro.flow.graph.Program` in statement order, tracking an
+abstract environment for the locals:
+
+* constructor calls (``np.zeros``, ``np.asarray``, ...) produce arrays
+  with the dtype the call pins -- or NumPy's *default* when it does not
+  (``float64`` for the allocators, value-dependent for ``arange`` and
+  ``np.array`` on literals);
+* ufunc-style arithmetic promotes dtypes (including the ``uint64`` +
+  signed-int ``float64`` trap) and broadcasts ranks; true division
+  always lands in float;
+* indexing and reductions shift ``ndim`` (a scalar index removes one
+  axis, ``axis=`` reductions remove one, ``.reshape`` re-ranks);
+* calls into other indexed functions read that callee's *return
+  summary*; the summaries are iterated to a fixpoint over the call
+  graph so an array dtype survives helper boundaries, and annotated
+  ``np.ndarray`` parameters seed the environment.
+
+Control flow is handled by joining environments at merge points: two
+branches that disagree about a dtype meet at *unknown*, never at a
+guess, so every recorded fact is a may-must statement the rules can
+trust.  Known blind spots, accepted and documented: module-level code
+(outside any function), attribute state (``self.x`` arrays), and
+containers of arrays are not tracked -- all degrade to *unknown*, which
+can only suppress findings, never invent them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+
+from ..flow.graph import FunctionInfo, Program
+from ..sanitize.engine import FileContext
+
+__all__ = [
+    "AbstractValue",
+    "UNKNOWN",
+    "ConstructorSite",
+    "OpSite",
+    "CompareSite",
+    "CopySite",
+    "NdimViolation",
+    "BroadcastViolation",
+    "FunctionFacts",
+    "ShapeModel",
+    "promote",
+    "join_value",
+    "dtype_kind",
+]
+
+#: Fixpoint passes saturate here; the summary lattice is shallow
+#: (kind, dtype and ndim each degrade monotonically to unknown), so
+#: real trees converge in two or three passes.
+MAX_PASSES = 8
+
+_INT_DTYPES = frozenset({"int8", "int16", "int32", "int64"})
+_UINT_DTYPES = frozenset({"uint8", "uint16", "uint32", "uint64"})
+_FLOAT_DTYPES = frozenset({"float16", "float32", "float64"})
+_COMPLEX_DTYPES = frozenset({"complex64", "complex128"})
+
+#: dtype spellings accepted from ``dtype=`` arguments, normalised.
+_DTYPE_ALIASES = {
+    "bool": "bool",
+    "bool_": "bool",
+    "int": "int64",
+    "intp": "int64",
+    "int_": "int64",
+    "float": "float64",
+    "float_": "float64",
+    "double": "float64",
+    "complex": "complex128",
+    "object": "object",
+    "object_": "object",
+    "str": "str",
+    "str_": "str",
+}
+
+
+def dtype_kind(dtype: str | None) -> str | None:
+    """The coarse kind of a dtype name (``int``/``float``/...)."""
+    if dtype is None:
+        return None
+    if dtype == "bool":
+        return "bool"
+    if dtype in _INT_DTYPES:
+        return "int"
+    if dtype in _UINT_DTYPES:
+        return "uint"
+    if dtype in _FLOAT_DTYPES:
+        return "float"
+    if dtype in _COMPLEX_DTYPES:
+        return "complex"
+    return dtype  # "object", "str": their own kinds
+
+
+def _width(dtype: str) -> int:
+    digits = "".join(c for c in dtype if c.isdigit())
+    return int(digits) if digits else 8
+
+
+_KIND_RANK = {"bool": 0, "int": 1, "uint": 1, "float": 2, "complex": 3}
+
+
+def promote(a: str | None, b: str | None) -> str | None:
+    """Result dtype of a binary operation, NumPy-style.
+
+    Unknown absorbs (we never guess), ``object`` absorbs (object math
+    stays object), and the one promotion surprise worth modelling
+    exactly is ``uint64`` meeting a signed int: NumPy has no int128, so
+    the result is ``float64`` -- silently inexact above 2**53.
+    """
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if "object" in (a, b):
+        return "object"
+    ka, kb = dtype_kind(a), dtype_kind(b)
+    if ka not in _KIND_RANK or kb not in _KIND_RANK:
+        return None
+    if {ka, kb} == {"int", "uint"}:
+        unsigned = a if ka == "uint" else b
+        signed = a if ka == "int" else b
+        if unsigned == "uint64":
+            return "float64"
+        # the signed type must fit the unsigned range: double its width
+        return f"int{min(64, max(2 * _width(unsigned), _width(signed)))}"
+    hi, lo = (a, b) if _KIND_RANK[ka] >= _KIND_RANK[kb] else (b, a)
+    if dtype_kind(hi) == dtype_kind(lo):
+        return hi if _width(hi) >= _width(lo) else lo
+    # crossing into float/complex from a 64-bit integer widens fully
+    if dtype_kind(hi) in ("float", "complex") and _width(lo) >= 32:
+        base = "complex" if dtype_kind(hi) == "complex" else "float"
+        return f"{base}{max(_width(hi), 64 if base == 'float' else 128)}"
+    return hi
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the abstract domain.
+
+    ``kind`` is ``"array"``, ``"scalar"``, ``"list"``, ``"tuple"`` or
+    ``"unknown"``; ``dtype``/``ndim``/``shape`` are ``None`` when
+    unknown.  ``origin`` remembers which conversion allocated an array
+    (``"array"``, ``"asarray"``, ``"astype"``, ``"copy"``,
+    ``"tolist"``) so the needless-copy rule can see conversion chains
+    through local variables.
+    """
+
+    kind: str = "unknown"
+    dtype: str | None = None
+    ndim: int | None = None
+    shape: tuple[int | None, ...] | None = None
+    origin: str | None = None
+    #: Python literals promote "weakly" (NEP 50): an int literal takes
+    #: the array operand's dtype instead of forcing int64.
+    weak: bool = False
+    #: For ``kind == "instance"``: the class qualname, so method calls
+    #: on typed receivers dispatch to that method's return summary.
+    cls: str | None = None
+
+    @property
+    def is_array(self) -> bool:
+        """True iff this value is known to be an ndarray."""
+        return self.kind == "array"
+
+    @property
+    def is_int_array(self) -> bool:
+        """An exact-integer array (the certificate currency)."""
+        return self.is_array and dtype_kind(self.dtype) in ("int", "uint")
+
+    @property
+    def is_float_like(self) -> bool:
+        """True iff the dtype is inexact (float or complex)."""
+        return dtype_kind(self.dtype) in ("float", "complex")
+
+
+UNKNOWN = AbstractValue()
+
+
+def _scalar(dtype: str, weak: bool = False) -> AbstractValue:
+    return AbstractValue(kind="scalar", dtype=dtype, ndim=0, weak=weak)
+
+
+def _array(
+    dtype: str | None = None,
+    ndim: int | None = None,
+    shape: tuple[int | None, ...] | None = None,
+    origin: str | None = None,
+) -> AbstractValue:
+    if shape is not None and ndim is None:
+        ndim = len(shape)
+    return AbstractValue(
+        kind="array", dtype=dtype, ndim=ndim, shape=shape, origin=origin
+    )
+
+
+def join_value(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Control-flow join: agreement survives, disagreement degrades."""
+    if a == b:
+        return a
+    if a.kind != b.kind:
+        return UNKNOWN
+    return AbstractValue(
+        kind=a.kind,
+        dtype=a.dtype if a.dtype == b.dtype else None,
+        ndim=a.ndim if a.ndim == b.ndim else None,
+        shape=a.shape if a.shape == b.shape else None,
+        origin=a.origin if a.origin == b.origin else None,
+        weak=a.weak and b.weak,
+        cls=a.cls if a.cls == b.cls else None,
+    )
+
+
+def broadcast_shapes(
+    a: tuple[int | None, ...], b: tuple[int | None, ...]
+) -> tuple[int | None, ...] | None:
+    """NumPy broadcasting; ``None`` when the shapes provably conflict."""
+    out: list[int | None] = []
+    for i in range(1, max(len(a), len(b)) + 1):
+        da = a[-i] if i <= len(a) else 1
+        db = b[-i] if i <= len(b) else 1
+        if da is None or db is None:
+            out.append(None)
+        elif da == db or db == 1:
+            out.append(da)
+        elif da == 1:
+            out.append(db)
+        else:
+            return None
+        continue
+    return tuple(reversed(out))
+
+
+# ---------------------------------------------------------------------------
+# recorded facts
+
+
+@dataclass(frozen=True)
+class ConstructorSite:
+    """One array-constructing call (including ``.astype``)."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    func: str  # short numpy name: "zeros", "asarray", "astype", ...
+    pinned: bool  # dtype explicitly given
+    value: AbstractValue
+
+
+@dataclass(frozen=True)
+class OpSite:
+    """One arithmetic binary operation touching an array."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    op: str  # "add", "truediv", ...
+    left: AbstractValue
+    right: AbstractValue
+    result: AbstractValue
+
+
+@dataclass(frozen=True)
+class CompareSite:
+    """One comparison (or ``np.isclose``-family call) touching an array."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    left: AbstractValue
+    right: AbstractValue
+    float_const: bool  # literal float on the non-array side
+    isclose: bool = False
+
+
+@dataclass(frozen=True)
+class CopySite:
+    """One redundant-conversion witness (the needless-copy patterns)."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    pattern: str  # "list-of-tolist" | "copy-of-asarray" | ...
+
+
+@dataclass(frozen=True)
+class NdimViolation:
+    """An axis or index that provably exceeds the operand's rank."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    what: str  # e.g. "axis=1" or "2 scalar indices"
+    ndim: int
+
+
+@dataclass(frozen=True)
+class BroadcastViolation:
+    """Two statically-known shapes that cannot broadcast."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    left: tuple[int | None, ...]
+    right: tuple[int | None, ...]
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the interpreter recorded about one function."""
+
+    constructors: list[ConstructorSite] = field(default_factory=list)
+    ops: list[OpSite] = field(default_factory=list)
+    compares: list[CompareSite] = field(default_factory=list)
+    copies: list[CopySite] = field(default_factory=list)
+    ndim_violations: list[NdimViolation] = field(default_factory=list)
+    broadcast_violations: list[BroadcastViolation] = field(
+        default_factory=list
+    )
+    returns: AbstractValue = UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# the interpreter
+
+#: Allocators whose dtype silently defaults (float64, or value-shaped
+#: for arange/full/fromiter) -- the unpinned-constructor rule's domain.
+DEFAULT_SENSITIVE = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "linspace", "eye",
+     "identity", "fromiter"}
+)
+
+#: Conversions that re-materialise existing data.
+_CONVERSIONS = frozenset(
+    {"array", "asarray", "ascontiguousarray", "asfortranarray"}
+)
+
+_REDUCTIONS = frozenset(
+    {"sum", "prod", "min", "max", "amin", "amax", "mean", "std", "var",
+     "any", "all", "argmin", "argmax", "count_nonzero", "median"}
+)
+
+_FLOAT_REDUCTIONS = frozenset({"mean", "std", "var", "median"})
+_BOOL_REDUCTIONS = frozenset({"any", "all"})
+_INDEX_REDUCTIONS = frozenset({"argmin", "argmax", "count_nonzero"})
+
+#: Element-wise unaries preserving dtype and rank.
+_PRESERVING = frozenset(
+    {"abs", "absolute", "negative", "positive", "sort", "flip",
+     "diff", "roll", "unique", "cumsum", "clip", "square"}
+)
+
+_BIN_UFUNCS = {
+    "add": "add", "subtract": "sub", "multiply": "mult",
+    "minimum": "min", "maximum": "max", "power": "pow",
+    "floor_divide": "floordiv", "true_divide": "truediv",
+    "divide": "truediv", "remainder": "mod", "mod": "mod",
+}
+
+_BINOP_NAMES = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mult", ast.Div: "truediv",
+    ast.FloorDiv: "floordiv", ast.Mod: "mod", ast.Pow: "pow",
+    ast.LShift: "lshift", ast.RShift: "rshift", ast.BitOr: "or",
+    ast.BitAnd: "and", ast.BitXor: "xor", ast.MatMult: "matmul",
+}
+
+
+class _Interpreter:
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self,
+        program: Program,
+        ctx: FileContext,
+        finfo: FunctionInfo,
+        summaries: dict[str, AbstractValue],
+    ) -> None:
+        self.program = program
+        self.ctx = ctx
+        self.finfo = finfo
+        self.summaries = summaries
+        self.facts = FunctionFacts()
+        self.env: dict[str, AbstractValue] = {}
+        self.returns: list[AbstractValue] = []
+        #: the exact ``<name>.copy()`` node under a ``return``, if any
+        self._returned_copy: ast.AST | None = None
+
+    # -- plumbing -----------------------------------------------------
+
+    def _site(self, node: ast.AST) -> tuple[str, str, int, int]:
+        return (
+            self.finfo.qualname,
+            self.finfo.path,
+            getattr(node, "lineno", self.finfo.line),
+            getattr(node, "col_offset", 0),
+        )
+
+    def _annotation_value(self, ann: ast.expr | None) -> AbstractValue:
+        if ann is None:
+            return UNKNOWN
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value
+            if text.endswith("ndarray"):
+                return _array()
+            return UNKNOWN
+        resolved = self.ctx.resolve(ann)
+        if resolved in ("numpy.ndarray", "numpy.typing.NDArray"):
+            return _array()
+        if resolved:
+            target = self.program.resolve(resolved, self.ctx.module)
+            if target is not None and target[0] == "class":
+                return AbstractValue(kind="instance", cls=target[1])
+        return UNKNOWN
+
+    def run(self) -> FunctionFacts:
+        args = self.finfo.node.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ):
+            self.env[arg.arg] = self._annotation_value(arg.annotation)
+        if self.finfo.cls is not None and "self" in self.env:
+            self.env["self"] = AbstractValue(
+                kind="instance", cls=self.finfo.cls
+            )
+        self._exec_block(self.finfo.node.body)
+        summary = UNKNOWN
+        if self.returns:
+            summary = self.returns[0]
+            for val in self.returns[1:]:
+                summary = join_value(summary, val)
+        elif self._annotation_value(self.finfo.node.returns).is_array:
+            summary = _array()
+        self.facts.returns = summary
+        return self.facts
+
+    # -- statements ---------------------------------------------------
+
+    def _exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _join_env(self, *envs: dict[str, AbstractValue]) -> None:
+        merged: dict[str, AbstractValue] = {}
+        for name in sorted({n for e in envs for n in e}):
+            vals = [e.get(name, UNKNOWN) for e in envs]
+            out = vals[0]
+            for val in vals[1:]:
+                out = join_value(out, val)
+            merged[name] = out
+        self.env = merged
+
+    def _bind(self, target: ast.expr, value: AbstractValue) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, UNKNOWN)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._eval(target.value)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = (
+                self._eval(stmt.value)
+                if stmt.value is not None
+                else self._annotation_value(stmt.annotation)
+            )
+            if stmt.value is not None and not value.is_array:
+                ann = self._annotation_value(stmt.annotation)
+                if ann.is_array:
+                    value = ann
+            self._bind(stmt.target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            left = (
+                self.env.get(stmt.target.id, UNKNOWN)
+                if isinstance(stmt.target, ast.Name)
+                else self._eval(stmt.target)
+            )
+            right = self._eval(stmt.value)
+            op = _BINOP_NAMES.get(type(stmt.op), "op")
+            result = self._binop(stmt, op, left, right)
+            self._bind(stmt.target, result)
+        elif isinstance(stmt, ast.Return):
+            if (
+                isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr == "copy"
+                and not stmt.value.args
+            ):
+                self._returned_copy = stmt.value
+            value = self._eval(stmt.value) if stmt.value else UNKNOWN
+            self.returns.append(value)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            before = dict(self.env)
+            self._exec_block(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self._exec_block(stmt.orelse)
+            self._join_env(after_body, self.env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(stmt.iter)
+            element = UNKNOWN
+            if iterable.is_array and iterable.ndim is not None:
+                if iterable.ndim >= 2:
+                    element = _array(iterable.dtype, iterable.ndim - 1)
+                elif iterable.ndim == 1:
+                    element = _scalar(iterable.dtype) if iterable.dtype \
+                        else AbstractValue(kind="scalar")
+            before = dict(self.env)
+            self._bind(stmt.target, element)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            self._join_env(before, self.env)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            before = dict(self.env)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+            self._join_env(before, self.env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, UNKNOWN)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            before = dict(self.env)
+            self._exec_block(stmt.body)
+            after_body = self.env
+            handler_envs = []
+            for handler in stmt.handlers:
+                self.env = dict(before)
+                self._exec_block(handler.body)
+                handler_envs.append(self.env)
+            self._join_env(after_body, *handler_envs)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # nested defs/classes run when called; their bodies are indexed
+        # as their own functions, so they are skipped here.
+
+    # -- expressions --------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            return self._constant(node.value)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, (ast.List, ast.Set)):
+            for elt in node.elts:
+                self._eval(elt)
+            return AbstractValue(kind="list")
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                self._eval(elt)
+            return AbstractValue(kind="tuple")
+        if isinstance(node, ast.Dict):
+            for child in (*node.keys, *node.values):
+                if child is not None:
+                    self._eval(child)
+            return AbstractValue(kind="other")
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            op = _BINOP_NAMES.get(type(node.op), "op")
+            return self._binop(node, op, left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                return _scalar("bool")
+            return operand
+        if isinstance(node, ast.BoolOp):
+            vals = [self._eval(v) for v in node.values]
+            out = vals[0]
+            for val in vals[1:]:
+                out = join_value(out, val)
+            return out
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return join_value(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in node.generators:
+                self._eval(gen.iter)
+                for cond in gen.ifs:
+                    self._eval(cond)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key)
+                self._eval(node.value)
+            else:
+                self._eval(node.elt)
+            return AbstractValue(kind="list")
+        # anything else: evaluate children for their facts, answer unknown
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+        return UNKNOWN
+
+    def _constant(self, value: object) -> AbstractValue:
+        if isinstance(value, bool):
+            return _scalar("bool", weak=True)
+        if isinstance(value, int):
+            return _scalar("int64", weak=True)
+        if isinstance(value, float):
+            return _scalar("float64", weak=True)
+        if isinstance(value, complex):
+            return _scalar("complex128", weak=True)
+        return AbstractValue(kind="other")
+
+    @staticmethod
+    def _promote_operands(
+        left: AbstractValue, right: AbstractValue
+    ) -> str | None:
+        """Array-operand promotion honouring NEP 50 weak scalars.
+
+        A Python literal takes the array operand's dtype when its kind
+        fits (``uint64_codes & 1`` stays uint64); a weak *float* still
+        drags an integer array to float64, which is exactly the upcast
+        the rules police.
+        """
+        if left.is_array and right.kind == "scalar" and right.weak:
+            array, scalar = left, right
+        elif right.is_array and left.kind == "scalar" and left.weak:
+            array, scalar = right, left
+        else:
+            return promote(left.dtype, right.dtype)
+        if array.dtype is None or scalar.dtype is None:
+            return None
+        ak, sk = dtype_kind(array.dtype), dtype_kind(scalar.dtype)
+        if ak not in _KIND_RANK or sk not in _KIND_RANK:
+            return promote(array.dtype, scalar.dtype)
+        if _KIND_RANK[sk] <= _KIND_RANK[ak]:
+            return array.dtype
+        if sk == "float":
+            return "float64" if ak != "complex" else array.dtype
+        if sk == "complex":
+            return "complex128"
+        return "int64" if ak == "bool" else array.dtype
+
+    def _binop(
+        self,
+        node: ast.AST,
+        op: str,
+        left: AbstractValue,
+        right: AbstractValue,
+    ) -> AbstractValue:
+        if not (left.is_array or right.is_array):
+            if left.kind == "scalar" and right.kind == "scalar":
+                dtype = promote(left.dtype, right.dtype)
+                if op == "truediv" and dtype_kind(dtype) in (
+                    "bool", "int", "uint"
+                ):
+                    dtype = "float64"
+                return _scalar(
+                    dtype, weak=left.weak and right.weak
+                ) if dtype else AbstractValue(kind="scalar")
+            return UNKNOWN
+        dtype = self._promote_operands(left, right)
+        if op == "truediv" and dtype_kind(dtype) in ("bool", "int", "uint"):
+            dtype = "float64"
+        if op == "matmul":
+            result = _array(dtype)
+        else:
+            ndim = None
+            shape = None
+            if left.ndim is not None and right.ndim is not None:
+                ndim = max(left.ndim, right.ndim)
+            if left.shape is not None and right.shape is not None:
+                shape = broadcast_shapes(left.shape, right.shape)
+                if shape is None:
+                    self.facts.broadcast_violations.append(
+                        BroadcastViolation(
+                            *self._site(node),
+                            left=left.shape,
+                            right=right.shape,
+                        )
+                    )
+                    shape = None
+                else:
+                    ndim = len(shape)
+            elif left.is_array and right.kind == "scalar":
+                ndim, shape = left.ndim, left.shape
+            elif right.is_array and left.kind == "scalar":
+                ndim, shape = right.ndim, right.shape
+            # array meets unknown: the unknown side may out-rank the
+            # known one, so the result's rank stays unknown
+            result = _array(dtype, ndim, shape)
+        self.facts.ops.append(
+            OpSite(
+                *self._site(node), op=op, left=left, right=right,
+                result=result,
+            )
+        )
+        return result
+
+    def _compare(self, node: ast.Compare) -> AbstractValue:
+        left = self._eval(node.left)
+        rights = [self._eval(c) for c in node.comparators]
+        operands = [(node.left, left)] + list(zip(node.comparators, rights))
+        arrays = [v for _, v in operands if v.is_array]
+        if arrays and not any(
+            isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn))
+            for op in node.ops
+        ):
+            for (lnode, lval), (rnode, rval) in zip(
+                operands, operands[1:]
+            ):
+                if not (lval.is_array or rval.is_array):
+                    continue
+                float_const = any(
+                    isinstance(n, ast.Constant)
+                    and isinstance(n.value, float)
+                    for n in (lnode, rnode)
+                )
+                self.facts.compares.append(
+                    CompareSite(
+                        *self._site(node), left=lval, right=rval,
+                        float_const=float_const,
+                    )
+                )
+        if arrays:
+            ndim = arrays[0].ndim if len(arrays) == 1 else None
+            return _array("bool", ndim)
+        return _scalar("bool")
+
+    # -- calls --------------------------------------------------------
+
+    def _dtype_argument(self, node: ast.expr) -> str | None:
+        """Normalise a ``dtype=`` argument to a dtype name (or None)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value
+        else:
+            resolved = self.ctx.resolve(node)
+            if resolved is None:
+                return None
+            name = resolved.rsplit(".", 1)[-1]
+            if resolved.startswith("numpy.") or resolved == name:
+                pass
+            else:
+                return None
+        name = _DTYPE_ALIASES.get(name, name)
+        if dtype_kind(name) in _KIND_RANK or name in ("object", "str"):
+            return name
+        return None
+
+    def _literal_array(self, node: ast.expr) -> AbstractValue:
+        """The array ``np.array(<literal>)`` builds, when inferable."""
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return UNKNOWN
+        depths: list[int] = []
+        dtypes: list[str | None] = []
+        lengths: set[int] = set()
+        objecty = False
+
+        def scan(n: ast.expr, depth: int) -> None:
+            nonlocal objecty
+            if isinstance(n, (ast.List, ast.Tuple)):
+                if depth == 1:
+                    lengths.add(len(n.elts))
+                for elt in n.elts:
+                    scan(elt, depth + 1)
+                if not n.elts:
+                    depths.append(depth)
+                return
+            depths.append(depth)
+            if isinstance(n, ast.Constant):
+                if n.value is None or isinstance(
+                    n.value, (bytes,)
+                ):
+                    objecty = True
+                elif isinstance(n.value, str):
+                    dtypes.append("str")
+                else:
+                    dtypes.append(self._constant(n.value).dtype)
+            elif isinstance(n, (ast.Dict, ast.Set, ast.Lambda)):
+                objecty = True
+                self._eval(n)
+            else:
+                value = self._eval(n)
+                dtypes.append(
+                    value.dtype if value.kind == "scalar" else None
+                )
+
+        scan(node, 0)
+        if objecty or len(lengths) > 1:  # None leaves or ragged rows
+            return _array("object", max(depths) if depths else 1)
+        dtype: str | None = "int64" if dtypes else None
+        for d in dtypes:
+            if d == "str":
+                dtype = "str"
+                break
+            dtype = promote(dtype, d)
+        ndim = max(depths) if depths else 1
+        shape = None
+        if ndim == 1 and isinstance(node, (ast.List, ast.Tuple)):
+            shape = (len(node.elts),)
+        return _array(dtype, ndim, shape)
+
+    def _is_fresh_conversion(self, node: ast.expr) -> str | None:
+        """Does ``node`` directly allocate a converted array?"""
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "astype", "copy"
+        ):
+            return node.func.attr
+        resolved = self.ctx.resolve(node.func)
+        if resolved and resolved.startswith("numpy."):
+            short = resolved.rsplit(".", 1)[-1]
+            if short in _CONVERSIONS:
+                return short
+        return None
+
+    def _shape_argument(
+        self, node: ast.expr
+    ) -> tuple[int | None, tuple[int | None, ...] | None]:
+        """(ndim, shape) from an allocator's shape argument."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return 1, (node.value,)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            dims: list[int | None] = []
+            for elt in node.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, int
+                ):
+                    dims.append(elt.value)
+                else:
+                    self._eval(elt)
+                    dims.append(None)
+            return len(dims), tuple(dims)
+        value = self._eval(node)
+        if value.kind == "scalar":
+            return 1, None
+        return None, None
+
+    def _axis_check(
+        self, node: ast.Call, recv: AbstractValue
+    ) -> int | None:
+        """Evaluate an ``axis=`` kwarg, recording rank violations."""
+        for kw in node.keywords:
+            if kw.arg != "axis":
+                continue
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, int
+            ):
+                axis = kw.value.value
+                if recv.is_array and recv.ndim is not None and not (
+                    -recv.ndim <= axis < recv.ndim
+                ):
+                    self.facts.ndim_violations.append(
+                        NdimViolation(
+                            *self._site(node),
+                            what=f"axis={axis}",
+                            ndim=recv.ndim,
+                        )
+                    )
+                return axis
+            self._eval(kw.value)
+            return None
+        return None
+
+    def _record_constructor(
+        self,
+        node: ast.Call,
+        func: str,
+        pinned: bool,
+        value: AbstractValue,
+    ) -> AbstractValue:
+        self.facts.constructors.append(
+            ConstructorSite(
+                *self._site(node), func=func, pinned=pinned, value=value
+            )
+        )
+        return value
+
+    def _numpy_call(
+        self, node: ast.Call, short: str
+    ) -> AbstractValue | None:
+        """Semantics for ``numpy.<short>(...)``; None when unmodelled."""
+        dtype_kwarg: str | None = None
+        pinned = False
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                pinned = True
+                dtype_kwarg = self._dtype_argument(kw.value)
+            elif kw.arg != "axis":
+                self._eval(kw.value)
+        args = node.args
+
+        if short in _CONVERSIONS:
+            data = self._eval(args[0]) if args else UNKNOWN
+            nested = args and self._is_fresh_conversion(args[0])
+            if nested:
+                self.facts.copies.append(
+                    CopySite(
+                        *self._site(node),
+                        pattern=f"{short}-of-{nested}",
+                    )
+                )
+            if pinned:
+                value = _array(
+                    dtype_kwarg,
+                    data.ndim if data.is_array else None,
+                    data.shape if data.is_array else None,
+                    origin=short,
+                )
+            elif data.is_array:
+                value = replace(data, origin=short)
+            elif args and isinstance(args[0], (ast.List, ast.Tuple)):
+                literal = self._literal_array(args[0])
+                value = replace(literal, origin=short)
+            elif data.kind == "scalar":
+                value = _array(data.dtype, 0, origin=short)
+            else:
+                value = _array(origin=short)
+            return self._record_constructor(node, short, pinned, value)
+
+        if short in ("zeros", "ones", "empty", "full"):
+            ndim, shape = (
+                self._shape_argument(args[0]) if args else (None, None)
+            )
+            if dtype_kwarg is not None:
+                dtype = dtype_kwarg
+            elif pinned:
+                dtype = None
+            elif short == "full":
+                fill = self._eval(args[1]) if len(args) > 1 else UNKNOWN
+                dtype = fill.dtype if fill.kind == "scalar" else None
+            else:
+                dtype = "float64"
+            return self._record_constructor(
+                node, short, pinned, _array(dtype, ndim, shape, short)
+            )
+
+        if short == "arange":
+            arg_values = [self._eval(a) for a in args]
+            if dtype_kwarg is not None:
+                dtype = dtype_kwarg
+            elif pinned:
+                dtype = None
+            else:
+                dtype = "int64"
+                for value in arg_values:
+                    if value.kind != "scalar" or value.dtype is None:
+                        dtype = None
+                        break
+                    dtype = promote(dtype, value.dtype)
+            shape = None
+            if (
+                len(args) == 1
+                and isinstance(args[0], ast.Constant)
+                and isinstance(args[0].value, int)
+            ):
+                shape = (args[0].value,)
+            return self._record_constructor(
+                node, short, pinned, _array(dtype, 1, shape, short)
+            )
+
+        if short in ("linspace", "fromiter", "frombuffer"):
+            for a in args:
+                self._eval(a)
+            dtype = dtype_kwarg if pinned else (
+                "float64" if short == "linspace" else None
+            )
+            return self._record_constructor(
+                node, short, pinned, _array(dtype, 1, origin=short)
+            )
+
+        if short in ("eye", "identity"):
+            for a in args:
+                self._eval(a)
+            dtype = dtype_kwarg if pinned else "float64"
+            return self._record_constructor(
+                node, short, pinned, _array(dtype, 2, origin=short)
+            )
+
+        if short in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            data = self._eval(args[0]) if args else UNKNOWN
+            dtype = dtype_kwarg if pinned else (
+                data.dtype if data.is_array else None
+            )
+            value = _array(
+                dtype,
+                data.ndim if data.is_array else None,
+                data.shape if data.is_array else None,
+                origin=short,
+            )
+            return self._record_constructor(node, short, pinned, value)
+
+        if short in ("concatenate", "stack", "vstack", "hstack"):
+            parts: list[AbstractValue] = []
+            if args and isinstance(args[0], (ast.List, ast.Tuple)):
+                parts = [self._eval(elt) for elt in args[0].elts]
+            elif args:
+                self._eval(args[0])
+            dtype = None
+            if parts and all(p.is_array for p in parts):
+                dtype = parts[0].dtype
+                for p in parts[1:]:
+                    dtype = promote(dtype, p.dtype)
+            ndim = parts[0].ndim if parts and all(
+                p.ndim == parts[0].ndim for p in parts
+            ) else None
+            if short == "stack" and ndim is not None:
+                ndim += 1
+            return _array(dtype, ndim)
+
+        if short in _REDUCTIONS:
+            recv = self._eval(args[0]) if args else UNKNOWN
+            return self._reduction(node, short, recv)
+
+        if short in _PRESERVING:
+            recv = self._eval(args[0]) if args else UNKNOWN
+            for a in args[1:]:
+                self._eval(a)
+            self._axis_check(node, recv)
+            if short == "unique":
+                return _array(recv.dtype, 1)
+            if not recv.is_array:
+                return recv if recv.kind == "scalar" else UNKNOWN
+            return _array(recv.dtype, recv.ndim, recv.shape)
+
+        if short in ("argsort", "nonzero", "flatnonzero", "searchsorted"):
+            for a in args:
+                self._eval(a)
+            if short == "argsort":
+                recv = self._eval(args[0]) if args else UNKNOWN
+                return _array(
+                    "int64",
+                    recv.ndim if recv.is_array else None,
+                )
+            if short == "flatnonzero":
+                return _array("int64", 1)
+            return AbstractValue(kind="tuple")
+
+        if short in _BIN_UFUNCS:
+            left = self._eval(args[0]) if args else UNKNOWN
+            right = self._eval(args[1]) if len(args) > 1 else UNKNOWN
+            return self._binop(node, _BIN_UFUNCS[short], left, right)
+
+        if short in ("isclose", "allclose"):
+            left = self._eval(args[0]) if args else UNKNOWN
+            right = self._eval(args[1]) if len(args) > 1 else UNKNOWN
+            if left.is_array or right.is_array:
+                self.facts.compares.append(
+                    CompareSite(
+                        *self._site(node), left=left, right=right,
+                        float_const=False, isclose=True,
+                    )
+                )
+            if short == "allclose":
+                return _scalar("bool")
+            ndim = None
+            for value in (left, right):
+                if value.is_array and value.ndim is not None:
+                    ndim = value.ndim if ndim is None else max(
+                        ndim, value.ndim
+                    )
+            return _array("bool", ndim)
+
+        if short == "where":
+            cond = self._eval(args[0]) if args else UNKNOWN
+            if len(args) >= 3:
+                a, b = self._eval(args[1]), self._eval(args[2])
+                return _array(
+                    promote(a.dtype, b.dtype),
+                    cond.ndim if cond.is_array else None,
+                )
+            return AbstractValue(kind="tuple")
+
+        if short == "reshape":
+            recv = self._eval(args[0]) if args else UNKNOWN
+            for a in args[1:]:
+                self._eval(a)
+            return _array(recv.dtype if recv.is_array else None)
+
+        return None
+
+    def _reduction(
+        self, node: ast.Call, name: str, recv: AbstractValue
+    ) -> AbstractValue:
+        axis = self._axis_check(node, recv)
+        if name in _FLOAT_REDUCTIONS:
+            dtype: str | None = "float64"
+            if dtype_kind(recv.dtype) == "complex":
+                dtype = recv.dtype
+        elif name in _BOOL_REDUCTIONS:
+            dtype = "bool"
+        elif name in _INDEX_REDUCTIONS:
+            dtype = "int64"
+        else:
+            dtype = recv.dtype
+        has_axis = any(kw.arg == "axis" for kw in node.keywords)
+        if not has_axis:
+            return _scalar(dtype) if dtype else AbstractValue(kind="scalar")
+        if recv.is_array and recv.ndim is not None and axis is not None:
+            ndim = max(recv.ndim - 1, 0)
+            return _array(dtype, ndim) if ndim else (
+                _scalar(dtype) if dtype else AbstractValue(kind="scalar")
+            )
+        return _array(dtype)
+
+    def _method_call(
+        self, node: ast.Call, recv: AbstractValue, method: str
+    ) -> AbstractValue:
+        args = node.args
+        if method == "astype":
+            dtype = self._dtype_argument(args[0]) if args else None
+            chained = self._is_fresh_conversion(node.func.value)  # type: ignore[attr-defined]
+            if chained in _CONVERSIONS:
+                self.facts.copies.append(
+                    CopySite(
+                        *self._site(node),
+                        pattern=f"astype-of-{chained}",
+                    )
+                )
+            value = _array(dtype, recv.ndim, recv.shape, origin="astype")
+            return self._record_constructor(node, "astype", True, value)
+        if method == "copy":
+            chained = self._is_fresh_conversion(node.func.value)  # type: ignore[attr-defined]
+            if chained in _CONVERSIONS:
+                # np.asarray(v).copy(): the intermediate is anonymous,
+                # so the two passes always collapse into np.array(v)
+                self.facts.copies.append(
+                    CopySite(
+                        *self._site(node), pattern=f"copy-of-{chained}"
+                    )
+                )
+            elif (
+                recv.origin in ("asarray", "array")
+                and node is self._returned_copy
+            ):
+                # `return x.copy()` where x is a fresh conversion: the
+                # function is done with x, so the copy is provably
+                # redundant.  Elsewhere x may be mutated after the
+                # snapshot, so only the return position is flagged.
+                self.facts.copies.append(
+                    CopySite(
+                        *self._site(node),
+                        pattern=f"copy-of-{recv.origin}",
+                    )
+                )
+            return replace(recv, origin="copy")
+        if method == "tolist":
+            return AbstractValue(kind="list", origin="tolist")
+        if method in _REDUCTIONS:
+            return self._reduction(node, method, recv)
+        if method == "astuple":
+            return AbstractValue(kind="tuple")
+        if method == "reshape":
+            for a in args:
+                self._eval(a)
+            ndim: int | None = None
+            if len(args) == 1 and isinstance(args[0], (ast.Tuple, ast.List)):
+                ndim = len(args[0].elts)
+            elif args:
+                ndim = len(args)
+            return _array(recv.dtype, ndim)
+        if method in ("ravel", "flatten"):
+            return _array(recv.dtype, 1)
+        if method in ("sort", "fill", "clip"):
+            for a in args:
+                self._eval(a)
+            return UNKNOWN if method == "sort" else recv
+        if method == "view":
+            for a in args:
+                self._eval(a)
+            return _array(None, recv.ndim, recv.shape)
+        if method == "item":
+            # .item() unboxes to a Python scalar, which promotes weakly
+            return (
+                _scalar(recv.dtype, weak=True)
+                if recv.dtype
+                else AbstractValue(kind="scalar", weak=True)
+            )
+        for a in args:
+            self._eval(a)
+        return UNKNOWN
+
+    def _call(self, node: ast.Call) -> AbstractValue:
+        func = node.func
+        # builtins worth modelling
+        if isinstance(func, ast.Name) and func.id in (
+            "list", "int", "float", "bool", "len", "abs", "sorted",
+            "tuple", "sum", "min", "max",
+        ):
+            inner = [self._eval(a) for a in node.args]
+            for kw in node.keywords:
+                self._eval(kw.value)
+            if func.id == "list":
+                if inner and inner[0].origin == "tolist":
+                    self.facts.copies.append(
+                        CopySite(*self._site(node), pattern="list-of-tolist")
+                    )
+                return AbstractValue(kind="list")
+            if func.id in ("int", "len", "sum"):
+                return _scalar("int64", weak=True)
+            if func.id == "float":
+                return _scalar("float64", weak=True)
+            if func.id == "bool":
+                return _scalar("bool", weak=True)
+            if func.id == "abs":
+                return inner[0] if inner else UNKNOWN
+            if func.id in ("sorted", "tuple"):
+                return AbstractValue(
+                    kind="list" if func.id == "sorted" else "tuple"
+                )
+            return UNKNOWN
+
+        if isinstance(func, ast.Attribute):
+            recv = self._eval(func.value)
+            if recv.is_array:
+                return self._method_call(node, recv, func.attr)
+            if recv.kind == "instance" and recv.cls is not None:
+                # typed receiver: dispatch through the class hierarchy
+                # and read the method's return summary
+                for a in node.args:
+                    self._eval(a)
+                for kw in node.keywords:
+                    self._eval(kw.value)
+                target = self.program.method_in_hierarchy(
+                    recv.cls, func.attr
+                )
+                if target is not None:
+                    return self.summaries.get(target, UNKNOWN)
+                return UNKNOWN
+
+        resolved = self.ctx.resolve(func)
+        if resolved and resolved.startswith("numpy."):
+            if resolved.startswith("numpy.random."):
+                for a in node.args:
+                    self._eval(a)
+                for kw in node.keywords:
+                    self._eval(kw.value)
+                return UNKNOWN
+            short = resolved.rsplit(".", 1)[-1]
+            value = self._numpy_call(node, short)
+            if value is not None:
+                return value
+            for a in node.args:
+                self._eval(a)
+            for kw in node.keywords:
+                self._eval(kw.value)
+            return UNKNOWN
+
+        for a in node.args:
+            self._eval(a)
+        for kw in node.keywords:
+            self._eval(kw.value)
+
+        # interprocedural: a call into another indexed function reads
+        # its return summary; instantiating an indexed class yields a
+        # typed instance whose method calls dispatch via the hierarchy.
+        target = self.program.resolve(resolved, self.ctx.module)
+        if target is not None and target[0] == "func":
+            return self.summaries.get(target[1], UNKNOWN)
+        if target is not None and target[0] == "class":
+            return AbstractValue(kind="instance", cls=target[1])
+        return UNKNOWN
+
+    def _subscript(self, node: ast.Subscript) -> AbstractValue:
+        value = self._eval(node.value)
+        index = node.slice
+        if not value.is_array:
+            self._eval(index)
+            return UNKNOWN
+        scalar_indices = 0
+        widening = False
+        if isinstance(index, ast.Tuple):
+            for elt in index.elts:
+                if isinstance(elt, ast.Slice):
+                    for part in (elt.lower, elt.upper, elt.step):
+                        if part is not None:
+                            self._eval(part)
+                elif isinstance(elt, ast.Constant) and (
+                    elt.value is None or elt.value is Ellipsis
+                ):
+                    widening = True  # newaxis/... re-rank the result
+                else:
+                    inner = self._eval(elt)
+                    if inner.is_array:
+                        widening = True  # advanced indexing
+                    else:
+                        scalar_indices += 1
+        elif isinstance(index, ast.Slice):
+            for part in (index.lower, index.upper, index.step):
+                if part is not None:
+                    self._eval(part)
+        else:
+            inner = self._eval(index)
+            if inner.is_array:
+                # mask / fancy index: rank depends on the index array
+                if inner.dtype == "bool":
+                    return _array(value.dtype, 1)
+                return _array(value.dtype, inner.ndim)
+            scalar_indices = 1
+        if widening:
+            return _array(value.dtype)
+        if value.ndim is not None and scalar_indices > value.ndim:
+            self.facts.ndim_violations.append(
+                NdimViolation(
+                    *self._site(node),
+                    what=(
+                        f"{scalar_indices} scalar "
+                        f"ind{'ices' if scalar_indices != 1 else 'ex'}"
+                    ),
+                    ndim=value.ndim,
+                )
+            )
+            return UNKNOWN
+        if value.ndim is None:
+            return _array(value.dtype)
+        ndim = value.ndim - scalar_indices
+        if ndim <= 0:
+            return (
+                _scalar(value.dtype)
+                if value.dtype
+                else AbstractValue(kind="scalar")
+            )
+        return _array(value.dtype, ndim)
+
+    def _attribute(self, node: ast.Attribute) -> AbstractValue:
+        value = self._eval(node.value)
+        if value.is_array:
+            if node.attr == "T":
+                shape = (
+                    tuple(reversed(value.shape))
+                    if value.shape is not None
+                    else None
+                )
+                return _array(value.dtype, value.ndim, shape)
+            if node.attr in ("ndim", "size", "itemsize", "nbytes"):
+                return _scalar("int64")
+            if node.attr == "shape":
+                return AbstractValue(kind="tuple")
+            if node.attr in ("dtype", "flags", "base", "flat", "strides"):
+                return AbstractValue(kind="other")
+            if node.attr in ("real", "imag"):
+                return _array(None, value.ndim, value.shape)
+        return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# the model
+
+
+@dataclass
+class ShapeModel:
+    """Per-function shape facts plus the interprocedural summaries."""
+
+    facts: dict[str, FunctionFacts] = field(default_factory=dict)
+    summaries: dict[str, AbstractValue] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, program: Program) -> "ShapeModel":
+        """Interpret every function, iterating summaries to a fixpoint.
+
+        Function order never matters: each pass interprets all
+        functions against the *previous* pass's summaries, and the
+        joins are commutative, so the fixpoint (and every recorded
+        fact) depends only on the program, not discovery order.
+        """
+        summaries: dict[str, AbstractValue] = {}
+        facts: dict[str, FunctionFacts] = {}
+        for _ in range(MAX_PASSES):
+            facts = {}
+            new_summaries: dict[str, AbstractValue] = {}
+            for qualname in sorted(program.functions):
+                finfo = program.functions[qualname]
+                ctx = program.contexts.get(finfo.path)
+                if ctx is None:
+                    continue
+                interp = _Interpreter(program, ctx, finfo, summaries)
+                facts[qualname] = interp.run()
+                new_summaries[qualname] = facts[qualname].returns
+            if new_summaries == summaries:
+                break
+            summaries = new_summaries
+        return cls(facts=facts, summaries=summaries)
+
+    def dtype_counts(self) -> dict[str, int]:
+        """Histogram of inferred constructor dtypes (for reports)."""
+        counts: dict[str, int] = {}
+        for qualname in sorted(self.facts):
+            for site in self.facts[qualname].constructors:
+                key = site.value.dtype or "unknown"
+                counts[key] = counts.get(key, 0) + 1
+        return counts

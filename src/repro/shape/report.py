@@ -1,0 +1,127 @@
+"""Shape reports: aggregation, text/JSON rendering, model serialization.
+
+A :class:`ShapeReport` is the result of one whole-program dtype/ndim
+analysis run: the sorted diagnostics plus the sizes of the analysed
+program and its inferred-dtype histogram, sharing the severity
+accessors, rendering helpers and exit-code convention of
+:class:`repro.diagnostics.DiagnosticReport` with the other analyzer
+reports.  ``SHAPE_FORMAT`` versions both the report JSON and the
+``--graph`` model serialization; the report dataclass is pinned in the
+sanitize schema fingerprint registry like every other persisted format
+in the tree (``repro sanitize --fix`` re-pins after a deliberate,
+version-bumped change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..diagnostics import DiagnosticReport
+from ..sanitize.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rules import ShapeAnalysis
+
+__all__ = ["SHAPE_FORMAT", "ShapeReport", "model_json"]
+
+#: Version of the shape report and model JSON documents.
+SHAPE_FORMAT = 1
+
+
+@dataclass
+class ShapeReport(DiagnosticReport):
+    """The outcome of one whole-program shape analysis.
+
+    ``targets`` are the paths as requested; ``files`` and ``functions``
+    size the analysed program; ``arrays`` counts the array-allocating
+    sites the interpreter modelled and ``dtypes`` histograms their
+    inferred dtypes (an analysis that silently lost its constructor
+    semantics is self-diagnosing: everything lands in ``unknown``);
+    ``suppressed`` counts baseline-grandfathered findings hidden from
+    ``diagnostics``.
+    """
+
+    targets: list[str] = field(default_factory=list)
+    files: int = 0
+    functions: int = 0
+    arrays: int = 0
+    dtypes: dict[str, int] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+
+    def format_text(self) -> str:
+        """Full human-readable report."""
+        pinned = ", ".join(
+            f"{label}: {self.dtypes[label]}"
+            for label in sorted(self.dtypes)
+            if label != "unknown"
+        )
+        return self.render_text(
+            f"shape {' '.join(self.targets)}: "
+            f"{self.files} file{'s' if self.files != 1 else ''}, "
+            f"{self.functions} functions, {self.arrays} arrays"
+            + (f" ({pinned})" if pinned else "")
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible report document."""
+        return {
+            "format": SHAPE_FORMAT,
+            "targets": self.targets,
+            "files": self.files,
+            "functions": self.functions,
+            "arrays": self.arrays,
+            "dtypes": {k: self.dtypes[k] for k in sorted(self.dtypes)},
+            **self.json_tail(),
+        }
+
+
+def _value_json(value) -> dict[str, Any]:
+    doc: dict[str, Any] = {"kind": value.kind}
+    if value.dtype is not None:
+        doc["dtype"] = value.dtype
+    if value.ndim is not None:
+        doc["ndim"] = value.ndim
+    if value.shape is not None:
+        doc["shape"] = list(value.shape)
+    return doc
+
+
+def model_json(analysis: "ShapeAnalysis") -> dict[str, Any]:
+    """Serialise the dtype/ndim model (``repro shape --graph``).
+
+    One entry per function with its return summary and every
+    constructor site the interpreter recorded (allocator, line, whether
+    the dtype is pinned, the inferred abstract value).  Everything
+    iterates in sorted order, so two runs over the same tree emit
+    bit-identical documents.
+    """
+    model = analysis.model
+    functions: list[dict[str, Any]] = []
+    for qualname in sorted(model.facts):
+        facts = model.facts[qualname]
+        entry: dict[str, Any] = {
+            "id": qualname,
+            "returns": _value_json(facts.returns),
+            "constructors": [
+                {
+                    "func": site.func,
+                    "line": site.line,
+                    "pinned": site.pinned,
+                    "value": _value_json(site.value),
+                }
+                for site in facts.constructors
+            ],
+            "ops": len(facts.ops),
+            "compares": len(facts.compares),
+        }
+        functions.append(entry)
+    return {
+        "format": SHAPE_FORMAT,
+        "functions": functions,
+        "dtypes": {
+            k: analysis.dtype_counts()[k]
+            for k in sorted(analysis.dtype_counts())
+        },
+    }

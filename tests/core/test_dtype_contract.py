@@ -1,0 +1,97 @@
+"""The dtype contract the shape analyzer polices, pinned at runtime.
+
+``repro shape`` statically guarantees that certificate-bearing paths
+stay in exact ``int64``; these tests pin the same contract dynamically:
+every evaluator returns ``int64`` regardless of the input's dtype, the
+conversion helpers hand back genuinely fresh storage, and two attacks
+from the same seed produce byte-identical certificates -- the
+invariant that makes the archived-certificate store content-addressable.
+"""
+
+import json
+
+import numpy as np
+
+from repro._util import as_int_array
+from repro.analysis.verify import find_unsorted_zero_one_input
+from repro.core.attack import attack_circuit
+from repro.networks.builders import bitonic_iterated_rdn
+
+
+def flat_network(n=16, depth=2):
+    return bitonic_iterated_rdn(n).truncated(depth).to_network()
+
+
+class TestInt64EndToEnd:
+    def test_evaluate_returns_int64_for_any_input_dtype(self):
+        net = flat_network()
+        n = net.n
+        for values in (
+            list(range(n)),
+            np.arange(n, dtype=np.int32),
+            np.arange(n, dtype=np.uint16),
+            np.arange(n, dtype=np.int64),
+        ):
+            out = net.evaluate(values)
+            assert out.dtype == np.int64, values
+
+    def test_evaluate_batch_returns_int64(self):
+        net = flat_network()
+        batch = np.tile(np.arange(net.n, dtype=np.int32), (5, 1))
+        out = net.evaluate_batch(batch)
+        assert out.dtype == np.int64
+        assert out.shape == batch.shape
+
+    def test_zero_one_witness_is_an_independent_int64_copy(self):
+        net = flat_network()
+        witness = find_unsorted_zero_one_input(net)
+        assert witness is not None
+        assert witness.dtype == np.int64
+        assert witness.base is None  # not a view into a batch buffer
+        assert (net.evaluate(witness) != np.sort(witness)).any()
+
+
+class TestConversionHelpers:
+    def test_as_int_array_converts_and_copies_in_one_pass(self):
+        source = np.arange(6, dtype=np.int64)
+        out = as_int_array(source)
+        assert out.dtype == np.int64
+        out[0] = 99
+        assert source[0] == 0  # fresh storage, never a view
+
+    def test_as_int_array_accepts_plain_sequences(self):
+        out = as_int_array([3, 1, 2])
+        assert out.dtype == np.int64
+        assert out.tolist() == [3, 1, 2]
+
+    def test_trace_input_survives_the_run(self):
+        # trace() snapshots its input before evaluating in place; the
+        # shape analyzer must keep treating that copy as load-bearing
+        net = flat_network()
+        values = np.arange(net.n - 1, -1, -1, dtype=np.int64)
+        trace = net.trace(values)
+        assert trace.input.tolist() == values.tolist()
+        assert not np.array_equal(trace.input, trace.output)
+
+
+class TestSameSeedCertificatesAreByteIdentical:
+    def test_two_attacks_same_seed_same_bytes(self):
+        docs = []
+        for _ in range(2):
+            outcome = attack_circuit(
+                flat_network(), rng=np.random.default_rng(7)
+            )
+            assert outcome.certificate is not None
+            docs.append(
+                json.dumps(
+                    outcome.certificate.to_json(), sort_keys=True
+                ).encode()
+            )
+        assert docs[0] == docs[1]
+
+    def test_different_seeds_may_differ_but_still_verify(self):
+        net = flat_network()
+        for seed in (7, 8):
+            outcome = attack_circuit(net, rng=np.random.default_rng(seed))
+            assert outcome.certificate is not None
+            assert outcome.certificate.verify(net)

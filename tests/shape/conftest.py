@@ -1,0 +1,38 @@
+"""Shared fixtures for the shape test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.shape import analyze_paths, build_analysis
+
+#: The fixture trees: ``dirty`` fires every rule exactly once, ``clean``
+#: does the same array shapes correctly (pinned hot allocators, floor
+#: division, exact integer compares, broadcastable dims, one
+#: materialisation per value).
+CORPUS = Path(__file__).parent / "corpus"
+DIRTY = CORPUS / "dirty"
+CLEAN = CORPUS / "clean"
+
+#: Repository src/ directory (the self-analysis target).
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="session")
+def clean_analysis():
+    """The clean corpus analysed once per session (it is read-only)."""
+    analysis, diagnostics, _ = build_analysis([CLEAN])
+    assert diagnostics == []
+    return analysis
+
+
+@pytest.fixture(scope="session")
+def dirty_analysis():
+    """The dirty corpus model, for the unit tests on summaries."""
+    return build_analysis([DIRTY])[0]
+
+
+@pytest.fixture(scope="session")
+def dirty_report():
+    """The dirty corpus analysed once per session (it is read-only)."""
+    return analyze_paths([DIRTY])

@@ -1,0 +1,1 @@
+"""Clean corpus root: the same shapes as dirty/, done correctly."""

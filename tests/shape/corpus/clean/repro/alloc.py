@@ -1,0 +1,20 @@
+"""The alloc shapes done right: numeric table, pinned hot allocator."""
+
+import numpy as np
+
+__all__ = ["tag_table", "hot_scratch"]
+
+
+def tag_table(n: int) -> np.ndarray:
+    """Numeric tags: int64 stays hashable and kernel-friendly."""
+    return np.empty(n, dtype=np.int64)
+
+
+def hot_scratch(grid) -> int:
+    """The hot allocator pins its dtype explicitly."""
+    total = 0
+    for row in grid:
+        for _ in row:
+            buf = np.zeros(8, dtype=np.int64)
+            total += int(buf.size)
+    return total

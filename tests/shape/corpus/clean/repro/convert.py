@@ -1,0 +1,11 @@
+"""The conversion done right: one materialisation per value."""
+
+import numpy as np
+
+__all__ = ["as_fresh_list"]
+
+
+def as_fresh_list(values) -> list:
+    """.tolist() already returns a new list."""
+    arr = np.asarray(values, dtype=np.int64)
+    return arr.tolist()

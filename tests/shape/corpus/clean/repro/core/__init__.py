@@ -1,0 +1,1 @@
+"""Clean corpus core/: the integer-exactness scope."""

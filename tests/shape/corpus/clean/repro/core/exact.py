@@ -1,0 +1,17 @@
+"""The exactness-path shapes done right: // division, int compares."""
+
+import numpy as np
+
+__all__ = ["half_depth", "hit_rank"]
+
+
+def half_depth(codes: np.ndarray) -> np.ndarray:
+    """Floor division keeps the certificate path in int64."""
+    levels = np.asarray(codes, dtype=np.int64)
+    return levels // 2
+
+
+def hit_rank(out: np.ndarray) -> bool:
+    """Exact integer comparison, no tolerance needed."""
+    ranks = np.asarray(out, dtype=np.int64)
+    return bool((ranks == 0).any())

@@ -1,0 +1,18 @@
+"""The shape arithmetic done right: matching dims, in-rank indexing."""
+
+import numpy as np
+
+__all__ = ["merge_rows", "corner"]
+
+
+def merge_rows() -> np.ndarray:
+    """Equal lengths broadcast trivially."""
+    a = np.zeros(3, dtype=np.int64)
+    b = np.zeros(3, dtype=np.int64)
+    return a + b
+
+
+def corner() -> int:
+    """One scalar index into a 1-D array."""
+    flat = np.zeros(5, dtype=np.int64)
+    return int(flat[2])

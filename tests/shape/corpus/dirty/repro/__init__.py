@@ -1,0 +1,1 @@
+"""Dirty corpus root: one planted defect per shape rule."""

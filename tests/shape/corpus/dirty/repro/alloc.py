@@ -1,0 +1,20 @@
+"""Planted: an object-dtype array and a hot unpinned allocator."""
+
+import numpy as np
+
+__all__ = ["tag_table", "hot_scratch"]
+
+
+def tag_table(n: int) -> np.ndarray:
+    """An explicit dtype=object allocation (shape/object-dtype-array)."""
+    return np.empty(n, dtype=object)
+
+
+def hot_scratch(grid) -> int:
+    """A default-dtype zeros at loop depth 2 (shape/unpinned-...)."""
+    total = 0
+    for row in grid:
+        for _ in row:
+            buf = np.zeros(8)
+            total += int(buf.size)
+    return total

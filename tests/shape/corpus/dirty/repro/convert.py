@@ -1,0 +1,11 @@
+"""Planted: conversion churn materialising the same data twice."""
+
+import numpy as np
+
+__all__ = ["as_fresh_list"]
+
+
+def as_fresh_list(values) -> list:
+    """list() around .tolist() (shape/needless-copy)."""
+    arr = np.asarray(values, dtype=np.int64)
+    return list(arr.tolist())

@@ -1,0 +1,1 @@
+"""Dirty corpus core/: the integer-exactness scope."""

@@ -1,0 +1,17 @@
+"""Planted: float leaks on the integer-exactness path."""
+
+import numpy as np
+
+__all__ = ["half_depth", "hit_rank"]
+
+
+def half_depth(codes: np.ndarray) -> np.ndarray:
+    """True division upcasts int64 to float64 (shape/implicit-upcast)."""
+    levels = np.asarray(codes, dtype=np.int64)
+    return levels / 2
+
+
+def hit_rank(out: np.ndarray) -> bool:
+    """Integer output against a float literal (shape/float-compare-...)."""
+    ranks = np.asarray(out, dtype=np.int64)
+    return bool((ranks == 0.5).any())

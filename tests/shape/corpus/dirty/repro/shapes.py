@@ -1,0 +1,18 @@
+"""Planted: a provable broadcast conflict and a rank overrun."""
+
+import numpy as np
+
+__all__ = ["merge_rows", "corner"]
+
+
+def merge_rows() -> np.ndarray:
+    """(3,) + (4,) cannot broadcast (shape/broadcast-mismatch)."""
+    a = np.zeros(3, dtype=np.int64)
+    b = np.zeros(4, dtype=np.int64)
+    return a + b
+
+
+def corner() -> int:
+    """Two scalar indices into a 1-D array (shape/ndim-mismatch)."""
+    flat = np.zeros(5, dtype=np.int64)
+    return int(flat[2, 3])

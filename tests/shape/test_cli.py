@@ -1,0 +1,94 @@
+"""The ``repro shape`` subcommand and the ``sanitize --shape`` merge."""
+
+import json
+
+from repro.cli import main
+
+from tests.shape.conftest import CLEAN, DIRTY, SRC
+
+
+class TestShapeCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["shape", str(CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_dirty_tree_exits_one(self, capsys):
+        # the seeded negative test: a tree with planted defects FAILS
+        assert main(["shape", str(DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "shape/object-dtype-array" in out
+        assert "shape/unpinned-dtype-constructor" in out
+        assert "shape/implicit-upcast" in out
+        assert "shape/broadcast-mismatch" in out
+        assert "shape/needless-copy" in out
+        assert "shape/ndim-mismatch" in out
+        assert "shape/float-compare-on-int-path" in out
+
+    def test_json_report(self, capsys):
+        assert main(["shape", str(DIRTY), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == 1
+        assert len(doc["diagnostics"]) == 7
+
+    def test_select_filters_rules(self, capsys):
+        assert main(["shape", str(DIRTY), "--select", "shape/implicit"]) == 1
+        out = capsys.readouterr().out
+        assert "object-dtype-array" not in out
+        assert "implicit-upcast" in out
+
+    def test_graph_serialization(self, tmp_path, capsys):
+        target = tmp_path / "model.json"
+        assert main(["shape", str(CLEAN), "--graph", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["format"] == 1
+        by_id = {f["id"]: f for f in doc["functions"]}
+        table = by_id["repro.alloc.tag_table"]
+        assert table["returns"]["dtype"] == "int64"
+        assert table["constructors"][0]["pinned"] is True
+        # the notice goes to the stderr logger: stdout must stay a
+        # clean report so --graph composes with --json
+        assert "written to" not in capsys.readouterr().out
+        assert main(
+            ["shape", str(CLEAN), "--graph", str(target), "--json"]
+        ) == 0
+        rep = json.loads(capsys.readouterr().out)
+        assert rep["format"] == 1 and rep["diagnostics"] == []
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        target = tmp_path / "shape-baseline.json"
+        assert main(
+            ["shape", str(DIRTY), "--write-baseline",
+             "--baseline", str(target)]
+        ) == 0
+        assert "7 findings" in capsys.readouterr().out
+        # with the ratchet in place the dirty tree passes but reports it
+        assert main(
+            ["shape", str(DIRTY), "--baseline", str(target)]
+        ) == 0
+        assert "7 baselined" in capsys.readouterr().out
+
+    def test_shipped_tree_is_clean_with_no_baseline(self, capsys):
+        assert main(["shape", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        assert "baselined" not in out
+
+
+class TestSanitizeShapeMerge:
+    def test_sanitize_shape_merges_findings(self, capsys):
+        # the dirty tree also carries per-file findings; --shape adds
+        # the whole-program dtype/ndim families on top of them
+        assert main(["sanitize", str(DIRTY), "--shape"]) == 1
+        out = capsys.readouterr().out
+        assert "shape/implicit-upcast" in out
+
+    def test_sanitize_without_shape_misses_dtype_rules(self, capsys):
+        main(["sanitize", str(DIRTY)])
+        out = capsys.readouterr().out
+        # no shape diagnostics; "[shape/" avoids matching corpus paths
+        assert "[shape/" not in out
+
+    def test_shipped_tree_clean_under_sanitize_shape(self, capsys):
+        assert main(["sanitize", str(SRC), "--shape"]) == 0
+        assert "0 errors" in capsys.readouterr().out

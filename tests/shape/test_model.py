@@ -1,0 +1,205 @@
+"""The abstract domain and interpreter: promotion, rank, summaries.
+
+The lattice units pin NumPy's actual promotion behaviour (including the
+NEP 50 weak-scalar rules and the uint64 + signed-int float64 trap); the
+interpreter tests feed small trees through :func:`build_analysis` and
+read the inferred per-function facts.
+"""
+
+import numpy as np
+
+from repro.shape import AbstractValue, build_analysis, dtype_kind, promote
+from repro.shape.model import UNKNOWN, broadcast_shapes, join_value
+
+
+def write_tree(tmp_path, name, source):
+    target = tmp_path / "repro" / name
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+def facts_of(tmp_path, qualname):
+    analysis, diagnostics, _ = build_analysis([tmp_path])
+    assert [d for d in diagnostics if d.rule == "parse/syntax-error"] == []
+    return analysis.model.facts[qualname]
+
+
+class TestDtypeLattice:
+    def test_dtype_kind_classification(self):
+        assert dtype_kind("int64") == "int"
+        assert dtype_kind("uint64") == "uint"
+        assert dtype_kind("float64") == "float"
+        assert dtype_kind("complex128") == "complex"
+        assert dtype_kind("bool") == "bool"
+        assert dtype_kind(None) is None
+
+    def test_promote_matches_numpy(self):
+        cases = [
+            ("int64", "int64"),
+            ("int32", "int64"),
+            ("int64", "float64"),
+            ("float32", "float64"),
+            ("bool", "int64"),
+            ("uint8", "int64"),
+            ("complex128", "float64"),
+        ]
+        for a, b in cases:
+            assert promote(a, b) == str(np.promote_types(a, b)), (a, b)
+
+    def test_uint64_plus_signed_goes_float64(self):
+        # the no-int128 trap: NumPy resolves uint64 + int64 in float64
+        assert promote("uint64", "int64") == "float64"
+        assert str(np.promote_types("uint64", "int64")) == "float64"
+
+    def test_unknown_absorbs(self):
+        assert promote(None, "int64") is None
+        assert promote("object", "int64") == "object"
+
+
+class TestJoin:
+    def test_join_degrades_disagreeing_fields(self):
+        a = AbstractValue(kind="array", dtype="int64", ndim=1)
+        b = AbstractValue(kind="array", dtype="int64", ndim=2)
+        j = join_value(a, b)
+        assert j.dtype == "int64" and j.ndim is None
+
+    def test_join_of_array_and_scalar_is_unknown_kind(self):
+        a = AbstractValue(kind="array", dtype="int64")
+        s = AbstractValue(kind="scalar", dtype="int64")
+        assert join_value(a, s).kind == "unknown"
+
+    def test_weak_survives_only_if_both_weak(self):
+        w = AbstractValue(kind="scalar", dtype="int64", weak=True)
+        s = AbstractValue(kind="scalar", dtype="int64")
+        assert join_value(w, w).weak
+        assert not join_value(w, s).weak
+
+
+class TestBroadcast:
+    def test_compatible_shapes(self):
+        assert broadcast_shapes((3, 1), (1, 4)) == (3, 4)
+        assert broadcast_shapes((3,), (2, 3)) == (2, 3)
+
+    def test_provable_conflict_is_none(self):
+        assert broadcast_shapes((3,), (4,)) is None
+
+    def test_unknown_dims_stay_permissive(self):
+        # no provable conflict, and the unknown dim stays unknown
+        assert broadcast_shapes((None,), (4,)) == (None,)
+
+
+class TestInterpreter:
+    def test_constructor_dtype_and_rank(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def build():\n"
+            "    return np.zeros((4, 4), dtype=np.int64)\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.build").returns
+        assert returns.kind == "array"
+        assert returns.dtype == "int64"
+        assert returns.ndim == 2
+
+    def test_weak_scalar_keeps_the_array_dtype(self, tmp_path):
+        # NEP 50: uint64_array & 1 stays uint64 (no float64 escape)
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def mask(codes):\n"
+            "    word = np.asarray(codes, dtype=np.uint64)\n"
+            "    return (word >> 3) & 1\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.mask").returns
+        assert returns.dtype == "uint64"
+        arr = (np.asarray([9], dtype=np.uint64) >> 3) & 1
+        assert str(arr.dtype) == "uint64"
+
+    def test_float_literal_promotes_int_array(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def scale(xs):\n"
+            "    arr = np.asarray(xs, dtype=np.int64)\n"
+            "    return arr * 0.5\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.scale").returns
+        assert returns.dtype == "float64"
+
+    def test_reduction_drops_rank(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def rows(grid: np.ndarray):\n"
+            "    m = np.zeros((3, 5), dtype=np.int64)\n"
+            "    return m.sum(axis=1)\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.rows").returns
+        assert returns.ndim == 1 and returns.dtype == "int64"
+
+    def test_interprocedural_return_summary(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def make(n):\n"
+            "    return np.arange(n, dtype=np.int64)\n"
+            "def use(n):\n"
+            "    return make(n) + 1\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.use").returns
+        assert returns.dtype == "int64"
+
+    def test_typed_receiver_dispatches_to_method_summary(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "class Net:\n"
+            '    """A network."""\n'
+            "    def evaluate(self, values):\n"
+            "        return np.asarray(values, dtype=np.int64)\n"
+            "def run(net: Net):\n"
+            "    return net.evaluate([2, 1])\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.run").returns
+        assert returns.dtype == "int64"
+
+    def test_unknown_operand_keeps_rank_unknown(self, tmp_path):
+        # unknown - 1-D array must NOT infer 1-D: the unknown side may
+        # be a higher-rank array that broadcasts the result up
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def disp(out, n):\n"
+            "    d = np.abs(out - np.arange(n, dtype=np.int64))\n"
+            "    return d.max(axis=1)\n",
+        )
+        facts = facts_of(tmp_path, "repro.lib.disp")
+        assert facts.ndim_violations == []
+
+    def test_branches_join(self, tmp_path):
+        write_tree(
+            tmp_path,
+            "lib.py",
+            "import numpy as np\n"
+            "def pick(flag):\n"
+            "    if flag:\n"
+            "        out = np.zeros(3, dtype=np.int64)\n"
+            "    else:\n"
+            "        out = np.zeros((3, 3), dtype=np.int64)\n"
+            "    return out\n",
+        )
+        returns = facts_of(tmp_path, "repro.lib.pick").returns
+        assert returns.dtype == "int64"
+        assert returns.ndim is None  # ranks disagree across branches
+
+    def test_unknown_is_the_absorbing_default(self):
+        assert UNKNOWN.kind == "unknown"
+        assert not UNKNOWN.is_array

@@ -1,0 +1,32 @@
+"""Property: the report never depends on file discovery order.
+
+The summary fixpoint interprets every function against the previous
+pass's summaries, so a hidden dependence on file insertion order (dict
+iteration, worklist order) would make CI and local runs disagree.
+Feeding the same file set in random orders must produce a bit-identical
+JSON document.
+"""
+
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shape import analyze_paths
+
+from tests.shape.conftest import DIRTY
+
+FILES = sorted(str(p) for p in Path(DIRTY).rglob("*.py"))
+CANONICAL = analyze_paths(FILES).to_json()
+
+
+@given(order=st.permutations(FILES))
+@settings(max_examples=15, deadline=None)
+def test_any_file_order_yields_the_same_report(order):
+    assert analyze_paths(order).to_json() == CANONICAL
+
+
+def test_canonical_report_is_nonempty():
+    """Guard: the property above must not pass vacuously."""
+    assert len(CANONICAL["diagnostics"]) == 7
+    assert CANONICAL["arrays"] > 0

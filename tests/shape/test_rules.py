@@ -1,0 +1,115 @@
+"""Each rule: fires once on the dirty corpus, silent on the clean one.
+
+The dirty tree plants exactly one defect per rule at a known file and
+line; each assertion also checks the message's actionable detail (the
+suggested spelling), because a finding that does not say what to write
+instead is noise.  The clean tree does the same array shapes correctly,
+so any finding there is a false positive.
+"""
+
+from repro.shape import SHAPE_RULES, analyze_paths
+
+from tests.shape.conftest import CLEAN
+
+
+def by_rule(report, rule):
+    return [d for d in report.diagnostics if d.rule == rule]
+
+
+class TestDirtyCorpusFires:
+    def test_exactly_the_planted_findings(self, dirty_report):
+        assert sorted(d.rule for d in dirty_report.diagnostics) == [
+            "shape/broadcast-mismatch",
+            "shape/float-compare-on-int-path",
+            "shape/implicit-upcast",
+            "shape/ndim-mismatch",
+            "shape/needless-copy",
+            "shape/object-dtype-array",
+            "shape/unpinned-dtype-constructor",
+        ]
+        assert dirty_report.exit_code == 1
+
+    def test_every_registered_rule_is_exercised(self, dirty_report):
+        fired = {d.rule for d in dirty_report.diagnostics}
+        assert fired == set(SHAPE_RULES)
+
+    def test_object_dtype_array(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/object-dtype-array")
+        assert diag.location.path.endswith("alloc.py")
+        assert "repro.alloc.tag_table" in diag.message
+        assert "dtype=object is explicit" in diag.message
+
+    def test_unpinned_dtype_constructor(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/unpinned-dtype-constructor")
+        assert diag.location.path.endswith("alloc.py")
+        assert "repro.alloc.hot_scratch" in diag.message
+        assert "effective loop depth 2" in diag.message
+        assert "pin dtype=" in diag.message
+
+    def test_implicit_upcast(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/implicit-upcast")
+        assert diag.location.path.endswith("core/exact.py")
+        assert "repro.core.exact.half_depth" in diag.message
+        assert "`//`" in diag.message  # the sanctioned spelling
+
+    def test_broadcast_mismatch(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/broadcast-mismatch")
+        assert diag.location.path.endswith("shapes.py")
+        assert "(3) and (4)" in diag.message
+        assert "ValueError" in diag.message
+
+    def test_needless_copy(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/needless-copy")
+        assert diag.location.path.endswith("convert.py")
+        assert "drop the outer list()" in diag.message
+
+    def test_ndim_mismatch(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/ndim-mismatch")
+        assert diag.location.path.endswith("shapes.py")
+        assert "2 scalar indices" in diag.message
+        assert "1-D array" in diag.message
+
+    def test_float_compare_on_int_path(self, dirty_report):
+        (diag,) = by_rule(dirty_report, "shape/float-compare-on-int-path")
+        assert diag.location.path.endswith("core/exact.py")
+        assert "compare integers exactly" in diag.message
+
+
+class TestCleanCorpusIsSilent:
+    def test_no_findings(self):
+        report = analyze_paths([CLEAN])
+        assert report.diagnostics == [], report.format_text()
+        assert report.exit_code == 0
+
+    def test_the_clean_model_still_saw_the_arrays(self, clean_analysis):
+        # silence must come from correct code, not from a blind model
+        assert clean_analysis.constructor_count() >= 5
+        assert clean_analysis.dtype_counts().get("int64", 0) >= 5
+
+
+class TestScopeGating:
+    def test_upcast_outside_the_exact_scope_is_allowed(self, tmp_path):
+        # the same true division OUTSIDE repro/core|networks|analysis
+        # is fine: plotting/stats code may live in float
+        target = tmp_path / "repro" / "viz.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\n"
+            "def half(xs):\n"
+            "    arr = np.asarray(xs, dtype=np.int64)\n"
+            "    return arr / 2\n"
+        )
+        report = analyze_paths([tmp_path])
+        assert report.diagnostics == []
+
+    def test_cold_unpinned_constructor_is_allowed(self, tmp_path):
+        # zeros without dtype at depth 0 is not worth a finding
+        target = tmp_path / "repro" / "cold.py"
+        target.parent.mkdir()
+        target.write_text(
+            "import numpy as np\n"
+            "def once(n):\n"
+            "    return np.zeros(n)\n"
+        )
+        report = analyze_paths([tmp_path])
+        assert report.diagnostics == []
